@@ -1,0 +1,22 @@
+//! The comparator systems of the FlashPS evaluation (§6.1).
+//!
+//! Each baseline exists in two forms that share one source of truth,
+//! the [`SystemKind`] enum:
+//!
+//! - a **numeric strategy** over the toy diffusion pipeline
+//!   (`fps_diffusion::Strategy`), used by the quality experiments
+//!   (Table 2, Fig. 13); and
+//! - a **serving configuration** (`fps_serving::EngineKind` + batching
+//!   policy), used by the performance experiments (Fig. 12, 14).
+//!
+//! The constraints the paper documents are encoded here: FISEdit only
+//! supports SD2.1-class models, cannot batch heterogeneous masks, and
+//! OOMs above batch size 2 on A10; the baselines use static batching
+//! and request-level load balancing (§6.1 "we implement static
+//! batching and request-level load balancing for these baselines").
+
+pub mod setup;
+pub mod system;
+
+pub use setup::{eval_setup, EvalSetup};
+pub use system::SystemKind;

@@ -1,0 +1,122 @@
+//! The paper's evaluation setups (§6.1): which GPU serves which model
+//! and at what batch size.
+
+use fps_diffusion::config::ModelConfig;
+use fps_maskcache::store::StoreConfig;
+use fps_serving::cost::{CostModel, GpuSpec};
+use fps_serving::{ClusterConfig, EngineKind};
+use fps_simtime::SimDuration;
+
+use crate::system::SystemKind;
+
+/// One evaluated (model, GPU, batch) configuration.
+#[derive(Debug, Clone)]
+pub struct EvalSetup {
+    /// The analytic model config.
+    pub model: ModelConfig,
+    /// The GPU serving it.
+    pub gpu: GpuSpec,
+    /// Maximum batch size (§6.1: 4 for SD2.1 workers, 8 for
+    /// SDXL/Flux).
+    pub max_batch: usize,
+}
+
+/// Returns the paper's three evaluation setups: SD2.1 on A10 (batch
+/// 4), SDXL on H800 (batch 8), Flux on H800 (batch 8).
+pub fn eval_setup() -> Vec<EvalSetup> {
+    vec![
+        EvalSetup {
+            model: ModelConfig::paper_sd21(),
+            gpu: GpuSpec::a10(),
+            max_batch: 4,
+        },
+        EvalSetup {
+            model: ModelConfig::paper_sdxl(),
+            gpu: GpuSpec::h800(),
+            max_batch: 8,
+        },
+        EvalSetup {
+            model: ModelConfig::paper_flux(),
+            gpu: GpuSpec::h800(),
+            max_batch: 8,
+        },
+    ]
+}
+
+impl EvalSetup {
+    /// Cost model of this setup.
+    pub fn cost_model(&self) -> CostModel {
+        CostModel::new(self.gpu.clone(), self.model.clone())
+    }
+
+    /// Cluster configuration for one system on this setup with
+    /// `workers` replicas. Returns `None` when the system cannot serve
+    /// the model (FISEdit beyond SD2.1) or is not a serving system.
+    pub fn cluster_config(&self, system: SystemKind, workers: usize) -> Option<ClusterConfig> {
+        if !system.supports(&self.model) {
+            return None;
+        }
+        let engine: EngineKind = system.engine()?;
+        // FISEdit OOMs above batch 2 on A10 (§6.2); its engine cap
+        // already serializes requests, the batch bound documents the
+        // memory limit.
+        let max_batch = match system {
+            SystemKind::FisEdit => self.max_batch.min(2),
+            _ => self.max_batch,
+        };
+        Some(ClusterConfig {
+            cost: self.cost_model(),
+            engine,
+            batching: system.batching(),
+            workers,
+            max_batch,
+            cpu_workers: 4,
+            store: StoreConfig::production_like(),
+            scheduler_overhead: SimDuration::from_micros(600),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fps_serving::BatchingPolicy;
+
+    #[test]
+    fn setups_match_the_paper() {
+        let setups = eval_setup();
+        assert_eq!(setups.len(), 3);
+        assert_eq!(setups[0].gpu.name, "A10");
+        assert_eq!(setups[0].max_batch, 4);
+        assert_eq!(setups[1].gpu.name, "H800");
+        assert_eq!(setups[1].max_batch, 8);
+        assert_eq!(setups[2].model.name, "flux");
+    }
+
+    #[test]
+    fn fisedit_excluded_from_big_models() {
+        let setups = eval_setup();
+        assert!(setups[0].cluster_config(SystemKind::FisEdit, 2).is_some());
+        assert!(setups[1].cluster_config(SystemKind::FisEdit, 2).is_none());
+        assert!(setups[2].cluster_config(SystemKind::FisEdit, 2).is_none());
+        assert!(setups[0].cluster_config(SystemKind::Naive, 2).is_none());
+    }
+
+    #[test]
+    fn flashps_config_uses_continuous_batching() {
+        let setups = eval_setup();
+        let cfg = setups[1].cluster_config(SystemKind::FlashPs, 8).unwrap();
+        assert_eq!(cfg.batching, BatchingPolicy::ContinuousDisaggregated);
+        assert_eq!(cfg.max_batch, 8);
+        assert_eq!(cfg.workers, 8);
+        let diff = setups[1].cluster_config(SystemKind::Diffusers, 8).unwrap();
+        assert_eq!(diff.batching, BatchingPolicy::Static);
+    }
+
+    #[test]
+    fn fisedit_batch_capped_at_two() {
+        let setups = eval_setup();
+        let cfg = setups[0].cluster_config(SystemKind::FisEdit, 1).unwrap();
+        assert!(cfg.max_batch <= 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! The systems under comparison, with their numeric and serving forms.
+
+use fps_diffusion::config::ModelConfig;
+use fps_diffusion::pipeline::Strategy;
+use fps_serving::{BatchingPolicy, EngineKind};
+
+/// TeaCache's latency/quality knob, configured per §6.1 "to minimize
+/// its inference latency while ensuring acceptable image quality": 40%
+/// of steps skipped.
+pub const TEACACHE_COMPUTE_FRACTION: f64 = 0.6;
+
+/// Step-skip drift threshold giving ≈40% skipped steps on the toy
+/// schedule (drift is normalized timestep distance, so a threshold of
+/// `k / steps` skips ≈`k-1` of every `k` steps).
+pub fn teacache_threshold(steps: usize) -> f32 {
+    // Skip roughly 2 of every 5 steps.
+    (1.8 / steps.max(1) as f32).min(0.9)
+}
+
+/// A serving system in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// HuggingFace Diffusers (the reference for quality).
+    Diffusers,
+    /// FlashPS with the Y-cache variant.
+    FlashPs,
+    /// FlashPS with the K/V-cache variant (§3.1 alternative).
+    FlashPsKv,
+    /// FISEdit sparse editing.
+    FisEdit,
+    /// TeaCache step skipping.
+    TeaCache,
+    /// Naive disregard of unmasked regions (Fig. 1-rightmost).
+    Naive,
+}
+
+impl SystemKind {
+    /// All systems compared in the paper's main experiments.
+    pub fn all() -> [SystemKind; 4] {
+        [
+            SystemKind::Diffusers,
+            SystemKind::FisEdit,
+            SystemKind::TeaCache,
+            SystemKind::FlashPs,
+        ]
+    }
+
+    /// Short label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Diffusers => "diffusers",
+            Self::FlashPs => "flashps",
+            Self::FlashPsKv => "flashps-kv",
+            Self::FisEdit => "fisedit",
+            Self::TeaCache => "teacache",
+            Self::Naive => "naive",
+        }
+    }
+
+    /// Whether the system can serve the given model at all. FISEdit's
+    /// sparse kernels only exist for SD2.1 (§2.4, §6.1) — it is
+    /// "not compatible with NVIDIA Hopper architecture GPUs" and "does
+    /// not support models like SDXL/Flux".
+    pub fn supports(&self, model: &ModelConfig) -> bool {
+        match self {
+            Self::FisEdit => model.name.starts_with("sd2"),
+            _ => true,
+        }
+    }
+
+    /// The numeric editing strategy over the toy pipeline.
+    ///
+    /// `use_cache` is Algorithm 1's per-block plan for the FlashPS
+    /// variants (pass `vec![true; blocks]` to cache everything).
+    pub fn numeric_strategy(&self, model: &ModelConfig, use_cache: Option<Vec<bool>>) -> Strategy {
+        match self {
+            Self::Diffusers => Strategy::FullRecompute,
+            Self::FlashPs => Strategy::MaskAware {
+                use_cache: use_cache.unwrap_or_else(|| vec![true; model.blocks]),
+                kv: false,
+            },
+            Self::FlashPsKv => Strategy::MaskAware {
+                use_cache: use_cache.unwrap_or_else(|| vec![true; model.blocks]),
+                kv: true,
+            },
+            Self::FisEdit => Strategy::MaskedOnly,
+            Self::TeaCache => Strategy::StepSkip {
+                threshold: teacache_threshold(model.steps),
+            },
+            Self::Naive => Strategy::NaiveDisregard,
+        }
+    }
+
+    /// The serving engine for the performance simulator; `None` for
+    /// Naive, which is not a serving system.
+    pub fn engine(&self) -> Option<EngineKind> {
+        match self {
+            Self::Diffusers => Some(EngineKind::Diffusers),
+            Self::FlashPs => Some(EngineKind::FlashPs { kv: false }),
+            Self::FlashPsKv => Some(EngineKind::FlashPs { kv: true }),
+            Self::FisEdit => Some(EngineKind::FisEdit),
+            Self::TeaCache => Some(EngineKind::TeaCache {
+                compute_fraction: TEACACHE_COMPUTE_FRACTION,
+            }),
+            Self::Naive => None,
+        }
+    }
+
+    /// The batching policy each system ships with: FlashPS uses
+    /// disaggregated continuous batching; every baseline uses static
+    /// batching (§6.1).
+    pub fn batching(&self) -> BatchingPolicy {
+        match self {
+            Self::FlashPs | Self::FlashPsKv => BatchingPolicy::ContinuousDisaggregated,
+            _ => BatchingPolicy::Static,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: Vec<&str> = [
+            SystemKind::Diffusers,
+            SystemKind::FlashPs,
+            SystemKind::FlashPsKv,
+            SystemKind::FisEdit,
+            SystemKind::TeaCache,
+            SystemKind::Naive,
+        ]
+        .iter()
+        .map(|s| s.label())
+        .collect();
+        let set: std::collections::HashSet<&&str> = labels.iter().collect();
+        assert_eq!(set.len(), labels.len());
+    }
+
+    #[test]
+    fn fisedit_model_constraint() {
+        assert!(SystemKind::FisEdit.supports(&ModelConfig::sd21_like()));
+        assert!(SystemKind::FisEdit.supports(&ModelConfig::paper_sd21()));
+        assert!(!SystemKind::FisEdit.supports(&ModelConfig::sdxl_like()));
+        assert!(!SystemKind::FisEdit.supports(&ModelConfig::paper_flux()));
+        assert!(SystemKind::FlashPs.supports(&ModelConfig::paper_flux()));
+    }
+
+    #[test]
+    fn numeric_strategies_map_correctly() {
+        let cfg = ModelConfig::tiny();
+        assert_eq!(
+            SystemKind::Diffusers.numeric_strategy(&cfg, None),
+            Strategy::FullRecompute
+        );
+        match SystemKind::FlashPs.numeric_strategy(&cfg, None) {
+            Strategy::MaskAware { use_cache, kv } => {
+                assert_eq!(use_cache.len(), cfg.blocks);
+                assert!(!kv);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match SystemKind::FlashPsKv.numeric_strategy(&cfg, Some(vec![true, false])) {
+            Strategy::MaskAware { use_cache, kv } => {
+                assert_eq!(use_cache, vec![true, false]);
+                assert!(kv);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            SystemKind::TeaCache.numeric_strategy(&cfg, None),
+            Strategy::StepSkip { .. }
+        ));
+    }
+
+    #[test]
+    fn engines_and_batching() {
+        assert!(SystemKind::Naive.engine().is_none());
+        assert_eq!(
+            SystemKind::FlashPs.batching(),
+            BatchingPolicy::ContinuousDisaggregated
+        );
+        assert_eq!(SystemKind::Diffusers.batching(), BatchingPolicy::Static);
+        assert_eq!(SystemKind::TeaCache.batching(), BatchingPolicy::Static);
+        assert!(matches!(
+            SystemKind::TeaCache.engine(),
+            Some(EngineKind::TeaCache { .. })
+        ));
+    }
+
+    #[test]
+    fn teacache_threshold_scales_with_steps() {
+        // More steps → smaller per-step drift → smaller threshold.
+        assert!(teacache_threshold(50) < teacache_threshold(8));
+        assert!(teacache_threshold(0) <= 0.9);
+        // On the tiny 4-step schedule the threshold must allow at least
+        // one skip (per-step drift is 0.25).
+        assert!(teacache_threshold(4) > 0.25);
+    }
+}

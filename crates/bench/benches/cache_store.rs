@@ -1,0 +1,56 @@
+//! Criterion bench: hierarchical activation store operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fps_maskcache::store::{HierarchicalStore, StoreConfig};
+use fps_simtime::SimTime;
+
+fn store_with(templates: u64, host_fits: u64) -> HierarchicalStore {
+    let per = 1u64 << 30;
+    let mut s = HierarchicalStore::new(StoreConfig {
+        host_capacity: host_fits * per,
+        disk_capacity: u64::MAX,
+        disk_read_bw: 2.0 * (1u64 << 30) as f64,
+    });
+    for id in 0..templates {
+        s.insert(id, per, SimTime::ZERO, None).expect("insert");
+    }
+    s
+}
+
+fn host_hit_fetch(c: &mut Criterion) {
+    c.bench_function("store_fetch_host_hit", |b| {
+        let mut s = store_with(8, 16);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 8;
+            s.fetch(i, SimTime::from_nanos(i)).expect("fetch")
+        })
+    });
+}
+
+fn eviction_pressure(c: &mut Criterion) {
+    c.bench_function("store_insert_with_eviction", |b| {
+        let mut s = store_with(4, 4);
+        let mut id = 100u64;
+        b.iter(|| {
+            id += 1;
+            s.insert(id, 1 << 30, SimTime::from_nanos(id), None)
+                .expect("insert")
+        })
+    });
+}
+
+fn disk_promote(c: &mut Criterion) {
+    c.bench_function("store_fetch_disk_promote", |b| {
+        // Host fits 1; every alternating fetch demotes/promotes.
+        let mut s = store_with(2, 1);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            s.fetch(i % 2, SimTime::from_nanos(i)).expect("fetch")
+        })
+    });
+}
+
+criterion_group!(benches, host_hit_fetch, eviction_pressure, disk_promote);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench: one numeric denoising step under each serving
+//! strategy (the real-computation counterpart of Fig. 15).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fps_diffusion::{EditPipeline, Image, ModelConfig, Strategy};
+
+fn strategies(blocks: usize) -> Vec<(&'static str, Strategy)> {
+    vec![
+        ("diffusers", Strategy::FullRecompute),
+        (
+            "flashps",
+            Strategy::MaskAware {
+                use_cache: vec![true; blocks],
+                kv: false,
+            },
+        ),
+        ("fisedit", Strategy::MaskedOnly),
+    ]
+}
+
+fn denoise_step(c: &mut Criterion) {
+    let cfg = ModelConfig::sdxl_like();
+    let pipe = EditPipeline::new(&cfg).expect("pipeline");
+    let template = Image::template(cfg.pixel_h(), cfg.pixel_w(), 3);
+    let cache = pipe.prime(&template, 1, false).expect("prime");
+    // A 25% rectangular mask on the latent grid.
+    let masked: Vec<usize> = (0..cfg.tokens())
+        .filter(|i| {
+            let y = i / cfg.latent_w;
+            let x = i % cfg.latent_w;
+            y < cfg.latent_h / 2 && x < cfg.latent_w / 2
+        })
+        .collect();
+    let mut group = c.benchmark_group("denoise_step");
+    group.sample_size(20);
+    for (name, strategy) in strategies(cfg.blocks) {
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter_batched(
+                || {
+                    pipe.begin(&template, 1, &masked, "bench", 1, strategy.clone())
+                        .expect("begin")
+                },
+                |mut session| pipe.step(&mut session, Some(&cache)).expect("step"),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, denoise_step);
+criterion_main!(benches);

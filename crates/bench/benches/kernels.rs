@@ -1,0 +1,54 @@
+//! Criterion bench: masked transformer kernels vs mask ratio
+//! (Fig. 15-left at benchmark rigor).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fps_tensor::ops::{gelu, matmul, matmul_bt, softmax_rows};
+use fps_tensor::rng::DetRng;
+use fps_tensor::Tensor;
+
+const L: usize = 256;
+const H: usize = 128;
+
+fn masked_attention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("masked_attention");
+    let mut rng = DetRng::new(1);
+    let w = Tensor::xavier(H, H, &mut rng);
+    for ratio in [0.1f64, 0.25, 0.5, 1.0] {
+        let ml = ((ratio * L as f64) as usize).max(1);
+        let x = Tensor::randn([ml, H], &mut rng);
+        let x_full = Tensor::randn([L, H], &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(ratio), &ratio, |b, _| {
+            b.iter(|| {
+                // Y-variant shape: masked Q over full-length K/V.
+                let q = matmul(&x, &w).expect("q");
+                let k = matmul(&x_full, &w).expect("k");
+                let v = matmul(&x_full, &w).expect("v");
+                let probs = softmax_rows(&matmul_bt(&q, &k).expect("scores")).expect("sm");
+                matmul(&probs, &v).expect("ctx")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn masked_ffn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("masked_ffn");
+    let mut rng = DetRng::new(2);
+    let w1 = Tensor::xavier(H, 4 * H, &mut rng);
+    let w2 = Tensor::xavier(4 * H, H, &mut rng);
+    for ratio in [0.1f64, 0.25, 0.5, 1.0] {
+        let ml = ((ratio * L as f64) as usize).max(1);
+        let x = Tensor::randn([ml, H], &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(ratio), &ratio, |b, _| {
+            b.iter(|| matmul(&gelu(&matmul(&x, &w1).expect("ff1")), &w2).expect("ff2"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = masked_attention, masked_ffn
+}
+criterion_main!(benches);

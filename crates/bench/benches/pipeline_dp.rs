@@ -1,0 +1,40 @@
+//! Criterion bench: Algorithm 1's pipeline DP at realistic block
+//! counts (the §6.6 "negligible overhead" claim, O(N) per the paper;
+//! our exact uniform DP is O(N²), still microseconds at N ≤ 57).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fps_maskcache::pipeline::{plan_general, plan_uniform};
+use fps_maskcache::BlockCosts;
+use fps_simtime::SimDuration;
+
+fn costs(i: u64) -> BlockCosts {
+    BlockCosts {
+        compute_cached: SimDuration::from_micros(800 + (i % 5) * 60),
+        compute_full: SimDuration::from_micros(4200 + (i % 3) * 150),
+        load: SimDuration::from_micros(900 + (i % 7) * 80),
+    }
+}
+
+fn uniform_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_uniform");
+    for n in [16usize, 24, 57] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| plan_uniform(n, costs(0)))
+        });
+    }
+    group.finish();
+}
+
+fn general_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_general");
+    for n in [16usize, 24, 57] {
+        let v: Vec<BlockCosts> = (0..n as u64).map(costs).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| plan_general(&v))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, uniform_dp, general_dp);
+criterion_main!(benches);

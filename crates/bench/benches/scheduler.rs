@@ -1,0 +1,52 @@
+//! Criterion bench: Algorithm 2 scheduling decisions (the §6.6 claim
+//! of 0.6 ms per decision — ours is far cheaper since the regression
+//! models are closed-form).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flashps::MaskAwareRouter;
+use fps_baselines::eval_setup;
+use fps_serving::router::{Router, WorkerView};
+use fps_serving::worker::OutstandingReq;
+use fps_simtime::SimTime;
+use fps_workload::trace::{MaskShapeSpec, RequestSpec};
+
+fn views(workers: usize, outstanding: usize, tokens: usize) -> Vec<WorkerView> {
+    (0..workers)
+        .map(|id| WorkerView {
+            id,
+            outstanding: (0..outstanding)
+                .map(|k| OutstandingReq {
+                    mask_ratio: 0.05 + 0.04 * (k as f64),
+                    steps_left: 10 + 3 * k,
+                })
+                .collect(),
+            max_batch: 8,
+            model_tokens: tokens,
+        })
+        .collect()
+}
+
+fn route_decision(c: &mut Criterion) {
+    let setup = &eval_setup()[2];
+    let cost = setup.cost_model();
+    let req = RequestSpec {
+        id: 0,
+        arrival_ns: 0,
+        template_id: 0,
+        mask_ratio: 0.15,
+        mask_shape: MaskShapeSpec::Blob,
+        seed: 0,
+    };
+    let mut group = c.benchmark_group("mask_aware_route");
+    for workers in [4usize, 8, 32] {
+        let ws = views(workers, 4, cost.model.tokens());
+        let mut router = MaskAwareRouter::new(cost.clone()).expect("router");
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, _| {
+            b.iter(|| router.route(&req, &ws, SimTime::ZERO))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, route_decision);
+criterion_main!(benches);

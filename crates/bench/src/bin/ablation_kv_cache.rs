@@ -1,0 +1,110 @@
+//! §3.1 ablation — caching Y vs caching K/V (Fig. 7).
+//!
+//! The paper: at mask ratio 20%, the K/V variant cuts SDXL latency by
+//! ~10% (2.27 s → 2.06 s) but doubles the cache bytes. This binary
+//! reports both sides on the cost model and verifies numeric
+//! equivalence of the two variants' outputs on the toy substrate
+//! (they share the same attention context; only *where* K/V come from
+//! differs).
+
+use fps_baselines::eval_setup;
+use fps_bench::{mask_for, save_artifact, system_for};
+use fps_diffusion::{ModelConfig, Strategy};
+use fps_metrics::Table;
+use fps_quality::ssim;
+use fps_serving::cost::BatchItem;
+use fps_workload::MaskShape;
+
+fn main() {
+    let mut out = String::from("§3.1 ablation: Y-cache vs K/V-cache\n\n");
+
+    // Latency and bytes on the cost model.
+    let mut table = Table::new(&[
+        "model",
+        "mask",
+        "y-lat(s)",
+        "kv-lat(s)",
+        "kv-saving",
+        "y-cache(GiB)",
+        "kv-cache(GiB)",
+    ]);
+    for setup in eval_setup() {
+        let cm = setup.cost_model();
+        for m in [0.1, 0.2, 0.35] {
+            let batch = [BatchItem { mask_ratio: m }];
+            let steps = cm.model.steps as f64;
+            let (y_lat, _) = cm.step_latency_mask_aware(&batch, false);
+            let (kv_lat, _) = cm.step_latency_mask_aware(&batch, true);
+            let y_s = y_lat.as_secs_f64() * steps;
+            let kv_s = kv_lat.as_secs_f64() * steps;
+            let y_gib = cm.model.cache_bytes_total(m) as f64 / (1u64 << 30) as f64;
+            table.row(&[
+                cm.model.name.clone(),
+                format!("{m:.2}"),
+                format!("{y_s:.2}"),
+                format!("{kv_s:.2}"),
+                format!("{:.1}%", (1.0 - kv_s / y_s) * 100.0),
+                format!("{y_gib:.2}"),
+                format!("{:.2}", 2.0 * y_gib),
+            ]);
+        }
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\nPaper: at m = 0.2 the K/V variant is ~10% faster (2.27s → 2.06s on SDXL)\n\
+         at 2× the cached bytes — a marginal advantage, which is why FlashPS\n\
+         defaults to caching Y.\n\n",
+    );
+
+    // Numeric check: on a pure DiT model (no conv scaffold) the two
+    // variants produce identical outputs — the Y variant recomputes
+    // exactly the K/V the KV variant caches. (UNet models' conv
+    // scaffold mixes spatially, so cached K/V near the mask boundary
+    // are slightly stale there and the variants agree only to
+    // SSIM ≈ 0.99.)
+    let cfg = ModelConfig::flux_like();
+    let mut system = system_for(cfg.clone(), 1);
+    system.register_template(0, &fps_diffusion::Image::template(cfg.pixel_h(), cfg.pixel_w(), 5))
+        .expect("register");
+    let mask = mask_for(&cfg, 0.2, MaskShape::Rect, 7);
+    let plan = vec![true; cfg.blocks];
+    let y_out = system
+        .edit_with_strategy(
+            0,
+            &mask,
+            "p",
+            3,
+            &Strategy::MaskAware {
+                use_cache: plan.clone(),
+                kv: false,
+            },
+        )
+        .expect("y edit");
+    // The KV variant needs K/V captured at priming.
+    let mut kv_config = flashps::FlashPsConfig::new(cfg.clone());
+    kv_config.capture_kv = true;
+    let mut kv_system = flashps::FlashPs::new(kv_config).expect("system");
+    kv_system
+        .register_template(0, &fps_diffusion::Image::template(cfg.pixel_h(), cfg.pixel_w(), 5))
+        .expect("register");
+    let kv_out = kv_system
+        .edit_with_strategy(
+            0,
+            &mask,
+            "p",
+            3,
+            &Strategy::MaskAware {
+                use_cache: plan,
+                kv: true,
+            },
+        )
+        .expect("kv edit");
+    let s = ssim(&y_out.image, &kv_out.image).expect("ssim");
+    out.push_str(&format!(
+        "numeric check: SSIM(Y-variant, KV-variant) = {s:.6} — the variants are\n\
+         computationally equivalent; they differ only in load bytes vs recompute.\n",
+    ));
+    assert!(s > 0.999, "variants must agree numerically, got {s}");
+    println!("{out}");
+    save_artifact("ablation_kv_cache.txt", &out);
+}

@@ -1,0 +1,99 @@
+//! Fig. 14 — serving-engine throughput vs batch size.
+//!
+//! For SDXL and Flux on H800 (SD2.1/A10 is omitted in the paper
+//! because FISEdit OOMs beyond batch 2), computes each engine's
+//! steady-state throughput at batch sizes 1–8 from the step cost
+//! model: `throughput = B / (steps × step_latency(B))`.
+//!
+//! Reproduces: FlashPS below TeaCache at B = 1 (SM underutilization),
+//! overtaking from B ≥ 2, reaching ~3× at large batch with sustained
+//! growth while the baselines plateau.
+
+use fps_baselines::{eval_setup, SystemKind};
+use fps_bench::save_artifact;
+use fps_metrics::{line_plot, Series, Table};
+use fps_serving::cost::BatchItem;
+use fps_workload::RatioDistribution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut out = String::from("Fig. 14 reproduction: engine throughput vs batch size\n\n");
+    for setup in eval_setup().into_iter().skip(1) {
+        let cm = setup.cost_model();
+        let mut table = Table::new(&[
+            "batch",
+            "diffusers(img/min)",
+            "teacache(img/min)",
+            "flashps(img/min)",
+            "flashps/teacache",
+        ]);
+        let mut crossover_seen = false;
+        let mut b1_ratio = 0.0;
+        let mut b8_ratio = 0.0;
+        let mut curves: Vec<(String, Vec<(f64, f64)>)> = ["diffusers", "teacache", "flashps"]
+            .iter()
+            .map(|n| (n.to_string(), Vec::new()))
+            .collect();
+        for b in 1..=8usize {
+            // Production mask ratios for the batch.
+            let mut rng = StdRng::seed_from_u64(14);
+            let batch: Vec<BatchItem> = (0..b)
+                .map(|_| BatchItem {
+                    mask_ratio: RatioDistribution::ProductionTrace.sample(&mut rng),
+                })
+                .collect();
+            let tput = |engine: fps_serving::EngineKind| -> f64 {
+                let lat = engine.step_latency(&cm, &batch).as_secs_f64();
+                b as f64 / (cm.model.steps as f64 * lat) * 60.0
+            };
+            let diff = tput(SystemKind::Diffusers.engine().expect("engine"));
+            let tea = tput(SystemKind::TeaCache.engine().expect("engine"));
+            let flash = tput(SystemKind::FlashPs.engine().expect("engine"));
+            curves[0].1.push((b as f64, diff));
+            curves[1].1.push((b as f64, tea));
+            curves[2].1.push((b as f64, flash));
+            let ratio = flash / tea;
+            if b == 1 {
+                b1_ratio = ratio;
+            }
+            if b == 8 {
+                b8_ratio = flash / diff;
+            }
+            if ratio > 1.0 {
+                crossover_seen = true;
+            }
+            table.row(&[
+                format!("{b}"),
+                format!("{diff:.1}"),
+                format!("{tea:.1}"),
+                format!("{flash:.1}"),
+                format!("{ratio:.2}x"),
+            ]);
+        }
+        out.push_str(&format!(
+            "== {} on {} ==\n{}",
+            cm.model.name,
+            cm.gpu.name,
+            table.render()
+        ));
+        out.push_str(&format!(
+            "B=1: flashps/teacache = {b1_ratio:.2}x (paper: < 1 without batching); \
+             B=8: flashps/diffusers = {b8_ratio:.2}x (paper: up to 3x).\n",
+        ));
+        assert!(crossover_seen, "flashps must overtake teacache with batching");
+        let series: Vec<Series> = curves
+            .into_iter()
+            .map(|(n, pts)| Series::new(n, pts))
+            .collect();
+        out.push_str(&line_plot(
+            "throughput (img/min) vs batch size",
+            &series,
+            56,
+            12,
+        ));
+        out.push('\n');
+    }
+    println!("{out}");
+    save_artifact("fig14_throughput.txt", &out);
+}

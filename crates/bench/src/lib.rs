@@ -1,0 +1,87 @@
+//! Shared helpers for the FlashPS benchmark harness.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+//! measured results). This library hosts the setup code they share.
+
+use std::path::PathBuf;
+
+use flashps::{FlashPs, FlashPsConfig};
+use fps_diffusion::{Image, ModelConfig};
+use fps_workload::{Mask, MaskShape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The directory experiment binaries write artifacts into.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("FLASHPS_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    let path = PathBuf::from(dir);
+    let _ = std::fs::create_dir_all(&path);
+    path
+}
+
+/// Writes a text artifact into the results directory and echoes its
+/// path.
+pub fn save_artifact(name: &str, contents: &str) {
+    let path = results_dir().join(name);
+    match std::fs::write(&path, contents) {
+        Ok(()) => println!("[saved {}]", path.display()),
+        Err(e) => eprintln!("[failed to save {}: {e}]", path.display()),
+    }
+}
+
+/// Writes a binary artifact (e.g. a PPM image) into the results
+/// directory.
+pub fn save_binary_artifact(name: &str, contents: &[u8]) {
+    let path = results_dir().join(name);
+    match std::fs::write(&path, contents) {
+        Ok(()) => println!("[saved {}]", path.display()),
+        Err(e) => eprintln!("[failed to save {}: {e}]", path.display()),
+    }
+}
+
+/// A FlashPS system over the tiny test model with `templates`
+/// registered templates — the standard numeric fixture.
+pub fn tiny_system(templates: u64) -> FlashPs {
+    system_for(ModelConfig::tiny(), templates)
+}
+
+/// A FlashPS system over any runnable model config.
+pub fn system_for(cfg: ModelConfig, templates: u64) -> FlashPs {
+    let mut sys = FlashPs::new(FlashPsConfig::new(cfg.clone())).expect("valid config");
+    for id in 0..templates {
+        let img = Image::template(cfg.pixel_h(), cfg.pixel_w(), id.wrapping_mul(97) + 5);
+        sys.register_template(id, &img).expect("priming succeeds");
+    }
+    sys
+}
+
+/// A deterministic pixel mask at a target ratio for a model's canvas.
+pub fn mask_for(cfg: &ModelConfig, ratio: f64, shape: MaskShape, seed: u64) -> Mask {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Mask::generate(cfg.pixel_h(), cfg.pixel_w(), shape, ratio, &mut rng)
+}
+
+/// The runnable toy configs of the paper's three models.
+pub fn toy_models() -> [ModelConfig; 3] {
+    [
+        ModelConfig::sd21_like(),
+        ModelConfig::sdxl_like(),
+        ModelConfig::flux_like(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let sys = tiny_system(2);
+        assert_eq!(sys.template_count(), 2);
+        let cfg = ModelConfig::tiny();
+        let m = mask_for(&cfg, 0.25, MaskShape::Rect, 1);
+        assert!(m.ratio() > 0.05);
+        assert_eq!(toy_models().len(), 3);
+    }
+}

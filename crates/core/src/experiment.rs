@@ -1,0 +1,283 @@
+//! Experiment harness: one-call serving runs for the bench binaries.
+
+use serde::Serialize;
+
+use fps_baselines::{EvalSetup, SystemKind};
+use fps_serving::cost::CostModel;
+use fps_serving::router::{LeastLoadedRouter, RoundRobinRouter, Router, TokenCountRouter};
+use fps_serving::{ClusterSim, RunReport};
+use fps_workload::trace::ArrivalProcess;
+use fps_workload::{RatioDistribution, Trace, TraceConfig};
+
+use crate::scheduler::MaskAwareRouter;
+use crate::{FlashPsError, Result};
+
+/// Which routing policy a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterKind {
+    /// Round-robin placement.
+    RoundRobin,
+    /// Request-count balancing (baseline of §6.5).
+    RequestCount,
+    /// Masked-token-count balancing (baseline of §6.5).
+    TokenCount,
+    /// Algorithm 2 (FlashPS).
+    MaskAware,
+}
+
+impl RouterKind {
+    /// Instantiates the router; the mask-aware policy fits its
+    /// regression models against `cost`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiler fitting failures for the mask-aware policy.
+    pub fn build(self, cost: &CostModel) -> Result<Box<dyn Router>> {
+        Ok(match self {
+            Self::RoundRobin => Box::new(RoundRobinRouter::default()),
+            Self::RequestCount => Box::new(LeastLoadedRouter),
+            Self::TokenCount => Box::new(TokenCountRouter),
+            Self::MaskAware => Box::new(MaskAwareRouter::new(cost.clone())?),
+        })
+    }
+
+    /// Policy label for experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::RoundRobin => "round-robin",
+            Self::RequestCount => "request-count",
+            Self::TokenCount => "token-count",
+            Self::MaskAware => "mask-aware",
+        }
+    }
+}
+
+/// Parameters of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServingRun {
+    /// System under test.
+    pub system: SystemKind,
+    /// Routing policy.
+    pub router: RouterKind,
+    /// Worker replicas.
+    pub workers: usize,
+    /// Mean request rate (requests/second).
+    pub rps: f64,
+    /// Arrival process (Poisson by default; bursty for the load-
+    /// balancing experiments, per §4.4's bursty-traffic observation).
+    pub arrivals: ArrivalProcess,
+    /// Trace duration in virtual seconds.
+    pub duration_secs: f64,
+    /// Mask-ratio distribution.
+    pub ratio_dist: RatioDistribution,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+impl Default for ServingRun {
+    fn default() -> Self {
+        Self {
+            system: SystemKind::FlashPs,
+            router: RouterKind::MaskAware,
+            workers: 8,
+            rps: 1.0,
+            arrivals: ArrivalProcess::Poisson,
+            duration_secs: 300.0,
+            ratio_dist: RatioDistribution::ProductionTrace,
+            seed: 0xE2E,
+        }
+    }
+}
+
+/// One measured point of a serving sweep (a row of Fig. 12 / 16).
+#[derive(Debug, Clone, Serialize)]
+pub struct ServingPoint {
+    /// System label.
+    pub system: String,
+    /// Model label.
+    pub model: String,
+    /// Router label.
+    pub router: String,
+    /// Offered load (requests/second).
+    pub rps: f64,
+    /// Requests served.
+    pub served: usize,
+    /// Mean end-to-end latency (s).
+    pub mean_latency: f64,
+    /// P95 end-to-end latency (s).
+    pub p95_latency: f64,
+    /// Mean queueing time (s).
+    pub mean_queueing: f64,
+    /// Achieved throughput (requests/second).
+    pub throughput: f64,
+}
+
+/// Runs one serving experiment on an evaluation setup.
+///
+/// Returns `None` when the system cannot serve the setup's model
+/// (FISEdit beyond SD2.1).
+///
+/// # Errors
+///
+/// Propagates simulator and router-construction failures.
+pub fn run_serving(setup: &EvalSetup, run: &ServingRun) -> Result<Option<ServingPoint>> {
+    let Some(config) = setup.cluster_config(run.system, run.workers) else {
+        return Ok(None);
+    };
+    let trace = Trace::generate(&TraceConfig {
+        rps: run.rps,
+        arrivals: run.arrivals,
+        duration_secs: run.duration_secs,
+        ratio_dist: run.ratio_dist,
+        num_templates: 16,
+        zipf_s: 1.0,
+        seed: run.seed,
+    });
+    let mut router = run.router.build(&config.cost)?;
+    let report = ClusterSim::run(config, &trace, router.as_mut())?;
+    Ok(Some(point_from_report(
+        run.system.label(),
+        &setup.model.name,
+        run.router.label(),
+        run.rps,
+        &report,
+    )))
+}
+
+/// Converts a raw report into a serving point.
+pub fn point_from_report(
+    system: &str,
+    model: &str,
+    router: &str,
+    rps: f64,
+    report: &RunReport,
+) -> ServingPoint {
+    ServingPoint {
+        system: system.to_string(),
+        model: model.to_string(),
+        router: router.to_string(),
+        rps,
+        served: report.outcomes.len(),
+        mean_latency: report.mean_latency(),
+        p95_latency: report.p95_latency(),
+        mean_queueing: report.mean_queueing(),
+        throughput: report.throughput_rps,
+    }
+}
+
+/// Serializes a slice of points to pretty JSON (experiment binaries
+/// dump these next to their text tables).
+pub fn to_json<T: Serialize>(points: &[T]) -> String {
+    serde_json::to_string_pretty(points).unwrap_or_else(|_| "[]".into())
+}
+
+/// Convenience: the full Fig. 12 grid for one setup — every supported
+/// system at each RPS.
+///
+/// # Errors
+///
+/// Propagates per-run failures.
+pub fn fig12_grid(
+    setup: &EvalSetup,
+    rps_values: &[f64],
+    workers: usize,
+    duration_secs: f64,
+) -> Result<Vec<ServingPoint>> {
+    let mut points = Vec::new();
+    for &rps in rps_values {
+        for system in SystemKind::all() {
+            let run = ServingRun {
+                system,
+                // Baselines ship with request-level balancing (§6.1);
+                // FlashPS uses Algorithm 2.
+                router: if system == SystemKind::FlashPs {
+                    RouterKind::MaskAware
+                } else {
+                    RouterKind::RequestCount
+                },
+                workers,
+                rps,
+                duration_secs,
+                ratio_dist: RatioDistribution::ProductionTrace,
+                arrivals: ArrivalProcess::Poisson,
+                seed: 0xF1612,
+            };
+            if let Some(p) = run_serving(setup, &run)? {
+                points.push(p);
+            }
+        }
+    }
+    if points.is_empty() {
+        return Err(FlashPsError::Serving(
+            fps_serving::ServingError::InvalidConfig {
+                reason: "no system supported the setup".into(),
+            },
+        ));
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fps_baselines::eval_setup;
+
+    #[test]
+    fn run_serving_produces_sane_points() {
+        let setups = eval_setup();
+        let run = ServingRun {
+            duration_secs: 60.0,
+            workers: 2,
+            rps: 0.5,
+            ..Default::default()
+        };
+        let p = run_serving(&setups[1], &run).unwrap().unwrap();
+        assert_eq!(p.system, "flashps");
+        assert_eq!(p.model, "sdxl");
+        assert!(p.served > 10);
+        assert!(p.mean_latency > 0.0);
+        assert!(p.p95_latency >= p.mean_latency);
+    }
+
+    #[test]
+    fn unsupported_combo_returns_none() {
+        let setups = eval_setup();
+        let run = ServingRun {
+            system: SystemKind::FisEdit,
+            duration_secs: 10.0,
+            workers: 1,
+            ..Default::default()
+        };
+        assert!(run_serving(&setups[2], &run).unwrap().is_none());
+    }
+
+    #[test]
+    fn router_kinds_build() {
+        let setups = eval_setup();
+        let cost = setups[0].cost_model();
+        for kind in [
+            RouterKind::RoundRobin,
+            RouterKind::RequestCount,
+            RouterKind::TokenCount,
+            RouterKind::MaskAware,
+        ] {
+            let r = kind.build(&cost).unwrap();
+            assert_eq!(r.name(), kind.label());
+        }
+    }
+
+    #[test]
+    fn fig12_grid_covers_systems() {
+        let setups = eval_setup();
+        // SD2.1 setup includes FISEdit; use a short trace.
+        let points = fig12_grid(&setups[0], &[0.5], 2, 40.0).unwrap();
+        let systems: std::collections::HashSet<String> =
+            points.iter().map(|p| p.system.clone()).collect();
+        assert!(systems.contains("flashps"));
+        assert!(systems.contains("diffusers"));
+        assert!(systems.contains("fisedit"));
+        assert!(systems.contains("teacache"));
+        let json = to_json(&points);
+        assert!(json.contains("mean_latency"));
+    }
+}

@@ -1,0 +1,104 @@
+//! # FlashPS
+//!
+//! A reproduction of *FlashPS: Efficient Generative Image Editing with
+//! Mask-aware Caching and Scheduling* (EuroSys '26) as a Rust library.
+//!
+//! FlashPS serves mask-guided image-editing requests efficiently by:
+//!
+//! 1. **Mask-aware caching** (§3): reusing cached transformer
+//!    activations of *unmasked* tokens across requests that edit the
+//!    same template, so only masked tokens are computed;
+//! 2. **Bubble-free pipelined cache loading** (§4.2, Algorithm 1): a
+//!    dynamic program chooses which transformer blocks consume cached
+//!    activations so host→HBM loads hide behind computation;
+//! 3. **Continuous batching with CPU/GPU disaggregation** (§4.3):
+//!    requests join/leave the running batch at denoising-step
+//!    boundaries, with pre/post-processing on separate processes;
+//! 4. **Mask-aware load balancing** (§4.4, Algorithm 2): regression
+//!    latency models route requests to the least-loaded worker.
+//!
+//! The crate exposes three layers:
+//!
+//! - [`FlashPs`] — the numeric editing system over the toy-scale
+//!   diffusion substrate: register templates (priming their activation
+//!   caches), then edit with any [`fps_diffusion::Strategy`].
+//! - [`server::ThreadedServer`] — a real multi-threaded serving front
+//!   end with step-level continuous batching over [`FlashPs`].
+//! - [`scheduler::MaskAwareRouter`] + [`experiment`] — the cluster
+//!   scheduler and the simulation harness reproducing the paper's
+//!   serving experiments.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use flashps::{FlashPs, FlashPsConfig};
+//! use fps_diffusion::{Image, ModelConfig};
+//! use fps_workload::{Mask, MaskShape};
+//!
+//! let cfg = ModelConfig::tiny();
+//! let mut system = FlashPs::new(FlashPsConfig::new(cfg.clone())).unwrap();
+//! let template = Image::template(cfg.pixel_h(), cfg.pixel_w(), 42);
+//! system.register_template(7, &template).unwrap();
+//!
+//! let mut rng = rand::rngs::mock::StepRng::new(1, 1);
+//! let mask = Mask::generate(cfg.pixel_h(), cfg.pixel_w(), MaskShape::Rect, 0.25, &mut rng);
+//! let result = system.edit(7, &mask, "add a red scarf", 1).unwrap();
+//! assert!(result.output.image.data().iter().all(|v| v.is_finite()));
+//! assert!(result.speedup_vs_full > 1.0);
+//! ```
+
+pub mod experiment;
+pub mod scheduler;
+pub mod server;
+pub mod system;
+
+pub use experiment::{run_serving, ServingPoint};
+pub use scheduler::MaskAwareRouter;
+pub use server::ThreadedServer;
+pub use system::{EditResult, FlashPs, FlashPsConfig};
+
+/// Errors surfaced by the FlashPS system.
+#[derive(Debug)]
+pub enum FlashPsError {
+    /// Underlying numeric pipeline error.
+    Diffusion(fps_diffusion::DiffusionError),
+    /// Underlying serving simulator error.
+    Serving(fps_serving::ServingError),
+    /// Template was never registered.
+    UnknownTemplate {
+        /// The missing template id.
+        template_id: u64,
+    },
+    /// The server is shutting down or a worker died.
+    ServerClosed,
+}
+
+impl core::fmt::Display for FlashPsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Diffusion(e) => write!(f, "diffusion error: {e}"),
+            Self::Serving(e) => write!(f, "serving error: {e}"),
+            Self::UnknownTemplate { template_id } => {
+                write!(f, "template {template_id} was never registered")
+            }
+            Self::ServerClosed => write!(f, "server closed"),
+        }
+    }
+}
+
+impl std::error::Error for FlashPsError {}
+
+impl From<fps_diffusion::DiffusionError> for FlashPsError {
+    fn from(e: fps_diffusion::DiffusionError) -> Self {
+        Self::Diffusion(e)
+    }
+}
+
+impl From<fps_serving::ServingError> for FlashPsError {
+    fn from(e: fps_serving::ServingError) -> Self {
+        Self::Serving(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = core::result::Result<T, FlashPsError>;

@@ -1,0 +1,561 @@
+//! The FlashPS numeric editing system: the public API a downstream
+//! user drives.
+//!
+//! [`FlashPs`] owns a toy-scale diffusion pipeline, a template
+//! registry whose activation caches are primed on registration (§2.2
+//! "reusability of the templates"), and a planner that runs
+//! Algorithm 1 against a calibrated cost model to decide which blocks
+//! consume cached activations for each request's mask ratio.
+
+use std::collections::HashMap;
+
+use fps_diffusion::{EditOutput, EditPipeline, Image, ModelConfig, Strategy, TemplateCache};
+use fps_serving::cost::{BatchItem, CostModel, GpuSpec};
+use fps_workload::Mask;
+
+use crate::{FlashPsError, Result};
+
+/// Configuration of a [`FlashPs`] instance.
+#[derive(Debug, Clone)]
+pub struct FlashPsConfig {
+    /// The (runnable, toy-scale) model to serve.
+    pub model: ModelConfig,
+    /// Cost model driving Algorithm 1's per-request block plans. The
+    /// planner maps the toy model's mask ratios onto this analytic
+    /// model, defaulting to the paper-scale config matching the toy
+    /// preset's architecture on an H800.
+    pub planner: CostModel,
+    /// Capture K/V activations at priming (enables the Fig. 7
+    /// variant at 2× cache size).
+    pub capture_kv: bool,
+    /// Host-memory budget for primed template caches, in bytes
+    /// (`u64::MAX` = unbounded). When a registration would exceed the
+    /// budget, least-recently-used templates are evicted (§4.2's LRU
+    /// policy at the API level; re-registering re-primes).
+    pub cache_budget_bytes: u64,
+}
+
+impl FlashPsConfig {
+    /// Default configuration for a toy model: paper-scale planner of
+    /// the matching architecture on an H800.
+    pub fn new(model: ModelConfig) -> Self {
+        let analytic = match model.name.as_str() {
+            n if n.starts_with("sd21") => ModelConfig::paper_sd21(),
+            n if n.starts_with("sdxl") => ModelConfig::paper_sdxl(),
+            n if n.starts_with("flux") => ModelConfig::paper_flux(),
+            _ => {
+                // Unknown toy config: scale the analytic model from its
+                // own block count so plans have the right length.
+                let mut m = ModelConfig::paper_sdxl();
+                m.blocks = model.blocks;
+                m
+            }
+        };
+        let mut planner_model = analytic;
+        // The plan length must match the runnable model's block count.
+        planner_model.blocks = model.blocks;
+        Self {
+            planner: CostModel::new(GpuSpec::h800(), planner_model),
+            model,
+            capture_kv: false,
+            cache_budget_bytes: u64::MAX,
+        }
+    }
+}
+
+/// The outcome of one edit through the system.
+#[derive(Debug, Clone)]
+pub struct EditResult {
+    /// The numeric pipeline output (image, FLOPs, step counts).
+    pub output: EditOutput,
+    /// Algorithm 1's per-block cache decisions used for this request.
+    pub use_cache: Vec<bool>,
+    /// Analytic FLOP speedup vs full recomputation.
+    pub speedup_vs_full: f64,
+    /// The request's token-level mask ratio.
+    pub mask_ratio: f64,
+}
+
+/// Bytes of a template cache, counting K/V when captured.
+fn cache_bytes(c: &TemplateCache) -> u64 {
+    c.bytes_y() + c.bytes_kv()
+}
+
+/// The FlashPS editing system.
+#[derive(Debug)]
+pub struct FlashPs {
+    config: FlashPsConfig,
+    pipeline: EditPipeline,
+    templates: HashMap<u64, TemplateCache>,
+    images: HashMap<u64, Image>,
+    /// LRU clock: template id → last-touch stamp.
+    last_used: HashMap<u64, u64>,
+    clock: u64,
+    evictions: u64,
+}
+
+impl FlashPs {
+    /// Builds the system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction failures for inconsistent
+    /// configs.
+    pub fn new(config: FlashPsConfig) -> Result<Self> {
+        let pipeline = EditPipeline::new(&config.model)?;
+        Ok(Self {
+            config,
+            pipeline,
+            templates: HashMap::new(),
+            images: HashMap::new(),
+            last_used: HashMap::new(),
+            clock: 0,
+            evictions: 0,
+        })
+    }
+
+    /// The underlying pipeline (for probes, baselines, and analyses).
+    pub fn pipeline(&self) -> &EditPipeline {
+        &self.pipeline
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &FlashPsConfig {
+        &self.config
+    }
+
+    /// Registers a template: primes and stores its activation cache.
+    /// Re-registering an id replaces the template.
+    ///
+    /// # Errors
+    ///
+    /// Propagates priming failures (e.g. wrong image dimensions).
+    pub fn register_template(&mut self, template_id: u64, image: &Image) -> Result<()> {
+        let cache = self
+            .pipeline
+            .prime(image, template_id, self.config.capture_kv)?;
+        // Evict before inserting so the new cache never evicts itself.
+        self.remove_template(template_id);
+        let incoming = cache_bytes(&cache);
+        self.evict_to_fit(incoming);
+        self.templates.insert(template_id, cache);
+        self.images.insert(template_id, image.clone());
+        self.touch(template_id);
+        Ok(())
+    }
+
+    /// Removes a template's cache and image; returns whether it
+    /// existed.
+    pub fn remove_template(&mut self, template_id: u64) -> bool {
+        self.last_used.remove(&template_id);
+        self.images.remove(&template_id);
+        self.templates.remove(&template_id).is_some()
+    }
+
+    /// Total bytes of all resident template caches.
+    pub fn cache_bytes_resident(&self) -> u64 {
+        self.templates.values().map(cache_bytes).sum()
+    }
+
+    /// Templates evicted by the LRU budget so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn touch(&mut self, template_id: u64) {
+        self.clock += 1;
+        self.last_used.insert(template_id, self.clock);
+    }
+
+    /// Spills a template's cache to its serialized byte form and
+    /// removes it from host memory — pair with
+    /// [`FlashPs::restore_template`] to round-trip through disk or the
+    /// hierarchical store's payload path (§4.2 secondary storage).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashPsError::UnknownTemplate`] when absent.
+    pub fn spill_template(&mut self, template_id: u64) -> Result<(Vec<u8>, Image)> {
+        let cache = self
+            .templates
+            .get(&template_id)
+            .ok_or(FlashPsError::UnknownTemplate { template_id })?;
+        let bytes = cache.to_bytes();
+        let image = self
+            .images
+            .get(&template_id)
+            .cloned()
+            .ok_or(FlashPsError::UnknownTemplate { template_id })?;
+        self.remove_template(template_id);
+        Ok((bytes, image))
+    }
+
+    /// Restores a spilled template without re-priming.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserialization failures for corrupt blobs.
+    pub fn restore_template(&mut self, bytes: &[u8], image: Image) -> Result<u64> {
+        let cache = TemplateCache::from_bytes(bytes)?;
+        let template_id = cache.template_id;
+        self.remove_template(template_id);
+        let incoming = cache_bytes(&cache);
+        self.evict_to_fit(incoming);
+        self.templates.insert(template_id, cache);
+        self.images.insert(template_id, image);
+        self.touch(template_id);
+        Ok(template_id)
+    }
+
+    fn evict_to_fit(&mut self, incoming: u64) {
+        let budget = self.config.cache_budget_bytes;
+        while self.cache_bytes_resident().saturating_add(incoming) > budget {
+            let victim = self
+                .last_used
+                .iter()
+                .min_by_key(|(_, &stamp)| stamp)
+                .map(|(&id, _)| id);
+            let Some(victim) = victim else { break };
+            self.remove_template(victim);
+            self.evictions += 1;
+        }
+    }
+
+    /// Number of registered templates.
+    pub fn template_count(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Cache bytes held for a template (Y variant), if registered.
+    pub fn template_cache_bytes(&self, template_id: u64) -> Option<u64> {
+        self.templates.get(&template_id).map(|c| c.bytes_y())
+    }
+
+    /// Looks up a registered template's cache and image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashPsError::UnknownTemplate`] when absent.
+    pub fn template(&self, template_id: u64) -> Result<(&Image, &TemplateCache)> {
+        match (
+            self.images.get(&template_id),
+            self.templates.get(&template_id),
+        ) {
+            (Some(img), Some(cache)) => Ok((img, cache)),
+            _ => Err(FlashPsError::UnknownTemplate { template_id }),
+        }
+    }
+
+    /// Algorithm 1's block plan for a mask ratio under the planner's
+    /// cost model (batch size 1).
+    pub fn plan_for_ratio(&self, mask_ratio: f64) -> Vec<bool> {
+        let (_, plan) = self.config.planner.step_latency_mask_aware(
+            &[BatchItem { mask_ratio }],
+            self.config.capture_kv,
+        );
+        plan
+    }
+
+    /// Edits a registered template with FlashPS's mask-aware strategy.
+    ///
+    /// The pixel mask is projected onto the latent token grid; the
+    /// block plan comes from Algorithm 1 at the request's mask ratio.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashPsError::UnknownTemplate`] for unregistered
+    /// templates and propagates pipeline errors.
+    pub fn edit(
+        &self,
+        template_id: u64,
+        mask: &Mask,
+        prompt: &str,
+        seed: u64,
+    ) -> Result<EditResult> {
+        let cfg = &self.config.model;
+        let masked_idx = mask.token_indices(cfg.latent_h, cfg.latent_w);
+        self.edit_tokens(template_id, &masked_idx, prompt, seed)
+    }
+
+    /// Edits with an explicit token-level mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashPsError::UnknownTemplate`] for unregistered
+    /// templates and propagates pipeline errors.
+    pub fn edit_tokens(
+        &self,
+        template_id: u64,
+        masked_idx: &[usize],
+        prompt: &str,
+        seed: u64,
+    ) -> Result<EditResult> {
+        let (image, cache) = self.template(template_id)?;
+        let cfg = &self.config.model;
+        let mask_ratio = masked_idx.len() as f64 / cfg.tokens() as f64;
+        let use_cache = self.plan_for_ratio(mask_ratio);
+        let strategy = Strategy::MaskAware {
+            use_cache: use_cache.clone(),
+            kv: self.config.capture_kv,
+        };
+        let output = self.pipeline.edit(
+            image,
+            template_id,
+            masked_idx,
+            prompt,
+            seed,
+            &strategy,
+            Some(cache),
+        )?;
+        let full = fps_diffusion::flops::step_flops_full(cfg, 1) * cfg.steps as u64;
+        let speedup = full as f64 / output.flops.max(1) as f64;
+        Ok(EditResult {
+            output,
+            use_cache,
+            speedup_vs_full: speedup,
+            mask_ratio,
+        })
+    }
+
+    /// Edits with automatic strategy selection (§7 of the paper): for
+    /// style-transfer-like requests whose masks cover most of the
+    /// canvas, mask-aware computation stops paying off and the system
+    /// falls back to full recomputation.
+    ///
+    /// # Errors
+    ///
+    /// As [`FlashPs::edit`].
+    pub fn edit_auto(
+        &self,
+        template_id: u64,
+        mask: &Mask,
+        prompt: &str,
+        seed: u64,
+    ) -> Result<EditResult> {
+        let cfg = &self.config.model;
+        let masked_idx = mask.token_indices(cfg.latent_h, cfg.latent_w);
+        let mask_ratio = masked_idx.len() as f64 / cfg.tokens() as f64;
+        let use_cache = self.plan_for_ratio(mask_ratio);
+        let aware_pays_off = use_cache.iter().any(|&b| b) && mask_ratio < 0.9;
+        if aware_pays_off {
+            return self.edit_tokens(template_id, &masked_idx, prompt, seed);
+        }
+        let (image, cache) = self.template(template_id)?;
+        let output = self.pipeline.edit(
+            image,
+            template_id,
+            &masked_idx,
+            prompt,
+            seed,
+            &Strategy::FullRecompute,
+            Some(cache),
+        )?;
+        Ok(EditResult {
+            output,
+            use_cache: vec![false; cfg.blocks],
+            speedup_vs_full: 1.0,
+            mask_ratio,
+        })
+    }
+
+    /// Runs a baseline strategy on a registered template (for quality
+    /// and ablation comparisons).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashPsError::UnknownTemplate`] for unregistered
+    /// templates and propagates pipeline errors.
+    pub fn edit_with_strategy(
+        &self,
+        template_id: u64,
+        mask: &Mask,
+        prompt: &str,
+        seed: u64,
+        strategy: &Strategy,
+    ) -> Result<EditOutput> {
+        let (image, cache) = self.template(template_id)?;
+        let cfg = &self.config.model;
+        let masked_idx = mask.token_indices(cfg.latent_h, cfg.latent_w);
+        Ok(self.pipeline.edit(
+            image,
+            template_id,
+            &masked_idx,
+            prompt,
+            seed,
+            strategy,
+            Some(cache),
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fps_workload::MaskShape;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn system() -> (FlashPs, Mask) {
+        let cfg = ModelConfig::tiny();
+        let mut sys = FlashPs::new(FlashPsConfig::new(cfg.clone())).unwrap();
+        let template = Image::template(cfg.pixel_h(), cfg.pixel_w(), 11);
+        sys.register_template(1, &template).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mask = Mask::generate(
+            cfg.pixel_h(),
+            cfg.pixel_w(),
+            MaskShape::Rect,
+            0.25,
+            &mut rng,
+        );
+        (sys, mask)
+    }
+
+    #[test]
+    fn register_and_edit() {
+        let (sys, mask) = system();
+        assert_eq!(sys.template_count(), 1);
+        assert!(sys.template_cache_bytes(1).unwrap() > 0);
+        let result = sys.edit(1, &mask, "add flowers", 7).unwrap();
+        assert!(result.mask_ratio > 0.0 && result.mask_ratio < 1.0);
+        assert_eq!(result.use_cache.len(), sys.config().model.blocks);
+        assert!(result.speedup_vs_full > 1.0, "got {}", result.speedup_vs_full);
+        assert!(result.output.image.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn unknown_template_rejected() {
+        let (sys, mask) = system();
+        assert!(matches!(
+            sys.edit(99, &mask, "x", 0),
+            Err(FlashPsError::UnknownTemplate { template_id: 99 })
+        ));
+        assert!(sys.template(99).is_err());
+        assert!(sys.template_cache_bytes(99).is_none());
+    }
+
+    #[test]
+    fn plans_depend_on_mask_ratio() {
+        let (sys, _) = system();
+        let small = sys.plan_for_ratio(0.05);
+        let large = sys.plan_for_ratio(0.9);
+        assert_eq!(small.len(), sys.config().model.blocks);
+        // Larger masks are compute-bound: at least as many blocks can
+        // afford the cache.
+        let cached_small = small.iter().filter(|&&b| b).count();
+        let cached_large = large.iter().filter(|&&b| b).count();
+        assert!(cached_large >= cached_small.min(1));
+    }
+
+    #[test]
+    fn baseline_strategy_runs() {
+        let (sys, mask) = system();
+        let out = sys
+            .edit_with_strategy(1, &mask, "x", 5, &Strategy::FullRecompute)
+            .unwrap();
+        assert_eq!(out.steps_skipped, 0);
+        let flash = sys.edit(1, &mask, "x", 5).unwrap();
+        assert!(flash.output.flops < out.flops);
+    }
+
+    #[test]
+    fn edits_are_deterministic() {
+        let (sys, mask) = system();
+        let a = sys.edit(1, &mask, "p", 9).unwrap();
+        let b = sys.edit(1, &mask, "p", 9).unwrap();
+        assert_eq!(a.output.image, b.output.image);
+        // Different seeds diverge in the masked region.
+        let c = sys.edit(1, &mask, "p", 10).unwrap();
+        assert_ne!(a.output.image, c.output.image);
+    }
+
+    #[test]
+    fn lru_budget_evicts_oldest_templates() {
+        let cfg = ModelConfig::tiny();
+        let mut config = FlashPsConfig::new(cfg.clone());
+        // Budget fits exactly two tiny template caches.
+        let one = {
+            let mut probe = FlashPs::new(config.clone()).unwrap();
+            probe
+                .register_template(0, &Image::template(cfg.pixel_h(), cfg.pixel_w(), 0))
+                .unwrap();
+            probe.cache_bytes_resident()
+        };
+        config.cache_budget_bytes = 2 * one;
+        let mut sys = FlashPs::new(config).unwrap();
+        for id in 0..3u64 {
+            let img = Image::template(cfg.pixel_h(), cfg.pixel_w(), id);
+            sys.register_template(id, &img).unwrap();
+        }
+        assert_eq!(sys.template_count(), 2, "budget holds two caches");
+        assert_eq!(sys.evictions(), 1);
+        assert!(sys.template(0).is_err(), "oldest evicted");
+        assert!(sys.template(2).is_ok(), "newest resident");
+        assert!(sys.cache_bytes_resident() <= 2 * one);
+    }
+
+    #[test]
+    fn auto_strategy_falls_back_on_huge_masks() {
+        let (sys, small_mask) = system();
+        let cfg = sys.config().model.clone();
+        // A near-total mask: style-transfer territory.
+        let mut huge = Mask::empty(cfg.pixel_h(), cfg.pixel_w());
+        for y in 0..cfg.pixel_h() {
+            for x in 0..cfg.pixel_w() {
+                huge.set(y, x, true);
+            }
+        }
+        let full = sys.edit_auto(1, &huge, "style", 1).unwrap();
+        assert!(
+            full.use_cache.iter().all(|&b| !b),
+            "huge mask must fall back to full recompute"
+        );
+        assert!((full.speedup_vs_full - 1.0).abs() < 1e-9);
+        // Small masks still go mask-aware.
+        let aware = sys.edit_auto(1, &small_mask, "edit", 1).unwrap();
+        assert!(aware.use_cache.iter().any(|&b| b));
+        assert!(aware.speedup_vs_full > 1.0);
+    }
+
+    #[test]
+    fn spill_and_restore_round_trip() {
+        let (mut sys, mask) = system();
+        let before = sys.edit(1, &mask, "p", 7).unwrap();
+        let (bytes, image) = sys.spill_template(1).unwrap();
+        assert_eq!(sys.template_count(), 0);
+        assert!(sys.edit(1, &mask, "p", 7).is_err(), "spilled away");
+        let id = sys.restore_template(&bytes, image).unwrap();
+        assert_eq!(id, 1);
+        let after = sys.edit(1, &mask, "p", 7).unwrap();
+        assert_eq!(
+            before.output.image, after.output.image,
+            "restore must not change outputs"
+        );
+        // Corrupt blobs are rejected.
+        assert!(sys
+            .restore_template(&bytes[..bytes.len() / 2], Image::zeros(1, 1))
+            .is_err());
+        assert!(sys.spill_template(99).is_err());
+    }
+
+    #[test]
+    fn remove_template_frees_bytes() {
+        let (mut sys, _) = system();
+        assert!(sys.cache_bytes_resident() > 0);
+        assert!(sys.remove_template(1));
+        assert!(!sys.remove_template(1));
+        assert_eq!(sys.cache_bytes_resident(), 0);
+        assert_eq!(sys.template_count(), 0);
+    }
+
+    #[test]
+    fn reregistration_replaces_template() {
+        let (mut sys, mask) = system();
+        let cfg = sys.config().model.clone();
+        let other = Image::template(cfg.pixel_h(), cfg.pixel_w(), 99);
+        sys.register_template(1, &other).unwrap();
+        assert_eq!(sys.template_count(), 1);
+        let out = sys.edit(1, &mask, "p", 1).unwrap();
+        assert!(out.output.image.data().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,466 @@
+//! Transformer blocks with pluggable computation modes.
+//!
+//! A block is `x + SelfAttn(AdaLN(x))`, then `+ CrossAttn(LN(x),
+//! prompt)`, then `+ FFN(AdaLN(x))` — the standard conditioned
+//! transformer block of DiT-style diffusion models (UNet-style models in
+//! this substrate use the same block; their convolutional scaffold is
+//! carried analytically as an overhead factor in `flops`).
+//!
+//! Three forward paths exist, matching §3.1 of the paper:
+//!
+//! - [`TransformerBlock::forward_full`] computes every token and returns
+//!   the `K`/`V`/`Y` activations so a priming run can populate the
+//!   template cache (Fig. 5-top).
+//! - [`TransformerBlock::forward_masked`] with
+//!   [`MaskedContext::SelfOnly`] computes only masked tokens, attending
+//!   only among masked tokens (Fig. 5-bottom, the Y-cache variant; also
+//!   the FISEdit-style masked-only mode when no cache replenishes the
+//!   output).
+//! - [`TransformerBlock::forward_masked`] with
+//!   [`MaskedContext::CachedKv`] lets masked queries attend over
+//!   full-length cached keys/values (Fig. 7, the K/V-cache variant).
+
+use fps_tensor::ops::{
+    gelu, layer_norm, matmul, matmul_bt, modulate, scatter_rows_into, softmax_rows,
+};
+use fps_tensor::rng::DetRng;
+use fps_tensor::Tensor;
+
+use crate::config::ModelConfig;
+use crate::error::DiffusionError;
+use crate::Result;
+
+/// Key/value context for a masked-token forward pass.
+#[derive(Debug, Clone, Copy)]
+pub enum MaskedContext<'a> {
+    /// Masked queries attend only among masked tokens (the paper's main
+    /// Y-cache design).
+    SelfOnly,
+    /// Masked queries attend over full-length cached K/V with the rows
+    /// at `masked_idx` overwritten by freshly computed masked K/V.
+    CachedKv {
+        /// Cached keys `[L, H]` from the priming run.
+        k: &'a Tensor,
+        /// Cached values `[L, H]` from the priming run.
+        v: &'a Tensor,
+        /// Token indices (into `[0, L)`) of the masked rows.
+        masked_idx: &'a [usize],
+    },
+}
+
+/// Output of a full-token forward pass, including the activations a
+/// priming run captures into the template cache.
+#[derive(Debug, Clone)]
+pub struct BlockFullOutput {
+    /// Block output `Y` of shape `[L, H]`.
+    pub y: Tensor,
+    /// Self-attention keys `[L, H]` (pre-head-split layout).
+    pub k: Tensor,
+    /// Self-attention values `[L, H]`.
+    pub v: Tensor,
+}
+
+/// One conditioned transformer block.
+#[derive(Debug, Clone)]
+pub struct TransformerBlock {
+    heads: usize,
+    // Self-attention projections, all `[H, H]`.
+    wq: Tensor,
+    wk: Tensor,
+    wv: Tensor,
+    wo: Tensor,
+    // Cross-attention projections (queries from image tokens, keys and
+    // values from prompt tokens), all `[H, H]`.
+    cq: Tensor,
+    ck: Tensor,
+    cv: Tensor,
+    co: Tensor,
+    // Feed-forward `[H, F]` then `[F, H]`.
+    w1: Tensor,
+    w2: Tensor,
+    // LayerNorm parameters, `[H]` each.
+    ln1_g: Tensor,
+    ln1_b: Tensor,
+    ln2_g: Tensor,
+    ln2_b: Tensor,
+    ln3_g: Tensor,
+    ln3_b: Tensor,
+    // AdaLN conditioning: `[H, 4H]` mapping the pooled condition to
+    // (scale1, shift1, scale2, shift2).
+    ada: Tensor,
+}
+
+impl TransformerBlock {
+    /// Builds a block with deterministic Xavier-initialized weights.
+    pub fn new(cfg: &ModelConfig, rng: &mut DetRng) -> Self {
+        let h = cfg.hidden;
+        let f = cfg.hidden * cfg.ffn_mult;
+        // Residual-branch output projections get a small gain so deep
+        // stacks stay numerically tame and the map stays contractive —
+        // trained denoisers behave contractively, and without this the
+        // untrained substrate amplifies tiny perturbations chaotically,
+        // drowning the systematic quality differences the experiments
+        // measure (GPT-2-style init, stronger damping).
+        const RESIDUAL_GAIN: f32 = 0.25;
+        // Text conditioning perturbs content mildly in SD-class models
+        // (cross-attention is a small fraction of each block's output);
+        // keeping it weak also keeps unmasked activations prompt-
+        // insensitive — the empirical property (Fig. 6-left) that lets
+        // caches primed under one prompt serve requests with another.
+        const CROSS_GAIN: f32 = 0.06;
+        Self {
+            heads: cfg.heads,
+            wq: Tensor::xavier(h, h, rng),
+            wk: Tensor::xavier(h, h, rng),
+            wv: Tensor::xavier(h, h, rng),
+            wo: Tensor::xavier(h, h, rng).scale(RESIDUAL_GAIN),
+            cq: Tensor::xavier(h, h, rng),
+            ck: Tensor::xavier(h, h, rng),
+            cv: Tensor::xavier(h, h, rng),
+            co: Tensor::xavier(h, h, rng).scale(CROSS_GAIN),
+            w1: Tensor::xavier(h, f, rng),
+            w2: Tensor::xavier(f, h, rng).scale(RESIDUAL_GAIN),
+            ln1_g: Tensor::full([h], 1.0),
+            ln1_b: Tensor::zeros([h]),
+            ln2_g: Tensor::full([h], 1.0),
+            ln2_b: Tensor::zeros([h]),
+            ln3_g: Tensor::full([h], 1.0),
+            ln3_b: Tensor::zeros([h]),
+            ada: Tensor::xavier(h, 4 * h, rng).scale(0.1),
+        }
+    }
+
+    /// Derives the AdaLN (scale1, shift1, scale2, shift2) vectors from
+    /// the pooled condition.
+    fn ada_params(&self, cond: &Tensor) -> Result<[Tensor; 4]> {
+        let h = cond.numel();
+        let row = matmul(&cond.clone().reshape([1, h])?, &self.ada)?;
+        let d = row.data();
+        let slice = |i: usize| Tensor::from_vec(d[i * h..(i + 1) * h].to_vec(), [h]);
+        Ok([slice(0)?, slice(1)?, slice(2)?, slice(3)?])
+    }
+
+    /// Multi-head scaled-dot-product attention of `q` rows over `k`/`v`
+    /// rows, before the output projection.
+    fn mha(&self, q: &Tensor, k: &Tensor, v: &Tensor) -> Result<Tensor> {
+        let (n, h) = (q.dims()[0], q.dims()[1]);
+        let l = k.dims()[0];
+        let dh = h / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut out = Tensor::zeros([n, h]);
+        for head in 0..self.heads {
+            let qs = slice_cols(q, head * dh, dh)?;
+            let ks = slice_cols(k, head * dh, dh)?;
+            let vs = slice_cols(v, head * dh, dh)?;
+            let scores = matmul_bt(&qs, &ks)?.scale(scale);
+            let probs = softmax_rows(&scores)?;
+            let ctx = matmul(&probs, &vs)?;
+            // Write the head's context back into its column slice.
+            for row in 0..n {
+                let src = ctx.row(row)?.to_vec();
+                out.row_mut(row)?[head * dh..(head + 1) * dh].copy_from_slice(&src);
+            }
+            debug_assert_eq!(probs.dims(), &[n, l]);
+        }
+        Ok(out)
+    }
+
+    /// Full-token forward pass; returns `Y` plus the `K`/`V`
+    /// activations for cache priming.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors from malformed inputs.
+    pub fn forward_full(
+        &self,
+        x: &Tensor,
+        prompt: &Tensor,
+        cond: &Tensor,
+    ) -> Result<BlockFullOutput> {
+        let [s1, b1, s2, b2] = self.ada_params(cond)?;
+        // Self-attention branch.
+        let xn = modulate(&layer_norm(x, &self.ln1_g, &self.ln1_b)?, &s1, &b1)?;
+        let q = matmul(&xn, &self.wq)?;
+        let k = matmul(&xn, &self.wk)?;
+        let v = matmul(&xn, &self.wv)?;
+        let attn = matmul(&self.mha(&q, &k, &v)?, &self.wo)?;
+        let x = x.add(&attn)?;
+        // Cross-attention branch over the prompt tokens.
+        let xn = layer_norm(&x, &self.ln2_g, &self.ln2_b)?;
+        let cq = matmul(&xn, &self.cq)?;
+        let ck = matmul(prompt, &self.ck)?;
+        let cv = matmul(prompt, &self.cv)?;
+        let cross = matmul(&self.mha(&cq, &ck, &cv)?, &self.co)?;
+        let x = x.add(&cross)?;
+        // Feed-forward branch.
+        let xn = modulate(&layer_norm(&x, &self.ln3_g, &self.ln3_b)?, &s2, &b2)?;
+        let ff = matmul(&gelu(&matmul(&xn, &self.w1)?), &self.w2)?;
+        let y = x.add(&ff)?;
+        Ok(BlockFullOutput { y, k, v })
+    }
+
+    /// FlashPS Y-variant forward pass (Fig. 5-bottom): queries come
+    /// from the masked rows only, but keys/values are recomputed over
+    /// the *full* token matrix (whose unmasked rows were replenished
+    /// from the cache by the previous block) — the paper's LLM-decoding
+    /// analogy, where the new token's Q attends over everyone's K/V.
+    /// Cross-attention and FFN run on masked rows only (token-wise,
+    /// exact). Returns the masked rows' block output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors.
+    pub fn forward_masked_full_kv(
+        &self,
+        x_full: &Tensor,
+        masked_idx: &[usize],
+        prompt: &Tensor,
+        cond: &Tensor,
+    ) -> Result<Tensor> {
+        let [s1, b1, s2, b2] = self.ada_params(cond)?;
+        let xn_full = modulate(&layer_norm(x_full, &self.ln1_g, &self.ln1_b)?, &s1, &b1)?;
+        let xn_masked = fps_tensor::ops::gather_rows(&xn_full, masked_idx)?;
+        let q = matmul(&xn_masked, &self.wq)?;
+        let k = matmul(&xn_full, &self.wk)?;
+        let v = matmul(&xn_full, &self.wv)?;
+        let attn = matmul(&self.mha(&q, &k, &v)?, &self.wo)?;
+        let x = fps_tensor::ops::gather_rows(x_full, masked_idx)?.add(&attn)?;
+        // Cross-attention and FFN are token-wise in the image tokens.
+        let xn = layer_norm(&x, &self.ln2_g, &self.ln2_b)?;
+        let cq = matmul(&xn, &self.cq)?;
+        let ck = matmul(prompt, &self.ck)?;
+        let cv = matmul(prompt, &self.cv)?;
+        let x = x.add(&matmul(&self.mha(&cq, &ck, &cv)?, &self.co)?)?;
+        let xn = modulate(&layer_norm(&x, &self.ln3_g, &self.ln3_b)?, &s2, &b2)?;
+        let ff = matmul(&gelu(&matmul(&xn, &self.w1)?), &self.w2)?;
+        Ok(x.add(&ff)?)
+    }
+
+    /// Masked-token forward pass: computes only the `x_masked` rows.
+    ///
+    /// With [`MaskedContext::SelfOnly`] the masked queries attend only
+    /// among themselves (FISEdit-style); with
+    /// [`MaskedContext::CachedKv`] they attend over the cached
+    /// full-length keys/values (with masked rows refreshed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiffusionError::InvalidPlan`] when cached K/V shapes
+    /// disagree with the masked row count, and propagates tensor shape
+    /// errors.
+    pub fn forward_masked(
+        &self,
+        x_masked: &Tensor,
+        ctx: MaskedContext<'_>,
+        prompt: &Tensor,
+        cond: &Tensor,
+    ) -> Result<Tensor> {
+        let [s1, b1, s2, b2] = self.ada_params(cond)?;
+        let xn = modulate(&layer_norm(x_masked, &self.ln1_g, &self.ln1_b)?, &s1, &b1)?;
+        let q = matmul(&xn, &self.wq)?;
+        let attn = match ctx {
+            MaskedContext::SelfOnly => {
+                let k = matmul(&xn, &self.wk)?;
+                let v = matmul(&xn, &self.wv)?;
+                self.mha(&q, &k, &v)?
+            }
+            MaskedContext::CachedKv { k, v, masked_idx } => {
+                if masked_idx.len() != x_masked.dims()[0] {
+                    return Err(DiffusionError::InvalidPlan {
+                        reason: format!(
+                            "cached-KV context has {} masked indices for {} rows",
+                            masked_idx.len(),
+                            x_masked.dims()[0]
+                        ),
+                    });
+                }
+                let k_fresh = matmul(&xn, &self.wk)?;
+                let v_fresh = matmul(&xn, &self.wv)?;
+                let mut k_full = k.clone();
+                let mut v_full = v.clone();
+                scatter_rows_into(&mut k_full, &k_fresh, masked_idx)?;
+                scatter_rows_into(&mut v_full, &v_fresh, masked_idx)?;
+                self.mha(&q, &k_full, &v_full)?
+            }
+        };
+        let x = x_masked.add(&matmul(&attn, &self.wo)?)?;
+        // Cross-attention and FFN are token-wise in the image tokens, so
+        // restricting them to masked rows is exact (not an
+        // approximation), per §3.1.
+        let xn = layer_norm(&x, &self.ln2_g, &self.ln2_b)?;
+        let cq = matmul(&xn, &self.cq)?;
+        let ck = matmul(prompt, &self.ck)?;
+        let cv = matmul(prompt, &self.cv)?;
+        let x = x.add(&matmul(&self.mha(&cq, &ck, &cv)?, &self.co)?)?;
+        let xn = modulate(&layer_norm(&x, &self.ln3_g, &self.ln3_b)?, &s2, &b2)?;
+        let ff = matmul(&gelu(&matmul(&xn, &self.w1)?), &self.w2)?;
+        Ok(x.add(&ff)?)
+    }
+
+    /// Returns the post-softmax self-attention probability matrix
+    /// `[L, L]` averaged over heads — the quantity visualized in
+    /// Fig. 6-right of the paper.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors.
+    pub fn attention_probs(&self, x: &Tensor, cond: &Tensor) -> Result<Tensor> {
+        let [s1, b1, _, _] = self.ada_params(cond)?;
+        let xn = modulate(&layer_norm(x, &self.ln1_g, &self.ln1_b)?, &s1, &b1)?;
+        let q = matmul(&xn, &self.wq)?;
+        let k = matmul(&xn, &self.wk)?;
+        let l = x.dims()[0];
+        let h = x.dims()[1];
+        let dh = h / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut avg = Tensor::zeros([l, l]);
+        for head in 0..self.heads {
+            let qs = slice_cols(&q, head * dh, dh)?;
+            let ks = slice_cols(&k, head * dh, dh)?;
+            let probs = softmax_rows(&matmul_bt(&qs, &ks)?.scale(scale))?;
+            avg.axpy(1.0 / self.heads as f32, &probs)?;
+        }
+        Ok(avg)
+    }
+}
+
+/// Copies columns `[start, start + width)` of a rank-2 tensor.
+fn slice_cols(x: &Tensor, start: usize, width: usize) -> Result<Tensor> {
+    let (rows, cols) = (x.dims()[0], x.dims()[1]);
+    debug_assert!(start + width <= cols);
+    let mut out = Vec::with_capacity(rows * width);
+    for r in 0..rows {
+        out.extend_from_slice(&x.data()[r * cols + start..r * cols + start + width]);
+    }
+    Ok(Tensor::from_vec(out, [rows, width])?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::{embed_prompt, embed_timestep, pool_condition};
+    use fps_tensor::ops::gather_rows;
+
+    fn setup() -> (ModelConfig, TransformerBlock, Tensor, Tensor) {
+        let cfg = ModelConfig::tiny();
+        let mut rng = DetRng::new(cfg.weight_seed);
+        let block = TransformerBlock::new(&cfg, &mut rng);
+        let prompt = embed_prompt(&cfg, "test prompt");
+        let cond = pool_condition(&prompt, &embed_timestep(&cfg, 0.5));
+        (cfg, block, prompt, cond)
+    }
+
+    #[test]
+    fn full_forward_shapes() {
+        let (cfg, block, prompt, cond) = setup();
+        let x = Tensor::randn([cfg.tokens(), cfg.hidden], &mut DetRng::new(1));
+        let out = block.forward_full(&x, &prompt, &cond).unwrap();
+        assert_eq!(out.y.dims(), &[cfg.tokens(), cfg.hidden]);
+        assert_eq!(out.k.dims(), &[cfg.tokens(), cfg.hidden]);
+        assert_eq!(out.v.dims(), &[cfg.tokens(), cfg.hidden]);
+        assert!(out.y.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let (cfg, block, prompt, cond) = setup();
+        let x = Tensor::randn([cfg.tokens(), cfg.hidden], &mut DetRng::new(2));
+        let a = block.forward_full(&x, &prompt, &cond).unwrap();
+        let b = block.forward_full(&x, &prompt, &cond).unwrap();
+        assert_eq!(a.y, b.y);
+    }
+
+    #[test]
+    fn cross_attention_and_ffn_are_token_wise() {
+        // Masked forward with cached-KV context over the *true* full
+        // K/V must reproduce the full forward's masked rows exactly:
+        // every op on the masked path is then identical to the full
+        // path. This is the paper's core exactness claim for token-wise
+        // ops plus KV-complete attention.
+        let (cfg, block, prompt, cond) = setup();
+        let x = Tensor::randn([cfg.tokens(), cfg.hidden], &mut DetRng::new(3));
+        let full = block.forward_full(&x, &prompt, &cond).unwrap();
+        let masked_idx: Vec<usize> = vec![1, 4, 10, 15];
+        let xm = gather_rows(&x, &masked_idx).unwrap();
+        let ym = block
+            .forward_masked(
+                &xm,
+                MaskedContext::CachedKv {
+                    k: &full.k,
+                    v: &full.v,
+                    masked_idx: &masked_idx,
+                },
+                &prompt,
+                &cond,
+            )
+            .unwrap();
+        let ym_ref = gather_rows(&full.y, &masked_idx).unwrap();
+        assert!(
+            ym.max_abs_diff(&ym_ref).unwrap() < 1e-4,
+            "masked+true-KV must equal full rows"
+        );
+    }
+
+    #[test]
+    fn self_only_differs_from_full_context() {
+        // Masked-only attention is the approximation; it should be
+        // close-ish but not identical to the full computation.
+        let (cfg, block, prompt, cond) = setup();
+        let x = Tensor::randn([cfg.tokens(), cfg.hidden], &mut DetRng::new(4));
+        let full = block.forward_full(&x, &prompt, &cond).unwrap();
+        let masked_idx: Vec<usize> = vec![0, 5, 6];
+        let xm = gather_rows(&x, &masked_idx).unwrap();
+        let ym = block
+            .forward_masked(&xm, MaskedContext::SelfOnly, &prompt, &cond)
+            .unwrap();
+        let ym_ref = gather_rows(&full.y, &masked_idx).unwrap();
+        let diff = ym.max_abs_diff(&ym_ref).unwrap();
+        assert!(diff > 1e-6, "restricting context must change something");
+        assert!(ym.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn cached_kv_validates_index_count() {
+        let (cfg, block, prompt, cond) = setup();
+        let x = Tensor::randn([cfg.tokens(), cfg.hidden], &mut DetRng::new(5));
+        let full = block.forward_full(&x, &prompt, &cond).unwrap();
+        let xm = gather_rows(&x, &[0, 1]).unwrap();
+        let err = block
+            .forward_masked(
+                &xm,
+                MaskedContext::CachedKv {
+                    k: &full.k,
+                    v: &full.v,
+                    masked_idx: &[0],
+                },
+                &prompt,
+                &cond,
+            )
+            .unwrap_err();
+        assert!(matches!(err, DiffusionError::InvalidPlan { .. }));
+    }
+
+    #[test]
+    fn attention_probs_are_row_stochastic() {
+        let (cfg, block, prompt, cond) = setup();
+        let _ = prompt;
+        let x = Tensor::randn([cfg.tokens(), cfg.hidden], &mut DetRng::new(6));
+        let probs = block.attention_probs(&x, &cond).unwrap();
+        assert_eq!(probs.dims(), &[cfg.tokens(), cfg.tokens()]);
+        for r in 0..cfg.tokens() {
+            let sum: f32 = probs.row(r).unwrap().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4, "row {r} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn condition_changes_output() {
+        let (cfg, block, prompt, _) = setup();
+        let x = Tensor::randn([cfg.tokens(), cfg.hidden], &mut DetRng::new(7));
+        let c1 = pool_condition(&prompt, &embed_timestep(&cfg, 0.1));
+        let c2 = pool_condition(&prompt, &embed_timestep(&cfg, 0.9));
+        let y1 = block.forward_full(&x, &prompt, &c1).unwrap();
+        let y2 = block.forward_full(&x, &prompt, &c2).unwrap();
+        assert!(y1.y.max_abs_diff(&y2.y).unwrap() > 1e-5);
+    }
+}

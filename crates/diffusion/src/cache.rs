@@ -1,0 +1,414 @@
+//! Activation caches for mask-aware image editing.
+//!
+//! A [`TemplateCache`] holds, for one image template, the activations
+//! captured during a *priming* inference: for every denoising step and
+//! every transformer block, the full-length block output `Y` (and
+//! optionally the attention keys/values `K`, `V` for the Fig. 7
+//! alternative). A subsequent edit request with any mask can then
+//! replenish its unmasked rows from the cache.
+//!
+//! The numeric substrate keeps caches in memory; `fps-maskcache` layers
+//! the hierarchical HBM/host/disk placement, sizing, and load-latency
+//! modelling on top of the byte counts reported here.
+
+use fps_tensor::Tensor;
+
+use crate::error::DiffusionError;
+use crate::Result;
+
+/// Magic prefix of the serialized cache format.
+const CACHE_MAGIC: &[u8; 4] = b"FPSC";
+/// Serialization format version.
+const CACHE_VERSION: u8 = 1;
+
+/// Cached activations of one transformer block at one denoising step.
+#[derive(Debug, Clone)]
+pub struct BlockCache {
+    /// Full-length block output `[L, H]` (the `Y` matrix of Fig. 5).
+    pub y: Tensor,
+    /// Full-length attention keys `[L, H]`, present only when the cache
+    /// was primed for the K/V variant.
+    pub k: Option<Tensor>,
+    /// Full-length attention values `[L, H]`, paired with `k`.
+    pub v: Option<Tensor>,
+}
+
+impl BlockCache {
+    /// Bytes of the Y-variant payload.
+    pub fn bytes_y(&self) -> u64 {
+        self.y.numel() as u64 * 4
+    }
+
+    /// Bytes of the K/V-variant payload (2× the Y payload per the
+    /// paper), or 0 when K/V were not captured.
+    pub fn bytes_kv(&self) -> u64 {
+        match (&self.k, &self.v) {
+            (Some(k), Some(v)) => (k.numel() + v.numel()) as u64 * 4,
+            _ => 0,
+        }
+    }
+}
+
+/// Cached activations of every block at one denoising step.
+#[derive(Debug, Clone, Default)]
+pub struct StepCache {
+    /// Per-block caches, indexed by block position in the model.
+    pub blocks: Vec<BlockCache>,
+}
+
+/// All cached activations for one image template.
+#[derive(Debug, Clone)]
+pub struct TemplateCache {
+    /// Identifier of the template this cache belongs to.
+    pub template_id: u64,
+    /// Token length the activations were captured at.
+    pub tokens: usize,
+    /// Hidden dimension the activations were captured at.
+    pub hidden: usize,
+    steps: Vec<StepCache>,
+}
+
+impl TemplateCache {
+    /// Creates an empty cache shell for a template.
+    pub fn new(template_id: u64, tokens: usize, hidden: usize) -> Self {
+        Self {
+            template_id,
+            tokens,
+            hidden,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Appends the cache of the next denoising step.
+    pub fn push_step(&mut self, step: StepCache) {
+        self.steps.push(step);
+    }
+
+    /// Number of denoising steps captured.
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Looks up the cache for `(step, block)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiffusionError::CacheMiss`] when the entry is absent.
+    pub fn get(&self, step: usize, block: usize) -> Result<&BlockCache> {
+        self.steps
+            .get(step)
+            .and_then(|s| s.blocks.get(block))
+            .ok_or(DiffusionError::CacheMiss { step, block })
+    }
+
+    /// Total bytes of the Y-variant cache across all steps and blocks.
+    pub fn bytes_y(&self) -> u64 {
+        self.steps
+            .iter()
+            .flat_map(|s| s.blocks.iter())
+            .map(BlockCache::bytes_y)
+            .sum()
+    }
+
+    /// Total bytes of the K/V-variant cache across all steps and blocks.
+    pub fn bytes_kv(&self) -> u64 {
+        self.steps
+            .iter()
+            .flat_map(|s| s.blocks.iter())
+            .map(BlockCache::bytes_kv)
+            .sum()
+    }
+
+    /// Serializes the cache to a compact binary blob (magic, version,
+    /// header, then little-endian `f32` tensor payloads) — the format
+    /// spilled caches take on disk or in the hierarchical store's
+    /// payload path.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.bytes_y() as usize + self.bytes_kv() as usize);
+        out.extend_from_slice(CACHE_MAGIC);
+        out.push(CACHE_VERSION);
+        out.extend_from_slice(&self.template_id.to_le_bytes());
+        out.extend_from_slice(&(self.tokens as u64).to_le_bytes());
+        out.extend_from_slice(&(self.hidden as u64).to_le_bytes());
+        out.extend_from_slice(&(self.steps.len() as u32).to_le_bytes());
+        for step in &self.steps {
+            out.extend_from_slice(&(step.blocks.len() as u32).to_le_bytes());
+            for b in &step.blocks {
+                out.push(u8::from(b.k.is_some() && b.v.is_some()));
+                write_tensor(&mut out, &b.y);
+                if let (Some(k), Some(v)) = (&b.k, &b.v) {
+                    write_tensor(&mut out, k);
+                    write_tensor(&mut out, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserializes a cache previously produced by
+    /// [`TemplateCache::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiffusionError::InvalidConfig`] for truncated,
+    /// corrupt, or version-mismatched input.
+    pub fn from_bytes(data: &[u8]) -> Result<Self> {
+        let mut r = Reader { data, pos: 0 };
+        let magic = r.take(4)?;
+        if magic != CACHE_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let version = r.take(1)?[0];
+        if version != CACHE_VERSION {
+            return Err(corrupt("unsupported version"));
+        }
+        let template_id = r.u64()?;
+        let tokens = r.u64()? as usize;
+        let hidden = r.u64()? as usize;
+        let n_steps = r.u32()? as usize;
+        let mut cache = Self::new(template_id, tokens, hidden);
+        for _ in 0..n_steps {
+            let n_blocks = r.u32()? as usize;
+            let mut step = StepCache::default();
+            for _ in 0..n_blocks {
+                let has_kv = r.take(1)?[0] != 0;
+                let y = read_tensor(&mut r)?;
+                let (k, v) = if has_kv {
+                    (Some(read_tensor(&mut r)?), Some(read_tensor(&mut r)?))
+                } else {
+                    (None, None)
+                };
+                step.blocks.push(BlockCache { y, k, v });
+            }
+            cache.push_step(step);
+        }
+        if r.pos != r.data.len() {
+            return Err(corrupt("trailing bytes"));
+        }
+        Ok(cache)
+    }
+
+    /// Whether K/V activations were captured for every block.
+    pub fn has_kv(&self) -> bool {
+        !self.steps.is_empty()
+            && self
+                .steps
+                .iter()
+                .flat_map(|s| s.blocks.iter())
+                .all(|b| b.k.is_some() && b.v.is_some())
+    }
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.data.len() {
+            return Err(corrupt("truncated"));
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+fn corrupt(reason: &str) -> DiffusionError {
+    DiffusionError::InvalidConfig {
+        reason: format!("corrupt cache blob: {reason}"),
+    }
+}
+
+fn write_tensor(out: &mut Vec<u8>, t: &Tensor) {
+    out.extend_from_slice(&(t.dims().len() as u32).to_le_bytes());
+    for &d in t.dims() {
+        out.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    for &v in t.data() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn read_tensor(r: &mut Reader<'_>) -> Result<Tensor> {
+    let rank = r.u32()? as usize;
+    if rank > 8 {
+        return Err(corrupt("implausible rank"));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        dims.push(r.u64()? as usize);
+    }
+    let numel: usize = dims.iter().product();
+    if numel > (1 << 30) {
+        return Err(corrupt("implausible tensor size"));
+    }
+    let raw = r.take(numel * 4)?;
+    let data: Vec<f32> = raw
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect();
+    Ok(Tensor::from_vec(data, dims).map_err(DiffusionError::from)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(l: usize, h: usize, kv: bool) -> BlockCache {
+        BlockCache {
+            y: Tensor::zeros([l, h]),
+            k: kv.then(|| Tensor::zeros([l, h])),
+            v: kv.then(|| Tensor::zeros([l, h])),
+        }
+    }
+
+    #[test]
+    fn lookup_hits_and_misses() {
+        let mut cache = TemplateCache::new(1, 4, 8);
+        cache.push_step(StepCache {
+            blocks: vec![block(4, 8, false); 2],
+        });
+        assert!(cache.get(0, 1).is_ok());
+        assert_eq!(
+            cache.get(0, 2).unwrap_err(),
+            DiffusionError::CacheMiss { step: 0, block: 2 }
+        );
+        assert_eq!(
+            cache.get(1, 0).unwrap_err(),
+            DiffusionError::CacheMiss { step: 1, block: 0 }
+        );
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut cache = TemplateCache::new(1, 4, 8);
+        cache.push_step(StepCache {
+            blocks: vec![block(4, 8, true); 3],
+        });
+        cache.push_step(StepCache {
+            blocks: vec![block(4, 8, true); 3],
+        });
+        // Y: 2 steps × 3 blocks × 4×8 floats × 4 bytes.
+        assert_eq!(cache.bytes_y(), 2 * 3 * 4 * 8 * 4);
+        // K/V doubles it, matching the paper's 2× claim.
+        assert_eq!(cache.bytes_kv(), 2 * cache.bytes_y());
+        assert!(cache.has_kv());
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let mut cache = TemplateCache::new(42, 4, 8);
+        let mut rng = fps_tensor::rng::DetRng::new(1);
+        for _ in 0..3 {
+            let blocks = (0..2)
+                .map(|i| BlockCache {
+                    y: Tensor::randn([4, 8], &mut rng),
+                    k: (i == 0).then(|| Tensor::randn([4, 8], &mut rng)),
+                    v: (i == 0).then(|| Tensor::randn([4, 8], &mut rng)),
+                })
+                .collect();
+            cache.push_step(StepCache { blocks });
+        }
+        let bytes = cache.to_bytes();
+        let back = TemplateCache::from_bytes(&bytes).unwrap();
+        assert_eq!(back.template_id, 42);
+        assert_eq!(back.tokens, 4);
+        assert_eq!(back.hidden, 8);
+        assert_eq!(back.num_steps(), 3);
+        for s in 0..3 {
+            for b in 0..2 {
+                let a = cache.get(s, b).unwrap();
+                let z = back.get(s, b).unwrap();
+                assert_eq!(a.y, z.y);
+                assert_eq!(a.k, z.k);
+                assert_eq!(a.v, z.v);
+            }
+        }
+    }
+
+    #[test]
+    fn deserialization_rejects_corrupt_blobs() {
+        let mut cache = TemplateCache::new(1, 2, 2);
+        cache.push_step(StepCache {
+            blocks: vec![block(2, 2, false)],
+        });
+        let good = cache.to_bytes();
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(TemplateCache::from_bytes(&bad).is_err());
+        // Bad version.
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert!(TemplateCache::from_bytes(&bad).is_err());
+        // Truncation at every prefix length must error, never panic.
+        for cut in [0, 3, 5, 12, good.len() / 2, good.len() - 1] {
+            assert!(TemplateCache::from_bytes(&good[..cut]).is_err(), "cut {cut}");
+        }
+        // Trailing garbage.
+        let mut bad = good.clone();
+        bad.push(0);
+        assert!(TemplateCache::from_bytes(&bad).is_err());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_serialization_round_trips(
+            steps in 0usize..4,
+            blocks in 1usize..4,
+            l in 1usize..6,
+            h in 1usize..6,
+            kv in proptest::bool::ANY,
+            seed in 0u64..1000,
+        ) {
+            let mut rng = fps_tensor::rng::DetRng::new(seed);
+            let mut cache = TemplateCache::new(seed, l, h);
+            for _ in 0..steps {
+                let bs = (0..blocks)
+                    .map(|_| BlockCache {
+                        y: Tensor::randn([l, h], &mut rng),
+                        k: kv.then(|| Tensor::randn([l, h], &mut rng)),
+                        v: kv.then(|| Tensor::randn([l, h], &mut rng)),
+                    })
+                    .collect();
+                cache.push_step(StepCache { blocks: bs });
+            }
+            let back = TemplateCache::from_bytes(&cache.to_bytes()).expect("round trip");
+            proptest::prop_assert_eq!(back.num_steps(), steps);
+            proptest::prop_assert_eq!(back.bytes_y(), cache.bytes_y());
+            proptest::prop_assert_eq!(back.bytes_kv(), cache.bytes_kv());
+            for s in 0..steps {
+                for b in 0..blocks {
+                    proptest::prop_assert_eq!(
+                        &cache.get(s, b).expect("entry").y,
+                        &back.get(s, b).expect("entry").y
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn has_kv_requires_every_block() {
+        let mut cache = TemplateCache::new(1, 4, 8);
+        cache.push_step(StepCache {
+            blocks: vec![block(4, 8, true), block(4, 8, false)],
+        });
+        assert!(!cache.has_kv());
+        assert_eq!(cache.num_steps(), 1);
+        let empty = TemplateCache::new(2, 4, 8);
+        assert!(!empty.has_kv());
+    }
+}

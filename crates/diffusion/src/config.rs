@@ -1,0 +1,346 @@
+//! Model configurations.
+//!
+//! Two families of configs exist:
+//!
+//! - **Runnable toy configs** ([`ModelConfig::tiny`], and the
+//!   `*_like` presets) instantiate real weights and run on CPU. Their
+//!   dimensions are scaled-down but *proportionally faithful*: the Flux
+//!   preset is a pure DiT with more blocks and a longer token sequence
+//!   than the UNet-style SD presets, mirroring the relative compute
+//!   intensities in the paper's evaluation.
+//! - **Analytic paper-scale configs** ([`ModelConfig::paper_sd21`] and
+//!   friends) carry the real token lengths and hidden sizes of the
+//!   published models. They are never instantiated as weights — the
+//!   serving cost models use them to compute FLOPs and cache sizes per
+//!   Table 1.
+
+use crate::error::DiffusionError;
+use crate::Result;
+
+/// Transformer arrangement of the denoiser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// UNet-style model where transformer blocks dominate but sit inside
+    /// a convolutional scaffold (SD2.1, SDXL). Per the paper, transformer
+    /// computations account for ~82% of such models; the remaining
+    /// fraction is modelled as token-wise overhead.
+    UNet,
+    /// Pure diffusion transformer (Flux): a stack of transformer blocks.
+    Dit,
+}
+
+/// Static description of a diffusion model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelConfig {
+    /// Human-readable name, e.g. `"sdxl-like"`.
+    pub name: String,
+    /// Transformer arrangement.
+    pub arch: Architecture,
+    /// Latent grid height in tokens.
+    pub latent_h: usize,
+    /// Latent grid width in tokens.
+    pub latent_w: usize,
+    /// Latent channels per token (VAE output channels).
+    pub latent_channels: usize,
+    /// Pixel size of the square patch each token covers.
+    pub patch: usize,
+    /// Transformer hidden dimension.
+    pub hidden: usize,
+    /// Number of attention heads (`hidden % heads == 0`).
+    pub heads: usize,
+    /// Number of transformer blocks.
+    pub blocks: usize,
+    /// Feed-forward expansion factor (4 in every model the paper uses).
+    pub ffn_mult: usize,
+    /// Number of prompt tokens produced by the text encoder.
+    pub prompt_tokens: usize,
+    /// Default number of denoising steps.
+    pub steps: usize,
+    /// Seed from which all weights are derived.
+    pub weight_seed: u64,
+}
+
+impl ModelConfig {
+    /// Total number of image tokens `L = latent_h * latent_w`.
+    pub fn tokens(&self) -> usize {
+        self.latent_h * self.latent_w
+    }
+
+    /// Pixel height of images this model generates.
+    pub fn pixel_h(&self) -> usize {
+        self.latent_h * self.patch
+    }
+
+    /// Pixel width of images this model generates.
+    pub fn pixel_w(&self) -> usize {
+        self.latent_w * self.patch
+    }
+
+    /// Per-head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiffusionError::InvalidConfig`] when any dimension is
+    /// zero or `hidden` is not divisible by `heads`.
+    pub fn validate(&self) -> Result<()> {
+        let positive = [
+            ("latent_h", self.latent_h),
+            ("latent_w", self.latent_w),
+            ("latent_channels", self.latent_channels),
+            ("patch", self.patch),
+            ("hidden", self.hidden),
+            ("heads", self.heads),
+            ("blocks", self.blocks),
+            ("ffn_mult", self.ffn_mult),
+            ("prompt_tokens", self.prompt_tokens),
+            ("steps", self.steps),
+        ];
+        for (name, v) in positive {
+            if v == 0 {
+                return Err(DiffusionError::InvalidConfig {
+                    reason: format!("{name} must be positive"),
+                });
+            }
+        }
+        if !self.hidden.is_multiple_of(self.heads) {
+            return Err(DiffusionError::InvalidConfig {
+                reason: format!(
+                    "hidden ({}) must be divisible by heads ({})",
+                    self.hidden, self.heads
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Bytes of cached activations per block for the Y-caching variant:
+    /// one `[ (1-m)·L, H ]` f32 tensor (Table 1 of the paper).
+    pub fn cache_bytes_per_block(&self, mask_ratio: f64) -> u64 {
+        let unmasked = ((1.0 - mask_ratio).max(0.0) * self.tokens() as f64).round() as u64;
+        unmasked * self.hidden as u64 * 4
+    }
+
+    /// Bytes of cached activations for a whole template: every block of
+    /// every denoising step.
+    pub fn cache_bytes_total(&self, mask_ratio: f64) -> u64 {
+        self.cache_bytes_per_block(mask_ratio) * self.blocks as u64 * self.steps as u64
+    }
+
+    /// The tiniest config that exercises every code path; used by unit
+    /// tests.
+    pub fn tiny() -> Self {
+        Self {
+            name: "tiny".into(),
+            arch: Architecture::Dit,
+            latent_h: 4,
+            latent_w: 4,
+            latent_channels: 4,
+            patch: 2,
+            hidden: 16,
+            heads: 2,
+            blocks: 2,
+            ffn_mult: 2,
+            prompt_tokens: 4,
+            steps: 4,
+            weight_seed: 0xF1A5,
+        }
+    }
+
+    /// Runnable SD2.1-like preset: the smallest of the three evaluated
+    /// models (UNet, short sequence).
+    pub fn sd21_like() -> Self {
+        Self {
+            name: "sd21-like".into(),
+            arch: Architecture::UNet,
+            latent_h: 8,
+            latent_w: 8,
+            latent_channels: 4,
+            patch: 4,
+            hidden: 32,
+            heads: 4,
+            blocks: 4,
+            ffn_mult: 4,
+            prompt_tokens: 8,
+            steps: 8,
+            weight_seed: 0x5D21,
+        }
+    }
+
+    /// Runnable SDXL-like preset: larger hidden size and sequence than
+    /// SD2.1.
+    pub fn sdxl_like() -> Self {
+        Self {
+            name: "sdxl-like".into(),
+            arch: Architecture::UNet,
+            latent_h: 12,
+            latent_w: 12,
+            latent_channels: 4,
+            patch: 4,
+            hidden: 48,
+            heads: 6,
+            blocks: 6,
+            ffn_mult: 4,
+            prompt_tokens: 8,
+            steps: 10,
+            weight_seed: 0x5DE1,
+        }
+    }
+
+    /// Runnable Flux-like preset: pure DiT, the deepest and longest
+    /// sequence of the three.
+    pub fn flux_like() -> Self {
+        Self {
+            name: "flux-like".into(),
+            arch: Architecture::Dit,
+            latent_h: 16,
+            latent_w: 16,
+            latent_channels: 4,
+            patch: 4,
+            hidden: 64,
+            heads: 8,
+            blocks: 8,
+            ffn_mult: 4,
+            prompt_tokens: 8,
+            steps: 12,
+            weight_seed: 0xF1BC,
+        }
+    }
+
+    /// Analytic paper-scale SD2.1 (512×512 editing): used by cost
+    /// models only, never instantiated. `latent_h/w` give the
+    /// *effective* attention token count (UNet attention runs at
+    /// downsampled resolutions).
+    pub fn paper_sd21() -> Self {
+        Self {
+            name: "sd2.1".into(),
+            arch: Architecture::UNet,
+            latent_h: 64,
+            latent_w: 64,
+            latent_channels: 4,
+            patch: 8,
+            hidden: 768,
+            heads: 12,
+            blocks: 16,
+            ffn_mult: 4,
+            prompt_tokens: 77,
+            steps: 50,
+            weight_seed: 0,
+        }
+    }
+
+    /// Analytic paper-scale SDXL (1024×1024; effective attention
+    /// resolution 64×64 with 24 transformer blocks).
+    pub fn paper_sdxl() -> Self {
+        Self {
+            name: "sdxl".into(),
+            arch: Architecture::UNet,
+            latent_h: 64,
+            latent_w: 64,
+            latent_channels: 4,
+            patch: 16,
+            hidden: 1280,
+            heads: 20,
+            blocks: 24,
+            ffn_mult: 4,
+            prompt_tokens: 77,
+            steps: 50,
+            weight_seed: 0,
+        }
+    }
+
+    /// Analytic paper-scale Flux (1024×1024, 2×2 latent patching →
+    /// 4096 tokens, 19 joint + 38 single DiT blocks ≈ 57 blocks).
+    pub fn paper_flux() -> Self {
+        Self {
+            name: "flux".into(),
+            arch: Architecture::Dit,
+            latent_h: 64,
+            latent_w: 64,
+            latent_channels: 64,
+            patch: 16,
+            hidden: 3072,
+            heads: 24,
+            blocks: 57,
+            ffn_mult: 4,
+            prompt_tokens: 512,
+            steps: 28,
+            weight_seed: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for cfg in [
+            ModelConfig::tiny(),
+            ModelConfig::sd21_like(),
+            ModelConfig::sdxl_like(),
+            ModelConfig::flux_like(),
+            ModelConfig::paper_sd21(),
+            ModelConfig::paper_sdxl(),
+            ModelConfig::paper_flux(),
+        ] {
+            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut cfg = ModelConfig::tiny();
+        cfg.heads = 3;
+        assert!(cfg.validate().is_err(), "hidden not divisible by heads");
+        let mut cfg = ModelConfig::tiny();
+        cfg.blocks = 0;
+        assert!(cfg.validate().is_err(), "zero blocks");
+    }
+
+    #[test]
+    fn derived_dimensions() {
+        let cfg = ModelConfig::tiny();
+        assert_eq!(cfg.tokens(), 16);
+        assert_eq!(cfg.pixel_h(), 8);
+        assert_eq!(cfg.pixel_w(), 8);
+        assert_eq!(cfg.head_dim(), 8);
+    }
+
+    #[test]
+    fn cache_size_scales_with_unmasked_fraction() {
+        let cfg = ModelConfig::sdxl_like();
+        let full = cfg.cache_bytes_per_block(0.0);
+        let half = cfg.cache_bytes_per_block(0.5);
+        let none = cfg.cache_bytes_per_block(1.0);
+        assert_eq!(full, (cfg.tokens() * cfg.hidden * 4) as u64);
+        assert!(half < full && half > none);
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn paper_scale_cache_is_gib_scale() {
+        // The paper reports up to 2.6 GiB of cached activations for an
+        // SDXL template; our analytic config should be the same order.
+        let cfg = ModelConfig::paper_sdxl();
+        let gib = cfg.cache_bytes_total(0.11) as f64 / (1u64 << 30) as f64;
+        assert!(gib > 0.5 && gib < 50.0, "got {gib} GiB");
+    }
+
+    #[test]
+    fn model_scale_ordering_matches_paper() {
+        // Flux > SDXL > SD2.1 in per-step compute intensity.
+        let flops = |cfg: &ModelConfig| {
+            crate::flops::step_flops_full(cfg, 1)
+        };
+        let sd21 = flops(&ModelConfig::paper_sd21());
+        let sdxl = flops(&ModelConfig::paper_sdxl());
+        let flux = flops(&ModelConfig::paper_flux());
+        assert!(sd21 < sdxl && sdxl < flux);
+    }
+}

@@ -1,0 +1,115 @@
+//! Prompt and timestep embeddings.
+//!
+//! The text encoder of a real pipeline is replaced by a deterministic
+//! hash-seeded embedding: a prompt maps to a fixed sequence of token
+//! vectors that is stable across runs, distinct across prompts, and
+//! smooth under no transformation (two different prompts are simply
+//! different conditions — exactly how the quality benchmarks use them).
+
+use fps_tensor::rng::{hash_bytes, DetRng};
+use fps_tensor::Tensor;
+
+use crate::config::ModelConfig;
+
+/// Produces the `[prompt_tokens, hidden]` embedding of a prompt string.
+///
+/// The embedding is a pure function of `(prompt, cfg.weight_seed,
+/// cfg.prompt_tokens, cfg.hidden)`.
+pub fn embed_prompt(cfg: &ModelConfig, prompt: &str) -> Tensor {
+    let seed = hash_bytes(prompt.as_bytes(), cfg.weight_seed ^ 0x5052_4F4D_5054);
+    let mut rng = DetRng::new(seed);
+    // Scale down so prompt tokens have comparable magnitude to
+    // normalized image tokens.
+    Tensor::randn([cfg.prompt_tokens, cfg.hidden], &mut rng).scale(0.5)
+}
+
+/// Produces the sinusoidal `[hidden]` embedding of a denoising timestep.
+///
+/// Standard transformer positional encoding applied to the continuous
+/// timestep value `t ∈ [0, 1]` (1 = pure noise, 0 = clean).
+pub fn embed_timestep(cfg: &ModelConfig, t: f32) -> Tensor {
+    let h = cfg.hidden;
+    let mut data = vec![0.0f32; h];
+    let half = h / 2;
+    for i in 0..half {
+        // Frequencies spanning ~4 decades, as in standard DDPM code.
+        let freq = (10_000.0f32).powf(-(i as f32) / half.max(1) as f32);
+        let angle = t * 1000.0 * freq;
+        data[i] = angle.sin();
+        data[half + i] = angle.cos();
+    }
+    // Odd hidden sizes leave the final slot at zero, which is harmless.
+    Tensor::from_vec(data, [h]).expect("length matches by construction")
+}
+
+/// Pools a prompt embedding and a timestep embedding into the single
+/// conditioning vector `[hidden]` consumed by AdaLN modulation.
+pub fn pool_condition(prompt_emb: &Tensor, t_emb: &Tensor) -> Tensor {
+    let tokens = prompt_emb.dims()[0];
+    let h = prompt_emb.dims()[1];
+    let mut pooled = vec![0.0f32; h];
+    for tok in 0..tokens {
+        for (p, &v) in pooled
+            .iter_mut()
+            .zip(prompt_emb.data()[tok * h..(tok + 1) * h].iter())
+        {
+            *p += v;
+        }
+    }
+    let inv = 1.0 / tokens.max(1) as f32;
+    for (p, &t) in pooled.iter_mut().zip(t_emb.data().iter()) {
+        *p = *p * inv + t;
+    }
+    Tensor::from_vec(pooled, [h]).expect("length matches by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prompt_embedding_is_deterministic_and_distinct() {
+        let cfg = ModelConfig::tiny();
+        let a = embed_prompt(&cfg, "a red hat");
+        let b = embed_prompt(&cfg, "a red hat");
+        let c = embed_prompt(&cfg, "a blue hat");
+        assert_eq!(a, b);
+        assert!(a.max_abs_diff(&c).unwrap() > 0.1);
+        assert_eq!(a.dims(), &[cfg.prompt_tokens, cfg.hidden]);
+    }
+
+    #[test]
+    fn timestep_embedding_varies_smoothly() {
+        let cfg = ModelConfig::tiny();
+        let e0 = embed_timestep(&cfg, 0.500);
+        let e1 = embed_timestep(&cfg, 0.501);
+        let e9 = embed_timestep(&cfg, 0.9);
+        let near = e0.max_abs_diff(&e1).unwrap();
+        let far = e0.max_abs_diff(&e9).unwrap();
+        assert!(near < far, "near={near} far={far}");
+        assert!(e0.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn timestep_embedding_bounded() {
+        let cfg = ModelConfig::flux_like();
+        for t in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let e = embed_timestep(&cfg, t);
+            assert!(e.data().iter().all(|v| v.abs() <= 1.0));
+        }
+    }
+
+    #[test]
+    fn pooled_condition_mixes_both_inputs() {
+        let cfg = ModelConfig::tiny();
+        let p = embed_prompt(&cfg, "x");
+        let t1 = embed_timestep(&cfg, 0.1);
+        let t2 = embed_timestep(&cfg, 0.9);
+        let c1 = pool_condition(&p, &t1);
+        let c2 = pool_condition(&p, &t2);
+        assert!(c1.max_abs_diff(&c2).unwrap() > 1e-3);
+        let p2 = embed_prompt(&cfg, "y");
+        let c3 = pool_condition(&p2, &t1);
+        assert!(c1.max_abs_diff(&c3).unwrap() > 1e-3);
+    }
+}

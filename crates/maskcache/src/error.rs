@@ -1,0 +1,65 @@
+//! Error types for the cache engine.
+
+use core::fmt;
+
+/// Errors produced by the cache store and pipeline planner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError {
+    /// The requested template has never been inserted.
+    Missing {
+        /// Template identifier of the missing entry.
+        template_id: u64,
+    },
+    /// An entry is too large for the configured tiers.
+    TooLarge {
+        /// Template identifier of the oversized entry.
+        template_id: u64,
+        /// Entry size in bytes.
+        bytes: u64,
+        /// Total capacity of the largest tier.
+        capacity: u64,
+    },
+    /// The planner was given inconsistent inputs.
+    InvalidInput {
+        /// Description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Missing { template_id } => {
+                write!(f, "no cached activations for template {template_id}")
+            }
+            Self::TooLarge {
+                template_id,
+                bytes,
+                capacity,
+            } => write!(
+                f,
+                "template {template_id} needs {bytes} B, exceeding tier capacity {capacity} B"
+            ),
+            Self::InvalidInput { reason } => write!(f, "invalid planner input: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_ids() {
+        let e = CacheError::Missing { template_id: 9 };
+        assert!(e.to_string().contains('9'));
+        let e = CacheError::TooLarge {
+            template_id: 1,
+            bytes: 10,
+            capacity: 5,
+        };
+        assert!(e.to_string().contains("10"));
+    }
+}

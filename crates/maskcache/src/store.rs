@@ -1,0 +1,395 @@
+//! Hierarchical activation storage: host memory over disk with LRU
+//! eviction and prefetch-while-queued (§4.2).
+//!
+//! The store tracks *residency and timing*, not tensor payloads: the
+//! numeric substrate keeps live activations in
+//! `fps_diffusion::TemplateCache`, while serving experiments need to
+//! know *where* a template's bytes live and *when* they become
+//! host-resident. Disk→host transfers serialize on a disk read stream;
+//! host→HBM transfer latency is the worker cost model's job
+//! (`fps-serving`), because it contends with that worker's PCIe link.
+//!
+//! An optional [`bytes::Bytes`] payload per entry lets integration
+//! tests exercise real byte movement (serialized activations) through
+//! the same code path.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use fps_simtime::{Resource, SimDuration, SimTime};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use crate::error::CacheError;
+use crate::Result;
+
+/// Where a template's activations currently reside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Host DRAM: ready for pipeline loading immediately.
+    Host,
+    /// Disk / distributed storage: must be prefetched to host first.
+    Disk,
+}
+
+/// Capacities and bandwidths of the storage hierarchy.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Host-memory budget for cached activations, in bytes.
+    pub host_capacity: u64,
+    /// Disk budget, in bytes (`u64::MAX` for effectively unbounded).
+    pub disk_capacity: u64,
+    /// Disk→host read bandwidth, bytes/second (GiB/s order per §4.2).
+    pub disk_read_bw: f64,
+}
+
+impl StoreConfig {
+    /// A production-like default: 2 TiB host (the paper's EC2 P5-class
+    /// figure), unbounded disk at 2 GiB/s.
+    pub fn production_like() -> Self {
+        Self {
+            host_capacity: 2 << 40,
+            disk_capacity: u64::MAX,
+            disk_read_bw: 2.0 * (1u64 << 30) as f64,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    bytes: u64,
+    tier: Tier,
+    /// When the entry becomes host-resident (for in-flight prefetches).
+    host_ready_at: SimTime,
+    /// LRU clock of the last touch.
+    last_used: u64,
+    payload: Option<Bytes>,
+}
+
+/// Counters describing store behaviour over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups that found the entry host-resident.
+    pub host_hits: u64,
+    /// Lookups that triggered or waited on a disk prefetch.
+    pub disk_hits: u64,
+    /// Lookups for templates never inserted.
+    pub misses: u64,
+    /// Entries demoted host→disk by LRU pressure.
+    pub evictions: u64,
+}
+
+/// The two-tier activation store.
+#[derive(Debug)]
+pub struct HierarchicalStore {
+    config: StoreConfig,
+    entries: HashMap<u64, Entry>,
+    host_used: u64,
+    disk_used: u64,
+    disk_stream: Resource,
+    clock: u64,
+    stats: StoreStats,
+}
+
+impl HierarchicalStore {
+    /// Creates an empty store.
+    pub fn new(config: StoreConfig) -> Self {
+        Self {
+            config,
+            entries: HashMap::new(),
+            host_used: 0,
+            disk_used: 0,
+            disk_stream: Resource::new(),
+            clock: 0,
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// Behaviour counters accumulated so far.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Bytes currently host-resident.
+    pub fn host_used(&self) -> u64 {
+        self.host_used
+    }
+
+    /// Number of templates tracked (either tier).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store tracks no templates.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Current tier of a template, if present.
+    pub fn locate(&self, template_id: u64) -> Option<Tier> {
+        self.entries.get(&template_id).map(|e| e.tier)
+    }
+
+    /// Optional byte payload of a template, if present and attached.
+    pub fn payload(&self, template_id: u64) -> Option<Bytes> {
+        self.entries
+            .get(&template_id)
+            .and_then(|e| e.payload.clone())
+    }
+
+    /// Inserts (or replaces) a template's activations into host memory,
+    /// evicting least-recently-used entries to disk as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::TooLarge`] when the entry exceeds the host
+    /// capacity outright.
+    pub fn insert(
+        &mut self,
+        template_id: u64,
+        bytes: u64,
+        now: SimTime,
+        payload: Option<Bytes>,
+    ) -> Result<()> {
+        if bytes > self.config.host_capacity {
+            return Err(CacheError::TooLarge {
+                template_id,
+                bytes,
+                capacity: self.config.host_capacity,
+            });
+        }
+        // Replacing an entry frees its old accounting first.
+        self.remove(template_id);
+        self.make_host_room(bytes, template_id);
+        self.clock += 1;
+        self.host_used += bytes;
+        self.entries.insert(
+            template_id,
+            Entry {
+                bytes,
+                tier: Tier::Host,
+                host_ready_at: now,
+                last_used: self.clock,
+                payload,
+            },
+        );
+        Ok(())
+    }
+
+    /// Removes a template entirely; returns whether it existed.
+    pub fn remove(&mut self, template_id: u64) -> bool {
+        match self.entries.remove(&template_id) {
+            Some(e) => {
+                match e.tier {
+                    Tier::Host => self.host_used -= e.bytes,
+                    Tier::Disk => self.disk_used -= e.bytes,
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Requests a template's activations for use at `now` (typically a
+    /// request's arrival, so the disk→host prefetch overlaps queueing,
+    /// §4.2). Returns the time the activations are host-resident.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::Missing`] for unknown templates.
+    pub fn fetch(&mut self, template_id: u64, now: SimTime) -> Result<SimTime> {
+        let entry = match self.entries.get(&template_id) {
+            Some(e) => e.clone(),
+            None => {
+                self.stats.misses += 1;
+                return Err(CacheError::Missing { template_id });
+            }
+        };
+        self.clock += 1;
+        match entry.tier {
+            Tier::Host => {
+                self.stats.host_hits += 1;
+                let ready = entry.host_ready_at.max(now);
+                if let Some(e) = self.entries.get_mut(&template_id) {
+                    e.last_used = self.clock;
+                }
+                Ok(ready)
+            }
+            Tier::Disk => {
+                self.stats.disk_hits += 1;
+                let duration =
+                    SimDuration::from_secs_f64(entry.bytes as f64 / self.config.disk_read_bw);
+                let (_, finish) = self.disk_stream.acquire(now, duration);
+                // Promote to host; the bytes occupy host memory from now
+                // (reservation) and are usable at `finish`.
+                self.make_host_room(entry.bytes, template_id);
+                self.disk_used -= entry.bytes;
+                self.host_used += entry.bytes;
+                let clock = self.clock;
+                if let Some(e) = self.entries.get_mut(&template_id) {
+                    e.tier = Tier::Host;
+                    e.host_ready_at = finish;
+                    e.last_used = clock;
+                }
+                Ok(finish)
+            }
+        }
+    }
+
+    /// Evicts LRU host entries (never `protect`) until `bytes` fit.
+    fn make_host_room(&mut self, bytes: u64, protect: u64) {
+        while self.host_used + bytes > self.config.host_capacity {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(id, e)| e.tier == Tier::Host && **id != protect)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(id, _)| *id);
+            let Some(victim) = victim else { break };
+            let e = self.entries.get_mut(&victim).expect("victim exists");
+            e.tier = Tier::Disk;
+            self.host_used -= e.bytes;
+            self.disk_used += e.bytes;
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+/// A store shared between threads (the real-threaded serving mode).
+pub type SharedStore = Arc<Mutex<HierarchicalStore>>;
+
+/// Wraps a store for cross-thread sharing.
+pub fn shared(store: HierarchicalStore) -> SharedStore {
+    Arc::new(Mutex::new(store))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(host: u64, bw: f64) -> StoreConfig {
+        StoreConfig {
+            host_capacity: host,
+            disk_capacity: u64::MAX,
+            disk_read_bw: bw,
+        }
+    }
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_nanos((secs * 1e9) as u64)
+    }
+
+    #[test]
+    fn insert_and_fetch_host_hit() {
+        let mut s = HierarchicalStore::new(cfg(1000, 100.0));
+        s.insert(1, 400, SimTime::ZERO, None).unwrap();
+        assert_eq!(s.locate(1), Some(Tier::Host));
+        let ready = s.fetch(1, t(1.0)).unwrap();
+        assert_eq!(ready, t(1.0), "host-resident data is ready immediately");
+        assert_eq!(s.stats().host_hits, 1);
+    }
+
+    #[test]
+    fn oversized_insert_rejected_and_missing_fetch_fails() {
+        let mut s = HierarchicalStore::new(cfg(100, 100.0));
+        assert!(matches!(
+            s.insert(1, 200, SimTime::ZERO, None),
+            Err(CacheError::TooLarge { .. })
+        ));
+        assert!(matches!(
+            s.fetch(9, SimTime::ZERO),
+            Err(CacheError::Missing { .. })
+        ));
+        assert_eq!(s.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_cold_entries_to_disk() {
+        let mut s = HierarchicalStore::new(cfg(1000, 100.0));
+        s.insert(1, 400, SimTime::ZERO, None).unwrap();
+        s.insert(2, 400, SimTime::ZERO, None).unwrap();
+        // Touch 1 so 2 becomes LRU.
+        s.fetch(1, t(0.1)).unwrap();
+        s.insert(3, 400, SimTime::ZERO, None).unwrap();
+        assert_eq!(s.locate(2), Some(Tier::Disk), "LRU victim demoted");
+        assert_eq!(s.locate(1), Some(Tier::Host));
+        assert_eq!(s.locate(3), Some(Tier::Host));
+        assert_eq!(s.stats().evictions, 1);
+        assert!(s.host_used() <= 1000);
+    }
+
+    #[test]
+    fn disk_fetch_pays_bandwidth_and_promotes() {
+        // 400 B at 100 B/s = 4 s transfer.
+        let mut s = HierarchicalStore::new(cfg(400, 100.0));
+        s.insert(1, 400, SimTime::ZERO, None).unwrap();
+        s.insert(2, 400, SimTime::ZERO, None).unwrap(); // evicts 1
+        assert_eq!(s.locate(1), Some(Tier::Disk));
+        let ready = s.fetch(1, t(10.0)).unwrap();
+        assert_eq!(ready, t(14.0));
+        assert_eq!(s.locate(1), Some(Tier::Host));
+        assert_eq!(s.stats().disk_hits, 1);
+    }
+
+    #[test]
+    fn disk_transfers_serialize_on_the_read_stream() {
+        let mut s = HierarchicalStore::new(cfg(800, 100.0));
+        s.insert(1, 400, SimTime::ZERO, None).unwrap();
+        s.insert(2, 400, SimTime::ZERO, None).unwrap();
+        s.insert(3, 400, SimTime::ZERO, None).unwrap(); // evicts 1
+        s.insert(4, 400, SimTime::ZERO, None).unwrap(); // evicts 2
+        assert_eq!(s.locate(1), Some(Tier::Disk));
+        assert_eq!(s.locate(2), Some(Tier::Disk));
+        // Both fetched at t=0: second transfer queues behind the first.
+        let r1 = s.fetch(1, SimTime::ZERO).unwrap();
+        let r2 = s.fetch(2, SimTime::ZERO).unwrap();
+        assert_eq!(r1, t(4.0));
+        assert_eq!(r2, t(8.0));
+    }
+
+    #[test]
+    fn prefetch_while_queued_hides_disk_latency() {
+        // §4.2: a request that queues for ≥ the transfer time sees a
+        // host-ready cache when it starts.
+        let mut s = HierarchicalStore::new(cfg(400, 100.0));
+        s.insert(1, 400, SimTime::ZERO, None).unwrap();
+        s.insert(2, 400, SimTime::ZERO, None).unwrap(); // evicts 1
+        let ready = s.fetch(1, t(0.0)).unwrap(); // prefetch at arrival
+        let dequeue = t(6.0); // request leaves the queue at 6 s
+        assert!(ready <= dequeue, "transfer finished during queueing");
+        // A second fetch is now a host hit with no extra delay.
+        let again = s.fetch(1, dequeue).unwrap();
+        assert_eq!(again, dequeue);
+    }
+
+    #[test]
+    fn replacement_updates_accounting() {
+        let mut s = HierarchicalStore::new(cfg(1000, 100.0));
+        s.insert(1, 400, SimTime::ZERO, None).unwrap();
+        s.insert(1, 100, SimTime::ZERO, None).unwrap();
+        assert_eq!(s.host_used(), 100);
+        assert!(s.remove(1));
+        assert!(!s.remove(1));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn payload_round_trips() {
+        let mut s = HierarchicalStore::new(cfg(1000, 100.0));
+        let data = Bytes::from_static(b"activations");
+        s.insert(5, 11, SimTime::ZERO, Some(data.clone())).unwrap();
+        assert_eq!(s.payload(5).unwrap(), data);
+        assert!(s.payload(6).is_none());
+    }
+
+    #[test]
+    fn shared_store_is_usable_across_threads() {
+        let s = shared(HierarchicalStore::new(cfg(1000, 100.0)));
+        let s2 = Arc::clone(&s);
+        let h = std::thread::spawn(move || {
+            s2.lock().insert(1, 10, SimTime::ZERO, None).unwrap();
+        });
+        h.join().unwrap();
+        assert_eq!(s.lock().locate(1), Some(Tier::Host));
+    }
+}

@@ -1,0 +1,176 @@
+//! Fixed-width histograms.
+
+/// A histogram with uniform bucket widths over `[lo, hi)`.
+///
+/// Out-of-range samples clamp into the first/last bucket so totals are
+/// never lost (mask ratios occasionally land exactly on 1.0).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` uniform buckets over
+    /// `[lo, hi)`. Returns `None` for a degenerate range or zero
+    /// buckets.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Option<Self> {
+        if lo >= hi || buckets == 0 || !lo.is_finite() || !hi.is_finite() {
+            return None;
+        }
+        Some(Self {
+            lo,
+            hi,
+            counts: vec![0; buckets],
+            total: 0,
+            sum: 0.0,
+        })
+    }
+
+    /// Records a sample (non-finite samples are ignored).
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let n = self.counts.len();
+        let frac = (v - self.lo) / (self.hi - self.lo);
+        let idx = ((frac * n as f64).floor() as i64).clamp(0, n as i64 - 1) as usize;
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += v;
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of the recorded samples (not bucket midpoints); 0.0 when
+    /// empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Per-bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Per-bucket probability mass; all zeros when empty.
+    pub fn pmf(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// `(bucket_midpoint, probability)` pairs, for plotting.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.counts.len();
+        let width = (self.hi - self.lo) / n as f64;
+        self.pmf()
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (self.lo + (i as f64 + 0.5) * width, p))
+            .collect()
+    }
+
+    /// Renders a compact ASCII bar chart, one line per bucket.
+    pub fn ascii(&self, bar_width: usize) -> String {
+        let pmf = self.pmf();
+        let max = pmf.iter().copied().fold(0.0f64, f64::max).max(1e-12);
+        let n = self.counts.len();
+        let width = (self.hi - self.lo) / n as f64;
+        let mut out = String::new();
+        for (i, p) in pmf.iter().enumerate() {
+            let bars = ((p / max) * bar_width as f64).round() as usize;
+            out.push_str(&format!(
+                "[{:7.3},{:7.3}) {:6.3} {}\n",
+                self.lo + i as f64 * width,
+                self.lo + (i + 1) as f64 * width,
+                p,
+                "#".repeat(bars)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Histogram::new(0.0, 1.0, 10).is_some());
+        assert!(Histogram::new(1.0, 1.0, 10).is_none());
+        assert!(Histogram::new(2.0, 1.0, 10).is_none());
+        assert!(Histogram::new(0.0, 1.0, 0).is_none());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_none());
+    }
+
+    #[test]
+    fn records_into_correct_buckets() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        h.record(0.1); // bucket 0
+        h.record(0.3); // bucket 1
+        h.record(0.55); // bucket 2
+        h.record(0.9); // bucket 3
+        assert_eq!(h.counts(), &[1, 1, 1, 1]);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.record(-5.0);
+        h.record(1.0); // exactly hi clamps into last bucket
+        h.record(7.0);
+        assert_eq!(h.counts(), &[1, 2]);
+        h.record(f64::NAN);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        for i in 0..100 {
+            h.record(i as f64 / 10.0);
+        }
+        let sum: f64 = h.pmf().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((h.mean() - 4.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_behaves() {
+        let h = Histogram::new(0.0, 1.0, 3).unwrap();
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.pmf().iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn points_and_ascii() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.record(0.2);
+        h.record(0.7);
+        h.record(0.8);
+        let pts = h.points();
+        assert_eq!(pts.len(), 2);
+        assert!((pts[0].0 - 0.25).abs() < 1e-12);
+        assert!((pts[1].1 - 2.0 / 3.0).abs() < 1e-12);
+        let art = h.ascii(10);
+        assert_eq!(art.lines().count(), 2);
+        assert!(art.contains('#'));
+    }
+}

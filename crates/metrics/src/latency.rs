@@ -1,0 +1,148 @@
+//! Per-request latency breakdowns.
+//!
+//! The paper reports end-to-end latency together with its queueing
+//! component (Fig. 12-rightmost) and the inference component (Fig.
+//! 16-left). [`LatencyRecorder`] accumulates those breakdowns per
+//! request and summarizes each component.
+
+use crate::stats::Summary;
+
+/// The latency components of one served request, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyBreakdown {
+    /// Time from arrival until the request first enters a running batch.
+    pub queueing: f64,
+    /// Time spent in pre/post-processing.
+    pub processing: f64,
+    /// Time spent in denoising computation (including interruption
+    /// stalls).
+    pub inference: f64,
+}
+
+impl LatencyBreakdown {
+    /// End-to-end latency: the sum of all components.
+    pub fn total(&self) -> f64 {
+        self.queueing + self.processing + self.inference
+    }
+}
+
+/// Accumulates request latency breakdowns.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    records: Vec<LatencyBreakdown>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one request.
+    pub fn record(&mut self, b: LatencyBreakdown) {
+        self.records.push(b);
+    }
+
+    /// Number of requests recorded.
+    pub fn count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// All recorded breakdowns.
+    pub fn records(&self) -> &[LatencyBreakdown] {
+        &self.records
+    }
+
+    /// Summary of end-to-end latencies; `None` when empty.
+    pub fn total_summary(&self) -> Option<Summary> {
+        Summary::of(&self.records.iter().map(|r| r.total()).collect::<Vec<_>>())
+    }
+
+    /// Summary of the queueing component; `None` when empty.
+    pub fn queueing_summary(&self) -> Option<Summary> {
+        Summary::of(&self.records.iter().map(|r| r.queueing).collect::<Vec<_>>())
+    }
+
+    /// Summary of the inference component; `None` when empty.
+    pub fn inference_summary(&self) -> Option<Summary> {
+        Summary::of(
+            &self
+                .records
+                .iter()
+                .map(|r| r.inference)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Mean fraction of end-to-end latency spent queueing; `None` when
+    /// empty.
+    pub fn mean_queueing_fraction(&self) -> Option<f64> {
+        if self.records.is_empty() {
+            return None;
+        }
+        let fracs: Vec<f64> = self
+            .records
+            .iter()
+            .map(|r| {
+                let t = r.total();
+                if t <= 0.0 {
+                    0.0
+                } else {
+                    r.queueing / t
+                }
+            })
+            .collect();
+        Some(fracs.iter().sum::<f64>() / fracs.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(q: f64, p: f64, i: f64) -> LatencyBreakdown {
+        LatencyBreakdown {
+            queueing: q,
+            processing: p,
+            inference: i,
+        }
+    }
+
+    #[test]
+    fn totals_sum_components() {
+        assert_eq!(b(1.0, 0.5, 2.0).total(), 3.5);
+        assert_eq!(LatencyBreakdown::default().total(), 0.0);
+    }
+
+    #[test]
+    fn recorder_summaries() {
+        let mut r = LatencyRecorder::new();
+        r.record(b(1.0, 0.0, 1.0));
+        r.record(b(3.0, 0.0, 1.0));
+        assert_eq!(r.count(), 2);
+        let total = r.total_summary().unwrap();
+        assert_eq!(total.mean, 3.0);
+        let q = r.queueing_summary().unwrap();
+        assert_eq!(q.mean, 2.0);
+        let inf = r.inference_summary().unwrap();
+        assert_eq!(inf.mean, 1.0);
+    }
+
+    #[test]
+    fn queueing_fraction() {
+        let mut r = LatencyRecorder::new();
+        r.record(b(1.0, 0.0, 1.0)); // 50 %
+        r.record(b(0.0, 0.0, 2.0)); // 0 %
+        assert!((r.mean_queueing_fraction().unwrap() - 0.25).abs() < 1e-12);
+        let empty = LatencyRecorder::new();
+        assert!(empty.mean_queueing_fraction().is_none());
+        assert!(empty.total_summary().is_none());
+    }
+
+    #[test]
+    fn zero_total_does_not_divide_by_zero() {
+        let mut r = LatencyRecorder::new();
+        r.record(LatencyBreakdown::default());
+        assert_eq!(r.mean_queueing_fraction().unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Measurement utilities for the FlashPS experiments.
+//!
+//! - [`stats`] — percentiles and moment summaries for latency samples.
+//! - [`histogram`] — fixed-width histograms (the mask-ratio
+//!   distributions of Fig. 3).
+//! - [`regression`] — least-squares linear fits with R², the latency
+//!   estimators of Fig. 11 and Algorithm 2.
+//! - [`latency`] — a recorder that accumulates per-request latency
+//!   breakdowns (queueing, loading, compute) and summarizes them.
+//! - [`report`] — fixed-width text tables for experiment binaries.
+
+pub mod histogram;
+pub mod latency;
+pub mod plot;
+pub mod regression;
+pub mod report;
+pub mod stats;
+pub mod throughput;
+
+pub use histogram::Histogram;
+pub use latency::{LatencyBreakdown, LatencyRecorder};
+pub use plot::{line_plot, Series};
+pub use regression::LinearRegression;
+pub use report::Table;
+pub use stats::Summary;
+pub use throughput::ThroughputCounter;

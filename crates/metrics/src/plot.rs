@@ -1,0 +1,147 @@
+//! ASCII line plots for experiment binaries.
+//!
+//! The figure binaries print their series as terminal plots alongside
+//! the tables, so the *shape* of each reproduced figure is visible
+//! without any plotting toolchain.
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Points in any order; sorted by `x` when rendered.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            name: name.into(),
+            points,
+        }
+    }
+}
+
+/// Marker characters assigned to series in order.
+const MARKS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+/// Renders series into a `width × height` ASCII grid with axis labels
+/// and a legend. Returns a placeholder string when no finite points
+/// exist.
+pub fn line_plot(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    let width = width.clamp(16, 200);
+    let height = height.clamp(4, 60);
+    let finite: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if finite.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (x, y) in &finite {
+        x_min = x_min.min(*x);
+        x_max = x_max.max(*x);
+        y_min = y_min.min(*y);
+        y_max = y_max.max(*y);
+    }
+    // Degenerate ranges expand symmetrically.
+    if x_max - x_min < 1e-12 {
+        x_min -= 0.5;
+        x_max += 0.5;
+    }
+    if y_max - y_min < 1e-12 {
+        y_min -= 0.5;
+        y_max += 0.5;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        let mut pts: Vec<(f64, f64)> = s
+            .points
+            .iter()
+            .copied()
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        for (x, y) in pts {
+            let col = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+            let row = (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row.min(height - 1);
+            grid[row][col.min(width - 1)] = mark;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_max:>9.2} |")
+        } else if i == height - 1 {
+            format!("{y_min:>9.2} |")
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>9} +{}\n{:>11}{x_min:<.2}{:>pad$}{x_max:.2}\n",
+        "",
+        "-".repeat(width),
+        "",
+        "",
+        pad = width.saturating_sub(12)
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", MARKS[si % MARKS.len()], s.name));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_marks_and_legend() {
+        let s = vec![
+            Series::new("flashps", vec![(1.0, 1.0), (2.0, 1.5), (3.0, 2.0)]),
+            Series::new("diffusers", vec![(1.0, 2.0), (2.0, 5.0), (3.0, 10.0)]),
+        ];
+        let plot = line_plot("latency vs rps", &s, 40, 10);
+        assert!(plot.contains("latency vs rps"));
+        assert!(plot.contains('*'));
+        assert!(plot.contains('o'));
+        assert!(plot.contains("flashps"));
+        assert!(plot.contains("diffusers"));
+        assert!(plot.contains("10.00"), "y max label present: {plot}");
+    }
+
+    #[test]
+    fn handles_empty_and_degenerate_inputs() {
+        assert!(line_plot("t", &[], 40, 10).contains("no data"));
+        let s = vec![Series::new("flat", vec![(1.0, 3.0), (1.0, 3.0)])];
+        let plot = line_plot("flat", &s, 40, 10);
+        assert!(plot.contains('*'));
+        let s = vec![Series::new("nan", vec![(f64::NAN, 1.0)])];
+        assert!(line_plot("t", &s, 40, 10).contains("no data"));
+    }
+
+    #[test]
+    fn high_values_plot_above_low_values() {
+        let s = vec![Series::new("line", vec![(0.0, 0.0), (10.0, 10.0)])];
+        let plot = line_plot("t", &s, 20, 8);
+        let rows: Vec<&str> = plot.lines().skip(1).take(8).collect();
+        let top = rows.first().expect("rows");
+        let bottom = rows.last().expect("rows");
+        // The high-y point is in the top row at the right; the low-y
+        // point at the bottom left.
+        assert!(top.trim_end().ends_with('*'), "top: {top}");
+        assert!(bottom.contains('*'), "bottom: {bottom}");
+    }
+}

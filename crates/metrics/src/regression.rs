@@ -1,0 +1,142 @@
+//! Least-squares linear regression with R².
+//!
+//! FlashPS's scheduler (§4.4) estimates a worker's computation and
+//! cache-loading latency with linear models fitted on offline profiling
+//! data; Fig. 11 reports R² = 0.99 for those fits. This module is that
+//! estimator.
+
+/// A fitted line `y = slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearRegression {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination on the training data.
+    pub r2: f64,
+}
+
+impl LinearRegression {
+    /// Fits a line to `(x, y)` pairs by ordinary least squares.
+    ///
+    /// Returns `None` for fewer than two points, non-finite inputs, or
+    /// zero variance in `x`. A perfectly constant `y` yields `r2 = 1.0`
+    /// (the line predicts it exactly).
+    pub fn fit(points: &[(f64, f64)]) -> Option<Self> {
+        if points.len() < 2 {
+            return None;
+        }
+        if points.iter().any(|(x, y)| !x.is_finite() || !y.is_finite()) {
+            return None;
+        }
+        let n = points.len() as f64;
+        let mean_x = points.iter().map(|(x, _)| x).sum::<f64>() / n;
+        let mean_y = points.iter().map(|(_, y)| y).sum::<f64>() / n;
+        let sxx: f64 = points.iter().map(|(x, _)| (x - mean_x) * (x - mean_x)).sum();
+        let sxy: f64 = points
+            .iter()
+            .map(|(x, y)| (x - mean_x) * (y - mean_y))
+            .sum();
+        if sxx == 0.0 {
+            return None;
+        }
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        let ss_tot: f64 = points.iter().map(|(_, y)| (y - mean_y) * (y - mean_y)).sum();
+        let ss_res: f64 = points
+            .iter()
+            .map(|(x, y)| {
+                let pred = slope * x + intercept;
+                (y - pred) * (y - pred)
+            })
+            .sum();
+        let r2 = if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+        Some(Self {
+            slope,
+            intercept,
+            r2,
+        })
+    }
+
+    /// Predicts `y` for an `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
+        let r = LinearRegression::fit(&pts).unwrap();
+        assert!((r.slope - 3.0).abs() < 1e-12);
+        assert!((r.intercept - 2.0).abs() < 1e-12);
+        assert!((r.r2 - 1.0).abs() < 1e-12);
+        assert!((r.predict(100.0) - 302.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_line_has_high_but_imperfect_r2() {
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = i as f64;
+                // Deterministic "noise".
+                (x, 2.0 * x + 1.0 + (x * 1.7).sin() * 0.5)
+            })
+            .collect();
+        let r = LinearRegression::fit(&pts).unwrap();
+        assert!(r.r2 > 0.99, "r2 {}", r.r2);
+        assert!(r.r2 < 1.0);
+        assert!((r.slope - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(LinearRegression::fit(&[]).is_none());
+        assert!(LinearRegression::fit(&[(1.0, 2.0)]).is_none());
+        assert!(LinearRegression::fit(&[(1.0, 2.0), (1.0, 3.0)]).is_none());
+        assert!(LinearRegression::fit(&[(1.0, f64::NAN), (2.0, 3.0)]).is_none());
+    }
+
+    #[test]
+    fn constant_y_fits_perfectly() {
+        let r = LinearRegression::fit(&[(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)]).unwrap();
+        assert_eq!(r.slope, 0.0);
+        assert_eq!(r.intercept, 5.0);
+        assert_eq!(r.r2, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_recovers_arbitrary_lines(
+            slope in -100.0f64..100.0,
+            intercept in -100.0f64..100.0,
+        ) {
+            let pts: Vec<(f64, f64)> =
+                (0..8).map(|i| (i as f64, slope * i as f64 + intercept)).collect();
+            let r = LinearRegression::fit(&pts).unwrap();
+            prop_assert!((r.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+            prop_assert!((r.intercept - intercept).abs() < 1e-6 * (1.0 + intercept.abs()));
+            prop_assert!(r.r2 > 1.0 - 1e-9);
+        }
+
+        #[test]
+        fn prop_r2_is_bounded_above(
+            ys in proptest::collection::vec(-1e3f64..1e3, 3..32),
+        ) {
+            let pts: Vec<(f64, f64)> =
+                ys.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect();
+            if let Some(r) = LinearRegression::fit(&pts) {
+                prop_assert!(r.r2 <= 1.0 + 1e-9);
+            }
+        }
+    }
+}

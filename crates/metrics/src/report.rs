@@ -1,0 +1,137 @@
+//! Fixed-width text tables for experiment output.
+
+/// A simple left-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded, long rows truncated to the
+    /// header width.
+    pub fn row(&mut self, cells: &[String]) {
+        let mut row: Vec<String> = cells.iter().take(self.header.len()).cloned().collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Convenience for string-slice rows.
+    pub fn row_strs(&mut self, cells: &[&str]) {
+        self.row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate().take(cols) {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cell, width = widths[c]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with engineering-friendly precision (3 significant
+/// decimals for small values, fewer for large ones).
+pub fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    let a = v.abs();
+    if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 10.0 {
+        format!("{v:.1}")
+    } else if a >= 0.1 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.5}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row_strs(&["a", "1"]);
+        t.row_strs(&["longer-name", "2"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Both value cells align to the same column.
+        let col_a = lines[2].find('1').unwrap();
+        let col_b = lines[3].find('2').unwrap();
+        assert_eq!(col_a, col_b);
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row_strs(&["only-one"]);
+        t.row_strs(&["x", "y", "extra"]);
+        assert_eq!(t.len(), 2);
+        let s = t.render();
+        assert!(!s.contains("extra"));
+    }
+
+    #[test]
+    fn float_formatting_scales() {
+        assert_eq!(fmt_f64(12345.6), "12346");
+        assert_eq!(fmt_f64(42.42), "42.4");
+        assert_eq!(fmt_f64(0.5), "0.500");
+        assert_eq!(fmt_f64(0.01234), "0.01234");
+        assert_eq!(fmt_f64(f64::NAN), "NaN");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new(&["h"]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+}

@@ -1,0 +1,138 @@
+//! Percentiles and moment summaries.
+
+/// Summary statistics of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+    /// Median (P50).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics; returns `None` for an empty input
+    /// or any non-finite sample.
+    pub fn of(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() || samples.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let count = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+        Some(Self {
+            count,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            p50: percentile_sorted(&sorted, 50.0),
+            p95: percentile_sorted(&sorted, 95.0),
+            p99: percentile_sorted(&sorted, 99.0),
+        })
+    }
+}
+
+/// Returns the `p`-th percentile (0–100) of already-sorted data using
+/// linear interpolation between closest ranks. Returns `NAN` for empty
+/// input.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Convenience: the `p`-th percentile of unsorted data.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    percentile_sorted(&sorted, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summary_of_known_data() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.p50, 3.0);
+        assert!((s.std - (2.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_rejects_empty_and_nan() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[1.0, f64::NAN]).is_none());
+        assert!(Summary::of(&[1.0, f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&data, 0.0), 10.0);
+        assert_eq!(percentile(&data, 100.0), 40.0);
+        assert_eq!(percentile(&data, 50.0), 25.0);
+        // 95th of 4 samples: rank 2.85 → between 30 and 40.
+        let p95 = percentile(&data, 95.0);
+        assert!(p95 > 38.0 && p95 < 40.0);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert!(percentile(&[], 50.0).is_nan());
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+        // Out-of-range p clamps.
+        assert_eq!(percentile(&[1.0, 2.0], 150.0), 2.0);
+        assert_eq!(percentile(&[1.0, 2.0], -5.0), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_percentiles_are_monotone(
+            mut data in proptest::collection::vec(0.0f64..1e6, 2..64),
+        ) {
+            data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let p25 = percentile_sorted(&data, 25.0);
+            let p50 = percentile_sorted(&data, 50.0);
+            let p95 = percentile_sorted(&data, 95.0);
+            prop_assert!(p25 <= p50 && p50 <= p95);
+            prop_assert!(p25 >= data[0] && p95 <= data[data.len() - 1]);
+        }
+
+        #[test]
+        fn prop_summary_bounds(data in proptest::collection::vec(-1e3f64..1e3, 1..64)) {
+            let s = Summary::of(&data).unwrap();
+            prop_assert!(s.min <= s.mean && s.mean <= s.max);
+            prop_assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.p99);
+            prop_assert!(s.p99 <= s.max);
+        }
+    }
+}

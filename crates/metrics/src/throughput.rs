@@ -1,0 +1,121 @@
+//! Windowed throughput counters.
+//!
+//! Serving experiments report both end-of-run throughput (served /
+//! makespan) and throughput over time (to see saturation onset). The
+//! [`ThroughputCounter`] bins completion events into fixed windows of
+//! virtual time.
+
+/// Counts events per fixed-width time window.
+#[derive(Debug, Clone)]
+pub struct ThroughputCounter {
+    window_secs: f64,
+    counts: Vec<u64>,
+    total: u64,
+    last_event: f64,
+}
+
+impl ThroughputCounter {
+    /// Creates a counter with the given window width in seconds.
+    /// Returns `None` for a non-positive or non-finite width.
+    pub fn new(window_secs: f64) -> Option<Self> {
+        if !window_secs.is_finite() || window_secs <= 0.0 {
+            return None;
+        }
+        Some(Self {
+            window_secs,
+            counts: Vec::new(),
+            total: 0,
+            last_event: 0.0,
+        })
+    }
+
+    /// Records one event at time `at_secs` (events may arrive out of
+    /// order; negative or non-finite times are ignored).
+    pub fn record(&mut self, at_secs: f64) {
+        if !at_secs.is_finite() || at_secs < 0.0 {
+            return;
+        }
+        let w = (at_secs / self.window_secs) as usize;
+        if w >= self.counts.len() {
+            self.counts.resize(w + 1, 0);
+        }
+        self.counts[w] += 1;
+        self.total += 1;
+        self.last_event = self.last_event.max(at_secs);
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Events per second in each window, in time order.
+    pub fn rates(&self) -> Vec<f64> {
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.window_secs)
+            .collect()
+    }
+
+    /// Mean rate from time zero through the last event (0.0 when
+    /// empty).
+    pub fn mean_rate(&self) -> f64 {
+        if self.total == 0 || self.last_event <= 0.0 {
+            return 0.0;
+        }
+        self.total as f64 / self.last_event
+    }
+
+    /// Peak windowed rate (0.0 when empty).
+    pub fn peak_rate(&self) -> f64 {
+        self.rates().into_iter().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_window() {
+        assert!(ThroughputCounter::new(0.0).is_none());
+        assert!(ThroughputCounter::new(-1.0).is_none());
+        assert!(ThroughputCounter::new(f64::NAN).is_none());
+        assert!(ThroughputCounter::new(10.0).is_some());
+    }
+
+    #[test]
+    fn windows_and_rates() {
+        let mut c = ThroughputCounter::new(10.0).unwrap();
+        for t in [1.0, 2.0, 9.9, 15.0, 25.0, 25.5] {
+            c.record(t);
+        }
+        assert_eq!(c.total(), 6);
+        let rates = c.rates();
+        assert_eq!(rates.len(), 3);
+        assert!((rates[0] - 0.3).abs() < 1e-12);
+        assert!((rates[1] - 0.1).abs() < 1e-12);
+        assert!((rates[2] - 0.2).abs() < 1e-12);
+        assert!((c.peak_rate() - 0.3).abs() < 1e-12);
+        assert!((c.mean_rate() - 6.0 / 25.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_order_and_bad_events() {
+        let mut c = ThroughputCounter::new(1.0).unwrap();
+        c.record(5.0);
+        c.record(1.0); // out of order is fine
+        c.record(-2.0); // ignored
+        c.record(f64::INFINITY); // ignored
+        assert_eq!(c.total(), 2);
+        assert!((c.mean_rate() - 2.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counter() {
+        let c = ThroughputCounter::new(1.0).unwrap();
+        assert_eq!(c.mean_rate(), 0.0);
+        assert_eq!(c.peak_rate(), 0.0);
+        assert!(c.rates().is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! CLIP-score proxy: prompt/image alignment in the toy joint space.
+//!
+//! The real CLIP score embeds the prompt and the image with a
+//! pretrained dual encoder and reports their cosine similarity (×100).
+//! The proxy uses the toy pipeline's own prompt embedding as the text
+//! side and a deterministic projection of image features as the image
+//! side. Because every compared system edits with the *same* model
+//! conditioned on the *same* prompt embedding, systems that track the
+//! reference output closely score closer to the reference's alignment —
+//! the comparative property Table 2 relies on.
+
+use fps_diffusion::config::ModelConfig;
+use fps_diffusion::embedding::embed_prompt;
+use fps_diffusion::image::Image;
+use fps_diffusion::Result;
+use fps_tensor::ops::{cosine_similarity, mean_axis0};
+
+use crate::features::FeatureExtractor;
+
+/// Computes the CLIP-proxy alignment (scaled ×100, like CLIP scores)
+/// between a prompt and an image.
+///
+/// # Errors
+///
+/// Propagates feature-extraction errors for mismatched image
+/// dimensions.
+pub fn clip_proxy_score(cfg: &ModelConfig, prompt: &str, img: &Image) -> Result<f64> {
+    let fx = FeatureExtractor::new(cfg, cfg.hidden)?;
+    let img_feat = fx.extract(img)?;
+    let prompt_emb = embed_prompt(cfg, prompt);
+    let text_feat = mean_axis0(&prompt_emb)?;
+    let cos = cosine_similarity(&img_feat, text_feat.data())?;
+    Ok(f64::from(cos) * 100.0)
+}
+
+/// Mean CLIP-proxy score over `(prompt, image)` pairs.
+///
+/// # Errors
+///
+/// Propagates per-pair errors; fails on empty input.
+pub fn mean_clip_proxy(cfg: &ModelConfig, pairs: &[(&str, &Image)]) -> Result<f64> {
+    if pairs.is_empty() {
+        return Err(fps_diffusion::DiffusionError::InvalidConfig {
+            reason: "clip proxy needs at least one pair".into(),
+        });
+    }
+    let mut total = 0.0;
+    for (prompt, img) in pairs {
+        total += clip_proxy_score(cfg, prompt, img)?;
+    }
+    Ok(total / pairs.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_is_bounded_and_deterministic() {
+        let cfg = ModelConfig::tiny();
+        let img = Image::template(cfg.pixel_h(), cfg.pixel_w(), 1);
+        let s1 = clip_proxy_score(&cfg, "a red hat", &img).unwrap();
+        let s2 = clip_proxy_score(&cfg, "a red hat", &img).unwrap();
+        assert_eq!(s1, s2);
+        assert!((-100.0..=100.0).contains(&s1));
+    }
+
+    #[test]
+    fn different_prompts_or_images_change_the_score() {
+        let cfg = ModelConfig::tiny();
+        let img_a = Image::template(cfg.pixel_h(), cfg.pixel_w(), 1);
+        let img_b = Image::template(cfg.pixel_h(), cfg.pixel_w(), 2);
+        let s_base = clip_proxy_score(&cfg, "a red hat", &img_a).unwrap();
+        let s_prompt = clip_proxy_score(&cfg, "a blue car", &img_a).unwrap();
+        let s_img = clip_proxy_score(&cfg, "a red hat", &img_b).unwrap();
+        assert_ne!(s_base, s_prompt);
+        assert_ne!(s_base, s_img);
+    }
+
+    #[test]
+    fn mean_over_pairs() {
+        let cfg = ModelConfig::tiny();
+        let img = Image::template(cfg.pixel_h(), cfg.pixel_w(), 3);
+        let single = clip_proxy_score(&cfg, "x", &img).unwrap();
+        let mean = mean_clip_proxy(&cfg, &[("x", &img), ("x", &img)]).unwrap();
+        assert!((mean - single).abs() < 1e-12);
+        assert!(mean_clip_proxy(&cfg, &[]).is_err());
+    }
+
+    #[test]
+    fn wrong_image_shape_errors() {
+        let cfg = ModelConfig::tiny();
+        assert!(clip_proxy_score(&cfg, "x", &Image::zeros(1, 1)).is_err());
+    }
+}

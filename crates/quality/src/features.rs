@@ -1,0 +1,150 @@
+//! Feature extraction for the Fréchet-distance and CLIP-proxy metrics.
+//!
+//! Real FID/CLIP use pretrained networks. The substitution (documented
+//! in DESIGN.md) extracts features with the toy model's own machinery:
+//! an image is VAE-encoded to latent tokens, projected through the
+//! model's input projection, and pooled per feature channel. The
+//! extractor is deterministic and *shared across all compared systems*,
+//! which is what Table 2's comparisons need.
+
+use fps_diffusion::config::ModelConfig;
+use fps_diffusion::image::Image;
+use fps_diffusion::vae::PatchVae;
+use fps_diffusion::{DiffusionError, Result};
+use fps_tensor::ops::matmul;
+use fps_tensor::rng::DetRng;
+use fps_tensor::Tensor;
+
+/// Deterministic image-feature extractor.
+#[derive(Debug, Clone)]
+pub struct FeatureExtractor {
+    vae: PatchVae,
+    /// `[latent_channels, feat_dim]` projection.
+    proj: Tensor,
+    feat_dim: usize,
+    tokens: usize,
+}
+
+impl FeatureExtractor {
+    /// Builds an extractor producing `feat_dim`-dimensional features
+    /// for images matching `cfg`'s pixel dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiffusionError::InvalidConfig`] for inconsistent
+    /// configs or `feat_dim == 0`.
+    pub fn new(cfg: &ModelConfig, feat_dim: usize) -> Result<Self> {
+        if feat_dim == 0 {
+            return Err(DiffusionError::InvalidConfig {
+                reason: "feature dimension must be positive".into(),
+            });
+        }
+        let mut rng = DetRng::new(cfg.weight_seed ^ 0xFEA7);
+        Ok(Self {
+            vae: PatchVae::new(cfg)?,
+            proj: Tensor::xavier(cfg.latent_channels, feat_dim, &mut rng),
+            feat_dim,
+            tokens: cfg.tokens(),
+        })
+    }
+
+    /// Feature dimensionality.
+    pub fn feat_dim(&self) -> usize {
+        self.feat_dim
+    }
+
+    /// Extracts one feature vector from an image: latent tokens are
+    /// projected and mean/max-pooled per channel (the two pools are
+    /// interleaved halves of the output).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors for images not matching the config.
+    pub fn extract(&self, img: &Image) -> Result<Vec<f32>> {
+        let latent = self.vae.encode(img)?;
+        let mapped = matmul(&latent, &self.proj)?;
+        // Token-pooled statistics: mean and mean-absolute per channel,
+        // concatenation truncated to feat_dim.
+        let mut mean = vec![0.0f32; self.feat_dim];
+        let mut mabs = vec![0.0f32; self.feat_dim];
+        for t in 0..self.tokens {
+            let row = mapped.row(t)?;
+            for (c, &v) in row.iter().enumerate() {
+                mean[c] += v;
+                mabs[c] += v.abs();
+            }
+        }
+        let inv = 1.0 / self.tokens as f32;
+        let mut out = Vec::with_capacity(self.feat_dim);
+        for c in 0..self.feat_dim {
+            // Interleave to keep both statistics at any feat_dim.
+            if c % 2 == 0 {
+                out.push(mean[c] * inv);
+            } else {
+                out.push(mabs[c] * inv);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Extracts features from many images as a `[n, feat_dim]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-image extraction errors; fails on an empty input.
+    pub fn extract_batch(&self, imgs: &[Image]) -> Result<Tensor> {
+        if imgs.is_empty() {
+            return Err(DiffusionError::InvalidConfig {
+                reason: "feature batch needs at least one image".into(),
+            });
+        }
+        let mut data = Vec::with_capacity(imgs.len() * self.feat_dim);
+        for img in imgs {
+            data.extend(self.extract(img)?);
+        }
+        Ok(Tensor::from_vec(data, [imgs.len(), self.feat_dim])?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extraction_is_deterministic_and_discriminative() {
+        let cfg = ModelConfig::tiny();
+        let fx = FeatureExtractor::new(&cfg, 8).unwrap();
+        let a = Image::template(cfg.pixel_h(), cfg.pixel_w(), 1);
+        let b = Image::template(cfg.pixel_h(), cfg.pixel_w(), 2);
+        let fa1 = fx.extract(&a).unwrap();
+        let fa2 = fx.extract(&a).unwrap();
+        let fb = fx.extract(&b).unwrap();
+        assert_eq!(fa1, fa2);
+        assert_eq!(fa1.len(), 8);
+        let diff: f32 = fa1.iter().zip(fb.iter()).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-3, "different images must give different features");
+    }
+
+    #[test]
+    fn batch_extraction_matches_single() {
+        let cfg = ModelConfig::tiny();
+        let fx = FeatureExtractor::new(&cfg, 6).unwrap();
+        let imgs: Vec<Image> = (0..3)
+            .map(|i| Image::template(cfg.pixel_h(), cfg.pixel_w(), i))
+            .collect();
+        let batch = fx.extract_batch(&imgs).unwrap();
+        assert_eq!(batch.dims(), &[3, 6]);
+        for (i, img) in imgs.iter().enumerate() {
+            assert_eq!(batch.row(i).unwrap(), fx.extract(img).unwrap().as_slice());
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let cfg = ModelConfig::tiny();
+        assert!(FeatureExtractor::new(&cfg, 0).is_err());
+        let fx = FeatureExtractor::new(&cfg, 4).unwrap();
+        assert!(fx.extract(&Image::zeros(3, 3)).is_err());
+        assert!(fx.extract_batch(&[]).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! Image-quality metrics for the FlashPS evaluation (Table 2).
+//!
+//! Three metrics, mirroring the paper's §6.1:
+//!
+//! - [`ssim()`] — the Structural Similarity Index, implemented in full
+//!   (Gaussian-windowed local statistics) on luma images.
+//! - [`fid`] — a Fréchet distance between feature distributions. The
+//!   real FID uses Inception-v3 features; without pretrained networks
+//!   we extract features from the toy diffusion model's own encoder
+//!   ([`features`]), which preserves the comparative use in Table 2
+//!   (every system is measured against the same reference set with the
+//!   same feature extractor). The Fréchet math — means, covariances,
+//!   and the matrix square root — is exact.
+//! - [`clip_proxy`] — a CLIP-score stand-in: cosine alignment between a
+//!   prompt embedding and a pooled image feature in the toy joint
+//!   embedding space.
+
+pub mod clip_proxy;
+pub mod features;
+pub mod fid;
+pub mod ssim;
+
+pub use clip_proxy::clip_proxy_score;
+pub use features::FeatureExtractor;
+pub use fid::frechet_distance;
+pub use ssim::ssim;

@@ -1,0 +1,174 @@
+//! Structural Similarity Index (SSIM), Wang et al. 2004.
+//!
+//! Computed on luma with an 11×11 Gaussian window (σ = 1.5), the
+//! standard configuration. Returns the mean SSIM over all window
+//! positions.
+
+use fps_diffusion::Image;
+
+/// Gaussian window radius (11×11 window).
+const RADIUS: i64 = 5;
+/// Gaussian window sigma.
+const SIGMA: f64 = 1.5;
+/// Stabilizers for a dynamic range of 1.0: `(K1·L)²`, `(K2·L)²`.
+const C1: f64 = 0.01 * 0.01;
+const C2: f64 = 0.03 * 0.03;
+
+/// Computes the mean SSIM between two images of identical dimensions.
+///
+/// Returns `None` when dimensions differ or either image is empty.
+/// The result is 1.0 for identical images and decreases toward 0 (or
+/// slightly below, for anti-correlated structure) as they diverge.
+pub fn ssim(a: &Image, b: &Image) -> Option<f64> {
+    if a.height() != b.height() || a.width() != b.width() {
+        return None;
+    }
+    let (h, w) = (a.height(), a.width());
+    if h == 0 || w == 0 {
+        return None;
+    }
+    let la: Vec<f64> = a.to_luma().iter().map(|&v| f64::from(v)).collect();
+    let lb: Vec<f64> = b.to_luma().iter().map(|&v| f64::from(v)).collect();
+
+    // Precompute the normalized Gaussian kernel.
+    let mut kernel = Vec::with_capacity(((2 * RADIUS + 1) * (2 * RADIUS + 1)) as usize);
+    let mut ksum = 0.0;
+    for dy in -RADIUS..=RADIUS {
+        for dx in -RADIUS..=RADIUS {
+            let wgt = (-((dy * dy + dx * dx) as f64) / (2.0 * SIGMA * SIGMA)).exp();
+            kernel.push(wgt);
+            ksum += wgt;
+        }
+    }
+    for k in &mut kernel {
+        *k /= ksum;
+    }
+
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for cy in 0..h {
+        for cx in 0..w {
+            // Windowed means, variances, covariance with edge clamping.
+            let mut mu_a = 0.0;
+            let mut mu_b = 0.0;
+            let mut idx = 0;
+            for dy in -RADIUS..=RADIUS {
+                let y = (cy as i64 + dy).clamp(0, h as i64 - 1) as usize;
+                for dx in -RADIUS..=RADIUS {
+                    let x = (cx as i64 + dx).clamp(0, w as i64 - 1) as usize;
+                    let k = kernel[idx];
+                    idx += 1;
+                    mu_a += k * la[y * w + x];
+                    mu_b += k * lb[y * w + x];
+                }
+            }
+            let mut var_a = 0.0;
+            let mut var_b = 0.0;
+            let mut cov = 0.0;
+            idx = 0;
+            for dy in -RADIUS..=RADIUS {
+                let y = (cy as i64 + dy).clamp(0, h as i64 - 1) as usize;
+                for dx in -RADIUS..=RADIUS {
+                    let x = (cx as i64 + dx).clamp(0, w as i64 - 1) as usize;
+                    let k = kernel[idx];
+                    idx += 1;
+                    let da = la[y * w + x] - mu_a;
+                    let db = lb[y * w + x] - mu_b;
+                    var_a += k * da * da;
+                    var_b += k * db * db;
+                    cov += k * da * db;
+                }
+            }
+            let s = ((2.0 * mu_a * mu_b + C1) * (2.0 * cov + C2))
+                / ((mu_a * mu_a + mu_b * mu_b + C1) * (var_a + var_b + C2));
+            total += s;
+            count += 1;
+        }
+    }
+    Some(total / count as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_score_one() {
+        let img = Image::template(24, 24, 1);
+        let s = ssim(&img, &img).unwrap();
+        assert!((s - 1.0).abs() < 1e-9, "got {s}");
+    }
+
+    #[test]
+    fn mismatched_dimensions_rejected() {
+        let a = Image::zeros(8, 8);
+        let b = Image::zeros(8, 9);
+        assert!(ssim(&a, &b).is_none());
+        assert!(ssim(&Image::zeros(0, 0), &Image::zeros(0, 0)).is_none());
+    }
+
+    #[test]
+    fn small_perturbation_scores_high() {
+        let a = Image::template(24, 24, 2);
+        let mut b = a.clone();
+        for v in b.data_mut().iter_mut() {
+            *v = (*v + 0.005).min(1.0);
+        }
+        let s = ssim(&a, &b).unwrap();
+        assert!(s > 0.97, "got {s}");
+    }
+
+    #[test]
+    fn unrelated_images_score_lower() {
+        let a = Image::template(24, 24, 3);
+        let b = Image::template(24, 24, 400);
+        let s = ssim(&a, &b).unwrap();
+        assert!(s < 0.9, "got {s}");
+        assert!(s > -1.0);
+    }
+
+    #[test]
+    fn degradation_is_monotone() {
+        // More noise ⇒ lower SSIM.
+        let a = Image::template(24, 24, 4);
+        let noisy = |scale: f32| {
+            let mut img = a.clone();
+            for (i, v) in img.data_mut().iter_mut().enumerate() {
+                // Deterministic pseudo-noise.
+                let n = ((i as f32 * 12.9898).sin() * 43_758.547).fract() - 0.5;
+                *v = (*v + scale * n).clamp(0.0, 1.0);
+            }
+            img
+        };
+        let s_small = ssim(&a, &noisy(0.05)).unwrap();
+        let s_large = ssim(&a, &noisy(0.4)).unwrap();
+        assert!(
+            s_small > s_large,
+            "small-noise {s_small} should beat large-noise {s_large}"
+        );
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = Image::template(16, 16, 5);
+        let b = Image::template(16, 16, 6);
+        let ab = ssim(&a, &b).unwrap();
+        let ba = ssim(&b, &a).unwrap();
+        assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_images_compare_by_luminance() {
+        let a = Image::zeros(16, 16);
+        let mut b = Image::zeros(16, 16);
+        for v in b.data_mut().iter_mut() {
+            *v = 1.0;
+        }
+        // Zero-variance images with different means: luminance term
+        // dominates and is small.
+        let s = ssim(&a, &b).unwrap();
+        assert!(s < 0.1, "got {s}");
+        let same = ssim(&a, &a).unwrap();
+        assert!((same - 1.0).abs() < 1e-9);
+    }
+}

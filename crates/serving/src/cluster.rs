@@ -1,0 +1,767 @@
+//! The discrete-event cluster simulator.
+//!
+//! Drives a request trace through a set of workers under a routing
+//! policy, an engine, and a batching policy, and records per-request
+//! latency breakdowns. This is the machinery behind the end-to-end
+//! serving experiments (Fig. 12), the batching comparison (Fig. 16-
+//! left, Fig. 4-middle), and the load-balancing comparison (Fig. 16-
+//! right, Fig. 4-right).
+
+use fps_maskcache::store::{HierarchicalStore, StoreConfig};
+use fps_metrics::{LatencyBreakdown, LatencyRecorder};
+use fps_simtime::{EventHandler, EventQueue, SimDuration, SimTime, Simulation};
+use fps_workload::Trace;
+
+use crate::cost::{BatchItem, CostModel};
+use crate::engine::EngineKind;
+use crate::error::ServingError;
+use crate::request::{Phase, RequestOutcome, SimRequest};
+use crate::router::{Router, WorkerView};
+use crate::worker::{BatchingPolicy, CpuTask, OutstandingReq, WorkerConfig, WorkerState};
+use crate::Result;
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    /// A request arrives at the scheduler.
+    Arrival(usize),
+    /// A request's preprocessing lands on a naive-CB engine process.
+    PreQueued { worker: usize, req: usize },
+    /// A request is preprocessed and cache-ready on a worker.
+    Ready { worker: usize, req: usize },
+    /// A denoising step completed.
+    StepDone { worker: usize },
+    /// The engine process finished a burst of CPU tasks (naive CB).
+    CpuDone { worker: usize },
+    /// Postprocessing of a request completed.
+    PostDone { worker: usize, req: usize },
+}
+
+/// Cluster-level configuration of a serving experiment.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Cost model (GPU + analytic model).
+    pub cost: CostModel,
+    /// Engine on every worker.
+    pub engine: EngineKind,
+    /// Batching policy on every worker.
+    pub batching: BatchingPolicy,
+    /// Number of worker replicas (one GPU each).
+    pub workers: usize,
+    /// Requested maximum batch size per worker.
+    pub max_batch: usize,
+    /// CPU pool size per worker for disaggregated pre/post.
+    pub cpu_workers: usize,
+    /// Hierarchical store configuration (used by cache-consuming
+    /// engines).
+    pub store: StoreConfig,
+    /// Scheduler decision overhead per request (0.6 ms, §6.6).
+    pub scheduler_overhead: SimDuration,
+}
+
+impl ClusterConfig {
+    /// A FlashPS-default cluster for the given cost model.
+    pub fn flashps_default(cost: CostModel, workers: usize) -> Self {
+        Self {
+            cost,
+            engine: EngineKind::FlashPs { kv: false },
+            batching: BatchingPolicy::ContinuousDisaggregated,
+            workers,
+            max_batch: 8,
+            cpu_workers: 4,
+            store: StoreConfig::production_like(),
+            scheduler_overhead: SimDuration::from_micros(600),
+        }
+    }
+}
+
+/// Results of one cluster run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Per-request outcomes, in completion order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Latency recorder over all completed requests.
+    pub recorder: LatencyRecorder,
+    /// Virtual time when the last request completed.
+    pub makespan_secs: f64,
+    /// Served requests per second of virtual time.
+    pub throughput_rps: f64,
+    /// Steps executed per worker.
+    pub steps_per_worker: Vec<u64>,
+    /// GPU busy fraction per worker.
+    pub utilization: Vec<f64>,
+    /// Activation-store behaviour over the run (hits, prefetches,
+    /// evictions).
+    pub store_stats: fps_maskcache::store::StoreStats,
+}
+
+impl RunReport {
+    /// Mean end-to-end latency in seconds (NaN when empty).
+    pub fn mean_latency(&self) -> f64 {
+        self.recorder
+            .total_summary()
+            .map(|s| s.mean)
+            .unwrap_or(f64::NAN)
+    }
+
+    /// P95 end-to-end latency in seconds (NaN when empty).
+    pub fn p95_latency(&self) -> f64 {
+        self.recorder
+            .total_summary()
+            .map(|s| s.p95)
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Mean queueing seconds (NaN when empty).
+    pub fn mean_queueing(&self) -> f64 {
+        self.recorder
+            .queueing_summary()
+            .map(|s| s.mean)
+            .unwrap_or(f64::NAN)
+    }
+}
+
+/// The simulator world.
+pub struct ClusterSim<'r> {
+    config: ClusterConfig,
+    workers: Vec<WorkerState>,
+    requests: Vec<SimRequest>,
+    /// Outstanding request indices per worker (routed, not yet done
+    /// denoising) — the router's load signal.
+    outstanding: Vec<Vec<usize>>,
+    store: HierarchicalStore,
+    router: &'r mut dyn Router,
+}
+
+impl<'r> ClusterSim<'r> {
+    /// Runs a trace through the cluster and reports outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::InvalidConfig`] for zero workers and
+    /// [`ServingError::BadRoute`] if the router misbehaves.
+    pub fn run(
+        config: ClusterConfig,
+        trace: &Trace,
+        router: &'r mut dyn Router,
+    ) -> Result<RunReport> {
+        if config.workers == 0 {
+            return Err(ServingError::InvalidConfig {
+                reason: "cluster needs at least one worker".into(),
+            });
+        }
+        let steps = config.cost.model.steps;
+        let worker_cfg = WorkerConfig {
+            engine: config.engine,
+            batching: config.batching,
+            max_batch: config.max_batch,
+            cpu_workers: config.cpu_workers,
+        };
+        let workers: Vec<WorkerState> = (0..config.workers)
+            .map(|i| WorkerState::new(i, worker_cfg.clone()))
+            .collect();
+        let requests: Vec<SimRequest> = trace
+            .requests
+            .iter()
+            .map(|r| SimRequest::new(r.clone(), steps))
+            .collect();
+
+        // Pre-populate the activation store with every template the
+        // trace touches (templates are primed offline, §2.2). Template
+        // caches cover all tokens (mask ratio 0 sizing).
+        let mut store = HierarchicalStore::new(config.store);
+        if config.engine.uses_cache() {
+            let bytes = config.cost.model.cache_bytes_total(0.0);
+            let mut seen = std::collections::HashSet::new();
+            for r in &trace.requests {
+                if seen.insert(r.template_id) {
+                    // Oversized templates are silently capped to the
+                    // host budget; the store rejects only pathological
+                    // configs.
+                    let b = bytes.min(config.store.host_capacity);
+                    let _ = store.insert(r.template_id, b, SimTime::ZERO, None);
+                }
+            }
+        }
+
+        let outstanding = vec![Vec::new(); config.workers];
+        let mut sim = Simulation::new();
+        for (i, r) in requests.iter().enumerate() {
+            sim.queue_mut().schedule_at(r.spec.arrival(), Ev::Arrival(i));
+        }
+        let mut world = ClusterSim {
+            config,
+            workers,
+            requests,
+            outstanding,
+            store,
+            router,
+        };
+        sim.run(&mut world);
+
+        // Collect the report.
+        let mut outcomes = Vec::new();
+        let mut recorder = LatencyRecorder::new();
+        let mut makespan = 0.0f64;
+        for r in &world.requests {
+            if let Some(o) = r.outcome() {
+                makespan = makespan.max(
+                    r.completed_at
+                        .map(|t| t.as_secs_f64())
+                        .unwrap_or(0.0),
+                );
+                recorder.record(LatencyBreakdown {
+                    queueing: o.queueing,
+                    processing: o.processing,
+                    inference: o.inference,
+                });
+                outcomes.push(o);
+            }
+        }
+        let served = outcomes.len();
+        let throughput = if makespan > 0.0 {
+            served as f64 / makespan
+        } else {
+            0.0
+        };
+        let end = sim.now();
+        let store_stats = world.store.stats();
+        Ok(RunReport {
+            outcomes,
+            recorder,
+            makespan_secs: makespan,
+            throughput_rps: throughput,
+            steps_per_worker: world.workers.iter().map(|w| w.steps_executed).collect(),
+            utilization: world
+                .workers
+                .iter()
+                .map(|w| {
+                    let elapsed = end.as_secs_f64();
+                    if elapsed > 0.0 {
+                        (w.busy_secs / elapsed).min(1.0)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect(),
+            store_stats,
+        })
+    }
+
+    fn views(&self) -> Vec<WorkerView> {
+        self.workers
+            .iter()
+            .map(|w| WorkerView {
+                id: w.id,
+                outstanding: self.outstanding[w.id]
+                    .iter()
+                    .map(|&i| OutstandingReq {
+                        mask_ratio: self.requests[i].spec.mask_ratio,
+                        steps_left: self.requests[i].steps_left,
+                    })
+                    .collect(),
+                max_batch: w.config.effective_max_batch(),
+                model_tokens: self.config.cost.model.tokens(),
+            })
+            .collect()
+    }
+
+    fn handle_arrival(&mut self, now: SimTime, req: usize, q: &mut EventQueue<Ev>) {
+        let views = self.views();
+        let w = self.router.route(&self.requests[req].spec, &views, now);
+        // A misrouted request falls back to worker 0 rather than
+        // wedging the run; tests assert on router behaviour directly.
+        let w = if w < self.workers.len() { w } else { 0 };
+        self.requests[req].worker = w;
+        self.workers[w].total_assigned += 1;
+        self.outstanding[w].push(req);
+
+        let t0 = now + self.config.scheduler_overhead;
+        let cache_ready = if self.config.engine.uses_cache() {
+            // Prefetch starts at arrival and overlaps queueing.
+            self.store
+                .fetch(self.requests[req].spec.template_id, t0)
+                .unwrap_or(t0)
+        } else {
+            t0
+        };
+        self.requests[req].cache_ready_at = cache_ready;
+
+        match self.config.batching {
+            BatchingPolicy::ContinuousNaive => {
+                // Preprocessing runs on the engine process.
+                q.schedule_at(t0, Ev::PreQueued { worker: w, req });
+            }
+            _ => {
+                // Preprocessing runs on the CPU pool.
+                let pre = self.config.cost.cpu.preprocess;
+                let (_, done) = self.workers[w].cpu_pool.acquire(t0, pre);
+                self.requests[req].processing_secs += pre.as_secs_f64();
+                let ready_at = done.max(cache_ready);
+                q.schedule_at(ready_at, Ev::Ready { worker: w, req });
+            }
+        }
+    }
+
+    fn kick(&mut self, w: usize, now: SimTime, q: &mut EventQueue<Ev>) {
+        if self.workers[w].busy {
+            return;
+        }
+        // Naive CB: the engine process first drains CPU tasks,
+        // stalling every inflight request.
+        if !self.workers[w].pending_cpu.is_empty() {
+            let mut cursor = now;
+            let inflight: Vec<usize> = self.workers[w].running.clone();
+            while let Some(task) = self.workers[w].pending_cpu.pop_front() {
+                match task {
+                    CpuTask::Pre(i) => {
+                        cursor += self.config.cost.cpu.preprocess;
+                        self.requests[i].processing_secs +=
+                            self.config.cost.cpu.preprocess.as_secs_f64();
+                        let ready_at = cursor.max(self.requests[i].cache_ready_at);
+                        q.schedule_at(ready_at, Ev::Ready { worker: w, req: i });
+                    }
+                    CpuTask::Post(i) => {
+                        cursor += self.config.cost.cpu.postprocess;
+                        self.requests[i].processing_secs +=
+                            self.config.cost.cpu.postprocess.as_secs_f64();
+                        q.schedule_at(cursor, Ev::PostDone { worker: w, req: i });
+                    }
+                }
+                for &r in &inflight {
+                    self.requests[r].interruptions += 1;
+                }
+            }
+            if cursor > now {
+                self.workers[w].busy = true;
+                q.schedule_at(cursor, Ev::CpuDone { worker: w });
+                return;
+            }
+        }
+
+        // Admission.
+        let max_batch = self.workers[w].config.effective_max_batch();
+        let continuous = self.config.batching.is_continuous();
+        let can_admit = if continuous {
+            self.workers[w].running.len() < max_batch
+        } else {
+            self.workers[w].running.is_empty()
+        };
+        if can_admit {
+            while self.workers[w].running.len() < max_batch {
+                let Some(i) = self.workers[w].ready.pop_front() else {
+                    break;
+                };
+                self.requests[i].phase = Phase::Running;
+                if self.requests[i].batch_joined_at.is_none() {
+                    self.requests[i].batch_joined_at = Some(now);
+                }
+                self.workers[w].running.push(i);
+            }
+        }
+        if self.workers[w].running.is_empty() {
+            return;
+        }
+
+        // Execute one denoising step for the batch.
+        let items: Vec<BatchItem> = self.workers[w]
+            .running
+            .iter()
+            .map(|&i| BatchItem {
+                mask_ratio: self.requests[i].spec.mask_ratio,
+            })
+            .collect();
+        let mut lat = self.config.engine.step_latency(&self.config.cost, &items);
+        if continuous {
+            lat += self.config.cost.cpu.batch_overhead;
+        }
+        self.workers[w].busy = true;
+        self.workers[w].steps_executed += 1;
+        self.workers[w].busy_secs += lat.as_secs_f64();
+        q.schedule_at(now + lat, Ev::StepDone { worker: w });
+    }
+
+    fn handle_step_done(&mut self, now: SimTime, w: usize, q: &mut EventQueue<Ev>) {
+        self.workers[w].busy = false;
+        let mut finished = Vec::new();
+        let running = std::mem::take(&mut self.workers[w].running);
+        for i in running {
+            self.requests[i].steps_left -= 1;
+            if self.requests[i].steps_left == 0 {
+                finished.push(i);
+            } else {
+                self.workers[w].running.push(i);
+            }
+        }
+        for i in finished {
+            self.requests[i].denoise_done_at = Some(now);
+            self.requests[i].phase = Phase::Post;
+            // Denoising load is gone: drop from the router's signal.
+            if let Some(pos) = self.outstanding[w].iter().position(|&x| x == i) {
+                self.outstanding[w].swap_remove(pos);
+            }
+            match self.config.batching {
+                BatchingPolicy::ContinuousNaive => {
+                    self.workers[w].pending_cpu.push_back(CpuTask::Post(i));
+                }
+                BatchingPolicy::ContinuousDisaggregated => {
+                    let start = now + self.config.cost.cpu.disagg_handoff;
+                    let post = self.config.cost.cpu.postprocess;
+                    let (_, done) = self.workers[w].cpu_pool.acquire(start, post);
+                    self.requests[i].processing_secs += post.as_secs_f64()
+                        + self.config.cost.cpu.disagg_handoff.as_secs_f64();
+                    q.schedule_at(done, Ev::PostDone { worker: w, req: i });
+                }
+                BatchingPolicy::Static => {
+                    let post = self.config.cost.cpu.postprocess;
+                    let (_, done) = self.workers[w].cpu_pool.acquire(now, post);
+                    self.requests[i].processing_secs += post.as_secs_f64();
+                    q.schedule_at(done, Ev::PostDone { worker: w, req: i });
+                }
+            }
+        }
+        self.kick(w, now, q);
+    }
+}
+
+impl<'r> EventHandler<Ev> for ClusterSim<'r> {
+    fn handle(&mut self, now: SimTime, event: Ev, q: &mut EventQueue<Ev>) {
+        match event {
+            Ev::Arrival(i) => self.handle_arrival(now, i, q),
+            Ev::PreQueued { worker, req } => {
+                self.workers[worker].pending_cpu.push_back(CpuTask::Pre(req));
+                self.kick(worker, now, q);
+            }
+            Ev::Ready { worker, req } => {
+                self.requests[req].phase = Phase::Ready;
+                self.workers[worker].ready.push_back(req);
+                self.kick(worker, now, q);
+            }
+            Ev::StepDone { worker } => self.handle_step_done(now, worker, q),
+            Ev::CpuDone { worker } => {
+                self.workers[worker].busy = false;
+                self.kick(worker, now, q);
+            }
+            Ev::PostDone { worker: _, req } => {
+                self.requests[req].phase = Phase::Done;
+                self.requests[req].completed_at = Some(now);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::GpuSpec;
+    use crate::router::{LeastLoadedRouter, RoundRobinRouter};
+    use fps_diffusion::ModelConfig;
+    use fps_workload::{RatioDistribution, TraceConfig};
+
+    fn small_trace(rps: f64, secs: f64, seed: u64) -> Trace {
+        Trace::generate(&TraceConfig {
+            rps,
+            arrivals: fps_workload::trace::ArrivalProcess::Poisson,
+            duration_secs: secs,
+            ratio_dist: RatioDistribution::ProductionTrace,
+            num_templates: 4,
+            zipf_s: 1.0,
+            seed,
+        })
+    }
+
+    fn base_config(engine: EngineKind, batching: BatchingPolicy, workers: usize) -> ClusterConfig {
+        ClusterConfig {
+            cost: CostModel::new(GpuSpec::h800(), ModelConfig::paper_sdxl()),
+            engine,
+            batching,
+            workers,
+            max_batch: 8,
+            cpu_workers: 4,
+            store: StoreConfig::production_like(),
+            scheduler_overhead: SimDuration::from_micros(600),
+        }
+    }
+
+    #[test]
+    fn all_requests_complete() {
+        let trace = small_trace(0.5, 60.0, 1);
+        let n = trace.len();
+        assert!(n > 10);
+        for (engine, batching) in [
+            (EngineKind::Diffusers, BatchingPolicy::Static),
+            (
+                EngineKind::FlashPs { kv: false },
+                BatchingPolicy::ContinuousDisaggregated,
+            ),
+            (
+                EngineKind::TeaCache {
+                    compute_fraction: 0.6,
+                },
+                BatchingPolicy::Static,
+            ),
+            (EngineKind::FisEdit, BatchingPolicy::Static),
+            (
+                EngineKind::FlashPs { kv: false },
+                BatchingPolicy::ContinuousNaive,
+            ),
+            (
+                EngineKind::FlashPs { kv: false },
+                BatchingPolicy::Static,
+            ),
+        ] {
+            let mut router = RoundRobinRouter::default();
+            let report =
+                ClusterSim::run(base_config(engine, batching, 2), &trace, &mut router).unwrap();
+            assert_eq!(
+                report.outcomes.len(),
+                n,
+                "{}/{}: all requests must complete",
+                engine.label(),
+                batching.label()
+            );
+            assert!(report.mean_latency() > 0.0);
+            assert!(report.throughput_rps > 0.0);
+        }
+    }
+
+    #[test]
+    fn flashps_beats_diffusers_end_to_end() {
+        // The headline Fig. 12 ordering at moderate load.
+        let trace = small_trace(1.0, 120.0, 2);
+        let mut r1 = LeastLoadedRouter;
+        let flash = ClusterSim::run(
+            base_config(
+                EngineKind::FlashPs { kv: false },
+                BatchingPolicy::ContinuousDisaggregated,
+                4,
+            ),
+            &trace,
+            &mut r1,
+        )
+        .unwrap();
+        let mut r2 = LeastLoadedRouter;
+        let diff = ClusterSim::run(
+            base_config(EngineKind::Diffusers, BatchingPolicy::Static, 4),
+            &trace,
+            &mut r2,
+        )
+        .unwrap();
+        assert!(
+            flash.mean_latency() < diff.mean_latency() / 2.0,
+            "flashps {} vs diffusers {}",
+            flash.mean_latency(),
+            diff.mean_latency()
+        );
+        assert!(flash.mean_queueing() < diff.mean_queueing());
+    }
+
+    #[test]
+    fn continuous_batching_cuts_queueing() {
+        // Fig. 4-middle: same engine, static vs disaggregated CB.
+        let trace = small_trace(1.5, 120.0, 3);
+        let mut r1 = LeastLoadedRouter;
+        let cb = ClusterSim::run(
+            base_config(
+                EngineKind::FlashPs { kv: false },
+                BatchingPolicy::ContinuousDisaggregated,
+                2,
+            ),
+            &trace,
+            &mut r1,
+        )
+        .unwrap();
+        let mut r2 = LeastLoadedRouter;
+        let st = ClusterSim::run(
+            base_config(EngineKind::FlashPs { kv: false }, BatchingPolicy::Static, 2),
+            &trace,
+            &mut r2,
+        )
+        .unwrap();
+        assert!(
+            cb.mean_queueing() < st.mean_queueing(),
+            "cb queueing {} vs static {}",
+            cb.mean_queueing(),
+            st.mean_queueing()
+        );
+    }
+
+    #[test]
+    fn naive_cb_interrupts_requests() {
+        // §6.4: pre/post on the engine process interrupts inflight
+        // requests several times and inflates tail latency.
+        let trace = small_trace(1.0, 100.0, 4);
+        let mut r1 = LeastLoadedRouter;
+        let naive = ClusterSim::run(
+            base_config(
+                EngineKind::FlashPs { kv: false },
+                BatchingPolicy::ContinuousNaive,
+                1,
+            ),
+            &trace,
+            &mut r1,
+        )
+        .unwrap();
+        let mut r2 = LeastLoadedRouter;
+        let disagg = ClusterSim::run(
+            base_config(
+                EngineKind::FlashPs { kv: false },
+                BatchingPolicy::ContinuousDisaggregated,
+                1,
+            ),
+            &trace,
+            &mut r2,
+        )
+        .unwrap();
+        let max_interruptions = naive
+            .outcomes
+            .iter()
+            .map(|o| o.interruptions)
+            .max()
+            .unwrap_or(0);
+        assert!(
+            max_interruptions >= 2,
+            "expected interruptions, got max {max_interruptions}"
+        );
+        assert!(disagg.outcomes.iter().all(|o| o.interruptions == 0));
+        assert!(
+            naive.p95_latency() > disagg.p95_latency(),
+            "naive P95 {} vs disagg {}",
+            naive.p95_latency(),
+            disagg.p95_latency()
+        );
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let trace = small_trace(1.0, 5.0, 5);
+        let mut router = RoundRobinRouter::default();
+        assert!(ClusterSim::run(
+            base_config(EngineKind::Diffusers, BatchingPolicy::Static, 0),
+            &trace,
+            &mut router
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let trace = Trace { requests: vec![] };
+        let mut router = RoundRobinRouter::default();
+        let report = ClusterSim::run(
+            base_config(EngineKind::Diffusers, BatchingPolicy::Static, 2),
+            &trace,
+            &mut router,
+        )
+        .unwrap();
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.throughput_rps, 0.0);
+    }
+
+    #[test]
+    fn interruption_counts_match_paper_scale() {
+        // The paper reports median ≈ 6, P95 ≈ 8 interruptions per
+        // request under naive CB at RPS 0.5 on one worker. Expect the
+        // same order of magnitude.
+        let trace = small_trace(0.5, 300.0, 6);
+        let mut router = LeastLoadedRouter;
+        let naive = ClusterSim::run(
+            base_config(
+                EngineKind::FlashPs { kv: false },
+                BatchingPolicy::ContinuousNaive,
+                1,
+            ),
+            &trace,
+            &mut router,
+        )
+        .unwrap();
+        let mut ints: Vec<f64> = naive.outcomes.iter().map(|o| o.interruptions as f64).collect();
+        ints.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = ints[ints.len() / 2];
+        assert!(
+            (1.0..=20.0).contains(&median),
+            "median interruptions {median} outside plausible range"
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn prop_simulation_invariants(
+            rps in 0.2f64..1.2,
+            seed in 0u64..1000,
+            workers in 1usize..4,
+            batching_idx in 0usize..3,
+        ) {
+            let batching = [
+                BatchingPolicy::Static,
+                BatchingPolicy::ContinuousNaive,
+                BatchingPolicy::ContinuousDisaggregated,
+            ][batching_idx];
+            let trace = small_trace(rps, 40.0, seed);
+            let n = trace.len();
+            let mut router = RoundRobinRouter::default();
+            let report = ClusterSim::run(
+                base_config(EngineKind::FlashPs { kv: false }, batching, workers),
+                &trace,
+                &mut router,
+            )
+            .expect("run");
+            // Conservation: every arrival completes exactly once.
+            proptest::prop_assert_eq!(report.outcomes.len(), n);
+            let mut ids: Vec<u64> = report.outcomes.iter().map(|o| o.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            proptest::prop_assert_eq!(ids.len(), n);
+            // Every latency component is non-negative and finite; the
+            // total is at least the inference time.
+            for o in &report.outcomes {
+                proptest::prop_assert!(o.queueing >= 0.0 && o.queueing.is_finite());
+                proptest::prop_assert!(o.inference > 0.0 && o.inference.is_finite());
+                proptest::prop_assert!(o.total + 1e-9 >= o.queueing + o.inference);
+                proptest::prop_assert!(o.worker < workers);
+                // Only naive CB interrupts requests.
+                if batching != BatchingPolicy::ContinuousNaive {
+                    proptest::prop_assert_eq!(o.interruptions, 0);
+                }
+            }
+            // Step conservation: workers executed between the
+            // perfectly-batched lower bound and the one-request-per-
+            // step upper bound.
+            if n > 0 {
+                let steps: u64 = report.steps_per_worker.iter().sum();
+                let model_steps = 50u64; // paper_sdxl schedule
+                let max_batch = 8u64;
+                proptest::prop_assert!(steps >= n as u64 * model_steps / max_batch);
+                proptest::prop_assert!(steps <= n as u64 * model_steps);
+            }
+            // Utilization is a fraction.
+            proptest::prop_assert!(report.utilization.iter().all(|&u| (0.0..=1.0).contains(&u)));
+        }
+    }
+
+    #[test]
+    fn utilization_and_steps_are_reported() {
+        let trace = small_trace(1.0, 60.0, 7);
+        let mut router = RoundRobinRouter::default();
+        let report = ClusterSim::run(
+            base_config(
+                EngineKind::FlashPs { kv: false },
+                BatchingPolicy::ContinuousDisaggregated,
+                2,
+            ),
+            &trace,
+            &mut router,
+        )
+        .unwrap();
+        assert_eq!(report.steps_per_worker.len(), 2);
+        assert!(report.steps_per_worker.iter().all(|&s| s > 0));
+        // The FlashPS engine touched the activation store.
+        assert!(report.store_stats.host_hits > 0);
+        assert!(report
+            .utilization
+            .iter()
+            .all(|&u| (0.0..=1.0).contains(&u)));
+    }
+}

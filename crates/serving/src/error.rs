@@ -1,0 +1,47 @@
+//! Error types for the serving simulator.
+
+use core::fmt;
+
+/// Errors produced by serving configuration and simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServingError {
+    /// A configuration is internally inconsistent.
+    InvalidConfig {
+        /// Description of the inconsistency.
+        reason: String,
+    },
+    /// A router returned a worker index out of range.
+    BadRoute {
+        /// The worker index returned.
+        worker: usize,
+        /// Number of workers in the cluster.
+        workers: usize,
+    },
+}
+
+impl fmt::Display for ServingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig { reason } => write!(f, "invalid serving config: {reason}"),
+            Self::BadRoute { worker, workers } => {
+                write!(f, "router chose worker {worker} of {workers}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServingError::BadRoute {
+            worker: 9,
+            workers: 4,
+        };
+        assert!(e.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,33 @@
+//! The FlashPS worker engine and serving simulator.
+//!
+//! This crate hosts the performance substrate: analytic GPU/PCIe cost
+//! models calibrated to the paper's setups ([`cost`]), the serving
+//! engines under comparison ([`engine`]), the three batching policies
+//! of §4.3 ([`worker`]) — static, naive continuous, and FlashPS's
+//! disaggregated continuous batching — and a deterministic
+//! discrete-event cluster simulator ([`cluster`]) that routes a request
+//! trace through workers and records per-request latency breakdowns.
+//!
+//! Scheduling policies plug in through the [`router::Router`] trait;
+//! the request-count and token-count baselines live here, while the
+//! mask-aware policy (Algorithm 2) lives in the `flashps` core crate.
+
+pub mod cluster;
+pub mod cost;
+pub mod engine;
+pub mod error;
+pub mod profiler;
+pub mod request;
+pub mod router;
+pub mod worker;
+
+pub use cluster::{ClusterConfig, ClusterSim, RunReport};
+pub use cost::{CostModel, GpuSpec};
+pub use engine::EngineKind;
+pub use error::ServingError;
+pub use request::{RequestOutcome, SimRequest};
+pub use router::{LeastLoadedRouter, RoundRobinRouter, Router, TokenCountRouter, WorkerView};
+pub use worker::{BatchingPolicy, WorkerConfig};
+
+/// Crate-wide result alias.
+pub type Result<T> = core::result::Result<T, ServingError>;

@@ -1,0 +1,163 @@
+//! Offline profiling and the regression latency models (Fig. 11,
+//! Algorithm 2).
+//!
+//! FlashPS's scheduler estimates worker load with linear models mapping
+//! batch FLOPs → compute latency and cache bytes → load latency,
+//! fitted on offline profiling data. Here the "profiling runs" sample
+//! the analytic cost model across mask ratios and batch sizes — the
+//! same calibration loop the paper runs on real GPUs.
+
+use fps_diffusion::flops;
+use fps_metrics::LinearRegression;
+use fps_simtime::SimDuration;
+
+use crate::cost::{BatchItem, CostModel};
+use crate::error::ServingError;
+use crate::Result;
+
+/// Fitted latency estimators for one (model, GPU) pair.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    /// Seconds per step as a function of batch *TFLOPs* (mask-aware).
+    pub comp: LinearRegression,
+    /// Seconds per step as a function of cache *GiB* loaded.
+    pub load: LinearRegression,
+}
+
+impl LatencyModel {
+    /// Predicted compute latency of a mask-aware step over `batch`.
+    pub fn predict_compute(&self, cost: &CostModel, batch: &[BatchItem]) -> SimDuration {
+        let tflops = batch_step_tflops(cost, batch);
+        SimDuration::from_secs_f64(self.comp.predict(tflops).max(0.0))
+    }
+
+    /// Predicted load latency of a mask-aware step over `batch`.
+    pub fn predict_load(&self, cost: &CostModel, batch: &[BatchItem]) -> SimDuration {
+        let gib = batch_step_load_gib(cost, batch);
+        SimDuration::from_secs_f64(self.load.predict(gib).max(0.0))
+    }
+}
+
+/// Mask-aware step TFLOPs of a batch (Y variant, all blocks cached).
+pub fn batch_step_tflops(cost: &CostModel, batch: &[BatchItem]) -> f64 {
+    batch
+        .iter()
+        .map(|i| flops::step_flops_masked_y(&cost.model, 1, i.mask_ratio) as f64)
+        .sum::<f64>()
+        / 1e12
+}
+
+/// Cache bytes (GiB) a batch loads per step.
+pub fn batch_step_load_gib(cost: &CostModel, batch: &[BatchItem]) -> f64 {
+    batch
+        .iter()
+        .map(|i| cost.cache_bytes_per_step(i.mask_ratio) as f64)
+        .sum::<f64>()
+        / (1u64 << 30) as f64
+}
+
+/// `(x, y)` training points of one regression signal.
+pub type FitPoints = Vec<(f64, f64)>;
+
+/// Profiles the cost model across mask ratios and batch sizes and fits
+/// the regression models.
+///
+/// Returns the fitted models together with their training sets (for
+/// the Fig. 11 visualization).
+///
+/// # Errors
+///
+/// Returns [`ServingError::InvalidConfig`] if the fits degenerate
+/// (should not happen for sane cost models).
+pub fn fit_latency_model(cost: &CostModel) -> Result<(LatencyModel, FitPoints, FitPoints)> {
+    let ratios = [0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.65, 0.8];
+    let batches = [1usize, 2, 4, 6, 8];
+    let mut comp_points = Vec::new();
+    let mut load_points = Vec::new();
+    for &b in &batches {
+        for &m in &ratios {
+            let batch = vec![BatchItem { mask_ratio: m }; b];
+            // Profile the pure compute latency (all blocks cached, no
+            // pipeline) and the pure load latency, the two signals
+            // Algorithm 2's models estimate.
+            let costs = cost.mask_aware_block_costs(&batch, false);
+            let compute = costs.compute_cached.as_secs_f64() * cost.model.blocks as f64;
+            let load = costs.load.as_secs_f64() * cost.model.blocks as f64;
+            comp_points.push((batch_step_tflops(cost, &batch), compute));
+            load_points.push((batch_step_load_gib(cost, &batch), load));
+        }
+    }
+    let comp = LinearRegression::fit(&comp_points).ok_or_else(|| ServingError::InvalidConfig {
+        reason: "compute-latency fit degenerate".into(),
+    })?;
+    let load = LinearRegression::fit(&load_points).ok_or_else(|| ServingError::InvalidConfig {
+        reason: "load-latency fit degenerate".into(),
+    })?;
+    Ok((LatencyModel { comp, load }, comp_points, load_points))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::GpuSpec;
+    use fps_diffusion::ModelConfig;
+
+    fn cm() -> CostModel {
+        CostModel::new(GpuSpec::h800(), ModelConfig::paper_sdxl())
+    }
+
+    #[test]
+    fn fits_have_high_r2() {
+        // Fig. 11 reports R² = 0.99; the load model is exactly linear
+        // and the compute model is near-linear (occupancy bends it
+        // slightly).
+        let (model, comp_pts, load_pts) = fit_latency_model(&cm()).unwrap();
+        assert!(model.comp.r2 > 0.9, "comp R² {}", model.comp.r2);
+        assert!(model.load.r2 > 0.999, "load R² {}", model.load.r2);
+        assert!(comp_pts.len() >= 40);
+        assert!(load_pts.len() >= 40);
+    }
+
+    #[test]
+    fn predictions_track_the_cost_model() {
+        let cost = cm();
+        let (model, _, _) = fit_latency_model(&cost).unwrap();
+        let batch = vec![BatchItem { mask_ratio: 0.25 }; 4];
+        let costs = cost.mask_aware_block_costs(&batch, false);
+        let actual_compute = costs.compute_cached.as_secs_f64() * cost.model.blocks as f64;
+        let predicted = model.predict_compute(&cost, &batch).as_secs_f64();
+        let rel = (predicted - actual_compute).abs() / actual_compute;
+        assert!(rel < 0.35, "relative error {rel}");
+        let actual_load = costs.load.as_secs_f64() * cost.model.blocks as f64;
+        let predicted_load = model.predict_load(&cost, &batch).as_secs_f64();
+        let rel = (predicted_load - actual_load).abs() / actual_load.max(1e-9);
+        assert!(rel < 0.05, "load relative error {rel}");
+    }
+
+    #[test]
+    fn predictions_grow_with_load() {
+        let cost = cm();
+        let (model, _, _) = fit_latency_model(&cost).unwrap();
+        let small = vec![BatchItem { mask_ratio: 0.1 }];
+        let large = vec![BatchItem { mask_ratio: 0.5 }; 6];
+        assert!(
+            model.predict_compute(&cost, &large) > model.predict_compute(&cost, &small)
+        );
+        assert!(model.predict_load(&cost, &large) > model.predict_load(&cost, &small));
+    }
+
+    #[test]
+    fn tflop_and_gib_helpers_scale_linearly_in_batch() {
+        let cost = cm();
+        let one = vec![BatchItem { mask_ratio: 0.2 }];
+        let four = vec![BatchItem { mask_ratio: 0.2 }; 4];
+        assert!(
+            (batch_step_tflops(&cost, &four) - 4.0 * batch_step_tflops(&cost, &one)).abs()
+                < 1e-9
+        );
+        assert!(
+            (batch_step_load_gib(&cost, &four) - 4.0 * batch_step_load_gib(&cost, &one)).abs()
+                < 1e-9
+        );
+    }
+}

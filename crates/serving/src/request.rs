@@ -1,0 +1,148 @@
+//! Request lifecycle state inside the serving simulator.
+
+use fps_simtime::SimTime;
+use fps_workload::RequestSpec;
+
+/// Lifecycle phase of a simulated request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Routed to a worker, waiting for preprocessing / cache readiness.
+    Pending,
+    /// Preprocessed and cache-ready, waiting to join the running batch.
+    Ready,
+    /// In the running batch, denoising.
+    Running,
+    /// Denoising done, postprocessing.
+    Post,
+    /// Fully served.
+    Done,
+}
+
+/// A request moving through the simulator.
+#[derive(Debug, Clone)]
+pub struct SimRequest {
+    /// The workload spec (arrival, template, mask ratio, seed).
+    pub spec: RequestSpec,
+    /// Current phase.
+    pub phase: Phase,
+    /// Worker the request was routed to.
+    pub worker: usize,
+    /// Denoising steps remaining.
+    pub steps_left: usize,
+    /// When the template's cached activations are host-resident
+    /// (prefetch-while-queued, §4.2).
+    pub cache_ready_at: SimTime,
+    /// When the request joined the running batch (first step start).
+    pub batch_joined_at: Option<SimTime>,
+    /// When denoising finished.
+    pub denoise_done_at: Option<SimTime>,
+    /// When the request fully completed.
+    pub completed_at: Option<SimTime>,
+    /// Time spent in pre+post processing.
+    pub processing_secs: f64,
+    /// Interruptions suffered from CPU work under naive continuous
+    /// batching (§6.4).
+    pub interruptions: u32,
+}
+
+impl SimRequest {
+    /// Wraps a spec for simulation with `steps` denoising steps.
+    pub fn new(spec: RequestSpec, steps: usize) -> Self {
+        Self {
+            spec,
+            phase: Phase::Pending,
+            worker: usize::MAX,
+            steps_left: steps,
+            cache_ready_at: SimTime::ZERO,
+            batch_joined_at: None,
+            denoise_done_at: None,
+            completed_at: None,
+            processing_secs: 0.0,
+            interruptions: 0,
+        }
+    }
+}
+
+/// Final accounting of one served request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestOutcome {
+    /// Request id from the trace.
+    pub id: u64,
+    /// Worker that served it.
+    pub worker: usize,
+    /// Mask ratio of the edit.
+    pub mask_ratio: f64,
+    /// Arrival → batch-join (queueing) seconds.
+    pub queueing: f64,
+    /// Pre+post processing seconds.
+    pub processing: f64,
+    /// Batch-join → denoise-complete seconds (includes stalls).
+    pub inference: f64,
+    /// End-to-end seconds.
+    pub total: f64,
+    /// Interruption count under naive continuous batching.
+    pub interruptions: u32,
+}
+
+impl SimRequest {
+    /// Builds the outcome record; `None` until the request completes.
+    pub fn outcome(&self) -> Option<RequestOutcome> {
+        let completed = self.completed_at?;
+        let joined = self.batch_joined_at?;
+        let denoised = self.denoise_done_at?;
+        let arrival = self.spec.arrival();
+        let total = completed.since(arrival).as_secs_f64();
+        let queueing = joined.since(arrival).as_secs_f64();
+        let inference = denoised.since(joined).as_secs_f64();
+        Some(RequestOutcome {
+            id: self.spec.id,
+            worker: self.worker,
+            mask_ratio: self.spec.mask_ratio,
+            queueing,
+            processing: self.processing_secs,
+            inference,
+            total,
+            interruptions: self.interruptions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fps_workload::trace::MaskShapeSpec;
+
+    fn spec(arrival_ns: u64) -> RequestSpec {
+        RequestSpec {
+            id: 1,
+            arrival_ns,
+            template_id: 0,
+            mask_ratio: 0.2,
+            mask_shape: MaskShapeSpec::Rect,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn outcome_requires_completion() {
+        let mut r = SimRequest::new(spec(0), 10);
+        assert!(r.outcome().is_none());
+        r.batch_joined_at = Some(SimTime::from_nanos(2_000_000_000));
+        r.denoise_done_at = Some(SimTime::from_nanos(5_000_000_000));
+        r.completed_at = Some(SimTime::from_nanos(6_000_000_000));
+        r.processing_secs = 0.7;
+        let o = r.outcome().unwrap();
+        assert!((o.queueing - 2.0).abs() < 1e-9);
+        assert!((o.inference - 3.0).abs() < 1e-9);
+        assert!((o.total - 6.0).abs() < 1e-9);
+        assert!((o.processing - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn new_request_starts_pending() {
+        let r = SimRequest::new(spec(5), 8);
+        assert_eq!(r.phase, Phase::Pending);
+        assert_eq!(r.steps_left, 8);
+        assert_eq!(r.interruptions, 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Request routing policies.
+//!
+//! The paper's load-balancing baselines (§6.5): request-granularity
+//! (balance outstanding request counts) and token-granularity (balance
+//! outstanding masked-token counts). The mask-aware policy
+//! (Algorithm 2) lives in the `flashps` core crate and plugs in through
+//! the same [`Router`] trait.
+
+use fps_simtime::SimTime;
+use fps_workload::RequestSpec;
+
+use crate::worker::OutstandingReq;
+
+/// What a router sees of each worker when placing a request.
+#[derive(Debug, Clone)]
+pub struct WorkerView {
+    /// Worker id (its index).
+    pub id: usize,
+    /// Outstanding requests: running batch plus ready/pending queue.
+    pub outstanding: Vec<OutstandingReq>,
+    /// Effective maximum batch size.
+    pub max_batch: usize,
+    /// Total tokens of the served model (for token-count scoring).
+    pub model_tokens: usize,
+}
+
+/// A request routing policy.
+pub trait Router {
+    /// Chooses a worker index for the request.
+    fn route(&mut self, req: &RequestSpec, workers: &[WorkerView], now: SimTime) -> usize;
+
+    /// Policy name for experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// Round-robin placement, ignoring load entirely.
+#[derive(Debug, Default)]
+pub struct RoundRobinRouter {
+    next: usize,
+}
+
+impl Router for RoundRobinRouter {
+    fn route(&mut self, _req: &RequestSpec, workers: &[WorkerView], _now: SimTime) -> usize {
+        let w = self.next % workers.len().max(1);
+        self.next = self.next.wrapping_add(1);
+        w
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Request-granularity balancing: place on the worker with the fewest
+/// outstanding requests (ties to the lowest id).
+#[derive(Debug, Default)]
+pub struct LeastLoadedRouter;
+
+impl Router for LeastLoadedRouter {
+    fn route(&mut self, _req: &RequestSpec, workers: &[WorkerView], _now: SimTime) -> usize {
+        workers
+            .iter()
+            .min_by_key(|w| (w.outstanding.len(), w.id))
+            .map(|w| w.id)
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "request-count"
+    }
+}
+
+/// Token-granularity balancing: place on the worker with the fewest
+/// outstanding masked tokens (mask ratio × model tokens, summed over
+/// outstanding requests).
+#[derive(Debug, Default)]
+pub struct TokenCountRouter;
+
+impl Router for TokenCountRouter {
+    fn route(&mut self, _req: &RequestSpec, workers: &[WorkerView], _now: SimTime) -> usize {
+        workers
+            .iter()
+            .min_by(|a, b| {
+                let ta = outstanding_tokens(a);
+                let tb = outstanding_tokens(b);
+                ta.partial_cmp(&tb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.id.cmp(&b.id))
+            })
+            .map(|w| w.id)
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "token-count"
+    }
+}
+
+/// Total outstanding masked tokens on a worker.
+pub fn outstanding_tokens(w: &WorkerView) -> f64 {
+    w.outstanding
+        .iter()
+        .map(|r| r.mask_ratio * w.model_tokens as f64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fps_workload::trace::MaskShapeSpec;
+
+    fn spec() -> RequestSpec {
+        RequestSpec {
+            id: 0,
+            arrival_ns: 0,
+            template_id: 0,
+            mask_ratio: 0.2,
+            mask_shape: MaskShapeSpec::Rect,
+            seed: 0,
+        }
+    }
+
+    fn view(id: usize, ratios: &[f64]) -> WorkerView {
+        WorkerView {
+            id,
+            outstanding: ratios
+                .iter()
+                .map(|&m| OutstandingReq {
+                    mask_ratio: m,
+                    steps_left: 50,
+                })
+                .collect(),
+            max_batch: 8,
+            model_tokens: 4096,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut r = RoundRobinRouter::default();
+        let ws = vec![view(0, &[]), view(1, &[]), view(2, &[])];
+        let picks: Vec<usize> = (0..6).map(|_| r.route(&spec(), &ws, SimTime::ZERO)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(r.name(), "round-robin");
+    }
+
+    #[test]
+    fn least_loaded_picks_fewest_requests() {
+        let mut r = LeastLoadedRouter;
+        let ws = vec![view(0, &[0.1, 0.1]), view(1, &[0.9]), view(2, &[0.1, 0.2, 0.3])];
+        assert_eq!(r.route(&spec(), &ws, SimTime::ZERO), 1);
+    }
+
+    #[test]
+    fn token_count_sees_mask_sizes() {
+        let mut r = TokenCountRouter;
+        // Worker 0 has fewer requests but far more masked tokens.
+        let ws = vec![view(0, &[0.9]), view(1, &[0.1, 0.1])];
+        assert_eq!(r.route(&spec(), &ws, SimTime::ZERO), 1);
+        // Request-count balancing would pick worker 0 instead.
+        let mut lc = LeastLoadedRouter;
+        assert_eq!(lc.route(&spec(), &ws, SimTime::ZERO), 0);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let mut r = LeastLoadedRouter;
+        let ws = vec![view(0, &[]), view(1, &[])];
+        assert_eq!(r.route(&spec(), &ws, SimTime::ZERO), 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Worker state: batching policies and per-worker bookkeeping.
+//!
+//! A worker owns one GPU. Its behaviour under the three batching
+//! policies of §4.3:
+//!
+//! - **Static**: a batch is formed from the ready queue only when the
+//!   GPU is idle *and* the previous batch has fully completed; late
+//!   arrivals wait for the whole batch.
+//! - **Naive continuous** (the strawman of Fig. 10-top): requests join
+//!   and leave at step boundaries, but pre/post-processing executes on
+//!   the engine process between steps, stalling every inflight request
+//!   (an *interruption*).
+//! - **Disaggregated continuous** (FlashPS, Fig. 10-bottom): pre/post
+//!   runs on a separate CPU pool; the denoise stream never stalls, and
+//!   joins cost one step plus the 1.2 ms batch-organization overhead.
+
+use std::collections::VecDeque;
+
+use fps_simtime::MultiResource;
+
+use crate::engine::EngineKind;
+
+/// The batching policy of a worker (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchingPolicy {
+    /// Fixed batch until completion.
+    Static,
+    /// Step-level continuous batching with CPU work on the engine
+    /// process.
+    ContinuousNaive,
+    /// Step-level continuous batching with disaggregated CPU work.
+    ContinuousDisaggregated,
+}
+
+impl BatchingPolicy {
+    /// Short label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Static => "static",
+            Self::ContinuousNaive => "naive-cb",
+            Self::ContinuousDisaggregated => "disagg-cb",
+        }
+    }
+
+    /// Whether the policy admits requests at step boundaries.
+    pub fn is_continuous(&self) -> bool {
+        !matches!(self, Self::Static)
+    }
+}
+
+/// Static configuration of one worker.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Engine executing steps.
+    pub engine: EngineKind,
+    /// Batching policy.
+    pub batching: BatchingPolicy,
+    /// Maximum running-batch size (further capped by the engine).
+    pub max_batch: usize,
+    /// CPU pool size for disaggregated pre/post-processing.
+    pub cpu_workers: usize,
+}
+
+impl WorkerConfig {
+    /// Effective maximum batch after engine capping.
+    pub fn effective_max_batch(&self) -> usize {
+        self.engine.cap_batch(self.max_batch)
+    }
+}
+
+/// A CPU task queued on the engine process under naive continuous
+/// batching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuTask {
+    /// Preprocessing of a request (by index).
+    Pre(usize),
+    /// Postprocessing of a request (by index).
+    Post(usize),
+}
+
+/// Mutable state of one worker during simulation.
+#[derive(Debug)]
+pub struct WorkerState {
+    /// Worker id.
+    pub id: usize,
+    /// Static configuration.
+    pub config: WorkerConfig,
+    /// CPU pool for disaggregated/static pre/post.
+    pub cpu_pool: MultiResource,
+    /// Requests currently in the running batch (indices into the
+    /// cluster's request table).
+    pub running: Vec<usize>,
+    /// Preprocessed, cache-ready requests waiting to join.
+    pub ready: VecDeque<usize>,
+    /// CPU tasks pending on the engine process (naive CB only).
+    pub pending_cpu: VecDeque<CpuTask>,
+    /// Whether the GPU (or, under naive CB, the engine process) is
+    /// busy.
+    pub busy: bool,
+    /// Requests ever routed here.
+    pub total_assigned: usize,
+    /// Denoising steps executed.
+    pub steps_executed: u64,
+    /// Busy seconds accumulated on the GPU.
+    pub busy_secs: f64,
+}
+
+impl WorkerState {
+    /// Creates an idle worker.
+    pub fn new(id: usize, config: WorkerConfig) -> Self {
+        let cpu_pool = MultiResource::new(config.cpu_workers.max(1));
+        Self {
+            id,
+            config,
+            cpu_pool,
+            running: Vec::new(),
+            ready: VecDeque::new(),
+            pending_cpu: VecDeque::new(),
+            busy: false,
+            total_assigned: 0,
+            steps_executed: 0,
+            busy_secs: 0.0,
+        }
+    }
+
+    /// Whether the worker has no work at all.
+    pub fn is_idle(&self) -> bool {
+        !self.busy && self.running.is_empty() && self.ready.is_empty() && self.pending_cpu.is_empty()
+    }
+}
+
+/// Snapshot of a worker handed to routing policies.
+#[derive(Debug, Clone)]
+pub struct OutstandingReq {
+    /// Mask ratio of the outstanding request.
+    pub mask_ratio: f64,
+    /// Denoising steps left (full count if not yet started).
+    pub steps_left: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_labels() {
+        assert_eq!(BatchingPolicy::Static.label(), "static");
+        assert_eq!(BatchingPolicy::ContinuousNaive.label(), "naive-cb");
+        assert_eq!(
+            BatchingPolicy::ContinuousDisaggregated.label(),
+            "disagg-cb"
+        );
+        assert!(!BatchingPolicy::Static.is_continuous());
+        assert!(BatchingPolicy::ContinuousNaive.is_continuous());
+    }
+
+    #[test]
+    fn fisedit_caps_effective_batch() {
+        let cfg = WorkerConfig {
+            engine: EngineKind::FisEdit,
+            batching: BatchingPolicy::Static,
+            max_batch: 8,
+            cpu_workers: 2,
+        };
+        assert_eq!(cfg.effective_max_batch(), 1);
+        let cfg2 = WorkerConfig {
+            engine: EngineKind::Diffusers,
+            ..cfg
+        };
+        assert_eq!(cfg2.effective_max_batch(), 8);
+    }
+
+    #[test]
+    fn new_worker_is_idle() {
+        let w = WorkerState::new(
+            0,
+            WorkerConfig {
+                engine: EngineKind::Diffusers,
+                batching: BatchingPolicy::Static,
+                max_batch: 4,
+                cpu_workers: 0,
+            },
+        );
+        assert!(w.is_idle());
+        assert_eq!(w.cpu_pool.servers(), 1, "pool clamps to one server");
+    }
+}

@@ -1,0 +1,268 @@
+//! Deterministic event queue and executor.
+//!
+//! Events carry a user-defined payload type `E`. Simultaneous events
+//! execute in scheduling order (a monotone sequence number breaks
+//! ties), so simulations are fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so the BinaryHeap (max-heap) pops the earliest
+        // (time, seq) first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A time-ordered queue of pending events.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current virtual time (the timestamp of the last popped
+    /// event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules an event at an absolute time. Times before `now` are
+    /// clamped to `now` (events cannot fire in the past).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedules an event after a delay from the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Pops the earliest event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+}
+
+/// A simulation world that reacts to events and schedules follow-ups.
+pub trait EventHandler<E> {
+    /// Handles one event at virtual time `now`; may schedule further
+    /// events on `queue`.
+    fn handle(&mut self, now: SimTime, event: E, queue: &mut EventQueue<E>);
+}
+
+/// Drives an [`EventQueue`] against an [`EventHandler`] until the queue
+/// drains or a horizon passes.
+pub struct Simulation<E> {
+    queue: EventQueue<E>,
+    events_processed: u64,
+}
+
+impl<E> Default for Simulation<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulation<E> {
+    /// Creates an empty simulation.
+    pub fn new() -> Self {
+        Self {
+            queue: EventQueue::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Access to the queue for initial event seeding.
+    pub fn queue_mut(&mut self) -> &mut EventQueue<E> {
+        &mut self.queue
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Runs until the queue is empty.
+    pub fn run(&mut self, world: &mut impl EventHandler<E>) {
+        while let Some((now, event)) = self.queue.pop() {
+            self.events_processed += 1;
+            world.handle(now, event, &mut self.queue);
+        }
+    }
+
+    /// Runs until the queue is empty or the next event would fire after
+    /// `horizon`; events at exactly `horizon` still execute.
+    pub fn run_until(&mut self, horizon: SimTime, world: &mut impl EventHandler<E>) {
+        while let Some(next) = self.queue.heap.peek() {
+            if next.at > horizon {
+                break;
+            }
+            let (now, event) = self.queue.pop().expect("peeked above");
+            self.events_processed += 1;
+            world.handle(now, event, &mut self.queue);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Tick(u32),
+        Chain(u32),
+    }
+
+    struct Recorder {
+        seen: Vec<(u64, Ev)>,
+    }
+
+    impl EventHandler<Ev> for Recorder {
+        fn handle(&mut self, now: SimTime, event: Ev, queue: &mut EventQueue<Ev>) {
+            if let Ev::Chain(n) = &event {
+                if *n > 0 {
+                    queue.schedule_after(SimDuration::from_nanos(10), Ev::Chain(n - 1));
+                }
+            }
+            self.seen.push((now.as_nanos(), event));
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulation::new();
+        sim.queue_mut()
+            .schedule_at(SimTime::from_nanos(30), Ev::Tick(3));
+        sim.queue_mut()
+            .schedule_at(SimTime::from_nanos(10), Ev::Tick(1));
+        sim.queue_mut()
+            .schedule_at(SimTime::from_nanos(20), Ev::Tick(2));
+        let mut w = Recorder { seen: vec![] };
+        sim.run(&mut w);
+        let order: Vec<u64> = w.seen.iter().map(|(t, _)| *t).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+        assert_eq!(sim.events_processed(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_keep_fifo_order() {
+        let mut sim = Simulation::new();
+        for i in 0..5 {
+            sim.queue_mut()
+                .schedule_at(SimTime::from_nanos(42), Ev::Tick(i));
+        }
+        let mut w = Recorder { seen: vec![] };
+        sim.run(&mut w);
+        let ids: Vec<u32> = w
+            .seen
+            .iter()
+            .map(|(_, e)| match e {
+                Ev::Tick(i) => *i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn handlers_can_chain_events() {
+        let mut sim = Simulation::new();
+        sim.queue_mut()
+            .schedule_at(SimTime::from_nanos(0), Ev::Chain(3));
+        let mut w = Recorder { seen: vec![] };
+        sim.run(&mut w);
+        assert_eq!(w.seen.len(), 4);
+        assert_eq!(sim.now().as_nanos(), 30);
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut sim = Simulation::new();
+        sim.queue_mut()
+            .schedule_at(SimTime::from_nanos(0), Ev::Chain(100));
+        let mut w = Recorder { seen: vec![] };
+        sim.run_until(SimTime::from_nanos(45), &mut w);
+        // Events at 0, 10, 20, 30, 40 fire; 50 does not.
+        assert_eq!(w.seen.len(), 5);
+        // The remaining chain event is still queued.
+        assert_eq!(sim.queue_mut().len(), 1);
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(100), Ev::Tick(0));
+        let _ = q.pop();
+        assert_eq!(q.now().as_nanos(), 100);
+        q.schedule_at(SimTime::from_nanos(5), Ev::Tick(1));
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t.as_nanos(), 100, "past events fire immediately");
+    }
+
+    #[test]
+    fn empty_queue_reports() {
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+        q.schedule_after(SimDuration::from_nanos(1), Ev::Tick(0));
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,24 @@
+//! Discrete-event simulation core for the FlashPS performance substrate.
+//!
+//! The paper's serving-scale experiments (latency vs RPS, batching
+//! strategies, load balancing) run on GPU clusters; this crate provides
+//! the virtual-time machinery to reproduce them without hardware:
+//!
+//! - [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual time.
+//! - [`EventQueue`] / [`Simulation`] — a deterministic event executor
+//!   with stable FIFO ordering for simultaneous events.
+//! - [`Resource`] / [`MultiResource`] — serial and k-server FIFO
+//!   resources modelling GPU compute streams, PCIe copy streams, and
+//!   CPU worker pools.
+//! - [`poisson`] — Poisson arrival processes for request traffic, the
+//!   workload model used throughout §6 of the paper.
+
+pub mod event;
+pub mod poisson;
+pub mod resource;
+pub mod time;
+
+pub use event::{EventHandler, EventQueue, Simulation};
+pub use poisson::PoissonArrivals;
+pub use resource::{MultiResource, Resource};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,157 @@
+//! Poisson arrival processes.
+//!
+//! Request traffic in every serving experiment of the paper follows a
+//! Poisson process with a configured rate (requests per second, §6.1).
+//! Inter-arrival gaps are exponential, sampled by inverse CDF from any
+//! [`rand::RngCore`] source.
+
+use rand::RngCore;
+
+use crate::time::{SimDuration, SimTime};
+
+/// An iterator of Poisson arrival instants.
+pub struct PoissonArrivals<R: RngCore> {
+    rng: R,
+    rate_per_sec: f64,
+    next: SimTime,
+}
+
+impl<R: RngCore> PoissonArrivals<R> {
+    /// Creates a process with the given rate (arrivals per second of
+    /// virtual time), starting at time zero.
+    ///
+    /// Returns `None` for a non-positive or non-finite rate.
+    pub fn new(rng: R, rate_per_sec: f64) -> Option<Self> {
+        if !rate_per_sec.is_finite() || rate_per_sec <= 0.0 {
+            return None;
+        }
+        Some(Self {
+            rng,
+            rate_per_sec,
+            next: SimTime::ZERO,
+        })
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    fn sample_gap(&mut self) -> SimDuration {
+        // Uniform in (0, 1] from the top 53 bits, then inverse CDF.
+        let u = ((self.rng.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+        SimDuration::from_secs_f64(-u.ln() / self.rate_per_sec)
+    }
+
+    /// Returns all arrivals strictly before `horizon`.
+    pub fn take_until(&mut self, horizon: SimTime) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        loop {
+            let gap = self.sample_gap();
+            let at = self.next + gap;
+            if at >= horizon {
+                // Keep the overshoot as the next arrival so repeated
+                // calls stay consistent.
+                self.next = at;
+                break;
+            }
+            self.next = at;
+            out.push(at);
+        }
+        out
+    }
+}
+
+impl<R: RngCore> Iterator for PoissonArrivals<R> {
+    type Item = SimTime;
+
+    fn next(&mut self) -> Option<SimTime> {
+        let gap = self.sample_gap();
+        self.next += gap;
+        Some(self.next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal deterministic RNG for tests (splitmix64).
+    struct TestRng(u64);
+    impl RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let b = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&b[..chunk.len()]);
+            }
+        }
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn rejects_bad_rates() {
+        assert!(PoissonArrivals::new(TestRng(1), 0.0).is_none());
+        assert!(PoissonArrivals::new(TestRng(1), -1.0).is_none());
+        assert!(PoissonArrivals::new(TestRng(1), f64::NAN).is_none());
+        assert!(PoissonArrivals::new(TestRng(1), 2.0).is_some());
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing() {
+        let p = PoissonArrivals::new(TestRng(2), 100.0).unwrap();
+        let times: Vec<SimTime> = p.take(200).collect();
+        for w in times.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn empirical_rate_matches_configured() {
+        let rate = 50.0;
+        let mut p = PoissonArrivals::new(TestRng(3), rate).unwrap();
+        let horizon = SimTime::from_nanos(200_000_000_000); // 200 s
+        let arrivals = p.take_until(horizon);
+        let empirical = arrivals.len() as f64 / 200.0;
+        assert!(
+            (empirical - rate).abs() / rate < 0.05,
+            "empirical rate {empirical} vs {rate}"
+        );
+    }
+
+    #[test]
+    fn gaps_are_exponential_in_spread() {
+        // Coefficient of variation of exponential gaps is 1.
+        let p = PoissonArrivals::new(TestRng(4), 10.0).unwrap();
+        let times: Vec<f64> = p.take(20_000).map(|t| t.as_secs_f64()).collect();
+        let gaps: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.1, "cv {cv}");
+    }
+
+    #[test]
+    fn take_until_respects_horizon_and_resumes() {
+        let mut p = PoissonArrivals::new(TestRng(5), 1000.0).unwrap();
+        let h1 = SimTime::from_nanos(1_000_000_000);
+        let first = p.take_until(h1);
+        assert!(first.iter().all(|&t| t < h1));
+        let h2 = SimTime::from_nanos(2_000_000_000);
+        let second = p.take_until(h2);
+        assert!(second.iter().all(|&t| t >= h1 && t < h2));
+        assert!(!second.is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! Error types for tensor operations.
+
+use core::fmt;
+
+/// Errors produced by tensor construction and operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The element count implied by a shape does not match the data length.
+    ShapeDataMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+    },
+    /// The tensor has the wrong rank for the requested operation.
+    RankMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Rank required by the operation.
+        expected: usize,
+        /// Rank of the tensor provided.
+        actual: usize,
+    },
+    /// An index (token id, row, axis, ...) is out of bounds.
+    IndexOutOfBounds {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound the index must stay below.
+        bound: usize,
+    },
+    /// A numeric routine failed to converge or hit an invalid domain.
+    Numeric {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Human-readable description of the failure.
+        reason: &'static str,
+    },
+    /// An empty input was provided where at least one element is required.
+    Empty {
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeDataMismatch { expected, actual } => write!(
+                f,
+                "shape implies {expected} elements but {actual} were provided"
+            ),
+            Self::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            Self::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op}: expected rank {expected}, got rank {actual}"),
+            Self::IndexOutOfBounds { op, index, bound } => {
+                write!(f, "{op}: index {index} out of bounds (< {bound})")
+            }
+            Self::Numeric { op, reason } => write!(f, "{op}: numeric failure: {reason}"),
+            Self::Empty { op } => write!(f, "{op}: empty input"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("[2, 3]"));
+        assert!(s.contains("[4, 5]"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = TensorError::Empty { op: "mean" };
+        let b = TensorError::Empty { op: "mean" };
+        assert_eq!(a, b);
+    }
+}

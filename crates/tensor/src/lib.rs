@@ -1,0 +1,35 @@
+//! Dense `f32` tensor library for the FlashPS reproduction.
+//!
+//! This crate is the numeric substrate beneath the toy-scale diffusion
+//! models in `fps-diffusion`. It provides exactly the operators a
+//! transformer block needs — matrix multiplication, softmax, layer/group
+//! normalization, GeLU/SiLU, token gather/scatter — plus the symmetric
+//! eigendecomposition used by the Fréchet-distance metric in
+//! `fps-quality`.
+//!
+//! Design notes:
+//!
+//! - Tensors are contiguous, row-major, and own their storage. There are
+//!   no views or strides; slicing copies. At the toy scales FlashPS runs
+//!   at (hundreds of tokens, hidden dims ≤ 256) this is simpler and fast
+//!   enough, and it keeps the crate entirely safe Rust.
+//! - Fallible operations (anything that can hit a shape mismatch) return
+//!   [`Result`] with a structured [`TensorError`]; nothing in the public
+//!   API panics on bad shapes.
+//! - All randomness flows through [`rng::DetRng`], a deterministic
+//!   splitmix64/xoshiro generator, so model weights and experiments are
+//!   bit-reproducible across runs and platforms.
+
+pub mod error;
+pub mod linalg;
+pub mod ops;
+pub mod rng;
+pub mod shape;
+pub mod tensor;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Crate-wide result alias.
+pub type Result<T> = core::result::Result<T, TensorError>;

@@ -1,0 +1,296 @@
+//! Dense symmetric linear algebra: Jacobi eigendecomposition and the
+//! symmetric matrix square root.
+//!
+//! These routines exist for one consumer — the Fréchet distance in
+//! `fps-quality` needs `sqrt(Σ₁ Σ₂)` of feature covariances, which we
+//! compute via the eigendecomposition of symmetric matrices. The cyclic
+//! Jacobi method is slow (O(n³) per sweep) but simple, numerically
+//! robust, and easy to verify, which is the right trade-off for feature
+//! dimensions of a few dozen.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Maximum number of Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 100;
+
+/// Convergence threshold on the off-diagonal Frobenius norm.
+const OFF_DIAG_TOL: f64 = 1e-10;
+
+/// The eigendecomposition `A = V · diag(λ) · Vᵀ` of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f32>,
+    /// Orthonormal eigenvectors; column `j` of the matrix corresponds to
+    /// `values[j]`.
+    pub vectors: Tensor,
+}
+
+/// Computes the eigendecomposition of a symmetric matrix by the cyclic
+/// Jacobi method.
+///
+/// The input is symmetrized (`(A + Aᵀ)/2`) before iterating, so mildly
+/// asymmetric inputs from accumulated floating-point error are fine.
+///
+/// # Errors
+///
+/// Returns an error for non-square input or if the iteration fails to
+/// converge within the sweep budget.
+pub fn sym_eigen(a: &Tensor) -> Result<SymEigen> {
+    let n = check_square("sym_eigen", a)?;
+    // Work in f64 for accuracy; the API stays f32.
+    let mut m = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            m[i * n + j] =
+                0.5 * (f64::from(a.data()[i * n + j]) + f64::from(a.data()[j * n + i]));
+        }
+    }
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+
+    let mut converged = false;
+    for _ in 0..MAX_SWEEPS {
+        let off: f64 = (0..n)
+            .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (i, j)))
+            .map(|(i, j)| m[i * n + j] * m[i * n + j])
+            .sum();
+        if off < OFF_DIAG_TOL {
+            converged = true;
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[p * n + q];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[p * n + p];
+                let aqq = m[q * n + q];
+                let theta = (aqq - app) / (2.0 * apq);
+                // Stable computation of tan of the rotation angle.
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation G(p, q, θ) from both sides.
+                for k in 0..n {
+                    let mkp = m[k * n + p];
+                    let mkq = m[k * n + q];
+                    m[k * n + p] = c * mkp - s * mkq;
+                    m[k * n + q] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[p * n + k];
+                    let mqk = m[q * n + k];
+                    m[p * n + k] = c * mpk - s * mqk;
+                    m[q * n + k] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    if !converged {
+        // One final check: the last sweep may have converged.
+        let off: f64 = (0..n)
+            .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (i, j)))
+            .map(|(i, j)| m[i * n + j] * m[i * n + j])
+            .sum();
+        if off >= OFF_DIAG_TOL {
+            return Err(TensorError::Numeric {
+                op: "sym_eigen",
+                reason: "Jacobi iteration did not converge",
+            });
+        }
+    }
+
+    // Extract and sort eigenpairs in descending eigenvalue order.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        m[j * n + j]
+            .partial_cmp(&m[i * n + i])
+            .unwrap_or(core::cmp::Ordering::Equal)
+    });
+    let values: Vec<f32> = order.iter().map(|&i| m[i * n + i] as f32).collect();
+    let mut vectors = vec![0.0f32; n * n];
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for row in 0..n {
+            vectors[row * n + new_col] = v[row * n + old_col] as f32;
+        }
+    }
+    Ok(SymEigen {
+        values,
+        vectors: Tensor::from_vec(vectors, [n, n])?,
+    })
+}
+
+/// Computes the principal square root of a symmetric positive
+/// semi-definite matrix.
+///
+/// Slightly negative eigenvalues (from floating-point noise) are clamped
+/// to zero rather than rejected.
+///
+/// # Errors
+///
+/// Returns an error for non-square input, convergence failure, or an
+/// eigenvalue that is materially negative (`< -1e-3 · λ_max`).
+pub fn sym_sqrt(a: &Tensor) -> Result<Tensor> {
+    let n = check_square("sym_sqrt", a)?;
+    let eig = sym_eigen(a)?;
+    let lmax = eig.values.first().copied().unwrap_or(0.0).max(0.0);
+    let tol = 1e-3 * lmax.max(1e-12);
+    let mut sqrt_vals = Vec::with_capacity(n);
+    for &l in &eig.values {
+        if l < -tol {
+            return Err(TensorError::Numeric {
+                op: "sym_sqrt",
+                reason: "matrix has a materially negative eigenvalue",
+            });
+        }
+        sqrt_vals.push(l.max(0.0).sqrt());
+    }
+    // sqrt(A) = V · diag(sqrt(λ)) · Vᵀ.
+    let mut out = vec![0.0f32; n * n];
+    let vd = eig.vectors.data();
+    for i in 0..n {
+        for j in i..n {
+            let mut acc = 0.0f64;
+            for (k, &sv) in sqrt_vals.iter().enumerate() {
+                acc += f64::from(vd[i * n + k]) * f64::from(sv) * f64::from(vd[j * n + k]);
+            }
+            out[i * n + j] = acc as f32;
+            out[j * n + i] = acc as f32;
+        }
+    }
+    Tensor::from_vec(out, [n, n])
+}
+
+/// Returns the trace of a square matrix.
+///
+/// # Errors
+///
+/// Returns an error for non-square input.
+pub fn trace(a: &Tensor) -> Result<f32> {
+    let n = check_square("trace", a)?;
+    Ok((0..n).map(|i| a.data()[i * n + i]).sum())
+}
+
+fn check_square(op: &'static str, a: &Tensor) -> Result<usize> {
+    if a.rank() != 2 || a.dims()[0] != a.dims()[1] {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: a.dims().to_vec(),
+            rhs: a.dims().to_vec(),
+        });
+    }
+    Ok(a.dims()[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::matmul::{matmul, matmul_bt};
+    use crate::rng::DetRng;
+
+    /// Builds a random symmetric PSD matrix `B · Bᵀ`.
+    fn random_psd(n: usize, seed: u64) -> Tensor {
+        let mut rng = DetRng::new(seed);
+        let b = Tensor::randn([n, n + 2], &mut rng);
+        matmul_bt(&b, &b).unwrap()
+    }
+
+    #[test]
+    fn eigen_of_diagonal_matrix() {
+        let a = Tensor::from_vec(vec![3.0, 0.0, 0.0, 1.0], [2, 2]).unwrap();
+        let e = sym_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-5);
+        assert!((e.values[1] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn eigen_reconstructs_input() {
+        let a = random_psd(6, 1);
+        let e = sym_eigen(&a).unwrap();
+        // Reconstruct V diag(λ) Vᵀ.
+        let n = 6;
+        let mut scaled = e.vectors.clone();
+        for row in 0..n {
+            for col in 0..n {
+                let v = scaled.at(&[row, col]).unwrap() * e.values[col];
+                scaled.set(&[row, col], v).unwrap();
+            }
+        }
+        let recon = matmul_bt(&scaled, &e.vectors.transpose().unwrap().transpose().unwrap())
+            .unwrap();
+        assert!(
+            recon.max_abs_diff(&a).unwrap() < 1e-3 * (1.0 + a.norm()),
+            "reconstruction error too large"
+        );
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = random_psd(5, 2);
+        let e = sym_eigen(&a).unwrap();
+        let vtv = matmul(&e.vectors.transpose().unwrap(), &e.vectors).unwrap();
+        assert!(vtv.max_abs_diff(&Tensor::eye(5)).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let a = random_psd(8, 3);
+        let e = sym_eigen(&a).unwrap();
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-6);
+        }
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let a = random_psd(6, 4);
+        let s = sym_sqrt(&a).unwrap();
+        let ss = matmul(&s, &s).unwrap();
+        assert!(ss.max_abs_diff(&a).unwrap() < 1e-2 * (1.0 + a.norm()));
+    }
+
+    #[test]
+    fn sqrt_of_identity_is_identity() {
+        let s = sym_sqrt(&Tensor::eye(4)).unwrap();
+        assert!(s.max_abs_diff(&Tensor::eye(4)).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn sqrt_rejects_negative_definite() {
+        let a = Tensor::from_vec(vec![-2.0, 0.0, 0.0, -3.0], [2, 2]).unwrap();
+        assert!(sym_sqrt(&a).is_err());
+    }
+
+    #[test]
+    fn trace_small_case() {
+        let a = Tensor::from_vec(vec![1.0, 9.0, 9.0, 2.0], [2, 2]).unwrap();
+        assert_eq!(trace(&a).unwrap(), 3.0);
+        assert!(trace(&Tensor::zeros([2, 3])).is_err());
+    }
+
+    #[test]
+    fn eigen_rejects_non_square() {
+        assert!(sym_eigen(&Tensor::zeros([2, 3])).is_err());
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = random_psd(7, 5);
+        let e = sym_eigen(&a).unwrap();
+        let sum: f32 = e.values.iter().sum();
+        let tr = trace(&a).unwrap();
+        assert!((sum - tr).abs() < 1e-2 * (1.0 + tr.abs()));
+    }
+}

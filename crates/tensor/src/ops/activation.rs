@@ -1,0 +1,76 @@
+//! Non-linear activations used by transformer feed-forward layers.
+
+use crate::tensor::Tensor;
+
+/// Scalar GeLU using the tanh approximation from the GPT-2 reference
+/// implementation.
+pub fn gelu_scalar(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// Scalar SiLU (a.k.a. swish): `x * sigmoid(x)`.
+pub fn silu_scalar(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// Applies GeLU element-wise.
+pub fn gelu(x: &Tensor) -> Tensor {
+    x.map(gelu_scalar)
+}
+
+/// Applies SiLU element-wise.
+pub fn silu(x: &Tensor) -> Tensor {
+    x.map(silu_scalar)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gelu_known_values() {
+        assert_eq!(gelu_scalar(0.0), 0.0);
+        // GeLU(1) ≈ 0.8412 for the tanh approximation.
+        assert!((gelu_scalar(1.0) - 0.8412).abs() < 1e-3);
+        // Large positive inputs pass through, large negative vanish.
+        assert!((gelu_scalar(10.0) - 10.0).abs() < 1e-3);
+        assert!(gelu_scalar(-10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn silu_known_values() {
+        assert_eq!(silu_scalar(0.0), 0.0);
+        assert!((silu_scalar(1.0) - 0.731_058_6).abs() < 1e-4);
+        assert!((silu_scalar(20.0) - 20.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn tensor_variants_match_scalar() {
+        let x = Tensor::from_vec(vec![-2.0, -0.5, 0.0, 0.5, 2.0], [5]).unwrap();
+        let g = gelu(&x);
+        let s = silu(&x);
+        for (i, &v) in x.data().iter().enumerate() {
+            assert_eq!(g.data()[i], gelu_scalar(v));
+            assert_eq!(s.data()[i], silu_scalar(v));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_gelu_bounded_below(x in -100.0f32..100.0) {
+            // GeLU is bounded below by roughly -0.17 and above by x.
+            let y = gelu_scalar(x);
+            prop_assert!(y >= -0.2);
+            prop_assert!(y <= x.max(0.0) + 1e-4);
+        }
+
+        #[test]
+        fn prop_silu_sign_structure(x in 0.01f32..50.0) {
+            // SiLU is positive for positive inputs and ≥ -0.279 overall.
+            prop_assert!(silu_scalar(x) > 0.0);
+            prop_assert!(silu_scalar(-x) >= -0.3);
+        }
+    }
+}

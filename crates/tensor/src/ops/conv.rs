@@ -1,0 +1,184 @@
+//! 2-D convolution over token grids.
+//!
+//! UNet-based diffusion models (SD2.1, SDXL) wrap their transformer
+//! blocks in a convolutional scaffold. Unlike every other operator in
+//! this crate, convolution mixes *spatially* — it is not token-wise —
+//! which is exactly why the paper's mask-aware computation leaves the
+//! conv scaffold alone (§2.1 footnote: transformers are ~82% of a UNet
+//! step; the scaffold always computes in full).
+//!
+//! The layout here is `[H*W, C]` row-major over the grid: the same
+//! token matrix the transformer blocks consume.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// 3×3 same-padding convolution over an `[h*w, c_in]` token grid with
+/// kernel `[9 * c_in, c_out]` (kernel rows ordered `(dy, dx, c_in)`
+/// with `dy`, `dx` ∈ {-1, 0, 1} scanned row-major) and bias `[c_out]`.
+///
+/// Out-of-grid taps read zero (zero padding).
+///
+/// # Errors
+///
+/// Returns an error when shapes are inconsistent with `h`, `w`.
+pub fn conv3x3(
+    x: &Tensor,
+    h: usize,
+    w: usize,
+    kernel: &Tensor,
+    bias: &Tensor,
+) -> Result<Tensor> {
+    if x.rank() != 2 || x.dims()[0] != h * w {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv3x3",
+            lhs: x.dims().to_vec(),
+            rhs: vec![h * w],
+        });
+    }
+    let c_in = x.dims()[1];
+    if kernel.rank() != 2 || kernel.dims()[0] != 9 * c_in {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv3x3",
+            lhs: kernel.dims().to_vec(),
+            rhs: vec![9 * c_in],
+        });
+    }
+    let c_out = kernel.dims()[1];
+    if bias.numel() != c_out {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv3x3",
+            lhs: bias.dims().to_vec(),
+            rhs: vec![c_out],
+        });
+    }
+    let mut out = vec![0.0f32; h * w * c_out];
+    let xd = x.data();
+    let kd = kernel.data();
+    let bd = bias.data();
+    for y in 0..h {
+        for xc in 0..w {
+            let orow = &mut out[(y * w + xc) * c_out..(y * w + xc + 1) * c_out];
+            orow.copy_from_slice(bd);
+            for (tap, (dy, dx)) in TAPS.iter().enumerate() {
+                let (py, px) = (y as i64 + dy, xc as i64 + dx);
+                if py < 0 || px < 0 || py >= h as i64 || px >= w as i64 {
+                    continue; // Zero padding.
+                }
+                let src = &xd[(py as usize * w + px as usize) * c_in
+                    ..(py as usize * w + px as usize + 1) * c_in];
+                for (ci, &v) in src.iter().enumerate() {
+                    if v == 0.0 {
+                        continue;
+                    }
+                    let krow = &kd[(tap * c_in + ci) * c_out..(tap * c_in + ci + 1) * c_out];
+                    for (o, &k) in orow.iter_mut().zip(krow.iter()) {
+                        *o += v * k;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, [h * w, c_out])
+}
+
+/// Kernel tap offsets in kernel-row order.
+const TAPS: [(i64, i64); 9] = [
+    (-1, -1),
+    (-1, 0),
+    (-1, 1),
+    (0, -1),
+    (0, 0),
+    (0, 1),
+    (1, -1),
+    (1, 0),
+    (1, 1),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DetRng;
+
+    /// A kernel whose only non-zero tap is the centre identity: conv
+    /// becomes the identity map.
+    fn identity_kernel(c: usize) -> Tensor {
+        let mut k = Tensor::zeros([9 * c, c]);
+        // Centre tap is index 4.
+        for ci in 0..c {
+            k.set(&[4 * c + ci, ci], 1.0).expect("in range");
+        }
+        k
+    }
+
+    #[test]
+    fn identity_kernel_is_identity() {
+        let mut rng = DetRng::new(1);
+        let x = Tensor::randn([4 * 5, 3], &mut rng);
+        let y = conv3x3(&x, 4, 5, &identity_kernel(3), &Tensor::zeros([3])).unwrap();
+        assert!(y.max_abs_diff(&x).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn bias_is_added() {
+        let x = Tensor::zeros([2 * 2, 1]);
+        let k = Tensor::zeros([9, 2]);
+        let b = Tensor::from_vec(vec![1.5, -2.0], [2]).unwrap();
+        let y = conv3x3(&x, 2, 2, &k, &b).unwrap();
+        assert_eq!(y.dims(), &[4, 2]);
+        for r in 0..4 {
+            assert_eq!(y.row(r).unwrap(), &[1.5, -2.0]);
+        }
+    }
+
+    #[test]
+    fn box_blur_averages_neighbours() {
+        // A uniform kernel sums the 3×3 neighbourhood; on an interior
+        // pixel of a constant image that is 9× the value, on a corner
+        // 4× (zero padding).
+        let x = Tensor::full([3 * 3, 1], 1.0);
+        let k = Tensor::full([9, 1], 1.0);
+        let y = conv3x3(&x, 3, 3, &k, &Tensor::zeros([1])).unwrap();
+        assert_eq!(y.at(&[4, 0]).unwrap(), 9.0, "interior");
+        assert_eq!(y.at(&[0, 0]).unwrap(), 4.0, "corner");
+        assert_eq!(y.at(&[1, 0]).unwrap(), 6.0, "edge");
+    }
+
+    #[test]
+    fn convolution_mixes_spatially() {
+        // Unlike token-wise ops, changing one token changes its
+        // neighbours' outputs — the property that forces the conv
+        // scaffold to always compute in full.
+        let mut rng = DetRng::new(2);
+        let x = Tensor::randn([4 * 4, 2], &mut rng);
+        let k = Tensor::randn([9 * 2, 2], &mut rng).scale(0.2);
+        let b = Tensor::zeros([2]);
+        let y0 = conv3x3(&x, 4, 4, &k, &b).unwrap();
+        let mut x2 = x.clone();
+        x2.row_mut(5).unwrap()[0] += 1.0; // token (1,1)
+        let y1 = conv3x3(&x2, 4, 4, &k, &b).unwrap();
+        // Neighbour (1,2) = row 6 must change.
+        let d: f32 = y0
+            .row(6)
+            .unwrap()
+            .iter()
+            .zip(y1.row(6).unwrap())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(d > 1e-6, "neighbour unaffected");
+        // A far token (3,3) = row 15 must not change.
+        assert_eq!(y0.row(15).unwrap(), y1.row(15).unwrap());
+    }
+
+    #[test]
+    fn shape_validation() {
+        let x = Tensor::zeros([6, 2]);
+        let k = Tensor::zeros([18, 2]);
+        let b = Tensor::zeros([2]);
+        assert!(conv3x3(&x, 2, 2, &k, &b).is_err(), "h*w mismatch");
+        assert!(conv3x3(&x, 2, 3, &Tensor::zeros([17, 2]), &b).is_err());
+        assert!(conv3x3(&x, 2, 3, &k, &Tensor::zeros([3])).is_err());
+        assert!(conv3x3(&x, 2, 3, &k, &b).is_ok());
+    }
+}

@@ -1,0 +1,219 @@
+//! Matrix multiplication kernels.
+//!
+//! These are straightforward cache-friendly `ikj` loops. At the toy
+//! scales used by the FlashPS numeric substrate (token counts in the
+//! hundreds, hidden dims ≤ 256) they are comfortably fast, and their
+//! FLOP counts — the quantity Table 1 of the paper analyzes — are exact
+//! and easy to account for (see [`matmul_flops`]).
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Returns the multiply-add FLOP count of an `[m, k] × [k, n]` matmul,
+/// counting one multiply and one add per inner-product term.
+pub fn matmul_flops(m: usize, k: usize, n: usize) -> u64 {
+    2 * m as u64 * k as u64 * n as u64
+}
+
+/// Computes `A · B` for `A: [m, k]` and `B: [k, n]`.
+///
+/// # Errors
+///
+/// Returns an error if either operand is not rank-2 or the inner
+/// dimensions disagree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_rank2("matmul", a)?;
+    check_rank2("matmul", b)?;
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    // The `ikj` order keeps the inner loop streaming over contiguous rows
+    // of B and the output, which is what makes this kernel usable at the
+    // sizes the diffusion substrate needs.
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, [m, n])
+}
+
+/// Computes `A · Bᵀ` for `A: [m, k]` and `B: [n, k]` without
+/// materializing the transpose.
+///
+/// This is the natural layout for the attention score computation
+/// `Q · Kᵀ`, where both operands store one token per row.
+///
+/// # Errors
+///
+/// Returns an error if either operand is not rank-2 or the shared
+/// dimension disagrees.
+pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_rank2("matmul_bt", a)?;
+    check_rank2("matmul_bt", b)?;
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (n, k2) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_bt",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in arow.iter().zip(brow.iter()) {
+                acc += x * y;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, [m, n])
+}
+
+/// Computes `Aᵀ · B` for `A: [k, m]` and `B: [k, n]` without
+/// materializing the transpose.
+///
+/// # Errors
+///
+/// Returns an error if either operand is not rank-2 or the shared
+/// dimension disagrees.
+pub fn matmul_tb(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_rank2("matmul_tb", a)?;
+    check_rank2("matmul_tb", b)?;
+    let (k, m) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_tb",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for p in 0..k {
+        let arow = &ad[p * m..(p + 1) * m];
+        let brow = &bd[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, [m, n])
+}
+
+fn check_rank2(op: &'static str, t: &Tensor) -> Result<()> {
+    if t.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 2,
+            actual: t.rank(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DetRng;
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], [2, 2]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = DetRng::new(2);
+        let a = Tensor::randn([4, 4], &mut rng);
+        let i = Tensor::eye(4);
+        assert!(matmul(&a, &i).unwrap().max_abs_diff(&a).unwrap() < 1e-6);
+        assert!(matmul(&i, &a).unwrap().max_abs_diff(&a).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_inner_dim_mismatch() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn rejects_non_matrices() {
+        let a = Tensor::zeros([2, 3, 4]);
+        let b = Tensor::zeros([4, 2]);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul_bt(&a, &b).is_err());
+        assert!(matmul_tb(&a, &b).is_err());
+    }
+
+    #[test]
+    fn bt_matches_explicit_transpose() {
+        let mut rng = DetRng::new(3);
+        let a = Tensor::randn([5, 7], &mut rng);
+        let b = Tensor::randn([6, 7], &mut rng);
+        let via_bt = matmul_bt(&a, &b).unwrap();
+        let via_t = matmul(&a, &b.transpose().unwrap()).unwrap();
+        assert!(via_bt.max_abs_diff(&via_t).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn tb_matches_explicit_transpose() {
+        let mut rng = DetRng::new(4);
+        let a = Tensor::randn([7, 5], &mut rng);
+        let b = Tensor::randn([7, 6], &mut rng);
+        let via_tb = matmul_tb(&a, &b).unwrap();
+        let via_t = matmul(&a.transpose().unwrap(), &b).unwrap();
+        assert!(via_tb.max_abs_diff(&via_t).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let mut rng = DetRng::new(5);
+        let a = Tensor::randn([3, 8], &mut rng);
+        let b = Tensor::randn([8, 2], &mut rng);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[3, 2]);
+    }
+
+    #[test]
+    fn flop_count_formula() {
+        assert_eq!(matmul_flops(2, 3, 4), 48);
+        assert_eq!(matmul_flops(1, 1, 1), 2);
+    }
+}

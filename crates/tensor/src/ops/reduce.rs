@@ -1,0 +1,197 @@
+//! Axis reductions and similarity statistics.
+//!
+//! [`cosine_similarity`] is the measurement behind Fig. 6-left of the
+//! paper (similarity of unmasked-token activations across requests), and
+//! [`mean_axis0`] / [`row_covariance`] feed the Fréchet-distance metric
+//! in `fps-quality`.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Computes the cosine similarity of two equal-length vectors.
+///
+/// Returns 0.0 when either vector has zero norm.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when lengths differ and
+/// [`TensorError::Empty`] for empty inputs.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> Result<f32> {
+    if a.len() != b.len() {
+        return Err(TensorError::ShapeMismatch {
+            op: "cosine_similarity",
+            lhs: vec![a.len()],
+            rhs: vec![b.len()],
+        });
+    }
+    if a.is_empty() {
+        return Err(TensorError::Empty {
+            op: "cosine_similarity",
+        });
+    }
+    let mut dot = 0.0f64;
+    let mut na = 0.0f64;
+    let mut nb = 0.0f64;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        dot += f64::from(x) * f64::from(y);
+        na += f64::from(x) * f64::from(x);
+        nb += f64::from(y) * f64::from(y);
+    }
+    if na == 0.0 || nb == 0.0 {
+        return Ok(0.0);
+    }
+    Ok((dot / (na.sqrt() * nb.sqrt())) as f32)
+}
+
+/// Computes the column-wise mean of a rank-2 tensor: shape `[h]`.
+///
+/// # Errors
+///
+/// Returns an error for non-matrix or zero-row input.
+pub fn mean_axis0(x: &Tensor) -> Result<Tensor> {
+    if x.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "mean_axis0",
+            expected: 2,
+            actual: x.rank(),
+        });
+    }
+    let (rows, cols) = (x.dims()[0], x.dims()[1]);
+    if rows == 0 {
+        return Err(TensorError::Empty { op: "mean_axis0" });
+    }
+    let mut out = vec![0.0f32; cols];
+    for r in 0..rows {
+        for (o, &v) in out.iter_mut().zip(x.row(r)?.iter()) {
+            *o += v;
+        }
+    }
+    let inv = 1.0 / rows as f32;
+    for o in &mut out {
+        *o *= inv;
+    }
+    Tensor::from_vec(out, [cols])
+}
+
+/// Computes the `[h, h]` sample covariance of the rows of a rank-2
+/// tensor (denominator `n - 1`; `n = 1` yields the zero matrix).
+///
+/// # Errors
+///
+/// Returns an error for non-matrix or zero-row input.
+pub fn row_covariance(x: &Tensor) -> Result<Tensor> {
+    let mean = mean_axis0(x)?;
+    let (rows, cols) = (x.dims()[0], x.dims()[1]);
+    let mut cov = vec![0.0f64; cols * cols];
+    for r in 0..rows {
+        let row = x.row(r)?;
+        for i in 0..cols {
+            let di = f64::from(row[i] - mean.data()[i]);
+            for j in i..cols {
+                let dj = f64::from(row[j] - mean.data()[j]);
+                cov[i * cols + j] += di * dj;
+            }
+        }
+    }
+    let denom = if rows > 1 { (rows - 1) as f64 } else { 1.0 };
+    let mut out = vec![0.0f32; cols * cols];
+    for i in 0..cols {
+        for j in i..cols {
+            let v = (cov[i * cols + j] / denom) as f32;
+            out[i * cols + j] = v;
+            out[j * cols + i] = v;
+        }
+    }
+    Tensor::from_vec(out, [cols, cols])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DetRng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cosine_of_identical_vectors_is_one() {
+        let v = vec![1.0, 2.0, 3.0];
+        assert!((cosine_similarity(&v, &v).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_orthogonal_vectors_is_zero() {
+        let a = vec![1.0, 0.0];
+        let b = vec![0.0, 1.0];
+        assert!(cosine_similarity(&a, &b).unwrap().abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_opposite_vectors_is_minus_one() {
+        let a = vec![1.0, 2.0];
+        let b = vec![-1.0, -2.0];
+        assert!((cosine_similarity(&a, &b).unwrap() + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_handles_zero_norm_and_errors() {
+        let z = vec![0.0, 0.0];
+        let v = vec![1.0, 1.0];
+        assert_eq!(cosine_similarity(&z, &v).unwrap(), 0.0);
+        assert!(cosine_similarity(&v, &[1.0]).is_err());
+        assert!(cosine_similarity(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn mean_axis0_small_case() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]).unwrap();
+        let m = mean_axis0(&x).unwrap();
+        assert_eq!(m.data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn covariance_of_constant_rows_is_zero() {
+        let x = Tensor::from_vec(vec![5.0, 7.0, 5.0, 7.0, 5.0, 7.0], [3, 2]).unwrap();
+        let c = row_covariance(&x).unwrap();
+        assert!(c.data().iter().all(|&v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn covariance_matches_hand_computation() {
+        // Two samples of a 1-D variable: values 0 and 2, sample var = 2.
+        let x = Tensor::from_vec(vec![0.0, 2.0], [2, 1]).unwrap();
+        let c = row_covariance(&x).unwrap();
+        assert!((c.data()[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn covariance_is_symmetric_and_psd_diag() {
+        let mut rng = DetRng::new(8);
+        let x = Tensor::randn([40, 6], &mut rng);
+        let c = row_covariance(&x).unwrap();
+        for i in 0..6 {
+            assert!(c.at(&[i, i]).unwrap() >= 0.0);
+            for j in 0..6 {
+                assert_eq!(c.at(&[i, j]).unwrap(), c.at(&[j, i]).unwrap());
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cosine_bounded(a in proptest::collection::vec(-10.0f32..10.0, 1..16)) {
+            let b: Vec<f32> = a.iter().map(|x| x * 0.5 + 0.1).collect();
+            let c = cosine_similarity(&a, &b).unwrap();
+            prop_assert!((-1.0001..=1.0001).contains(&c));
+        }
+
+        #[test]
+        fn prop_cosine_scale_invariant(
+            a in proptest::collection::vec(0.1f32..10.0, 2..8),
+            k in 0.1f32..100.0,
+        ) {
+            let b: Vec<f32> = a.iter().map(|x| x * k).collect();
+            let c = cosine_similarity(&a, &b).unwrap();
+            prop_assert!((c - 1.0).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Numerically stable softmax.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Applies softmax along the last axis of a rank-2 tensor.
+///
+/// Each row is shifted by its maximum before exponentiation, the standard
+/// trick that keeps the computation finite for large logits.
+///
+/// # Errors
+///
+/// Returns an error for non-matrix input or a zero-width row.
+pub fn softmax_rows(x: &Tensor) -> Result<Tensor> {
+    if x.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "softmax_rows",
+            expected: 2,
+            actual: x.rank(),
+        });
+    }
+    let (rows, cols) = (x.dims()[0], x.dims()[1]);
+    if cols == 0 {
+        return Err(TensorError::Empty { op: "softmax_rows" });
+    }
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        let row = &x.data()[r * cols..(r + 1) * cols];
+        let orow = &mut out[r * cols..(r + 1) * cols];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for (o, &v) in orow.iter_mut().zip(row.iter()) {
+            let e = (v - max).exp();
+            *o = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for o in orow.iter_mut() {
+            *o *= inv;
+        }
+    }
+    Tensor::from_vec(out, [rows, cols])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DetRng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rows_sum_to_one() {
+        let mut rng = DetRng::new(1);
+        let x = Tensor::randn([8, 16], &mut rng);
+        let s = softmax_rows(&x).unwrap();
+        for r in 0..8 {
+            let sum: f32 = s.row(r).unwrap().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn uniform_logits_give_uniform_probs() {
+        let x = Tensor::full([1, 4], 3.0);
+        let s = softmax_rows(&x).unwrap();
+        for &p in s.data() {
+            assert!((p - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn large_logits_stay_finite() {
+        let x = Tensor::from_vec(vec![1e30, -1e30, 0.0], [1, 3]).unwrap();
+        let s = softmax_rows(&x).unwrap();
+        assert!(s.data().iter().all(|p| p.is_finite()));
+        assert!((s.data()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shift_invariance() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], [1, 3]).unwrap();
+        let y = x.map(|v| v + 100.0);
+        let sx = softmax_rows(&x).unwrap();
+        let sy = softmax_rows(&y).unwrap();
+        assert!(sx.max_abs_diff(&sy).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(softmax_rows(&Tensor::zeros([3])).is_err());
+        assert!(softmax_rows(&Tensor::zeros([2, 0])).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rows_are_distributions(vals in proptest::collection::vec(-50.0f32..50.0, 12)) {
+            let x = Tensor::from_vec(vals, [3, 4]).unwrap();
+            let s = softmax_rows(&x).unwrap();
+            for r in 0..3 {
+                let row = s.row(r).unwrap();
+                let sum: f32 = row.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-4);
+                prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            }
+        }
+
+        #[test]
+        fn prop_monotone_in_logits(a in -20.0f32..20.0, b in -20.0f32..20.0) {
+            prop_assume!((a - b).abs() > 1e-3);
+            let x = Tensor::from_vec(vec![a, b], [1, 2]).unwrap();
+            let s = softmax_rows(&x).unwrap();
+            if a > b {
+                prop_assert!(s.data()[0] > s.data()[1]);
+            } else {
+                prop_assert!(s.data()[0] < s.data()[1]);
+            }
+        }
+    }
+}

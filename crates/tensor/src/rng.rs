@@ -1,0 +1,260 @@
+//! Deterministic random number generation.
+//!
+//! Model weights, masks, and workloads must be bit-reproducible across
+//! runs, platforms, and dependency upgrades, so instead of relying on
+//! `rand::rngs::StdRng` (whose algorithm is explicitly not stable across
+//! `rand` versions) this module implements splitmix64 and xoshiro256++
+//! from their published reference code and exposes them through the
+//! `rand` traits.
+
+use rand::RngCore;
+
+/// Advances a splitmix64 state and returns the next output.
+///
+/// Used both to seed [`DetRng`] and as a cheap stateless hash for mapping
+/// strings (prompts, template names) to embedding seeds.
+pub fn splitmix64(state: &mut u64) {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+}
+
+/// Returns the splitmix64 output for the given (already advanced) state.
+fn splitmix64_output(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes a byte string to a `u64` using splitmix64 absorption.
+///
+/// This is not a cryptographic hash; it exists to map prompts and
+/// template identifiers to deterministic seeds.
+pub fn hash_bytes(bytes: &[u8], seed: u64) -> u64 {
+    let mut state = seed ^ 0xD6E8_FEB8_6659_FD93;
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        state ^= u64::from_le_bytes(word);
+        splitmix64(&mut state);
+        state = splitmix64_output(state);
+    }
+    // Absorb the length so prefixes hash differently.
+    state ^= bytes.len() as u64;
+    splitmix64(&mut state);
+    splitmix64_output(state)
+}
+
+/// A deterministic xoshiro256++ generator.
+///
+/// Seeded via splitmix64 per the xoshiro authors' recommendation. The
+/// stream is stable for all time: it depends only on the seed.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut state = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            splitmix64(&mut state);
+            *slot = splitmix64_output(state);
+        }
+        Self { s }
+    }
+
+    /// Returns the next raw 64-bit output.
+    pub fn next_raw(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        // Use the top 53 bits for a uniform double in [0, 1).
+        (self.next_raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform `f32` sample in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.uniform() as f32
+    }
+
+    /// Returns a standard normal sample via the Box-Muller transform.
+    pub fn normal(&mut self) -> f32 {
+        // Draw u1 in (0, 1] to keep ln(u1) finite.
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        (r * (2.0 * core::f64::consts::PI * u2).cos()) as f32
+    }
+
+    /// Returns a uniform integer in `[0, bound)` using rejection sampling.
+    ///
+    /// Returns 0 when `bound == 0`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        if bound == 0 {
+            return 0;
+        }
+        let bound = bound as u64;
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_raw();
+            if v < zone {
+                return (v % bound) as usize;
+            }
+        }
+    }
+
+    /// Returns an exponential sample with the given rate (mean `1/rate`).
+    ///
+    /// Returns `f64::INFINITY` for a non-positive rate.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        if rate <= 0.0 {
+            return f64::INFINITY;
+        }
+        let u = 1.0 - self.uniform();
+        -u.ln() / rate
+    }
+
+    /// Splits off an independent child generator.
+    ///
+    /// The child stream is derived from the parent's next output, so two
+    /// splits from the same parent state are distinct.
+    pub fn split(&mut self) -> Self {
+        Self::new(self.next_raw())
+    }
+}
+
+impl RngCore for DetRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_raw() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.next_raw()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_raw().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> core::result::Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_raw(), b.next_raw());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..16).filter(|_| a.next_raw() == b.next_raw()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval() {
+        let mut rng = DetRng::new(7);
+        for _ in 0..10_000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let mut rng = DetRng::new(9);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal() as f64).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = DetRng::new(3);
+        for bound in [1usize, 2, 7, 100] {
+            for _ in 0..1000 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+        assert_eq!(rng.below(0), 0);
+    }
+
+    #[test]
+    fn below_covers_all_residues() {
+        let mut rng = DetRng::new(5);
+        let mut seen = [false; 7];
+        for _ in 0..2000 {
+            seen[rng.below(7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = DetRng::new(11);
+        let rate = 4.0;
+        let n = 100_000;
+        let mean = (0..n).map(|_| rng.exponential(rate)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.01, "mean {mean}");
+        assert!(rng.exponential(0.0).is_infinite());
+    }
+
+    #[test]
+    fn hash_bytes_distinguishes_prefixes_and_seeds() {
+        let a = hash_bytes(b"a cat", 0);
+        let b = hash_bytes(b"a cat on a mat", 0);
+        let c = hash_bytes(b"a cat", 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, hash_bytes(b"a cat", 0));
+    }
+
+    #[test]
+    fn split_produces_distinct_streams() {
+        let mut parent = DetRng::new(13);
+        let mut c1 = parent.split();
+        let mut c2 = parent.split();
+        assert_ne!(c1.next_raw(), c2.next_raw());
+    }
+
+    #[test]
+    fn fill_bytes_handles_partial_chunks() {
+        let mut rng = DetRng::new(17);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

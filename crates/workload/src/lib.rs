@@ -1,0 +1,22 @@
+//! Workload generation for the FlashPS experiments.
+//!
+//! - [`mask`] — pixel-space editing masks of arbitrary shape
+//!   (rectangles, ellipses, random-walk blobs) and their projection to
+//!   latent-token masks.
+//! - [`ratio`] — mask-ratio distributions matched to the paper's
+//!   traces (Fig. 3): the production trace (mean ≈ 0.11), the public
+//!   trace (mean ≈ 0.19), and VITON-HD (mean ≈ 0.35).
+//! - [`trace`] — Poisson request traces with Zipf template popularity
+//!   (§2.2: 970 templates reused ~35 000× each).
+//! - [`benchmarks`] — synthetic analogues of the three quality
+//!   benchmarks in Table 2 (InstructPix2Pix, VITON-HD, PIE-Bench).
+
+pub mod benchmarks;
+pub mod mask;
+pub mod ratio;
+pub mod trace;
+
+pub use benchmarks::{EditCase, QualityBenchmark};
+pub use mask::{Mask, MaskShape};
+pub use ratio::RatioDistribution;
+pub use trace::{RequestSpec, Trace, TraceConfig};

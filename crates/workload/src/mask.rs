@@ -1,0 +1,317 @@
+//! Pixel-space editing masks.
+//!
+//! Masks are binary bitmaps over the image; `true` marks a pixel to be
+//! edited. Production masks have arbitrary shapes (§2.2), so three
+//! generators are provided: axis-aligned rectangles, ellipses, and
+//! irregular random-walk blobs. [`Mask::to_token_mask`] projects a
+//! pixel mask onto the latent token grid (a token is masked when any of
+//! its pixels is masked — the conservative rule that guarantees edited
+//! pixels are always recomputed).
+
+use rand::Rng;
+
+/// Shape family for generated masks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaskShape {
+    /// Axis-aligned rectangle.
+    Rect,
+    /// Axis-aligned ellipse.
+    Ellipse,
+    /// Irregular blob grown by random walk from a seed point.
+    Blob,
+}
+
+/// A binary pixel mask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mask {
+    height: usize,
+    width: usize,
+    bits: Vec<bool>,
+}
+
+impl Mask {
+    /// Creates an empty (all-unmasked) mask.
+    pub fn empty(height: usize, width: usize) -> Self {
+        Self {
+            height,
+            width,
+            bits: vec![false; height * width],
+        }
+    }
+
+    /// Mask height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Mask width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Whether pixel `(y, x)` is masked; out-of-bounds reads are
+    /// unmasked.
+    pub fn get(&self, y: usize, x: usize) -> bool {
+        if y >= self.height || x >= self.width {
+            return false;
+        }
+        self.bits[y * self.width + x]
+    }
+
+    /// Sets pixel `(y, x)`; out-of-bounds writes are ignored.
+    pub fn set(&mut self, y: usize, x: usize, masked: bool) {
+        if y < self.height && x < self.width {
+            self.bits[y * self.width + x] = masked;
+        }
+    }
+
+    /// Number of masked pixels.
+    pub fn masked_pixels(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// The mask ratio: masked pixels / total pixels.
+    pub fn ratio(&self) -> f64 {
+        if self.bits.is_empty() {
+            return 0.0;
+        }
+        self.masked_pixels() as f64 / self.bits.len() as f64
+    }
+
+    /// Projects onto a `token_h × token_w` latent grid: token `(ty,
+    /// tx)` is masked when any pixel in its patch is masked. Returns a
+    /// row-major token bitmap.
+    pub fn to_token_mask(&self, token_h: usize, token_w: usize) -> Vec<bool> {
+        let mut out = vec![false; token_h * token_w];
+        if token_h == 0 || token_w == 0 || self.height == 0 || self.width == 0 {
+            return out;
+        }
+        for y in 0..self.height {
+            let ty = y * token_h / self.height;
+            for x in 0..self.width {
+                if self.bits[y * self.width + x] {
+                    let tx = x * token_w / self.width;
+                    out[ty * token_w + tx] = true;
+                }
+            }
+        }
+        out
+    }
+
+    /// Indices of masked tokens on a `token_h × token_w` grid.
+    pub fn token_indices(&self, token_h: usize, token_w: usize) -> Vec<usize> {
+        self.to_token_mask(token_h, token_w)
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &m)| m.then_some(i))
+            .collect()
+    }
+
+    /// Generates a mask of the given shape targeting `target_ratio` of
+    /// the image area, centered at a random position.
+    pub fn generate<R: Rng>(
+        height: usize,
+        width: usize,
+        shape: MaskShape,
+        target_ratio: f64,
+        rng: &mut R,
+    ) -> Self {
+        let target_ratio = target_ratio.clamp(0.0, 1.0);
+        let mut mask = Self::empty(height, width);
+        if height == 0 || width == 0 || target_ratio == 0.0 {
+            return mask;
+        }
+        let area = (target_ratio * (height * width) as f64).round().max(1.0);
+        match shape {
+            MaskShape::Rect => {
+                // Aspect between 1:2 and 2:1.
+                let aspect = rng.gen_range(0.5..2.0);
+                let mh = ((area * aspect).sqrt().round() as usize).clamp(1, height);
+                let mw = ((area / aspect).sqrt().round() as usize).clamp(1, width);
+                let y0 = rng.gen_range(0..=height - mh);
+                let x0 = rng.gen_range(0..=width - mw);
+                for y in y0..y0 + mh {
+                    for x in x0..x0 + mw {
+                        mask.set(y, x, true);
+                    }
+                }
+            }
+            MaskShape::Ellipse => {
+                let aspect = rng.gen_range(0.5..2.0);
+                // πab = area.
+                let a = ((area * aspect / std::f64::consts::PI).sqrt()).max(0.5);
+                let b = (area / (std::f64::consts::PI * a)).max(0.5);
+                let cy = rng.gen_range(0.0..height as f64);
+                let cx = rng.gen_range(0.0..width as f64);
+                for y in 0..height {
+                    for x in 0..width {
+                        let dy = (y as f64 + 0.5 - cy) / a;
+                        let dx = (x as f64 + 0.5 - cx) / b;
+                        if dy * dy + dx * dx <= 1.0 {
+                            mask.set(y, x, true);
+                        }
+                    }
+                }
+            }
+            MaskShape::Blob => {
+                // Random walk that marks a plus-shaped neighbourhood
+                // until enough pixels are covered.
+                let mut y = rng.gen_range(0..height) as i64;
+                let mut x = rng.gen_range(0..width) as i64;
+                let target = area as usize;
+                let mut marked = 0usize;
+                let max_steps = target * 20 + 100;
+                for _ in 0..max_steps {
+                    for (dy, dx) in [(0i64, 0i64), (1, 0), (-1, 0), (0, 1), (0, -1)] {
+                        let (py, px) = (y + dy, x + dx);
+                        if py >= 0 && px >= 0 && (py as usize) < height && (px as usize) < width {
+                            let (py, px) = (py as usize, px as usize);
+                            if !mask.get(py, px) {
+                                mask.set(py, px, true);
+                                marked += 1;
+                            }
+                        }
+                    }
+                    if marked >= target {
+                        break;
+                    }
+                    // Biased walk that stays in bounds.
+                    let dir = rng.gen_range(0..4);
+                    let (dy, dx) = [(1i64, 0i64), (-1, 0), (0, 1), (0, -1)][dir];
+                    y = (y + dy).clamp(0, height as i64 - 1);
+                    x = (x + dx).clamp(0, width as i64 - 1);
+                }
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn empty_mask_basics() {
+        let m = Mask::empty(4, 8);
+        assert_eq!(m.ratio(), 0.0);
+        assert_eq!(m.masked_pixels(), 0);
+        assert!(!m.get(0, 0));
+        assert!(!m.get(100, 100), "out of bounds reads unmasked");
+    }
+
+    #[test]
+    fn set_get_roundtrip_and_bounds() {
+        let mut m = Mask::empty(4, 4);
+        m.set(1, 2, true);
+        assert!(m.get(1, 2));
+        m.set(9, 9, true); // ignored
+        assert_eq!(m.masked_pixels(), 1);
+    }
+
+    #[test]
+    fn rect_mask_hits_target_ratio() {
+        for target in [0.05, 0.2, 0.5] {
+            let m = Mask::generate(64, 64, MaskShape::Rect, target, &mut rng(1));
+            assert!(
+                (m.ratio() - target).abs() < 0.1,
+                "target {target} got {}",
+                m.ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn ellipse_mask_roughly_hits_target() {
+        let m = Mask::generate(64, 64, MaskShape::Ellipse, 0.3, &mut rng(2));
+        // Ellipses can clip at image borders, so allow slack downward.
+        assert!(m.ratio() > 0.05 && m.ratio() < 0.45, "got {}", m.ratio());
+    }
+
+    #[test]
+    fn blob_mask_is_irregular_and_sized() {
+        let m = Mask::generate(64, 64, MaskShape::Blob, 0.15, &mut rng(3));
+        let r = m.ratio();
+        assert!(r > 0.05 && r < 0.3, "got {r}");
+        // Irregular: the bounding box is larger than the masked area.
+        let (mut y0, mut y1, mut x0, mut x1) = (usize::MAX, 0, usize::MAX, 0);
+        for y in 0..64 {
+            for x in 0..64 {
+                if m.get(y, x) {
+                    y0 = y0.min(y);
+                    y1 = y1.max(y);
+                    x0 = x0.min(x);
+                    x1 = x1.max(x);
+                }
+            }
+        }
+        let bbox = (y1 - y0 + 1) * (x1 - x0 + 1);
+        assert!(m.masked_pixels() < bbox, "blob should not fill its bbox");
+    }
+
+    #[test]
+    fn token_projection_is_conservative() {
+        let mut m = Mask::empty(8, 8);
+        m.set(3, 5, true); // Single pixel in patch (1, 2) of a 4×4 grid.
+        let tokens = m.to_token_mask(4, 4);
+        assert_eq!(tokens.iter().filter(|&&b| b).count(), 1);
+        assert!(tokens[6]);
+        assert_eq!(m.token_indices(4, 4), vec![6]);
+    }
+
+    #[test]
+    fn full_mask_masks_every_token() {
+        let mut m = Mask::empty(8, 8);
+        for y in 0..8 {
+            for x in 0..8 {
+                m.set(y, x, true);
+            }
+        }
+        assert_eq!(m.ratio(), 1.0);
+        assert!(m.to_token_mask(4, 4).iter().all(|&b| b));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let m = Mask::empty(0, 0);
+        assert_eq!(m.ratio(), 0.0);
+        assert!(m.to_token_mask(4, 4).iter().all(|&b| !b));
+        let z = Mask::generate(16, 16, MaskShape::Rect, 0.0, &mut rng(4));
+        assert_eq!(z.masked_pixels(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_token_mask_covers_all_masked_pixels(
+            seed in 0u64..500,
+            target in 0.01f64..0.6,
+        ) {
+            let m = Mask::generate(32, 32, MaskShape::Blob, target, &mut rng(seed));
+            let tokens = m.to_token_mask(8, 8);
+            for y in 0..32 {
+                for x in 0..32 {
+                    if m.get(y, x) {
+                        let ty = y * 8 / 32;
+                        let tx = x * 8 / 32;
+                        prop_assert!(tokens[ty * 8 + tx], "pixel ({y},{x}) uncovered");
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn prop_ratio_bounded(seed in 0u64..200, target in 0.0f64..1.0) {
+            let m = Mask::generate(24, 24, MaskShape::Rect, target, &mut rng(seed));
+            prop_assert!((0.0..=1.0).contains(&m.ratio()));
+        }
+    }
+}

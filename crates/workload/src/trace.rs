@@ -1,0 +1,475 @@
+//! Request traces: Poisson arrivals, trace-matched mask ratios, and
+//! Zipf template popularity.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use fps_simtime::{PoissonArrivals, SimTime};
+
+use crate::mask::MaskShape;
+use crate::ratio::RatioDistribution;
+
+/// One request in a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestSpec {
+    /// Monotone request id.
+    pub id: u64,
+    /// Arrival instant (nanoseconds of virtual time).
+    pub arrival_ns: u64,
+    /// Template the request edits.
+    pub template_id: u64,
+    /// Mask ratio of the edit.
+    pub mask_ratio: f64,
+    /// Shape family of the mask.
+    pub mask_shape: MaskShapeSpec,
+    /// Seed for per-request randomness (mask placement, init noise).
+    pub seed: u64,
+}
+
+impl RequestSpec {
+    /// Arrival as a [`SimTime`].
+    pub fn arrival(&self) -> SimTime {
+        SimTime::from_nanos(self.arrival_ns)
+    }
+}
+
+/// Serializable mirror of [`MaskShape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MaskShapeSpec {
+    /// Axis-aligned rectangle.
+    Rect,
+    /// Axis-aligned ellipse.
+    Ellipse,
+    /// Irregular blob.
+    Blob,
+}
+
+impl From<MaskShapeSpec> for MaskShape {
+    fn from(s: MaskShapeSpec) -> Self {
+        match s {
+            MaskShapeSpec::Rect => MaskShape::Rect,
+            MaskShapeSpec::Ellipse => MaskShape::Ellipse,
+            MaskShapeSpec::Blob => MaskShape::Blob,
+        }
+    }
+}
+
+/// Arrival process shape.
+///
+/// Online traffic is bursty (§4.4 cites [23, 63]); the bursty variant
+/// is a Markov-modulated Poisson process alternating between an
+/// elevated-rate burst phase and a quiet phase, with the configured
+/// mean rate preserved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Homogeneous Poisson arrivals.
+    Poisson,
+    /// Two-phase Markov-modulated Poisson arrivals.
+    Bursty {
+        /// Rate multiplier during bursts (> 1).
+        burst_factor: f64,
+        /// Fraction of time spent in the burst phase (in `(0, 1)`,
+        /// with `burst_factor * burst_fraction < 1` so the quiet rate
+        /// stays non-negative).
+        burst_fraction: f64,
+        /// Mean burst-phase duration in seconds.
+        mean_burst_secs: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// A moderately bursty default: 3× rate for ~30% of the time in
+    /// ~20 s bursts.
+    pub fn bursty_default() -> Self {
+        Self::Bursty {
+            burst_factor: 3.0,
+            burst_fraction: 0.3,
+            mean_burst_secs: 20.0,
+        }
+    }
+}
+
+/// Parameters of a generated trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceConfig {
+    /// Mean arrival rate, requests per second.
+    pub rps: f64,
+    /// Shape of the arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Trace duration in seconds of virtual time.
+    pub duration_secs: f64,
+    /// Mask-ratio distribution.
+    pub ratio_dist: RatioDistribution,
+    /// Number of distinct templates (the paper's production service
+    /// used 970 templates for 34 M images).
+    pub num_templates: usize,
+    /// Zipf skew of template popularity (`0.0` = uniform).
+    pub zipf_s: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            rps: 1.0,
+            arrivals: ArrivalProcess::Poisson,
+            duration_secs: 60.0,
+            ratio_dist: RatioDistribution::ProductionTrace,
+            num_templates: 16,
+            zipf_s: 1.0,
+            seed: 0xACE,
+        }
+    }
+}
+
+/// A generated request trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Requests in arrival order.
+    pub requests: Vec<RequestSpec>,
+}
+
+impl Trace {
+    /// Generates a trace from a config. Returns an empty trace for a
+    /// non-positive rate or duration.
+    pub fn generate(config: &TraceConfig) -> Self {
+        let mut requests = Vec::new();
+        let horizon = SimTime::from_nanos((config.duration_secs.max(0.0) * 1e9) as u64);
+        let mut body_rng = StdRng::seed_from_u64(config.seed ^ 0xB0D1);
+        let arrival_times = match config.arrivals {
+            ArrivalProcess::Poisson => {
+                let arrival_rng = StdRng::seed_from_u64(config.seed ^ 0xA331);
+                match PoissonArrivals::new(arrival_rng, config.rps) {
+                    Some(mut p) => p.take_until(horizon),
+                    None => return Self { requests },
+                }
+            }
+            ArrivalProcess::Bursty {
+                burst_factor,
+                burst_fraction,
+                mean_burst_secs,
+            } => bursty_arrivals(
+                config.rps,
+                horizon,
+                burst_factor,
+                burst_fraction,
+                mean_burst_secs,
+                config.seed ^ 0xA331,
+            ),
+        };
+        let zipf = ZipfSampler::new(config.num_templates.max(1), config.zipf_s);
+        for (id, at) in arrival_times.into_iter().enumerate() {
+            let template_id = zipf.sample(&mut body_rng) as u64;
+            let mask_ratio = config.ratio_dist.sample(&mut body_rng);
+            let mask_shape = match body_rng.gen_range(0..3) {
+                0 => MaskShapeSpec::Rect,
+                1 => MaskShapeSpec::Ellipse,
+                _ => MaskShapeSpec::Blob,
+            };
+            requests.push(RequestSpec {
+                id: id as u64,
+                arrival_ns: at.as_nanos(),
+                template_id,
+                mask_ratio,
+                mask_shape,
+                seed: body_rng.next_u64(),
+            });
+        }
+        Self { requests }
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Serializes the trace to JSON (for replaying recorded workloads
+    /// across experiments or tools).
+    ///
+    /// # Errors
+    ///
+    /// Returns the serializer's message on failure (should not happen
+    /// for well-formed traces).
+    pub fn to_json(&self) -> core::result::Result<String, String> {
+        serde_json::to_string(&self.requests).map_err(|e| e.to_string())
+    }
+
+    /// Deserializes a trace previously produced by [`Trace::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the parser's message for malformed input.
+    pub fn from_json(json: &str) -> core::result::Result<Self, String> {
+        let requests: Vec<RequestSpec> =
+            serde_json::from_str(json).map_err(|e| e.to_string())?;
+        Ok(Self { requests })
+    }
+
+    /// Mean mask ratio across the trace; 0.0 when empty.
+    pub fn mean_mask_ratio(&self) -> f64 {
+        if self.requests.is_empty() {
+            return 0.0;
+        }
+        self.requests.iter().map(|r| r.mask_ratio).sum::<f64>() / self.requests.len() as f64
+    }
+}
+
+/// Generates Markov-modulated Poisson arrivals: exponential-duration
+/// burst phases at `burst_factor × rps` alternate with quiet phases at
+/// the compensating lower rate, preserving the mean rate.
+fn bursty_arrivals(
+    rps: f64,
+    horizon: SimTime,
+    burst_factor: f64,
+    burst_fraction: f64,
+    mean_burst_secs: f64,
+    seed: u64,
+) -> Vec<SimTime> {
+    if rps <= 0.0 || !rps.is_finite() || burst_factor <= 1.0 {
+        return Vec::new();
+    }
+    let f = burst_fraction.clamp(0.01, 0.99);
+    let quiet_rate = (rps * (1.0 - burst_factor * f) / (1.0 - f)).max(rps * 0.01);
+    let burst_rate = rps * burst_factor;
+    let mean_burst = mean_burst_secs.max(0.1);
+    let mean_quiet = mean_burst * (1.0 - f) / f;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut now = 0.0f64;
+    let mut in_burst = false;
+    let horizon_s = horizon.as_secs_f64();
+    while now < horizon_s {
+        let mean_phase = if in_burst { mean_burst } else { mean_quiet };
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        let phase_len = -u.ln() * mean_phase;
+        let phase_end = (now + phase_len).min(horizon_s);
+        let rate = if in_burst { burst_rate } else { quiet_rate };
+        let mut t = now;
+        loop {
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            t += -u.ln() / rate;
+            if t >= phase_end {
+                break;
+            }
+            out.push(SimTime::from_nanos((t * 1e9) as u64));
+        }
+        now = phase_end;
+        in_burst = !in_burst;
+    }
+    out
+}
+
+/// Inverse-CDF Zipf sampler over `{0, …, n-1}` with skew `s`.
+#[derive(Debug, Clone)]
+struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    fn new(n: usize, s: f64) -> Self {
+        let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s.max(0.0))).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        Self { cdf: weights }
+    }
+
+    fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_rate_and_determinism() {
+        let cfg = TraceConfig {
+            rps: 5.0,
+            duration_secs: 200.0,
+            ..Default::default()
+        };
+        let t1 = Trace::generate(&cfg);
+        let t2 = Trace::generate(&cfg);
+        assert_eq!(t1, t2, "same seed, same trace");
+        let empirical = t1.len() as f64 / 200.0;
+        assert!(
+            (empirical - 5.0).abs() < 0.5,
+            "empirical rate {empirical} far from 5"
+        );
+        // Arrival order and horizon.
+        for w in t1.requests.windows(2) {
+            assert!(w[1].arrival_ns >= w[0].arrival_ns);
+        }
+        assert!(t1.requests.iter().all(|r| r.arrival_ns < 200_000_000_000));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Trace::generate(&TraceConfig::default());
+        let b = Trace::generate(&TraceConfig {
+            seed: 999,
+            ..Default::default()
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mean_mask_ratio_tracks_distribution() {
+        let cfg = TraceConfig {
+            rps: 50.0,
+            duration_secs: 400.0,
+            ratio_dist: RatioDistribution::PublicTrace,
+            ..Default::default()
+        };
+        let t = Trace::generate(&cfg);
+        assert!((t.mean_mask_ratio() - 0.19).abs() < 0.03);
+    }
+
+    #[test]
+    fn zipf_concentrates_on_popular_templates() {
+        let cfg = TraceConfig {
+            rps: 20.0,
+            duration_secs: 500.0,
+            num_templates: 50,
+            zipf_s: 1.2,
+            ..Default::default()
+        };
+        let t = Trace::generate(&cfg);
+        let mut counts = vec![0usize; 50];
+        for r in &t.requests {
+            counts[r.template_id as usize] += 1;
+        }
+        // The most popular template dominates the median one.
+        let max = *counts.iter().max().unwrap();
+        let mut sorted = counts.clone();
+        sorted.sort_unstable();
+        let median = sorted[25];
+        assert!(max > median * 3, "max {max} median {median}");
+        assert!(t.requests.iter().all(|r| (r.template_id as usize) < 50));
+    }
+
+    #[test]
+    fn uniform_popularity_when_skew_zero() {
+        let cfg = TraceConfig {
+            rps: 50.0,
+            duration_secs: 200.0,
+            num_templates: 4,
+            zipf_s: 0.0,
+            ..Default::default()
+        };
+        let t = Trace::generate(&cfg);
+        let mut counts = vec![0usize; 4];
+        for r in &t.requests {
+            counts[r.template_id as usize] += 1;
+        }
+        let total: usize = counts.iter().sum();
+        for &c in &counts {
+            let frac = c as f64 / total as f64;
+            assert!((frac - 0.25).abs() < 0.05, "frac {frac}");
+        }
+    }
+
+    #[test]
+    fn degenerate_configs_yield_empty_traces() {
+        let t = Trace::generate(&TraceConfig {
+            rps: 0.0,
+            ..Default::default()
+        });
+        assert!(t.is_empty());
+        assert_eq!(t.mean_mask_ratio(), 0.0);
+        let t = Trace::generate(&TraceConfig {
+            duration_secs: -5.0,
+            ..Default::default()
+        });
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = Trace::generate(&TraceConfig {
+            rps: 3.0,
+            duration_secs: 20.0,
+            ..Default::default()
+        });
+        let json = t.to_json().unwrap();
+        let back = Trace::from_json(&json).unwrap();
+        assert_eq!(t, back);
+        assert!(Trace::from_json("not json").is_err());
+        assert!(Trace::from_json("[{\"id\": 1}]").is_err(), "missing fields");
+    }
+
+    #[test]
+    fn bursty_trace_preserves_mean_rate_but_clumps() {
+        let base = TraceConfig {
+            rps: 2.0,
+            duration_secs: 2000.0,
+            ..Default::default()
+        };
+        let bursty = TraceConfig {
+            arrivals: ArrivalProcess::bursty_default(),
+            ..base.clone()
+        };
+        let tp = Trace::generate(&base);
+        let tb = Trace::generate(&bursty);
+        let rate_p = tp.len() as f64 / 2000.0;
+        let rate_b = tb.len() as f64 / 2000.0;
+        assert!((rate_b - rate_p).abs() / rate_p < 0.15, "{rate_p} vs {rate_b}");
+        // Burstiness: variance of per-window counts well above Poisson.
+        let window_counts = |t: &Trace| -> Vec<f64> {
+            let mut counts = vec![0f64; 200];
+            for r in &t.requests {
+                let w = ((r.arrival_ns as f64 / 1e9) / 10.0) as usize;
+                if w < 200 {
+                    counts[w] += 1.0;
+                }
+            }
+            counts
+        };
+        let dispersion = |c: &[f64]| {
+            let mean = c.iter().sum::<f64>() / c.len() as f64;
+            let var = c.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / c.len() as f64;
+            var / mean.max(1e-9)
+        };
+        let d_p = dispersion(&window_counts(&tp));
+        let d_b = dispersion(&window_counts(&tb));
+        assert!(
+            d_b > d_p * 2.0,
+            "bursty dispersion {d_b} should far exceed Poisson {d_p}"
+        );
+        // Arrivals stay sorted and in-horizon.
+        for w in tb.requests.windows(2) {
+            assert!(w[1].arrival_ns >= w[0].arrival_ns);
+        }
+    }
+
+    #[test]
+    fn arrival_accessor_matches_raw_nanos() {
+        let cfg = TraceConfig {
+            rps: 2.0,
+            duration_secs: 5.0,
+            ..Default::default()
+        };
+        let t = Trace::generate(&cfg);
+        for r in &t.requests {
+            assert_eq!(r.arrival().as_nanos(), r.arrival_ns);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Batching strategies demonstrated on the *numeric* substrate: a
+//! late-arriving request joins a running batch after exactly one
+//! denoising step (§4.3), and the interleaving does not change any
+//! output.
+//!
+//! ```sh
+//! cargo run --release -p flashps --example batching_strategies
+//! ```
+
+use flashps::{FlashPs, FlashPsConfig};
+use fps_diffusion::{Image, ModelConfig, Strategy};
+
+fn main() {
+    let cfg = ModelConfig::sd21_like();
+    let mut system = FlashPs::new(FlashPsConfig::new(cfg.clone())).expect("valid config");
+    let template = Image::template(cfg.pixel_h(), cfg.pixel_w(), 1);
+    system.register_template(0, &template).expect("priming");
+    let (image, cache) = system.template(0).expect("registered");
+    let pipe = system.pipeline();
+
+    let masked_a: Vec<usize> = (0..cfg.tokens()).filter(|i| i % 7 == 0).collect();
+    let masked_b: Vec<usize> = (0..cfg.tokens()).filter(|i| i % 5 == 1).collect();
+    let strategy = Strategy::MaskAware {
+        use_cache: vec![true; cfg.blocks],
+        kv: false,
+    };
+
+    // Request A starts alone.
+    let mut a = pipe
+        .begin(image, 0, &masked_a, "add a boat", 1, strategy.clone())
+        .expect("begin A");
+    println!("step 0..3: batch = [A]");
+    for _ in 0..3 {
+        pipe.step(&mut a, Some(cache)).expect("step A");
+    }
+
+    // Request B arrives mid-flight and joins at the next step boundary
+    // — one step of joining latency, not a full batch wait.
+    let mut b = pipe
+        .begin(image, 0, &masked_b, "paint the sky", 2, strategy.clone())
+        .expect("begin B");
+    println!(
+        "request B arrives at step {}; joins the running batch immediately",
+        a.step_index()
+    );
+    while !a.is_done() || !b.is_done() {
+        if !a.is_done() {
+            pipe.step(&mut a, Some(cache)).expect("step A");
+        }
+        if !b.is_done() {
+            pipe.step(&mut b, Some(cache)).expect("step B");
+        }
+    }
+    // A finished first and left the batch while B kept running —
+    // that is continuous batching at step granularity.
+    println!(
+        "A finished after {} steps, B after {} steps (B joined late)",
+        a.total_steps(),
+        b.total_steps()
+    );
+    let out_a = pipe.finish(a).expect("finish A");
+    let out_b = pipe.finish(b).expect("finish B");
+
+    // Interleaving must not change results: compare against solo runs.
+    let solo_a = pipe
+        .edit(image, 0, &masked_a, "add a boat", 1, &strategy, Some(cache))
+        .expect("solo A");
+    let solo_b = pipe
+        .edit(image, 0, &masked_b, "paint the sky", 2, &strategy, Some(cache))
+        .expect("solo B");
+    assert_eq!(out_a.image, solo_a.image, "A unchanged by batching");
+    assert_eq!(out_b.image, solo_b.image, "B unchanged by batching");
+    println!("interleaved outputs are bit-identical to solo runs — batching is transparent");
+    println!(
+        "(the serving-performance consequences of static vs naive vs disaggregated\n\
+         batching are measured by `cargo run -p fps-bench --bin fig16_batching`)"
+    );
+}

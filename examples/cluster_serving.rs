@@ -1,0 +1,59 @@
+//! Cluster serving: route a Poisson trace through an 8-worker cluster
+//! and compare FlashPS against the baselines (a miniature Fig. 12).
+//!
+//! ```sh
+//! cargo run --release -p flashps --example cluster_serving
+//! ```
+
+use flashps::experiment::{run_serving, RouterKind, ServingRun};
+use fps_baselines::{eval_setup, SystemKind};
+use fps_metrics::Table;
+use fps_workload::RatioDistribution;
+
+fn main() {
+    // SDXL on H800, as in the paper's middle panel.
+    let setup = &eval_setup()[1];
+    println!(
+        "serving {} on {} with 8 workers, production mask-ratio trace\n",
+        setup.model.name, setup.gpu.name
+    );
+    let mut table = Table::new(&["system", "rps", "mean(s)", "p95(s)", "queue(s)", "tput(req/s)"]);
+    for rps in [1.0, 3.0] {
+        for system in [
+            SystemKind::Diffusers,
+            SystemKind::TeaCache,
+            SystemKind::FlashPs,
+        ] {
+            let run = ServingRun {
+                system,
+                router: if system == SystemKind::FlashPs {
+                    RouterKind::MaskAware
+                } else {
+                    RouterKind::RequestCount
+                },
+                workers: 8,
+                rps,
+                arrivals: fps_workload::trace::ArrivalProcess::Poisson,
+                duration_secs: 180.0,
+                ratio_dist: RatioDistribution::ProductionTrace,
+                seed: 0xC1,
+            };
+            let p = run_serving(setup, &run)
+                .expect("simulation")
+                .expect("system supported");
+            table.row(&[
+                p.system.clone(),
+                format!("{rps:.1}"),
+                format!("{:.2}", p.mean_latency),
+                format!("{:.2}", p.p95_latency),
+                format!("{:.2}", p.mean_queueing),
+                format!("{:.2}", p.throughput),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "FlashPS keeps latency flat as load grows; the static-batching baselines\n\
+         queue up. The paper reports up to 14.7x lower mean latency (Fig. 12)."
+    );
+}

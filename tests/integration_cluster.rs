@@ -1,0 +1,157 @@
+//! Integration: the serving simulator across crates — trace generation,
+//! routing (including Algorithm 2), batching, and the evaluation
+//! setups.
+
+use flashps::experiment::{run_serving, RouterKind, ServingRun};
+use flashps::MaskAwareRouter;
+use fps_baselines::{eval_setup, SystemKind};
+use fps_serving::{BatchingPolicy, ClusterSim, LeastLoadedRouter};
+use fps_workload::{RatioDistribution, Trace, TraceConfig};
+
+fn trace(rps: f64, secs: f64, seed: u64) -> Trace {
+    Trace::generate(&TraceConfig {
+        rps,
+        arrivals: fps_workload::trace::ArrivalProcess::Poisson,
+        duration_secs: secs,
+        ratio_dist: RatioDistribution::ProductionTrace,
+        num_templates: 8,
+        zipf_s: 1.0,
+        seed,
+    })
+}
+
+#[test]
+fn every_system_serves_every_supported_setup() {
+    for setup in eval_setup() {
+        for system in SystemKind::all() {
+            let run = ServingRun {
+                system,
+                router: RouterKind::RequestCount,
+                workers: 2,
+                rps: 0.2,
+                arrivals: fps_workload::trace::ArrivalProcess::Poisson,
+                duration_secs: 60.0,
+                ratio_dist: RatioDistribution::ProductionTrace,
+                seed: 7,
+            };
+            let point = run_serving(&setup, &run).expect("simulation");
+            match point {
+                Some(p) => {
+                    assert!(p.served > 0, "{}/{}", setup.model.name, system.label());
+                    assert!(p.mean_latency.is_finite() && p.mean_latency > 0.0);
+                }
+                None => {
+                    // Only FISEdit on non-SD2.1 models is unsupported.
+                    assert_eq!(system, SystemKind::FisEdit);
+                    assert_ne!(setup.model.name, "sd2.1");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn mask_aware_router_integrates_with_the_simulator() {
+    let setup = &eval_setup()[2];
+    let cfg = setup
+        .cluster_config(SystemKind::FlashPs, 4)
+        .expect("supported");
+    let mut router = MaskAwareRouter::new(cfg.cost.clone()).expect("router");
+    let t = trace(0.8, 200.0, 9);
+    let n = t.len();
+    let report = ClusterSim::run(cfg, &t, &mut router).expect("run");
+    assert_eq!(report.outcomes.len(), n);
+    assert_eq!(router.decisions(), n as u64);
+    // Work actually spread across workers.
+    let busy_workers = report.steps_per_worker.iter().filter(|&&s| s > 0).count();
+    assert!(busy_workers >= 3, "only {busy_workers} workers used");
+}
+
+#[test]
+fn flashps_outperforms_every_baseline_under_load() {
+    // A miniature Fig. 12 at one operating point.
+    let setup = &eval_setup()[1]; // SDXL.
+    let t = trace(2.0, 200.0, 5);
+    let mut latencies = Vec::new();
+    for system in [
+        SystemKind::Diffusers,
+        SystemKind::TeaCache,
+        SystemKind::FlashPs,
+    ] {
+        let cfg = setup.cluster_config(system, 4).expect("supported");
+        let mut router = LeastLoadedRouter;
+        let report = ClusterSim::run(cfg, &t, &mut router).expect("run");
+        latencies.push((system.label(), report.mean_latency()));
+    }
+    let get = |l: &str| {
+        latencies
+            .iter()
+            .find(|(n, _)| *n == l)
+            .map(|(_, v)| *v)
+            .expect("present")
+    };
+    assert!(
+        get("flashps") < get("teacache"),
+        "flashps {} vs teacache {}",
+        get("flashps"),
+        get("teacache")
+    );
+    assert!(get("teacache") < get("diffusers"));
+    assert!(
+        get("diffusers") / get("flashps") > 3.0,
+        "expected a large end-to-end gap, got {:.1}x",
+        get("diffusers") / get("flashps")
+    );
+}
+
+#[test]
+fn batching_policies_rank_correctly_at_moderate_load() {
+    let setup = &eval_setup()[2]; // Flux.
+    let t = trace(0.2, 400.0, 11);
+    let mut p95 = Vec::new();
+    for policy in [
+        BatchingPolicy::Static,
+        BatchingPolicy::ContinuousNaive,
+        BatchingPolicy::ContinuousDisaggregated,
+    ] {
+        let mut cfg = setup
+            .cluster_config(SystemKind::FlashPs, 1)
+            .expect("supported");
+        cfg.batching = policy;
+        let mut router = LeastLoadedRouter;
+        let report = ClusterSim::run(cfg, &t, &mut router).expect("run");
+        p95.push((policy, report.p95_latency()));
+    }
+    let get = |p: BatchingPolicy| {
+        p95.iter().find(|(x, _)| *x == p).map(|(_, v)| *v).expect("ran")
+    };
+    let disagg = get(BatchingPolicy::ContinuousDisaggregated);
+    assert!(
+        get(BatchingPolicy::Static) > disagg,
+        "static must trail disaggregated CB"
+    );
+    assert!(
+        get(BatchingPolicy::ContinuousNaive) > disagg,
+        "naive CB must trail disaggregated CB"
+    );
+}
+
+#[test]
+fn deterministic_simulation() {
+    let setup = &eval_setup()[0];
+    let t = trace(0.5, 100.0, 13);
+    let run = || {
+        let cfg = setup
+            .cluster_config(SystemKind::FlashPs, 2)
+            .expect("supported");
+        let mut router = LeastLoadedRouter;
+        ClusterSim::run(cfg, &t, &mut router).expect("run")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.outcomes.len(), b.outcomes.len());
+    for (x, y) in a.outcomes.iter().zip(b.outcomes.iter()) {
+        assert_eq!(x.id, y.id);
+        assert!((x.total - y.total).abs() < 1e-12);
+    }
+}

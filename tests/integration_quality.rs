@@ -1,0 +1,108 @@
+//! Integration: quality metrics over real pipeline outputs — the
+//! machinery behind Table 2.
+
+use fps_diffusion::{EditPipeline, Image, ModelConfig, Strategy};
+use fps_quality::clip_proxy::clip_proxy_score;
+use fps_quality::{frechet_distance, ssim, FeatureExtractor};
+use fps_workload::QualityBenchmark;
+
+#[test]
+fn ssim_separates_faithful_from_distorted_edits() {
+    let cfg = ModelConfig::sd21_like();
+    let pipe = EditPipeline::new(&cfg).expect("pipeline");
+    let template = Image::template(cfg.pixel_h(), cfg.pixel_w(), 3);
+    let cache = pipe.prime(&template, 1, false).expect("prime");
+    let masked: Vec<usize> = (0..cfg.tokens()).filter(|i| i % 4 == 0).collect();
+    let reference = pipe
+        .edit(&template, 1, &masked, "p", 2, &Strategy::FullRecompute, None)
+        .expect("reference");
+    let flash = pipe
+        .edit(
+            &template,
+            1,
+            &masked,
+            "p",
+            2,
+            &Strategy::MaskAware {
+                use_cache: vec![true; cfg.blocks],
+                kv: false,
+            },
+            Some(&cache),
+        )
+        .expect("flash");
+    let naive = pipe
+        .edit(&template, 1, &masked, "p", 2, &Strategy::NaiveDisregard, None)
+        .expect("naive");
+    let s_flash = ssim(&flash.image, &reference.image).expect("ssim");
+    let s_naive = ssim(&naive.image, &reference.image).expect("ssim");
+    assert!(
+        s_flash > s_naive + 0.1,
+        "flash {s_flash} should clearly beat naive {s_naive}"
+    );
+}
+
+#[test]
+fn frechet_distance_over_pipeline_features_orders_systems() {
+    // Feature distributions of faithful edits sit closer to the
+    // reference set than those of naive-disregard edits.
+    let cfg = ModelConfig::tiny();
+    let pipe = EditPipeline::new(&cfg).expect("pipeline");
+    let fx = FeatureExtractor::new(&cfg, 8).expect("extractor");
+    let bench = QualityBenchmark::pie_bench_like(10, cfg.pixel_h(), cfg.pixel_w(), 17);
+    let mut reference = Vec::new();
+    let mut flash = Vec::new();
+    let mut naive = Vec::new();
+    for case in &bench.cases {
+        let template = Image::template(cfg.pixel_h(), cfg.pixel_w(), case.template_seed);
+        let cache = pipe.prime(&template, case.template_id, false).expect("prime");
+        let masked = case.mask.token_indices(cfg.latent_h, cfg.latent_w);
+        let run = |s: &Strategy, c| {
+            pipe.edit(&template, case.template_id, &masked, &case.prompt, case.seed, s, c)
+                .expect("edit")
+                .image
+        };
+        reference.push(run(&Strategy::FullRecompute, None));
+        flash.push(run(
+            &Strategy::MaskAware {
+                use_cache: vec![true; cfg.blocks],
+                kv: false,
+            },
+            Some(&cache),
+        ));
+        naive.push(run(&Strategy::NaiveDisregard, None));
+    }
+    let ref_feats = fx.extract_batch(&reference).expect("features");
+    let d_flash = frechet_distance(&ref_feats, &fx.extract_batch(&flash).expect("f")).expect("fid");
+    let d_naive = frechet_distance(&ref_feats, &fx.extract_batch(&naive).expect("f")).expect("fid");
+    assert!(
+        d_flash < d_naive,
+        "flash FID {d_flash} should beat naive {d_naive}"
+    );
+}
+
+#[test]
+fn clip_proxy_runs_over_benchmark_outputs() {
+    let cfg = ModelConfig::tiny();
+    let pipe = EditPipeline::new(&cfg).expect("pipeline");
+    let template = Image::template(cfg.pixel_h(), cfg.pixel_w(), 9);
+    let masked: Vec<usize> = vec![0, 1, 4, 5];
+    let out = pipe
+        .edit(&template, 1, &masked, "a red hat", 3, &Strategy::FullRecompute, None)
+        .expect("edit");
+    let score = clip_proxy_score(&cfg, "a red hat", &out.image).expect("clip");
+    assert!(score.is_finite());
+    assert!((-100.0..=100.0).contains(&score));
+}
+
+#[test]
+fn quality_benchmarks_integrate_with_the_pipeline_dimensions() {
+    for cfg in [ModelConfig::sd21_like(), ModelConfig::flux_like()] {
+        let bench = QualityBenchmark::viton_hd_like(4, cfg.pixel_h(), cfg.pixel_w(), 2);
+        for case in &bench.cases {
+            assert_eq!(case.mask.height(), cfg.pixel_h());
+            let tokens = case.mask.token_indices(cfg.latent_h, cfg.latent_w);
+            assert!(!tokens.is_empty());
+            assert!(tokens.iter().all(|&t| t < cfg.tokens()));
+        }
+    }
+}
