@@ -22,6 +22,7 @@ fn views(workers: usize, outstanding: usize, tokens: usize) -> Vec<WorkerView> {
                 .collect(),
             max_batch: 8,
             model_tokens: tokens,
+            health: fps_serving::worker::WorkerHealth::Healthy,
         })
         .collect()
 }

@@ -43,6 +43,7 @@ fn main() {
                 .collect(),
             max_batch: 8,
             model_tokens: cm.model.tokens(),
+            health: fps_serving::worker::WorkerHealth::Healthy,
         })
         .collect();
     let req = RequestSpec {

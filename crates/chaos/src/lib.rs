@@ -1,0 +1,22 @@
+//! Deterministic fault injection for FlashPS resilience experiments.
+//!
+//! Production image-editing clusters lose workers, see disks degrade,
+//! and drop cache entries; the paper's goodput numbers only matter if
+//! the system keeps serving through those events. This crate describes
+//! *what goes wrong and when* as data — a [`FaultPlan`] of timestamped
+//! [`FaultEvent`]s derived purely from a seed — so the cluster
+//! simulator and the threaded server can replay identical fault
+//! schedules across policies and the results stay comparable.
+//!
+//! The crate deliberately depends only on `fps-simtime`: it knows
+//! nothing about workers, caches, or batches beyond their indices, so
+//! every layer (simulator, store, threaded server) can consume the
+//! same plan.
+
+pub mod plan;
+pub mod profile;
+pub mod retry;
+
+pub use plan::{FaultEvent, FaultKind, FaultPlan};
+pub use profile::FaultProfile;
+pub use retry::RetryPolicy;

@@ -1,0 +1,268 @@
+//! Fault plans: timestamped fault events plus request-level noise.
+
+use fps_simtime::{FaultRng, SimDuration, SimTime};
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Worker `worker` crashes, losing its in-flight batch, and
+    /// restarts `downtime` later with cold state.
+    WorkerCrash {
+        /// Index of the crashing worker.
+        worker: usize,
+        /// Time until the worker rejoins.
+        downtime: SimDuration,
+    },
+    /// Worker `worker` runs `factor`× slower for `duration` (thermal
+    /// throttling, noisy neighbour).
+    WorkerSlowdown {
+        /// Index of the degraded worker.
+        worker: usize,
+        /// Step-latency multiplier (> 1).
+        factor: f64,
+        /// How long the slowdown lasts.
+        duration: SimDuration,
+    },
+    /// The disk tier's read bandwidth drops by `factor`× for
+    /// `duration`.
+    DiskDegrade {
+        /// Bandwidth divisor (> 1).
+        factor: f64,
+        /// How long the degradation lasts.
+        duration: SimDuration,
+    },
+    /// The cached template `template_id` disappears from every tier.
+    CacheLoss {
+        /// Template whose cache entry is lost.
+        template_id: u64,
+    },
+    /// The cached template `template_id` is silently corrupted; reads
+    /// must detect it and fall back.
+    CacheCorrupt {
+        /// Template whose cache entry is corrupted.
+        template_id: u64,
+    },
+}
+
+impl FaultKind {
+    /// The worker index this fault targets, if any.
+    pub fn worker(&self) -> Option<usize> {
+        match *self {
+            FaultKind::WorkerCrash { worker, .. } | FaultKind::WorkerSlowdown { worker, .. } => {
+                Some(worker)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// One fault at one instant of virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A complete, deterministic fault schedule for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed the plan was derived from (also seeds request-drop coins).
+    pub seed: u64,
+    /// Probability that any given request is dropped in transit before
+    /// reaching a worker (the client retries it).
+    pub drop_probability: f64,
+    /// Timestamped faults, sorted by time.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: nothing ever goes wrong.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            drop_probability: 0.0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Builds a plan from events, sorting them by time (ties keep
+    /// their given order).
+    pub fn new(seed: u64, drop_probability: f64, mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        Self {
+            seed,
+            drop_probability: drop_probability.clamp(0.0, 1.0),
+            events,
+        }
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_trivial(&self) -> bool {
+        self.events.is_empty() && self.drop_probability == 0.0
+    }
+
+    /// A randomized mixed plan over the given cluster shape — every
+    /// fault kind with moderate rates. Used by property tests to
+    /// explore the schedule space; identical seeds yield identical
+    /// plans.
+    pub fn random(seed: u64, horizon: SimTime, workers: usize, num_templates: u64) -> Self {
+        let mut rng = FaultRng::new(seed, "chaos/random-plan");
+        let mut events = Vec::new();
+        let horizon_s = horizon.as_secs_f64().max(1.0);
+        let count = rng.below(8) as usize + (horizon_s as usize / 20).min(8);
+        for _ in 0..count {
+            let at = SimTime::from_nanos(
+                (rng.unit_f64() * horizon.as_nanos() as f64) as u64,
+            );
+            let kind = match rng.below(5) {
+                0 if workers > 0 => FaultKind::WorkerCrash {
+                    worker: rng.below(workers as u64) as usize,
+                    downtime: SimDuration::from_secs_f64(rng.range_f64(0.5, 5.0)),
+                },
+                1 if workers > 0 => FaultKind::WorkerSlowdown {
+                    worker: rng.below(workers as u64) as usize,
+                    factor: rng.range_f64(1.5, 4.0),
+                    duration: SimDuration::from_secs_f64(rng.range_f64(1.0, 10.0)),
+                },
+                2 => FaultKind::DiskDegrade {
+                    factor: rng.range_f64(2.0, 8.0),
+                    duration: SimDuration::from_secs_f64(rng.range_f64(2.0, 15.0)),
+                },
+                3 if num_templates > 0 => FaultKind::CacheLoss {
+                    template_id: rng.below(num_templates),
+                },
+                _ if num_templates > 0 => FaultKind::CacheCorrupt {
+                    template_id: rng.below(num_templates),
+                },
+                _ => continue,
+            };
+            events.push(FaultEvent { at, kind });
+        }
+        let drop_probability = if rng.chance(0.5) {
+            rng.range_f64(0.0, 0.1)
+        } else {
+            0.0
+        };
+        Self::new(seed, drop_probability, events)
+    }
+
+    /// Validates the plan against a cluster shape.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first fault referencing a worker index out of
+    /// range or carrying a non-positive factor.
+    pub fn validate(&self, workers: usize) -> Result<(), String> {
+        for (i, event) in self.events.iter().enumerate() {
+            if let Some(w) = event.kind.worker() {
+                if w >= workers {
+                    return Err(format!(
+                        "fault {i} targets worker {w} but the cluster has {workers}"
+                    ));
+                }
+            }
+            match event.kind {
+                FaultKind::WorkerSlowdown { factor, .. } | FaultKind::DiskDegrade { factor, .. }
+                    if factor < 1.0 =>
+                {
+                    return Err(format!("fault {i} has speed-up factor {factor} (< 1)"));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// A deterministic per-request drop coin: whether request `id`
+    /// (attempt `attempt`) is dropped in transit. Depends only on the
+    /// plan seed and the pair, so replays agree.
+    pub fn drops_request(&self, id: u64, attempt: u32) -> bool {
+        if self.drop_probability <= 0.0 {
+            return false;
+        }
+        let mut rng = FaultRng::new(
+            self.seed ^ id.rotate_left(17) ^ u64::from(attempt).rotate_left(43),
+            "chaos/request-drop",
+        );
+        rng.chance(self.drop_probability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_nanos((s * 1e9) as u64)
+    }
+
+    #[test]
+    fn plans_sort_events_by_time() {
+        let plan = FaultPlan::new(
+            1,
+            0.0,
+            vec![
+                FaultEvent {
+                    at: secs(5.0),
+                    kind: FaultKind::CacheLoss { template_id: 0 },
+                },
+                FaultEvent {
+                    at: secs(1.0),
+                    kind: FaultKind::DiskDegrade {
+                        factor: 2.0,
+                        duration: SimDuration::from_secs_f64(1.0),
+                    },
+                },
+            ],
+        );
+        assert!(plan.events.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn random_plans_are_reproducible_and_valid() {
+        let a = FaultPlan::random(42, secs(120.0), 4, 16);
+        let b = FaultPlan::random(42, secs(120.0), 4, 16);
+        assert_eq!(a, b);
+        assert!(a.validate(4).is_ok());
+        let c = FaultPlan::random(43, secs(120.0), 4, 16);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_workers() {
+        let plan = FaultPlan::new(
+            0,
+            0.0,
+            vec![FaultEvent {
+                at: secs(1.0),
+                kind: FaultKind::WorkerCrash {
+                    worker: 9,
+                    downtime: SimDuration::from_secs_f64(1.0),
+                },
+            }],
+        );
+        assert!(plan.validate(2).is_err());
+        assert!(plan.validate(10).is_ok());
+    }
+
+    #[test]
+    fn drop_coin_is_deterministic_and_tracks_probability() {
+        let mut plan = FaultPlan::none();
+        assert!(!plan.drops_request(1, 0));
+        plan.drop_probability = 0.25;
+        plan.seed = 7;
+        let hits = (0..20_000u64).filter(|&i| plan.drops_request(i, 0)).count();
+        assert!((hits as f64 / 20_000.0 - 0.25).abs() < 0.02);
+        assert_eq!(plan.drops_request(5, 1), plan.drops_request(5, 1));
+        // Retries reroll the coin.
+        assert!((0..64).any(|a| plan.drops_request(5, a) != plan.drops_request(5, a + 1)));
+    }
+
+    #[test]
+    fn trivial_plans_are_detected() {
+        assert!(FaultPlan::none().is_trivial());
+        assert!(!FaultPlan::random(1, secs(300.0), 2, 4).is_trivial());
+    }
+}

@@ -1,0 +1,165 @@
+//! Canonical fault profiles for the ablation experiments.
+
+use fps_simtime::{FaultClock, FaultRng, SimDuration, SimTime};
+
+use crate::plan::{FaultEvent, FaultKind, FaultPlan};
+
+/// The fault profiles exercised by `ablation_chaos`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultProfile {
+    /// No faults: the control arm, expected to match the fault-free
+    /// simulator within noise.
+    Baseline,
+    /// Recurring worker crashes with restarts, plus occasional
+    /// transient slowdowns and a small request-drop probability.
+    WorkerCrash,
+    /// Cache-entry loss and corruption under a degraded disk tier.
+    CacheLossSlowDisk,
+}
+
+impl FaultProfile {
+    /// Every profile, in ablation order.
+    pub const ALL: [FaultProfile; 3] = [
+        FaultProfile::Baseline,
+        FaultProfile::WorkerCrash,
+        FaultProfile::CacheLossSlowDisk,
+    ];
+
+    /// Profile label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Baseline => "baseline",
+            Self::WorkerCrash => "worker-crash",
+            Self::CacheLossSlowDisk => "cache-loss-slow-disk",
+        }
+    }
+
+    /// Generates the profile's fault plan for a run of length
+    /// `horizon` over `workers` workers and templates `0..num_templates`.
+    pub fn plan(self, seed: u64, horizon: SimTime, workers: usize, num_templates: u64) -> FaultPlan {
+        match self {
+            Self::Baseline => FaultPlan::none(),
+            Self::WorkerCrash => worker_crash_plan(seed, horizon, workers),
+            Self::CacheLossSlowDisk => cache_loss_plan(seed, horizon, num_templates),
+        }
+    }
+}
+
+/// Crashes roughly every quarter of the horizon per cluster, 1–4 s
+/// downtime, plus transient 2–3× slowdowns and 1% request drops.
+fn worker_crash_plan(seed: u64, horizon: SimTime, workers: usize) -> FaultPlan {
+    let mut events = Vec::new();
+    if workers > 0 {
+        let mean = SimDuration::from_secs_f64((horizon.as_secs_f64() / 4.0).max(1.0));
+        let mut crashes = FaultClock::new(seed, "profile/crash", mean);
+        while let Some(at) = crashes.next_before(horizon) {
+            let rng = crashes.rng();
+            events.push(FaultEvent {
+                at,
+                kind: FaultKind::WorkerCrash {
+                    worker: rng.below(workers as u64) as usize,
+                    downtime: SimDuration::from_secs_f64(rng.range_f64(1.0, 4.0)),
+                },
+            });
+        }
+        let slow_mean = SimDuration::from_secs_f64((horizon.as_secs_f64() / 3.0).max(1.0));
+        let mut slowdowns = FaultClock::new(seed, "profile/slowdown", slow_mean);
+        while let Some(at) = slowdowns.next_before(horizon) {
+            let rng = slowdowns.rng();
+            events.push(FaultEvent {
+                at,
+                kind: FaultKind::WorkerSlowdown {
+                    worker: rng.below(workers as u64) as usize,
+                    factor: rng.range_f64(2.0, 3.0),
+                    duration: SimDuration::from_secs_f64(rng.range_f64(3.0, 8.0)),
+                },
+            });
+        }
+    }
+    FaultPlan::new(seed, 0.01, events)
+}
+
+/// Loses or corrupts cached templates throughout the run while the
+/// disk tier serves reads at a fraction of its bandwidth.
+fn cache_loss_plan(seed: u64, horizon: SimTime, num_templates: u64) -> FaultPlan {
+    let mut events = Vec::new();
+    if num_templates > 0 {
+        let mean = SimDuration::from_secs_f64((horizon.as_secs_f64() / 6.0).max(1.0));
+        let mut losses = FaultClock::new(seed, "profile/cache-loss", mean);
+        while let Some(at) = losses.next_before(horizon) {
+            let rng = losses.rng();
+            let template_id = rng.below(num_templates);
+            let kind = if rng.chance(0.5) {
+                FaultKind::CacheLoss { template_id }
+            } else {
+                FaultKind::CacheCorrupt { template_id }
+            };
+            events.push(FaultEvent { at, kind });
+        }
+    }
+    // One long disk brown-out covering the middle half of the run.
+    let mut rng = FaultRng::new(seed, "profile/disk");
+    events.push(FaultEvent {
+        at: SimTime::from_nanos(horizon.as_nanos() / 4),
+        kind: FaultKind::DiskDegrade {
+            factor: rng.range_f64(3.0, 6.0),
+            duration: SimDuration::from_nanos(horizon.as_nanos() / 2),
+        },
+    });
+    FaultPlan::new(seed, 0.0, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_nanos((s * 1e9) as u64)
+    }
+
+    #[test]
+    fn baseline_is_trivial() {
+        assert!(FaultProfile::Baseline.plan(1, secs(300.0), 4, 16).is_trivial());
+    }
+
+    #[test]
+    fn worker_crash_profile_crashes_and_drops() {
+        let plan = FaultProfile::WorkerCrash.plan(2, secs(300.0), 4, 16);
+        assert!(plan.validate(4).is_ok());
+        assert!(plan.drop_probability > 0.0);
+        assert!(plan
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::WorkerCrash { .. })));
+    }
+
+    #[test]
+    fn cache_loss_profile_degrades_disk_and_loses_entries() {
+        let plan = FaultProfile::CacheLossSlowDisk.plan(3, secs(300.0), 4, 16);
+        assert!(plan.validate(4).is_ok());
+        assert!(plan
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::DiskDegrade { .. })));
+        assert!(plan.events.iter().any(|e| matches!(
+            e.kind,
+            FaultKind::CacheLoss { .. } | FaultKind::CacheCorrupt { .. }
+        )));
+    }
+
+    #[test]
+    fn plans_are_seed_deterministic() {
+        for profile in FaultProfile::ALL {
+            let a = profile.plan(9, secs(120.0), 3, 8);
+            let b = profile.plan(9, secs(120.0), 3, 8);
+            assert_eq!(a, b, "{}", profile.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<_> = FaultProfile::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), 3);
+        assert!(labels.iter().all(|l| !l.is_empty()));
+    }
+}

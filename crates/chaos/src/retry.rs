@@ -1,0 +1,108 @@
+//! Bounded retry with exponential backoff and per-request deadlines.
+
+use fps_simtime::{SimDuration, SimTime};
+
+/// Retry discipline applied to failed or dropped requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries allowed after the first attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: SimDuration,
+    /// Multiplier applied to the backoff per additional retry.
+    pub backoff_multiplier: f64,
+    /// Deadline from arrival; once exceeded the request is rejected
+    /// instead of retried.
+    pub deadline: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base_backoff: SimDuration::from_millis(50),
+            backoff_multiplier: 2.0,
+            deadline: SimDuration::from_secs_f64(300.0),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A deadline so far out it never fires (saturating arithmetic
+    /// keeps `u64::MAX` nanoseconds unreachable).
+    pub const NO_DEADLINE: SimDuration = SimDuration::from_nanos(u64::MAX);
+
+    /// A policy that never retries and never rejects on time.
+    pub fn no_retries() -> Self {
+        Self {
+            max_retries: 0,
+            base_backoff: SimDuration::ZERO,
+            backoff_multiplier: 1.0,
+            deadline: Self::NO_DEADLINE,
+        }
+    }
+
+    /// Backoff before retry number `retry` (1-based): `base ×
+    /// multiplier^(retry−1)`.
+    pub fn backoff(&self, retry: u32) -> SimDuration {
+        if retry <= 1 {
+            return self.base_backoff;
+        }
+        self.base_backoff
+            .mul_f64(self.backoff_multiplier.powi(retry as i32 - 1))
+    }
+
+    /// Whether a request that has already used `retries` retries may
+    /// try again at `now`, given its arrival time.
+    pub fn allows_retry(&self, retries: u32, arrival: SimTime, now: SimTime) -> bool {
+        retries < self.max_retries && !self.past_deadline(arrival, now)
+    }
+
+    /// Whether `now` is beyond the request's deadline.
+    pub fn past_deadline(&self, arrival: SimTime, now: SimTime) -> bool {
+        now.since(arrival) > self.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = RetryPolicy {
+            base_backoff: SimDuration::from_millis(100),
+            backoff_multiplier: 2.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff(1), SimDuration::from_millis(100));
+        assert_eq!(p.backoff(2), SimDuration::from_millis(200));
+        assert_eq!(p.backoff(3), SimDuration::from_millis(400));
+    }
+
+    #[test]
+    fn retries_are_bounded_and_deadline_checked() {
+        let p = RetryPolicy {
+            max_retries: 2,
+            deadline: SimDuration::from_secs_f64(10.0),
+            ..RetryPolicy::default()
+        };
+        let t0 = SimTime::ZERO;
+        let t5 = SimTime::from_nanos(5_000_000_000);
+        let t11 = SimTime::from_nanos(11_000_000_000);
+        assert!(p.allows_retry(0, t0, t5));
+        assert!(p.allows_retry(1, t0, t5));
+        assert!(!p.allows_retry(2, t0, t5), "retry budget exhausted");
+        assert!(!p.allows_retry(0, t0, t11), "past deadline");
+        assert!(p.past_deadline(t0, t11));
+        assert!(!p.past_deadline(t0, t5));
+    }
+
+    #[test]
+    fn no_retries_policy_never_rejects_on_time() {
+        let p = RetryPolicy::no_retries();
+        let far = SimTime::from_nanos(u64::MAX / 2);
+        assert!(!p.past_deadline(SimTime::ZERO, far));
+        assert!(!p.allows_retry(0, SimTime::ZERO, far));
+    }
+}

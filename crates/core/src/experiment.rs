@@ -1,6 +1,6 @@
 //! Experiment harness: one-call serving runs for the bench binaries.
 
-use serde::Serialize;
+use fps_json::{Json, ToJson};
 
 use fps_baselines::{EvalSetup, SystemKind};
 use fps_serving::cost::CostModel;
@@ -90,7 +90,7 @@ impl Default for ServingRun {
 }
 
 /// One measured point of a serving sweep (a row of Fig. 12 / 16).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ServingPoint {
     /// System label.
     pub system: String,
@@ -165,10 +165,25 @@ pub fn point_from_report(
     }
 }
 
+impl ToJson for ServingPoint {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("system", self.system.as_str())
+            .with("model", self.model.as_str())
+            .with("router", self.router.as_str())
+            .with("rps", self.rps)
+            .with("served", self.served)
+            .with("mean_latency", self.mean_latency)
+            .with("p95_latency", self.p95_latency)
+            .with("mean_queueing", self.mean_queueing)
+            .with("throughput", self.throughput)
+    }
+}
+
 /// Serializes a slice of points to pretty JSON (experiment binaries
 /// dump these next to their text tables).
-pub fn to_json<T: Serialize>(points: &[T]) -> String {
-    serde_json::to_string_pretty(points).unwrap_or_else(|_| "[]".into())
+pub fn to_json<T: ToJson>(points: &[T]) -> String {
+    points.to_json().to_string_pretty()
 }
 
 /// Convenience: the full Fig. 12 grid for one setup — every supported

@@ -71,6 +71,11 @@ pub enum FlashPsError {
     },
     /// The server is shutting down or a worker died.
     ServerClosed,
+    /// The job exceeded its wall-clock deadline before completing.
+    JobTimeout,
+    /// A worker panicked while serving the job and the retry budget
+    /// ran out.
+    WorkerPanicked,
 }
 
 impl core::fmt::Display for FlashPsError {
@@ -82,6 +87,10 @@ impl core::fmt::Display for FlashPsError {
                 write!(f, "template {template_id} was never registered")
             }
             Self::ServerClosed => write!(f, "server closed"),
+            Self::JobTimeout => write!(f, "job exceeded its deadline"),
+            Self::WorkerPanicked => {
+                write!(f, "worker panicked serving the job; retries exhausted")
+            }
         }
     }
 }

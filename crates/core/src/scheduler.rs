@@ -171,6 +171,7 @@ mod tests {
                 .collect(),
             max_batch: 8,
             model_tokens: 4096,
+            health: fps_serving::worker::WorkerHealth::Healthy,
         }
     }
 

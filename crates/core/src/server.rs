@@ -9,15 +9,34 @@
 //! (session setup) and postprocessing (decode) happen on the worker
 //! thread here; the *performance* consequences of disaggregation are
 //! studied in the simulator, where timing is controlled.
+//!
+//! ## Resilience
+//!
+//! A step that panics kills the whole "engine process": every inflight
+//! session on that worker is lost and its job is requeued with a
+//! bumped attempt counter (bounded by
+//! [`ServerConfig::max_job_attempts`], then the ticket resolves to
+//! [`FlashPsError::WorkerPanicked`]). Jobs carry an optional
+//! wall-clock deadline ([`ServerConfig::job_timeout`]); expired jobs
+//! resolve to [`FlashPsError::JobTimeout`] instead of occupying the
+//! batch. Shutdown — explicit or via `Drop` — flips a closing flag,
+//! lets workers drain the queue (including requeued jobs), and joins
+//! them; tickets never dangle.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use fps_diffusion::{EditSession, Guidance, Strategy};
 
 use crate::system::{EditResult, FlashPs};
 use crate::{FlashPsError, Result};
+
+/// How long an idle worker sleeps between checks of the closing flag.
+const IDLE_POLL: Duration = Duration::from_millis(10);
 
 /// Configuration of the threaded server.
 #[derive(Debug, Clone, Copy)]
@@ -26,6 +45,16 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Maximum sessions a worker interleaves.
     pub max_batch: usize,
+    /// Wall-clock ceiling from submission to completion; expired jobs
+    /// resolve to [`FlashPsError::JobTimeout`]. `None` disables it.
+    pub job_timeout: Option<Duration>,
+    /// Total attempts a job gets when workers panic mid-batch (the
+    /// first run plus requeues). At least 1.
+    pub max_job_attempts: u32,
+    /// Fault-injection hook: a job with this seed panics the worker on
+    /// its first attempt, killing the whole inflight batch. Used by
+    /// resilience tests; `None` in production.
+    pub chaos_panic_seed: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -33,6 +62,9 @@ impl Default for ServerConfig {
         Self {
             workers: 2,
             max_batch: 4,
+            job_timeout: None,
+            max_job_attempts: 3,
+            chaos_panic_seed: None,
         }
     }
 }
@@ -55,6 +87,11 @@ pub struct EditJob {
 struct QueuedJob {
     job: EditJob,
     reply: Sender<Result<EditResult>>,
+    /// Attempts already consumed (0 on first submission).
+    attempt: u32,
+    /// When the job was first submitted (deadline anchor; requeues
+    /// keep the original).
+    enqueued_at: Instant,
 }
 
 /// A handle to a submitted job.
@@ -77,6 +114,7 @@ impl Ticket {
 /// The multi-threaded continuous-batching server.
 pub struct ThreadedServer {
     tx: Option<Sender<QueuedJob>>,
+    closing: Arc<AtomicBool>,
     handles: Vec<JoinHandle<()>>,
     system: Arc<FlashPs>,
 }
@@ -85,17 +123,23 @@ impl ThreadedServer {
     /// Starts worker threads over a (template-registered) system.
     pub fn start(system: FlashPs, config: ServerConfig) -> Self {
         let system = Arc::new(system);
+        let closing = Arc::new(AtomicBool::new(false));
         let (tx, rx) = unbounded::<QueuedJob>();
         let handles = (0..config.workers.max(1))
             .map(|_| {
                 let rx = rx.clone();
+                // Workers hold a sender clone to requeue jobs they
+                // lose to a panic; channel disconnection therefore no
+                // longer signals shutdown — the closing flag does.
+                let requeue = tx.clone();
+                let closing = Arc::clone(&closing);
                 let system = Arc::clone(&system);
-                let max_batch = config.max_batch.max(1);
-                std::thread::spawn(move || worker_loop(&system, &rx, max_batch))
+                std::thread::spawn(move || worker_loop(&system, &rx, &requeue, &closing, config))
             })
             .collect();
         Self {
             tx: Some(tx),
+            closing,
             handles,
             system,
         }
@@ -113,15 +157,33 @@ impl ThreadedServer {
     ///
     /// Returns [`FlashPsError::ServerClosed`] after shutdown.
     pub fn submit(&self, job: EditJob) -> Result<Ticket> {
+        if self.closing.load(Ordering::SeqCst) {
+            return Err(FlashPsError::ServerClosed);
+        }
         let (reply, rx) = bounded(1);
         let tx = self.tx.as_ref().ok_or(FlashPsError::ServerClosed)?;
-        tx.send(QueuedJob { job, reply })
-            .map_err(|_| FlashPsError::ServerClosed)?;
+        tx.send(QueuedJob {
+            job,
+            reply,
+            attempt: 0,
+            enqueued_at: Instant::now(),
+        })
+        .map_err(|_| FlashPsError::ServerClosed)?;
         Ok(Ticket { rx })
     }
 
-    /// Drains the queue and joins all workers.
+    /// Gracefully drains the queue (every already-submitted ticket
+    /// resolves) and joins all workers.
     pub fn shutdown(mut self) {
+        self.close();
+    }
+
+    /// Shared drain path for [`Self::shutdown`] and `Drop`: flips the
+    /// closing flag, releases the submit side of the queue, and joins
+    /// workers — who keep serving until the queue (including requeues)
+    /// is empty.
+    fn close(&mut self) {
+        self.closing.store(true, Ordering::SeqCst);
         self.tx.take();
         for h in self.handles.drain(..) {
             let _ = h.join();
@@ -131,16 +193,16 @@ impl ThreadedServer {
 
 impl Drop for ThreadedServer {
     fn drop(&mut self) {
-        self.tx.take();
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
+        self.close();
     }
 }
 
 struct Inflight {
     session: EditSession,
-    template_id: u64,
+    /// The original job, kept so a panic can requeue it.
+    job: EditJob,
+    attempt: u32,
+    enqueued_at: Instant,
     use_cache: Vec<bool>,
     mask_ratio: f64,
     reply: Sender<Result<EditResult>>,
@@ -167,36 +229,79 @@ fn begin_job(system: &FlashPs, job: &EditJob) -> Result<(EditSession, Vec<bool>,
     Ok((session, use_cache, mask_ratio))
 }
 
-fn worker_loop(system: &FlashPs, rx: &Receiver<QueuedJob>, max_batch: usize) {
+/// Whether a job's wall-clock deadline has passed.
+fn expired(timeout: Option<Duration>, enqueued_at: Instant) -> bool {
+    timeout.is_some_and(|t| enqueued_at.elapsed() > t)
+}
+
+/// Crash recovery: the engine process died mid-batch. Every inflight
+/// session is lost; jobs with attempts left are requeued, the rest
+/// resolve to [`FlashPsError::WorkerPanicked`].
+fn requeue_batch(
+    inflight: &mut Vec<Inflight>,
+    requeue: &Sender<QueuedJob>,
+    config: &ServerConfig,
+) {
+    for item in inflight.drain(..) {
+        let next_attempt = item.attempt + 1;
+        if next_attempt >= config.max_job_attempts.max(1) {
+            let _ = item.reply.send(Err(FlashPsError::WorkerPanicked));
+            continue;
+        }
+        let q = QueuedJob {
+            job: item.job,
+            reply: item.reply,
+            attempt: next_attempt,
+            enqueued_at: item.enqueued_at,
+        };
+        if let Err(e) = requeue.send(q) {
+            // Channel gone (all workers exited): fail explicitly.
+            let _ = e.into_inner().reply.send(Err(FlashPsError::ServerClosed));
+        }
+    }
+}
+
+fn worker_loop(
+    system: &FlashPs,
+    rx: &Receiver<QueuedJob>,
+    requeue: &Sender<QueuedJob>,
+    closing: &AtomicBool,
+    config: ServerConfig,
+) {
+    let max_batch = config.max_batch.max(1);
     let mut inflight: Vec<Inflight> = Vec::new();
-    let mut closed = false;
     loop {
-        // Admission: block when idle, otherwise take whatever is
-        // queued — a join costs at most one denoising step (§4.3).
-        while !closed && inflight.len() < max_batch {
+        // Admission: poll when idle (the requeue senders keep the
+        // channel open, so disconnection can't signal shutdown — the
+        // closing flag does), otherwise take whatever is queued — a
+        // join costs at most one denoising step (§4.3).
+        while inflight.len() < max_batch {
             let queued = if inflight.is_empty() {
-                match rx.recv() {
+                match rx.recv_timeout(IDLE_POLL) {
                     Ok(q) => Some(q),
-                    Err(_) => {
-                        closed = true;
-                        None
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return;
                     }
                 }
             } else {
                 match rx.try_recv() {
                     Ok(q) => Some(q),
                     Err(TryRecvError::Empty) => None,
-                    Err(TryRecvError::Disconnected) => {
-                        closed = true;
-                        None
-                    }
+                    Err(TryRecvError::Disconnected) => None,
                 }
             };
             let Some(q) = queued else { break };
+            if expired(config.job_timeout, q.enqueued_at) {
+                let _ = q.reply.send(Err(FlashPsError::JobTimeout));
+                continue;
+            }
             match begin_job(system, &q.job) {
                 Ok((session, use_cache, mask_ratio)) => inflight.push(Inflight {
                     session,
-                    template_id: q.job.template_id,
+                    job: q.job,
+                    attempt: q.attempt,
+                    enqueued_at: q.enqueued_at,
                     use_cache,
                     mask_ratio,
                     reply: q.reply,
@@ -207,26 +312,52 @@ fn worker_loop(system: &FlashPs, rx: &Receiver<QueuedJob>, max_batch: usize) {
             }
         }
         if inflight.is_empty() {
-            if closed {
+            // Graceful drain: leave only once shutdown was requested
+            // and nothing is queued anymore (a sibling's requeue would
+            // land in the channel and be picked up above).
+            if closing.load(Ordering::SeqCst) && rx.is_empty() {
                 return;
             }
             continue;
         }
-        // One denoising step for every inflight session.
+        // One denoising step for every inflight session. A panic here
+        // kills the whole batch (the "engine process" died): caught,
+        // sessions dropped, jobs requeued.
         let mut i = 0;
+        let mut crashed = false;
         while i < inflight.len() {
             let item = &mut inflight[i];
-            let step_result = match system.template(item.template_id) {
-                Ok((_, cache)) => system.pipeline().step(&mut item.session, Some(cache)),
-                Err(e) => {
-                    let item = inflight.swap_remove(i);
-                    let _ = item.reply.send(Err(e));
-                    continue;
+            if expired(config.job_timeout, item.enqueued_at) {
+                let item = inflight.swap_remove(i);
+                let _ = item.reply.send(Err(FlashPsError::JobTimeout));
+                continue;
+            }
+            let chaos_panic =
+                config.chaos_panic_seed == Some(item.job.seed) && item.attempt == 0;
+            let step_result = {
+                let session = &mut item.session;
+                let template_id = item.job.template_id;
+                catch_unwind(AssertUnwindSafe(|| {
+                    assert!(!chaos_panic, "injected worker panic (chaos hook)");
+                    match system.template(template_id) {
+                        Ok((_, cache)) => system
+                            .pipeline()
+                            .step(session, Some(cache))
+                            .map_err(FlashPsError::from),
+                        Err(e) => Err(e),
+                    }
+                }))
+            };
+            let step_result = match step_result {
+                Ok(r) => r,
+                Err(_panic) => {
+                    crashed = true;
+                    break;
                 }
             };
             if let Err(e) = step_result {
                 let item = inflight.swap_remove(i);
-                let _ = item.reply.send(Err(e.into()));
+                let _ = item.reply.send(Err(e));
                 continue;
             }
             if inflight[i].session.is_done() {
@@ -252,6 +383,9 @@ fn worker_loop(system: &FlashPs, rx: &Receiver<QueuedJob>, max_batch: usize) {
             }
             i += 1;
         }
+        if crashed {
+            requeue_batch(&mut inflight, requeue, &config);
+        }
     }
 }
 
@@ -273,6 +407,7 @@ mod tests {
             ServerConfig {
                 workers,
                 max_batch,
+                ..ServerConfig::default()
             },
         )
     }
@@ -325,6 +460,7 @@ mod tests {
             ServerConfig {
                 workers: 2,
                 max_batch: 4,
+                ..ServerConfig::default()
             },
         );
         let tickets: Vec<Ticket> = (0..4)
@@ -358,6 +494,100 @@ mod tests {
             Err(FlashPsError::UnknownTemplate { template_id: 99 })
         ));
         server.shutdown();
+    }
+
+    #[test]
+    fn worker_panic_mid_batch_requeues_and_serves() {
+        // The chaos hook panics the worker on the poisoned job's first
+        // attempt, killing the whole inflight batch. Every ticket must
+        // still resolve: the batch is requeued and served on retry.
+        let cfg = ModelConfig::tiny();
+        let mut sys = FlashPs::new(FlashPsConfig::new(cfg.clone())).unwrap();
+        for id in 0..3u64 {
+            let img = Image::template(cfg.pixel_h(), cfg.pixel_w(), id);
+            sys.register_template(id, &img).unwrap();
+        }
+        let server = ThreadedServer::start(
+            sys,
+            ServerConfig {
+                workers: 1,
+                max_batch: 4,
+                chaos_panic_seed: Some(7777),
+                ..ServerConfig::default()
+            },
+        );
+        // Fill the batch, with the poisoned job in the middle.
+        let mut tickets = Vec::new();
+        tickets.push(server.submit(job(0, 1)).unwrap());
+        tickets.push(server.submit(job(1, 7777)).unwrap());
+        tickets.push(server.submit(job(2, 2)).unwrap());
+        for t in tickets {
+            let r = t.wait().expect("requeued after worker panic");
+            assert!(r.output.image.data().iter().all(|v| v.is_finite()));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn panic_retry_budget_exhausts_explicitly() {
+        // A job whose every attempt panics must resolve to
+        // WorkerPanicked, not hang. max_job_attempts = 1 means the
+        // first panic already exhausts the budget.
+        let cfg = ModelConfig::tiny();
+        let mut sys = FlashPs::new(FlashPsConfig::new(cfg.clone())).unwrap();
+        let img = Image::template(cfg.pixel_h(), cfg.pixel_w(), 0);
+        sys.register_template(0, &img).unwrap();
+        let server = ThreadedServer::start(
+            sys,
+            ServerConfig {
+                workers: 1,
+                max_batch: 2,
+                max_job_attempts: 1,
+                chaos_panic_seed: Some(13),
+                ..ServerConfig::default()
+            },
+        );
+        let ticket = server.submit(job(0, 13)).unwrap();
+        assert!(matches!(ticket.wait(), Err(FlashPsError::WorkerPanicked)));
+        // The worker survives for later jobs.
+        let ok = server.submit(job(0, 1)).unwrap();
+        assert!(ok.wait().is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn expired_jobs_resolve_to_timeout() {
+        let cfg = ModelConfig::tiny();
+        let mut sys = FlashPs::new(FlashPsConfig::new(cfg.clone())).unwrap();
+        let img = Image::template(cfg.pixel_h(), cfg.pixel_w(), 0);
+        sys.register_template(0, &img).unwrap();
+        let server = ThreadedServer::start(
+            sys,
+            ServerConfig {
+                workers: 1,
+                max_batch: 1,
+                job_timeout: Some(std::time::Duration::ZERO),
+                ..ServerConfig::default()
+            },
+        );
+        // A zero deadline is already expired at admission.
+        let ticket = server.submit(job(0, 1)).unwrap();
+        assert!(matches!(ticket.wait(), Err(FlashPsError::JobTimeout)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn drop_with_queued_jobs_drains_gracefully() {
+        // Dropping the server with a backlog must neither hang nor
+        // leave tickets dangling: workers drain the queue first.
+        let server = server(2, 2);
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|i| server.submit(job(i % 3, i)).unwrap())
+            .collect();
+        drop(server);
+        for t in tickets {
+            assert!(t.wait().is_ok(), "queued job must be served, not lost");
+        }
     }
 
     #[test]

@@ -257,7 +257,7 @@ fn read_tensor(r: &mut Reader<'_>) -> Result<Tensor> {
         .chunks_exact(4)
         .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
         .collect();
-    Ok(Tensor::from_vec(data, dims).map_err(DiffusionError::from)?)
+    Tensor::from_vec(data, dims).map_err(DiffusionError::from)
 }
 
 #[cfg(test)]

@@ -42,7 +42,7 @@ impl ResBlock {
         // one normalizes to zero).
         let groups = (1..=channels.min(4))
             .rev()
-            .find(|g| channels % g == 0 && channels / g >= 2)
+            .find(|g| channels.is_multiple_of(*g) && channels / g >= 2)
             .unwrap_or(1);
         Self {
             grid_h,

@@ -1,0 +1,638 @@
+//! Dependency-free JSON for FlashPS artifacts.
+//!
+//! The workspace serializes traces, experiment points, and degradation
+//! reports to JSON without external crates. Numbers keep their lexical
+//! class — unsigned integers parse to [`Json::U64`], negative integers
+//! to [`Json::I64`], everything else to [`Json::F64`] — so 64-bit
+//! seeds round-trip exactly instead of being squeezed through a
+//! double. Object member order is preserved.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Non-negative integer literal (no `.`, `e`, or sign).
+    U64(u64),
+    /// Negative integer literal.
+    I64(i64),
+    /// Any other number literal.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Json>),
+    /// Object, in insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+/// Conversion into a [`Json`] tree (the stand-in for `serde::Serialize`).
+pub trait ToJson {
+    /// Builds the JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+macro_rules! impl_to_json_from {
+    ($($t:ty => $via:expr),* $(,)?) => {$(
+        impl From<$t> for Json {
+            fn from(v: $t) -> Json {
+                #[allow(clippy::redundant_closure_call)]
+                ($via)(v)
+            }
+        }
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::from(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_to_json_from!(
+    bool => Json::Bool,
+    u8 => |v| Json::U64(u64::from(v)),
+    u16 => |v| Json::U64(u64::from(v)),
+    u32 => |v| Json::U64(u64::from(v)),
+    u64 => Json::U64,
+    usize => |v| Json::U64(v as u64),
+    i32 => |v: i32| if v < 0 { Json::I64(i64::from(v)) } else { Json::U64(v as u64) },
+    i64 => |v: i64| if v < 0 { Json::I64(v) } else { Json::U64(v as u64) },
+    f32 => |v| Json::F64(f64::from(v)),
+    f64 => Json::F64,
+    String => Json::Str,
+    &str => |v: &str| Json::Str(v.to_string()),
+);
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl Json {
+    /// Starts an empty object; chain [`Json::with`] to fill it.
+    pub fn object() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Appends one member to an object (panics on non-objects, which
+    /// would be a programming error in a serializer).
+    pub fn with(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Object(members) => members.push((key.to_string(), value.into())),
+            other => panic!("Json::with on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Member lookup on objects; `None` elsewhere.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::U64(v) => Some(v),
+            Json::I64(v) => u64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Json::U64(v) => i64::try_from(v).ok(),
+            Json::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` for any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::U64(v) => Some(v as f64),
+            Json::I64(v) => Some(v as f64),
+            Json::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Compact rendering (no whitespace).
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, Some(2), 0);
+        out
+    }
+
+    /// Parses a JSON document (the whole input must be one value).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the byte offset of the first problem.
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(format!("trailing data at byte {}", parser.pos));
+        }
+        Ok(value)
+    }
+
+    fn render(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => render_f64(out, *v),
+            Json::Str(s) => render_string(out, s),
+            Json::Array(items) => {
+                render_seq(out, indent, depth, items.len(), '[', ']', |out, i, d| {
+                    items[i].render(out, indent, d);
+                });
+            }
+            Json::Object(members) => {
+                render_seq(out, indent, depth, members.len(), '{', '}', |out, i, d| {
+                    let (key, value) = &members[i];
+                    render_string(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.render(out, indent, d);
+                });
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_string_compact())
+    }
+}
+
+fn render_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    len: usize,
+    open: char,
+    close: char,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * depth));
+    }
+    out.push(close);
+}
+
+/// `{:?}` on finite doubles is Rust's shortest round-trip decimal,
+/// which is also valid JSON (`1.0`, not `1`); non-finite values have
+/// no JSON spelling and degrade to `null` like serde_json.
+fn render_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn render_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            ))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(format!(
+                "unexpected byte '{}' at {}",
+                other as char, self.pos
+            )),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            // Surrogate pairs: decode the low half when
+                            // a high surrogate is followed by \uXXXX.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((code - 0xD800) << 10)
+                                        + (low.wrapping_sub(0xDC00) & 0x3FF);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(c.ok_or_else(|| {
+                                format!("invalid \\u escape ending at byte {}", self.pos)
+                            })?);
+                        }
+                        other => {
+                            return Err(format!(
+                                "invalid escape '\\{}' at byte {}",
+                                other as char,
+                                self.pos - 1
+                            ))
+                        }
+                    }
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| format!("invalid utf-8 near byte {start}"))?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        let chunk = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| "truncated \\u escape".to_string())?;
+        let text = std::str::from_utf8(chunk)
+            .map_err(|_| format!("invalid \\u escape at byte {}", self.pos))?;
+        let code = u32::from_str_radix(text, 16)
+            .map_err(|_| format!("invalid \\u escape at byte {}", self.pos))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ascii");
+        if !fractional {
+            if let Some(digits) = text.strip_prefix('-') {
+                if let Ok(v) = digits.parse::<u64>() {
+                    if let Ok(signed) = i64::try_from(v) {
+                        return Ok(Json::I64(-signed));
+                    }
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| format!("invalid number at byte {start}"))
+    }
+}
+
+/// Fetches a required object member (serde-style missing-field error).
+///
+/// # Errors
+///
+/// Names the missing `key` when absent.
+pub fn required<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("missing field `{key}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_seeds_round_trip_exactly() {
+        let seeds = [0u64, 1, u64::MAX, u64::MAX - 1, 0xDEAD_BEEF_CAFE_F00D];
+        for seed in seeds {
+            let rendered = Json::U64(seed).to_string_compact();
+            let back = Json::parse(&rendered).unwrap();
+            assert_eq!(back.as_u64(), Some(seed));
+        }
+    }
+
+    #[test]
+    fn f64_round_trips_via_shortest_repr() {
+        for v in [0.0, 0.1, 1.0 / 3.0, 123.456e-7, -2.5, f64::MIN_POSITIVE] {
+            let rendered = Json::F64(v).to_string_compact();
+            let back = Json::parse(&rendered).unwrap();
+            assert_eq!(back.as_f64(), Some(v), "{rendered}");
+        }
+    }
+
+    #[test]
+    fn object_builder_and_accessors() {
+        let j = Json::object()
+            .with("name", "flashps")
+            .with("count", 3u64)
+            .with("ratio", 0.25)
+            .with("flags", Json::Array(vec![Json::Bool(true), Json::Null]));
+        assert_eq!(j.get("name").and_then(Json::as_str), Some("flashps"));
+        assert_eq!(j.get("count").and_then(Json::as_u64), Some(3));
+        assert_eq!(j.get("ratio").and_then(Json::as_f64), Some(0.25));
+        assert_eq!(j.get("flags").and_then(Json::as_array).map(<[_]>::len), Some(2));
+        assert!(j.get("absent").is_none());
+    }
+
+    #[test]
+    fn parses_nested_documents() {
+        let doc = r#" { "a" : [ 1 , -2 , 3.5 , { "b" : "x\ny" } ] , "c" : null } "#;
+        let j = Json::parse(doc).unwrap();
+        let a = j.get("a").and_then(Json::as_array).unwrap();
+        assert_eq!(a[0].as_u64(), Some(1));
+        assert_eq!(a[1].as_i64(), Some(-2));
+        assert_eq!(a[2].as_f64(), Some(3.5));
+        assert_eq!(a[3].get("b").and_then(Json::as_str), Some("x\ny"));
+        assert_eq!(j.get("c"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "not json", "[1,", "{\"a\":}", "[1] tail", "\"open", "{1:2}"] {
+            assert!(Json::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn missing_field_errors_name_the_field() {
+        let j = Json::parse(r#"{"id": 1}"#).unwrap();
+        assert!(required(&j, "id").is_ok());
+        let err = required(&j, "seed").unwrap_err();
+        assert!(err.contains("seed"), "{err}");
+    }
+
+    #[test]
+    fn pretty_rendering_is_reparseable() {
+        let j = Json::parse(r#"{"a":[1,2],"b":{"c":"d"},"e":[]}"#).unwrap();
+        let pretty = j.to_string_pretty();
+        assert!(pretty.contains("\n  "));
+        assert_eq!(Json::parse(&pretty).unwrap(), j);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "quote\" back\\ nl\n tab\t ctl\u{1} unicode✓";
+        let rendered = Json::Str(s.to_string()).to_string_compact();
+        assert_eq!(Json::parse(&rendered).unwrap().as_str(), Some(s));
+        // Surrogate-pair escape decodes to one char.
+        assert_eq!(
+            Json::parse("\"\\ud83d\\ude00\"").unwrap().as_str(),
+            Some("😀")
+        );
+    }
+
+    #[test]
+    fn to_json_trait_covers_primitives_and_vecs() {
+        assert_eq!(5u64.to_json(), Json::U64(5));
+        assert_eq!((-5i64).to_json(), Json::I64(-5));
+        assert_eq!(7i64.to_json(), Json::U64(7));
+        assert_eq!(true.to_json(), Json::Bool(true));
+        assert_eq!("s".to_json(), Json::Str("s".into()));
+        assert_eq!(
+            vec![1u32, 2].to_json(),
+            Json::Array(vec![Json::U64(1), Json::U64(2)])
+        );
+    }
+}

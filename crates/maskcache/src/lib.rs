@@ -21,7 +21,7 @@ pub mod store;
 
 pub use error::CacheError;
 pub use pipeline::{BlockCosts, PipelinePlan};
-pub use store::{HierarchicalStore, StoreConfig, Tier};
+pub use store::{FallbackReason, HierarchicalStore, StoreConfig, Tier, VerifiedFetch};
 
 /// Crate-wide result alias.
 pub type Result<T> = core::result::Result<T, CacheError>;

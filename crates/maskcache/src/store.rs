@@ -64,6 +64,9 @@ struct Entry {
     /// LRU clock of the last touch.
     last_used: u64,
     payload: Option<Bytes>,
+    /// Set by fault injection: the entry's bytes are garbage and the
+    /// verified-read path must detect this.
+    corrupt: bool,
 }
 
 /// Counters describing store behaviour over a run.
@@ -77,6 +80,12 @@ pub struct StoreStats {
     pub misses: u64,
     /// Entries demoted host→disk by LRU pressure.
     pub evictions: u64,
+    /// Entries dropped by fault-injected cache loss.
+    pub invalidations: u64,
+    /// Corrupt entries caught by the verified-read path.
+    pub corruptions_detected: u64,
+    /// Verified reads that had to fall back to full recompute.
+    pub fallbacks: u64,
 }
 
 /// The two-tier activation store.
@@ -89,6 +98,8 @@ pub struct HierarchicalStore {
     disk_stream: Resource,
     clock: u64,
     stats: StoreStats,
+    /// Disk-bandwidth divisor while the disk tier is degraded (≥ 1).
+    disk_slow_factor: f64,
 }
 
 impl HierarchicalStore {
@@ -102,6 +113,7 @@ impl HierarchicalStore {
             disk_stream: Resource::new(),
             clock: 0,
             stats: StoreStats::default(),
+            disk_slow_factor: 1.0,
         }
     }
 
@@ -171,6 +183,7 @@ impl HierarchicalStore {
                 host_ready_at: now,
                 last_used: self.clock,
                 payload,
+                corrupt: false,
             },
         );
         Ok(())
@@ -217,8 +230,9 @@ impl HierarchicalStore {
             }
             Tier::Disk => {
                 self.stats.disk_hits += 1;
-                let duration =
-                    SimDuration::from_secs_f64(entry.bytes as f64 / self.config.disk_read_bw);
+                let duration = SimDuration::from_secs_f64(
+                    entry.bytes as f64 * self.disk_slow_factor / self.config.disk_read_bw,
+                );
                 let (_, finish) = self.disk_stream.acquire(now, duration);
                 // Promote to host; the bytes occupy host memory from now
                 // (reservation) and are usable at `finish`.
@@ -232,6 +246,63 @@ impl HierarchicalStore {
                     e.last_used = clock;
                 }
                 Ok(finish)
+            }
+        }
+    }
+
+    /// Drops a template as if its cached bytes were lost (fault
+    /// injection); returns whether an entry existed.
+    pub fn invalidate(&mut self, template_id: u64) -> bool {
+        let existed = self.remove(template_id);
+        if existed {
+            self.stats.invalidations += 1;
+        }
+        existed
+    }
+
+    /// Marks a template's cached bytes as silently corrupted (fault
+    /// injection); returns whether an entry existed.
+    pub fn corrupt(&mut self, template_id: u64) -> bool {
+        match self.entries.get_mut(&template_id) {
+            Some(e) => {
+                e.corrupt = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Degrades (or restores, with `1.0`) disk read bandwidth by the
+    /// given divisor. Transfers already in flight keep their original
+    /// finish times; only new fetches pay the degraded rate.
+    pub fn set_disk_degradation(&mut self, factor: f64) {
+        self.disk_slow_factor = factor.max(1.0);
+    }
+
+    /// Current disk-bandwidth divisor.
+    pub fn disk_degradation(&self) -> f64 {
+        self.disk_slow_factor
+    }
+
+    /// Fetches a template with integrity checking: a missing or
+    /// corrupt entry is reported as a fallback instead of an error, so
+    /// callers recompute the template Diffusers-style rather than
+    /// failing the request. Corrupt entries are dropped on detection.
+    pub fn fetch_verified(&mut self, template_id: u64, now: SimTime) -> VerifiedFetch {
+        if self.entries.get(&template_id).is_some_and(|e| e.corrupt) {
+            // The checksum mismatch is only discovered by reading the
+            // bytes, which pays the fetch (and any disk transfer).
+            let _ = self.fetch(template_id, now);
+            self.remove(template_id);
+            self.stats.corruptions_detected += 1;
+            self.stats.fallbacks += 1;
+            return VerifiedFetch::Fallback(FallbackReason::Corrupt);
+        }
+        match self.fetch(template_id, now) {
+            Ok(ready) => VerifiedFetch::Intact(ready),
+            Err(_) => {
+                self.stats.fallbacks += 1;
+                VerifiedFetch::Fallback(FallbackReason::Missing)
             }
         }
     }
@@ -252,6 +323,32 @@ impl HierarchicalStore {
             self.disk_used += e.bytes;
             self.stats.evictions += 1;
         }
+    }
+}
+
+/// Why a verified read could not use the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// No entry for the template (never inserted, or lost).
+    Missing,
+    /// The entry failed integrity verification.
+    Corrupt,
+}
+
+/// Outcome of [`HierarchicalStore::fetch_verified`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifiedFetch {
+    /// Cache usable; activations host-resident at the instant.
+    Intact(SimTime),
+    /// Cache unusable; the caller must recompute the template from
+    /// scratch (full, unmasked denoising).
+    Fallback(FallbackReason),
+}
+
+impl VerifiedFetch {
+    /// Whether the read fell back to recompute.
+    pub fn is_fallback(&self) -> bool {
+        matches!(self, Self::Fallback(_))
     }
 }
 
@@ -380,6 +477,67 @@ mod tests {
         s.insert(5, 11, SimTime::ZERO, Some(data.clone())).unwrap();
         assert_eq!(s.payload(5).unwrap(), data);
         assert!(s.payload(6).is_none());
+    }
+
+    #[test]
+    fn invalidation_forces_fallback_on_next_read() {
+        let mut s = HierarchicalStore::new(cfg(1000, 100.0));
+        s.insert(1, 400, SimTime::ZERO, None).unwrap();
+        assert!(s.invalidate(1));
+        assert!(!s.invalidate(1), "already gone");
+        assert_eq!(
+            s.fetch_verified(1, t(1.0)),
+            VerifiedFetch::Fallback(FallbackReason::Missing)
+        );
+        assert_eq!(s.stats().invalidations, 1);
+        assert_eq!(s.stats().fallbacks, 1);
+    }
+
+    #[test]
+    fn corruption_is_detected_once_then_recovers_via_reinsert() {
+        let mut s = HierarchicalStore::new(cfg(1000, 100.0));
+        s.insert(1, 400, SimTime::ZERO, None).unwrap();
+        assert!(s.corrupt(1));
+        assert!(!s.corrupt(9), "unknown template");
+        let read = s.fetch_verified(1, t(1.0));
+        assert_eq!(read, VerifiedFetch::Fallback(FallbackReason::Corrupt));
+        assert!(read.is_fallback());
+        assert_eq!(s.stats().corruptions_detected, 1);
+        assert_eq!(s.locate(1), None, "corrupt entry dropped");
+        // Recompute reinserts; the next read is intact again.
+        s.insert(1, 400, t(2.0), None).unwrap();
+        assert_eq!(s.fetch_verified(1, t(3.0)), VerifiedFetch::Intact(t(3.0)));
+        assert_eq!(s.stats().fallbacks, 1);
+    }
+
+    #[test]
+    fn verified_read_matches_plain_fetch_when_intact() {
+        let mut s = HierarchicalStore::new(cfg(400, 100.0));
+        s.insert(1, 400, SimTime::ZERO, None).unwrap();
+        s.insert(2, 400, SimTime::ZERO, None).unwrap(); // evicts 1
+        match s.fetch_verified(1, t(10.0)) {
+            VerifiedFetch::Intact(ready) => assert_eq!(ready, t(14.0)),
+            other => panic!("expected intact disk promote, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disk_degradation_slows_only_new_transfers() {
+        let mut s = HierarchicalStore::new(cfg(400, 100.0));
+        s.insert(1, 400, SimTime::ZERO, None).unwrap();
+        s.insert(2, 400, SimTime::ZERO, None).unwrap(); // evicts 1
+        s.set_disk_degradation(4.0);
+        assert_eq!(s.disk_degradation(), 4.0);
+        // 400 B at 100/4 B/s = 16 s.
+        assert_eq!(s.fetch(1, SimTime::ZERO).unwrap(), t(16.0));
+        s.set_disk_degradation(1.0);
+        s.insert(3, 400, t(16.0), None).unwrap(); // evicts 2 (LRU)
+        assert_eq!(s.locate(2), Some(Tier::Disk));
+        // Restored bandwidth, but the stream is busy until 16 s.
+        assert_eq!(s.fetch(2, t(16.0)).unwrap(), t(20.0));
+        // Factors below 1 clamp: degradation can't speed the disk up.
+        s.set_disk_degradation(0.25);
+        assert_eq!(s.disk_degradation(), 1.0);
     }
 
     #[test]

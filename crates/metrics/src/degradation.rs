@@ -1,0 +1,134 @@
+//! Resilience accounting under fault injection.
+//!
+//! A [`DegradationReport`] summarizes one cluster run under a fault
+//! profile: goodput, tail latency, how much resilience machinery fired
+//! (retries, fallbacks, crashes), and — the invariant the chaos
+//! subsystem guarantees — that no request was silently lost
+//! (`served + rejected == submitted`).
+
+use fps_json::{Json, ToJson};
+
+/// Degradation summary of one run under a fault profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationReport {
+    /// Fault profile label ("baseline", "worker-crash", ...).
+    pub profile: String,
+    /// Requests submitted to the cluster.
+    pub submitted: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Requests explicitly rejected (deadline or retry budget).
+    pub rejected: u64,
+    /// Completed requests per second of virtual time (goodput).
+    pub goodput_rps: f64,
+    /// Mean end-to-end latency of served requests, seconds.
+    pub mean_latency_secs: f64,
+    /// P95 end-to-end latency of served requests, seconds.
+    pub p95_latency_secs: f64,
+    /// Retries consumed across all requests.
+    pub retries: u64,
+    /// Served requests that fell back to full recompute after cache
+    /// loss or corruption.
+    pub fallback_serves: u64,
+    /// Fraction of served requests that used the fallback path.
+    pub fallback_rate: f64,
+    /// Worker crashes injected over the run.
+    pub crashes: u64,
+}
+
+impl DegradationReport {
+    /// Requests that vanished without being served or rejected. The
+    /// resilience contract keeps this at zero; anything else is a bug
+    /// in the serving layer, not an acceptable degradation.
+    pub fn lost(&self) -> u64 {
+        self.submitted.saturating_sub(self.served + self.rejected)
+    }
+
+    /// Fraction of submitted requests that completed.
+    pub fn completion_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            1.0
+        } else {
+            self.served as f64 / self.submitted as f64
+        }
+    }
+}
+
+impl ToJson for DegradationReport {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("profile", self.profile.as_str())
+            .with("submitted", self.submitted)
+            .with("served", self.served)
+            .with("rejected", self.rejected)
+            .with("lost", self.lost())
+            .with("goodput_rps", self.goodput_rps)
+            .with("mean_latency_secs", self.mean_latency_secs)
+            .with("p95_latency_secs", self.p95_latency_secs)
+            .with("retries", self.retries)
+            .with("fallback_serves", self.fallback_serves)
+            .with("fallback_rate", self.fallback_rate)
+            .with("crashes", self.crashes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> DegradationReport {
+        DegradationReport {
+            profile: "worker-crash".into(),
+            submitted: 100,
+            served: 97,
+            rejected: 3,
+            goodput_rps: 1.6,
+            mean_latency_secs: 2.5,
+            p95_latency_secs: 7.0,
+            retries: 12,
+            fallback_serves: 4,
+            fallback_rate: 4.0 / 97.0,
+            crashes: 2,
+        }
+    }
+
+    #[test]
+    fn conservation_arithmetic() {
+        let r = report();
+        assert_eq!(r.lost(), 0);
+        assert!((r.completion_rate() - 0.97).abs() < 1e-12);
+        let mut broken = report();
+        broken.rejected = 0;
+        assert_eq!(broken.lost(), 3);
+    }
+
+    #[test]
+    fn serializes_to_json_with_lost_count() {
+        let j = report().to_json();
+        assert_eq!(j.get("profile").and_then(Json::as_str), Some("worker-crash"));
+        assert_eq!(j.get("lost").and_then(Json::as_u64), Some(0));
+        assert_eq!(j.get("retries").and_then(Json::as_u64), Some(12));
+        let text = j.to_string_compact();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.get("served").and_then(Json::as_u64), Some(97));
+    }
+
+    #[test]
+    fn empty_run_has_full_completion() {
+        let r = DegradationReport {
+            profile: "baseline".into(),
+            submitted: 0,
+            served: 0,
+            rejected: 0,
+            goodput_rps: 0.0,
+            mean_latency_secs: 0.0,
+            p95_latency_secs: 0.0,
+            retries: 0,
+            fallback_serves: 0,
+            fallback_rate: 0.0,
+            crashes: 0,
+        };
+        assert_eq!(r.lost(), 0);
+        assert_eq!(r.completion_rate(), 1.0);
+    }
+}

@@ -8,7 +8,10 @@
 //! - [`latency`] — a recorder that accumulates per-request latency
 //!   breakdowns (queueing, loading, compute) and summarizes them.
 //! - [`report`] — fixed-width text tables for experiment binaries.
+//! - [`degradation`] — resilience accounting (goodput, retries,
+//!   fallback rate, lost-request conservation) under fault injection.
 
+pub mod degradation;
 pub mod histogram;
 pub mod latency;
 pub mod plot;
@@ -17,6 +20,7 @@ pub mod report;
 pub mod stats;
 pub mod throughput;
 
+pub use degradation::DegradationReport;
 pub use histogram::Histogram;
 pub use latency::{LatencyBreakdown, LatencyRecorder};
 pub use plot::{line_plot, Series};

@@ -6,8 +6,17 @@
 //! serving experiments (Fig. 12), the batching comparison (Fig. 16-
 //! left, Fig. 4-middle), and the load-balancing comparison (Fig. 16-
 //! right, Fig. 4-right).
+//!
+//! [`ClusterSim::run_with_faults`] additionally replays a
+//! deterministic [`FaultPlan`]: worker crashes requeue their in-flight
+//! batch under a bounded [`RetryPolicy`], slowdowns stretch step
+//! latencies, cache loss/corruption triggers full-recompute fallback,
+//! and dropped requests back off and retry. Every request either
+//! completes or is explicitly rejected — never silently lost.
 
+use fps_chaos::{FaultKind, FaultPlan, RetryPolicy};
 use fps_maskcache::store::{HierarchicalStore, StoreConfig};
+use fps_maskcache::VerifiedFetch;
 use fps_metrics::{LatencyBreakdown, LatencyRecorder};
 use fps_simtime::{EventHandler, EventQueue, SimDuration, SimTime, Simulation};
 use fps_workload::Trace;
@@ -15,26 +24,40 @@ use fps_workload::Trace;
 use crate::cost::{BatchItem, CostModel};
 use crate::engine::EngineKind;
 use crate::error::ServingError;
-use crate::request::{Phase, RequestOutcome, SimRequest};
-use crate::router::{Router, WorkerView};
-use crate::worker::{BatchingPolicy, CpuTask, OutstandingReq, WorkerConfig, WorkerState};
+use crate::request::{Phase, RejectReason, RejectedRequest, RequestOutcome, SimRequest};
+use crate::router::{HealthAwareRouter, Router, WorkerView};
+use crate::worker::{BatchingPolicy, CpuTask, OutstandingReq, WorkerConfig, WorkerHealth, WorkerState};
 use crate::Result;
 
 /// Simulation events.
+///
+/// Completion events are stamped with the scheduling worker's `epoch`
+/// (and the request's `attempt`): a crash bumps both, so completions
+/// belonging to a dead incarnation or a superseded attempt are
+/// discarded instead of corrupting the new one.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
-    /// A request arrives at the scheduler.
+    /// A request arrives at the scheduler (also used for retries and
+    /// parked re-dispatch).
     Arrival(usize),
     /// A request's preprocessing lands on a naive-CB engine process.
-    PreQueued { worker: usize, req: usize },
+    PreQueued { worker: usize, req: usize, attempt: u32 },
     /// A request is preprocessed and cache-ready on a worker.
-    Ready { worker: usize, req: usize },
+    Ready { worker: usize, req: usize, attempt: u32 },
     /// A denoising step completed.
-    StepDone { worker: usize },
+    StepDone { worker: usize, epoch: u64 },
     /// The engine process finished a burst of CPU tasks (naive CB).
-    CpuDone { worker: usize },
+    CpuDone { worker: usize, epoch: u64 },
     /// Postprocessing of a request completed.
-    PostDone { worker: usize, req: usize },
+    PostDone { worker: usize, req: usize, attempt: u32 },
+    /// The fault plan's event at this index fires.
+    Fault(usize),
+    /// A crashed worker rejoins the cluster.
+    WorkerRestart { worker: usize },
+    /// A transient slowdown ends (stale tokens are ignored).
+    SlowdownEnd { worker: usize, token: u64 },
+    /// A disk degradation window ends (stale tokens are ignored).
+    DiskRestore { token: u64 },
 }
 
 /// Cluster-level configuration of a serving experiment.
@@ -91,8 +114,16 @@ pub struct RunReport {
     /// GPU busy fraction per worker.
     pub utilization: Vec<f64>,
     /// Activation-store behaviour over the run (hits, prefetches,
-    /// evictions).
+    /// evictions, fallbacks).
     pub store_stats: fps_maskcache::store::StoreStats,
+    /// Explicitly rejected requests (deadline or retry budget).
+    pub rejected: Vec<RejectedRequest>,
+    /// Retries consumed across all requests.
+    pub total_retries: u64,
+    /// Completed requests that were served via full-recompute fallback.
+    pub fallback_serves: u64,
+    /// Crashes suffered per worker.
+    pub crashes_per_worker: Vec<u64>,
 }
 
 impl RunReport {
@@ -119,6 +150,21 @@ impl RunReport {
             .map(|s| s.mean)
             .unwrap_or(f64::NAN)
     }
+
+    /// Served requests per second of virtual time, counting only
+    /// completed (not rejected) requests — the resilience goodput.
+    pub fn goodput_rps(&self) -> f64 {
+        self.throughput_rps
+    }
+
+    /// Fraction of completed requests served via fallback recompute.
+    pub fn fallback_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            0.0
+        } else {
+            self.fallback_serves as f64 / self.outcomes.len() as f64
+        }
+    }
 }
 
 /// The simulator world.
@@ -130,25 +176,64 @@ pub struct ClusterSim<'r> {
     /// denoising) — the router's load signal.
     outstanding: Vec<Vec<usize>>,
     store: HierarchicalStore,
-    router: &'r mut dyn Router,
+    router: HealthAwareRouter<&'r mut dyn Router>,
+    plan: &'r FaultPlan,
+    retry: &'r RetryPolicy,
+    /// Whether any fault machinery is active (verified reads etc.).
+    chaos: bool,
+    /// Denoising steps per request (for retry resets).
+    steps: usize,
+    /// Requests that arrived while every worker was down; re-dispatched
+    /// on the next restart without consuming a retry.
+    parked: Vec<usize>,
+    /// Per-worker slowdown token; bumped on crash or a newer slowdown.
+    slow_tokens: Vec<u64>,
+    /// Disk degradation token; bumped on every new degradation window.
+    disk_token: u64,
+    rejected: Vec<RejectedRequest>,
+    total_retries: u64,
 }
 
 impl<'r> ClusterSim<'r> {
-    /// Runs a trace through the cluster and reports outcomes.
+    /// Runs a trace through the cluster and reports outcomes, with no
+    /// fault injection.
     ///
     /// # Errors
     ///
     /// Returns [`ServingError::InvalidConfig`] for zero workers and
     /// [`ServingError::BadRoute`] if the router misbehaves.
-    pub fn run(
+    pub fn run(config: ClusterConfig, trace: &Trace, router: &mut dyn Router) -> Result<RunReport> {
+        let plan = FaultPlan::none();
+        let retry = RetryPolicy::no_retries();
+        ClusterSim::run_with_faults(config, trace, router, &plan, &retry)
+    }
+
+    /// Runs a trace through the cluster while replaying a deterministic
+    /// fault plan under a bounded retry policy.
+    ///
+    /// The routing policy is wrapped in a [`HealthAwareRouter`], so
+    /// down workers take no new traffic; their in-flight requests are
+    /// requeued (or explicitly rejected once the retry budget or
+    /// deadline runs out).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::InvalidConfig`] for zero workers or a
+    /// plan referencing workers outside the cluster.
+    pub fn run_with_faults(
         config: ClusterConfig,
         trace: &Trace,
         router: &'r mut dyn Router,
+        plan: &'r FaultPlan,
+        retry: &'r RetryPolicy,
     ) -> Result<RunReport> {
         if config.workers == 0 {
             return Err(ServingError::InvalidConfig {
                 reason: "cluster needs at least one worker".into(),
             });
+        }
+        if let Err(reason) = plan.validate(config.workers) {
+            return Err(ServingError::InvalidConfig { reason });
         }
         let steps = config.cost.model.steps;
         let worker_cfg = WorkerConfig {
@@ -189,13 +274,26 @@ impl<'r> ClusterSim<'r> {
         for (i, r) in requests.iter().enumerate() {
             sim.queue_mut().schedule_at(r.spec.arrival(), Ev::Arrival(i));
         }
+        for (i, e) in plan.events.iter().enumerate() {
+            sim.queue_mut().schedule_at(e.at, Ev::Fault(i));
+        }
+        let num_workers = config.workers;
         let mut world = ClusterSim {
             config,
             workers,
             requests,
             outstanding,
             store,
-            router,
+            router: HealthAwareRouter::new(router),
+            plan,
+            retry,
+            chaos: !plan.is_trivial(),
+            steps,
+            parked: Vec::new(),
+            slow_tokens: vec![0; num_workers],
+            disk_token: 0,
+            rejected: Vec::new(),
+            total_retries: 0,
         };
         sim.run(&mut world);
 
@@ -224,6 +322,7 @@ impl<'r> ClusterSim<'r> {
         } else {
             0.0
         };
+        let fallback_serves = outcomes.iter().filter(|o| o.fallback).count() as u64;
         let end = sim.now();
         let store_stats = world.store.stats();
         Ok(RunReport {
@@ -245,6 +344,10 @@ impl<'r> ClusterSim<'r> {
                 })
                 .collect(),
             store_stats,
+            rejected: world.rejected,
+            total_retries: world.total_retries,
+            fallback_serves,
+            crashes_per_worker: world.workers.iter().map(|w| w.crashes).collect(),
         })
     }
 
@@ -262,35 +365,76 @@ impl<'r> ClusterSim<'r> {
                     .collect(),
                 max_batch: w.config.effective_max_batch(),
                 model_tokens: self.config.cost.model.tokens(),
+                health: w.health,
             })
             .collect()
     }
 
     fn handle_arrival(&mut self, now: SimTime, req: usize, q: &mut EventQueue<Ev>) {
+        if self.requests[req].rejected.is_some() || self.requests[req].phase == Phase::Done {
+            return;
+        }
+        if self.chaos {
+            let arrival = self.requests[req].spec.arrival();
+            if self.retry.past_deadline(arrival, now) {
+                self.reject(req, RejectReason::DeadlineExceeded);
+                return;
+            }
+            // The transit drop coin rerolls per attempt.
+            let attempt = self.requests[req].retries;
+            if self.plan.drops_request(self.requests[req].spec.id, attempt) {
+                self.retry_or_reject(req, now, q);
+                return;
+            }
+        }
+
         let views = self.views();
         let w = self.router.route(&self.requests[req].spec, &views, now);
         // A misrouted request falls back to worker 0 rather than
         // wedging the run; tests assert on router behaviour directly.
         let w = if w < self.workers.len() { w } else { 0 };
+        if !self.workers[w].health.is_available() {
+            // Every worker is down (the health-aware wrapper never
+            // picks a down worker otherwise). Park until a restart;
+            // parking does not consume a retry.
+            self.parked.push(req);
+            return;
+        }
         self.requests[req].worker = w;
         self.workers[w].total_assigned += 1;
         self.outstanding[w].push(req);
 
         let t0 = now + self.config.scheduler_overhead;
         let cache_ready = if self.config.engine.uses_cache() {
-            // Prefetch starts at arrival and overlaps queueing.
-            self.store
-                .fetch(self.requests[req].spec.template_id, t0)
-                .unwrap_or(t0)
+            if self.chaos {
+                // Verified read: a lost or corrupt template falls back
+                // to full recompute instead of failing the request.
+                match self
+                    .store
+                    .fetch_verified(self.requests[req].spec.template_id, t0)
+                {
+                    VerifiedFetch::Intact(ready) => ready,
+                    VerifiedFetch::Fallback(_) => {
+                        self.requests[req].fallback = true;
+                        t0
+                    }
+                }
+            } else {
+                // Prefetch starts at arrival and overlaps queueing.
+                self.store
+                    .fetch(self.requests[req].spec.template_id, t0)
+                    .unwrap_or(t0)
+            }
         } else {
             t0
         };
         self.requests[req].cache_ready_at = cache_ready;
 
+        let attempt = self.requests[req].retries;
         match self.config.batching {
             BatchingPolicy::ContinuousNaive => {
                 // Preprocessing runs on the engine process.
-                q.schedule_at(t0, Ev::PreQueued { worker: w, req });
+                q.schedule_at(t0, Ev::PreQueued { worker: w, req, attempt });
             }
             _ => {
                 // Preprocessing runs on the CPU pool.
@@ -298,13 +442,64 @@ impl<'r> ClusterSim<'r> {
                 let (_, done) = self.workers[w].cpu_pool.acquire(t0, pre);
                 self.requests[req].processing_secs += pre.as_secs_f64();
                 let ready_at = done.max(cache_ready);
-                q.schedule_at(ready_at, Ev::Ready { worker: w, req });
+                q.schedule_at(ready_at, Ev::Ready { worker: w, req, attempt });
             }
         }
     }
 
+    /// Explicitly rejects a request — it leaves the system with a
+    /// recorded reason, never silently.
+    fn reject(&mut self, req: usize, reason: RejectReason) {
+        if self.requests[req].rejected.is_some() {
+            return;
+        }
+        self.scrub(req);
+        self.requests[req].rejected = Some(reason);
+        self.requests[req].phase = Phase::Done;
+        self.rejected.push(RejectedRequest {
+            id: self.requests[req].spec.id,
+            reason,
+            retries: self.requests[req].retries,
+        });
+    }
+
+    /// Removes a request from every queue it might sit in (idempotent).
+    fn scrub(&mut self, req: usize) {
+        let w = self.requests[req].worker;
+        if w < self.workers.len() {
+            if let Some(pos) = self.outstanding[w].iter().position(|&x| x == req) {
+                self.outstanding[w].swap_remove(pos);
+            }
+            self.workers[w].running.retain(|&x| x != req);
+            self.workers[w].ready.retain(|&x| x != req);
+            self.workers[w].pending_cpu.retain(|t| {
+                !matches!(*t, CpuTask::Pre(i) | CpuTask::Post(i) if i == req)
+            });
+        }
+    }
+
+    /// Gives a failed attempt another try under the retry policy, or
+    /// rejects the request when the budget or deadline is exhausted.
+    fn retry_or_reject(&mut self, req: usize, now: SimTime, q: &mut EventQueue<Ev>) {
+        let arrival = self.requests[req].spec.arrival();
+        if self.retry.past_deadline(arrival, now) {
+            self.reject(req, RejectReason::DeadlineExceeded);
+            return;
+        }
+        if self.requests[req].retries >= self.retry.max_retries {
+            self.reject(req, RejectReason::RetriesExhausted);
+            return;
+        }
+        self.scrub(req);
+        self.requests[req].retries += 1;
+        self.total_retries += 1;
+        self.requests[req].reset_for_retry(self.steps);
+        let delay = self.retry.backoff(self.requests[req].retries);
+        q.schedule_at(now + delay, Ev::Arrival(req));
+    }
+
     fn kick(&mut self, w: usize, now: SimTime, q: &mut EventQueue<Ev>) {
-        if self.workers[w].busy {
+        if self.workers[w].busy || self.workers[w].health == WorkerHealth::Down {
             return;
         }
         // Naive CB: the engine process first drains CPU tasks,
@@ -319,13 +514,15 @@ impl<'r> ClusterSim<'r> {
                         self.requests[i].processing_secs +=
                             self.config.cost.cpu.preprocess.as_secs_f64();
                         let ready_at = cursor.max(self.requests[i].cache_ready_at);
-                        q.schedule_at(ready_at, Ev::Ready { worker: w, req: i });
+                        let attempt = self.requests[i].retries;
+                        q.schedule_at(ready_at, Ev::Ready { worker: w, req: i, attempt });
                     }
                     CpuTask::Post(i) => {
                         cursor += self.config.cost.cpu.postprocess;
                         self.requests[i].processing_secs +=
                             self.config.cost.cpu.postprocess.as_secs_f64();
-                        q.schedule_at(cursor, Ev::PostDone { worker: w, req: i });
+                        let attempt = self.requests[i].retries;
+                        q.schedule_at(cursor, Ev::PostDone { worker: w, req: i, attempt });
                     }
                 }
                 for &r in &inflight {
@@ -334,7 +531,8 @@ impl<'r> ClusterSim<'r> {
             }
             if cursor > now {
                 self.workers[w].busy = true;
-                q.schedule_at(cursor, Ev::CpuDone { worker: w });
+                let epoch = self.workers[w].epoch;
+                q.schedule_at(cursor, Ev::CpuDone { worker: w, epoch });
                 return;
             }
         }
@@ -363,22 +561,31 @@ impl<'r> ClusterSim<'r> {
             return;
         }
 
-        // Execute one denoising step for the batch.
+        // Execute one denoising step for the batch. A fallback request
+        // lost its cached activations and recomputes all tokens.
         let items: Vec<BatchItem> = self.workers[w]
             .running
             .iter()
             .map(|&i| BatchItem {
-                mask_ratio: self.requests[i].spec.mask_ratio,
+                mask_ratio: if self.requests[i].fallback {
+                    1.0
+                } else {
+                    self.requests[i].spec.mask_ratio
+                },
             })
             .collect();
         let mut lat = self.config.engine.step_latency(&self.config.cost, &items);
         if continuous {
             lat += self.config.cost.cpu.batch_overhead;
         }
+        if self.workers[w].slow_factor > 1.0 {
+            lat = lat.mul_f64(self.workers[w].slow_factor);
+        }
         self.workers[w].busy = true;
         self.workers[w].steps_executed += 1;
         self.workers[w].busy_secs += lat.as_secs_f64();
-        q.schedule_at(now + lat, Ev::StepDone { worker: w });
+        let epoch = self.workers[w].epoch;
+        q.schedule_at(now + lat, Ev::StepDone { worker: w, epoch });
     }
 
     fn handle_step_done(&mut self, now: SimTime, w: usize, q: &mut EventQueue<Ev>) {
@@ -400,6 +607,20 @@ impl<'r> ClusterSim<'r> {
             if let Some(pos) = self.outstanding[w].iter().position(|&x| x == i) {
                 self.outstanding[w].swap_remove(pos);
             }
+            // A fallback recompute regenerated the template's
+            // activations; re-insert so later requests hit again.
+            if self.requests[i].fallback && self.config.engine.uses_cache() {
+                let bytes = self
+                    .config
+                    .cost
+                    .model
+                    .cache_bytes_total(0.0)
+                    .min(self.config.store.host_capacity);
+                let _ = self
+                    .store
+                    .insert(self.requests[i].spec.template_id, bytes, now, None);
+            }
+            let attempt = self.requests[i].retries;
             match self.config.batching {
                 BatchingPolicy::ContinuousNaive => {
                     self.workers[w].pending_cpu.push_back(CpuTask::Post(i));
@@ -410,41 +631,173 @@ impl<'r> ClusterSim<'r> {
                     let (_, done) = self.workers[w].cpu_pool.acquire(start, post);
                     self.requests[i].processing_secs += post.as_secs_f64()
                         + self.config.cost.cpu.disagg_handoff.as_secs_f64();
-                    q.schedule_at(done, Ev::PostDone { worker: w, req: i });
+                    q.schedule_at(done, Ev::PostDone { worker: w, req: i, attempt });
                 }
                 BatchingPolicy::Static => {
                     let post = self.config.cost.cpu.postprocess;
                     let (_, done) = self.workers[w].cpu_pool.acquire(now, post);
                     self.requests[i].processing_secs += post.as_secs_f64();
-                    q.schedule_at(done, Ev::PostDone { worker: w, req: i });
+                    q.schedule_at(done, Ev::PostDone { worker: w, req: i, attempt });
                 }
             }
         }
         self.kick(w, now, q);
     }
+
+    /// Applies the plan's fault at index `idx`.
+    fn handle_fault(&mut self, now: SimTime, idx: usize, q: &mut EventQueue<Ev>) {
+        let event = self.plan.events[idx];
+        match event.kind {
+            FaultKind::WorkerCrash { worker, downtime } => {
+                self.crash_worker(worker, downtime, now, q);
+            }
+            FaultKind::WorkerSlowdown { worker, factor, duration } => {
+                if self.workers[worker].health == WorkerHealth::Down {
+                    return;
+                }
+                self.workers[worker].health = WorkerHealth::Degraded;
+                self.workers[worker].slow_factor = factor.max(1.0);
+                self.slow_tokens[worker] += 1;
+                let token = self.slow_tokens[worker];
+                q.schedule_at(now + duration, Ev::SlowdownEnd { worker, token });
+            }
+            FaultKind::DiskDegrade { factor, duration } => {
+                self.store.set_disk_degradation(factor);
+                self.disk_token += 1;
+                let token = self.disk_token;
+                q.schedule_at(now + duration, Ev::DiskRestore { token });
+            }
+            FaultKind::CacheLoss { template_id } => {
+                self.store.invalidate(template_id);
+            }
+            FaultKind::CacheCorrupt { template_id } => {
+                self.store.corrupt(template_id);
+            }
+        }
+    }
+
+    /// Kills a worker: its in-flight batch, queues and pending CPU work
+    /// are lost; every affected request is retried or rejected.
+    fn crash_worker(
+        &mut self,
+        w: usize,
+        downtime: SimDuration,
+        now: SimTime,
+        q: &mut EventQueue<Ev>,
+    ) {
+        if self.workers[w].health == WorkerHealth::Down {
+            return;
+        }
+        self.workers[w].health = WorkerHealth::Down;
+        self.workers[w].epoch += 1;
+        self.workers[w].crashes += 1;
+        self.workers[w].busy = false;
+        self.workers[w].slow_factor = 1.0;
+        self.slow_tokens[w] += 1;
+
+        // Victims: everything routed here and not yet done denoising,
+        // plus naive-CB postprocessing queued on the dead engine
+        // process. Disaggregated/static post runs on the CPU pool and
+        // survives the GPU crash.
+        let mut victims = std::mem::take(&mut self.outstanding[w]);
+        for task in self.workers[w].pending_cpu.iter() {
+            if let CpuTask::Post(i) = *task {
+                victims.push(i);
+            }
+        }
+        victims.sort_unstable();
+        victims.dedup();
+        self.workers[w].running.clear();
+        self.workers[w].ready.clear();
+        self.workers[w].pending_cpu.clear();
+        for i in victims {
+            if self.requests[i].phase == Phase::Done || self.requests[i].rejected.is_some() {
+                continue;
+            }
+            self.retry_or_reject(i, now, q);
+        }
+        q.schedule_at(now + downtime, Ev::WorkerRestart { worker: w });
+    }
+
+    /// Brings a crashed worker back (cold) and re-dispatches parked
+    /// requests.
+    fn handle_restart(&mut self, now: SimTime, w: usize, q: &mut EventQueue<Ev>) {
+        self.workers[w].health = WorkerHealth::Healthy;
+        self.workers[w].slow_factor = 1.0;
+        self.workers[w].busy = false;
+        for req in std::mem::take(&mut self.parked) {
+            q.schedule_at(now, Ev::Arrival(req));
+        }
+    }
 }
 
 impl<'r> EventHandler<Ev> for ClusterSim<'r> {
     fn handle(&mut self, now: SimTime, event: Ev, q: &mut EventQueue<Ev>) {
+        // An event carrying a request's attempt number is stale when
+        // the request has since been requeued (crash/drop) — the new
+        // attempt owns the request now.
+        let stale = |requests: &[SimRequest], req: usize, attempt: u32| {
+            requests[req].retries != attempt || requests[req].rejected.is_some()
+        };
         match event {
             Ev::Arrival(i) => self.handle_arrival(now, i, q),
-            Ev::PreQueued { worker, req } => {
+            Ev::PreQueued { worker, req, attempt } => {
+                if stale(&self.requests, req, attempt) {
+                    return;
+                }
+                if self.workers[worker].health == WorkerHealth::Down {
+                    self.retry_or_reject(req, now, q);
+                    return;
+                }
                 self.workers[worker].pending_cpu.push_back(CpuTask::Pre(req));
                 self.kick(worker, now, q);
             }
-            Ev::Ready { worker, req } => {
+            Ev::Ready { worker, req, attempt } => {
+                if stale(&self.requests, req, attempt) {
+                    return;
+                }
+                if self.workers[worker].health == WorkerHealth::Down {
+                    self.retry_or_reject(req, now, q);
+                    return;
+                }
                 self.requests[req].phase = Phase::Ready;
                 self.workers[worker].ready.push_back(req);
                 self.kick(worker, now, q);
             }
-            Ev::StepDone { worker } => self.handle_step_done(now, worker, q),
-            Ev::CpuDone { worker } => {
+            Ev::StepDone { worker, epoch } => {
+                if self.workers[worker].epoch != epoch {
+                    return; // Completion from a dead incarnation.
+                }
+                self.handle_step_done(now, worker, q);
+            }
+            Ev::CpuDone { worker, epoch } => {
+                if self.workers[worker].epoch != epoch {
+                    return;
+                }
                 self.workers[worker].busy = false;
                 self.kick(worker, now, q);
             }
-            Ev::PostDone { worker: _, req } => {
+            Ev::PostDone { worker: _, req, attempt } => {
+                if stale(&self.requests, req, attempt) {
+                    return;
+                }
                 self.requests[req].phase = Phase::Done;
                 self.requests[req].completed_at = Some(now);
+            }
+            Ev::Fault(idx) => self.handle_fault(now, idx, q),
+            Ev::WorkerRestart { worker } => self.handle_restart(now, worker, q),
+            Ev::SlowdownEnd { worker, token } => {
+                if self.slow_tokens[worker] == token
+                    && self.workers[worker].health == WorkerHealth::Degraded
+                {
+                    self.workers[worker].health = WorkerHealth::Healthy;
+                    self.workers[worker].slow_factor = 1.0;
+                }
+            }
+            Ev::DiskRestore { token } => {
+                if self.disk_token == token {
+                    self.store.set_disk_degradation(1.0);
+                }
             }
         }
     }
@@ -738,6 +1091,236 @@ mod tests {
             }
             // Utilization is a fraction.
             proptest::prop_assert!(report.utilization.iter().all(|&u| (0.0..=1.0).contains(&u)));
+        }
+    }
+
+    #[test]
+    fn worker_crash_requeues_and_everything_completes() {
+        use fps_chaos::{FaultEvent, FaultKind};
+        let trace = small_trace(1.0, 60.0, 11);
+        let n = trace.len();
+        let plan = FaultPlan::new(
+            9,
+            0.0,
+            vec![FaultEvent {
+                at: SimTime::from_nanos(10_000_000_000),
+                kind: FaultKind::WorkerCrash {
+                    worker: 0,
+                    downtime: SimDuration::from_secs_f64(5.0),
+                },
+            }],
+        );
+        let retry = RetryPolicy::default();
+        let mut router = RoundRobinRouter::default();
+        // The slow engine guarantees worker 0 has work in flight when
+        // the crash lands.
+        let report = ClusterSim::run_with_faults(
+            base_config(EngineKind::Diffusers, BatchingPolicy::Static, 2),
+            &trace,
+            &mut router,
+            &plan,
+            &retry,
+        )
+        .unwrap();
+        assert_eq!(report.crashes_per_worker, vec![1, 0]);
+        assert_eq!(
+            report.outcomes.len() + report.rejected.len(),
+            n,
+            "no request may vanish"
+        );
+        assert!(
+            report.total_retries > 0,
+            "the crashed worker had in-flight requests"
+        );
+        assert!(report.outcomes.iter().any(|o| o.retries > 0));
+    }
+
+    #[test]
+    fn cache_loss_triggers_fallback_not_failure() {
+        use fps_chaos::{FaultEvent, FaultKind};
+        let trace = small_trace(0.8, 60.0, 12);
+        let n = trace.len();
+        // Lose and corrupt every template early in the run.
+        let mut events = Vec::new();
+        for t in 0..4 {
+            events.push(FaultEvent {
+                at: SimTime::from_nanos(1_000_000_000),
+                kind: FaultKind::CacheLoss { template_id: t },
+            });
+        }
+        let plan = FaultPlan::new(3, 0.0, events);
+        let retry = RetryPolicy::default();
+        let mut router = RoundRobinRouter::default();
+        let report = ClusterSim::run_with_faults(
+            base_config(
+                EngineKind::FlashPs { kv: false },
+                BatchingPolicy::ContinuousDisaggregated,
+                2,
+            ),
+            &trace,
+            &mut router,
+            &plan,
+            &retry,
+        )
+        .unwrap();
+        assert_eq!(report.outcomes.len(), n, "fallback serves, never fails");
+        assert!(report.fallback_serves > 0, "lost templates force recompute");
+        assert!(
+            report.fallback_serves < n as u64,
+            "recompute re-populates the cache, so later requests hit"
+        );
+        assert!(report.rejected.is_empty());
+    }
+
+    #[test]
+    fn slowdown_stretches_latency_deterministically() {
+        use fps_chaos::{FaultEvent, FaultKind};
+        let trace = small_trace(0.5, 40.0, 13);
+        let cfg = || {
+            base_config(
+                EngineKind::FlashPs { kv: false },
+                BatchingPolicy::ContinuousDisaggregated,
+                1,
+            )
+        };
+        let slow = FaultPlan::new(
+            1,
+            0.0,
+            vec![FaultEvent {
+                at: SimTime::ZERO,
+                kind: FaultKind::WorkerSlowdown {
+                    worker: 0,
+                    factor: 3.0,
+                    duration: SimDuration::from_secs_f64(40.0),
+                },
+            }],
+        );
+        let retry = RetryPolicy::default();
+        let mut r1 = RoundRobinRouter::default();
+        let degraded =
+            ClusterSim::run_with_faults(cfg(), &trace, &mut r1, &slow, &retry).unwrap();
+        let mut r2 = RoundRobinRouter::default();
+        let nominal = ClusterSim::run(cfg(), &trace, &mut r2).unwrap();
+        assert!(
+            degraded.mean_latency() > nominal.mean_latency() * 1.5,
+            "3x slowdown must show: {} vs {}",
+            degraded.mean_latency(),
+            nominal.mean_latency()
+        );
+        // Determinism: replaying the same plan reproduces the report.
+        let mut r3 = RoundRobinRouter::default();
+        let replay = ClusterSim::run_with_faults(cfg(), &trace, &mut r3, &slow, &retry).unwrap();
+        assert_eq!(degraded.outcomes, replay.outcomes);
+    }
+
+    #[test]
+    fn trivial_plan_matches_plain_run_exactly() {
+        let trace = small_trace(1.0, 60.0, 14);
+        let cfg = || {
+            base_config(
+                EngineKind::FlashPs { kv: false },
+                BatchingPolicy::ContinuousDisaggregated,
+                2,
+            )
+        };
+        let mut r1 = LeastLoadedRouter;
+        let plain = ClusterSim::run(cfg(), &trace, &mut r1).unwrap();
+        let plan = FaultPlan::none();
+        let retry = RetryPolicy::default();
+        let mut r2 = LeastLoadedRouter;
+        let chaos = ClusterSim::run_with_faults(cfg(), &trace, &mut r2, &plan, &retry).unwrap();
+        assert_eq!(plain.outcomes, chaos.outcomes);
+        assert_eq!(plain.steps_per_worker, chaos.steps_per_worker);
+    }
+
+    #[test]
+    fn plan_validation_is_enforced() {
+        use fps_chaos::{FaultEvent, FaultKind};
+        let trace = small_trace(0.5, 10.0, 15);
+        let plan = FaultPlan::new(
+            0,
+            0.0,
+            vec![FaultEvent {
+                at: SimTime::ZERO,
+                kind: FaultKind::WorkerCrash {
+                    worker: 5,
+                    downtime: SimDuration::from_secs_f64(1.0),
+                },
+            }],
+        );
+        let retry = RetryPolicy::default();
+        let mut router = RoundRobinRouter::default();
+        assert!(ClusterSim::run_with_faults(
+            base_config(EngineKind::Diffusers, BatchingPolicy::Static, 2),
+            &trace,
+            &mut router,
+            &plan,
+            &retry,
+        )
+        .is_err());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+
+        // The resilience contract: under ANY seeded fault plan, as
+        // long as one worker stays healthy often enough for retries,
+        // every request either completes or is explicitly rejected.
+        // Nothing is silently dropped.
+        #[test]
+        fn prop_no_silent_drops_under_chaos(
+            plan_seed in 0u64..10_000,
+            trace_seed in 0u64..1000,
+            workers in 1usize..4,
+            batching_idx in 0usize..3,
+        ) {
+            let batching = [
+                BatchingPolicy::Static,
+                BatchingPolicy::ContinuousNaive,
+                BatchingPolicy::ContinuousDisaggregated,
+            ][batching_idx];
+            let trace = small_trace(0.8, 30.0, trace_seed);
+            let n = trace.len();
+            let horizon = SimTime::from_nanos(60_000_000_000);
+            let plan = FaultPlan::random(plan_seed, horizon, workers, 4);
+            let retry = RetryPolicy::default();
+            let mut router = RoundRobinRouter::default();
+            let report = ClusterSim::run_with_faults(
+                base_config(EngineKind::FlashPs { kv: false }, batching, workers),
+                &trace,
+                &mut router,
+                &plan,
+                &retry,
+            )
+            .expect("run");
+            // Conservation: served + rejected covers every arrival,
+            // with no duplicates across the two sets.
+            proptest::prop_assert_eq!(report.outcomes.len() + report.rejected.len(), n);
+            let mut ids: Vec<u64> = report.outcomes.iter().map(|o| o.id).collect();
+            ids.extend(report.rejected.iter().map(|r| r.id));
+            ids.sort_unstable();
+            ids.dedup();
+            proptest::prop_assert_eq!(ids.len(), n);
+            for o in &report.outcomes {
+                proptest::prop_assert!(o.total.is_finite() && o.total >= 0.0);
+                proptest::prop_assert!(o.retries <= retry.max_retries);
+                proptest::prop_assert!(o.worker < workers);
+            }
+            for r in &report.rejected {
+                proptest::prop_assert!(r.retries <= retry.max_retries);
+            }
+            // Determinism: the same plan replays identically.
+            let mut router2 = RoundRobinRouter::default();
+            let replay = ClusterSim::run_with_faults(
+                base_config(EngineKind::FlashPs { kv: false }, batching, workers),
+                &trace,
+                &mut router2,
+                &plan,
+                &retry,
+            )
+            .expect("replay");
+            proptest::prop_assert_eq!(&report.outcomes, &replay.outcomes);
+            proptest::prop_assert_eq!(&report.rejected, &replay.rejected);
         }
     }
 

@@ -25,9 +25,11 @@ pub use cluster::{ClusterConfig, ClusterSim, RunReport};
 pub use cost::{CostModel, GpuSpec};
 pub use engine::EngineKind;
 pub use error::ServingError;
-pub use request::{RequestOutcome, SimRequest};
-pub use router::{LeastLoadedRouter, RoundRobinRouter, Router, TokenCountRouter, WorkerView};
-pub use worker::{BatchingPolicy, WorkerConfig};
+pub use request::{RejectReason, RejectedRequest, RequestOutcome, SimRequest};
+pub use router::{
+    HealthAwareRouter, LeastLoadedRouter, RoundRobinRouter, Router, TokenCountRouter, WorkerView,
+};
+pub use worker::{BatchingPolicy, WorkerConfig, WorkerHealth};
 
 /// Crate-wide result alias.
 pub type Result<T> = core::result::Result<T, ServingError>;

@@ -43,6 +43,13 @@ pub struct SimRequest {
     /// Interruptions suffered from CPU work under naive continuous
     /// batching (§6.4).
     pub interruptions: u32,
+    /// Retries consumed so far (crashes, drops, parked re-dispatch).
+    pub retries: u32,
+    /// Whether the cached template was lost or corrupt and this request
+    /// fell back to a full recompute (Diffusers-style, mask ratio 1).
+    pub fallback: bool,
+    /// Set when the request was explicitly rejected instead of served.
+    pub rejected: Option<RejectReason>,
 }
 
 impl SimRequest {
@@ -59,8 +66,53 @@ impl SimRequest {
             completed_at: None,
             processing_secs: 0.0,
             interruptions: 0,
+            retries: 0,
+            fallback: false,
+            rejected: None,
         }
     }
+
+    /// Resets transient progress for a fresh attempt after a crash or
+    /// drop. Accumulated processing seconds, interruptions, retries and
+    /// the fallback flag persist — they are real costs already paid.
+    pub fn reset_for_retry(&mut self, steps: usize) {
+        self.phase = Phase::Pending;
+        self.worker = usize::MAX;
+        self.steps_left = steps;
+        self.cache_ready_at = SimTime::ZERO;
+        self.batch_joined_at = None;
+        self.denoise_done_at = None;
+    }
+}
+
+/// Why a request was rejected instead of served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The per-request deadline elapsed before completion.
+    DeadlineExceeded,
+    /// The retry budget ran out.
+    RetriesExhausted,
+}
+
+impl RejectReason {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::DeadlineExceeded => "deadline-exceeded",
+            Self::RetriesExhausted => "retries-exhausted",
+        }
+    }
+}
+
+/// An explicitly rejected request — never a silent drop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RejectedRequest {
+    /// Request id from the trace.
+    pub id: u64,
+    /// Why it was rejected.
+    pub reason: RejectReason,
+    /// Retries it had consumed when rejected.
+    pub retries: u32,
 }
 
 /// Final accounting of one served request.
@@ -82,6 +134,10 @@ pub struct RequestOutcome {
     pub total: f64,
     /// Interruption count under naive continuous batching.
     pub interruptions: u32,
+    /// Retries consumed before the request completed.
+    pub retries: u32,
+    /// Whether the request was served via full-recompute fallback.
+    pub fallback: bool,
 }
 
 impl SimRequest {
@@ -103,6 +159,8 @@ impl SimRequest {
             inference,
             total,
             interruptions: self.interruptions,
+            retries: self.retries,
+            fallback: self.fallback,
         })
     }
 }

@@ -9,12 +9,14 @@
 use fps_simtime::SimTime;
 use fps_workload::RequestSpec;
 
-use crate::worker::OutstandingReq;
+use crate::worker::{OutstandingReq, WorkerHealth};
 
 /// What a router sees of each worker when placing a request.
 #[derive(Debug, Clone)]
 pub struct WorkerView {
-    /// Worker id (its index).
+    /// Worker id. Views are not necessarily a dense index range — a
+    /// health-aware wrapper hands policies a filtered slice — so
+    /// policies must return an `id` from the slice, never a position.
     pub id: usize,
     /// Outstanding requests: running batch plus ready/pending queue.
     pub outstanding: Vec<OutstandingReq>,
@@ -22,15 +24,37 @@ pub struct WorkerView {
     pub max_batch: usize,
     /// Total tokens of the served model (for token-count scoring).
     pub model_tokens: usize,
+    /// Current health of the worker.
+    pub health: WorkerHealth,
 }
 
 /// A request routing policy.
 pub trait Router {
-    /// Chooses a worker index for the request.
+    /// Chooses a worker id (from the given views) for the request.
     fn route(&mut self, req: &RequestSpec, workers: &[WorkerView], now: SimTime) -> usize;
 
     /// Policy name for experiment output.
     fn name(&self) -> &'static str;
+}
+
+impl<R: Router + ?Sized> Router for &mut R {
+    fn route(&mut self, req: &RequestSpec, workers: &[WorkerView], now: SimTime) -> usize {
+        (**self).route(req, workers, now)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<R: Router + ?Sized> Router for Box<R> {
+    fn route(&mut self, req: &RequestSpec, workers: &[WorkerView], now: SimTime) -> usize {
+        (**self).route(req, workers, now)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
 }
 
 /// Round-robin placement, ignoring load entirely.
@@ -41,7 +65,10 @@ pub struct RoundRobinRouter {
 
 impl Router for RoundRobinRouter {
     fn route(&mut self, _req: &RequestSpec, workers: &[WorkerView], _now: SimTime) -> usize {
-        let w = self.next % workers.len().max(1);
+        if workers.is_empty() {
+            return 0;
+        }
+        let w = workers[self.next % workers.len()].id;
         self.next = self.next.wrapping_add(1);
         w
     }
@@ -96,6 +123,55 @@ impl Router for TokenCountRouter {
     }
 }
 
+/// Health-aware wrapper: hides down workers from the inner policy so
+/// any of the three baselines (and Algorithm 2) composes with fault
+/// injection unchanged.
+///
+/// When every worker is down the wrapper routes over the full slice —
+/// the caller (cluster simulator or server) is responsible for parking
+/// or retrying requests it sent to a down worker.
+#[derive(Debug)]
+pub struct HealthAwareRouter<R> {
+    inner: R,
+}
+
+impl<R: Router> HealthAwareRouter<R> {
+    /// Wraps a routing policy.
+    pub fn new(inner: R) -> Self {
+        Self { inner }
+    }
+
+    /// The wrapped policy.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+}
+
+impl<R: Router> Router for HealthAwareRouter<R> {
+    fn route(&mut self, req: &RequestSpec, workers: &[WorkerView], now: SimTime) -> usize {
+        let available: Vec<WorkerView> = workers
+            .iter()
+            .filter(|w| w.health.is_available())
+            .cloned()
+            .collect();
+        if available.is_empty() {
+            return self.inner.route(req, workers, now);
+        }
+        let choice = self.inner.route(req, &available, now);
+        if available.iter().any(|w| w.id == choice) {
+            choice
+        } else {
+            // Defensive: a policy that returned a hidden id gets the
+            // first available worker instead.
+            available[0].id
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
 /// Total outstanding masked tokens on a worker.
 pub fn outstanding_tokens(w: &WorkerView) -> f64 {
     w.outstanding
@@ -132,6 +208,7 @@ mod tests {
                 .collect(),
             max_batch: 8,
             model_tokens: 4096,
+            health: WorkerHealth::Healthy,
         }
     }
 
@@ -167,5 +244,54 @@ mod tests {
         let mut r = LeastLoadedRouter;
         let ws = vec![view(0, &[]), view(1, &[])];
         assert_eq!(r.route(&spec(), &ws, SimTime::ZERO), 0);
+    }
+
+    #[test]
+    fn round_robin_returns_ids_not_positions() {
+        // A filtered slice with sparse ids: positions would be 0/1,
+        // ids are 3 and 7.
+        let mut r = RoundRobinRouter::default();
+        let ws = vec![view(3, &[]), view(7, &[])];
+        let picks: Vec<usize> = (0..4).map(|_| r.route(&spec(), &ws, SimTime::ZERO)).collect();
+        assert_eq!(picks, vec![3, 7, 3, 7]);
+    }
+
+    #[test]
+    fn health_aware_wrapper_skips_down_workers() {
+        let mut ws = vec![view(0, &[]), view(1, &[]), view(2, &[])];
+        ws[0].health = WorkerHealth::Down;
+        ws[1].health = WorkerHealth::Degraded;
+
+        let mut rr = HealthAwareRouter::new(RoundRobinRouter::default());
+        let picks: Vec<usize> = (0..4).map(|_| rr.route(&spec(), &ws, SimTime::ZERO)).collect();
+        assert_eq!(picks, vec![1, 2, 1, 2], "down worker 0 never chosen");
+
+        let mut ll = HealthAwareRouter::new(LeastLoadedRouter);
+        assert_eq!(ll.route(&spec(), &ws, SimTime::ZERO), 1);
+        assert_eq!(ll.name(), "request-count");
+
+        let mut tc = HealthAwareRouter::new(TokenCountRouter);
+        assert_eq!(tc.route(&spec(), &ws, SimTime::ZERO), 1);
+    }
+
+    #[test]
+    fn health_aware_wrapper_composes_with_boxed_policies() {
+        let boxed: Box<dyn Router> = Box::new(RoundRobinRouter::default());
+        let mut r = HealthAwareRouter::new(boxed);
+        let mut ws = vec![view(0, &[]), view(1, &[])];
+        ws[1].health = WorkerHealth::Down;
+        for _ in 0..3 {
+            assert_eq!(r.route(&spec(), &ws, SimTime::ZERO), 0);
+        }
+    }
+
+    #[test]
+    fn all_down_falls_back_to_inner_choice() {
+        let mut ws = vec![view(0, &[]), view(1, &[])];
+        ws[0].health = WorkerHealth::Down;
+        ws[1].health = WorkerHealth::Down;
+        let mut r = HealthAwareRouter::new(LeastLoadedRouter);
+        let pick = r.route(&spec(), &ws, SimTime::ZERO);
+        assert!(pick == 0 || pick == 1);
     }
 }

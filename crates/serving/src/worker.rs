@@ -78,6 +78,34 @@ pub enum CpuTask {
     Post(usize),
 }
 
+/// Health of a worker as seen by routing and fault handling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorkerHealth {
+    /// Serving at nominal speed.
+    #[default]
+    Healthy,
+    /// Serving, but slower than nominal (transient slowdown).
+    Degraded,
+    /// Crashed; takes no traffic until restart.
+    Down,
+}
+
+impl WorkerHealth {
+    /// Whether the worker can accept traffic.
+    pub fn is_available(self) -> bool {
+        !matches!(self, Self::Down)
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Healthy => "healthy",
+            Self::Degraded => "degraded",
+            Self::Down => "down",
+        }
+    }
+}
+
 /// Mutable state of one worker during simulation.
 #[derive(Debug)]
 pub struct WorkerState {
@@ -103,6 +131,15 @@ pub struct WorkerState {
     pub steps_executed: u64,
     /// Busy seconds accumulated on the GPU.
     pub busy_secs: f64,
+    /// Current health (fault injection flips this).
+    pub health: WorkerHealth,
+    /// Step-latency multiplier while degraded (1.0 when healthy).
+    pub slow_factor: f64,
+    /// Incremented on every crash; completion events stamped with an
+    /// older epoch belong to a dead incarnation and are ignored.
+    pub epoch: u64,
+    /// Crashes suffered so far.
+    pub crashes: u64,
 }
 
 impl WorkerState {
@@ -120,6 +157,10 @@ impl WorkerState {
             total_assigned: 0,
             steps_executed: 0,
             busy_secs: 0.0,
+            health: WorkerHealth::Healthy,
+            slow_factor: 1.0,
+            epoch: 0,
+            crashes: 0,
         }
     }
 

@@ -1,0 +1,269 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset this workspace's benches use: `Criterion`
+//! with `bench_function`/`benchmark_group`, `BenchmarkGroup` with
+//! `bench_with_input`/`sample_size`/`finish`, `Bencher::iter` and
+//! `iter_batched`, `BenchmarkId::from_parameter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros (both the list form and
+//! the `name =/config =/targets =` form). Instead of criterion's
+//! statistical analysis it times a fixed number of samples and prints
+//! mean/min/max per benchmark, which is enough to eyeball regressions
+//! offline.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Controls how much setup output `iter_batched` pre-builds per batch.
+/// The distinction is irrelevant for this shim; every batch is one
+/// iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark label, usually built from the swept parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Label derived from one parameter value.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// Label with an explicit function name and parameter.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            durations: Vec::with_capacity(samples),
+        }
+    }
+
+    /// Times `routine` once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.durations.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.durations.is_empty() {
+            println!("bench {label:<40} no samples recorded");
+            return;
+        }
+        let total: Duration = self.durations.iter().sum();
+        let mean = total / self.durations.len() as u32;
+        let min = self.durations.iter().min().copied().unwrap_or_default();
+        let max = self.durations.iter().max().copied().unwrap_or_default();
+        println!(
+            "bench {label:<40} mean {mean:>12?}  min {min:>12?}  max {max:>12?}  ({} samples)",
+            self.durations.len()
+        );
+    }
+}
+
+/// A named set of related benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.samples);
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Runs one unparameterized benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.samples);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Ends the group. Reporting already happened per benchmark.
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to each benchmark function.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default sample count for subsequent benchmarks.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.samples);
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.samples;
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+            _criterion: self,
+        }
+    }
+
+    /// Hook kept for API compatibility; config is already final here.
+    pub fn final_summary(&self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut criterion: $crate::Criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        c.bench_function("tiny_sum", |b| b.iter(|| (0u64..100).sum::<u64>()));
+    }
+
+    fn grouped(c: &mut Criterion) {
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(3);
+        for n in [4u64, 8] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter_batched(
+                    || (0..n).collect::<Vec<u64>>(),
+                    |v| v.iter().sum::<u64>(),
+                    BatchSize::SmallInput,
+                );
+            });
+        }
+        group.finish();
+    }
+
+    criterion_group!(list_form, tiny, grouped);
+    criterion_group! {
+        name = config_form;
+        config = Criterion::default().sample_size(2);
+        targets = tiny
+    }
+
+    #[test]
+    fn groups_run_without_panicking() {
+        list_form();
+        config_form();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(0.25).to_string(), "0.25");
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+}

@@ -1,0 +1,335 @@
+//! MPMC channels with crossbeam-compatible disconnection semantics.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when every receiver is gone; the
+/// unsent value is handed back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> SendError<T> {
+    /// Recovers the value that could not be sent.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// every sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message is currently queued.
+    Empty,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with no message.
+    Timeout,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when a message arrives or the side counts change.
+    readable: Condvar,
+    /// Signalled when capacity frees up (bounded channels).
+    writable: Condvar,
+    capacity: Option<usize>,
+}
+
+/// The sending half of a channel; cloneable.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The receiving half of a channel; cloneable (MPMC).
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Creates a channel with unbounded capacity.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+/// Creates a channel holding at most `cap` queued messages (a zero
+/// capacity is promoted to one; true rendezvous channels are not
+/// needed by this workspace).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(Some(cap.max(1)))
+}
+
+fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        readable: Condvar::new(),
+        writable: Condvar::new(),
+        capacity,
+    });
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
+}
+
+fn lock<T>(chan: &Chan<T>) -> std::sync::MutexGuard<'_, State<T>> {
+    chan.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl<T> Sender<T> {
+    /// Sends a message, blocking while a bounded channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] with the value when every receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = lock(&self.chan);
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            let full = self
+                .chan
+                .capacity
+                .is_some_and(|cap| st.queue.len() >= cap);
+            if !full {
+                st.queue.push_back(value);
+                self.chan.readable.notify_one();
+                return Ok(());
+            }
+            st = self
+                .chan
+                .writable
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        lock(&self.chan).senders += 1;
+        Self {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = lock(&self.chan);
+        st.senders -= 1;
+        if st.senders == 0 {
+            self.chan.readable.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] when the channel is drained and every
+    /// sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = lock(&self.chan);
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                self.chan.writable.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self
+                .chan
+                .readable
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Blocks until a message arrives or `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] on expiry,
+    /// [`RecvTimeoutError::Disconnected`] when drained with no senders.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = lock(&self.chan);
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                self.chan.writable.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, res) = self
+                .chan
+                .readable
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+            if res.timed_out() && st.queue.is_empty() {
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Takes a queued message without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] when nothing is queued,
+    /// [`TryRecvError::Disconnected`] when drained with no senders.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = lock(&self.chan);
+        if let Some(v) = st.queue.pop_front() {
+            self.chan.writable.notify_one();
+            return Ok(v);
+        }
+        if st.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        lock(&self.chan).queue.len()
+    }
+
+    /// Whether no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        lock(&self.chan).receivers += 1;
+        Self {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = lock(&self.chan);
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            self.chan.writable.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_round_trip() {
+        let (tx, rx) = unbounded();
+        tx.send(5).unwrap();
+        tx.send(6).unwrap();
+        assert_eq!(rx.recv(), Ok(5));
+        assert_eq!(rx.try_recv(), Ok(6));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_when_senders_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1), "queued messages drain first");
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (tx, rx) = unbounded::<u32>();
+        let err = rx.recv_timeout(Duration::from_millis(10));
+        assert_eq!(err, Err(RecvTimeoutError::Timeout));
+        tx.send(3).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(3));
+    }
+
+    #[test]
+    fn cross_thread_mpmc() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        let producer = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let consumer = std::thread::spawn(move || {
+            let mut got = 0;
+            while rx2.recv().is_ok() {
+                got += 1;
+            }
+            got
+        });
+        let mut got = 0;
+        while rx.recv().is_ok() {
+            got += 1;
+        }
+        producer.join().unwrap();
+        got += consumer.join().unwrap();
+        assert_eq!(got, 100);
+    }
+
+    #[test]
+    fn bounded_blocks_until_space() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2).unwrap());
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        t.join().unwrap();
+    }
+}

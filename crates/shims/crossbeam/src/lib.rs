@@ -1,0 +1,9 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides [`channel`] — cloneable MPMC channels with disconnection
+//! semantics matching crossbeam 0.8: `recv` fails once every sender is
+//! gone and the queue is drained; `send` fails once every receiver is
+//! gone. Built on `std::sync` primitives, so no external code is
+//! required.
+
+pub mod channel;

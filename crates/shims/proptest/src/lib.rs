@@ -1,0 +1,225 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace uses: the [`proptest!`] macro
+//! (with an optional `#![proptest_config(...)]` header), numeric range
+//! and tuple strategies, [`collection::vec`], and the `prop_assert*`
+//! macros. Cases are sampled deterministically — the RNG stream is
+//! derived from the test's module path and the case index — so a
+//! failure reproduces on every run. Shrinking is not implemented; the
+//! failing inputs are printed instead.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod bool {
+    //! Boolean strategies (`proptest::bool::ANY`).
+
+    /// Strategy yielding uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl crate::strategy::Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut crate::test_runner::TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod prelude {
+    //! Common imports, mirroring `proptest::prelude`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Runs property-test functions over sampled inputs.
+///
+/// Supported grammar (the subset used by this workspace):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     #[test]
+///     fn prop_name(x in 0u64..100, v in proptest::collection::vec(0.0f64..1.0, 2..64)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $(#[test] fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut __pt_rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    let __pt_vals = ($($crate::strategy::Strategy::sample(&($strat), &mut __pt_rng),)+);
+                    let __pt_inputs = format!(
+                        concat!("(", $(stringify!($pat), ", ",)+ ") = {:?}"),
+                        &__pt_vals
+                    );
+                    let ($($pat,)+) = __pt_vals;
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::test_runner::TestCaseError::Reject(r)) => {
+                            // Treat rejected cases as skipped, like upstream.
+                            let _ = r;
+                        }
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case {}/{} failed: {}\n  inputs: {}",
+                                case + 1, config.cases, msg, __pt_inputs,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case with a message unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Fails the current case if both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// Skips the current case unless the assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Reject(stringify!($cond)),
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u64..100, y in -1.0f64..1.0) {
+            prop_assert!(x < 100);
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn configured_cases_and_collections(
+            mut v in crate::collection::vec(0usize..10, 2..6),
+            t in (0u32..4, 0.5f32..1.5),
+        ) {
+            v.sort_unstable();
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 10));
+            prop_assert!(t.0 < 4);
+            prop_assert_ne!(t.1, 2.0);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u8..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            let config = ProptestConfig::with_cases(3);
+            for case in 0..config.cases {
+                let mut rng = crate::test_runner::TestRng::for_case("demo", case);
+                let x = Strategy::sample(&(0u64..10), &mut rng);
+                let r: Result<(), crate::test_runner::TestCaseError> = (|| {
+                    prop_assert!(x > 100, "x was {}", x);
+                    Ok(())
+                })();
+                if let Err(crate::test_runner::TestCaseError::Fail(m)) = r {
+                    panic!("case failed: {m}");
+                }
+            }
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn same_case_same_inputs() {
+        let mut a = crate::test_runner::TestRng::for_case("t", 3);
+        let mut b = crate::test_runner::TestRng::for_case("t", 3);
+        assert_eq!(
+            Strategy::sample(&(0u64..1000), &mut a),
+            Strategy::sample(&(0u64..1000), &mut b)
+        );
+        let mut c = crate::test_runner::TestRng::for_case("t", 4);
+        let _ = Strategy::sample(&(0u64..1000), &mut c);
+    }
+}

@@ -1,0 +1,98 @@
+//! Case execution support: config, RNG, and case errors.
+
+/// Configuration of a `proptest!` block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases sampled per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` samples per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 48 keeps the offline suite fast
+        // while still exploring the input space.
+        Self { cases: 48 }
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assumption failed; the case is skipped, not failed.
+    Reject(&'static str),
+    /// A `prop_assert*` failed with this message.
+    Fail(String),
+}
+
+/// Deterministic per-case RNG (splitmix64 over a name/case digest).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Derives the RNG for one case of one property.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        let mut state = 0xD6E8_FEB8_6659_FD93u64 ^ u64::from(case).wrapping_mul(0x2545_F491_4F6C_DD1D);
+        for chunk in name.as_bytes().chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            state ^= u64::from_le_bytes(word);
+            state = Self::mix(state);
+        }
+        Self {
+            state: Self::mix(state),
+        }
+    }
+
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform double in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_cases_distinct_streams() {
+        let a = TestRng::for_case("x", 0).next_u64();
+        let b = TestRng::for_case("x", 1).next_u64();
+        let c = TestRng::for_case("y", 0).next_u64();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn unit_is_in_range() {
+        let mut rng = TestRng::for_case("unit", 0);
+        for _ in 0..1000 {
+            let u = rng.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Deterministic randomness and timing for fault injection.
+//!
+//! Chaos experiments need fault times and coin flips that (a) depend
+//! only on the experiment seed, never on platform or iteration order,
+//! and (b) stay stable when one consumer draws more values — adding a
+//! disk-fault stream must not shift the worker-crash stream. Both
+//! properties come from named streams: each [`FaultRng`] derives its
+//! state from `(seed, stream name)`, so every fault source owns an
+//! independent deterministic sequence.
+
+use crate::time::{SimDuration, SimTime};
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A named deterministic random stream (xoshiro256++ seeded from a
+/// digest of the experiment seed and the stream name).
+#[derive(Debug, Clone)]
+pub struct FaultRng {
+    s: [u64; 4],
+}
+
+impl FaultRng {
+    /// Derives the stream for `(seed, stream)`.
+    pub fn new(seed: u64, stream: &str) -> Self {
+        let mut state = seed ^ 0xA076_1D64_78BD_642F;
+        for chunk in stream.as_bytes().chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            state ^= u64::from_le_bytes(word);
+            let _ = splitmix64(&mut state);
+        }
+        let mut s = [0u64; 4];
+        for lane in &mut s {
+            *lane = splitmix64(&mut state);
+        }
+        // xoshiro must not start from the all-zero state.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = (self.s[0].wrapping_add(self.s[3]))
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform double in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform double in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit_f64()
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "FaultRng::below(0)");
+        self.next_u64() % n
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+
+    /// Exponential duration with the given mean (inverse-CDF over a
+    /// `(0, 1]` uniform so the logarithm stays finite).
+    pub fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
+        let u = 1.0 - self.unit_f64();
+        SimDuration::from_secs_f64(-mean.as_secs_f64() * u.ln())
+    }
+}
+
+/// A deterministic clock of fault instants: exponential inter-arrival
+/// times with a fixed mean, drawn from one named stream.
+#[derive(Debug, Clone)]
+pub struct FaultClock {
+    rng: FaultRng,
+    mean_interval: SimDuration,
+    next: SimTime,
+}
+
+impl FaultClock {
+    /// A Poisson-like fault clock starting at the epoch.
+    pub fn new(seed: u64, stream: &str, mean_interval: SimDuration) -> Self {
+        let mut clock = Self {
+            rng: FaultRng::new(seed, stream),
+            mean_interval,
+            next: SimTime::ZERO,
+        };
+        clock.advance();
+        clock
+    }
+
+    /// The next fault instant, if it falls before `horizon`.
+    pub fn next_before(&mut self, horizon: SimTime) -> Option<SimTime> {
+        if self.next >= horizon {
+            return None;
+        }
+        let at = self.next;
+        self.advance();
+        Some(at)
+    }
+
+    /// The stream's RNG, for drawing fault parameters alongside times.
+    pub fn rng(&mut self) -> &mut FaultRng {
+        &mut self.rng
+    }
+
+    fn advance(&mut self) {
+        let gap = self.rng.exp_duration(self.mean_interval);
+        // Strictly advance so a zero-length gap cannot stall the clock.
+        self.next = self.next + gap + SimDuration::from_nanos(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_independent() {
+        let mut a = FaultRng::new(7, "crash");
+        let mut b = FaultRng::new(7, "crash");
+        let mut c = FaultRng::new(7, "disk");
+        let mut d = FaultRng::new(8, "crash");
+        let (xa, xb, xc, xd) = (a.next_u64(), b.next_u64(), c.next_u64(), d.next_u64());
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+        assert_ne!(xa, xd);
+    }
+
+    #[test]
+    fn chance_tracks_probability() {
+        let mut rng = FaultRng::new(1, "p");
+        let hits = (0..20_000).filter(|_| rng.chance(0.3)).count();
+        assert!((hits as f64 / 20_000.0 - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn exp_durations_have_the_requested_mean() {
+        let mut rng = FaultRng::new(2, "exp");
+        let mean = SimDuration::from_secs_f64(4.0);
+        let n = 20_000;
+        let total: f64 = (0..n)
+            .map(|_| rng.exp_duration(mean).as_secs_f64())
+            .sum();
+        assert!((total / n as f64 - 4.0).abs() < 0.2, "{}", total / n as f64);
+    }
+
+    #[test]
+    fn clock_yields_increasing_times_under_horizon() {
+        let horizon = SimTime::from_nanos(60_000_000_000);
+        let mut clock = FaultClock::new(3, "clock", SimDuration::from_secs_f64(5.0));
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some(at) = clock.next_before(horizon) {
+            assert!(at > last || (count == 0 && at >= last));
+            assert!(at < horizon);
+            last = at;
+            count += 1;
+        }
+        assert!(count > 2, "expected several faults in 60 s, got {count}");
+
+        // Same seed, same schedule.
+        let mut again = FaultClock::new(3, "clock", SimDuration::from_secs_f64(5.0));
+        assert_eq!(again.next_before(horizon), {
+            let mut c = FaultClock::new(3, "clock", SimDuration::from_secs_f64(5.0));
+            c.next_before(horizon)
+        });
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut rng = FaultRng::new(4, "below");
+        for _ in 0..1000 {
+            assert!(rng.below(3) < 3);
+        }
+    }
+}

@@ -14,11 +14,13 @@
 //!   workload model used throughout §6 of the paper.
 
 pub mod event;
+pub mod fault;
 pub mod poisson;
 pub mod resource;
 pub mod time;
 
 pub use event::{EventHandler, EventQueue, Simulation};
+pub use fault::{FaultClock, FaultRng};
 pub use poisson::PoissonArrivals;
 pub use resource::{MultiResource, Resource};
 pub use time::{SimDuration, SimTime};

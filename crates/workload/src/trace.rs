@@ -1,9 +1,9 @@
 //! Request traces: Poisson arrivals, trace-matched mask ratios, and
 //! Zipf template popularity.
 
+use fps_json::{required, Json, ToJson};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use fps_simtime::{PoissonArrivals, SimTime};
 
@@ -11,7 +11,7 @@ use crate::mask::MaskShape;
 use crate::ratio::RatioDistribution;
 
 /// One request in a trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RequestSpec {
     /// Monotone request id.
     pub id: u64,
@@ -32,10 +32,40 @@ impl RequestSpec {
     pub fn arrival(&self) -> SimTime {
         SimTime::from_nanos(self.arrival_ns)
     }
+
+    fn from_json(value: &Json) -> core::result::Result<Self, String> {
+        let field_u64 = |key: &str| {
+            required(value, key)?
+                .as_u64()
+                .ok_or_else(|| format!("field `{key}` is not an unsigned integer"))
+        };
+        Ok(Self {
+            id: field_u64("id")?,
+            arrival_ns: field_u64("arrival_ns")?,
+            template_id: field_u64("template_id")?,
+            mask_ratio: required(value, "mask_ratio")?
+                .as_f64()
+                .ok_or_else(|| "field `mask_ratio` is not a number".to_string())?,
+            mask_shape: MaskShapeSpec::from_json(required(value, "mask_shape")?)?,
+            seed: field_u64("seed")?,
+        })
+    }
+}
+
+impl ToJson for RequestSpec {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("id", self.id)
+            .with("arrival_ns", self.arrival_ns)
+            .with("template_id", self.template_id)
+            .with("mask_ratio", self.mask_ratio)
+            .with("mask_shape", self.mask_shape.name())
+            .with("seed", self.seed)
+    }
 }
 
 /// Serializable mirror of [`MaskShape`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MaskShapeSpec {
     /// Axis-aligned rectangle.
     Rect,
@@ -43,6 +73,27 @@ pub enum MaskShapeSpec {
     Ellipse,
     /// Irregular blob.
     Blob,
+}
+
+impl MaskShapeSpec {
+    /// Variant name, used as the JSON encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Rect => "Rect",
+            Self::Ellipse => "Ellipse",
+            Self::Blob => "Blob",
+        }
+    }
+
+    fn from_json(value: &Json) -> core::result::Result<Self, String> {
+        match value.as_str() {
+            Some("Rect") => Ok(Self::Rect),
+            Some("Ellipse") => Ok(Self::Ellipse),
+            Some("Blob") => Ok(Self::Blob),
+            Some(other) => Err(format!("unknown mask shape `{other}`")),
+            None => Err("field `mask_shape` is not a string".to_string()),
+        }
+    }
 }
 
 impl From<MaskShapeSpec> for MaskShape {
@@ -198,7 +249,7 @@ impl Trace {
     /// Returns the serializer's message on failure (should not happen
     /// for well-formed traces).
     pub fn to_json(&self) -> core::result::Result<String, String> {
-        serde_json::to_string(&self.requests).map_err(|e| e.to_string())
+        Ok(self.requests.to_json().to_string_compact())
     }
 
     /// Deserializes a trace previously produced by [`Trace::to_json`].
@@ -207,8 +258,14 @@ impl Trace {
     ///
     /// Returns the parser's message for malformed input.
     pub fn from_json(json: &str) -> core::result::Result<Self, String> {
-        let requests: Vec<RequestSpec> =
-            serde_json::from_str(json).map_err(|e| e.to_string())?;
+        let parsed = Json::parse(json)?;
+        let items = parsed
+            .as_array()
+            .ok_or_else(|| "trace JSON is not an array".to_string())?;
+        let requests = items
+            .iter()
+            .map(RequestSpec::from_json)
+            .collect::<core::result::Result<Vec<_>, _>>()?;
         Ok(Self { requests })
     }
 

@@ -70,6 +70,7 @@ fn main() {
         ServerConfig {
             workers: 2,
             max_batch: 4,
+            ..ServerConfig::default()
         },
     );
     let serve_start = Instant::now();
