@@ -73,6 +73,7 @@ impl EvalSetup {
             cpu_workers: 4,
             store: StoreConfig::production_like(),
             scheduler_overhead: SimDuration::from_micros(600),
+            overload: None,
         })
     }
 }

@@ -15,9 +15,10 @@ use fps_workload::trace::ArrivalProcess;
 use fps_workload::{RatioDistribution, Trace, TraceConfig};
 
 fn main() {
-    let setup = &eval_setup()[1]; // SDXL on H800.
-    // Each baseline is driven near its own saturation point (their
-    // capacities differ ~2×), where batching policy matters most.
+    // SDXL on H800. Each baseline is driven near its own saturation
+    // point (their capacities differ ~2×), where batching policy
+    // matters most.
+    let setup = &eval_setup()[1];
     let trace_at = |rps: f64| {
         Trace::generate(&TraceConfig {
             rps,

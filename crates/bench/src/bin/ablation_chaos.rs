@@ -1,8 +1,9 @@
 //! Chaos ablation — serving resilience under injected faults.
 //!
 //! Replays the same Poisson trace through the cluster simulator under
-//! the three canonical fault profiles (baseline / worker-crash /
-//! cache-loss+slow-disk) and reports a [`DegradationReport`] per
+//! the canonical fault profiles (baseline, worker-crash,
+//! cache-loss+slow-disk, overload-burst, disk-brownout) and reports a
+//! [`DegradationReport`] per
 //! profile: goodput, P95, retries, fallback rate, and the conservation
 //! check that no request was silently lost.
 //!
@@ -17,8 +18,8 @@ use fps_diffusion::ModelConfig;
 use fps_json::ToJson;
 use fps_metrics::{DegradationReport, Table};
 use fps_serving::cluster::{ClusterConfig, ClusterSim, RunReport};
-use fps_serving::{CostModel, GpuSpec};
 use fps_serving::router::LeastLoadedRouter;
+use fps_serving::{CostModel, GpuSpec};
 use fps_simtime::SimTime;
 use fps_workload::trace::ArrivalProcess;
 use fps_workload::{RatioDistribution, Trace, TraceConfig};
@@ -30,7 +31,8 @@ fn degradation(profile: &str, submitted: u64, report: &RunReport) -> Degradation
         profile: profile.to_string(),
         submitted,
         served: report.outcomes.len() as u64,
-        rejected: report.rejected.len() as u64,
+        rejected: report.rejected.len() as u64 - report.shed,
+        shed: report.shed,
         goodput_rps: report.goodput_rps(),
         mean_latency_secs: report.mean_latency(),
         p95_latency_secs: report.p95_latency(),
@@ -127,8 +129,5 @@ fn main() {
     out.push_str("\nConservation held on every profile: served + rejected == submitted.\n");
     println!("{out}");
     save_artifact("ablation_chaos.txt", &out);
-    save_artifact(
-        "ablation_chaos.json",
-        &reports.to_json().to_string_pretty(),
-    );
+    save_artifact("ablation_chaos.json", &reports.to_json().to_string_pretty());
 }

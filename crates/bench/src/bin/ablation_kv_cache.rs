@@ -64,7 +64,11 @@ fn main() {
     // SSIM ≈ 0.99.)
     let cfg = ModelConfig::flux_like();
     let mut system = system_for(cfg.clone(), 1);
-    system.register_template(0, &fps_diffusion::Image::template(cfg.pixel_h(), cfg.pixel_w(), 5))
+    system
+        .register_template(
+            0,
+            &fps_diffusion::Image::template(cfg.pixel_h(), cfg.pixel_w(), 5),
+        )
         .expect("register");
     let mask = mask_for(&cfg, 0.2, MaskShape::Rect, 7);
     let plan = vec![true; cfg.blocks];
@@ -85,7 +89,10 @@ fn main() {
     kv_config.capture_kv = true;
     let mut kv_system = flashps::FlashPs::new(kv_config).expect("system");
     kv_system
-        .register_template(0, &fps_diffusion::Image::template(cfg.pixel_h(), cfg.pixel_w(), 5))
+        .register_template(
+            0,
+            &fps_diffusion::Image::template(cfg.pixel_h(), cfg.pixel_w(), 5),
+        )
         .expect("register");
     let kv_out = kv_system
         .edit_with_strategy(

@@ -11,14 +11,7 @@ use fps_serving::profiler::fit_latency_model;
 
 fn main() {
     let mut out = String::from("Fig. 11 reproduction: latency regression models\n\n");
-    let mut table = Table::new(&[
-        "model/gpu",
-        "signal",
-        "slope",
-        "intercept",
-        "R^2",
-        "points",
-    ]);
+    let mut table = Table::new(&["model/gpu", "signal", "slope", "intercept", "R^2", "points"]);
     let mut scatter = String::new();
     for setup in eval_setup() {
         let cm = setup.cost_model();
@@ -39,13 +32,18 @@ fn main() {
             format!("{:.4}", model.load.r2),
             format!("{}", load_pts.len()),
         ]);
-        scatter.push_str(&format!("\n== {} on {}: compute scatter (TFLOPs, seconds) ==\n", cm.model.name, cm.gpu.name));
+        scatter.push_str(&format!(
+            "\n== {} on {}: compute scatter (TFLOPs, seconds) ==\n",
+            cm.model.name, cm.gpu.name
+        ));
         for (x, y) in comp_pts.iter().step_by(5) {
             scatter.push_str(&format!("  {x:8.3} {y:8.4}\n"));
         }
     }
     out.push_str(&table.render());
-    out.push_str("\nPaper: R^2 = 0.99 (\"the models can predict performance almost perfectly\").\n");
+    out.push_str(
+        "\nPaper: R^2 = 0.99 (\"the models can predict performance almost perfectly\").\n",
+    );
     out.push_str(&scatter);
     println!("{out}");
     save_artifact("fig11_regression.txt", &out);

@@ -69,7 +69,10 @@ fn main() {
             .edit_with_strategy(0, &mask, prompt, seed, &strategy)
             .expect("edit");
         let s = ssim(&out.image, &reference.image).expect("ssim");
-        save_binary_artifact(&format!("fig13_{}.ppm", sys_kind.label()), &out.image.to_ppm());
+        save_binary_artifact(
+            &format!("fig13_{}.ppm", sys_kind.label()),
+            &out.image.to_ppm(),
+        );
         table.row(&[
             sys_kind.label().into(),
             format!("{s:.3}"),

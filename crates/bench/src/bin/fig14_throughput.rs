@@ -81,7 +81,10 @@ fn main() {
             "B=1: flashps/teacache = {b1_ratio:.2}x (paper: < 1 without batching); \
              B=8: flashps/diffusers = {b8_ratio:.2}x (paper: up to 3x).\n",
         ));
-        assert!(crossover_seen, "flashps must overtake teacache with batching");
+        assert!(
+            crossover_seen,
+            "flashps must overtake teacache with batching"
+        );
         let series: Vec<Series> = curves
             .into_iter()
             .map(|(n, pts)| Series::new(n, pts))

@@ -84,7 +84,10 @@ fn main() {
             ]);
         }
     }
-    out.push_str(&format!("== image level (cost model) ==\n{}", table.render()));
+    out.push_str(&format!(
+        "== image level (cost model) ==\n{}",
+        table.render()
+    ));
 
     // Reference point: speedups at m = 0.2.
     let mut line = String::from("speedup at m=0.2: ");

@@ -17,9 +17,9 @@ use fps_workload::{RatioDistribution, Trace, TraceConfig};
 
 fn main() {
     let setup = &eval_setup()[2]; // Flux on H800, per the paper.
-    // The paper drives one Flux worker at RPS 0.5; our calibrated Flux
-    // worker saturates near 0.28 req/s, so the equivalent operating
-    // point (~80% utilization) is RPS 0.22.
+                                  // The paper drives one Flux worker at RPS 0.5; our calibrated Flux
+                                  // worker saturates near 0.28 req/s, so the equivalent operating
+                                  // point (~80% utilization) is RPS 0.22.
     let trace = Trace::generate(&TraceConfig {
         rps: 0.2,
         arrivals: fps_workload::trace::ArrivalProcess::Poisson,
@@ -46,7 +46,9 @@ fn main() {
         BatchingPolicy::ContinuousNaive,
         BatchingPolicy::ContinuousDisaggregated,
     ] {
-        let mut cfg = setup.cluster_config(SystemKind::FlashPs, 1).expect("supported");
+        let mut cfg = setup
+            .cluster_config(SystemKind::FlashPs, 1)
+            .expect("supported");
         cfg.batching = policy;
         let mut router = fps_serving::LeastLoadedRouter;
         let report = ClusterSim::run(cfg, &trace, &mut router).expect("run");
@@ -77,11 +79,7 @@ fn main() {
         .find(|(l, _)| *l == "disagg-cb")
         .map(|(_, v)| *v)
         .expect("present");
-    let mut final_table = Table::new(&[
-        "batching",
-        "p95-req(s)",
-        "vs-disagg",
-    ]);
+    let mut final_table = Table::new(&["batching", "p95-req(s)", "vs-disagg"]);
     for (label, v) in &p95s {
         final_table.row(&[
             label.to_string(),

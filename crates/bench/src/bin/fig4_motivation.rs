@@ -23,7 +23,13 @@ fn panel_loading() -> String {
     let mut out = String::from("Fig. 4-left: request inference latency by loading method\n");
     let setup = &eval_setup()[1]; // SDXL on H800, as in the paper.
     let cm = setup.cost_model();
-    let mut table = Table::new(&["mask", "ideal(s)", "flashps(s)", "naive(s)", "naive-overhead"]);
+    let mut table = Table::new(&[
+        "mask",
+        "ideal(s)",
+        "flashps(s)",
+        "naive(s)",
+        "naive-overhead",
+    ]);
     for m in [0.05, 0.11, 0.2, 0.35] {
         let batch = [BatchItem { mask_ratio: m }];
         let costs = cm.mask_aware_block_costs(&batch, false);
@@ -46,13 +52,18 @@ fn panel_loading() -> String {
 }
 
 fn panel_queuing() -> String {
-    let mut out = String::from("Fig. 4-middle: queueing time, static vs continuous batching (Flux/H800)\n");
+    let mut out =
+        String::from("Fig. 4-middle: queueing time, static vs continuous batching (Flux/H800)\n");
     let setup = &eval_setup()[2]; // Flux on H800, as in the paper.
     let mut table = Table::new(&["rps", "static-queue(s)", "cb-queue(s)", "static/cb"]);
     for rps in [0.1, 0.2, 0.3, 0.4] {
-        let mut static_cfg = setup.cluster_config(SystemKind::FlashPs, 2).expect("supported");
+        let mut static_cfg = setup
+            .cluster_config(SystemKind::FlashPs, 2)
+            .expect("supported");
         static_cfg.batching = BatchingPolicy::Static;
-        let cb_cfg = setup.cluster_config(SystemKind::FlashPs, 2).expect("supported");
+        let cb_cfg = setup
+            .cluster_config(SystemKind::FlashPs, 2)
+            .expect("supported");
         let trace = fps_workload::Trace::generate(&fps_workload::TraceConfig {
             rps,
             arrivals: fps_workload::trace::ArrivalProcess::Poisson,
@@ -62,9 +73,13 @@ fn panel_queuing() -> String {
             zipf_s: 1.0,
             seed: 0x44,
         });
-        let mut r1 = RouterKind::RequestCount.build(&static_cfg.cost).expect("router");
+        let mut r1 = RouterKind::RequestCount
+            .build(&static_cfg.cost)
+            .expect("router");
         let st = fps_serving::ClusterSim::run(static_cfg, &trace, r1.as_mut()).expect("run");
-        let mut r2 = RouterKind::RequestCount.build(&cb_cfg.cost).expect("router");
+        let mut r2 = RouterKind::RequestCount
+            .build(&cb_cfg.cost)
+            .expect("router");
         let cb = fps_serving::ClusterSim::run(cb_cfg, &trace, r2.as_mut()).expect("run");
         table.row(&[
             format!("{rps:.2}"),

@@ -57,10 +57,7 @@ fn main() {
         let base = noise_to_level(&z, &template_noise, abar).expect("noise");
         let make_latent = |seed: u64| {
             let mut x = base.clone();
-            let req = Tensor::randn(
-                [cfg.tokens(), cfg.latent_channels],
-                &mut DetRng::new(seed),
-            );
+            let req = Tensor::randn([cfg.tokens(), cfg.latent_channels], &mut DetRng::new(seed));
             let rows = gather_rows(&req, &masked).expect("gather");
             scatter_rows_into(&mut x, &rows, &masked).expect("scatter");
             x

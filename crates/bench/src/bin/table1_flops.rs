@@ -78,7 +78,10 @@ fn main() {
             ]);
         }
     }
-    out.push_str(&format!("== analytic (paper-scale models) ==\n{}\n", table.render()));
+    out.push_str(&format!(
+        "== analytic (paper-scale models) ==\n{}\n",
+        table.render()
+    ));
 
     // Empirical FLOP accounting from the numeric pipeline.
     let mut table = Table::new(&["model", "mask", "measured-speedup", "analytic-speedup"]);
@@ -108,8 +111,7 @@ fn main() {
                 )
                 .expect("edit");
             let measured = full.flops as f64 / aware.flops as f64;
-            let analytic =
-                step_flops_full(&cfg, 1) as f64 / step_flops_masked_y(&cfg, 1, m) as f64;
+            let analytic = step_flops_full(&cfg, 1) as f64 / step_flops_masked_y(&cfg, 1, m) as f64;
             table.row(&[
                 cfg.name.clone(),
                 format!("{m:.3}"),
@@ -128,7 +130,10 @@ fn main() {
         let b_masked = block_flops(&cfg, ml, l, l);
         assert!(b_masked < b_full);
     }
-    out.push_str(&format!("== empirical (numeric pipeline) ==\n{}", table.render()));
+    out.push_str(&format!(
+        "== empirical (numeric pipeline) ==\n{}",
+        table.render()
+    ));
     out.push_str(
         "\nEvery operator family matches Table 1: token-wise ops scale with 1/m,\n\
          attention with up to 1/m², cache shape is (B, (1-m)·L, H).\n",

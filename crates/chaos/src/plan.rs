@@ -113,9 +113,7 @@ impl FaultPlan {
         let horizon_s = horizon.as_secs_f64().max(1.0);
         let count = rng.below(8) as usize + (horizon_s as usize / 20).min(8);
         for _ in 0..count {
-            let at = SimTime::from_nanos(
-                (rng.unit_f64() * horizon.as_nanos() as f64) as u64,
-            );
+            let at = SimTime::from_nanos((rng.unit_f64() * horizon.as_nanos() as f64) as u64);
             let kind = match rng.below(5) {
                 0 if workers > 0 => FaultKind::WorkerCrash {
                     worker: rng.below(workers as u64) as usize,
@@ -164,7 +162,8 @@ impl FaultPlan {
                 }
             }
             match event.kind {
-                FaultKind::WorkerSlowdown { factor, .. } | FaultKind::DiskDegrade { factor, .. }
+                FaultKind::WorkerSlowdown { factor, .. }
+                | FaultKind::DiskDegrade { factor, .. }
                     if factor < 1.0 =>
                 {
                     return Err(format!("fault {i} has speed-up factor {factor} (< 1)"));

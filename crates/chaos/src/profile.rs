@@ -15,14 +15,25 @@ pub enum FaultProfile {
     WorkerCrash,
     /// Cache-entry loss and corruption under a degraded disk tier.
     CacheLossSlowDisk,
+    /// Capacity loss during traffic peaks: dense severe worker
+    /// slowdowns plus a small transit-drop probability — the
+    /// environment the overload controller's admission and ladder are
+    /// designed for.
+    OverloadBurst,
+    /// Sustained disk brown-out: repeated, severe bandwidth collapse
+    /// on the disk tier with recurring checksum corruption — the
+    /// environment the cache-read circuit breaker is designed for.
+    DiskBrownout,
 }
 
 impl FaultProfile {
     /// Every profile, in ablation order.
-    pub const ALL: [FaultProfile; 3] = [
+    pub const ALL: [FaultProfile; 5] = [
         FaultProfile::Baseline,
         FaultProfile::WorkerCrash,
         FaultProfile::CacheLossSlowDisk,
+        FaultProfile::OverloadBurst,
+        FaultProfile::DiskBrownout,
     ];
 
     /// Profile label for reports.
@@ -31,16 +42,26 @@ impl FaultProfile {
             Self::Baseline => "baseline",
             Self::WorkerCrash => "worker-crash",
             Self::CacheLossSlowDisk => "cache-loss-slow-disk",
+            Self::OverloadBurst => "overload-burst",
+            Self::DiskBrownout => "disk-brownout",
         }
     }
 
     /// Generates the profile's fault plan for a run of length
     /// `horizon` over `workers` workers and templates `0..num_templates`.
-    pub fn plan(self, seed: u64, horizon: SimTime, workers: usize, num_templates: u64) -> FaultPlan {
+    pub fn plan(
+        self,
+        seed: u64,
+        horizon: SimTime,
+        workers: usize,
+        num_templates: u64,
+    ) -> FaultPlan {
         match self {
             Self::Baseline => FaultPlan::none(),
             Self::WorkerCrash => worker_crash_plan(seed, horizon, workers),
             Self::CacheLossSlowDisk => cache_loss_plan(seed, horizon, num_templates),
+            Self::OverloadBurst => overload_burst_plan(seed, horizon, workers),
+            Self::DiskBrownout => disk_brownout_plan(seed, horizon, num_templates),
         }
     }
 }
@@ -109,6 +130,75 @@ fn cache_loss_plan(seed: u64, horizon: SimTime, num_templates: u64) -> FaultPlan
     FaultPlan::new(seed, 0.0, events)
 }
 
+/// Dense severe slowdowns — every worker loses most of its speed for
+/// stretches that overlap the bursts — plus a 1% transit drop. No
+/// crashes: the capacity loss is gradual, the kind the degradation
+/// ladder absorbs.
+fn overload_burst_plan(seed: u64, horizon: SimTime, workers: usize) -> FaultPlan {
+    let mut events = Vec::new();
+    if workers > 0 {
+        let mean = SimDuration::from_secs_f64((horizon.as_secs_f64() / 8.0).max(1.0));
+        let mut slowdowns = FaultClock::new(seed, "profile/overload-slow", mean);
+        while let Some(at) = slowdowns.next_before(horizon) {
+            let rng = slowdowns.rng();
+            events.push(FaultEvent {
+                at,
+                kind: FaultKind::WorkerSlowdown {
+                    worker: rng.below(workers as u64) as usize,
+                    factor: rng.range_f64(3.0, 5.0),
+                    duration: SimDuration::from_secs_f64(rng.range_f64(8.0, 20.0)),
+                },
+            });
+        }
+    }
+    FaultPlan::new(seed, 0.01, events)
+}
+
+/// Repeated severe disk brown-outs (bandwidth cut ~25×) with recurring
+/// checksum corruption. Reads served from the degraded tier are slow
+/// enough to trip a latency-sensitive breaker; the corruptions trip a
+/// failure-counting one.
+fn disk_brownout_plan(seed: u64, horizon: SimTime, num_templates: u64) -> FaultPlan {
+    let mut events = Vec::new();
+    let horizon_s = horizon.as_secs_f64();
+    // Four brown-outs, each covering an eighth of the run.
+    let mut rng = FaultRng::new(seed, "profile/brownout");
+    for k in 0..4u64 {
+        let at = SimTime::from_nanos(horizon.as_nanos() / 8 * (2 * k + 1));
+        events.push(FaultEvent {
+            at,
+            kind: FaultKind::DiskDegrade {
+                factor: rng.range_f64(20.0, 30.0),
+                duration: SimDuration::from_secs_f64((horizon_s / 8.0).max(0.5)),
+            },
+        });
+        // Each onset garbles the whole cached set at once — the burst
+        // of consecutive checksum failures is what distinguishes a
+        // brown-out from scattered bit rot, and what a
+        // failure-counting breaker is built to catch.
+        for template_id in 0..num_templates {
+            events.push(FaultEvent {
+                at,
+                kind: FaultKind::CacheCorrupt { template_id },
+            });
+        }
+    }
+    if num_templates > 0 {
+        let mean = SimDuration::from_secs_f64((horizon_s / 10.0).max(1.0));
+        let mut corrupt = FaultClock::new(seed, "profile/brownout-corrupt", mean);
+        while let Some(at) = corrupt.next_before(horizon) {
+            let rng = corrupt.rng();
+            events.push(FaultEvent {
+                at,
+                kind: FaultKind::CacheCorrupt {
+                    template_id: rng.below(num_templates),
+                },
+            });
+        }
+    }
+    FaultPlan::new(seed, 0.0, events)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,7 +209,9 @@ mod tests {
 
     #[test]
     fn baseline_is_trivial() {
-        assert!(FaultProfile::Baseline.plan(1, secs(300.0), 4, 16).is_trivial());
+        assert!(FaultProfile::Baseline
+            .plan(1, secs(300.0), 4, 16)
+            .is_trivial());
     }
 
     #[test]
@@ -159,7 +251,52 @@ mod tests {
     #[test]
     fn labels_are_distinct() {
         let labels: Vec<_> = FaultProfile::ALL.iter().map(|p| p.label()).collect();
-        assert_eq!(labels.len(), 3);
+        assert_eq!(labels.len(), 5);
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
         assert!(labels.iter().all(|l| !l.is_empty()));
+    }
+
+    #[test]
+    fn overload_burst_profile_slows_workers_and_drops() {
+        let plan = FaultProfile::OverloadBurst.plan(7, secs(300.0), 4, 16);
+        assert!(plan.validate(4).is_ok());
+        assert!(plan.drop_probability > 0.0);
+        assert!(plan
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::WorkerSlowdown { .. })));
+        assert!(
+            !plan
+                .events
+                .iter()
+                .any(|e| matches!(e.kind, FaultKind::WorkerCrash { .. })),
+            "overload burst degrades capacity without crashing it"
+        );
+    }
+
+    #[test]
+    fn disk_brownout_profile_is_severe_and_repeated() {
+        let plan = FaultProfile::DiskBrownout.plan(8, secs(300.0), 4, 16);
+        assert!(plan.validate(4).is_ok());
+        let brownouts: Vec<f64> = plan
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::DiskDegrade { factor, .. } => Some(factor),
+                _ => None,
+            })
+            .collect();
+        assert!(brownouts.len() >= 4, "brown-outs must recur");
+        assert!(
+            brownouts.iter().all(|&f| f >= 20.0),
+            "brown-outs must be severe enough to trip a breaker"
+        );
+        assert!(plan
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::CacheCorrupt { .. })));
     }
 }

@@ -105,4 +105,37 @@ mod tests {
         assert!(!p.past_deadline(SimTime::ZERO, far));
         assert!(!p.allows_retry(0, SimTime::ZERO, far));
     }
+
+    #[test]
+    fn zero_retry_budget_denies_the_first_retry() {
+        let p = RetryPolicy {
+            max_retries: 0,
+            deadline: RetryPolicy::NO_DEADLINE,
+            ..RetryPolicy::default()
+        };
+        // Even a fresh request (zero retries used, nowhere near any
+        // deadline) may not retry under a zero budget.
+        assert!(!p.allows_retry(0, SimTime::ZERO, SimTime::ZERO));
+        // The backoff schedule is still well-defined if queried.
+        assert_eq!(p.backoff(1), p.base_backoff);
+    }
+
+    #[test]
+    fn deadline_boundary_is_inclusive() {
+        // `past_deadline` is a strict comparison: a request re-examined
+        // at exactly arrival + deadline is still in time, one
+        // nanosecond later it is not.
+        let p = RetryPolicy {
+            max_retries: 5,
+            deadline: SimDuration::from_secs_f64(10.0),
+            ..RetryPolicy::default()
+        };
+        let arrival = SimTime::from_nanos(3_000_000_000);
+        let exact = SimTime::from_nanos(13_000_000_000);
+        let after = SimTime::from_nanos(13_000_000_001);
+        assert!(!p.past_deadline(arrival, exact), "boundary is in time");
+        assert!(p.past_deadline(arrival, after), "one nanosecond late");
+        assert!(p.allows_retry(0, arrival, exact));
+        assert!(!p.allows_retry(0, arrival, after));
+    }
 }

@@ -83,12 +83,19 @@ fn cmd_edit(flags: &HashMap<String, String>) -> Result<(), String> {
         .cloned()
         .unwrap_or_else(|| "edit.ppm".to_string());
 
-    let mut system =
-        FlashPs::new(FlashPsConfig::new(cfg.clone())).map_err(|e| e.to_string())?;
+    let mut system = FlashPs::new(FlashPsConfig::new(cfg.clone())).map_err(|e| e.to_string())?;
     let template = Image::template(cfg.pixel_h(), cfg.pixel_w(), seed ^ 0x7E);
-    system.register_template(0, &template).map_err(|e| e.to_string())?;
+    system
+        .register_template(0, &template)
+        .map_err(|e| e.to_string())?;
     let mut rng = StdRng::seed_from_u64(seed);
-    let mask = Mask::generate(cfg.pixel_h(), cfg.pixel_w(), MaskShape::Blob, ratio, &mut rng);
+    let mask = Mask::generate(
+        cfg.pixel_h(),
+        cfg.pixel_w(),
+        MaskShape::Blob,
+        ratio,
+        &mut rng,
+    );
     let result = system
         .edit(0, &mask, &prompt, seed)
         .map_err(|e| e.to_string())?;

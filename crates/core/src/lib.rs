@@ -71,6 +71,9 @@ pub enum FlashPsError {
     },
     /// The server is shutting down or a worker died.
     ServerClosed,
+    /// The server's request queue is at its configured depth cap; the
+    /// job was shed at admission instead of queued.
+    Overloaded,
     /// The job exceeded its wall-clock deadline before completing.
     JobTimeout,
     /// A worker panicked while serving the job and the retry budget
@@ -87,6 +90,9 @@ impl core::fmt::Display for FlashPsError {
                 write!(f, "template {template_id} was never registered")
             }
             Self::ServerClosed => write!(f, "server closed"),
+            Self::Overloaded => {
+                write!(f, "server overloaded: request queue at capacity")
+            }
             Self::JobTimeout => write!(f, "job exceeded its deadline"),
             Self::WorkerPanicked => {
                 write!(f, "worker panicked serving the job; retries exhausted")

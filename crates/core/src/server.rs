@@ -24,7 +24,7 @@
 //! them; tickets never dangle.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -55,6 +55,12 @@ pub struct ServerConfig {
     /// its first attempt, killing the whole inflight batch. Used by
     /// resilience tests; `None` in production.
     pub chaos_panic_seed: Option<u64>,
+    /// Admission cap on outstanding jobs (queued plus inflight).
+    /// [`ThreadedServer::submit`] sheds with
+    /// [`FlashPsError::Overloaded`] once the cap is reached — queueing
+    /// past a few service waves only adds latency, never goodput.
+    /// `None` leaves the queue unbounded.
+    pub max_queue_depth: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +71,7 @@ impl Default for ServerConfig {
             job_timeout: None,
             max_job_attempts: 3,
             chaos_panic_seed: None,
+            max_queue_depth: None,
         }
     }
 }
@@ -92,6 +99,22 @@ struct QueuedJob {
     /// When the job was first submitted (deadline anchor; requeues
     /// keep the original).
     enqueued_at: Instant,
+    /// Queue-depth accounting: released when the job resolves (the
+    /// guard travels through requeues without double counting).
+    _depth: DepthGuard,
+}
+
+/// Holds one unit of queue depth; dropping it releases the slot. The
+/// guard rides along the job through the queue, the inflight batch,
+/// and any panic requeues, so depth counts *unresolved* jobs exactly.
+struct DepthGuard {
+    depth: Arc<AtomicUsize>,
+}
+
+impl Drop for DepthGuard {
+    fn drop(&mut self) {
+        self.depth.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// A handle to a submitted job.
@@ -117,6 +140,8 @@ pub struct ThreadedServer {
     closing: Arc<AtomicBool>,
     handles: Vec<JoinHandle<()>>,
     system: Arc<FlashPs>,
+    depth: Arc<AtomicUsize>,
+    max_queue_depth: Option<usize>,
 }
 
 impl ThreadedServer {
@@ -142,6 +167,8 @@ impl ThreadedServer {
             closing,
             handles,
             system,
+            depth: Arc::new(AtomicUsize::new(0)),
+            max_queue_depth: config.max_queue_depth,
         }
     }
 
@@ -151,15 +178,37 @@ impl ThreadedServer {
         &self.system
     }
 
+    /// Outstanding jobs: queued plus inflight, requeues included.
+    pub fn queue_depth(&self) -> usize {
+        self.depth.load(Ordering::SeqCst)
+    }
+
     /// Submits a job; returns a ticket to await the result.
     ///
     /// # Errors
     ///
-    /// Returns [`FlashPsError::ServerClosed`] after shutdown.
+    /// Returns [`FlashPsError::ServerClosed`] after shutdown, or
+    /// [`FlashPsError::Overloaded`] when the queue is at its
+    /// configured depth cap.
     pub fn submit(&self, job: EditJob) -> Result<Ticket> {
         if self.closing.load(Ordering::SeqCst) {
             return Err(FlashPsError::ServerClosed);
         }
+        // Claim a depth slot atomically so concurrent submitters never
+        // overshoot the cap.
+        let cap = self.max_queue_depth.unwrap_or(usize::MAX);
+        if self
+            .depth
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |d| {
+                (d < cap).then_some(d + 1)
+            })
+            .is_err()
+        {
+            return Err(FlashPsError::Overloaded);
+        }
+        let guard = DepthGuard {
+            depth: Arc::clone(&self.depth),
+        };
         let (reply, rx) = bounded(1);
         let tx = self.tx.as_ref().ok_or(FlashPsError::ServerClosed)?;
         tx.send(QueuedJob {
@@ -167,6 +216,7 @@ impl ThreadedServer {
             reply,
             attempt: 0,
             enqueued_at: Instant::now(),
+            _depth: guard,
         })
         .map_err(|_| FlashPsError::ServerClosed)?;
         Ok(Ticket { rx })
@@ -206,6 +256,8 @@ struct Inflight {
     use_cache: Vec<bool>,
     mask_ratio: f64,
     reply: Sender<Result<EditResult>>,
+    /// Depth slot, released when this job resolves.
+    _depth: DepthGuard,
 }
 
 fn begin_job(system: &FlashPs, job: &EditJob) -> Result<(EditSession, Vec<bool>, f64)> {
@@ -237,11 +289,7 @@ fn expired(timeout: Option<Duration>, enqueued_at: Instant) -> bool {
 /// Crash recovery: the engine process died mid-batch. Every inflight
 /// session is lost; jobs with attempts left are requeued, the rest
 /// resolve to [`FlashPsError::WorkerPanicked`].
-fn requeue_batch(
-    inflight: &mut Vec<Inflight>,
-    requeue: &Sender<QueuedJob>,
-    config: &ServerConfig,
-) {
+fn requeue_batch(inflight: &mut Vec<Inflight>, requeue: &Sender<QueuedJob>, config: &ServerConfig) {
     for item in inflight.drain(..) {
         let next_attempt = item.attempt + 1;
         if next_attempt >= config.max_job_attempts.max(1) {
@@ -253,6 +301,7 @@ fn requeue_batch(
             reply: item.reply,
             attempt: next_attempt,
             enqueued_at: item.enqueued_at,
+            _depth: item._depth,
         };
         if let Err(e) = requeue.send(q) {
             // Channel gone (all workers exited): fail explicitly.
@@ -305,6 +354,7 @@ fn worker_loop(
                     use_cache,
                     mask_ratio,
                     reply: q.reply,
+                    _depth: q._depth,
                 }),
                 Err(e) => {
                     let _ = q.reply.send(Err(e));
@@ -332,8 +382,7 @@ fn worker_loop(
                 let _ = item.reply.send(Err(FlashPsError::JobTimeout));
                 continue;
             }
-            let chaos_panic =
-                config.chaos_panic_seed == Some(item.job.seed) && item.attempt == 0;
+            let chaos_panic = config.chaos_panic_seed == Some(item.job.seed) && item.attempt == 0;
             let step_result = {
                 let session = &mut item.session;
                 let template_id = item.job.template_id;
@@ -363,8 +412,7 @@ fn worker_loop(
             if inflight[i].session.is_done() {
                 let item = inflight.swap_remove(i);
                 let cfg = &system.config().model;
-                let full =
-                    fps_diffusion::flops::step_flops_full(cfg, 1) * cfg.steps as u64;
+                let full = fps_diffusion::flops::step_flops_full(cfg, 1) * cfg.steps as u64;
                 let result = system
                     .pipeline()
                     .finish(item.session)
@@ -463,9 +511,7 @@ mod tests {
                 ..ServerConfig::default()
             },
         );
-        let tickets: Vec<Ticket> = (0..4)
-            .map(|_| server.submit(job(0, 42)).unwrap())
-            .collect();
+        let tickets: Vec<Ticket> = (0..4).map(|_| server.submit(job(0, 42)).unwrap()).collect();
         for t in tickets {
             let served = t.wait().unwrap();
             assert_eq!(served.output.image, direct.output.image);
@@ -517,10 +563,11 @@ mod tests {
             },
         );
         // Fill the batch, with the poisoned job in the middle.
-        let mut tickets = Vec::new();
-        tickets.push(server.submit(job(0, 1)).unwrap());
-        tickets.push(server.submit(job(1, 7777)).unwrap());
-        tickets.push(server.submit(job(2, 2)).unwrap());
+        let tickets = vec![
+            server.submit(job(0, 1)).unwrap(),
+            server.submit(job(1, 7777)).unwrap(),
+            server.submit(job(2, 2)).unwrap(),
+        ];
         for t in tickets {
             let r = t.wait().expect("requeued after worker panic");
             assert!(r.output.image.data().iter().all(|v| v.is_finite()));
@@ -588,6 +635,89 @@ mod tests {
         for t in tickets {
             assert!(t.wait().is_ok(), "queued job must be served, not lost");
         }
+    }
+
+    #[test]
+    fn queue_cap_sheds_with_overloaded() {
+        // One slow worker, a cap of 4, and a burst of 50 instant
+        // submits: the burst outruns service, so submits beyond the
+        // cap must shed with Overloaded — and every accepted ticket
+        // must still resolve successfully.
+        let cfg = ModelConfig::tiny();
+        let mut sys = FlashPs::new(FlashPsConfig::new(cfg.clone())).unwrap();
+        let img = Image::template(cfg.pixel_h(), cfg.pixel_w(), 0);
+        sys.register_template(0, &img).unwrap();
+        let server = ThreadedServer::start(
+            sys,
+            ServerConfig {
+                workers: 1,
+                max_batch: 1,
+                max_queue_depth: Some(4),
+                ..ServerConfig::default()
+            },
+        );
+        let mut tickets = Vec::new();
+        let mut shed = 0u32;
+        for i in 0..50u64 {
+            match server.submit(job(0, i)) {
+                Ok(t) => tickets.push(t),
+                Err(FlashPsError::Overloaded) => shed += 1,
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+            assert!(server.queue_depth() <= 4, "depth may never exceed the cap");
+        }
+        assert!(shed > 0, "the burst must overflow the cap");
+        assert!(!tickets.is_empty(), "the cap admits up to its depth");
+        for t in tickets {
+            assert!(t.wait().is_ok(), "admitted jobs are served normally");
+        }
+        // Depth drains back to zero: the server accepts again.
+        while server.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+        assert!(server.submit(job(0, 999)).unwrap().wait().is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn uncapped_queue_never_sheds() {
+        let server = server(1, 1);
+        let tickets: Vec<Ticket> = (0..20)
+            .map(|i| server.submit(job(i % 3, i)).expect("no cap, no shed"))
+            .collect();
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn depth_survives_panic_requeues() {
+        // A panic requeue moves the depth guard with the job: the slot
+        // is released exactly once, when the ticket resolves.
+        let cfg = ModelConfig::tiny();
+        let mut sys = FlashPs::new(FlashPsConfig::new(cfg.clone())).unwrap();
+        let img = Image::template(cfg.pixel_h(), cfg.pixel_w(), 0);
+        sys.register_template(0, &img).unwrap();
+        let server = ThreadedServer::start(
+            sys,
+            ServerConfig {
+                workers: 1,
+                max_batch: 2,
+                chaos_panic_seed: Some(31),
+                max_queue_depth: Some(8),
+                ..ServerConfig::default()
+            },
+        );
+        let poisoned = server.submit(job(0, 31)).unwrap();
+        let clean = server.submit(job(0, 1)).unwrap();
+        assert!(poisoned.wait().is_ok(), "requeued after the panic");
+        assert!(clean.wait().is_ok());
+        while server.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(server.queue_depth(), 0, "slots released exactly once");
+        server.shutdown();
     }
 
     #[test]

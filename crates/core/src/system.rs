@@ -249,10 +249,10 @@ impl FlashPs {
     /// Algorithm 1's block plan for a mask ratio under the planner's
     /// cost model (batch size 1).
     pub fn plan_for_ratio(&self, mask_ratio: f64) -> Vec<bool> {
-        let (_, plan) = self.config.planner.step_latency_mask_aware(
-            &[BatchItem { mask_ratio }],
-            self.config.capture_kv,
-        );
+        let (_, plan) = self
+            .config
+            .planner
+            .step_latency_mask_aware(&[BatchItem { mask_ratio }], self.config.capture_kv);
         plan
     }
 
@@ -419,7 +419,11 @@ mod tests {
         let result = sys.edit(1, &mask, "add flowers", 7).unwrap();
         assert!(result.mask_ratio > 0.0 && result.mask_ratio < 1.0);
         assert_eq!(result.use_cache.len(), sys.config().model.blocks);
-        assert!(result.speedup_vs_full > 1.0, "got {}", result.speedup_vs_full);
+        assert!(
+            result.speedup_vs_full > 1.0,
+            "got {}",
+            result.speedup_vs_full
+        );
         assert!(result.output.image.data().iter().all(|v| v.is_finite()));
     }
 

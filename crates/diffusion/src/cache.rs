@@ -215,11 +215,15 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 }
 
@@ -353,7 +357,10 @@ mod tests {
         assert!(TemplateCache::from_bytes(&bad).is_err());
         // Truncation at every prefix length must error, never panic.
         for cut in [0, 3, 5, 12, good.len() / 2, good.len() - 1] {
-            assert!(TemplateCache::from_bytes(&good[..cut]).is_err(), "cut {cut}");
+            assert!(
+                TemplateCache::from_bytes(&good[..cut]).is_err(),
+                "cut {cut}"
+            );
         }
         // Trailing garbage.
         let mut bad = good.clone();

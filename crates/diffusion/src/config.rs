@@ -289,7 +289,8 @@ mod tests {
             ModelConfig::paper_sdxl(),
             ModelConfig::paper_flux(),
         ] {
-            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
         }
     }
 
@@ -335,9 +336,7 @@ mod tests {
     #[test]
     fn model_scale_ordering_matches_paper() {
         // Flux > SDXL > SD2.1 in per-step compute intensity.
-        let flops = |cfg: &ModelConfig| {
-            crate::flops::step_flops_full(cfg, 1)
-        };
+        let flops = |cfg: &ModelConfig| crate::flops::step_flops_full(cfg, 1);
         let sd21 = flops(&ModelConfig::paper_sd21());
         let sdxl = flops(&ModelConfig::paper_sdxl());
         let flux = flops(&ModelConfig::paper_flux());

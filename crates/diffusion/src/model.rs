@@ -72,7 +72,13 @@ impl StepPlan {
         Self {
             modes: use_cache
                 .iter()
-                .map(|&c| if c { BlockMode::CachedY } else { BlockMode::Full })
+                .map(|&c| {
+                    if c {
+                        BlockMode::CachedY
+                    } else {
+                        BlockMode::Full
+                    }
+                })
                 .collect(),
         }
     }
@@ -229,7 +235,8 @@ impl DiffusionModel {
                 }
                 BlockMode::MaskedOnly => {
                     let xm = gather_rows(&x, masked_idx)?;
-                    let ym = block.forward_masked(&xm, MaskedContext::SelfOnly, prompt_emb, &cond)?;
+                    let ym =
+                        block.forward_masked(&xm, MaskedContext::SelfOnly, prompt_emb, &cond)?;
                     scatter_rows_into(&mut x, &ym, masked_idx)?;
                 }
                 BlockMode::CachedY => {
@@ -249,11 +256,7 @@ impl DiffusionModel {
                     let xm = gather_rows(&x, masked_idx)?;
                     let ym = block.forward_masked(
                         &xm,
-                        MaskedContext::CachedKv {
-                            k,
-                            v,
-                            masked_idx,
-                        },
+                        MaskedContext::CachedKv { k, v, masked_idx },
                         prompt_emb,
                         &cond,
                     )?;

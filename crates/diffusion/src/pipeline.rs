@@ -209,10 +209,7 @@ impl EditPipeline {
     fn template_noise(&self, template_id: u64) -> Tensor {
         let cfg = self.model.config();
         let seed = hash_bytes(&template_id.to_le_bytes(), cfg.weight_seed ^ 0x7E3D);
-        Tensor::randn(
-            [cfg.tokens(), cfg.latent_channels],
-            &mut DetRng::new(seed),
-        )
+        Tensor::randn([cfg.tokens(), cfg.latent_channels], &mut DetRng::new(seed))
     }
 
     /// Primes the activation cache for a template: runs the full model
@@ -225,7 +222,12 @@ impl EditPipeline {
     ///
     /// Propagates shape errors from a template that does not match the
     /// model's pixel dimensions.
-    pub fn prime(&self, template: &Image, template_id: u64, capture_kv: bool) -> Result<TemplateCache> {
+    pub fn prime(
+        &self,
+        template: &Image,
+        template_id: u64,
+        capture_kv: bool,
+    ) -> Result<TemplateCache> {
         let cfg = self.model.config();
         let z = self.vae.encode(template)?;
         let noise = self.template_noise(template_id);
@@ -233,9 +235,9 @@ impl EditPipeline {
         let mut cache = TemplateCache::new(template_id, cfg.tokens(), cfg.hidden);
         for k in 0..self.schedule.steps() {
             let x = noise_to_level(&z, &noise, self.schedule.abar(k))?;
-            let (_, step) = self
-                .model
-                .predict_full(&x, self.schedule.t_norm(k), &prompt, capture_kv)?;
+            let (_, step) =
+                self.model
+                    .predict_full(&x, self.schedule.t_norm(k), &prompt, capture_kv)?;
             cache.push_step(step);
         }
         Ok(cache)
@@ -278,8 +280,14 @@ impl EditPipeline {
         strategy: &Strategy,
         cache: Option<&TemplateCache>,
     ) -> Result<EditOutput> {
-        let mut session =
-            self.begin(template, template_id, masked_idx, prompt, seed, strategy.clone())?;
+        let mut session = self.begin(
+            template,
+            template_id,
+            masked_idx,
+            prompt,
+            seed,
+            strategy.clone(),
+        )?;
         while !session.is_done() {
             self.step(&mut session, cache)?;
         }
@@ -304,7 +312,15 @@ impl EditPipeline {
         seed: u64,
         strategy: Strategy,
     ) -> Result<EditSession> {
-        self.begin_guided(template, template_id, masked_idx, prompt, seed, strategy, None)
+        self.begin_guided(
+            template,
+            template_id,
+            masked_idx,
+            prompt,
+            seed,
+            strategy,
+            None,
+        )
     }
 
     /// [`EditPipeline::begin`] with optional classifier-free guidance.
@@ -406,10 +422,7 @@ impl EditPipeline {
         // combines linearly: eps = (1-scale)·eps_neg + scale·eps_cond.
         let passes: Vec<(Tensor, f32)> = match &s.guidance {
             None => vec![(s.prompt_emb.clone(), 1.0)],
-            Some((neg, scale)) => vec![
-                (neg.clone(), 1.0 - *scale),
-                (s.prompt_emb.clone(), *scale),
-            ],
+            Some((neg, scale)) => vec![(neg.clone(), 1.0 - *scale), (s.prompt_emb.clone(), *scale)],
         };
         let n_passes = passes.len() as u64;
         // TeaCache's skip decision applies to the whole (guided) step.
@@ -501,7 +514,12 @@ impl EditPipeline {
         if matches!(s.strategy, Strategy::StepSkip { .. }) {
             s.prev_eps = Some(eps.clone());
         }
-        s.x = ddim_step(&s.x, &eps, self.schedule.abar(k), self.schedule.abar_next(k))?;
+        s.x = ddim_step(
+            &s.x,
+            &eps,
+            self.schedule.abar(k),
+            self.schedule.abar_next(k),
+        )?;
         if !matches!(s.strategy, Strategy::NaiveDisregard) {
             inpaint_blend(
                 &mut s.x,
@@ -605,10 +623,26 @@ mod tests {
             kv: false,
         };
         let a = pipe
-            .edit(&template, 1, &masked(), "a red box", 7, &strat, Some(&cache))
+            .edit(
+                &template,
+                1,
+                &masked(),
+                "a red box",
+                7,
+                &strat,
+                Some(&cache),
+            )
             .unwrap();
         let b = pipe
-            .edit(&template, 1, &masked(), "a red box", 7, &strat, Some(&cache))
+            .edit(
+                &template,
+                1,
+                &masked(),
+                "a red box",
+                7,
+                &strat,
+                Some(&cache),
+            )
             .unwrap();
         assert_eq!(a.image, b.image);
     }
@@ -635,7 +669,12 @@ mod tests {
             let out = pipe
                 .edit(&template, 1, &masked(), "p", 3, s, Some(&cache))
                 .unwrap();
-            assert_eq!(out.steps_computed + out.steps_skipped, cfg.steps, "{}", s.label());
+            assert_eq!(
+                out.steps_computed + out.steps_skipped,
+                cfg.steps,
+                "{}",
+                s.label()
+            );
             assert!(out.flops > 0);
             assert!(out.image.data().iter().all(|v| v.is_finite()));
             flops.push((s.label(), out.flops));
@@ -704,7 +743,10 @@ mod tests {
             let tx = tok % cfg.latent_w;
             for dy in 0..cfg.patch {
                 for dx in 0..cfg.patch {
-                    let a = out.image.pixel(ty * cfg.patch + dy, tx * cfg.patch + dx).unwrap();
+                    let a = out
+                        .image
+                        .pixel(ty * cfg.patch + dy, tx * cfg.patch + dx)
+                        .unwrap();
                     let b = projected
                         .pixel(ty * cfg.patch + dy, tx * cfg.patch + dx)
                         .unwrap();
@@ -728,7 +770,15 @@ mod tests {
         // FISEdit-style masked-only computation on the masked region.
         let (cfg, pipe, template, cache) = setup();
         let reference = pipe
-            .edit(&template, 1, &masked(), "edit", 5, &Strategy::FullRecompute, None)
+            .edit(
+                &template,
+                1,
+                &masked(),
+                "edit",
+                5,
+                &Strategy::FullRecompute,
+                None,
+            )
             .unwrap();
         // FlashPS plan: half the blocks full (as the DP would choose
         // under load), half cached.
@@ -741,12 +791,23 @@ mod tests {
                 &masked(),
                 "edit",
                 5,
-                &Strategy::MaskAware { use_cache, kv: false },
+                &Strategy::MaskAware {
+                    use_cache,
+                    kv: false,
+                },
                 Some(&cache),
             )
             .unwrap();
         let fisedit = pipe
-            .edit(&template, 1, &masked(), "edit", 5, &Strategy::MaskedOnly, None)
+            .edit(
+                &template,
+                1,
+                &masked(),
+                "edit",
+                5,
+                &Strategy::MaskedOnly,
+                None,
+            )
             .unwrap();
         let d_flash = flashps.image.mse(&reference.image).unwrap();
         let d_fis = fisedit.image.mse(&reference.image).unwrap();
@@ -812,7 +873,15 @@ mod tests {
         };
         let run = |guidance: Option<Guidance>| {
             let mut session = pipe
-                .begin_guided(&template, 1, &masked(), "a red hat", 3, strat.clone(), guidance)
+                .begin_guided(
+                    &template,
+                    1,
+                    &masked(),
+                    "a red hat",
+                    3,
+                    strat.clone(),
+                    guidance,
+                )
                 .unwrap();
             while !session.is_done() {
                 pipe.step(&mut session, Some(&cache)).unwrap();
@@ -863,9 +932,7 @@ mod tests {
         let direct = pipe
             .edit(&template, 1, &masked(), "p", 4, &strat, Some(&cache))
             .unwrap();
-        let mut session = pipe
-            .begin(&template, 1, &masked(), "p", 4, strat)
-            .unwrap();
+        let mut session = pipe.begin(&template, 1, &masked(), "p", 4, strat).unwrap();
         assert_eq!(session.total_steps(), cfg.steps);
         let mut steps = 0;
         while !session.is_done() {

@@ -63,7 +63,13 @@ impl ResBlock {
     pub fn forward(&self, x: &Tensor) -> Result<Tensor> {
         let normed = group_norm(x, self.groups, &self.gn_g, &self.gn_b)?;
         let activated = silu(&normed);
-        let conv = conv3x3(&activated, self.grid_h, self.grid_w, &self.kernel, &self.bias)?;
+        let conv = conv3x3(
+            &activated,
+            self.grid_h,
+            self.grid_w,
+            &self.kernel,
+            &self.bias,
+        )?;
         Ok(x.add(&conv)?)
     }
 }

@@ -103,10 +103,7 @@ impl PatchVae {
     /// disagrees with the config.
     pub fn decode(&self, latent: &Tensor) -> Result<Image> {
         let l = self.latent_h * self.latent_w;
-        if latent.rank() != 2
-            || latent.dims()[0] != l
-            || latent.dims()[1] != self.latent_channels
-        {
+        if latent.rank() != 2 || latent.dims()[0] != l || latent.dims()[1] != self.latent_channels {
             return Err(DiffusionError::InvalidConfig {
                 reason: format!(
                     "latent shape {:?} does not match [{l}, {}]",
@@ -121,8 +118,8 @@ impl PatchVae {
         for ty in 0..self.latent_h {
             for tx in 0..self.latent_w {
                 let tok = ty * self.latent_w + tx;
-                let trow = &latent.data()
-                    [tok * self.latent_channels..(tok + 1) * self.latent_channels];
+                let trow =
+                    &latent.data()[tok * self.latent_channels..(tok + 1) * self.latent_channels];
                 patch_buf.fill(0.0);
                 for (c, &tv) in trow.iter().enumerate() {
                     let erow = &self.enc.data()[c * pdim..(c + 1) * pdim];

@@ -324,10 +324,7 @@ impl Parser<'_> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!(
-                "expected '{}' at byte {}",
-                b as char, self.pos
-            ))
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
         }
     }
 
@@ -510,8 +507,8 @@ impl Parser<'_> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ascii");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ascii");
         if !fractional {
             if let Some(digits) = text.strip_prefix('-') {
                 if let Ok(v) = digits.parse::<u64>() {
@@ -535,8 +532,7 @@ impl Parser<'_> {
 ///
 /// Names the missing `key` when absent.
 pub fn required<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, String> {
-    obj.get(key)
-        .ok_or_else(|| format!("missing field `{key}`"))
+    obj.get(key).ok_or_else(|| format!("missing field `{key}`"))
 }
 
 #[cfg(test)]
@@ -572,7 +568,10 @@ mod tests {
         assert_eq!(j.get("name").and_then(Json::as_str), Some("flashps"));
         assert_eq!(j.get("count").and_then(Json::as_u64), Some(3));
         assert_eq!(j.get("ratio").and_then(Json::as_f64), Some(0.25));
-        assert_eq!(j.get("flags").and_then(Json::as_array).map(<[_]>::len), Some(2));
+        assert_eq!(
+            j.get("flags").and_then(Json::as_array).map(<[_]>::len),
+            Some(2)
+        );
         assert!(j.get("absent").is_none());
     }
 
@@ -590,7 +589,9 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        for bad in ["", "not json", "[1,", "{\"a\":}", "[1] tail", "\"open", "{1:2}"] {
+        for bad in [
+            "", "not json", "[1,", "{\"a\":}", "[1] tail", "\"open", "{1:2}",
+        ] {
             assert!(Json::parse(bad).is_err(), "{bad}");
         }
     }

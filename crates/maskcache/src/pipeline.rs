@@ -81,9 +81,7 @@ pub fn simulate_plan(costs: &[BlockCosts], use_cache: &[bool]) -> Result<SimDura
 /// Naive sequential schedule (Fig. 9-top): load *all* cached
 /// activations first, then compute every block in cached mode.
 pub fn naive_sequential_latency(costs: &[BlockCosts]) -> SimDuration {
-    let total_load = costs
-        .iter()
-        .fold(SimDuration::ZERO, |acc, c| acc + c.load);
+    let total_load = costs.iter().fold(SimDuration::ZERO, |acc, c| acc + c.load);
     let total_compute = costs
         .iter()
         .fold(SimDuration::ZERO, |acc, c| acc + c.compute_cached);
@@ -388,10 +386,7 @@ mod tests {
             let bf = plan_brute_force(&case);
             assert_eq!(dp.latency, bf.latency, "case {case:?}");
             // The plan must actually achieve its claimed latency.
-            assert_eq!(
-                simulate_plan(&case, &dp.use_cache).unwrap(),
-                dp.latency
-            );
+            assert_eq!(simulate_plan(&case, &dp.use_cache).unwrap(), dp.latency);
         }
     }
 

@@ -16,6 +16,7 @@
 use std::collections::HashMap;
 
 use bytes::Bytes;
+use fps_overload::CircuitBreaker;
 use fps_simtime::{Resource, SimDuration, SimTime};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -86,6 +87,9 @@ pub struct StoreStats {
     pub corruptions_detected: u64,
     /// Verified reads that had to fall back to full recompute.
     pub fallbacks: u64,
+    /// Guarded reads short-circuited to recompute by an open circuit
+    /// breaker (no disk I/O issued at all).
+    pub breaker_short_circuits: u64,
 }
 
 /// The two-tier activation store.
@@ -307,6 +311,42 @@ impl HierarchicalStore {
         }
     }
 
+    /// Fetches a template through a [`CircuitBreaker`]: the stateful
+    /// replacement for the per-read fallback of [`fetch_verified`].
+    ///
+    /// While the breaker is Open, the read short-circuits to
+    /// [`FallbackReason::BreakerOpen`] without issuing any disk I/O —
+    /// under a persistently corrupt or browned-out disk, recompute is
+    /// faster than queueing on the degraded read stream. Otherwise the
+    /// verified read runs and its outcome feeds the breaker: a
+    /// verification failure or a read slower than the breaker's
+    /// slow-read threshold counts as a failure; a fast intact read as
+    /// a success (which also re-closes a half-open breaker).
+    ///
+    /// [`fetch_verified`]: HierarchicalStore::fetch_verified
+    pub fn fetch_guarded(
+        &mut self,
+        breaker: &mut CircuitBreaker,
+        template_id: u64,
+        now: SimTime,
+    ) -> VerifiedFetch {
+        if !breaker.allow(now) {
+            self.stats.fallbacks += 1;
+            self.stats.breaker_short_circuits += 1;
+            return VerifiedFetch::Fallback(FallbackReason::BreakerOpen);
+        }
+        match self.fetch_verified(template_id, now) {
+            VerifiedFetch::Intact(ready) => {
+                breaker.record_read(now, ready.since(now), true);
+                VerifiedFetch::Intact(ready)
+            }
+            VerifiedFetch::Fallback(reason) => {
+                breaker.record_failure(now);
+                VerifiedFetch::Fallback(reason)
+            }
+        }
+    }
+
     /// Evicts LRU host entries (never `protect`) until `bytes` fit.
     fn make_host_room(&mut self, bytes: u64, protect: u64) {
         while self.host_used + bytes > self.config.host_capacity {
@@ -333,6 +373,9 @@ pub enum FallbackReason {
     Missing,
     /// The entry failed integrity verification.
     Corrupt,
+    /// An open circuit breaker short-circuited the read before any
+    /// disk I/O was issued.
+    BreakerOpen,
 }
 
 /// Outcome of [`HierarchicalStore::fetch_verified`].
@@ -538,6 +581,77 @@ mod tests {
         // Factors below 1 clamp: degradation can't speed the disk up.
         s.set_disk_degradation(0.25);
         assert_eq!(s.disk_degradation(), 1.0);
+    }
+
+    #[test]
+    fn breaker_trips_on_repeated_corruption_and_short_circuits() {
+        use fps_overload::{BreakerConfig, BreakerState};
+        let mut s = HierarchicalStore::new(cfg(10_000, 100.0));
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: SimDuration::from_secs_f64(10.0),
+            slow_read_threshold: SimDuration::from_secs_f64(1.0),
+        });
+        // Three corrupt reads in a row trip the breaker.
+        for i in 0..3u64 {
+            s.insert(i, 100, SimTime::ZERO, None).unwrap();
+            s.corrupt(i);
+            assert_eq!(
+                s.fetch_guarded(&mut b, i, t(i as f64)),
+                VerifiedFetch::Fallback(FallbackReason::Corrupt)
+            );
+        }
+        assert_eq!(b.state(t(2.0)), BreakerState::Open);
+        // While open: short-circuit with zero disk I/O, even for an
+        // entry that is perfectly intact.
+        s.insert(9, 100, SimTime::ZERO, None).unwrap();
+        let before = s.stats();
+        assert_eq!(
+            s.fetch_guarded(&mut b, 9, t(3.0)),
+            VerifiedFetch::Fallback(FallbackReason::BreakerOpen)
+        );
+        let after = s.stats();
+        assert_eq!(after.breaker_short_circuits, 1);
+        assert_eq!(after.host_hits, before.host_hits, "no read issued");
+        assert_eq!(after.disk_hits, before.disk_hits);
+        // After the cooldown a probe runs for real and heals.
+        assert_eq!(
+            s.fetch_guarded(&mut b, 9, t(13.0)),
+            VerifiedFetch::Intact(t(13.0))
+        );
+        assert_eq!(b.state(t(13.0)), BreakerState::Closed);
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn breaker_trips_on_slow_disk_reads() {
+        use fps_overload::{BreakerConfig, BreakerState};
+        // 400 B at 100 B/s = 4 s per disk read, over the 1 s slow
+        // threshold: intact results still come back, but the breaker
+        // learns and eventually short-circuits.
+        let mut s = HierarchicalStore::new(cfg(400, 100.0));
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown: SimDuration::from_secs_f64(60.0),
+            slow_read_threshold: SimDuration::from_secs_f64(1.0),
+        });
+        for i in 0..3u64 {
+            s.insert(100 + i, 400, SimTime::ZERO, None).unwrap();
+        }
+        // 102 is host-resident; 100 and 101 were evicted to disk.
+        assert!(matches!(
+            s.fetch_guarded(&mut b, 100, t(0.0)),
+            VerifiedFetch::Intact(_)
+        ));
+        assert!(matches!(
+            s.fetch_guarded(&mut b, 101, t(0.0)),
+            VerifiedFetch::Intact(_)
+        ));
+        assert_eq!(b.state(t(0.0)), BreakerState::Open, "two slow reads");
+        assert_eq!(
+            s.fetch_guarded(&mut b, 102, t(1.0)),
+            VerifiedFetch::Fallback(FallbackReason::BreakerOpen)
+        );
     }
 
     #[test]

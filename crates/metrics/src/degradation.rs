@@ -17,8 +17,13 @@ pub struct DegradationReport {
     pub submitted: u64,
     /// Requests served to completion.
     pub served: u64,
-    /// Requests explicitly rejected (deadline or retry budget).
+    /// Requests explicitly rejected in the queue (deadline exceeded
+    /// or retry budget exhausted) — excludes admission sheds.
     pub rejected: u64,
+    /// Requests shed at admission by the overload controller (rate
+    /// limit, queue cap, or infeasible deadline) before any work was
+    /// done on them.
+    pub shed: u64,
     /// Completed requests per second of virtual time (goodput).
     pub goodput_rps: f64,
     /// Mean end-to-end latency of served requests, seconds.
@@ -41,7 +46,8 @@ impl DegradationReport {
     /// resilience contract keeps this at zero; anything else is a bug
     /// in the serving layer, not an acceptable degradation.
     pub fn lost(&self) -> u64 {
-        self.submitted.saturating_sub(self.served + self.rejected)
+        self.submitted
+            .saturating_sub(self.served + self.rejected + self.shed)
     }
 
     /// Fraction of submitted requests that completed.
@@ -61,6 +67,7 @@ impl ToJson for DegradationReport {
             .with("submitted", self.submitted)
             .with("served", self.served)
             .with("rejected", self.rejected)
+            .with("shed", self.shed)
             .with("lost", self.lost())
             .with("goodput_rps", self.goodput_rps)
             .with("mean_latency_secs", self.mean_latency_secs)
@@ -80,14 +87,15 @@ mod tests {
         DegradationReport {
             profile: "worker-crash".into(),
             submitted: 100,
-            served: 97,
+            served: 95,
             rejected: 3,
+            shed: 2,
             goodput_rps: 1.6,
             mean_latency_secs: 2.5,
             p95_latency_secs: 7.0,
             retries: 12,
             fallback_serves: 4,
-            fallback_rate: 4.0 / 97.0,
+            fallback_rate: 4.0 / 95.0,
             crashes: 2,
         }
     }
@@ -96,21 +104,27 @@ mod tests {
     fn conservation_arithmetic() {
         let r = report();
         assert_eq!(r.lost(), 0);
-        assert!((r.completion_rate() - 0.97).abs() < 1e-12);
+        assert!((r.completion_rate() - 0.95).abs() < 1e-12);
         let mut broken = report();
         broken.rejected = 0;
         assert_eq!(broken.lost(), 3);
+        broken.shed = 0;
+        assert_eq!(broken.lost(), 5);
     }
 
     #[test]
     fn serializes_to_json_with_lost_count() {
         let j = report().to_json();
-        assert_eq!(j.get("profile").and_then(Json::as_str), Some("worker-crash"));
+        assert_eq!(
+            j.get("profile").and_then(Json::as_str),
+            Some("worker-crash")
+        );
         assert_eq!(j.get("lost").and_then(Json::as_u64), Some(0));
         assert_eq!(j.get("retries").and_then(Json::as_u64), Some(12));
         let text = j.to_string_compact();
         let back = Json::parse(&text).unwrap();
-        assert_eq!(back.get("served").and_then(Json::as_u64), Some(97));
+        assert_eq!(back.get("served").and_then(Json::as_u64), Some(95));
+        assert_eq!(back.get("shed").and_then(Json::as_u64), Some(2));
     }
 
     #[test]
@@ -120,6 +134,7 @@ mod tests {
             submitted: 0,
             served: 0,
             rejected: 0,
+            shed: 0,
             goodput_rps: 0.0,
             mean_latency_secs: 0.0,
             p95_latency_secs: 0.0,

@@ -65,13 +65,7 @@ impl LatencyRecorder {
 
     /// Summary of the inference component; `None` when empty.
     pub fn inference_summary(&self) -> Option<Summary> {
-        Summary::of(
-            &self
-                .records
-                .iter()
-                .map(|r| r.inference)
-                .collect::<Vec<_>>(),
-        )
+        Summary::of(&self.records.iter().map(|r| r.inference).collect::<Vec<_>>())
     }
 
     /// Mean fraction of end-to-end latency spent queueing; `None` when

@@ -10,6 +10,8 @@
 //! - [`report`] — fixed-width text tables for experiment binaries.
 //! - [`degradation`] — resilience accounting (goodput, retries,
 //!   fallback rate, lost-request conservation) under fault injection.
+//! - [`slo`] — SLO-attainment accounting (goodput at deadline, shed
+//!   rate, per-rung quality) for overload-controlled runs.
 
 pub mod degradation;
 pub mod histogram;
@@ -17,6 +19,7 @@ pub mod latency;
 pub mod plot;
 pub mod regression;
 pub mod report;
+pub mod slo;
 pub mod stats;
 pub mod throughput;
 
@@ -26,5 +29,6 @@ pub use latency::{LatencyBreakdown, LatencyRecorder};
 pub use plot::{line_plot, Series};
 pub use regression::LinearRegression;
 pub use report::Table;
+pub use slo::{RungServed, SloReport};
 pub use stats::Summary;
 pub use throughput::ThroughputCounter;

@@ -32,7 +32,10 @@ impl LinearRegression {
         let n = points.len() as f64;
         let mean_x = points.iter().map(|(x, _)| x).sum::<f64>() / n;
         let mean_y = points.iter().map(|(_, y)| y).sum::<f64>() / n;
-        let sxx: f64 = points.iter().map(|(x, _)| (x - mean_x) * (x - mean_x)).sum();
+        let sxx: f64 = points
+            .iter()
+            .map(|(x, _)| (x - mean_x) * (x - mean_x))
+            .sum();
         let sxy: f64 = points
             .iter()
             .map(|(x, y)| (x - mean_x) * (y - mean_y))
@@ -42,7 +45,10 @@ impl LinearRegression {
         }
         let slope = sxy / sxx;
         let intercept = mean_y - slope * mean_x;
-        let ss_tot: f64 = points.iter().map(|(_, y)| (y - mean_y) * (y - mean_y)).sum();
+        let ss_tot: f64 = points
+            .iter()
+            .map(|(_, y)| (y - mean_y) * (y - mean_y))
+            .sum();
         let ss_res: f64 = points
             .iter()
             .map(|(x, y)| {

@@ -1,0 +1,219 @@
+//! SLO-attainment accounting for overload-controlled runs.
+//!
+//! Under overload, raw throughput stops being the figure of merit: a
+//! request served long after its deadline is wasted work, and a
+//! request shed at admission is cheaper than one rejected after
+//! queueing for thirty seconds. An [`SloReport`] summarizes one run
+//! against a deadline: goodput *at the deadline*, the split between
+//! admission sheds and in-queue deadline rejections, and — when the
+//! degradation ladder was active — how much work each rung served and
+//! at what output quality.
+
+use fps_json::{Json, ToJson};
+
+/// Work served at one degradation rung.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RungServed {
+    /// Rung label ("flashps-kv", "teacache-0.35", ...).
+    pub label: String,
+    /// Requests served at this rung.
+    pub served: u64,
+    /// Output quality at this rung versus the full-quality reference
+    /// (e.g. SSIM), when a quality probe was run.
+    pub quality: Option<f64>,
+}
+
+impl ToJson for RungServed {
+    fn to_json(&self) -> Json {
+        let j = Json::object()
+            .with("label", self.label.as_str())
+            .with("served", self.served);
+        match self.quality {
+            Some(q) => j.with("quality", q),
+            None => j,
+        }
+    }
+}
+
+/// SLO attainment of one run under a deadline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// Run label ("overload-on", "overload-off", ...).
+    pub label: String,
+    /// SLO deadline, seconds from arrival.
+    pub deadline_secs: f64,
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Requests served to completion (at any latency).
+    pub served: u64,
+    /// Served requests that completed within the deadline.
+    pub served_within_deadline: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Requests rejected in the queue after their deadline passed.
+    pub deadline_rejected: u64,
+    /// Requests rejected for any other reason (retry budget, ...).
+    pub other_rejected: u64,
+    /// Served requests per second of virtual time.
+    pub goodput_rps: f64,
+    /// Deadline-meeting requests per second of virtual time — the
+    /// figure of merit under overload.
+    pub goodput_at_deadline_rps: f64,
+    /// P95 end-to-end latency of served requests, seconds.
+    pub p95_latency_secs: f64,
+    /// Mean end-to-end latency of served requests, seconds.
+    pub mean_latency_secs: f64,
+    /// Served work by degradation rung, ladder order. Empty when the
+    /// run had no overload control.
+    pub rungs: Vec<RungServed>,
+}
+
+impl SloReport {
+    /// Requests that vanished without being served, shed, or rejected.
+    /// The conservation contract keeps this at zero.
+    pub fn lost(&self) -> u64 {
+        self.submitted
+            .saturating_sub(self.served + self.shed + self.deadline_rejected + self.other_rejected)
+    }
+
+    /// Fraction of *submitted* requests that met the deadline — the
+    /// strictest attainment measure: sheds and rejections all count
+    /// against it.
+    pub fn attainment(&self) -> f64 {
+        if self.submitted == 0 {
+            1.0
+        } else {
+            self.served_within_deadline as f64 / self.submitted as f64
+        }
+    }
+
+    /// Fraction of *served* requests that met the deadline.
+    pub fn served_attainment(&self) -> f64 {
+        if self.served == 0 {
+            1.0
+        } else {
+            self.served_within_deadline as f64 / self.served as f64
+        }
+    }
+
+    /// Fraction of submitted requests turned away before service
+    /// (admission sheds plus in-queue rejections).
+    pub fn shed_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            (self.shed + self.deadline_rejected + self.other_rejected) as f64
+                / self.submitted as f64
+        }
+    }
+}
+
+impl ToJson for SloReport {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("label", self.label.as_str())
+            .with("deadline_secs", self.deadline_secs)
+            .with("submitted", self.submitted)
+            .with("served", self.served)
+            .with("served_within_deadline", self.served_within_deadline)
+            .with("shed", self.shed)
+            .with("deadline_rejected", self.deadline_rejected)
+            .with("other_rejected", self.other_rejected)
+            .with("lost", self.lost())
+            .with("goodput_rps", self.goodput_rps)
+            .with("goodput_at_deadline_rps", self.goodput_at_deadline_rps)
+            .with("p95_latency_secs", self.p95_latency_secs)
+            .with("mean_latency_secs", self.mean_latency_secs)
+            .with("attainment", self.attainment())
+            .with("shed_rate", self.shed_rate())
+            .with("rungs", self.rungs.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SloReport {
+        SloReport {
+            label: "overload-on".into(),
+            deadline_secs: 30.0,
+            submitted: 200,
+            served: 140,
+            served_within_deadline: 126,
+            shed: 50,
+            deadline_rejected: 8,
+            other_rejected: 2,
+            goodput_rps: 1.4,
+            goodput_at_deadline_rps: 1.26,
+            p95_latency_secs: 22.0,
+            mean_latency_secs: 9.0,
+            rungs: vec![
+                RungServed {
+                    label: "flashps-kv".into(),
+                    served: 90,
+                    quality: Some(1.0),
+                },
+                RungServed {
+                    label: "teacache-0.35".into(),
+                    served: 50,
+                    quality: Some(0.92),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn conservation_and_rates() {
+        let r = report();
+        assert_eq!(r.lost(), 0);
+        assert!((r.attainment() - 0.63).abs() < 1e-12);
+        assert!((r.served_attainment() - 0.9).abs() < 1e-12);
+        assert!((r.shed_rate() - 0.3).abs() < 1e-12);
+        let mut broken = report();
+        broken.shed = 0;
+        assert_eq!(broken.lost(), 50);
+    }
+
+    #[test]
+    fn empty_run_is_vacuously_attained() {
+        let r = SloReport {
+            label: "empty".into(),
+            deadline_secs: 30.0,
+            submitted: 0,
+            served: 0,
+            served_within_deadline: 0,
+            shed: 0,
+            deadline_rejected: 0,
+            other_rejected: 0,
+            goodput_rps: 0.0,
+            goodput_at_deadline_rps: 0.0,
+            p95_latency_secs: 0.0,
+            mean_latency_secs: 0.0,
+            rungs: Vec::new(),
+        };
+        assert_eq!(r.lost(), 0);
+        assert_eq!(r.attainment(), 1.0);
+        assert_eq!(r.served_attainment(), 1.0);
+        assert_eq!(r.shed_rate(), 0.0);
+    }
+
+    #[test]
+    fn serializes_with_rung_breakdown() {
+        let j = report().to_json();
+        assert_eq!(j.get("shed").and_then(Json::as_u64), Some(50));
+        assert_eq!(j.get("lost").and_then(Json::as_u64), Some(0));
+        let rungs = j.get("rungs").and_then(Json::as_array).unwrap();
+        assert_eq!(rungs.len(), 2);
+        assert_eq!(
+            rungs[0].get("label").and_then(Json::as_str),
+            Some("flashps-kv")
+        );
+        let text = j.to_string_compact();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(
+            back.get("served_within_deadline").and_then(Json::as_u64),
+            Some(126)
+        );
+    }
+}

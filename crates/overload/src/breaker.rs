@@ -1,0 +1,272 @@
+//! Circuit breaker for the mask-cache read path.
+//!
+//! The per-read fallback in `fps-maskcache` (verify checksum, recompute
+//! on mismatch) is correct but stateless: under a persistently corrupt
+//! or brown-out disk every read still pays the serialized disk fetch
+//! before discovering it must recompute. The breaker adds state:
+//!
+//! ```text
+//!            failures >= threshold
+//!   Closed ──────────────────────────▶ Open
+//!     ▲                                 │ cooldown elapsed
+//!     │ probe succeeds                  ▼
+//!     └────────────────────────────  HalfOpen
+//!                 probe fails ──────────┘ (back to Open)
+//! ```
+//!
+//! While Open, reads short-circuit to full recompute without touching
+//! the disk at all. After a cooldown the breaker admits a single probe
+//! read (HalfOpen); a healthy probe re-closes it, a failed probe
+//! re-opens it for another cooldown. Failures are either verification
+//! failures (missing/corrupt entries) or reads slower than the
+//! configured threshold — a disk in brown-out is as useless as a
+//! corrupt one when recompute is faster.
+
+use fps_simtime::{SimDuration, SimTime};
+
+/// Breaker tuning.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip Closed → Open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays Open before admitting a probe.
+    pub cooldown: SimDuration,
+    /// A successful read slower than this counts as a failure.
+    pub slow_read_threshold: SimDuration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 3,
+            cooldown: SimDuration::from_secs_f64(15.0),
+            slow_read_threshold: SimDuration::from_secs_f64(2.0),
+        }
+    }
+}
+
+/// Breaker state, exposed for reports and assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: all reads pass through.
+    Closed,
+    /// Tripped: reads short-circuit to recompute until the cooldown
+    /// expires.
+    Open,
+    /// Cooldown expired: exactly one probe read is allowed through.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Stateful circuit breaker; all transitions are driven by explicit
+/// timestamps so behavior is deterministic under replay.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: SimTime,
+    probe_in_flight: bool,
+    trips: u64,
+    short_circuits: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker.
+    pub fn new(config: BreakerConfig) -> Self {
+        Self {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: SimTime::ZERO,
+            probe_in_flight: false,
+            trips: 0,
+            short_circuits: 0,
+        }
+    }
+
+    /// Current state as of `now` (resolves Open → HalfOpen when the
+    /// cooldown has elapsed, without consuming the probe slot).
+    pub fn state(&mut self, now: SimTime) -> BreakerState {
+        if self.state == BreakerState::Open && now.since(self.opened_at) >= self.config.cooldown {
+            self.state = BreakerState::HalfOpen;
+            self.probe_in_flight = false;
+        }
+        self.state
+    }
+
+    /// Whether a read may go to the cache at `now`. Closed: always.
+    /// Open: never (the caller should recompute). HalfOpen: exactly
+    /// one probe until its outcome is recorded.
+    pub fn allow(&mut self, now: SimTime) -> bool {
+        match self.state(now) {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                self.short_circuits += 1;
+                false
+            }
+            BreakerState::HalfOpen => {
+                if self.probe_in_flight {
+                    self.short_circuits += 1;
+                    false
+                } else {
+                    self.probe_in_flight = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Record a healthy read (verified, and faster than the slow-read
+    /// threshold).
+    pub fn record_success(&mut self, now: SimTime) {
+        match self.state(now) {
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Closed;
+                self.consecutive_failures = 0;
+                self.probe_in_flight = false;
+            }
+            BreakerState::Closed => self.consecutive_failures = 0,
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Record a failed read: verification failure or a read slower
+    /// than the threshold.
+    pub fn record_failure(&mut self, now: SimTime) {
+        match self.state(now) {
+            BreakerState::HalfOpen => self.trip(now),
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.failure_threshold {
+                    self.trip(now);
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Convenience: classify a completed read by duration and verify
+    /// outcome, and record it.
+    pub fn record_read(&mut self, now: SimTime, duration: SimDuration, verified: bool) {
+        if verified && duration <= self.config.slow_read_threshold {
+            self.record_success(now);
+        } else {
+            self.record_failure(now);
+        }
+    }
+
+    fn trip(&mut self, now: SimTime) {
+        self.state = BreakerState::Open;
+        self.opened_at = now;
+        self.consecutive_failures = 0;
+        self.probe_in_flight = false;
+        self.trips += 1;
+    }
+
+    /// Times the breaker has tripped to Open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Reads short-circuited to recompute while Open/HalfOpen.
+    pub fn short_circuits(&self) -> u64 {
+        self.short_circuits
+    }
+
+    /// Config the breaker was built with.
+    pub fn config(&self) -> &BreakerConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(secs: f64) -> SimTime {
+        SimTime::from_nanos((secs * 1e9) as u64)
+    }
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: SimDuration::from_secs_f64(10.0),
+            slow_read_threshold: SimDuration::from_secs_f64(1.0),
+        })
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let mut b = breaker();
+        b.record_failure(at(0.0));
+        b.record_failure(at(0.1));
+        b.record_success(at(0.2)); // resets the streak
+        b.record_failure(at(0.3));
+        b.record_failure(at(0.4));
+        assert_eq!(b.state(at(0.5)), BreakerState::Closed);
+        b.record_failure(at(0.5));
+        assert_eq!(b.state(at(0.6)), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn open_short_circuits_until_cooldown_then_probes() {
+        let mut b = breaker();
+        for i in 0..3 {
+            b.record_failure(at(i as f64 * 0.1));
+        }
+        assert!(!b.allow(at(1.0)), "open: no reads");
+        assert!(!b.allow(at(5.0)));
+        assert_eq!(b.short_circuits(), 2);
+        // Cooldown from trip time (0.2s) elapses at 10.2s.
+        assert_eq!(b.state(at(10.3)), BreakerState::HalfOpen);
+        assert!(b.allow(at(10.3)), "one probe admitted");
+        assert!(!b.allow(at(10.4)), "second read waits on the probe");
+    }
+
+    #[test]
+    fn probe_success_recloses_probe_failure_reopens() {
+        let mut b = breaker();
+        for i in 0..3 {
+            b.record_failure(at(i as f64 * 0.1));
+        }
+        assert!(b.allow(at(11.0)));
+        b.record_failure(at(11.1));
+        assert_eq!(b.state(at(11.2)), BreakerState::Open, "probe failed");
+        assert_eq!(b.trips(), 2);
+        // Next cooldown window: probe succeeds, breaker heals.
+        assert!(b.allow(at(22.0)));
+        b.record_success(at(22.1));
+        assert_eq!(b.state(at(22.2)), BreakerState::Closed);
+        assert!(b.allow(at(22.3)), "healed: reads flow again");
+    }
+
+    #[test]
+    fn slow_reads_count_as_failures() {
+        let mut b = breaker();
+        for i in 0..3 {
+            let t = at(i as f64);
+            assert!(b.allow(t));
+            b.record_read(t, SimDuration::from_secs_f64(3.0), true);
+        }
+        assert_eq!(b.state(at(3.0)), BreakerState::Open);
+        // Fast verified reads would not have tripped it.
+        let mut healthy = breaker();
+        for i in 0..10 {
+            let t = at(i as f64);
+            healthy.record_read(t, SimDuration::from_millis(5), true);
+        }
+        assert_eq!(healthy.state(at(20.0)), BreakerState::Closed);
+    }
+}

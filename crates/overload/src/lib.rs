@@ -1,0 +1,33 @@
+//! Overload control for the FlashPS serving stack.
+//!
+//! FlashPS's continuous batching and mask-aware load balancing (§5)
+//! assume the cluster can absorb the offered load. This crate supplies
+//! the three mechanisms that make behavior under *unabsorbable* load
+//! deliberate instead of emergent:
+//!
+//! - [`admission`] — a deterministic token bucket plus queue-depth and
+//!   deadline-feasibility checks, so infeasible requests are shed at
+//!   submit time instead of timing out in the queue.
+//! - [`ladder`] — a graceful-degradation ladder: an ordered set of
+//!   quality/latency rungs (FlashPS-kv → FlashPS → TeaCache at
+//!   decreasing `compute_fraction` → reduced denoising steps) driven
+//!   by queue pressure, with hysteresis and a minimum dwell so the
+//!   controller does not flap.
+//! - [`breaker`] — a circuit breaker (Closed → Open → HalfOpen) for
+//!   the mask-cache read path: repeated checksum failures or slow disk
+//!   reads trip it to full recompute; half-open probes re-heal it.
+//!
+//! Everything in this crate is driven by explicit [`fps_simtime`]
+//! clocks and contains no hidden entropy: the same inputs always
+//! produce the same decisions, which is what lets the chaos harness
+//! replay overload scenarios byte-identically.
+
+pub mod admission;
+pub mod breaker;
+pub mod ladder;
+
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionVerdict, ShedCause, TokenBucket,
+};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use ladder::{LadderConfig, LadderController, Rung};

@@ -18,15 +18,19 @@ use fps_chaos::{FaultKind, FaultPlan, RetryPolicy};
 use fps_maskcache::store::{HierarchicalStore, StoreConfig};
 use fps_maskcache::VerifiedFetch;
 use fps_metrics::{LatencyBreakdown, LatencyRecorder};
+use fps_overload::{AdmissionVerdict, Rung};
 use fps_simtime::{EventHandler, EventQueue, SimDuration, SimTime, Simulation};
 use fps_workload::Trace;
 
 use crate::cost::{BatchItem, CostModel};
 use crate::engine::EngineKind;
 use crate::error::ServingError;
+use crate::overload::{rung_engine, rung_steps, OverloadConfig, OverloadState};
 use crate::request::{Phase, RejectReason, RejectedRequest, RequestOutcome, SimRequest};
 use crate::router::{HealthAwareRouter, Router, WorkerView};
-use crate::worker::{BatchingPolicy, CpuTask, OutstandingReq, WorkerConfig, WorkerHealth, WorkerState};
+use crate::worker::{
+    BatchingPolicy, CpuTask, OutstandingReq, WorkerConfig, WorkerHealth, WorkerState,
+};
 use crate::Result;
 
 /// Simulation events.
@@ -41,15 +45,27 @@ enum Ev {
     /// parked re-dispatch).
     Arrival(usize),
     /// A request's preprocessing lands on a naive-CB engine process.
-    PreQueued { worker: usize, req: usize, attempt: u32 },
+    PreQueued {
+        worker: usize,
+        req: usize,
+        attempt: u32,
+    },
     /// A request is preprocessed and cache-ready on a worker.
-    Ready { worker: usize, req: usize, attempt: u32 },
+    Ready {
+        worker: usize,
+        req: usize,
+        attempt: u32,
+    },
     /// A denoising step completed.
     StepDone { worker: usize, epoch: u64 },
     /// The engine process finished a burst of CPU tasks (naive CB).
     CpuDone { worker: usize, epoch: u64 },
     /// Postprocessing of a request completed.
-    PostDone { worker: usize, req: usize, attempt: u32 },
+    PostDone {
+        worker: usize,
+        req: usize,
+        attempt: u32,
+    },
     /// The fault plan's event at this index fires.
     Fault(usize),
     /// A crashed worker rejoins the cluster.
@@ -80,6 +96,10 @@ pub struct ClusterConfig {
     pub store: StoreConfig,
     /// Scheduler decision overhead per request (0.6 ms, §6.6).
     pub scheduler_overhead: SimDuration,
+    /// Overload control (admission, degradation ladder, cache-read
+    /// circuit breaker). `None` admits everything and serves it at the
+    /// configured engine, exactly as before.
+    pub overload: Option<OverloadConfig>,
 }
 
 impl ClusterConfig {
@@ -94,7 +114,30 @@ impl ClusterConfig {
             cpu_workers: 4,
             store: StoreConfig::production_like(),
             scheduler_overhead: SimDuration::from_micros(600),
+            overload: None,
         }
+    }
+
+    /// The FlashPS default with overload control enabled: the premium
+    /// FlashPS-kv engine as rung 0 and an overload config derived from
+    /// the cluster shape at the given SLO deadline. `mask_ratio` is
+    /// the typical mask ratio of the offered load.
+    pub fn with_overload_control(
+        cost: CostModel,
+        workers: usize,
+        mask_ratio: f64,
+        deadline: SimDuration,
+    ) -> Self {
+        let mut cfg = Self::flashps_default(cost, workers);
+        cfg.engine = EngineKind::FlashPs { kv: true };
+        cfg.overload = Some(OverloadConfig::for_cluster(
+            &cfg.cost,
+            workers,
+            cfg.max_batch,
+            mask_ratio,
+            deadline,
+        ));
+        cfg
     }
 }
 
@@ -124,6 +167,10 @@ pub struct RunReport {
     pub fallback_serves: u64,
     /// Crashes suffered per worker.
     pub crashes_per_worker: Vec<u64>,
+    /// Requests shed at admission (subset of `rejected`).
+    pub shed: u64,
+    /// Times the cache-read circuit breaker tripped to Open.
+    pub breaker_trips: u64,
 }
 
 impl RunReport {
@@ -165,6 +212,51 @@ impl RunReport {
             self.fallback_serves as f64 / self.outcomes.len() as f64
         }
     }
+
+    /// Requests rejected because their deadline elapsed in the queue
+    /// (distinct from requests shed at admission).
+    pub fn deadline_rejections(&self) -> u64 {
+        self.rejected
+            .iter()
+            .filter(|r| r.reason == RejectReason::DeadlineExceeded)
+            .count() as u64
+    }
+
+    /// Served requests whose end-to-end latency met the deadline.
+    pub fn served_within(&self, deadline_secs: f64) -> u64 {
+        self.outcomes
+            .iter()
+            .filter(|o| o.total <= deadline_secs)
+            .count() as u64
+    }
+
+    /// Requests per second of virtual time that completed *within* the
+    /// deadline — the SLO goodput, which is what overload control
+    /// optimizes (plain goodput counts late answers nobody wants).
+    pub fn goodput_at_deadline(&self, deadline_secs: f64) -> f64 {
+        if self.makespan_secs > 0.0 {
+            self.served_within(deadline_secs) as f64 / self.makespan_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Served-request counts per degradation rung, in ladder order.
+    /// Requests served with overload control off count under `None`.
+    pub fn rung_counts(&self) -> Vec<(Option<Rung>, u64)> {
+        let mut counts: Vec<(Option<Rung>, u64)> = Rung::ALL
+            .iter()
+            .map(|&r| (Some(r), 0))
+            .chain(std::iter::once((None, 0)))
+            .collect();
+        for o in &self.outcomes {
+            if let Some(slot) = counts.iter_mut().find(|(k, _)| *k == o.rung) {
+                slot.1 += 1;
+            }
+        }
+        counts.retain(|&(_, n)| n > 0);
+        counts
+    }
 }
 
 /// The simulator world.
@@ -192,6 +284,9 @@ pub struct ClusterSim<'r> {
     disk_token: u64,
     rejected: Vec<RejectedRequest>,
     total_retries: u64,
+    /// Live overload-control state (admission, ladder, breaker); `None`
+    /// preserves the pre-overload behavior byte for byte.
+    overload: Option<OverloadState>,
 }
 
 impl<'r> ClusterSim<'r> {
@@ -269,10 +364,23 @@ impl<'r> ClusterSim<'r> {
             }
         }
 
+        // Pressure and admission estimates are sized to the offered
+        // load's typical mask ratio.
+        let overload = config.overload.clone().map(|ov| {
+            let n = trace.requests.len();
+            let mean_ratio = if n == 0 {
+                0.2
+            } else {
+                trace.requests.iter().map(|r| r.mask_ratio).sum::<f64>() / n as f64
+            };
+            OverloadState::new(ov, &config.cost, config.max_batch, mean_ratio)
+        });
+
         let outstanding = vec![Vec::new(); config.workers];
         let mut sim = Simulation::new();
         for (i, r) in requests.iter().enumerate() {
-            sim.queue_mut().schedule_at(r.spec.arrival(), Ev::Arrival(i));
+            sim.queue_mut()
+                .schedule_at(r.spec.arrival(), Ev::Arrival(i));
         }
         for (i, e) in plan.events.iter().enumerate() {
             sim.queue_mut().schedule_at(e.at, Ev::Fault(i));
@@ -294,6 +402,7 @@ impl<'r> ClusterSim<'r> {
             disk_token: 0,
             rejected: Vec::new(),
             total_retries: 0,
+            overload,
         };
         sim.run(&mut world);
 
@@ -303,11 +412,7 @@ impl<'r> ClusterSim<'r> {
         let mut makespan = 0.0f64;
         for r in &world.requests {
             if let Some(o) = r.outcome() {
-                makespan = makespan.max(
-                    r.completed_at
-                        .map(|t| t.as_secs_f64())
-                        .unwrap_or(0.0),
-                );
+                makespan = makespan.max(r.completed_at.map(|t| t.as_secs_f64()).unwrap_or(0.0));
                 recorder.record(LatencyBreakdown {
                     queueing: o.queueing,
                     processing: o.processing,
@@ -325,6 +430,12 @@ impl<'r> ClusterSim<'r> {
         let fallback_serves = outcomes.iter().filter(|o| o.fallback).count() as u64;
         let end = sim.now();
         let store_stats = world.store.stats();
+        let shed = world.rejected.iter().filter(|r| r.reason.is_shed()).count() as u64;
+        let breaker_trips = world
+            .overload
+            .as_ref()
+            .map(|o| o.breaker.trips())
+            .unwrap_or(0);
         Ok(RunReport {
             outcomes,
             recorder,
@@ -348,7 +459,35 @@ impl<'r> ClusterSim<'r> {
             total_retries: world.total_retries,
             fallback_serves,
             crashes_per_worker: world.workers.iter().map(|w| w.crashes).collect(),
+            shed,
+            breaker_trips,
         })
+    }
+
+    /// Engine a request is served with: its degradation rung's engine
+    /// under overload control, the configured engine otherwise.
+    fn engine_for(&self, req: usize) -> EngineKind {
+        match self.requests[req].rung {
+            Some(r) => rung_engine(r),
+            None => self.config.engine,
+        }
+    }
+
+    /// Outstanding work across the cluster plus currently parked
+    /// requests — the backlog the admission and pressure estimates see.
+    fn backlog(&self) -> usize {
+        self.outstanding.iter().map(Vec::len).sum::<usize>() + self.parked.len()
+    }
+
+    /// Concurrent service slots currently available (healthy or
+    /// degraded workers × batch size).
+    fn live_capacity(&self) -> usize {
+        let available = self
+            .workers
+            .iter()
+            .filter(|w| w.health.is_available())
+            .count();
+        available * self.config.max_batch.max(1)
     }
 
     fn views(&self) -> Vec<WorkerView> {
@@ -373,6 +512,30 @@ impl<'r> ClusterSim<'r> {
     fn handle_arrival(&mut self, now: SimTime, req: usize, q: &mut EventQueue<Ev>) {
         if self.requests[req].rejected.is_some() || self.requests[req].phase == Phase::Done {
             return;
+        }
+        if self.overload.is_some() {
+            let backlog = self.backlog();
+            let capacity = self.live_capacity();
+            // Admission runs once, at first submission; retries and
+            // parked re-dispatches have already paid for their slot.
+            if !self.requests[req].admitted {
+                let ov = self.overload.as_mut().expect("checked above");
+                let est_floor = ov.est_completion_secs(backlog, capacity, ov.wave_floor);
+                match ov.admission.check(now, backlog, est_floor) {
+                    AdmissionVerdict::Admit => self.requests[req].admitted = true,
+                    AdmissionVerdict::Shed(cause) => {
+                        self.reject(req, RejectReason::Shed(cause));
+                        return;
+                    }
+                }
+            }
+            // The ladder picks the rung for this dispatch; a retry is
+            // re-assessed at the pressure prevailing when it re-enters.
+            let ov = self.overload.as_mut().expect("checked above");
+            let pressure = ov.pressure(backlog, capacity);
+            let rung = ov.ladder.observe(pressure, now);
+            self.requests[req].rung = Some(rung);
+            self.requests[req].steps_left = rung_steps(rung, self.steps);
         }
         if self.chaos {
             let arrival = self.requests[req].spec.arrival();
@@ -405,8 +568,20 @@ impl<'r> ClusterSim<'r> {
         self.outstanding[w].push(req);
 
         let t0 = now + self.config.scheduler_overhead;
-        let cache_ready = if self.config.engine.uses_cache() {
-            if self.chaos {
+        let cache_ready = if self.engine_for(req).uses_cache() {
+            if let Some(ov) = self.overload.as_mut() {
+                // Breaker-guarded read: stateful protection replaces
+                // the per-read fallback — while Open, the read
+                // short-circuits to recompute with no disk I/O.
+                let template = self.requests[req].spec.template_id;
+                match self.store.fetch_guarded(&mut ov.breaker, template, t0) {
+                    VerifiedFetch::Intact(ready) => ready,
+                    VerifiedFetch::Fallback(_) => {
+                        self.requests[req].fallback = true;
+                        t0
+                    }
+                }
+            } else if self.chaos {
                 // Verified read: a lost or corrupt template falls back
                 // to full recompute instead of failing the request.
                 match self
@@ -434,7 +609,14 @@ impl<'r> ClusterSim<'r> {
         match self.config.batching {
             BatchingPolicy::ContinuousNaive => {
                 // Preprocessing runs on the engine process.
-                q.schedule_at(t0, Ev::PreQueued { worker: w, req, attempt });
+                q.schedule_at(
+                    t0,
+                    Ev::PreQueued {
+                        worker: w,
+                        req,
+                        attempt,
+                    },
+                );
             }
             _ => {
                 // Preprocessing runs on the CPU pool.
@@ -442,7 +624,14 @@ impl<'r> ClusterSim<'r> {
                 let (_, done) = self.workers[w].cpu_pool.acquire(t0, pre);
                 self.requests[req].processing_secs += pre.as_secs_f64();
                 let ready_at = done.max(cache_ready);
-                q.schedule_at(ready_at, Ev::Ready { worker: w, req, attempt });
+                q.schedule_at(
+                    ready_at,
+                    Ev::Ready {
+                        worker: w,
+                        req,
+                        attempt,
+                    },
+                );
             }
         }
     }
@@ -472,9 +661,9 @@ impl<'r> ClusterSim<'r> {
             }
             self.workers[w].running.retain(|&x| x != req);
             self.workers[w].ready.retain(|&x| x != req);
-            self.workers[w].pending_cpu.retain(|t| {
-                !matches!(*t, CpuTask::Pre(i) | CpuTask::Post(i) if i == req)
-            });
+            self.workers[w]
+                .pending_cpu
+                .retain(|t| !matches!(*t, CpuTask::Pre(i) | CpuTask::Post(i) if i == req));
         }
     }
 
@@ -515,14 +704,28 @@ impl<'r> ClusterSim<'r> {
                             self.config.cost.cpu.preprocess.as_secs_f64();
                         let ready_at = cursor.max(self.requests[i].cache_ready_at);
                         let attempt = self.requests[i].retries;
-                        q.schedule_at(ready_at, Ev::Ready { worker: w, req: i, attempt });
+                        q.schedule_at(
+                            ready_at,
+                            Ev::Ready {
+                                worker: w,
+                                req: i,
+                                attempt,
+                            },
+                        );
                     }
                     CpuTask::Post(i) => {
                         cursor += self.config.cost.cpu.postprocess;
                         self.requests[i].processing_secs +=
                             self.config.cost.cpu.postprocess.as_secs_f64();
                         let attempt = self.requests[i].retries;
-                        q.schedule_at(cursor, Ev::PostDone { worker: w, req: i, attempt });
+                        q.schedule_at(
+                            cursor,
+                            Ev::PostDone {
+                                worker: w,
+                                req: i,
+                                attempt,
+                            },
+                        );
                     }
                 }
                 for &r in &inflight {
@@ -545,11 +748,22 @@ impl<'r> ClusterSim<'r> {
         } else {
             self.workers[w].running.is_empty()
         };
+        // Under overload control, work whose SLO deadline elapsed in
+        // the queue is shed at batch join instead of burning GPU time
+        // on an answer nobody is waiting for.
+        let slo = self.overload.as_ref().map(|ov| ov.config.deadline);
         if can_admit {
             while self.workers[w].running.len() < max_batch {
                 let Some(i) = self.workers[w].ready.pop_front() else {
                     break;
                 };
+                if let Some(deadline) = slo {
+                    let arrival = self.requests[i].spec.arrival();
+                    if now.since(arrival) > deadline {
+                        self.reject(i, RejectReason::DeadlineExceeded);
+                        continue;
+                    }
+                }
                 self.requests[i].phase = Phase::Running;
                 if self.requests[i].batch_joined_at.is_none() {
                     self.requests[i].batch_joined_at = Some(now);
@@ -563,18 +777,37 @@ impl<'r> ClusterSim<'r> {
 
         // Execute one denoising step for the batch. A fallback request
         // lost its cached activations and recomputes all tokens.
-        let items: Vec<BatchItem> = self.workers[w]
-            .running
-            .iter()
-            .map(|&i| BatchItem {
-                mask_ratio: if self.requests[i].fallback {
-                    1.0
-                } else {
-                    self.requests[i].spec.mask_ratio
-                },
-            })
-            .collect();
-        let mut lat = self.config.engine.step_latency(&self.config.cost, &items);
+        let item_for = |r: &SimRequest| BatchItem {
+            mask_ratio: if r.fallback { 1.0 } else { r.spec.mask_ratio },
+        };
+        let mut lat = if self.overload.is_some() {
+            // A mixed-rung batch executes per-rung groups back to
+            // back: heterogeneous engines cannot fuse into one kernel
+            // launch. With a single rung this degenerates to the plain
+            // whole-batch cost.
+            let mut groups: Vec<(Option<Rung>, Vec<BatchItem>)> = Vec::new();
+            for &i in &self.workers[w].running {
+                let key = self.requests[i].rung;
+                let item = item_for(&self.requests[i]);
+                match groups.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, items)) => items.push(item),
+                    None => groups.push((key, vec![item])),
+                }
+            }
+            let mut lat = SimDuration::ZERO;
+            for (key, items) in &groups {
+                let engine = key.map(rung_engine).unwrap_or(self.config.engine);
+                lat += engine.step_latency(&self.config.cost, items);
+            }
+            lat
+        } else {
+            let items: Vec<BatchItem> = self.workers[w]
+                .running
+                .iter()
+                .map(|&i| item_for(&self.requests[i]))
+                .collect();
+            self.config.engine.step_latency(&self.config.cost, &items)
+        };
         if continuous {
             lat += self.config.cost.cpu.batch_overhead;
         }
@@ -609,7 +842,7 @@ impl<'r> ClusterSim<'r> {
             }
             // A fallback recompute regenerated the template's
             // activations; re-insert so later requests hit again.
-            if self.requests[i].fallback && self.config.engine.uses_cache() {
+            if self.requests[i].fallback && self.engine_for(i).uses_cache() {
                 let bytes = self
                     .config
                     .cost
@@ -629,15 +862,29 @@ impl<'r> ClusterSim<'r> {
                     let start = now + self.config.cost.cpu.disagg_handoff;
                     let post = self.config.cost.cpu.postprocess;
                     let (_, done) = self.workers[w].cpu_pool.acquire(start, post);
-                    self.requests[i].processing_secs += post.as_secs_f64()
-                        + self.config.cost.cpu.disagg_handoff.as_secs_f64();
-                    q.schedule_at(done, Ev::PostDone { worker: w, req: i, attempt });
+                    self.requests[i].processing_secs +=
+                        post.as_secs_f64() + self.config.cost.cpu.disagg_handoff.as_secs_f64();
+                    q.schedule_at(
+                        done,
+                        Ev::PostDone {
+                            worker: w,
+                            req: i,
+                            attempt,
+                        },
+                    );
                 }
                 BatchingPolicy::Static => {
                     let post = self.config.cost.cpu.postprocess;
                     let (_, done) = self.workers[w].cpu_pool.acquire(now, post);
                     self.requests[i].processing_secs += post.as_secs_f64();
-                    q.schedule_at(done, Ev::PostDone { worker: w, req: i, attempt });
+                    q.schedule_at(
+                        done,
+                        Ev::PostDone {
+                            worker: w,
+                            req: i,
+                            attempt,
+                        },
+                    );
                 }
             }
         }
@@ -651,7 +898,11 @@ impl<'r> ClusterSim<'r> {
             FaultKind::WorkerCrash { worker, downtime } => {
                 self.crash_worker(worker, downtime, now, q);
             }
-            FaultKind::WorkerSlowdown { worker, factor, duration } => {
+            FaultKind::WorkerSlowdown {
+                worker,
+                factor,
+                duration,
+            } => {
                 if self.workers[worker].health == WorkerHealth::Down {
                     return;
                 }
@@ -741,7 +992,11 @@ impl<'r> EventHandler<Ev> for ClusterSim<'r> {
         };
         match event {
             Ev::Arrival(i) => self.handle_arrival(now, i, q),
-            Ev::PreQueued { worker, req, attempt } => {
+            Ev::PreQueued {
+                worker,
+                req,
+                attempt,
+            } => {
                 if stale(&self.requests, req, attempt) {
                     return;
                 }
@@ -749,10 +1004,16 @@ impl<'r> EventHandler<Ev> for ClusterSim<'r> {
                     self.retry_or_reject(req, now, q);
                     return;
                 }
-                self.workers[worker].pending_cpu.push_back(CpuTask::Pre(req));
+                self.workers[worker]
+                    .pending_cpu
+                    .push_back(CpuTask::Pre(req));
                 self.kick(worker, now, q);
             }
-            Ev::Ready { worker, req, attempt } => {
+            Ev::Ready {
+                worker,
+                req,
+                attempt,
+            } => {
                 if stale(&self.requests, req, attempt) {
                     return;
                 }
@@ -777,7 +1038,11 @@ impl<'r> EventHandler<Ev> for ClusterSim<'r> {
                 self.workers[worker].busy = false;
                 self.kick(worker, now, q);
             }
-            Ev::PostDone { worker: _, req, attempt } => {
+            Ev::PostDone {
+                worker: _,
+                req,
+                attempt,
+            } => {
                 if stale(&self.requests, req, attempt) {
                     return;
                 }
@@ -833,6 +1098,7 @@ mod tests {
             cpu_workers: 4,
             store: StoreConfig::production_like(),
             scheduler_overhead: SimDuration::from_micros(600),
+            overload: None,
         }
     }
 
@@ -858,10 +1124,7 @@ mod tests {
                 EngineKind::FlashPs { kv: false },
                 BatchingPolicy::ContinuousNaive,
             ),
-            (
-                EngineKind::FlashPs { kv: false },
-                BatchingPolicy::Static,
-            ),
+            (EngineKind::FlashPs { kv: false }, BatchingPolicy::Static),
         ] {
             let mut router = RoundRobinRouter::default();
             let report =
@@ -1028,7 +1291,11 @@ mod tests {
             &mut router,
         )
         .unwrap();
-        let mut ints: Vec<f64> = naive.outcomes.iter().map(|o| o.interruptions as f64).collect();
+        let mut ints: Vec<f64> = naive
+            .outcomes
+            .iter()
+            .map(|o| o.interruptions as f64)
+            .collect();
         ints.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = ints[ints.len() / 2];
         assert!(
@@ -1197,8 +1464,7 @@ mod tests {
         );
         let retry = RetryPolicy::default();
         let mut r1 = RoundRobinRouter::default();
-        let degraded =
-            ClusterSim::run_with_faults(cfg(), &trace, &mut r1, &slow, &retry).unwrap();
+        let degraded = ClusterSim::run_with_faults(cfg(), &trace, &mut r1, &slow, &retry).unwrap();
         let mut r2 = RoundRobinRouter::default();
         let nominal = ClusterSim::run(cfg(), &trace, &mut r2).unwrap();
         assert!(
@@ -1324,6 +1590,122 @@ mod tests {
         }
     }
 
+    fn bursty_trace(rps: f64, secs: f64, seed: u64) -> Trace {
+        Trace::generate(&TraceConfig {
+            rps,
+            arrivals: fps_workload::trace::ArrivalProcess::bursty_default(),
+            duration_secs: secs,
+            ratio_dist: RatioDistribution::VitonHd,
+            num_templates: 4,
+            zipf_s: 1.0,
+            seed,
+        })
+    }
+
+    fn overload_config(workers: usize, deadline_secs: f64) -> ClusterConfig {
+        ClusterConfig::with_overload_control(
+            CostModel::new(GpuSpec::h800(), ModelConfig::paper_sdxl()),
+            workers,
+            0.35,
+            SimDuration::from_secs_f64(deadline_secs),
+        )
+    }
+
+    #[test]
+    fn overload_control_sheds_under_saturation_and_conserves() {
+        // ~2 workers sustain ≈ 2 rps of VITON-HD edits; offer 5 rps.
+        let trace = bursty_trace(5.0, 120.0, 24);
+        let n = trace.len();
+        let mut router = LeastLoadedRouter;
+        let report = ClusterSim::run(overload_config(2, 30.0), &trace, &mut router).unwrap();
+        assert!(report.shed > 0, "saturation must shed at admission");
+        assert_eq!(
+            report.outcomes.len() + report.rejected.len(),
+            n,
+            "shed requests are rejected explicitly, never lost"
+        );
+        // Every shed reason is a Shed variant, counted apart from
+        // in-queue deadline rejections.
+        let shed_listed = report
+            .rejected
+            .iter()
+            .filter(|r| r.reason.is_shed())
+            .count() as u64;
+        assert_eq!(shed_listed, report.shed);
+        // The ladder engaged: some work served below the premium rung.
+        assert!(
+            report
+                .outcomes
+                .iter()
+                .any(|o| o.rung.is_some() && o.rung != Some(Rung::FlashPsKv)),
+            "saturation must push the ladder down"
+        );
+        // Served-at-deadline accounting is consistent.
+        assert!(report.served_within(30.0) <= report.outcomes.len() as u64);
+        assert!(report.goodput_at_deadline(30.0) <= report.goodput_rps() + 1e-12);
+
+        // Determinism: same trace, same config, same report.
+        let mut router2 = LeastLoadedRouter;
+        let replay = ClusterSim::run(overload_config(2, 30.0), &trace, &mut router2).unwrap();
+        assert_eq!(report.outcomes, replay.outcomes);
+        assert_eq!(report.rejected, replay.rejected);
+    }
+
+    #[test]
+    fn overload_control_off_stays_byte_identical() {
+        // The overload field is None by default: flashps_default runs
+        // must be unchanged by this feature existing.
+        let trace = small_trace(1.0, 60.0, 22);
+        let cfg = || {
+            base_config(
+                EngineKind::FlashPs { kv: false },
+                BatchingPolicy::ContinuousDisaggregated,
+                2,
+            )
+        };
+        let mut r1 = LeastLoadedRouter;
+        let a = ClusterSim::run(cfg(), &trace, &mut r1).unwrap();
+        let mut r2 = LeastLoadedRouter;
+        let b = ClusterSim::run(cfg(), &trace, &mut r2).unwrap();
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.shed, 0);
+        assert_eq!(a.breaker_trips, 0);
+        assert!(a.outcomes.iter().all(|o| o.rung.is_none()));
+    }
+
+    #[test]
+    fn ladder_recovers_after_burst_passes() {
+        // A short saturating burst followed by a long quiet tail: late
+        // arrivals must be served at the premium rung again.
+        let mut requests = bursty_trace(6.0, 30.0, 23).requests;
+        let quiet = small_trace(0.2, 120.0, 24);
+        let offset = 90_000_000_000u64; // quiet phase starts at 90 s
+        for (k, r) in quiet.requests.iter().enumerate() {
+            let mut r = r.clone();
+            r.id = 10_000 + k as u64;
+            r.arrival_ns += offset;
+            requests.push(r);
+        }
+        let trace = Trace { requests };
+        let mut router = LeastLoadedRouter;
+        let report = ClusterSim::run(overload_config(2, 30.0), &trace, &mut router).unwrap();
+        let late_rungs: Vec<Option<Rung>> = report
+            .outcomes
+            .iter()
+            .filter(|o| o.id >= 10_000)
+            .map(|o| o.rung)
+            .collect();
+        assert!(!late_rungs.is_empty());
+        assert!(
+            late_rungs
+                .iter()
+                .rev()
+                .take(5)
+                .all(|r| *r == Some(Rung::FlashPsKv)),
+            "hysteresis must let the ladder climb back after the burst: {late_rungs:?}"
+        );
+    }
+
     #[test]
     fn utilization_and_steps_are_reported() {
         let trace = small_trace(1.0, 60.0, 7);
@@ -1342,9 +1724,6 @@ mod tests {
         assert!(report.steps_per_worker.iter().all(|&s| s > 0));
         // The FlashPS engine touched the activation store.
         assert!(report.store_stats.host_hits > 0);
-        assert!(report
-            .utilization
-            .iter()
-            .all(|&u| (0.0..=1.0).contains(&u)));
+        assert!(report.utilization.iter().all(|&u| (0.0..=1.0).contains(&u)));
     }
 }

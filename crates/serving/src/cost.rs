@@ -180,8 +180,7 @@ impl CostModel {
     pub fn step_latency_full(&self, batch: usize) -> SimDuration {
         let batch = batch.max(1);
         let l = self.model.tokens();
-        let per_block =
-            flops::block_flops(&self.model, l, l, l) * batch as u64;
+        let per_block = flops::block_flops(&self.model, l, l, l) * batch as u64;
         let tokens = (l * batch) as f64;
         let mut total = SimDuration::ZERO;
         for _ in 0..self.model.blocks {
@@ -324,10 +323,7 @@ mod tests {
         let batch = vec![BatchItem { mask_ratio: 0.2 }; 4];
         let full = cm.step_latency_full(4);
         let (aware, plan) = cm.step_latency_mask_aware(&batch, false);
-        assert!(
-            aware < full,
-            "mask-aware {aware} should beat full {full}"
-        );
+        assert!(aware < full, "mask-aware {aware} should beat full {full}");
         assert_eq!(plan.len(), cm.model.blocks);
         // The paper reports ~2.2× speedup for SDXL at m = 0.2 including
         // loading overheads; expect the same ballpark (1.5–4×).

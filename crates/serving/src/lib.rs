@@ -16,6 +16,7 @@ pub mod cluster;
 pub mod cost;
 pub mod engine;
 pub mod error;
+pub mod overload;
 pub mod profiler;
 pub mod request;
 pub mod router;
@@ -25,6 +26,7 @@ pub use cluster::{ClusterConfig, ClusterSim, RunReport};
 pub use cost::{CostModel, GpuSpec};
 pub use engine::EngineKind;
 pub use error::ServingError;
+pub use overload::{OverloadConfig, OverloadState};
 pub use request::{RejectReason, RejectedRequest, RequestOutcome, SimRequest};
 pub use router::{
     HealthAwareRouter, LeastLoadedRouter, RoundRobinRouter, Router, TokenCountRouter, WorkerView,

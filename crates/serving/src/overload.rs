@@ -1,0 +1,231 @@
+//! Overload wiring for the cluster simulator.
+//!
+//! `fps-overload` supplies the mechanisms (token bucket, hysteretic
+//! ladder, circuit breaker); this module binds them to the serving
+//! domain: rungs map to concrete [`EngineKind`]s, queue pressure is
+//! estimated from the [`CostModel`]'s step-latency predictions, and
+//! the whole bundle hangs off [`ClusterConfig::overload`].
+//!
+//! [`ClusterConfig::overload`]: crate::cluster::ClusterConfig
+
+use fps_overload::{
+    AdmissionConfig, AdmissionController, BreakerConfig, CircuitBreaker, LadderConfig,
+    LadderController, Rung,
+};
+use fps_simtime::SimDuration;
+
+use crate::cost::{BatchItem, CostModel};
+use crate::engine::EngineKind;
+
+/// Engine a degradation rung serves with. The mapping is absolute —
+/// rung 0 *is* the premium FlashPS-kv configuration — so clusters that
+/// enable overload control should configure their base engine as
+/// `FlashPs { kv: true }` if they want zero-pressure service identical
+/// to rung 0.
+pub fn rung_engine(rung: Rung) -> EngineKind {
+    match rung {
+        Rung::FlashPsKv => EngineKind::FlashPs { kv: true },
+        Rung::FlashPs => EngineKind::FlashPs { kv: false },
+        Rung::TeaCacheHigh | Rung::TeaCacheLow | Rung::ReducedSteps => EngineKind::TeaCache {
+            compute_fraction: rung.compute_fraction() as f64,
+        },
+    }
+}
+
+/// Denoising steps a rung serves with, given the model's full
+/// schedule (only the deepest rung shortens it).
+pub fn rung_steps(rung: Rung, full_steps: usize) -> usize {
+    ((full_steps as f64) * rung.steps_factor()).round().max(1.0) as usize
+}
+
+/// Overload-control configuration for a cluster run.
+#[derive(Debug, Clone)]
+pub struct OverloadConfig {
+    /// Admission gates (rate, queue depth, feasibility).
+    pub admission: AdmissionConfig,
+    /// Degradation-ladder thresholds and damping.
+    pub ladder: LadderConfig,
+    /// Circuit breaker guarding the activation-store read path.
+    pub breaker: BreakerConfig,
+    /// SLO deadline: normalizes queue pressure, bounds the feasibility
+    /// gate, and sheds requests still queued when it elapses.
+    pub deadline: SimDuration,
+}
+
+impl OverloadConfig {
+    /// Derive a config from the cluster shape and cost model.
+    ///
+    /// `mask_ratio` is the typical mask ratio of the offered load (the
+    /// trace mean); it sizes the step-latency estimates that the
+    /// admission rate and pressure model are built on.
+    pub fn for_cluster(
+        cost: &CostModel,
+        workers: usize,
+        max_batch: usize,
+        mask_ratio: f64,
+        deadline: SimDuration,
+    ) -> Self {
+        let wave = wave_secs(
+            cost,
+            rung_engine(Rung::FlashPsKv),
+            max_batch,
+            mask_ratio,
+            cost.model.steps,
+        );
+        let capacity = workers.max(1) * max_batch.max(1);
+        Self {
+            admission: AdmissionConfig::for_capacity(capacity, wave, deadline.as_secs_f64()),
+            ladder: LadderConfig::default(),
+            breaker: BreakerConfig::default(),
+            deadline,
+        }
+    }
+}
+
+/// Seconds for one full service wave: a `max_batch`-sized batch of
+/// `mask_ratio` edits through `steps` denoising steps on `engine`.
+pub fn wave_secs(
+    cost: &CostModel,
+    engine: EngineKind,
+    max_batch: usize,
+    mask_ratio: f64,
+    steps: usize,
+) -> f64 {
+    let items = vec![BatchItem { mask_ratio }; max_batch.max(1)];
+    engine.step_latency(cost, &items).as_secs_f64() * steps as f64
+}
+
+/// Live overload state carried by a cluster run.
+#[derive(Debug)]
+pub struct OverloadState {
+    /// The config the state was built from.
+    pub config: OverloadConfig,
+    /// Token bucket + queue/feasibility gates.
+    pub admission: AdmissionController,
+    /// Hysteretic rung selector.
+    pub ladder: LadderController,
+    /// Breaker on the activation-store read path.
+    pub breaker: CircuitBreaker,
+    /// Seconds per service wave at the premium rung.
+    pub wave_base: f64,
+    /// Seconds per service wave at the cheapest rung (feasibility
+    /// floor: TeaCache-low with the reduced step schedule).
+    pub wave_floor: f64,
+}
+
+impl OverloadState {
+    /// Build run state: wave estimates come from the cost model at the
+    /// offered load's typical `mask_ratio`.
+    pub fn new(
+        config: OverloadConfig,
+        cost: &CostModel,
+        max_batch: usize,
+        mask_ratio: f64,
+    ) -> Self {
+        let steps = cost.model.steps;
+        let wave_base = wave_secs(
+            cost,
+            rung_engine(Rung::FlashPsKv),
+            max_batch,
+            mask_ratio,
+            steps,
+        );
+        let wave_floor = wave_secs(
+            cost,
+            rung_engine(Rung::ReducedSteps),
+            max_batch,
+            mask_ratio,
+            rung_steps(Rung::ReducedSteps, steps),
+        );
+        Self {
+            admission: AdmissionController::new(config.admission.clone()),
+            ladder: LadderController::new(config.ladder.clone()),
+            breaker: CircuitBreaker::new(config.breaker.clone()),
+            config,
+            wave_base,
+            wave_floor,
+        }
+    }
+
+    /// Estimated completion seconds for a request arriving with
+    /// `outstanding` requests ahead of it over `capacity` concurrent
+    /// slots, at a given per-wave cost.
+    pub fn est_completion_secs(&self, outstanding: usize, capacity: usize, wave: f64) -> f64 {
+        let cap = capacity.max(1) as f64;
+        (outstanding as f64 / cap + 1.0) * wave
+    }
+
+    /// Queue pressure: predicted completion time at the *current* rung
+    /// over the SLO deadline. 1.0 means the backlog already consumes
+    /// the whole deadline.
+    pub fn pressure(&self, outstanding: usize, capacity: usize) -> f64 {
+        let deadline = self.config.deadline.as_secs_f64().max(1e-9);
+        self.est_completion_secs(outstanding, capacity, self.wave_base) / deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::GpuSpec;
+    use fps_diffusion::ModelConfig;
+
+    fn cm() -> CostModel {
+        CostModel::new(GpuSpec::h800(), ModelConfig::paper_sdxl())
+    }
+
+    #[test]
+    fn rung_engines_follow_the_ladder() {
+        assert_eq!(
+            rung_engine(Rung::FlashPsKv),
+            EngineKind::FlashPs { kv: true }
+        );
+        assert_eq!(
+            rung_engine(Rung::FlashPs),
+            EngineKind::FlashPs { kv: false }
+        );
+        match rung_engine(Rung::TeaCacheHigh) {
+            EngineKind::TeaCache { compute_fraction } => {
+                assert!((compute_fraction - 0.6).abs() < 1e-6)
+            }
+            other => panic!("expected teacache, got {other:?}"),
+        }
+        match rung_engine(Rung::ReducedSteps) {
+            EngineKind::TeaCache { compute_fraction } => {
+                assert!((compute_fraction - 0.35).abs() < 1e-6)
+            }
+            other => panic!("expected teacache, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn only_the_deepest_rung_cuts_steps() {
+        assert_eq!(rung_steps(Rung::FlashPsKv, 50), 50);
+        assert_eq!(rung_steps(Rung::TeaCacheLow, 50), 50);
+        assert_eq!(rung_steps(Rung::ReducedSteps, 50), 30);
+        assert_eq!(rung_steps(Rung::ReducedSteps, 1), 1, "never below one");
+    }
+
+    #[test]
+    fn derived_config_and_pressure_are_consistent() {
+        let cost = cm();
+        let deadline = SimDuration::from_secs_f64(30.0);
+        let cfg = OverloadConfig::for_cluster(&cost, 2, 8, 0.2, deadline);
+        assert!(cfg.admission.rate_per_sec > 0.0);
+        let state = OverloadState::new(cfg, &cost, 8, 0.2);
+        assert!(state.wave_base > 0.0);
+        assert!(
+            state.wave_floor < state.wave_base,
+            "cheapest rung must be cheaper per wave: floor {} vs base {}",
+            state.wave_floor,
+            state.wave_base
+        );
+        // Pressure grows monotonically with backlog.
+        let p0 = state.pressure(0, 16);
+        let p1 = state.pressure(16, 16);
+        let p2 = state.pressure(64, 16);
+        assert!(p0 < p1 && p1 < p2);
+        // An empty cluster's pressure is one wave over the deadline.
+        assert!((p0 - state.wave_base / 30.0).abs() < 1e-12);
+    }
+}

@@ -140,9 +140,7 @@ mod tests {
         let (model, _, _) = fit_latency_model(&cost).unwrap();
         let small = vec![BatchItem { mask_ratio: 0.1 }];
         let large = vec![BatchItem { mask_ratio: 0.5 }; 6];
-        assert!(
-            model.predict_compute(&cost, &large) > model.predict_compute(&cost, &small)
-        );
+        assert!(model.predict_compute(&cost, &large) > model.predict_compute(&cost, &small));
         assert!(model.predict_load(&cost, &large) > model.predict_load(&cost, &small));
     }
 
@@ -152,8 +150,7 @@ mod tests {
         let one = vec![BatchItem { mask_ratio: 0.2 }];
         let four = vec![BatchItem { mask_ratio: 0.2 }; 4];
         assert!(
-            (batch_step_tflops(&cost, &four) - 4.0 * batch_step_tflops(&cost, &one)).abs()
-                < 1e-9
+            (batch_step_tflops(&cost, &four) - 4.0 * batch_step_tflops(&cost, &one)).abs() < 1e-9
         );
         assert!(
             (batch_step_load_gib(&cost, &four) - 4.0 * batch_step_load_gib(&cost, &one)).abs()

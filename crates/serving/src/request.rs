@@ -1,5 +1,6 @@
 //! Request lifecycle state inside the serving simulator.
 
+use fps_overload::{Rung, ShedCause};
 use fps_simtime::SimTime;
 use fps_workload::RequestSpec;
 
@@ -50,6 +51,12 @@ pub struct SimRequest {
     pub fallback: bool,
     /// Set when the request was explicitly rejected instead of served.
     pub rejected: Option<RejectReason>,
+    /// Degradation rung the request is served at (None when overload
+    /// control is off).
+    pub rung: Option<Rung>,
+    /// Whether the request has passed admission control (checked once,
+    /// on the first attempt; retries and parked re-dispatches keep it).
+    pub admitted: bool,
 }
 
 impl SimRequest {
@@ -69,6 +76,8 @@ impl SimRequest {
             retries: 0,
             fallback: false,
             rejected: None,
+            rung: None,
+            admitted: false,
         }
     }
 
@@ -92,6 +101,9 @@ pub enum RejectReason {
     DeadlineExceeded,
     /// The retry budget ran out.
     RetriesExhausted,
+    /// Shed at admission: the overload controller judged the request
+    /// infeasible before it consumed any cluster resources.
+    Shed(ShedCause),
 }
 
 impl RejectReason {
@@ -100,7 +112,16 @@ impl RejectReason {
         match self {
             Self::DeadlineExceeded => "deadline-exceeded",
             Self::RetriesExhausted => "retries-exhausted",
+            Self::Shed(ShedCause::RateLimited) => "shed-rate-limited",
+            Self::Shed(ShedCause::QueueFull) => "shed-queue-full",
+            Self::Shed(ShedCause::Infeasible) => "shed-infeasible",
         }
+    }
+
+    /// Whether the request was shed at admission (as opposed to
+    /// rejected after consuming queue or compute time).
+    pub fn is_shed(self) -> bool {
+        matches!(self, Self::Shed(_))
     }
 }
 
@@ -138,6 +159,9 @@ pub struct RequestOutcome {
     pub retries: u32,
     /// Whether the request was served via full-recompute fallback.
     pub fallback: bool,
+    /// Degradation rung the request was served at (None when overload
+    /// control was off).
+    pub rung: Option<Rung>,
 }
 
 impl SimRequest {
@@ -161,6 +185,7 @@ impl SimRequest {
             interruptions: self.interruptions,
             retries: self.retries,
             fallback: self.fallback,
+            rung: self.rung,
         })
     }
 }

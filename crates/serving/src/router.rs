@@ -216,7 +216,9 @@ mod tests {
     fn round_robin_cycles() {
         let mut r = RoundRobinRouter::default();
         let ws = vec![view(0, &[]), view(1, &[]), view(2, &[])];
-        let picks: Vec<usize> = (0..6).map(|_| r.route(&spec(), &ws, SimTime::ZERO)).collect();
+        let picks: Vec<usize> = (0..6)
+            .map(|_| r.route(&spec(), &ws, SimTime::ZERO))
+            .collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
         assert_eq!(r.name(), "round-robin");
     }
@@ -224,7 +226,11 @@ mod tests {
     #[test]
     fn least_loaded_picks_fewest_requests() {
         let mut r = LeastLoadedRouter;
-        let ws = vec![view(0, &[0.1, 0.1]), view(1, &[0.9]), view(2, &[0.1, 0.2, 0.3])];
+        let ws = vec![
+            view(0, &[0.1, 0.1]),
+            view(1, &[0.9]),
+            view(2, &[0.1, 0.2, 0.3]),
+        ];
         assert_eq!(r.route(&spec(), &ws, SimTime::ZERO), 1);
     }
 
@@ -252,7 +258,9 @@ mod tests {
         // ids are 3 and 7.
         let mut r = RoundRobinRouter::default();
         let ws = vec![view(3, &[]), view(7, &[])];
-        let picks: Vec<usize> = (0..4).map(|_| r.route(&spec(), &ws, SimTime::ZERO)).collect();
+        let picks: Vec<usize> = (0..4)
+            .map(|_| r.route(&spec(), &ws, SimTime::ZERO))
+            .collect();
         assert_eq!(picks, vec![3, 7, 3, 7]);
     }
 
@@ -263,7 +271,9 @@ mod tests {
         ws[1].health = WorkerHealth::Degraded;
 
         let mut rr = HealthAwareRouter::new(RoundRobinRouter::default());
-        let picks: Vec<usize> = (0..4).map(|_| rr.route(&spec(), &ws, SimTime::ZERO)).collect();
+        let picks: Vec<usize> = (0..4)
+            .map(|_| rr.route(&spec(), &ws, SimTime::ZERO))
+            .collect();
         assert_eq!(picks, vec![1, 2, 1, 2], "down worker 0 never chosen");
 
         let mut ll = HealthAwareRouter::new(LeastLoadedRouter);
@@ -293,5 +303,25 @@ mod tests {
         let mut r = HealthAwareRouter::new(LeastLoadedRouter);
         let pick = r.route(&spec(), &ws, SimTime::ZERO);
         assert!(pick == 0 || pick == 1);
+    }
+
+    #[test]
+    fn health_aware_wrapper_with_every_worker_down_still_routes() {
+        // With no available worker the wrapper falls through to the
+        // inner policy over the full (unhealthy) view: it must return
+        // a valid worker id, not panic or go out of range — the
+        // cluster parks the request against that worker's recovery.
+        let mut ws = vec![view(0, &[]), view(1, &[]), view(2, &[])];
+        for w in &mut ws {
+            w.health = WorkerHealth::Down;
+        }
+        let mut rr = HealthAwareRouter::new(RoundRobinRouter::default());
+        let mut ll = HealthAwareRouter::new(LeastLoadedRouter);
+        let mut tc = HealthAwareRouter::new(TokenCountRouter);
+        for _ in 0..4 {
+            assert!(rr.route(&spec(), &ws, SimTime::ZERO) < 3);
+            assert_eq!(ll.route(&spec(), &ws, SimTime::ZERO), 0);
+            assert_eq!(tc.route(&spec(), &ws, SimTime::ZERO), 0);
+        }
     }
 }

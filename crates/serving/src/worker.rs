@@ -166,7 +166,10 @@ impl WorkerState {
 
     /// Whether the worker has no work at all.
     pub fn is_idle(&self) -> bool {
-        !self.busy && self.running.is_empty() && self.ready.is_empty() && self.pending_cpu.is_empty()
+        !self.busy
+            && self.running.is_empty()
+            && self.ready.is_empty()
+            && self.pending_cpu.is_empty()
     }
 }
 
@@ -187,10 +190,7 @@ mod tests {
     fn policy_labels() {
         assert_eq!(BatchingPolicy::Static.label(), "static");
         assert_eq!(BatchingPolicy::ContinuousNaive.label(), "naive-cb");
-        assert_eq!(
-            BatchingPolicy::ContinuousDisaggregated.label(),
-            "disagg-cb"
-        );
+        assert_eq!(BatchingPolicy::ContinuousDisaggregated.label(), "disagg-cb");
         assert!(!BatchingPolicy::Static.is_continuous());
         assert!(BatchingPolicy::ContinuousNaive.is_continuous());
     }

@@ -129,6 +129,7 @@ impl BenchmarkGroup<'_> {
     /// Runs one parameterized benchmark.
     pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
+        I: ?Sized,
         F: FnMut(&mut Bencher, &I),
     {
         let mut bencher = Bencher::new(self.samples);

@@ -111,10 +111,7 @@ impl<T> Sender<T> {
             if st.receivers == 0 {
                 return Err(SendError(value));
             }
-            let full = self
-                .chan
-                .capacity
-                .is_some_and(|cap| st.queue.len() >= cap);
+            let full = self.chan.capacity.is_some_and(|cap| st.queue.len() >= cap);
             if !full {
                 st.queue.push_back(value);
                 self.chan.readable.notify_one();

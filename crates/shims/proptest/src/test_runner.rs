@@ -40,7 +40,8 @@ pub struct TestRng {
 impl TestRng {
     /// Derives the RNG for one case of one property.
     pub fn for_case(name: &str, case: u32) -> Self {
-        let mut state = 0xD6E8_FEB8_6659_FD93u64 ^ u64::from(case).wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let mut state =
+            0xD6E8_FEB8_6659_FD93u64 ^ u64::from(case).wrapping_mul(0x2545_F491_4F6C_DD1D);
         for chunk in name.as_bytes().chunks(8) {
             let mut word = [0u8; 8];
             word[..chunk.len()].copy_from_slice(chunk);

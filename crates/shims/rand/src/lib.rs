@@ -70,8 +70,12 @@ impl<R: RngCore + ?Sized> RngCore for &mut R {
 /// `Range<T>` impl, so `T` unifies with the range's element type).
 pub trait SampleUniform: Sized {
     /// Uniform sample from `[lo, hi)` or `[lo, hi]` per `inclusive`.
-    fn sample_uniform<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
-        -> Self;
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
 }
 
 macro_rules! impl_sample_uniform_int {

@@ -161,9 +161,7 @@ mod tests {
         let mut rng = FaultRng::new(2, "exp");
         let mean = SimDuration::from_secs_f64(4.0);
         let n = 20_000;
-        let total: f64 = (0..n)
-            .map(|_| rng.exp_duration(mean).as_secs_f64())
-            .sum();
+        let total: f64 = (0..n).map(|_| rng.exp_duration(mean).as_secs_f64()).sum();
         assert!((total / n as f64 - 4.0).abs() < 0.2, "{}", total / n as f64);
     }
 

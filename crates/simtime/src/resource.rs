@@ -104,7 +104,10 @@ impl MultiResource {
 
     /// The earliest instant any server is idle.
     pub fn earliest_free(&self) -> SimTime {
-        self.free_at.peek().map(|Reverse(t)| *t).unwrap_or(SimTime::ZERO)
+        self.free_at
+            .peek()
+            .map(|Reverse(t)| *t)
+            .unwrap_or(SimTime::ZERO)
     }
 }
 

@@ -44,8 +44,7 @@ pub fn sym_eigen(a: &Tensor) -> Result<SymEigen> {
     let mut m = vec![0.0f64; n * n];
     for i in 0..n {
         for j in 0..n {
-            m[i * n + j] =
-                0.5 * (f64::from(a.data()[i * n + j]) + f64::from(a.data()[j * n + i]));
+            m[i * n + j] = 0.5 * (f64::from(a.data()[i * n + j]) + f64::from(a.data()[j * n + i]));
         }
     }
     let mut v = vec![0.0f64; n * n];
@@ -228,8 +227,11 @@ mod tests {
                 scaled.set(&[row, col], v).unwrap();
             }
         }
-        let recon = matmul_bt(&scaled, &e.vectors.transpose().unwrap().transpose().unwrap())
-            .unwrap();
+        let recon = matmul_bt(
+            &scaled,
+            &e.vectors.transpose().unwrap().transpose().unwrap(),
+        )
+        .unwrap();
         assert!(
             recon.max_abs_diff(&a).unwrap() < 1e-3 * (1.0 + a.norm()),
             "reconstruction error too large"

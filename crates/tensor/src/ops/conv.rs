@@ -23,13 +23,7 @@ use crate::Result;
 /// # Errors
 ///
 /// Returns an error when shapes are inconsistent with `h`, `w`.
-pub fn conv3x3(
-    x: &Tensor,
-    h: usize,
-    w: usize,
-    kernel: &Tensor,
-    bias: &Tensor,
-) -> Result<Tensor> {
+pub fn conv3x3(x: &Tensor, h: usize, w: usize, kernel: &Tensor, bias: &Tensor) -> Result<Tensor> {
     if x.rank() != 2 || x.dims()[0] != h * w {
         return Err(TensorError::ShapeMismatch {
             op: "conv3x3",

@@ -371,7 +371,12 @@ impl Tensor {
         Self::from_vec(data, [rows, cols])
     }
 
-    fn zip_with(&self, other: &Self, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Self> {
+    fn zip_with(
+        &self,
+        other: &Self,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Self> {
         if self.shape != other.shape {
             return Err(TensorError::ShapeMismatch {
                 op,

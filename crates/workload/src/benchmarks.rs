@@ -111,7 +111,11 @@ impl QualityBenchmark {
         shared_templates: bool,
     ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let template_pool = if shared_templates { 2.max(cases / 8) } else { cases.max(1) };
+        let template_pool = if shared_templates {
+            2.max(cases / 8)
+        } else {
+            cases.max(1)
+        };
         let cases = (0..cases)
             .map(|i| {
                 let template_id = if shared_templates {

@@ -130,8 +130,8 @@ mod tests {
             .map(|_| RatioDistribution::ProductionTrace.sample(&mut rng))
             .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / samples.len() as f64;
         let cv = var.sqrt() / mean;
         assert!(cv > 0.5, "coefficient of variation {cv} too small");
     }

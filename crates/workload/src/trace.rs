@@ -488,7 +488,10 @@ mod tests {
         let tb = Trace::generate(&bursty);
         let rate_p = tp.len() as f64 / 2000.0;
         let rate_b = tb.len() as f64 / 2000.0;
-        assert!((rate_b - rate_p).abs() / rate_p < 0.15, "{rate_p} vs {rate_b}");
+        assert!(
+            (rate_b - rate_p).abs() / rate_p < 0.15,
+            "{rate_p} vs {rate_b}"
+        );
         // Burstiness: variance of per-window counts well above Poisson.
         let window_counts = |t: &Trace| -> Vec<f64> {
             let mut counts = vec![0f64; 200];

@@ -66,7 +66,15 @@ fn main() {
         .edit(image, 0, &masked_a, "add a boat", 1, &strategy, Some(cache))
         .expect("solo A");
     let solo_b = pipe
-        .edit(image, 0, &masked_b, "paint the sky", 2, &strategy, Some(cache))
+        .edit(
+            image,
+            0,
+            &masked_b,
+            "paint the sky",
+            2,
+            &strategy,
+            Some(cache),
+        )
         .expect("solo B");
     assert_eq!(out_a.image, solo_a.image, "A unchanged by batching");
     assert_eq!(out_b.image, solo_b.image, "B unchanged by batching");

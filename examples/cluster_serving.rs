@@ -17,7 +17,14 @@ fn main() {
         "serving {} on {} with 8 workers, production mask-ratio trace\n",
         setup.model.name, setup.gpu.name
     );
-    let mut table = Table::new(&["system", "rps", "mean(s)", "p95(s)", "queue(s)", "tput(req/s)"]);
+    let mut table = Table::new(&[
+        "system",
+        "rps",
+        "mean(s)",
+        "p95(s)",
+        "queue(s)",
+        "tput(req/s)",
+    ]);
     for rps in [1.0, 3.0] {
         for system in [
             SystemKind::Diffusers,

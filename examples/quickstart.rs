@@ -21,7 +21,9 @@ fn main() {
     //    activation cache: one full inference whose per-block
     //    activations all later edits of this template reuse (§3.1).
     let template = Image::template(cfg.pixel_h(), cfg.pixel_w(), 42);
-    system.register_template(7, &template).expect("priming succeeds");
+    system
+        .register_template(7, &template)
+        .expect("priming succeeds");
     println!(
         "registered template 7: {} bytes of cached activations ({} steps x {} blocks)",
         system.template_cache_bytes(7).expect("registered"),
@@ -32,7 +34,13 @@ fn main() {
     // 3. Draw an editing mask — here an ellipse covering ~20% of the
     //    canvas, as a virtual try-on garment region might.
     let mut rng = StdRng::seed_from_u64(9);
-    let mask = Mask::generate(cfg.pixel_h(), cfg.pixel_w(), MaskShape::Ellipse, 0.2, &mut rng);
+    let mask = Mask::generate(
+        cfg.pixel_h(),
+        cfg.pixel_w(),
+        MaskShape::Ellipse,
+        0.2,
+        &mut rng,
+    );
     println!("mask ratio: {:.1}% of pixels", mask.ratio() * 100.0);
 
     // 4. Edit. FlashPS computes only the masked tokens, replenishing

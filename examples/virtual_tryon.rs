@@ -84,11 +84,7 @@ fn main() {
         let r = t.wait().expect("edit");
         total_speedup += r.speedup_vs_full;
         if i < 3 {
-            std::fs::write(
-                format!("tryon_{i}.ppm"),
-                r.output.image.to_ppm(),
-            )
-            .expect("write");
+            std::fs::write(format!("tryon_{i}.ppm"), r.output.image.to_ppm()).expect("write");
         }
     }
     let elapsed = serve_start.elapsed();

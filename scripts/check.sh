@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Full local gate: everything CI would run, in the order that fails
+# fastest. Run from the repository root before pushing.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "All checks passed."

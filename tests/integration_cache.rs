@@ -26,11 +26,7 @@ fn dp_plans_from_real_cost_models_are_optimal() {
                 let costs = cm.mask_aware_block_costs(&batch, false);
                 let dp = plan_uniform(cm.model.blocks, costs);
                 let bf = plan_brute_force(&vec![costs; cm.model.blocks]);
-                assert_eq!(
-                    dp.latency, bf.latency,
-                    "{} m={m} b={b}",
-                    cm.model.name
-                );
+                assert_eq!(dp.latency, bf.latency, "{} m={m} b={b}", cm.model.name);
                 assert_eq!(
                     simulate_plan(&vec![costs; cm.model.blocks], &dp.use_cache).expect("simulate"),
                     dp.latency
@@ -50,16 +46,10 @@ fn small_masks_at_large_batches_skip_some_blocks() {
     let costs = cm.mask_aware_block_costs(&batch, false);
     let plan = plan_uniform(cm.model.blocks, costs);
     // Regardless of the mix chosen, the plan must beat both extremes.
-    let all_cached = simulate_plan(
-        &vec![costs; cm.model.blocks],
-        &vec![true; cm.model.blocks],
-    )
-    .expect("simulate");
-    let all_full = simulate_plan(
-        &vec![costs; cm.model.blocks],
-        &vec![false; cm.model.blocks],
-    )
-    .expect("simulate");
+    let all_cached = simulate_plan(&vec![costs; cm.model.blocks], &vec![true; cm.model.blocks])
+        .expect("simulate");
+    let all_full = simulate_plan(&vec![costs; cm.model.blocks], &vec![false; cm.model.blocks])
+        .expect("simulate");
     assert!(plan.latency <= all_cached);
     assert!(plan.latency <= all_full);
 }
@@ -75,7 +65,9 @@ fn store_under_serving_pressure_keeps_hot_templates_resident() {
         disk_read_bw: 8.0 * (1u64 << 30) as f64,
     });
     for id in 0..10u64 {
-        store.insert(id, per_template, SimTime::ZERO, None).expect("insert");
+        store
+            .insert(id, per_template, SimTime::ZERO, None)
+            .expect("insert");
     }
     // Access pattern: template 0 is hot, others occasional.
     let mut now = 1u64;

@@ -39,7 +39,8 @@ fn degradation(profile: &str, submitted: u64, r: &RunReport) -> DegradationRepor
         profile: profile.to_string(),
         submitted,
         served: r.outcomes.len() as u64,
-        rejected: r.rejected.len() as u64,
+        rejected: r.rejected.len() as u64 - r.shed,
+        shed: r.shed,
         goodput_rps: r.goodput_rps(),
         mean_latency_secs: r.mean_latency(),
         p95_latency_secs: r.p95_latency(),
@@ -75,6 +76,13 @@ fn canonical_profiles_degrade_without_losing_requests() {
             FaultProfile::CacheLossSlowDisk => {
                 assert!(d.fallback_serves > 0, "lost cache entries must fall back");
             }
+            FaultProfile::OverloadBurst => {
+                assert!(d.retries > 0, "transit drops must be retried");
+                assert_eq!(d.crashes, 0, "overload burst injects no crashes");
+            }
+            FaultProfile::DiskBrownout => {
+                assert!(d.fallback_serves > 0, "corrupted entries must fall back");
+            }
         }
     }
 }
@@ -87,8 +95,7 @@ fn baseline_profile_is_byte_identical_to_fault_free_run() {
     let plan = FaultProfile::Baseline.plan(5, SimTime::from_nanos(1), 2, NUM_TEMPLATES);
     let retry = RetryPolicy::default();
     let mut r2 = LeastLoadedRouter;
-    let chaos =
-        ClusterSim::run_with_faults(config(2), &t, &mut r2, &plan, &retry).expect("chaos");
+    let chaos = ClusterSim::run_with_faults(config(2), &t, &mut r2, &plan, &retry).expect("chaos");
     assert_eq!(plain.outcomes, chaos.outcomes);
     assert_eq!(plain.steps_per_worker, chaos.steps_per_worker);
 }
@@ -107,17 +114,15 @@ fn mask_aware_router_composes_with_fault_injection() {
         let plan = FaultPlan::random(plan_seed, horizon, 3, NUM_TEMPLATES);
         let mut router = MaskAwareRouter::new(cfg.cost.clone()).expect("router");
         let report =
-            ClusterSim::run_with_faults(cfg.clone(), &t, &mut router, &plan, &retry)
-                .expect("run");
+            ClusterSim::run_with_faults(cfg.clone(), &t, &mut router, &plan, &retry).expect("run");
         assert_eq!(
             report.outcomes.len() + report.rejected.len(),
             n,
             "seed {plan_seed}: requests vanished"
         );
         let mut router2 = MaskAwareRouter::new(cfg.cost.clone()).expect("router");
-        let replay =
-            ClusterSim::run_with_faults(cfg.clone(), &t, &mut router2, &plan, &retry)
-                .expect("replay");
+        let replay = ClusterSim::run_with_faults(cfg.clone(), &t, &mut router2, &plan, &retry)
+            .expect("replay");
         assert_eq!(report.outcomes, replay.outcomes, "seed {plan_seed}");
     }
 }
@@ -176,7 +181,11 @@ fn threaded_server_panic_result_matches_clean_run() {
     clean.shutdown();
 
     let server = chaos_server(Some(poisoned_seed));
-    let got = server.submit(job(0, poisoned_seed)).unwrap().wait().unwrap();
+    let got = server
+        .submit(job(0, poisoned_seed))
+        .unwrap()
+        .wait()
+        .unwrap();
     assert_eq!(want.output.image, got.output.image);
     server.shutdown();
 }

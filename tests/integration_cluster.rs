@@ -123,7 +123,10 @@ fn batching_policies_rank_correctly_at_moderate_load() {
         p95.push((policy, report.p95_latency()));
     }
     let get = |p: BatchingPolicy| {
-        p95.iter().find(|(x, _)| *x == p).map(|(_, v)| *v).expect("ran")
+        p95.iter()
+            .find(|(x, _)| *x == p)
+            .map(|(_, v)| *v)
+            .expect("ran")
     };
     let disagg = get(BatchingPolicy::ContinuousDisaggregated);
     assert!(

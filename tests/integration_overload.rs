@@ -1,0 +1,275 @@
+//! Integration: the overload-control subsystem across crates —
+//! admission and the degradation ladder (fps-overload) driving the
+//! cluster simulator (fps-serving), the breaker-guarded activation
+//! store (fps-maskcache) under chaos profiles (fps-chaos), and the
+//! Algorithm 2 router (flashps) composing with all of it.
+
+use flashps::MaskAwareRouter;
+use fps_chaos::{FaultProfile, RetryPolicy};
+use fps_diffusion::ModelConfig;
+use fps_maskcache::store::{FallbackReason, HierarchicalStore, StoreConfig, VerifiedFetch};
+use fps_overload::{BreakerConfig, BreakerState, CircuitBreaker, Rung, ShedCause};
+use fps_serving::cluster::{ClusterConfig, ClusterSim};
+use fps_serving::{CostModel, GpuSpec, LeastLoadedRouter, RejectReason};
+use fps_simtime::{SimDuration, SimTime};
+use fps_workload::trace::ArrivalProcess;
+use fps_workload::{RatioDistribution, Trace, TraceConfig};
+
+const NUM_TEMPLATES: usize = 8;
+
+fn bursty_trace(rps: f64, secs: f64, seed: u64) -> Trace {
+    Trace::generate(&TraceConfig {
+        rps,
+        arrivals: ArrivalProcess::bursty_default(),
+        duration_secs: secs,
+        ratio_dist: RatioDistribution::VitonHd,
+        num_templates: NUM_TEMPLATES,
+        zipf_s: 1.0,
+        seed,
+    })
+}
+
+fn overload_config(workers: usize, deadline_secs: f64) -> ClusterConfig {
+    ClusterConfig::with_overload_control(
+        CostModel::new(GpuSpec::h800(), ModelConfig::paper_sdxl()),
+        workers,
+        0.35,
+        SimDuration::from_secs_f64(deadline_secs),
+    )
+}
+
+fn at(secs: f64) -> SimTime {
+    SimTime::from_nanos((secs * 1e9) as u64)
+}
+
+#[test]
+fn admission_sheds_the_saturating_burst_with_algorithm2_routing() {
+    // Seed 24 produces an effectively saturating burst (~4.5 rps
+    // against ~2 rps of capacity). The mask-aware router composes
+    // with overload control exactly like the baseline policies.
+    let trace = bursty_trace(5.0, 120.0, 24);
+    let n = trace.len();
+    let cfg = overload_config(2, 30.0);
+    let mut router = MaskAwareRouter::new(cfg.cost.clone()).expect("router");
+    let report = ClusterSim::run(cfg.clone(), &trace, &mut router).expect("run");
+
+    assert!(report.shed > 0, "saturation must shed at admission");
+    assert_eq!(
+        report.outcomes.len() + report.rejected.len(),
+        n,
+        "every request resolves exactly once"
+    );
+    // Shed-at-admission and deadline-exceeded-in-queue are counted
+    // apart: the two reject populations are disjoint and labelled.
+    for r in &report.rejected {
+        match r.reason {
+            RejectReason::Shed(cause) => {
+                assert!(r.reason.is_shed());
+                assert!(!cause.label().is_empty());
+            }
+            RejectReason::DeadlineExceeded => assert!(!r.reason.is_shed()),
+            RejectReason::RetriesExhausted => {
+                panic!("no chaos plan: retries cannot be exhausted")
+            }
+        }
+    }
+    // Saturation pushes the ladder below the premium rung.
+    assert!(report
+        .outcomes
+        .iter()
+        .any(|o| o.rung.is_some() && o.rung != Some(Rung::FlashPsKv)));
+    // Deterministic replay, router included.
+    let mut router2 = MaskAwareRouter::new(cfg.cost.clone()).expect("router");
+    let replay = ClusterSim::run(cfg, &trace, &mut router2).expect("replay");
+    assert_eq!(report.outcomes, replay.outcomes);
+    assert_eq!(report.rejected, replay.rejected);
+}
+
+#[test]
+fn ladder_downgrades_under_pressure_and_recovers_after() {
+    // A saturating 30 s burst, then a long quiet tail: the ladder
+    // must degrade during the burst and, once pressure drains and the
+    // hysteresis dwell elapses, serve late arrivals at the premium
+    // rung again.
+    let mut requests = bursty_trace(6.0, 30.0, 24).requests;
+    // Quiet tail: one request every 5 s from t = 200 s, far apart
+    // enough that every arrival can clear the hysteresis dwell.
+    for k in 0..12u64 {
+        let mut r = requests[k as usize % 8].clone();
+        r.id = 10_000 + k;
+        r.arrival_ns = 200_000_000_000 + k * 5_000_000_000;
+        requests.push(r);
+    }
+    let trace = Trace { requests };
+    let mut router = LeastLoadedRouter;
+    let report = ClusterSim::run(overload_config(2, 30.0), &trace, &mut router).expect("run");
+
+    let burst_rungs: Vec<Rung> = report
+        .outcomes
+        .iter()
+        .filter(|o| o.id < 10_000)
+        .filter_map(|o| o.rung)
+        .collect();
+    assert!(
+        burst_rungs.iter().any(|&r| r != Rung::FlashPsKv),
+        "the burst must push the ladder down"
+    );
+    let late_rungs: Vec<Option<Rung>> = report
+        .outcomes
+        .iter()
+        .filter(|o| o.id >= 10_000)
+        .map(|o| o.rung)
+        .collect();
+    assert!(!late_rungs.is_empty(), "quiet-tail requests were served");
+    let tail = &late_rungs[late_rungs.len().saturating_sub(3)..];
+    assert!(
+        tail.iter().all(|&r| r == Some(Rung::FlashPsKv)),
+        "after the burst drains, service recovers to the premium rung: {tail:?}"
+    );
+}
+
+#[test]
+fn breaker_trips_half_opens_and_reheals_end_to_end() {
+    // The full state walk against a real hierarchical store: repeated
+    // checksum failures trip the breaker (Closed → Open), the open
+    // breaker short-circuits with zero disk I/O, the cooldown
+    // half-opens it, and a successful probe re-closes it.
+    let mut store = HierarchicalStore::new(StoreConfig {
+        host_capacity: 100_000,
+        disk_read_bw: 1e6,
+        ..StoreConfig::production_like()
+    });
+    let mut breaker = CircuitBreaker::new(BreakerConfig {
+        failure_threshold: 3,
+        cooldown: SimDuration::from_secs_f64(15.0),
+        slow_read_threshold: SimDuration::from_secs_f64(2.0),
+    });
+    for id in 0..4u64 {
+        store
+            .insert(id, 1_000, SimTime::ZERO, None)
+            .expect("insert");
+    }
+
+    // Trip: three corrupt reads in a row.
+    for i in 0..3u64 {
+        store.corrupt(i);
+        assert_eq!(
+            store.fetch_guarded(&mut breaker, i, at(i as f64)),
+            VerifiedFetch::Fallback(FallbackReason::Corrupt)
+        );
+    }
+    assert_eq!(breaker.state(at(2.5)), BreakerState::Open);
+    assert_eq!(breaker.trips(), 1);
+
+    // Open: an intact entry is not even read.
+    let before = store.stats();
+    assert_eq!(
+        store.fetch_guarded(&mut breaker, 3, at(5.0)),
+        VerifiedFetch::Fallback(FallbackReason::BreakerOpen)
+    );
+    let mid = store.stats();
+    assert_eq!(
+        mid.breaker_short_circuits,
+        before.breaker_short_circuits + 1
+    );
+    assert_eq!(mid.host_hits, before.host_hits, "no I/O while open");
+
+    // Half-open after the cooldown; the probe succeeds and re-heals.
+    assert_eq!(breaker.state(at(18.0)), BreakerState::HalfOpen);
+    assert_eq!(
+        store.fetch_guarded(&mut breaker, 3, at(18.0)),
+        VerifiedFetch::Intact(at(18.0))
+    );
+    assert_eq!(breaker.state(at(18.0)), BreakerState::Closed);
+
+    // Re-trip on a fresh failure run: the walk is repeatable.
+    for i in 0..3u64 {
+        let _ = store.insert(10 + i, 1_000, at(20.0), None);
+        store.corrupt(10 + i);
+        let _ = store.fetch_guarded(&mut breaker, 10 + i, at(20.0 + i as f64));
+    }
+    assert_eq!(breaker.state(at(23.0)), BreakerState::Open);
+    assert_eq!(breaker.trips(), 2);
+}
+
+#[test]
+fn disk_brownout_profile_trips_the_cluster_breaker() {
+    // End to end through the simulator: the disk-brownout chaos
+    // profile (repeated corruption under a collapsed disk tier) must
+    // trip the breaker on the cluster's guarded read path while
+    // conservation and determinism hold.
+    let trace = bursty_trace(2.0, 120.0, 24);
+    let n = trace.len();
+    let horizon = SimTime::from_nanos(180_000_000_000);
+    let plan = FaultProfile::DiskBrownout.plan(9, horizon, 2, NUM_TEMPLATES as u64);
+    let retry = RetryPolicy::default();
+    let run = || {
+        let mut router = LeastLoadedRouter;
+        ClusterSim::run_with_faults(overload_config(2, 30.0), &trace, &mut router, &plan, &retry)
+            .expect("run")
+    };
+    let report = run();
+    assert!(report.breaker_trips > 0, "brown-out must trip the breaker");
+    assert!(
+        report.store_stats.breaker_short_circuits > 0,
+        "an open breaker must short-circuit reads"
+    );
+    assert_eq!(report.outcomes.len() + report.rejected.len(), n);
+    let replay = run();
+    assert_eq!(report.outcomes, replay.outcomes);
+    assert_eq!(report.rejected, replay.rejected);
+    assert_eq!(report.breaker_trips, replay.breaker_trips);
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+
+    // Under arbitrary overload plans every submitted request resolves
+    // to exactly one of: completed at some rung, shed at admission,
+    // or rejected on deadline — never lost, never double-counted,
+    // never rejected for a reason the run cannot produce.
+    #[test]
+    fn every_request_resolves_exactly_once_under_random_overload(
+        rps in 1.0f64..8.0,
+        trace_seed in 0u64..200,
+        workers in 1usize..4,
+        deadline_secs in 10.0f64..60.0,
+    ) {
+        let trace = bursty_trace(rps, 60.0, trace_seed);
+        let n = trace.len();
+        let mut router = LeastLoadedRouter;
+        let report = ClusterSim::run(
+            overload_config(workers, deadline_secs),
+            &trace,
+            &mut router,
+        )
+        .expect("run");
+
+        proptest::prop_assert_eq!(report.outcomes.len() + report.rejected.len(), n);
+        let mut ids: Vec<u64> = report.outcomes.iter().map(|o| o.id).collect();
+        ids.extend(report.rejected.iter().map(|r| r.id));
+        ids.sort_unstable();
+        ids.dedup();
+        proptest::prop_assert_eq!(ids.len(), n, "no id resolves twice");
+
+        for o in &report.outcomes {
+            proptest::prop_assert!(o.rung.is_some(), "served work carries its rung");
+            proptest::prop_assert!(o.total.is_finite() && o.total >= 0.0);
+        }
+        for r in &report.rejected {
+            proptest::prop_assert!(
+                matches!(
+                    r.reason,
+                    RejectReason::Shed(
+                        ShedCause::RateLimited | ShedCause::QueueFull | ShedCause::Infeasible
+                    ) | RejectReason::DeadlineExceeded
+                ),
+                "fault-free overload run: reject reason {:?}",
+                r.reason
+            );
+        }
+        // The report's shed counter agrees with the listed reasons.
+        let shed_listed = report.rejected.iter().filter(|r| r.reason.is_shed()).count() as u64;
+        proptest::prop_assert_eq!(shed_listed, report.shed);
+    }
+}

@@ -25,7 +25,13 @@ fn end_to_end_edit_on_every_toy_model() {
     ] {
         let sys = system_with_template(&cfg);
         let mut rng = StdRng::seed_from_u64(5);
-        let mask = Mask::generate(cfg.pixel_h(), cfg.pixel_w(), MaskShape::Blob, 0.15, &mut rng);
+        let mask = Mask::generate(
+            cfg.pixel_h(),
+            cfg.pixel_w(),
+            MaskShape::Blob,
+            0.15,
+            &mut rng,
+        );
         let result = sys.edit(1, &mask, "add flowers", 3).expect("edit");
         assert!(result.output.image.data().iter().all(|v| v.is_finite()));
         assert!(
@@ -49,10 +55,12 @@ fn pixel_mask_projection_is_conservative_end_to_end() {
     let token_mask = mask.to_token_mask(cfg.latent_h, cfg.latent_w);
     // The system accepts the pixel mask directly.
     let result = sys.edit(1, &mask, "x", 0).expect("edit");
-    assert!((result.mask_ratio
-        - token_mask.iter().filter(|&&b| b).count() as f64 / cfg.tokens() as f64)
-        .abs()
-        < 1e-9);
+    assert!(
+        (result.mask_ratio
+            - token_mask.iter().filter(|&&b| b).count() as f64 / cfg.tokens() as f64)
+            .abs()
+            < 1e-9
+    );
     for y in 0..cfg.pixel_h() {
         for x in 0..cfg.pixel_w() {
             if mask.get(y, x) {
@@ -75,7 +83,13 @@ fn flashps_quality_beats_lossy_baselines_on_aggregate() {
     let mut fisedit_total = 0.0;
     let cases = 6;
     for i in 0..cases {
-        let mask = Mask::generate(cfg.pixel_h(), cfg.pixel_w(), MaskShape::Rect, 0.15, &mut rng);
+        let mask = Mask::generate(
+            cfg.pixel_h(),
+            cfg.pixel_w(),
+            MaskShape::Rect,
+            0.15,
+            &mut rng,
+        );
         let reference = sys
             .edit_with_strategy(1, &mask, "edit", i, &Strategy::FullRecompute)
             .expect("reference");
@@ -127,5 +141,8 @@ fn empty_mask_still_produces_the_template() {
         p
     })
     .expect("ssim");
-    assert!(s > 0.95, "empty-mask output should be the template, ssim {s}");
+    assert!(
+        s > 0.95,
+        "empty-mask output should be the template, ssim {s}"
+    );
 }

@@ -14,7 +14,15 @@ fn ssim_separates_faithful_from_distorted_edits() {
     let cache = pipe.prime(&template, 1, false).expect("prime");
     let masked: Vec<usize> = (0..cfg.tokens()).filter(|i| i % 4 == 0).collect();
     let reference = pipe
-        .edit(&template, 1, &masked, "p", 2, &Strategy::FullRecompute, None)
+        .edit(
+            &template,
+            1,
+            &masked,
+            "p",
+            2,
+            &Strategy::FullRecompute,
+            None,
+        )
         .expect("reference");
     let flash = pipe
         .edit(
@@ -31,7 +39,15 @@ fn ssim_separates_faithful_from_distorted_edits() {
         )
         .expect("flash");
     let naive = pipe
-        .edit(&template, 1, &masked, "p", 2, &Strategy::NaiveDisregard, None)
+        .edit(
+            &template,
+            1,
+            &masked,
+            "p",
+            2,
+            &Strategy::NaiveDisregard,
+            None,
+        )
         .expect("naive");
     let s_flash = ssim(&flash.image, &reference.image).expect("ssim");
     let s_naive = ssim(&naive.image, &reference.image).expect("ssim");
@@ -54,12 +70,22 @@ fn frechet_distance_over_pipeline_features_orders_systems() {
     let mut naive = Vec::new();
     for case in &bench.cases {
         let template = Image::template(cfg.pixel_h(), cfg.pixel_w(), case.template_seed);
-        let cache = pipe.prime(&template, case.template_id, false).expect("prime");
+        let cache = pipe
+            .prime(&template, case.template_id, false)
+            .expect("prime");
         let masked = case.mask.token_indices(cfg.latent_h, cfg.latent_w);
         let run = |s: &Strategy, c| {
-            pipe.edit(&template, case.template_id, &masked, &case.prompt, case.seed, s, c)
-                .expect("edit")
-                .image
+            pipe.edit(
+                &template,
+                case.template_id,
+                &masked,
+                &case.prompt,
+                case.seed,
+                s,
+                c,
+            )
+            .expect("edit")
+            .image
         };
         reference.push(run(&Strategy::FullRecompute, None));
         flash.push(run(
@@ -87,7 +113,15 @@ fn clip_proxy_runs_over_benchmark_outputs() {
     let template = Image::template(cfg.pixel_h(), cfg.pixel_w(), 9);
     let masked: Vec<usize> = vec![0, 1, 4, 5];
     let out = pipe
-        .edit(&template, 1, &masked, "a red hat", 3, &Strategy::FullRecompute, None)
+        .edit(
+            &template,
+            1,
+            &masked,
+            "a red hat",
+            3,
+            &Strategy::FullRecompute,
+            None,
+        )
         .expect("edit");
     let score = clip_proxy_score(&cfg, "a red hat", &out.image).expect("clip");
     assert!(score.is_finite());
