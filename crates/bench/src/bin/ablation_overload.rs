@@ -20,7 +20,7 @@ use flashps::system::FlashPs;
 use fps_baselines::system::teacache_threshold;
 use fps_bench::{save_artifact, system_for};
 use fps_diffusion::{Image, ModelConfig, Strategy};
-use fps_json::ToJson;
+use fps_json::{Json, ToJson};
 use fps_metrics::{RungServed, SloReport, Table};
 use fps_overload::Rung;
 use fps_quality::ssim;
@@ -28,6 +28,7 @@ use fps_serving::cluster::{ClusterConfig, ClusterSim, RunReport};
 use fps_serving::router::LeastLoadedRouter;
 use fps_serving::{CostModel, EngineKind, GpuSpec};
 use fps_simtime::SimDuration;
+use fps_trace::{bubble_in_window, chrome_trace_string, percentile, Clock, TraceSink};
 use fps_workload::trace::ArrivalProcess;
 use fps_workload::{QualityBenchmark, RatioDistribution, Trace, TraceConfig};
 
@@ -47,11 +48,7 @@ fn slo_report(label: &str, submitted: u64, r: &RunReport, quality: &[(String, f6
                 None => "no-ladder".to_string(),
             };
             let q = quality.iter().find(|(l, _)| *l == label).map(|&(_, q)| q);
-            RungServed {
-                label,
-                served,
-                quality: q,
-            }
+            RungServed::new(label, served, q)
         })
         .collect();
     SloReport {
@@ -68,6 +65,28 @@ fn slo_report(label: &str, submitted: u64, r: &RunReport, quality: &[(String, f6
         p95_latency_secs: r.p95_latency(),
         mean_latency_secs: r.mean_latency(),
         rungs,
+        bubble_fraction: None,
+    }
+}
+
+/// Fills the trace-derived fields of `slo`: GPU bubble fraction over
+/// the run's span window and per-rung queue-wait percentiles from the
+/// "queue" spans (grouped by their `rung` arg; spans with no rung arg
+/// belong to the "no-ladder" row).
+fn apply_trace_aggregates(slo: &mut SloReport, t: &fps_trace::Trace) {
+    if let Some((lo, hi)) = t.window() {
+        slo.bubble_fraction = Some(bubble_in_window(t, lo, hi, |s| s.cat == "gpu").fraction());
+    }
+    for rung in &mut slo.rungs {
+        let waits: Vec<f64> = t
+            .spans_named("queue")
+            .filter(|s| s.arg("rung").and_then(Json::as_str).unwrap_or("no-ladder") == rung.label)
+            .map(|s| s.duration_ns() as f64 / 1e9)
+            .collect();
+        if !waits.is_empty() {
+            rung.queue_wait_p50_secs = Some(percentile(&waits, 50.0));
+            rung.queue_wait_p95_secs = Some(percentile(&waits, 95.0));
+        }
     }
 }
 
@@ -178,7 +197,12 @@ fn rung_quality(cases: usize) -> Vec<(String, f64)> {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .map(|i| args.get(i + 1).expect("--trace-out needs a path").clone());
     let quality_cases = if quick { 4 } else { 12 };
 
     // A seeded burst that saturates two H800 workers: ~4.5 rps of
@@ -217,9 +241,21 @@ fn main() {
         let mut router = LeastLoadedRouter;
         ClusterSim::run(cfg, &trace, &mut router).expect("cluster run")
     };
+    // The first run of each arm records a virtual-clock trace; the
+    // replays run untraced, which doubles as a passivity check
+    // (tracing must not change outcomes).
+    let traced_run = |cfg: ClusterConfig, sink: &TraceSink| -> RunReport {
+        let mut cfg = cfg;
+        cfg.trace = sink.clone();
+        run(cfg)
+    };
 
-    let on = run(on_config());
-    let off = run(off_config());
+    let on_sink = TraceSink::recording(Clock::Virtual);
+    let off_sink = TraceSink::recording(Clock::Virtual);
+    let on = traced_run(on_config(), &on_sink);
+    let off = traced_run(off_config(), &off_sink);
+    let on_trace = on_sink.drain().expect("ON arm trace");
+    let off_trace = off_sink.drain().expect("OFF arm trace");
 
     // Determinism: both arms replay byte-identically.
     let on_replay = run(on_config());
@@ -238,8 +274,15 @@ fn main() {
     );
 
     let quality = rung_quality(quality_cases);
-    let on_slo = slo_report("overload-on", submitted, &on, &quality);
-    let off_slo = slo_report("overload-off", submitted, &off, &quality);
+    let mut on_slo = slo_report("overload-on", submitted, &on, &quality);
+    let mut off_slo = slo_report("overload-off", submitted, &off, &quality);
+    apply_trace_aggregates(&mut on_slo, &on_trace);
+    apply_trace_aggregates(&mut off_slo, &off_trace);
+
+    if let Some(path) = &trace_out {
+        std::fs::write(path, chrome_trace_string(&on_trace)).expect("write --trace-out");
+        eprintln!("wrote ON-arm chrome trace to {path}");
+    }
 
     // Conservation on both arms, and the headline comparison.
     assert_eq!(on_slo.lost(), 0, "ON arm lost requests");
@@ -283,6 +326,7 @@ fn main() {
         "goodput@SLO(req/s)",
         "p95(s)",
         "attainment",
+        "gpu-bubble",
     ]);
     for r in [&on_slo, &off_slo] {
         table.row(&[
@@ -294,12 +338,22 @@ fn main() {
             format!("{:.3}", r.goodput_at_deadline_rps),
             format!("{:.2}", r.p95_latency_secs),
             format!("{:.3}", r.attainment()),
+            r.bubble_fraction
+                .map(|b| format!("{b:.3}"))
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
     out.push_str(&table.render());
 
-    out.push_str("\nDegradation-ladder service mix (ON arm) and per-rung quality:\n");
-    let mut rung_table = Table::new(&["rung", "served", "SSIM vs full recompute"]);
+    out.push_str("\nDegradation-ladder service mix (ON arm), per-rung quality and queue wait:\n");
+    let mut rung_table = Table::new(&[
+        "rung",
+        "served",
+        "SSIM vs full recompute",
+        "queue-wait p50(s)",
+        "p95(s)",
+    ]);
+    let fmt_secs = |v: Option<f64>| v.map(|s| format!("{s:.2}")).unwrap_or_else(|| "-".into());
     for r in &on_slo.rungs {
         rung_table.row(&[
             r.label.clone(),
@@ -307,6 +361,8 @@ fn main() {
             r.quality
                 .map(|q| format!("{q:.3}"))
                 .unwrap_or_else(|| "-".into()),
+            fmt_secs(r.queue_wait_p50_secs),
+            fmt_secs(r.queue_wait_p95_secs),
         ]);
     }
     out.push_str(&rung_table.render());

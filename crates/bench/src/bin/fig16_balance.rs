@@ -39,6 +39,7 @@ fn main() {
                 duration_secs: 900.0,
                 ratio_dist: RatioDistribution::ProductionTrace,
                 seed: 0x165,
+                ..ServingRun::default()
             };
             let p = run_serving(setup, &run).expect("run").expect("supported");
             results.push((router.label(), p.p95_latency, p.mean_latency));

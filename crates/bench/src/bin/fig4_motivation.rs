@@ -113,6 +113,7 @@ fn panel_balance() -> String {
                 duration_secs: 400.0,
                 ratio_dist: RatioDistribution::ProductionTrace,
                 seed: 0x88,
+                ..ServingRun::default()
             };
             let p = run_serving(setup, &run).expect("run").expect("supported");
             values.push(p.p95_latency);

@@ -8,16 +8,31 @@
 
 use fps_baselines::eval_setup;
 use fps_bench::save_artifact;
+use fps_bench::tracereplay::{replay_request, ReplayTracks};
 use fps_maskcache::pipeline::{
     ideal_latency, naive_sequential_latency, plan_brute_force, plan_uniform,
     strawman_pipeline_latency,
 };
 use fps_metrics::Table;
 use fps_serving::cost::BatchItem;
+use fps_trace::{chrome_trace_string, Clock, TraceSink};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // `--trace-out <path>`: additionally replay the three schedules at
+    // the production mask ratio on each setup into one Chrome trace
+    // (chrome://tracing / ui.perfetto.dev), one process group per
+    // (setup, scheme) pair.
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .map(|i| args.get(i + 1).expect("--trace-out needs a path").clone());
+    let trace_sink = match &trace_out {
+        Some(_) => TraceSink::recording(Clock::Virtual),
+        None => TraceSink::disabled(),
+    };
     let mut out = String::from("Fig. 9 / Fig. 4-left reproduction: pipeline loading schemes\n\n");
-    for setup in eval_setup() {
+    for (setup_idx, setup) in eval_setup().into_iter().enumerate() {
         let cm = setup.cost_model();
         let mut table = Table::new(&[
             "mask",
@@ -56,6 +71,30 @@ fn main() {
                 format!("{:.2}x", dp / ideal),
                 format!("{}/{}", plan.use_cache.iter().filter(|&&b| b).count(), n),
             ]);
+            if trace_sink.is_enabled() && m == 0.11 {
+                let per_block = vec![costs; n];
+                let schemes: [(&str, Vec<bool>, bool); 3] = [
+                    ("dp", plan.use_cache.clone(), false),
+                    ("strawman", vec![true; n], false),
+                    ("naive", vec![true; n], true),
+                ];
+                for (k, (label, decisions, front_load)) in schemes.iter().enumerate() {
+                    let tracks = ReplayTracks::labelled(
+                        &trace_sink,
+                        (setup_idx * 3 + k) as u32,
+                        &format!("{} {label}", cm.model.name),
+                    );
+                    replay_request(
+                        &trace_sink,
+                        tracks,
+                        0,
+                        cm.model.steps,
+                        &per_block,
+                        decisions,
+                        *front_load,
+                    );
+                }
+            }
             // Optimality cross-check against brute force (N ≤ 20).
             if n <= 20 {
                 let bf = plan_brute_force(&v);
@@ -78,6 +117,11 @@ fn main() {
          ratios (paper: +102%); the DP stays within a few percent of ideal and\n\
          never exceeds the strawman.\n",
     );
+    if let Some(path) = &trace_out {
+        let t = trace_sink.drain().expect("recording sink");
+        std::fs::write(path, chrome_trace_string(&t)).expect("write --trace-out");
+        println!("wrote schedule replay trace to {path}");
+    }
     println!("{out}");
     save_artifact("fig9_pipeline.txt", &out);
 }

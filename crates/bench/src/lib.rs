@@ -4,6 +4,8 @@
 //! paper (see DESIGN.md's experiment index and EXPERIMENTS.md for the
 //! measured results). This library hosts the setup code they share.
 
+pub mod tracereplay;
+
 use std::path::PathBuf;
 
 use flashps::{FlashPs, FlashPsConfig};

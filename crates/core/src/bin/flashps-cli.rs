@@ -2,13 +2,17 @@
 //!
 //! ```text
 //! flashps-cli edit  [--model sdxl] [--ratio 0.2] [--prompt "..."] [--seed 1] [--out edit.ppm]
-//! flashps-cli serve [--model sdxl] [--rps 1.0] [--workers 4] [--duration 120]
+//! flashps-cli serve [--model sdxl] [--rps 1.0] [--workers 4] [--duration 120] [--trace-out t.json]
 //! flashps-cli plan  [--model sdxl] [--ratio 0.2] [--batch 4]
 //! ```
 //!
 //! `edit` runs a real numeric edit and writes the output image; `serve`
 //! runs the cluster simulator and prints latency statistics; `plan`
 //! prints Algorithm 1's block decisions for a mask ratio.
+//!
+//! `serve --trace-out <path>` additionally records the run's span
+//! timeline and writes it as Chrome trace JSON — load it in
+//! `chrome://tracing` or <https://ui.perfetto.dev> (see README.md).
 
 use std::collections::HashMap;
 
@@ -17,6 +21,7 @@ use flashps::{FlashPs, FlashPsConfig};
 use fps_baselines::{eval_setup, EvalSetup, SystemKind};
 use fps_diffusion::{Image, ModelConfig};
 use fps_serving::cost::BatchItem;
+use fps_trace::{chrome_trace_string, Clock, TraceSink};
 use fps_workload::trace::ArrivalProcess;
 use fps_workload::{Mask, MaskShape, RatioDistribution};
 use rand::rngs::StdRng;
@@ -134,10 +139,15 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         .map(|v| v.parse().map_err(|e| format!("bad --duration: {e}")))
         .transpose()?
         .unwrap_or(120.0);
+    let trace_out = flags.get("trace-out").cloned();
     println!(
         "simulating FlashPS: {} on {}, {workers} workers, {rps} req/s for {duration}s",
         setup.model.name, setup.gpu.name
     );
+    let sink = match &trace_out {
+        Some(_) => TraceSink::recording(Clock::Virtual),
+        None => TraceSink::disabled(),
+    };
     let run = ServingRun {
         system: SystemKind::FlashPs,
         router: RouterKind::MaskAware,
@@ -147,6 +157,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         duration_secs: duration,
         ratio_dist: RatioDistribution::ProductionTrace,
         seed: 0xC11,
+        trace: sink.clone(),
     };
     let point = run_serving(&setup, &run)
         .map_err(|e| e.to_string())?
@@ -155,6 +166,15 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         "served {} requests | mean {:.2}s | p95 {:.2}s | queueing {:.2}s | throughput {:.2} req/s",
         point.served, point.mean_latency, point.p95_latency, point.mean_queueing, point.throughput
     );
+    if let Some(path) = trace_out {
+        let t = sink.drain().ok_or("trace sink was not recording")?;
+        std::fs::write(&path, chrome_trace_string(&t)).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {} spans / {} events to {path} (open in chrome://tracing or ui.perfetto.dev)",
+            t.spans.len(),
+            t.events.len()
+        );
+    }
     Ok(())
 }
 

@@ -6,6 +6,7 @@ use fps_baselines::{EvalSetup, SystemKind};
 use fps_serving::cost::CostModel;
 use fps_serving::router::{LeastLoadedRouter, RoundRobinRouter, Router, TokenCountRouter};
 use fps_serving::{ClusterSim, RunReport};
+use fps_trace::TraceSink;
 use fps_workload::trace::ArrivalProcess;
 use fps_workload::{RatioDistribution, Trace, TraceConfig};
 
@@ -33,11 +34,29 @@ impl RouterKind {
     ///
     /// Propagates profiler fitting failures for the mask-aware policy.
     pub fn build(self, cost: &CostModel) -> Result<Box<dyn Router>> {
+        self.build_traced(cost, &TraceSink::disabled())
+    }
+
+    /// Like [`RouterKind::build`], with a virtual-clock trace sink
+    /// attached to policies that record routing decisions (currently
+    /// the mask-aware policy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiler fitting failures for the mask-aware policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `trace` is a wall-clock sink (routing runs on
+    /// virtual time).
+    pub fn build_traced(self, cost: &CostModel, trace: &TraceSink) -> Result<Box<dyn Router>> {
         Ok(match self {
             Self::RoundRobin => Box::new(RoundRobinRouter::default()),
             Self::RequestCount => Box::new(LeastLoadedRouter),
             Self::TokenCount => Box::new(TokenCountRouter),
-            Self::MaskAware => Box::new(MaskAwareRouter::new(cost.clone())?),
+            Self::MaskAware => {
+                Box::new(MaskAwareRouter::new(cost.clone())?.with_trace(trace.clone()))
+            }
         })
     }
 
@@ -72,6 +91,11 @@ pub struct ServingRun {
     pub ratio_dist: RatioDistribution,
     /// Trace seed.
     pub seed: u64,
+    /// Virtual-clock span sink shared by the cluster, its cache store,
+    /// and (for the mask-aware policy) the router. Disabled by
+    /// default; drain it after [`run_serving`] returns to inspect or
+    /// export the run's timeline.
+    pub trace: TraceSink,
 }
 
 impl Default for ServingRun {
@@ -85,6 +109,7 @@ impl Default for ServingRun {
             duration_secs: 300.0,
             ratio_dist: RatioDistribution::ProductionTrace,
             seed: 0xE2E,
+            trace: TraceSink::disabled(),
         }
     }
 }
@@ -121,9 +146,10 @@ pub struct ServingPoint {
 ///
 /// Propagates simulator and router-construction failures.
 pub fn run_serving(setup: &EvalSetup, run: &ServingRun) -> Result<Option<ServingPoint>> {
-    let Some(config) = setup.cluster_config(run.system, run.workers) else {
+    let Some(mut config) = setup.cluster_config(run.system, run.workers) else {
         return Ok(None);
     };
+    config.trace = run.trace.clone();
     let trace = Trace::generate(&TraceConfig {
         rps: run.rps,
         arrivals: run.arrivals,
@@ -133,7 +159,7 @@ pub fn run_serving(setup: &EvalSetup, run: &ServingRun) -> Result<Option<Serving
         zipf_s: 1.0,
         seed: run.seed,
     });
-    let mut router = run.router.build(&config.cost)?;
+    let mut router = run.router.build_traced(&config.cost, &run.trace)?;
     let report = ClusterSim::run(config, &trace, router.as_mut())?;
     Ok(Some(point_from_report(
         run.system.label(),
@@ -216,6 +242,7 @@ pub fn fig12_grid(
                 ratio_dist: RatioDistribution::ProductionTrace,
                 arrivals: ArrivalProcess::Poisson,
                 seed: 0xF1612,
+                trace: TraceSink::disabled(),
             };
             if let Some(p) = run_serving(setup, &run)? {
                 points.push(p);
@@ -252,6 +279,26 @@ mod tests {
         assert!(p.served > 10);
         assert!(p.mean_latency > 0.0);
         assert!(p.p95_latency >= p.mean_latency);
+    }
+
+    #[test]
+    fn run_serving_records_spans_and_route_events_when_traced() {
+        let setups = eval_setup();
+        let sink = TraceSink::recording(fps_trace::Clock::Virtual);
+        let run = ServingRun {
+            duration_secs: 60.0,
+            workers: 2,
+            rps: 0.5,
+            trace: sink.clone(),
+            ..Default::default()
+        };
+        let p = run_serving(&setups[1], &run).unwrap().unwrap();
+        let t = sink.drain().unwrap();
+        assert_eq!(t.spans_named("request").count(), p.served);
+        assert!(
+            t.events.iter().any(|e| e.name == "route"),
+            "mask-aware routing decisions must be traced"
+        );
     }
 
     #[test]

@@ -8,12 +8,14 @@
 //! remaining denoising work. The request goes to the lowest-scoring
 //! worker.
 
+use fps_json::Json;
 use fps_maskcache::pipeline::plan_uniform;
 use fps_maskcache::BlockCosts;
 use fps_serving::cost::{BatchItem, CostModel};
 use fps_serving::profiler::{fit_latency_model, LatencyModel};
 use fps_serving::router::{Router, WorkerView};
 use fps_simtime::SimTime;
+use fps_trace::{Clock, TraceSink, Track};
 use fps_workload::RequestSpec;
 
 use crate::Result;
@@ -24,6 +26,7 @@ pub struct MaskAwareRouter {
     cost: CostModel,
     latency: LatencyModel,
     decisions: u64,
+    trace: TraceSink,
 }
 
 impl MaskAwareRouter {
@@ -38,7 +41,28 @@ impl MaskAwareRouter {
             cost,
             latency,
             decisions: 0,
+            trace: TraceSink::disabled(),
         })
+    }
+
+    /// Attaches a trace sink; every routing decision becomes a
+    /// scheduler-track instant event carrying the chosen worker and
+    /// its estimated cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a wall-clock sink: `route` timestamps with the
+    /// simulator's [`SimTime`], so the sink must be virtual (share the
+    /// one passed to `ClusterConfig::trace`).
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        assert_ne!(
+            sink.clock(),
+            Some(Clock::Wall),
+            "MaskAwareRouter routes on virtual time; attach the ClusterSim's \
+             virtual-clock sink"
+        );
+        self.trace = sink;
+        self
     }
 
     /// The fitted latency models (for inspection and the Fig. 11
@@ -117,9 +141,9 @@ impl MaskAwareRouter {
 }
 
 impl Router for MaskAwareRouter {
-    fn route(&mut self, req: &RequestSpec, workers: &[WorkerView], _now: SimTime) -> usize {
+    fn route(&mut self, req: &RequestSpec, workers: &[WorkerView], now: SimTime) -> usize {
         self.decisions += 1;
-        workers
+        let (chosen, cost) = workers
             .iter()
             .map(|w| (w.id, self.calc_cost(req, w)))
             .min_by(|a, b| {
@@ -127,8 +151,21 @@ impl Router for MaskAwareRouter {
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then(a.0.cmp(&b.0))
             })
-            .map(|(id, _)| id)
-            .unwrap_or(0)
+            .unwrap_or((0, 0.0));
+        if self.trace.is_enabled() {
+            self.trace.event_at(
+                "route",
+                "scheduler",
+                Track::new(0, 0),
+                now.as_nanos(),
+                vec![
+                    ("id", Json::U64(req.id)),
+                    ("worker", Json::U64(chosen as u64)),
+                    ("est_cost_secs", Json::F64(cost)),
+                ],
+            );
+        }
+        chosen
     }
 
     fn name(&self) -> &'static str {
@@ -220,5 +257,25 @@ mod tests {
     fn empty_worker_list_defaults_to_zero() {
         let mut r = router();
         assert_eq!(r.route(&req(0.2), &[], SimTime::ZERO), 0);
+    }
+
+    #[test]
+    fn routing_decisions_are_traced() {
+        let sink = TraceSink::recording(Clock::Virtual);
+        let mut r = router().with_trace(sink.clone());
+        let ws = vec![view(0, &[], 0), view(1, &[0.5, 0.5], 40)];
+        r.route(&req(0.2), &ws, SimTime::from_nanos(5_000));
+        let t = sink.drain().unwrap();
+        assert_eq!(t.events.len(), 1);
+        let ev = &t.events[0];
+        assert_eq!(ev.name, "route");
+        assert_eq!(ev.ts_ns, 5_000);
+        assert_eq!(ev.arg("worker").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual-clock")]
+    fn wall_clock_sink_is_rejected() {
+        let _ = router().with_trace(TraceSink::recording(Clock::Wall));
     }
 }

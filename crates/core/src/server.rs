@@ -31,6 +31,8 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use fps_diffusion::{EditSession, Guidance, Strategy};
+use fps_json::Json;
+use fps_trace::{Clock, TraceSink, Track};
 
 use crate::system::{EditResult, FlashPs};
 use crate::{FlashPsError, Result};
@@ -39,7 +41,7 @@ use crate::{FlashPsError, Result};
 const IDLE_POLL: Duration = Duration::from_millis(10);
 
 /// Configuration of the threaded server.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Worker threads (one "GPU" each).
     pub workers: usize,
@@ -61,6 +63,12 @@ pub struct ServerConfig {
     /// past a few service waves only adds latency, never goodput.
     /// `None` leaves the queue unbounded.
     pub max_queue_depth: Option<usize>,
+    /// Trace sink for wall-clock spans (queue wait, per-step compute,
+    /// VAE decode). Must be [`TraceSink::disabled`] or a
+    /// [`Clock::Wall`] sink — the server reads real time, so a
+    /// virtual-clock sink would mix clock domains and is rejected at
+    /// [`ThreadedServer::start`].
+    pub trace: TraceSink,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +80,7 @@ impl Default for ServerConfig {
             max_job_attempts: 3,
             chaos_panic_seed: None,
             max_queue_depth: None,
+            trace: TraceSink::disabled(),
         }
     }
 }
@@ -146,12 +155,30 @@ pub struct ThreadedServer {
 
 impl ThreadedServer {
     /// Starts worker threads over a (template-registered) system.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.trace` is a virtual-clock sink: the server
+    /// timestamps with real [`Instant`]s, and wall and virtual
+    /// nanoseconds must never mix in one trace.
     pub fn start(system: FlashPs, config: ServerConfig) -> Self {
+        assert_ne!(
+            config.trace.clock(),
+            Some(Clock::Virtual),
+            "ThreadedServer records wall-clock timestamps; use \
+             TraceSink::recording(Clock::Wall) (virtual clocks belong to ClusterSim)"
+        );
+        for w in 0..config.workers.max(1) {
+            config
+                .trace
+                .name_track(Track::new(0, w as u32), format!("worker{w}"));
+        }
         let system = Arc::new(system);
         let closing = Arc::new(AtomicBool::new(false));
         let (tx, rx) = unbounded::<QueuedJob>();
+        let max_queue_depth = config.max_queue_depth;
         let handles = (0..config.workers.max(1))
-            .map(|_| {
+            .map(|w| {
                 let rx = rx.clone();
                 // Workers hold a sender clone to requeue jobs they
                 // lose to a panic; channel disconnection therefore no
@@ -159,7 +186,8 @@ impl ThreadedServer {
                 let requeue = tx.clone();
                 let closing = Arc::clone(&closing);
                 let system = Arc::clone(&system);
-                std::thread::spawn(move || worker_loop(&system, &rx, &requeue, &closing, config))
+                let config = config.clone();
+                std::thread::spawn(move || worker_loop(&system, &rx, &requeue, &closing, config, w))
             })
             .collect();
         Self {
@@ -168,7 +196,7 @@ impl ThreadedServer {
             handles,
             system,
             depth: Arc::new(AtomicUsize::new(0)),
-            max_queue_depth: config.max_queue_depth,
+            max_queue_depth,
         }
     }
 
@@ -256,6 +284,10 @@ struct Inflight {
     use_cache: Vec<bool>,
     mask_ratio: f64,
     reply: Sender<Result<EditResult>>,
+    /// Root "request" span id for this attempt (0 when disabled).
+    trace_root: u64,
+    /// Wall nanoseconds when this attempt joined the batch.
+    admitted_ns: u64,
     /// Depth slot, released when this job resolves.
     _depth: DepthGuard,
 }
@@ -316,8 +348,11 @@ fn worker_loop(
     requeue: &Sender<QueuedJob>,
     closing: &AtomicBool,
     config: ServerConfig,
+    worker: usize,
 ) {
     let max_batch = config.max_batch.max(1);
+    let trace = config.trace.clone();
+    let track = Track::new(0, worker as u32);
     let mut inflight: Vec<Inflight> = Vec::new();
     loop {
         // Admission: poll when idle (the requeue senders keep the
@@ -342,20 +377,51 @@ fn worker_loop(
             };
             let Some(q) = queued else { break };
             if expired(config.job_timeout, q.enqueued_at) {
+                if trace.is_enabled() {
+                    trace.event_at(
+                        "job_timeout",
+                        "server",
+                        track,
+                        trace.now_ns(),
+                        vec![("seed", Json::U64(q.job.seed))],
+                    );
+                }
                 let _ = q.reply.send(Err(FlashPsError::JobTimeout));
                 continue;
             }
             match begin_job(system, &q.job) {
-                Ok((session, use_cache, mask_ratio)) => inflight.push(Inflight {
-                    session,
-                    job: q.job,
-                    attempt: q.attempt,
-                    enqueued_at: q.enqueued_at,
-                    use_cache,
-                    mask_ratio,
-                    reply: q.reply,
-                    _depth: q._depth,
-                }),
+                Ok((session, use_cache, mask_ratio)) => {
+                    let mut trace_root = 0;
+                    let mut admitted_ns = 0;
+                    if trace.is_enabled() {
+                        // The root "request" span is recorded when the
+                        // job resolves; children reference its
+                        // pre-allocated id.
+                        trace_root = trace.next_id();
+                        admitted_ns = trace.now_ns();
+                        trace.span_at(
+                            "queue",
+                            "stage",
+                            track,
+                            trace.instant_ns(q.enqueued_at),
+                            admitted_ns,
+                            trace_root,
+                            vec![("attempt", Json::U64(q.attempt.into()))],
+                        );
+                    }
+                    inflight.push(Inflight {
+                        session,
+                        job: q.job,
+                        attempt: q.attempt,
+                        enqueued_at: q.enqueued_at,
+                        use_cache,
+                        mask_ratio,
+                        reply: q.reply,
+                        trace_root,
+                        admitted_ns,
+                        _depth: q._depth,
+                    });
+                }
                 Err(e) => {
                     let _ = q.reply.send(Err(e));
                 }
@@ -379,11 +445,22 @@ fn worker_loop(
             let item = &mut inflight[i];
             if expired(config.job_timeout, item.enqueued_at) {
                 let item = inflight.swap_remove(i);
+                if trace.is_enabled() {
+                    trace.event_at(
+                        "job_timeout",
+                        "server",
+                        track,
+                        trace.now_ns(),
+                        vec![("seed", Json::U64(item.job.seed))],
+                    );
+                }
                 let _ = item.reply.send(Err(FlashPsError::JobTimeout));
                 continue;
             }
             let chaos_panic = config.chaos_panic_seed == Some(item.job.seed) && item.attempt == 0;
             let step_result = {
+                // RAII: the span records on drop, panics included.
+                let _step_span = trace.start("step", "gpu", track, item.trace_root);
                 let session = &mut item.session;
                 let template_id = item.job.template_id;
                 catch_unwind(AssertUnwindSafe(|| {
@@ -413,25 +490,65 @@ fn worker_loop(
                 let item = inflight.swap_remove(i);
                 let cfg = &system.config().model;
                 let full = fps_diffusion::flops::step_flops_full(cfg, 1) * cfg.steps as u64;
-                let result = system
-                    .pipeline()
-                    .finish(item.session)
-                    .map(|output| {
-                        let speedup = full as f64 / output.flops.max(1) as f64;
-                        EditResult {
-                            output,
-                            use_cache: item.use_cache,
-                            speedup_vs_full: speedup,
-                            mask_ratio: item.mask_ratio,
-                        }
-                    })
-                    .map_err(FlashPsError::from);
+                if trace.is_enabled() {
+                    trace.span_at(
+                        "denoise",
+                        "stage",
+                        track,
+                        item.admitted_ns,
+                        trace.now_ns(),
+                        item.trace_root,
+                        Vec::new(),
+                    );
+                }
+                let result = {
+                    let _decode_span = trace.start("vae_decode", "stage", track, item.trace_root);
+                    system
+                        .pipeline()
+                        .finish(item.session)
+                        .map(|output| {
+                            let speedup = full as f64 / output.flops.max(1) as f64;
+                            EditResult {
+                                output,
+                                use_cache: item.use_cache,
+                                speedup_vs_full: speedup,
+                                mask_ratio: item.mask_ratio,
+                            }
+                        })
+                        .map_err(FlashPsError::from)
+                };
+                if trace.is_enabled() {
+                    trace.span_with_id(
+                        item.trace_root,
+                        "request",
+                        "request",
+                        track,
+                        trace.instant_ns(item.enqueued_at),
+                        trace.now_ns(),
+                        0,
+                        vec![
+                            ("template", Json::U64(item.job.template_id)),
+                            ("seed", Json::U64(item.job.seed)),
+                            ("attempt", Json::U64(item.attempt.into())),
+                            ("mask_ratio", Json::F64(item.mask_ratio)),
+                        ],
+                    );
+                }
                 let _ = item.reply.send(result);
                 continue;
             }
             i += 1;
         }
         if crashed {
+            if trace.is_enabled() {
+                trace.event_at(
+                    "worker_panic",
+                    "server",
+                    track,
+                    trace.now_ns(),
+                    vec![("lost_batch", Json::U64(inflight.len() as u64))],
+                );
+            }
             requeue_batch(&mut inflight, requeue, &config);
         }
     }
@@ -718,6 +835,59 @@ mod tests {
         }
         assert_eq!(server.queue_depth(), 0, "slots released exactly once");
         server.shutdown();
+    }
+
+    #[test]
+    fn wall_clock_tracing_captures_the_request_path() {
+        let cfg = ModelConfig::tiny();
+        let mut sys = FlashPs::new(FlashPsConfig::new(cfg.clone())).unwrap();
+        let img = Image::template(cfg.pixel_h(), cfg.pixel_w(), 0);
+        sys.register_template(0, &img).unwrap();
+        let sink = TraceSink::recording(Clock::Wall);
+        let server = ThreadedServer::start(
+            sys,
+            ServerConfig {
+                workers: 2,
+                max_batch: 2,
+                trace: sink.clone(),
+                ..ServerConfig::default()
+            },
+        );
+        let tickets: Vec<Ticket> = (0..4).map(|i| server.submit(job(0, i)).unwrap()).collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        server.shutdown();
+        let trace = sink.drain().unwrap();
+        assert_eq!(trace.clock, Clock::Wall);
+        assert_eq!(trace.spans_named("request").count(), 4);
+        assert_eq!(trace.spans_named("queue").count(), 4);
+        assert_eq!(trace.spans_named("denoise").count(), 4);
+        assert_eq!(trace.spans_named("vae_decode").count(), 4);
+        assert!(trace.spans_named("step").count() >= 4 * cfg.steps);
+        // Children link to their root and nest inside its window.
+        for root in trace.spans_named("request") {
+            let kids: Vec<_> = trace.spans.iter().filter(|s| s.parent == root.id).collect();
+            assert!(!kids.is_empty());
+            for k in kids {
+                assert!(k.start_ns >= root.start_ns && k.end_ns <= root.end_ns);
+            }
+        }
+        assert_eq!(trace.dropped, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wall-clock")]
+    fn virtual_sink_is_rejected() {
+        let cfg = ModelConfig::tiny();
+        let sys = FlashPs::new(FlashPsConfig::new(cfg)).unwrap();
+        let _ = ThreadedServer::start(
+            sys,
+            ServerConfig {
+                trace: TraceSink::recording(Clock::Virtual),
+                ..ServerConfig::default()
+            },
+        );
     }
 
     #[test]

@@ -119,6 +119,13 @@ impl FlashPs {
         &self.pipeline
     }
 
+    /// Attaches a wall-clock trace sink to the pipeline: session
+    /// setup, every denoising step, and VAE decode become spans on
+    /// `track`. See [`EditPipeline::set_trace_sink`].
+    pub fn set_trace_sink(&mut self, sink: fps_trace::TraceSink, track: fps_trace::Track) {
+        self.pipeline.set_trace_sink(sink, track);
+    }
+
     /// The system configuration.
     pub fn config(&self) -> &FlashPsConfig {
         &self.config

@@ -3,6 +3,7 @@
 
 use fps_tensor::rng::{hash_bytes, DetRng};
 use fps_tensor::Tensor;
+use fps_trace::{Clock, TraceSink, Track};
 
 use crate::cache::TemplateCache;
 use crate::config::ModelConfig;
@@ -166,6 +167,11 @@ pub struct EditPipeline {
     model: DiffusionModel,
     vae: PatchVae,
     schedule: NoiseSchedule,
+    /// Wall-clock trace sink for pipeline stages (session setup, each
+    /// denoising step, VAE decode). Meant for direct single-threaded
+    /// API use; multi-worker servers keep their own per-worker spans.
+    trace: TraceSink,
+    trace_track: Track,
 }
 
 impl EditPipeline {
@@ -180,7 +186,28 @@ impl EditPipeline {
             model: DiffusionModel::new(cfg)?,
             vae: PatchVae::new(cfg)?,
             schedule: NoiseSchedule::new(cfg.steps)?,
+            trace: TraceSink::disabled(),
+            trace_track: Track::default(),
         })
+    }
+
+    /// Attaches a wall-clock trace sink; `begin`/`step`/`finish` emit
+    /// `pipeline`-category spans on `track`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a virtual-clock sink: the pipeline does real compute
+    /// and timestamps with real time.
+    pub fn set_trace_sink(&mut self, sink: TraceSink, track: Track) {
+        assert_ne!(
+            sink.clock(),
+            Some(Clock::Virtual),
+            "EditPipeline stages run on the wall clock; use \
+             TraceSink::recording(Clock::Wall)"
+        );
+        sink.name_track(track, "pipeline");
+        self.trace = sink;
+        self.trace_track = track;
     }
 
     /// Returns the model config.
@@ -339,6 +366,10 @@ impl EditPipeline {
         strategy: Strategy,
         guidance: Option<Guidance>,
     ) -> Result<EditSession> {
+        let mut span = self
+            .trace
+            .start("pipeline_begin", "pipeline", self.trace_track, 0);
+        span.arg("template", template_id);
         let cfg = self.model.config().clone();
         if let Some(&bad) = masked_idx.iter().find(|&&i| i >= cfg.tokens()) {
             return Err(DiffusionError::MaskLengthMismatch {
@@ -414,6 +445,10 @@ impl EditPipeline {
         if s.is_done() {
             return Ok(());
         }
+        let mut span = self
+            .trace
+            .start("pipeline_step", "pipeline", self.trace_track, 0);
+        span.arg("step", s.step as u64);
         let cfg = self.model.config().clone();
         let k = s.step;
         let t = self.schedule.t_norm(k);
@@ -540,6 +575,9 @@ impl EditPipeline {
     /// Returns [`DiffusionError::InvalidPlan`] when the session still
     /// has steps left; propagates decode shape errors.
     pub fn finish(&self, s: EditSession) -> Result<EditOutput> {
+        let _span = self
+            .trace
+            .start("pipeline_decode", "pipeline", self.trace_track, 0);
         if !s.is_done() {
             return Err(DiffusionError::InvalidPlan {
                 reason: format!(
@@ -1003,6 +1041,30 @@ mod tests {
             proptest::prop_assert!(a.image.data().iter().all(|v| v.is_finite()));
             proptest::prop_assert_eq!(a.steps_computed + a.steps_skipped, cfg.steps);
         }
+    }
+
+    #[test]
+    fn pipeline_stages_are_traced_on_the_wall_clock() {
+        let (cfg, mut pipe, template, cache) = setup();
+        let sink = TraceSink::recording(Clock::Wall);
+        pipe.set_trace_sink(sink.clone(), Track::new(0, 0));
+        let strat = Strategy::MaskAware {
+            use_cache: vec![true; cfg.blocks],
+            kv: false,
+        };
+        pipe.edit(&template, 1, &masked(), "p", 3, &strat, Some(&cache))
+            .unwrap();
+        let t = sink.drain().unwrap();
+        assert_eq!(t.spans_named("pipeline_begin").count(), 1);
+        assert_eq!(t.spans_named("pipeline_step").count(), cfg.steps);
+        assert_eq!(t.spans_named("pipeline_decode").count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wall clock")]
+    fn pipeline_rejects_virtual_sinks() {
+        let (_, mut pipe, _, _) = setup();
+        pipe.set_trace_sink(TraceSink::recording(Clock::Virtual), Track::new(0, 0));
     }
 
     #[test]

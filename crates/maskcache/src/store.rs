@@ -16,8 +16,10 @@
 use std::collections::HashMap;
 
 use bytes::Bytes;
+use fps_json::Json;
 use fps_overload::CircuitBreaker;
 use fps_simtime::{Resource, SimDuration, SimTime};
+use fps_trace::{Clock, TraceSink, Track};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -104,6 +106,11 @@ pub struct HierarchicalStore {
     stats: StoreStats,
     /// Disk-bandwidth divisor while the disk tier is degraded (≥ 1).
     disk_slow_factor: f64,
+    /// Trace sink for disk-promote spans and fallback events
+    /// (virtual-clock timestamps only — the store speaks `SimTime`).
+    trace: TraceSink,
+    /// Trace track disk-stream spans land on.
+    trace_track: Track,
 }
 
 impl HierarchicalStore {
@@ -118,7 +125,30 @@ impl HierarchicalStore {
             clock: 0,
             stats: StoreStats::default(),
             disk_slow_factor: 1.0,
+            trace: TraceSink::disabled(),
+            trace_track: Track::default(),
         }
+    }
+
+    /// Attaches a trace sink; disk→host promotions become spans on
+    /// `track` (serialized, so they visualize the read stream) and
+    /// verification failures become instant events.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a wall-clock sink: all store timestamps are
+    /// [`SimTime`], so recording them against a wall epoch would mix
+    /// clock domains in one trace.
+    pub fn set_trace(&mut self, sink: TraceSink, track: Track) {
+        assert_ne!(
+            sink.clock(),
+            Some(Clock::Wall),
+            "HierarchicalStore timestamps are virtual (SimTime); attach a \
+             TraceSink::recording(Clock::Virtual) sink"
+        );
+        sink.name_track(track, "disk stream");
+        self.trace = sink;
+        self.trace_track = track;
     }
 
     /// Behaviour counters accumulated so far.
@@ -237,7 +267,21 @@ impl HierarchicalStore {
                 let duration = SimDuration::from_secs_f64(
                     entry.bytes as f64 * self.disk_slow_factor / self.config.disk_read_bw,
                 );
-                let (_, finish) = self.disk_stream.acquire(now, duration);
+                let (start, finish) = self.disk_stream.acquire(now, duration);
+                if self.trace.is_enabled() {
+                    self.trace.span_at(
+                        "disk_promote",
+                        "cache",
+                        self.trace_track,
+                        start.as_nanos(),
+                        finish.as_nanos(),
+                        0,
+                        vec![
+                            ("template", Json::U64(template_id)),
+                            ("bytes", Json::U64(entry.bytes)),
+                        ],
+                    );
+                }
                 // Promote to host; the bytes occupy host memory from now
                 // (reservation) and are usable at `finish`.
                 self.make_host_room(entry.bytes, template_id);
@@ -300,6 +344,15 @@ impl HierarchicalStore {
             self.remove(template_id);
             self.stats.corruptions_detected += 1;
             self.stats.fallbacks += 1;
+            if self.trace.is_enabled() {
+                self.trace.event_at(
+                    "corruption_detected",
+                    "cache",
+                    self.trace_track,
+                    now.as_nanos(),
+                    vec![("template", Json::U64(template_id))],
+                );
+            }
             return VerifiedFetch::Fallback(FallbackReason::Corrupt);
         }
         match self.fetch(template_id, now) {
@@ -333,6 +386,15 @@ impl HierarchicalStore {
         if !breaker.allow(now) {
             self.stats.fallbacks += 1;
             self.stats.breaker_short_circuits += 1;
+            if self.trace.is_enabled() {
+                self.trace.event_at(
+                    "breaker_short_circuit",
+                    "cache",
+                    self.trace_track,
+                    now.as_nanos(),
+                    vec![("template", Json::U64(template_id))],
+                );
+            }
             return VerifiedFetch::Fallback(FallbackReason::BreakerOpen);
         }
         match self.fetch_verified(template_id, now) {
@@ -376,6 +438,17 @@ pub enum FallbackReason {
     /// An open circuit breaker short-circuited the read before any
     /// disk I/O was issued.
     BreakerOpen,
+}
+
+impl FallbackReason {
+    /// Short label for reports and trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Missing => "missing",
+            Self::Corrupt => "corrupt",
+            Self::BreakerOpen => "breaker-open",
+        }
+    }
 }
 
 /// Outcome of [`HierarchicalStore::fetch_verified`].

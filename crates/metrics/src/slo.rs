@@ -21,17 +21,42 @@ pub struct RungServed {
     /// Output quality at this rung versus the full-quality reference
     /// (e.g. SSIM), when a quality probe was run.
     pub quality: Option<f64>,
+    /// Median queue wait (arrival → batch join) of requests served at
+    /// this rung, seconds. `None` when no trace-derived aggregates
+    /// were computed.
+    pub queue_wait_p50_secs: Option<f64>,
+    /// P95 queue wait at this rung, seconds.
+    pub queue_wait_p95_secs: Option<f64>,
+}
+
+impl RungServed {
+    /// A rung entry with no trace-derived aggregates.
+    pub fn new(label: impl Into<String>, served: u64, quality: Option<f64>) -> Self {
+        Self {
+            label: label.into(),
+            served,
+            quality,
+            queue_wait_p50_secs: None,
+            queue_wait_p95_secs: None,
+        }
+    }
 }
 
 impl ToJson for RungServed {
     fn to_json(&self) -> Json {
-        let j = Json::object()
+        let mut j = Json::object()
             .with("label", self.label.as_str())
             .with("served", self.served);
-        match self.quality {
-            Some(q) => j.with("quality", q),
-            None => j,
+        if let Some(q) = self.quality {
+            j = j.with("quality", q);
         }
+        if let Some(p) = self.queue_wait_p50_secs {
+            j = j.with("queue_wait_p50_secs", p);
+        }
+        if let Some(p) = self.queue_wait_p95_secs {
+            j = j.with("queue_wait_p95_secs", p);
+        }
+        j
     }
 }
 
@@ -66,6 +91,11 @@ pub struct SloReport {
     /// Served work by degradation rung, ladder order. Empty when the
     /// run had no overload control.
     pub rungs: Vec<RungServed>,
+    /// GPU bubble fraction over the run — idle GPU time inside the
+    /// serving window divided by the window, derived from a trace
+    /// (`fps-trace::bubble_in_window`). `None` when the run was not
+    /// traced.
+    pub bubble_fraction: Option<f64>,
 }
 
 impl SloReport {
@@ -110,7 +140,7 @@ impl SloReport {
 
 impl ToJson for SloReport {
     fn to_json(&self) -> Json {
-        Json::object()
+        let j = Json::object()
             .with("label", self.label.as_str())
             .with("deadline_secs", self.deadline_secs)
             .with("submitted", self.submitted)
@@ -126,7 +156,11 @@ impl ToJson for SloReport {
             .with("mean_latency_secs", self.mean_latency_secs)
             .with("attainment", self.attainment())
             .with("shed_rate", self.shed_rate())
-            .with("rungs", self.rungs.to_json())
+            .with("rungs", self.rungs.to_json());
+        match self.bubble_fraction {
+            Some(b) => j.with("bubble_fraction", b),
+            None => j,
+        }
     }
 }
 
@@ -153,13 +187,12 @@ mod tests {
                     label: "flashps-kv".into(),
                     served: 90,
                     quality: Some(1.0),
+                    queue_wait_p50_secs: Some(0.8),
+                    queue_wait_p95_secs: Some(4.0),
                 },
-                RungServed {
-                    label: "teacache-0.35".into(),
-                    served: 50,
-                    quality: Some(0.92),
-                },
+                RungServed::new("teacache-0.35", 50, Some(0.92)),
             ],
+            bubble_fraction: Some(0.015),
         }
     }
 
@@ -191,6 +224,7 @@ mod tests {
             p95_latency_secs: 0.0,
             mean_latency_secs: 0.0,
             rungs: Vec::new(),
+            bubble_fraction: None,
         };
         assert_eq!(r.lost(), 0);
         assert_eq!(r.attainment(), 1.0);
@@ -215,5 +249,14 @@ mod tests {
             back.get("served_within_deadline").and_then(Json::as_u64),
             Some(126)
         );
+        assert_eq!(
+            back.get("bubble_fraction").and_then(Json::as_f64),
+            Some(0.015)
+        );
+        assert_eq!(
+            rungs[0].get("queue_wait_p95_secs").and_then(Json::as_f64),
+            Some(4.0)
+        );
+        assert!(rungs[1].get("queue_wait_p50_secs").is_none());
     }
 }

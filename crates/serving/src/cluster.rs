@@ -15,11 +15,13 @@
 //! completes or is explicitly rejected — never silently lost.
 
 use fps_chaos::{FaultKind, FaultPlan, RetryPolicy};
+use fps_json::Json;
 use fps_maskcache::store::{HierarchicalStore, StoreConfig};
 use fps_maskcache::VerifiedFetch;
 use fps_metrics::{LatencyBreakdown, LatencyRecorder};
 use fps_overload::{AdmissionVerdict, Rung};
 use fps_simtime::{EventHandler, EventQueue, SimDuration, SimTime, Simulation};
+use fps_trace::{Clock, TraceSink, Track};
 use fps_workload::Trace;
 
 use crate::cost::{BatchItem, CostModel};
@@ -100,6 +102,11 @@ pub struct ClusterConfig {
     /// circuit breaker). `None` admits everything and serves it at the
     /// configured engine, exactly as before.
     pub overload: Option<OverloadConfig>,
+    /// Structured-tracing sink. All simulator records carry **virtual**
+    /// timestamps (`SimTime` nanoseconds); a wall-clock sink is
+    /// rejected at run start. The default disabled sink records
+    /// nothing and costs one branch per instrumentation point.
+    pub trace: TraceSink,
 }
 
 impl ClusterConfig {
@@ -115,6 +122,7 @@ impl ClusterConfig {
             store: StoreConfig::production_like(),
             scheduler_overhead: SimDuration::from_micros(600),
             overload: None,
+            trace: TraceSink::disabled(),
         }
     }
 
@@ -330,6 +338,25 @@ impl<'r> ClusterSim<'r> {
         if let Err(reason) = plan.validate(config.workers) {
             return Err(ServingError::InvalidConfig { reason });
         }
+        // The simulator runs on virtual time; accepting a wall-clock
+        // sink would let `Instant`-derived and `SimTime`-derived
+        // nanoseconds mix in one trace.
+        if config.trace.clock() == Some(Clock::Wall) {
+            return Err(ServingError::InvalidConfig {
+                reason: "ClusterSim requires a virtual-clock TraceSink \
+                         (TraceSink::recording(Clock::Virtual)); wall-clock timestamps must \
+                         never mix with simulator time in one trace"
+                    .into(),
+            });
+        }
+        if config.trace.is_enabled() {
+            config.trace.name_track(Track::new(0, 0), "scheduler");
+            for w in 0..config.workers {
+                config
+                    .trace
+                    .name_track(Track::new(w as u32 + 1, 0), format!("worker{w} gpu"));
+            }
+        }
         let steps = config.cost.model.steps;
         let worker_cfg = WorkerConfig {
             engine: config.engine,
@@ -350,6 +377,14 @@ impl<'r> ClusterSim<'r> {
         // trace touches (templates are primed offline, §2.2). Template
         // caches cover all tokens (mask ratio 0 sizing).
         let mut store = HierarchicalStore::new(config.store);
+        if config.trace.is_enabled() {
+            // Disk-stream spans go on a dedicated process row past the
+            // worker rows.
+            store.set_trace(
+                config.trace.clone(),
+                Track::new(config.workers as u32 + 1, 0),
+            );
+        }
         if config.engine.uses_cache() {
             let bytes = config.cost.model.cache_bytes_total(0.0);
             let mut seen = std::collections::HashSet::new();
@@ -410,8 +445,11 @@ impl<'r> ClusterSim<'r> {
         let mut outcomes = Vec::new();
         let mut recorder = LatencyRecorder::new();
         let mut makespan = 0.0f64;
-        for r in &world.requests {
+        for (lane, r) in world.requests.iter().enumerate() {
             if let Some(o) = r.outcome() {
+                if world.config.trace.is_enabled() {
+                    emit_request_spans(&world.config.trace, lane as u32, r);
+                }
                 makespan = makespan.max(r.completed_at.map(|t| t.as_secs_f64()).unwrap_or(0.0));
                 recorder.record(LatencyBreakdown {
                     queueing: o.queueing,
@@ -524,7 +562,7 @@ impl<'r> ClusterSim<'r> {
                 match ov.admission.check(now, backlog, est_floor) {
                     AdmissionVerdict::Admit => self.requests[req].admitted = true,
                     AdmissionVerdict::Shed(cause) => {
-                        self.reject(req, RejectReason::Shed(cause));
+                        self.reject(req, now, RejectReason::Shed(cause));
                         return;
                     }
                 }
@@ -540,7 +578,7 @@ impl<'r> ClusterSim<'r> {
         if self.chaos {
             let arrival = self.requests[req].spec.arrival();
             if self.retry.past_deadline(arrival, now) {
-                self.reject(req, RejectReason::DeadlineExceeded);
+                self.reject(req, now, RejectReason::DeadlineExceeded);
                 return;
             }
             // The transit drop coin rerolls per attempt.
@@ -569,36 +607,39 @@ impl<'r> ClusterSim<'r> {
 
         let t0 = now + self.config.scheduler_overhead;
         let cache_ready = if self.engine_for(req).uses_cache() {
-            if let Some(ov) = self.overload.as_mut() {
+            let template = self.requests[req].spec.template_id;
+            self.requests[req].cache_fetch_started_at = Some(t0);
+            let fetched = if let Some(ov) = self.overload.as_mut() {
                 // Breaker-guarded read: stateful protection replaces
                 // the per-read fallback — while Open, the read
                 // short-circuits to recompute with no disk I/O.
-                let template = self.requests[req].spec.template_id;
-                match self.store.fetch_guarded(&mut ov.breaker, template, t0) {
-                    VerifiedFetch::Intact(ready) => ready,
-                    VerifiedFetch::Fallback(_) => {
-                        self.requests[req].fallback = true;
-                        t0
-                    }
-                }
+                self.store.fetch_guarded(&mut ov.breaker, template, t0)
             } else if self.chaos {
                 // Verified read: a lost or corrupt template falls back
                 // to full recompute instead of failing the request.
-                match self
-                    .store
-                    .fetch_verified(self.requests[req].spec.template_id, t0)
-                {
-                    VerifiedFetch::Intact(ready) => ready,
-                    VerifiedFetch::Fallback(_) => {
-                        self.requests[req].fallback = true;
-                        t0
-                    }
-                }
+                self.store.fetch_verified(template, t0)
             } else {
                 // Prefetch starts at arrival and overlaps queueing.
-                self.store
-                    .fetch(self.requests[req].spec.template_id, t0)
-                    .unwrap_or(t0)
+                VerifiedFetch::Intact(self.store.fetch(template, t0).unwrap_or(t0))
+            };
+            match fetched {
+                VerifiedFetch::Intact(ready) => ready,
+                VerifiedFetch::Fallback(reason) => {
+                    self.requests[req].fallback = true;
+                    if self.config.trace.is_enabled() {
+                        self.config.trace.event_at(
+                            "cache_fallback",
+                            "cache",
+                            Track::new(0, 0),
+                            t0.as_nanos(),
+                            vec![
+                                ("template", Json::U64(template)),
+                                ("reason", Json::Str(reason.label().into())),
+                            ],
+                        );
+                    }
+                    t0
+                }
             }
         } else {
             t0
@@ -638,9 +679,21 @@ impl<'r> ClusterSim<'r> {
 
     /// Explicitly rejects a request — it leaves the system with a
     /// recorded reason, never silently.
-    fn reject(&mut self, req: usize, reason: RejectReason) {
+    fn reject(&mut self, req: usize, now: SimTime, reason: RejectReason) {
         if self.requests[req].rejected.is_some() {
             return;
+        }
+        if self.config.trace.is_enabled() {
+            self.config.trace.event_at(
+                "reject",
+                "overload",
+                Track::new(0, 0),
+                now.as_nanos(),
+                vec![
+                    ("id", Json::U64(self.requests[req].spec.id)),
+                    ("reason", Json::Str(reason.label().into())),
+                ],
+            );
         }
         self.scrub(req);
         self.requests[req].rejected = Some(reason);
@@ -672,11 +725,11 @@ impl<'r> ClusterSim<'r> {
     fn retry_or_reject(&mut self, req: usize, now: SimTime, q: &mut EventQueue<Ev>) {
         let arrival = self.requests[req].spec.arrival();
         if self.retry.past_deadline(arrival, now) {
-            self.reject(req, RejectReason::DeadlineExceeded);
+            self.reject(req, now, RejectReason::DeadlineExceeded);
             return;
         }
         if self.requests[req].retries >= self.retry.max_retries {
-            self.reject(req, RejectReason::RetriesExhausted);
+            self.reject(req, now, RejectReason::RetriesExhausted);
             return;
         }
         self.scrub(req);
@@ -760,7 +813,7 @@ impl<'r> ClusterSim<'r> {
                 if let Some(deadline) = slo {
                     let arrival = self.requests[i].spec.arrival();
                     if now.since(arrival) > deadline {
-                        self.reject(i, RejectReason::DeadlineExceeded);
+                        self.reject(i, now, RejectReason::DeadlineExceeded);
                         continue;
                     }
                 }
@@ -818,6 +871,17 @@ impl<'r> ClusterSim<'r> {
         self.workers[w].steps_executed += 1;
         self.workers[w].busy_secs += lat.as_secs_f64();
         let epoch = self.workers[w].epoch;
+        if self.config.trace.is_enabled() {
+            self.config.trace.span_at(
+                "step",
+                "gpu",
+                Track::new(w as u32 + 1, 0),
+                now.as_nanos(),
+                (now + lat).as_nanos(),
+                0,
+                vec![("batch", Json::U64(self.workers[w].running.len() as u64))],
+            );
+        }
         q.schedule_at(now + lat, Ev::StepDone { worker: w, epoch });
     }
 
@@ -1068,6 +1132,84 @@ impl<'r> EventHandler<Ev> for ClusterSim<'r> {
     }
 }
 
+/// Emits the span tree of one completed request from its recorded
+/// virtual timestamps: a `request` root on the scheduler process (one
+/// lane per request) with `queue` / `cache_fetch` / `denoise` /
+/// `postprocess` children. Runs after the simulation, so emission
+/// order — and therefore the drained trace — is deterministic.
+fn emit_request_spans(sink: &TraceSink, lane: u32, r: &SimRequest) {
+    let (Some(joined), Some(denoised), Some(completed)) =
+        (r.batch_joined_at, r.denoise_done_at, r.completed_at)
+    else {
+        return;
+    };
+    let arrival = r.spec.arrival();
+    let t = Track::new(0, lane + 1);
+    let mut args = vec![
+        ("id", Json::U64(r.spec.id)),
+        ("worker", Json::U64(r.worker as u64)),
+        ("mask_ratio", Json::F64(r.spec.mask_ratio)),
+        ("retries", Json::U64(u64::from(r.retries))),
+        ("fallback", Json::Bool(r.fallback)),
+    ];
+    if let Some(rung) = r.rung {
+        args.push(("rung", Json::Str(rung.label().into())));
+    }
+    let root = sink.span_at(
+        "request",
+        "request",
+        t,
+        arrival.as_nanos(),
+        completed.as_nanos(),
+        0,
+        args,
+    );
+    let queue_args = match r.rung {
+        Some(rung) => vec![("rung", Json::Str(rung.label().into()))],
+        None => Vec::new(),
+    };
+    sink.span_at(
+        "queue",
+        "stage",
+        t,
+        arrival.as_nanos(),
+        joined.as_nanos(),
+        root,
+        queue_args,
+    );
+    if let Some(fetch_start) = r.cache_fetch_started_at {
+        if r.cache_ready_at > fetch_start {
+            sink.span_at(
+                "cache_fetch",
+                "cache",
+                t,
+                fetch_start.as_nanos(),
+                r.cache_ready_at.as_nanos(),
+                root,
+                vec![("template", Json::U64(r.spec.template_id))],
+            );
+        }
+    }
+    sink.span_at(
+        "denoise",
+        "stage",
+        t,
+        joined.as_nanos(),
+        denoised.as_nanos(),
+        root,
+        Vec::new(),
+    );
+    sink.span_at(
+        "postprocess",
+        "stage",
+        t,
+        denoised.as_nanos(),
+        completed.as_nanos(),
+        root,
+        Vec::new(),
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1099,6 +1241,7 @@ mod tests {
             store: StoreConfig::production_like(),
             scheduler_overhead: SimDuration::from_micros(600),
             overload: None,
+            trace: TraceSink::disabled(),
         }
     }
 
@@ -1725,5 +1868,74 @@ mod tests {
         // The FlashPS engine touched the activation store.
         assert!(report.store_stats.host_hits > 0);
         assert!(report.utilization.iter().all(|&u| (0.0..=1.0).contains(&u)));
+    }
+
+    #[test]
+    fn wall_clock_sink_is_rejected() {
+        let trace = small_trace(0.5, 30.0, 3);
+        let mut cfg = base_config(
+            EngineKind::FlashPs { kv: false },
+            BatchingPolicy::ContinuousDisaggregated,
+            2,
+        );
+        cfg.trace = TraceSink::recording(Clock::Wall);
+        let mut router = RoundRobinRouter::default();
+        let err = ClusterSim::run(cfg, &trace, &mut router).unwrap_err();
+        assert!(matches!(err, crate::ServingError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn tracing_emits_request_and_step_spans_without_changing_outcomes() {
+        let trace = small_trace(0.5, 60.0, 5);
+        let cfg = |sink: TraceSink| {
+            let mut c = base_config(
+                EngineKind::FlashPs { kv: false },
+                BatchingPolicy::ContinuousDisaggregated,
+                2,
+            );
+            c.trace = sink;
+            c
+        };
+        let mut router = RoundRobinRouter::default();
+        let quiet = ClusterSim::run(cfg(TraceSink::disabled()), &trace, &mut router).unwrap();
+        let sink = TraceSink::recording(Clock::Virtual);
+        let mut router = RoundRobinRouter::default();
+        let traced = ClusterSim::run(cfg(sink.clone()), &trace, &mut router).unwrap();
+        assert_eq!(
+            quiet.outcomes, traced.outcomes,
+            "tracing must be purely passive"
+        );
+        let t = sink.drain().unwrap();
+        assert_eq!(t.clock, Clock::Virtual);
+        assert_eq!(t.spans_named("request").count(), traced.outcomes.len());
+        assert!(t.spans_named("queue").count() > 0);
+        assert!(t.spans_named("denoise").count() > 0);
+        assert!(t.spans_named("postprocess").count() > 0);
+        assert!(t.spans_named("step").count() > 0, "per-step gpu spans");
+        // Every request span's children nest inside it.
+        for root in t.spans_named("request") {
+            for child in t.spans.iter().filter(|s| s.parent == root.id) {
+                assert!(child.start_ns >= root.start_ns && child.end_ns <= root.end_ns);
+            }
+        }
+        assert_eq!(t.dropped, 0);
+    }
+
+    #[test]
+    fn traced_run_is_deterministic_across_reruns() {
+        let trace = small_trace(0.8, 45.0, 11);
+        let run = || {
+            let sink = TraceSink::recording(Clock::Virtual);
+            let mut cfg = base_config(
+                EngineKind::FlashPs { kv: false },
+                BatchingPolicy::ContinuousDisaggregated,
+                2,
+            );
+            cfg.trace = sink.clone();
+            let mut router = LeastLoadedRouter;
+            ClusterSim::run(cfg, &trace, &mut router).unwrap();
+            fps_trace::chrome_trace_string(&sink.drain().unwrap())
+        };
+        assert_eq!(run(), run(), "chrome export must be byte-identical");
     }
 }

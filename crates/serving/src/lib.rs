@@ -33,5 +33,9 @@ pub use router::{
 };
 pub use worker::{BatchingPolicy, WorkerConfig, WorkerHealth};
 
+// Re-exported so embedders configuring `ClusterConfig::trace` don't
+// need a direct fps-trace dependency.
+pub use fps_trace::{Clock, Trace, TraceSink, Track};
+
 /// Crate-wide result alias.
 pub type Result<T> = core::result::Result<T, ServingError>;

@@ -33,6 +33,9 @@ pub struct SimRequest {
     /// When the template's cached activations are host-resident
     /// (prefetch-while-queued, §4.2).
     pub cache_ready_at: SimTime,
+    /// When the cache prefetch for the current attempt was issued
+    /// (`None` for cache-less engines). Only feeds tracing spans.
+    pub cache_fetch_started_at: Option<SimTime>,
     /// When the request joined the running batch (first step start).
     pub batch_joined_at: Option<SimTime>,
     /// When denoising finished.
@@ -68,6 +71,7 @@ impl SimRequest {
             worker: usize::MAX,
             steps_left: steps,
             cache_ready_at: SimTime::ZERO,
+            cache_fetch_started_at: None,
             batch_joined_at: None,
             denoise_done_at: None,
             completed_at: None,
@@ -89,6 +93,7 @@ impl SimRequest {
         self.worker = usize::MAX;
         self.steps_left = steps;
         self.cache_ready_at = SimTime::ZERO;
+        self.cache_fetch_started_at = None;
         self.batch_joined_at = None;
         self.denoise_done_at = None;
     }

@@ -1,0 +1,356 @@
+//! Exporters: Chrome `chrome://tracing` JSON and flamegraph
+//! collapsed-stack text.
+//!
+//! The Chrome format is the Trace Event Format's JSON-object flavor:
+//! `{"traceEvents": [...]}` with complete (`ph:"X"`) events carrying
+//! microsecond `ts`/`dur` and `pid`/`tid` placement, plus metadata
+//! (`ph:"M"`) events naming processes and threads. Both Chrome's
+//! legacy `chrome://tracing` viewer and Perfetto load it directly.
+//! Output is deterministic for a deterministic input trace: spans are
+//! pre-sorted by the drain and numbers format via Rust's shortest
+//! round-trip `{:?}`.
+
+use fps_json::Json;
+
+use crate::sink::Trace;
+use crate::span::Track;
+
+/// Microseconds (Chrome's unit) from nanoseconds, exact as f64 for
+/// any sub-292-year timestamp.
+fn micros(ns: u64) -> f64 {
+    ns as f64 / 1e3
+}
+
+fn args_json(args: &[(&'static str, Json)], extra: &[(&str, Json)]) -> Json {
+    let mut obj = Json::object();
+    for (k, v) in args {
+        obj = obj.with(k, v.clone());
+    }
+    for (k, v) in extra {
+        obj = obj.with(k, v.clone());
+    }
+    obj
+}
+
+/// Builds the Chrome-trace JSON tree for a drained [`Trace`].
+pub fn chrome_trace_json(trace: &Trace) -> Json {
+    let mut events = Vec::new();
+    // Metadata: name processes (lane 0 labels double as process
+    // names) and every labelled thread lane.
+    for (track, label) in &trace.track_names {
+        if track.lane == 0 {
+            events.push(meta_event("process_name", *track, label));
+        }
+        events.push(meta_event("thread_name", *track, label));
+    }
+    for s in &trace.spans {
+        let extra: Vec<(&str, Json)> = vec![
+            ("span_id", Json::U64(s.id)),
+            ("parent_id", Json::U64(s.parent)),
+        ];
+        events.push(
+            Json::object()
+                .with("name", s.name.as_str())
+                .with("cat", s.cat)
+                .with("ph", "X")
+                .with("ts", micros(s.start_ns))
+                .with("dur", micros(s.duration_ns()))
+                .with("pid", s.track.process)
+                .with("tid", s.track.lane)
+                .with("args", args_json(&s.args, &extra)),
+        );
+    }
+    for e in &trace.events {
+        events.push(
+            Json::object()
+                .with("name", e.name.as_str())
+                .with("cat", e.cat)
+                .with("ph", "i")
+                .with("s", "t")
+                .with("ts", micros(e.ts_ns))
+                .with("pid", e.track.process)
+                .with("tid", e.track.lane)
+                .with("args", args_json(&e.args, &[])),
+        );
+    }
+    Json::object()
+        .with("traceEvents", Json::Array(events))
+        .with("displayTimeUnit", "ms")
+        .with(
+            "otherData",
+            Json::object()
+                .with("clock", trace.clock.label())
+                .with("dropped", trace.dropped),
+        )
+}
+
+fn meta_event(kind: &str, track: Track, label: &str) -> Json {
+    Json::object()
+        .with("name", kind)
+        .with("ph", "M")
+        .with("pid", track.process)
+        .with("tid", track.lane)
+        .with("args", Json::object().with("name", label))
+}
+
+/// Compact Chrome-trace JSON text, ready to save as a `.json` file
+/// and load in `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn chrome_trace_string(trace: &Trace) -> String {
+    chrome_trace_json(trace).to_string_compact()
+}
+
+/// Flamegraph collapsed-stack text: one `stack;frames count` line per
+/// unique root→leaf path, weighted by *self* nanoseconds (span time
+/// not covered by its children). Lines sort lexicographically so the
+/// output is deterministic; feed it to `flamegraph.pl` or speedscope.
+pub fn flamegraph_collapsed(trace: &Trace) -> String {
+    // Parent-chain names per span.
+    let mut by_id: Vec<(u64, usize)> = trace
+        .spans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.id, i))
+        .collect();
+    by_id.sort_unstable();
+    let lookup = |id: u64| -> Option<usize> {
+        by_id
+            .binary_search_by_key(&id, |&(sid, _)| sid)
+            .ok()
+            .map(|pos| by_id[pos].1)
+    };
+    // Children time per parent, for self-time computation.
+    let mut child_ns = vec![0u64; trace.spans.len()];
+    for s in &trace.spans {
+        if let Some(pi) = lookup(s.parent) {
+            child_ns[pi] += s.duration_ns();
+        }
+    }
+    let mut lines: Vec<(String, u64)> = Vec::new();
+    for (i, s) in trace.spans.iter().enumerate() {
+        let self_ns = s.duration_ns().saturating_sub(child_ns[i]);
+        if self_ns == 0 {
+            continue;
+        }
+        // Build root→leaf frame path (bounded to defend against
+        // accidental parent cycles).
+        let mut frames = vec![clean_frame(&s.name)];
+        let mut cur = s.parent;
+        let mut hops = 0;
+        while cur != 0 && hops < 64 {
+            let Some(pi) = lookup(cur) else { break };
+            frames.push(clean_frame(&trace.spans[pi].name));
+            cur = trace.spans[pi].parent;
+            hops += 1;
+        }
+        frames.reverse();
+        lines.push((frames.join(";"), self_ns));
+    }
+    // Aggregate identical stacks.
+    lines.sort();
+    let mut out = String::new();
+    let mut iter = lines.into_iter();
+    if let Some((mut stack, mut ns)) = iter.next() {
+        for (s, n) in iter {
+            if s == stack {
+                ns += n;
+            } else {
+                out.push_str(&format!("{stack} {ns}\n"));
+                stack = s;
+                ns = n;
+            }
+        }
+        out.push_str(&format!("{stack} {ns}\n"));
+    }
+    out
+}
+
+/// Frame names may not contain the stack separator or spaces.
+fn clean_frame(name: &str) -> String {
+    name.replace([';', ' '], "_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::TraceSink;
+    use crate::span::{Clock, Track};
+
+    fn sample() -> Trace {
+        let sink = TraceSink::recording(Clock::Virtual);
+        sink.name_track(Track::new(1, 0), "worker0");
+        let root = sink.span_at(
+            "request",
+            "request",
+            Track::new(0, 1),
+            0,
+            1000,
+            0,
+            vec![("mask_ratio", Json::F64(0.2))],
+        );
+        sink.span_at(
+            "queue",
+            "request",
+            Track::new(0, 1),
+            0,
+            300,
+            root,
+            Vec::new(),
+        );
+        sink.span_at(
+            "denoise",
+            "request",
+            Track::new(0, 1),
+            300,
+            900,
+            root,
+            Vec::new(),
+        );
+        sink.event_at(
+            "shed",
+            "overload",
+            Track::new(0, 0),
+            50,
+            vec![("reason", Json::Str("queue_full".into()))],
+        );
+        sink.drain().unwrap()
+    }
+
+    #[test]
+    fn chrome_export_round_trips_through_fps_json() {
+        let text = chrome_trace_string(&sample());
+        let back = Json::parse(&text).expect("exporter output must be valid JSON");
+        let events = back
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        // 2 metadata (process + thread name) + 3 spans + 1 instant.
+        assert_eq!(events.len(), 6);
+        let span = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("request"))
+            .expect("request span present");
+        assert_eq!(span.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(span.get("dur").and_then(Json::as_f64), Some(1.0)); // 1000 ns = 1 µs
+        assert_eq!(
+            span.get("args")
+                .and_then(|a| a.get("mask_ratio"))
+                .and_then(Json::as_f64),
+            Some(0.2)
+        );
+        assert_eq!(
+            back.get("otherData")
+                .and_then(|o| o.get("clock"))
+                .and_then(Json::as_str),
+            Some("virtual")
+        );
+    }
+
+    #[test]
+    fn chrome_export_escapes_hostile_names() {
+        let sink = TraceSink::recording(Clock::Wall);
+        sink.span_at(
+            "we\"ird\n\\name\t𝕊",
+            "request",
+            Track::new(0, 0),
+            0,
+            10,
+            0,
+            vec![(
+                "note",
+                Json::Str("quote \" backslash \\ nul \u{0} end".into()),
+            )],
+        );
+        let trace = sink.drain().unwrap();
+        let text = chrome_trace_string(&trace);
+        let back = Json::parse(&text).expect("escaped output parses");
+        let ev = &back.get("traceEvents").and_then(Json::as_array).unwrap()[0];
+        assert_eq!(
+            ev.get("name").and_then(Json::as_str),
+            Some("we\"ird\n\\name\t𝕊")
+        );
+        assert_eq!(
+            ev.get("args")
+                .and_then(|a| a.get("note"))
+                .and_then(Json::as_str),
+            Some("quote \" backslash \\ nul \u{0} end")
+        );
+    }
+
+    #[test]
+    fn chrome_export_handles_large_traces() {
+        let sink = TraceSink::with_capacity(Clock::Virtual, 1 << 15);
+        for i in 0..10_000u64 {
+            sink.span_at(
+                format!("span{}", i % 7),
+                "gpu",
+                Track::new((i % 3) as u32, 0),
+                i * 10,
+                i * 10 + 9,
+                0,
+                vec![("i", Json::U64(i))],
+            );
+        }
+        let trace = sink.drain().unwrap();
+        let text = chrome_trace_string(&trace);
+        let back = Json::parse(&text).expect("large trace parses");
+        assert_eq!(
+            back.get("traceEvents")
+                .and_then(Json::as_array)
+                .unwrap()
+                .len(),
+            10_000
+        );
+        // Deterministic: rendering twice gives identical bytes.
+        assert_eq!(text, chrome_trace_string(&trace));
+    }
+
+    #[test]
+    fn flamegraph_aggregates_self_time_by_stack() {
+        let sink = TraceSink::recording(Clock::Virtual);
+        let root = sink.span_at(
+            "request",
+            "request",
+            Track::new(0, 0),
+            0,
+            100,
+            0,
+            Vec::new(),
+        );
+        sink.span_at(
+            "queue",
+            "request",
+            Track::new(0, 0),
+            0,
+            30,
+            root,
+            Vec::new(),
+        );
+        sink.span_at(
+            "denoise",
+            "request",
+            Track::new(0, 0),
+            30,
+            90,
+            root,
+            Vec::new(),
+        );
+        let out = flamegraph_collapsed(&sink.drain().unwrap());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "request 10", // 100 - (30 + 60) self time
+                "request;denoise 60",
+                "request;queue 30",
+            ]
+        );
+    }
+
+    #[test]
+    fn flamegraph_sanitizes_separators() {
+        let sink = TraceSink::recording(Clock::Wall);
+        sink.span_at("a;b c", "x", Track::default(), 0, 5, 0, Vec::new());
+        let out = flamegraph_collapsed(&sink.drain().unwrap());
+        assert_eq!(out, "a_b_c 5\n");
+    }
+}

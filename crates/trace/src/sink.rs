@@ -1,0 +1,605 @@
+//! The [`TraceSink`] handle and the per-thread ring-buffer collector.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Disabled is free.** A `TraceSink::disabled()` handle is a
+//!    `None`; every record call is one branch. Instrumentation can sit
+//!    in the denoise hot loop.
+//! 2. **No cross-thread contention on the record path.** Each thread
+//!    lazily registers its own buffer with the collector; record calls
+//!    lock only the calling thread's buffer, which is uncontended
+//!    except during a drain.
+//! 3. **Bounded memory.** Buffers are rings with a fixed capacity;
+//!    overflow drops the *newest* record and bumps a shared drop
+//!    counter instead of growing or blocking.
+//! 4. **One clock per collector.** Wall-clock conveniences panic on a
+//!    virtual-clock collector — mixing simulated and real timestamps
+//!    in one trace is the bug this crate exists to prevent.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::Instant;
+
+use fps_json::Json;
+
+use crate::span::{Clock, EventRecord, SpanRecord, Track};
+
+/// Default per-thread ring capacity (spans + events combined).
+pub const DEFAULT_THREAD_CAPACITY: usize = 1 << 16;
+
+/// Message used when a wall-clock API is called on a virtual-clock
+/// sink; tested by name, keep in sync.
+const CLOCK_MIX_MSG: &str =
+    "wall-clock trace API on a virtual-clock sink: simulator spans must pass explicit SimTime \
+     nanoseconds so sim-time and wall-time never mix in one trace";
+
+#[derive(Debug)]
+enum Item {
+    Span(SpanRecord),
+    Event(EventRecord),
+}
+
+/// One thread's bounded buffer. Only the owning thread records into
+/// it; the collector locks it briefly during [`Collector::drain`].
+#[derive(Debug)]
+struct ThreadBuffer {
+    items: Mutex<Vec<Item>>,
+}
+
+thread_local! {
+    /// Cache of (collector id → this thread's buffer) so the record
+    /// path skips the collector-wide registry lock after first use.
+    static TLS_BUFFERS: RefCell<Vec<(u64, Weak<ThreadBuffer>)>> = const { RefCell::new(Vec::new()) };
+}
+
+static NEXT_COLLECTOR_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The shared state behind a recording [`TraceSink`].
+#[derive(Debug)]
+pub struct Collector {
+    id: u64,
+    clock: Clock,
+    capacity: usize,
+    epoch: Instant,
+    next_span_id: AtomicU64,
+    dropped: AtomicU64,
+    buffers: Mutex<Vec<Arc<ThreadBuffer>>>,
+    track_names: Mutex<Vec<(Track, String)>>,
+}
+
+impl Collector {
+    fn new(clock: Clock, capacity: usize) -> Self {
+        Self {
+            id: NEXT_COLLECTOR_ID.fetch_add(1, Ordering::Relaxed),
+            clock,
+            capacity: capacity.max(1),
+            epoch: Instant::now(),
+            next_span_id: AtomicU64::new(1),
+            dropped: AtomicU64::new(0),
+            buffers: Mutex::new(Vec::new()),
+            track_names: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The calling thread's buffer, registering one on first use.
+    fn my_buffer(self: &Arc<Self>) -> Arc<ThreadBuffer> {
+        TLS_BUFFERS.with(|tls| {
+            let mut tls = tls.borrow_mut();
+            if let Some((_, weak)) = tls.iter().find(|(id, _)| *id == self.id) {
+                if let Some(buf) = weak.upgrade() {
+                    return buf;
+                }
+            }
+            let buf = Arc::new(ThreadBuffer {
+                items: Mutex::new(Vec::new()),
+            });
+            self.buffers
+                .lock()
+                .expect("trace buffer registry poisoned")
+                .push(Arc::clone(&buf));
+            tls.retain(|(_, weak)| weak.strong_count() > 0);
+            tls.push((self.id, Arc::downgrade(&buf)));
+            buf
+        })
+    }
+
+    fn push(self: &Arc<Self>, item: Item) {
+        let buf = self.my_buffer();
+        let mut items = buf.items.lock().expect("trace buffer poisoned");
+        if items.len() >= self.capacity {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            items.push(item);
+        }
+    }
+}
+
+/// A drained, immutable trace: every span and event recorded so far,
+/// in a deterministic order, plus the clock domain and drop count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Clock domain all timestamps belong to.
+    pub clock: Clock,
+    /// Completed spans, sorted by (start, track, longest-first, id).
+    pub spans: Vec<SpanRecord>,
+    /// Instantaneous events, sorted by (timestamp, track, name).
+    pub events: Vec<EventRecord>,
+    /// Human labels for tracks, sorted by track.
+    pub track_names: Vec<(Track, String)>,
+    /// Records discarded because a thread's ring was full.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// The span with the given id, if present.
+    pub fn span(&self, id: u64) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.id == id)
+    }
+
+    /// All spans with the given name.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanRecord> {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+
+    /// Overall time window covered by spans and events, as
+    /// `(min start, max end)`; `None` for an empty trace.
+    pub fn window(&self) -> Option<(u64, u64)> {
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for s in &self.spans {
+            lo = lo.min(s.start_ns);
+            hi = hi.max(s.end_ns);
+        }
+        for e in &self.events {
+            lo = lo.min(e.ts_ns);
+            hi = hi.max(e.ts_ns);
+        }
+        (lo != u64::MAX).then_some((lo, hi))
+    }
+}
+
+/// Cheap, cloneable handle to a [`Collector`] (or to nothing).
+///
+/// The default sink is disabled: every record call reduces to one
+/// `Option` check with no allocation, locking, or clock read.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink(Option<Arc<Collector>>);
+
+impl TraceSink {
+    /// A sink that records nothing.
+    pub fn disabled() -> Self {
+        Self(None)
+    }
+
+    /// A recording sink pinned to `clock`, with the default per-thread
+    /// ring capacity.
+    pub fn recording(clock: Clock) -> Self {
+        Self::with_capacity(clock, DEFAULT_THREAD_CAPACITY)
+    }
+
+    /// A recording sink with an explicit per-thread ring capacity
+    /// (spans + events combined; clamped to ≥ 1).
+    pub fn with_capacity(clock: Clock, capacity_per_thread: usize) -> Self {
+        Self(Some(Arc::new(Collector::new(clock, capacity_per_thread))))
+    }
+
+    /// Whether records are being kept. Gate any non-trivial argument
+    /// construction on this.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The collector's clock domain; `None` when disabled.
+    pub fn clock(&self) -> Option<Clock> {
+        self.0.as_ref().map(|c| c.clock)
+    }
+
+    /// Records discarded so far because a ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.dropped.load(Ordering::Relaxed))
+    }
+
+    /// A fresh collector-unique span id (0 when disabled).
+    pub fn next_id(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.next_span_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Wall nanoseconds since the collector epoch.
+    ///
+    /// # Panics
+    ///
+    /// On a virtual-clock sink — simulator code must pass explicit
+    /// timestamps.
+    pub fn now_ns(&self) -> u64 {
+        match &self.0 {
+            None => 0,
+            Some(c) => {
+                assert!(c.clock == Clock::Wall, "{CLOCK_MIX_MSG}");
+                u64::try_from(c.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            }
+        }
+    }
+
+    /// Converts a wall-clock [`Instant`] to collector nanoseconds
+    /// (clamping instants before the epoch to 0).
+    ///
+    /// # Panics
+    ///
+    /// On a virtual-clock sink.
+    pub fn instant_ns(&self, t: Instant) -> u64 {
+        match &self.0 {
+            None => 0,
+            Some(c) => {
+                assert!(c.clock == Clock::Wall, "{CLOCK_MIX_MSG}");
+                t.checked_duration_since(c.epoch)
+                    .map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+            }
+        }
+    }
+
+    /// Attaches a human label to a track (idempotent per label).
+    pub fn name_track(&self, track: Track, label: impl Into<String>) {
+        if let Some(c) = &self.0 {
+            let mut names = c.track_names.lock().expect("track names poisoned");
+            let label = label.into();
+            if !names.iter().any(|(t, l)| *t == track && *l == label) {
+                names.push((track, label));
+            }
+        }
+    }
+
+    /// Records a completed span with explicit timestamps (in the
+    /// collector's clock domain) and returns its id, or 0 when
+    /// disabled. This is the API simulator code uses with `SimTime`
+    /// nanoseconds.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span_at(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        track: Track,
+        start_ns: u64,
+        end_ns: u64,
+        parent: u64,
+        args: Vec<(&'static str, Json)>,
+    ) -> u64 {
+        let Some(c) = &self.0 else { return 0 };
+        let id = c.next_span_id.fetch_add(1, Ordering::Relaxed);
+        c.push(Item::Span(SpanRecord {
+            id,
+            parent,
+            name: name.into(),
+            cat,
+            track,
+            start_ns,
+            end_ns,
+            args,
+        }));
+        id
+    }
+
+    /// Records a completed span under a caller-provided id (from
+    /// [`Self::next_id`]). This lets children reference a root span
+    /// that is only recorded once its end time is known.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span_with_id(
+        &self,
+        id: u64,
+        name: impl Into<String>,
+        cat: &'static str,
+        track: Track,
+        start_ns: u64,
+        end_ns: u64,
+        parent: u64,
+        args: Vec<(&'static str, Json)>,
+    ) {
+        if let Some(c) = &self.0 {
+            c.push(Item::Span(SpanRecord {
+                id,
+                parent,
+                name: name.into(),
+                cat,
+                track,
+                start_ns,
+                end_ns,
+                args,
+            }));
+        }
+    }
+
+    /// Records an instantaneous event with an explicit timestamp.
+    pub fn event_at(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        track: Track,
+        ts_ns: u64,
+        args: Vec<(&'static str, Json)>,
+    ) {
+        if let Some(c) = &self.0 {
+            c.push(Item::Event(EventRecord {
+                name: name.into(),
+                cat,
+                track,
+                ts_ns,
+                args,
+            }));
+        }
+    }
+
+    /// Starts a wall-clock RAII span; the record is emitted when the
+    /// guard drops.
+    ///
+    /// # Panics
+    ///
+    /// On a virtual-clock sink.
+    pub fn start(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        track: Track,
+        parent: u64,
+    ) -> SpanGuard<'_> {
+        let enabled = self.is_enabled();
+        SpanGuard {
+            sink: self,
+            id: self.next_id(),
+            parent,
+            name: if enabled { name.into() } else { String::new() },
+            cat,
+            track,
+            start_ns: self.now_ns(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Drains every thread's buffer into a deterministic [`Trace`].
+    /// Returns `None` when disabled. Records made after the drain go
+    /// into fresh (same) buffers and show up in the next drain.
+    pub fn drain(&self) -> Option<Trace> {
+        let c = self.0.as_ref()?;
+        let mut spans = Vec::new();
+        let mut events = Vec::new();
+        {
+            let buffers = c.buffers.lock().expect("trace buffer registry poisoned");
+            for buf in buffers.iter() {
+                let items = std::mem::take(&mut *buf.items.lock().expect("trace buffer poisoned"));
+                for item in items {
+                    match item {
+                        Item::Span(s) => spans.push(s),
+                        Item::Event(e) => events.push(e),
+                    }
+                }
+            }
+        }
+        spans.sort_by(|a, b| {
+            (a.start_ns, a.track, std::cmp::Reverse(a.end_ns), a.id).cmp(&(
+                b.start_ns,
+                b.track,
+                std::cmp::Reverse(b.end_ns),
+                b.id,
+            ))
+        });
+        events.sort_by(|a, b| {
+            (a.ts_ns, a.track, &a.name)
+                .cmp(&(b.ts_ns, b.track, &b.name))
+                .then(a.args.len().cmp(&b.args.len()))
+        });
+        let mut track_names = c.track_names.lock().expect("track names poisoned").clone();
+        track_names.sort();
+        Some(Trace {
+            clock: c.clock,
+            spans,
+            events,
+            track_names,
+            dropped: c.dropped.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// RAII wall-clock span; records on drop. Obtained from
+/// [`TraceSink::start`].
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    sink: &'a TraceSink,
+    id: u64,
+    parent: u64,
+    name: String,
+    cat: &'static str,
+    track: Track,
+    start_ns: u64,
+    args: Vec<(&'static str, Json)>,
+}
+
+impl SpanGuard<'_> {
+    /// This span's id, usable as a child's `parent` (0 when disabled).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Attaches an argument (no-op when the sink is disabled).
+    pub fn arg(&mut self, key: &'static str, value: impl Into<Json>) {
+        if self.id != 0 {
+            self.args.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(c) = &self.sink.0 else { return };
+        let end_ns = self.sink.now_ns();
+        c.push(Item::Span(SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: std::mem::take(&mut self.name),
+            cat: self.cat,
+            track: self.track,
+            start_ns: self.start_ns,
+            end_ns,
+            args: std::mem::take(&mut self.args),
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_is_inert() {
+        let sink = TraceSink::disabled();
+        assert!(!sink.is_enabled());
+        assert_eq!(sink.clock(), None);
+        assert_eq!(sink.next_id(), 0);
+        assert_eq!(sink.now_ns(), 0);
+        assert_eq!(
+            sink.span_at("x", "gpu", Track::new(0, 0), 0, 1, 0, Vec::new()),
+            0
+        );
+        sink.event_at("e", "gpu", Track::new(0, 0), 5, Vec::new());
+        {
+            let mut g = sink.start("y", "gpu", Track::new(0, 0), 0);
+            g.arg("k", 1u64);
+        }
+        assert!(sink.drain().is_none());
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn virtual_sink_records_explicit_timestamps() {
+        let sink = TraceSink::recording(Clock::Virtual);
+        let root = sink.span_at(
+            "request",
+            "request",
+            Track::new(0, 1),
+            0,
+            100,
+            0,
+            Vec::new(),
+        );
+        assert_ne!(root, 0);
+        let child = sink.span_at(
+            "queue",
+            "request",
+            Track::new(0, 1),
+            0,
+            40,
+            root,
+            Vec::new(),
+        );
+        sink.event_at("shed", "overload", Track::new(0, 0), 7, Vec::new());
+        let trace = sink.drain().expect("recording");
+        assert_eq!(trace.clock, Clock::Virtual);
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.events.len(), 1);
+        assert_eq!(trace.span(child).unwrap().parent, root);
+        // Longest-first at equal starts: the root sorts before the child.
+        assert_eq!(trace.spans[0].id, root);
+        assert_eq!(trace.window(), Some((0, 100)));
+        // Second drain sees only new records.
+        assert!(sink.drain().unwrap().spans.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual-clock sink")]
+    fn wall_api_on_virtual_sink_panics() {
+        let sink = TraceSink::recording(Clock::Virtual);
+        let _ = sink.now_ns();
+    }
+
+    #[test]
+    fn wall_guard_records_on_drop() {
+        let sink = TraceSink::recording(Clock::Wall);
+        {
+            let mut g = sink.start("step", "gpu", Track::new(1, 0), 0);
+            g.arg("batch", 3u64);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let trace = sink.drain().unwrap();
+        assert_eq!(trace.spans.len(), 1);
+        let s = &trace.spans[0];
+        assert_eq!(s.name, "step");
+        assert!(s.duration_ns() > 0, "guard must measure elapsed time");
+        assert_eq!(s.arg("batch").and_then(Json::as_u64), Some(3));
+    }
+
+    #[test]
+    fn ring_overflow_drops_and_counts() {
+        let sink = TraceSink::with_capacity(Clock::Virtual, 4);
+        for i in 0..10u64 {
+            sink.span_at("s", "gpu", Track::new(0, 0), i, i + 1, 0, Vec::new());
+        }
+        assert_eq!(sink.dropped(), 6);
+        let trace = sink.drain().unwrap();
+        assert_eq!(trace.spans.len(), 4);
+        assert_eq!(trace.dropped, 6);
+    }
+
+    #[test]
+    fn overflow_under_contention_loses_nothing_silently() {
+        // N threads each try to write far more than their ring holds;
+        // the kept + dropped totals must balance exactly.
+        let sink = TraceSink::with_capacity(Clock::Wall, 64);
+        let threads = 8;
+        let per_thread = 1000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let sink = sink.clone();
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        sink.span_at(
+                            "w",
+                            "gpu",
+                            Track::new(t, 0),
+                            i,
+                            i + 1,
+                            0,
+                            vec![("thread", Json::U64(u64::from(t)))],
+                        );
+                    }
+                });
+            }
+        });
+        let trace = sink.drain().unwrap();
+        let kept = trace.spans.len() as u64;
+        assert_eq!(kept, u64::from(threads) * 64, "each ring fills exactly");
+        assert_eq!(
+            kept + trace.dropped,
+            u64::from(threads) * per_thread,
+            "every record is either kept or counted as dropped"
+        );
+    }
+
+    #[test]
+    fn per_thread_buffers_register_once_per_collector() {
+        let a = TraceSink::recording(Clock::Virtual);
+        let b = TraceSink::recording(Clock::Virtual);
+        a.span_at("a1", "x", Track::default(), 0, 1, 0, Vec::new());
+        b.span_at("b1", "x", Track::default(), 0, 1, 0, Vec::new());
+        a.span_at("a2", "x", Track::default(), 1, 2, 0, Vec::new());
+        assert_eq!(a.drain().unwrap().spans.len(), 2);
+        assert_eq!(b.drain().unwrap().spans.len(), 1);
+    }
+
+    #[test]
+    fn track_names_dedup_and_sort() {
+        let sink = TraceSink::recording(Clock::Virtual);
+        sink.name_track(Track::new(2, 0), "worker1");
+        sink.name_track(Track::new(1, 0), "worker0");
+        sink.name_track(Track::new(2, 0), "worker1");
+        let trace = sink.drain().unwrap();
+        assert_eq!(
+            trace.track_names,
+            vec![
+                (Track::new(1, 0), "worker0".to_string()),
+                (Track::new(2, 0), "worker1".to_string()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! The span/event data model and the dual-clock domain tag.
+
+use fps_json::Json;
+
+/// The clock domain a trace was captured in.
+///
+/// FlashPS runs the same request path in two worlds: the real
+/// multi-threaded `ThreadedServer` (wall time, `std::time::Instant`)
+/// and the discrete-event `ClusterSim` (virtual time, `SimTime`).
+/// Timestamps from the two are dimensionally incompatible — a
+/// simulated 30 s queue wait must never be averaged with a real 3 ms
+/// kernel — so every collector is pinned to exactly one domain and the
+/// exporter stamps it into the artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Clock {
+    /// Real time: nanoseconds since the collector was created.
+    Wall,
+    /// Simulator time: nanoseconds since the simulation epoch.
+    Virtual,
+}
+
+impl Clock {
+    /// Stable lowercase label used in exported artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            Clock::Wall => "wall",
+            Clock::Virtual => "virtual",
+        }
+    }
+}
+
+/// Where a record lives in the trace viewer: a (process, lane) pair
+/// mapped onto Chrome's `pid`/`tid`.
+///
+/// The stack uses processes for schedulable entities (the router,
+/// each worker, the cache store) and lanes for their internal streams
+/// (GPU compute vs. copy vs. CPU pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Track {
+    /// Chrome `pid`: the owning entity.
+    pub process: u32,
+    /// Chrome `tid`: the stream/lane within the entity.
+    pub lane: u32,
+}
+
+impl Track {
+    /// Builds a track from a process and lane id.
+    pub const fn new(process: u32, lane: u32) -> Self {
+        Self { process, lane }
+    }
+}
+
+/// A completed span: a named interval on a track, optionally nested
+/// under a parent span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Collector-unique id (never 0).
+    pub id: u64,
+    /// Enclosing span's id; 0 for roots.
+    pub parent: u64,
+    /// Human-readable stage name ("queue", "denoise_step", ...).
+    pub name: String,
+    /// Coarse category used by the analysis layer to classify busy
+    /// time ("gpu", "copy", "cpu", "request", ...).
+    pub cat: &'static str,
+    /// Display/analysis track.
+    pub track: Track,
+    /// Start, nanoseconds in the collector's clock domain.
+    pub start_ns: u64,
+    /// End, nanoseconds in the collector's clock domain.
+    pub end_ns: u64,
+    /// Free-form key/value payload.
+    pub args: Vec<(&'static str, Json)>,
+}
+
+impl SpanRecord {
+    /// Span length in nanoseconds (zero if the record is inverted).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Looks up an argument by key.
+    pub fn arg(&self, key: &str) -> Option<&Json> {
+        self.args.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+/// An instantaneous event on a track (admission shed, breaker trip,
+/// cache-verify fallback, routing decision, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Event name.
+    pub name: String,
+    /// Coarse category.
+    pub cat: &'static str,
+    /// Display/analysis track.
+    pub track: Track,
+    /// Timestamp, nanoseconds in the collector's clock domain.
+    pub ts_ns: u64,
+    /// Free-form key/value payload.
+    pub args: Vec<(&'static str, Json)>,
+}
+
+impl EventRecord {
+    /// Looks up an argument by key.
+    pub fn arg(&self, key: &str) -> Option<&Json> {
+        self.args.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_saturates_and_args_lookup() {
+        let s = SpanRecord {
+            id: 1,
+            parent: 0,
+            name: "queue".into(),
+            cat: "request",
+            track: Track::new(0, 7),
+            start_ns: 50,
+            end_ns: 20,
+            args: vec![("rung", Json::Str("flashps".into()))],
+        };
+        assert_eq!(s.duration_ns(), 0);
+        assert_eq!(s.arg("rung").and_then(Json::as_str), Some("flashps"));
+        assert!(s.arg("missing").is_none());
+    }
+
+    #[test]
+    fn clock_labels_are_stable() {
+        assert_eq!(Clock::Wall.label(), "wall");
+        assert_eq!(Clock::Virtual.label(), "virtual");
+    }
+}

@@ -44,6 +44,7 @@ fn main() {
                 duration_secs: 180.0,
                 ratio_dist: RatioDistribution::ProductionTrace,
                 seed: 0xC1,
+                ..ServingRun::default()
             };
             let p = run_serving(setup, &run)
                 .expect("simulation")

@@ -17,4 +17,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
 
+echo "==> cargo doc --workspace --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> trace_bubbles --smoke"
+cargo run --release -p fps-bench --bin trace_bubbles -- --smoke > /dev/null
+
 echo "All checks passed."

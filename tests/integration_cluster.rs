@@ -33,6 +33,7 @@ fn every_system_serves_every_supported_setup() {
                 duration_secs: 60.0,
                 ratio_dist: RatioDistribution::ProductionTrace,
                 seed: 7,
+                ..ServingRun::default()
             };
             let point = run_serving(&setup, &run).expect("simulation");
             match point {

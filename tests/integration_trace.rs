@@ -1,0 +1,131 @@
+//! End-to-end tracing: ClusterSim (virtual clock) and ThreadedServer
+//! (wall clock) both produce Chrome-trace exports that parse, nest,
+//! and never mix clock domains.
+
+use flashps::server::{EditJob, ServerConfig, ThreadedServer, Ticket};
+use flashps::system::{FlashPs, FlashPsConfig};
+use fps_diffusion::{Image, ModelConfig};
+use fps_json::Json;
+use fps_serving::{Clock, TraceSink};
+use fps_serving::{ClusterConfig, ClusterSim, LeastLoadedRouter};
+use fps_trace::{bubble_in_window, chrome_trace_string, critical_path, stage_breakdown};
+use fps_workload::{Trace, TraceConfig};
+
+fn workload(seed: u64) -> Trace {
+    Trace::generate(&TraceConfig {
+        rps: 1.0,
+        duration_secs: 45.0,
+        num_templates: 4,
+        seed,
+        ..TraceConfig::default()
+    })
+}
+
+#[test]
+fn cluster_sim_trace_exports_and_analyzes() {
+    let trace = workload(42);
+    let sink = TraceSink::recording(Clock::Virtual);
+    let cost = fps_serving::CostModel::new(fps_serving::GpuSpec::h800(), ModelConfig::paper_sdxl());
+    let mut cfg = ClusterConfig::flashps_default(cost, 2);
+    cfg.trace = sink.clone();
+    let mut router = LeastLoadedRouter;
+    let report = ClusterSim::run(cfg, &trace, &mut router).unwrap();
+    assert!(!report.outcomes.is_empty());
+
+    let t = sink.drain().unwrap();
+    assert_eq!(t.clock, Clock::Virtual);
+    assert_eq!(t.spans_named("request").count(), report.outcomes.len());
+
+    // Chrome export parses back through fps-json and carries the
+    // virtual-clock marker.
+    let text = chrome_trace_string(&t);
+    let back = Json::parse(&text).expect("chrome export parses");
+    assert_eq!(
+        back.get("otherData")
+            .and_then(|o| o.get("clock"))
+            .and_then(Json::as_str),
+        Some("virtual")
+    );
+    assert!(!back
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .unwrap()
+        .is_empty());
+
+    // Every request's critical path fits inside the request span, and
+    // stage decomposition covers queue + denoise.
+    let stages = stage_breakdown(&t, "request");
+    assert_eq!(stages.len(), report.outcomes.len());
+    for b in &stages {
+        let root = t.span(b.root_id).unwrap();
+        let path: u64 = critical_path(&t, b.root_id).iter().map(|s| s.nanos()).sum();
+        assert!(path <= root.duration_ns());
+        assert!(b.stage_ns("denoise") > 0);
+    }
+
+    // GPU bubble fraction over the whole run is a valid fraction.
+    let (lo, hi) = t.window().unwrap();
+    let bubble = bubble_in_window(&t, lo, hi, |s| s.cat == "gpu");
+    assert!((0.0..=1.0).contains(&bubble.fraction()));
+}
+
+#[test]
+fn cluster_sim_rejects_wall_clock_sinks() {
+    let trace = workload(7);
+    let cost = fps_serving::CostModel::new(fps_serving::GpuSpec::h800(), ModelConfig::paper_sdxl());
+    let mut cfg = ClusterConfig::flashps_default(cost, 1);
+    cfg.trace = TraceSink::recording(Clock::Wall);
+    let mut router = LeastLoadedRouter;
+    assert!(ClusterSim::run(cfg, &trace, &mut router).is_err());
+}
+
+#[test]
+fn threaded_server_trace_exports_wall_clock_spans() {
+    let cfg = ModelConfig::tiny();
+    let mut sys = FlashPs::new(FlashPsConfig::new(cfg.clone())).unwrap();
+    let img = Image::template(cfg.pixel_h(), cfg.pixel_w(), 0);
+    sys.register_template(0, &img).unwrap();
+    let sink = TraceSink::recording(Clock::Wall);
+    let server = ThreadedServer::start(
+        sys,
+        ServerConfig {
+            workers: 2,
+            max_batch: 2,
+            trace: sink.clone(),
+            ..ServerConfig::default()
+        },
+    );
+    let tickets: Vec<Ticket> = (0..6)
+        .map(|i| {
+            server
+                .submit(EditJob {
+                    template_id: 0,
+                    masked_idx: vec![1, 2, 5],
+                    prompt: "edit".into(),
+                    seed: i,
+                    guidance: None,
+                })
+                .unwrap()
+        })
+        .collect();
+    for t in tickets {
+        t.wait().unwrap();
+    }
+    server.shutdown();
+    let t = sink.drain().unwrap();
+    assert_eq!(t.clock, Clock::Wall);
+    assert_eq!(t.spans_named("request").count(), 6);
+    let text = chrome_trace_string(&t);
+    let back = Json::parse(&text).unwrap();
+    assert_eq!(
+        back.get("otherData")
+            .and_then(|o| o.get("clock"))
+            .and_then(Json::as_str),
+        Some("wall")
+    );
+    // Queue wait + denoise + decode decompose each request.
+    for b in stage_breakdown(&t, "request") {
+        assert!(b.stage_ns("queue") + b.stage_ns("denoise") + b.stage_ns("vae_decode") > 0);
+        assert!(b.stage_ns("queue") <= b.total_ns);
+    }
+}
