@@ -43,7 +43,11 @@ const IDLE_POLL: Duration = Duration::from_millis(10);
 /// Configuration of the threaded server.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads (one "GPU" each).
+    /// Worker threads (one "GPU" each). `0` auto-sizes to the shared
+    /// kernel pool's lane count
+    /// ([`fps_tensor::pool::WorkPool::threads`]), so one knob
+    /// (`FPS_POOL_THREADS`) governs both the compute plane and the
+    /// serving plane.
     pub workers: usize,
     /// Maximum sessions a worker interleaves.
     pub max_batch: usize,
@@ -168,7 +172,11 @@ impl ThreadedServer {
             "ThreadedServer records wall-clock timestamps; use \
              TraceSink::recording(Clock::Wall) (virtual clocks belong to ClusterSim)"
         );
-        for w in 0..config.workers.max(1) {
+        let workers = match config.workers {
+            0 => fps_tensor::pool::global().threads(),
+            n => n,
+        };
+        for w in 0..workers {
             config
                 .trace
                 .name_track(Track::new(0, w as u32), format!("worker{w}"));
@@ -177,7 +185,7 @@ impl ThreadedServer {
         let closing = Arc::new(AtomicBool::new(false));
         let (tx, rx) = unbounded::<QueuedJob>();
         let max_queue_depth = config.max_queue_depth;
-        let handles = (0..config.workers.max(1))
+        let handles = (0..workers)
             .map(|w| {
                 let rx = rx.clone();
                 // Workers hold a sender clone to requeue jobs they
@@ -187,7 +195,9 @@ impl ThreadedServer {
                 let closing = Arc::clone(&closing);
                 let system = Arc::clone(&system);
                 let config = config.clone();
-                std::thread::spawn(move || worker_loop(&system, &rx, &requeue, &closing, config, w))
+                fps_tensor::pool::spawn_service(&format!("worker{w}"), move || {
+                    worker_loop(&system, &rx, &requeue, &closing, config, w)
+                })
             })
             .collect();
         Self {
@@ -594,6 +604,21 @@ mod tests {
         let result = ticket.wait().unwrap();
         assert!(result.output.image.data().iter().all(|v| v.is_finite()));
         assert!(result.speedup_vs_full > 1.0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn zero_workers_auto_sizes_from_kernel_pool() {
+        // `workers: 0` delegates sizing to the shared compute pool, and
+        // the named service threads still serve jobs correctly.
+        let server = server(0, 2);
+        assert_eq!(
+            server.handles.len(),
+            fps_tensor::pool::global().threads(),
+            "worker count should match the kernel pool's lanes"
+        );
+        let ticket = server.submit(job(0, 1)).unwrap();
+        assert!(ticket.wait().is_ok());
         server.shutdown();
     }
 

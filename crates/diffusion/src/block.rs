@@ -21,8 +21,10 @@
 //!   full-length cached keys/values (Fig. 7, the K/V-cache variant).
 
 use fps_tensor::ops::{
-    gelu, layer_norm, matmul, matmul_bt, modulate, scatter_rows_into, softmax_rows,
+    ada_layer_norm, gelu, layer_norm, matmul, matmul_bt, matmul_gelu, mha_fused, modulate,
+    scatter_rows_into, softmax_rows,
 };
+use fps_tensor::pool;
 use fps_tensor::rng::DetRng;
 use fps_tensor::Tensor;
 
@@ -142,11 +144,19 @@ impl TransformerBlock {
 
     /// Multi-head scaled-dot-product attention of `q` rows over `k`/`v`
     /// rows, before the output projection.
+    ///
+    /// On the default [`pool::ComputePath::Fused`] path this runs the
+    /// fused per-head kernel (one score row at a time, no per-head
+    /// column copies); the composed per-head loop below is the
+    /// reference it must — and does, bitwise — agree with.
     fn mha(&self, q: &Tensor, k: &Tensor, v: &Tensor) -> Result<Tensor> {
         let (n, h) = (q.dims()[0], q.dims()[1]);
         let l = k.dims()[0];
         let dh = h / self.heads;
         let scale = 1.0 / (dh as f32).sqrt();
+        if pool::fused_enabled() {
+            return Ok(mha_fused(q, k, v, self.heads, scale)?);
+        }
         let mut out = Tensor::zeros([n, h]);
         for head in 0..self.heads {
             let qs = slice_cols(q, head * dh, dh)?;
@@ -154,6 +164,7 @@ impl TransformerBlock {
             let vs = slice_cols(v, head * dh, dh)?;
             let scores = matmul_bt(&qs, &ks)?.scale(scale);
             let probs = softmax_rows(&scores)?;
+            scores.recycle();
             let ctx = matmul(&probs, &vs)?;
             // Write the head's context back into its column slice.
             for row in 0..n {
@@ -161,7 +172,44 @@ impl TransformerBlock {
                 out.row_mut(row)?[head * dh..(head + 1) * dh].copy_from_slice(&src);
             }
             debug_assert_eq!(probs.dims(), &[n, l]);
+            probs.recycle();
+            ctx.recycle();
         }
+        Ok(out)
+    }
+
+    /// AdaLN: `modulate(layer_norm(x), scale, shift)`, fused on the
+    /// default path.
+    fn adaln(
+        &self,
+        x: &Tensor,
+        gamma: &Tensor,
+        beta: &Tensor,
+        scale: &Tensor,
+        shift: &Tensor,
+    ) -> Result<Tensor> {
+        if pool::fused_enabled() {
+            return Ok(ada_layer_norm(x, gamma, beta, scale, shift)?);
+        }
+        let ln = layer_norm(x, gamma, beta)?;
+        let out = modulate(&ln, scale, shift)?;
+        ln.recycle();
+        Ok(out)
+    }
+
+    /// Feed-forward branch `W₂ · gelu(W₁ · xn)`, with the up-projection
+    /// and GeLU fused on the default path.
+    fn ffn(&self, xn: &Tensor) -> Result<Tensor> {
+        let up = if pool::fused_enabled() {
+            matmul_gelu(xn, &self.w1)?
+        } else {
+            let pre = matmul(xn, &self.w1)?;
+            let up = gelu(&pre);
+            pre.recycle();
+            up
+        };
+        let out = matmul(&up, &self.w2)?;
+        up.recycle();
         Ok(out)
     }
 
@@ -178,25 +226,40 @@ impl TransformerBlock {
         cond: &Tensor,
     ) -> Result<BlockFullOutput> {
         let [s1, b1, s2, b2] = self.ada_params(cond)?;
-        // Self-attention branch.
-        let xn = modulate(&layer_norm(x, &self.ln1_g, &self.ln1_b)?, &s1, &b1)?;
+        // Self-attention branch. (`axpy(1.0, ·)` is bitwise `add`;
+        // dead intermediates go back to the scratch pool.)
+        let xn = self.adaln(x, &self.ln1_g, &self.ln1_b, &s1, &b1)?;
         let q = matmul(&xn, &self.wq)?;
         let k = matmul(&xn, &self.wk)?;
         let v = matmul(&xn, &self.wv)?;
-        let attn = matmul(&self.mha(&q, &k, &v)?, &self.wo)?;
-        let x = x.add(&attn)?;
+        xn.recycle();
+        let ctx = self.mha(&q, &k, &v)?;
+        q.recycle();
+        let attn = matmul(&ctx, &self.wo)?;
+        ctx.recycle();
+        let mut x = x.add(&attn)?;
+        attn.recycle();
         // Cross-attention branch over the prompt tokens.
         let xn = layer_norm(&x, &self.ln2_g, &self.ln2_b)?;
         let cq = matmul(&xn, &self.cq)?;
+        xn.recycle();
         let ck = matmul(prompt, &self.ck)?;
         let cv = matmul(prompt, &self.cv)?;
-        let cross = matmul(&self.mha(&cq, &ck, &cv)?, &self.co)?;
-        let x = x.add(&cross)?;
+        let cctx = self.mha(&cq, &ck, &cv)?;
+        cq.recycle();
+        ck.recycle();
+        cv.recycle();
+        let cross = matmul(&cctx, &self.co)?;
+        cctx.recycle();
+        x.axpy(1.0, &cross)?;
+        cross.recycle();
         // Feed-forward branch.
-        let xn = modulate(&layer_norm(&x, &self.ln3_g, &self.ln3_b)?, &s2, &b2)?;
-        let ff = matmul(&gelu(&matmul(&xn, &self.w1)?), &self.w2)?;
-        let y = x.add(&ff)?;
-        Ok(BlockFullOutput { y, k, v })
+        let xn = self.adaln(&x, &self.ln3_g, &self.ln3_b, &s2, &b2)?;
+        let ff = self.ffn(&xn)?;
+        xn.recycle();
+        x.axpy(1.0, &ff)?;
+        ff.recycle();
+        Ok(BlockFullOutput { y: x, k, v })
     }
 
     /// FlashPS Y-variant forward pass (Fig. 5-bottom): queries come
@@ -218,22 +281,43 @@ impl TransformerBlock {
         cond: &Tensor,
     ) -> Result<Tensor> {
         let [s1, b1, s2, b2] = self.ada_params(cond)?;
-        let xn_full = modulate(&layer_norm(x_full, &self.ln1_g, &self.ln1_b)?, &s1, &b1)?;
+        let xn_full = self.adaln(x_full, &self.ln1_g, &self.ln1_b, &s1, &b1)?;
         let xn_masked = fps_tensor::ops::gather_rows(&xn_full, masked_idx)?;
         let q = matmul(&xn_masked, &self.wq)?;
+        xn_masked.recycle();
         let k = matmul(&xn_full, &self.wk)?;
         let v = matmul(&xn_full, &self.wv)?;
-        let attn = matmul(&self.mha(&q, &k, &v)?, &self.wo)?;
-        let x = fps_tensor::ops::gather_rows(x_full, masked_idx)?.add(&attn)?;
+        xn_full.recycle();
+        let ctx = self.mha(&q, &k, &v)?;
+        q.recycle();
+        k.recycle();
+        v.recycle();
+        let attn = matmul(&ctx, &self.wo)?;
+        ctx.recycle();
+        let xg = fps_tensor::ops::gather_rows(x_full, masked_idx)?;
+        let mut x = xg.add(&attn)?;
+        xg.recycle();
+        attn.recycle();
         // Cross-attention and FFN are token-wise in the image tokens.
         let xn = layer_norm(&x, &self.ln2_g, &self.ln2_b)?;
         let cq = matmul(&xn, &self.cq)?;
+        xn.recycle();
         let ck = matmul(prompt, &self.ck)?;
         let cv = matmul(prompt, &self.cv)?;
-        let x = x.add(&matmul(&self.mha(&cq, &ck, &cv)?, &self.co)?)?;
-        let xn = modulate(&layer_norm(&x, &self.ln3_g, &self.ln3_b)?, &s2, &b2)?;
-        let ff = matmul(&gelu(&matmul(&xn, &self.w1)?), &self.w2)?;
-        Ok(x.add(&ff)?)
+        let cctx = self.mha(&cq, &ck, &cv)?;
+        cq.recycle();
+        ck.recycle();
+        cv.recycle();
+        let cross = matmul(&cctx, &self.co)?;
+        cctx.recycle();
+        x.axpy(1.0, &cross)?;
+        cross.recycle();
+        let xn = self.adaln(&x, &self.ln3_g, &self.ln3_b, &s2, &b2)?;
+        let ff = self.ffn(&xn)?;
+        xn.recycle();
+        x.axpy(1.0, &ff)?;
+        ff.recycle();
+        Ok(x)
     }
 
     /// Masked-token forward pass: computes only the `x_masked` rows.
@@ -256,13 +340,16 @@ impl TransformerBlock {
         cond: &Tensor,
     ) -> Result<Tensor> {
         let [s1, b1, s2, b2] = self.ada_params(cond)?;
-        let xn = modulate(&layer_norm(x_masked, &self.ln1_g, &self.ln1_b)?, &s1, &b1)?;
+        let xn = self.adaln(x_masked, &self.ln1_g, &self.ln1_b, &s1, &b1)?;
         let q = matmul(&xn, &self.wq)?;
         let attn = match ctx {
             MaskedContext::SelfOnly => {
                 let k = matmul(&xn, &self.wk)?;
                 let v = matmul(&xn, &self.wv)?;
-                self.mha(&q, &k, &v)?
+                let attn = self.mha(&q, &k, &v)?;
+                k.recycle();
+                v.recycle();
+                attn
             }
             MaskedContext::CachedKv { k, v, masked_idx } => {
                 if masked_idx.len() != x_masked.dims()[0] {
@@ -280,21 +367,42 @@ impl TransformerBlock {
                 let mut v_full = v.clone();
                 scatter_rows_into(&mut k_full, &k_fresh, masked_idx)?;
                 scatter_rows_into(&mut v_full, &v_fresh, masked_idx)?;
-                self.mha(&q, &k_full, &v_full)?
+                k_fresh.recycle();
+                v_fresh.recycle();
+                let attn = self.mha(&q, &k_full, &v_full)?;
+                k_full.recycle();
+                v_full.recycle();
+                attn
             }
         };
-        let x = x_masked.add(&matmul(&attn, &self.wo)?)?;
+        xn.recycle();
+        q.recycle();
+        let proj = matmul(&attn, &self.wo)?;
+        attn.recycle();
+        let mut x = x_masked.add(&proj)?;
+        proj.recycle();
         // Cross-attention and FFN are token-wise in the image tokens, so
         // restricting them to masked rows is exact (not an
         // approximation), per §3.1.
         let xn = layer_norm(&x, &self.ln2_g, &self.ln2_b)?;
         let cq = matmul(&xn, &self.cq)?;
+        xn.recycle();
         let ck = matmul(prompt, &self.ck)?;
         let cv = matmul(prompt, &self.cv)?;
-        let x = x.add(&matmul(&self.mha(&cq, &ck, &cv)?, &self.co)?)?;
-        let xn = modulate(&layer_norm(&x, &self.ln3_g, &self.ln3_b)?, &s2, &b2)?;
-        let ff = matmul(&gelu(&matmul(&xn, &self.w1)?), &self.w2)?;
-        Ok(x.add(&ff)?)
+        let cctx = self.mha(&cq, &ck, &cv)?;
+        cq.recycle();
+        ck.recycle();
+        cv.recycle();
+        let cross = matmul(&cctx, &self.co)?;
+        cctx.recycle();
+        x.axpy(1.0, &cross)?;
+        cross.recycle();
+        let xn = self.adaln(&x, &self.ln3_g, &self.ln3_b, &s2, &b2)?;
+        let ff = self.ffn(&xn)?;
+        xn.recycle();
+        x.axpy(1.0, &ff)?;
+        ff.recycle();
+        Ok(x)
     }
 
     /// Returns the post-softmax self-attention probability matrix

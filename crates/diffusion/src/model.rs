@@ -170,6 +170,7 @@ impl DiffusionModel {
         let cond = embed_timestep(&self.cfg, t);
         let latent = self.apply_scaffold(latent)?;
         let mut x = matmul(&latent, &self.in_proj)?;
+        latent.recycle();
         let mut captured = StepCache::default();
         for block in &self.blocks {
             let out = block.forward_full(&x, prompt_emb, &cond)?;
@@ -178,9 +179,15 @@ impl DiffusionModel {
                 k: capture_kv.then(|| out.k.clone()),
                 v: capture_kv.then(|| out.v.clone()),
             });
-            x = out.y;
+            // The cache keeps clones; the originals feed the scratch pool.
+            std::mem::replace(&mut x, out.y).recycle();
+            out.k.recycle();
+            out.v.recycle();
         }
-        let eps = matmul(&layer_norm(&x, &self.ln_f_g, &self.ln_f_b)?, &self.out_proj)?;
+        let xn = layer_norm(&x, &self.ln_f_g, &self.ln_f_b)?;
+        x.recycle();
+        let eps = matmul(&xn, &self.out_proj)?;
+        xn.recycle();
         Ok((eps, captured))
     }
 
@@ -228,24 +235,31 @@ impl DiffusionModel {
         let cond = embed_timestep(&self.cfg, t);
         let latent = self.apply_scaffold(latent)?;
         let mut x = matmul(&latent, &self.in_proj)?;
+        latent.recycle();
         for (i, (block, mode)) in self.blocks.iter().zip(plan.modes.iter()).enumerate() {
             match mode {
                 BlockMode::Full => {
-                    x = block.forward_full(&x, prompt_emb, &cond)?.y;
+                    let out = block.forward_full(&x, prompt_emb, &cond)?;
+                    std::mem::replace(&mut x, out.y).recycle();
+                    out.k.recycle();
+                    out.v.recycle();
                 }
                 BlockMode::MaskedOnly => {
                     let xm = gather_rows(&x, masked_idx)?;
                     let ym =
                         block.forward_masked(&xm, MaskedContext::SelfOnly, prompt_emb, &cond)?;
+                    xm.recycle();
                     scatter_rows_into(&mut x, &ym, masked_idx)?;
+                    ym.recycle();
                 }
                 BlockMode::CachedY => {
                     let entry = self.cache_entry(cache, step, i)?;
                     // Y variant: masked queries attend over fresh K/V of
                     // the full (cache-replenished) token matrix.
                     let ym = block.forward_masked_full_kv(&x, masked_idx, prompt_emb, &cond)?;
-                    x = entry.y.clone();
+                    std::mem::replace(&mut x, entry.y.clone()).recycle();
                     scatter_rows_into(&mut x, &ym, masked_idx)?;
+                    ym.recycle();
                 }
                 BlockMode::CachedKv => {
                     let entry = self.cache_entry(cache, step, i)?;
@@ -260,15 +274,18 @@ impl DiffusionModel {
                         prompt_emb,
                         &cond,
                     )?;
-                    x = entry.y.clone();
+                    xm.recycle();
+                    std::mem::replace(&mut x, entry.y.clone()).recycle();
                     scatter_rows_into(&mut x, &ym, masked_idx)?;
+                    ym.recycle();
                 }
             }
         }
-        Ok(matmul(
-            &layer_norm(&x, &self.ln_f_g, &self.ln_f_b)?,
-            &self.out_proj,
-        )?)
+        let xn = layer_norm(&x, &self.ln_f_g, &self.ln_f_b)?;
+        x.recycle();
+        let eps = matmul(&xn, &self.out_proj)?;
+        xn.recycle();
+        Ok(eps)
     }
 
     /// Post-softmax self-attention probabilities `[L, L]` of one block

@@ -210,6 +210,31 @@ impl EditPipeline {
         self.trace_track = track;
     }
 
+    /// Enables (or disables) per-kernel tracing: every tensor kernel
+    /// invocation (`matmul`, `softmax_rows`, `conv3x3`, …) emits a
+    /// `kernel`-category span into this pipeline's trace sink on the
+    /// pipeline's track. Off by default — kernel spans are high-volume
+    /// and cost one timestamp pair per op.
+    ///
+    /// The kernel observer is process-global (the tensor crate knows
+    /// nothing about traces), so enable it on one pipeline at a time;
+    /// disabling clears the global observer.
+    pub fn trace_kernels(&self, enabled: bool) {
+        if !enabled {
+            fps_tensor::ktrace::set_observer(None);
+            return;
+        }
+        let sink = self.trace.clone();
+        let track = self.trace_track;
+        fps_tensor::ktrace::set_observer(Some(std::sync::Arc::new(
+            move |name: &'static str, start: std::time::Instant, end: std::time::Instant| {
+                let s = sink.instant_ns(start);
+                let e = sink.instant_ns(end);
+                sink.span_at(name, "kernel", track, s, e, 0, vec![]);
+            },
+        )));
+    }
+
     /// Returns the model config.
     pub fn config(&self) -> &ModelConfig {
         self.model.config()
@@ -525,6 +550,7 @@ impl EditPipeline {
                     None => acc = Some(eps_pass.scale(*weight)),
                     Some(a) => a.axpy(*weight, &eps_pass)?,
                 }
+                eps_pass.recycle();
             }
             // FLOP accounting per strategy, once per pass.
             let per_pass = match &s.strategy {
@@ -549,12 +575,14 @@ impl EditPipeline {
         if matches!(s.strategy, Strategy::StepSkip { .. }) {
             s.prev_eps = Some(eps.clone());
         }
-        s.x = ddim_step(
+        let next = ddim_step(
             &s.x,
             &eps,
             self.schedule.abar(k),
             self.schedule.abar_next(k),
         )?;
+        std::mem::replace(&mut s.x, next).recycle();
+        eps.recycle();
         if !matches!(s.strategy, Strategy::NaiveDisregard) {
             inpaint_blend(
                 &mut s.x,

@@ -10,7 +10,7 @@
 //! distortion, which is the property the editing experiments rely on.
 
 use fps_tensor::rng::DetRng;
-use fps_tensor::Tensor;
+use fps_tensor::{pool, scratch, Tensor};
 
 use crate::config::ModelConfig;
 use crate::error::DiffusionError;
@@ -73,24 +73,38 @@ impl PatchVae {
             });
         }
         let l = self.latent_h * self.latent_w;
-        let mut out = vec![0.0f32; l * self.latent_channels];
+        let mut out = scratch::take(l * self.latent_channels);
         let pdim = self.patch * self.patch * 3;
-        let mut patch_buf = vec![0.0f32; pdim];
-        for ty in 0..self.latent_h {
-            for tx in 0..self.latent_w {
-                self.read_patch(img, ty, tx, &mut patch_buf);
-                let tok = ty * self.latent_w + tx;
-                let orow = &mut out[tok * self.latent_channels..(tok + 1) * self.latent_channels];
-                for (c, o) in orow.iter_mut().enumerate() {
-                    let erow = &self.enc.data()[c * pdim..(c + 1) * pdim];
-                    *o = erow
-                        .iter()
-                        .zip(patch_buf.iter())
-                        .map(|(&e, &x)| e * x)
-                        .sum();
+        // Parallel over latent tokens; each token's projection is
+        // independent and its reduction order matches the serial loop,
+        // so the result is bitwise identical on every compute path.
+        pool::for_each_row_chunk(
+            &mut out,
+            l,
+            self.latent_channels,
+            2 * pdim * self.latent_channels,
+            |r0, chunk| {
+                let mut patch_buf = scratch::take(pdim);
+                for (i, orow) in chunk.chunks_exact_mut(self.latent_channels).enumerate() {
+                    let tok = r0 + i;
+                    self.read_patch(
+                        img,
+                        tok / self.latent_w,
+                        tok % self.latent_w,
+                        &mut patch_buf,
+                    );
+                    for (c, o) in orow.iter_mut().enumerate() {
+                        let erow = &self.enc.data()[c * pdim..(c + 1) * pdim];
+                        *o = erow
+                            .iter()
+                            .zip(patch_buf.iter())
+                            .map(|(&e, &x)| e * x)
+                            .sum();
+                    }
                 }
-            }
-        }
+                scratch::give(patch_buf);
+            },
+        );
         Ok(Tensor::from_vec(out, [l, self.latent_channels])?)
     }
 
@@ -114,22 +128,38 @@ impl PatchVae {
         }
         let pdim = self.patch * self.patch * 3;
         let mut img = Image::zeros(self.latent_h * self.patch, self.latent_w * self.patch);
-        let mut patch_buf = vec![0.0f32; pdim];
-        for ty in 0..self.latent_h {
-            for tx in 0..self.latent_w {
-                let tok = ty * self.latent_w + tx;
-                let trow =
-                    &latent.data()[tok * self.latent_channels..(tok + 1) * self.latent_channels];
-                patch_buf.fill(0.0);
-                for (c, &tv) in trow.iter().enumerate() {
-                    let erow = &self.enc.data()[c * pdim..(c + 1) * pdim];
-                    for (pb, &e) in patch_buf.iter_mut().zip(erow.iter()) {
-                        *pb += tv * e;
+        // Accumulate all token patches into a flat `[l, pdim]` buffer in
+        // parallel (pixels of different tokens interleave in the image,
+        // so the image itself is written serially afterwards).
+        let mut patches = scratch::take(l * pdim);
+        pool::for_each_row_chunk(
+            &mut patches,
+            l,
+            pdim,
+            2 * pdim * self.latent_channels,
+            |r0, chunk| {
+                for (i, pbuf) in chunk.chunks_exact_mut(pdim).enumerate() {
+                    let tok = r0 + i;
+                    let trow = &latent.data()
+                        [tok * self.latent_channels..(tok + 1) * self.latent_channels];
+                    for (c, &tv) in trow.iter().enumerate() {
+                        let erow = &self.enc.data()[c * pdim..(c + 1) * pdim];
+                        for (pb, &e) in pbuf.iter_mut().zip(erow.iter()) {
+                            *pb += tv * e;
+                        }
                     }
                 }
-                self.write_patch(&mut img, ty, tx, &patch_buf);
-            }
+            },
+        );
+        for tok in 0..l {
+            self.write_patch(
+                &mut img,
+                tok / self.latent_w,
+                tok % self.latent_w,
+                &patches[tok * pdim..(tok + 1) * pdim],
+            );
         }
+        scratch::give(patches);
         Ok(img)
     }
 

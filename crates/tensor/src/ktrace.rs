@@ -1,0 +1,94 @@
+//! Per-kernel wall-time observation hook.
+//!
+//! The tensor crate sits below the tracing crate, so instead of
+//! depending on `fps-trace` directly it exposes a process-wide observer
+//! callback: when installed, every kernel entry point (`matmul`,
+//! `softmax_rows`, the fused attention, …) reports its name and
+//! wall-clock start/end [`Instant`]s. The diffusion layer installs an
+//! observer that forwards these as `kernel`-category spans into its
+//! `TraceSink` (see `EditPipeline::trace_kernels`), which is how traced
+//! runs attribute denoise time to individual kernels.
+//!
+//! Disabled by default: the cost on the hot path is then a single
+//! relaxed atomic load per kernel call.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// Observer signature: kernel name plus wall-clock start/end.
+pub type Observer = std::sync::Arc<dyn Fn(&'static str, Instant, Instant) + Send + Sync>;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static OBSERVER: Mutex<Option<Observer>> = Mutex::new(None);
+
+/// Installs (or, with `None`, removes) the process-wide kernel
+/// observer. The previous observer, if any, is replaced.
+pub fn set_observer(obs: Option<Observer>) {
+    let mut slot = OBSERVER.lock();
+    ENABLED.store(obs.is_some(), Ordering::Release);
+    *slot = obs;
+}
+
+/// True when an observer is installed.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Starts a kernel span; the observer fires when the guard drops.
+/// Returns `None` (and costs one atomic load) when no observer is
+/// installed.
+pub fn span(name: &'static str) -> Option<KernelSpan> {
+    if !enabled() {
+        return None;
+    }
+    let observer = OBSERVER.lock().clone()?;
+    Some(KernelSpan {
+        name,
+        start: Instant::now(),
+        observer,
+    })
+}
+
+/// RAII guard reporting one kernel execution on drop.
+pub struct KernelSpan {
+    name: &'static str,
+    start: Instant,
+    observer: Observer,
+}
+
+impl Drop for KernelSpan {
+    fn drop(&mut self) {
+        (self.observer)(self.name, self.start, Instant::now());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::sync::Arc;
+
+    #[test]
+    fn disabled_by_default_and_observer_fires() {
+        // Ordered sub-steps in one test: the observer slot is process
+        // state, and tests in this binary run concurrently.
+        let hits = Arc::new(AtomicU32::new(0));
+        let h2 = Arc::clone(&hits);
+        set_observer(Some(Arc::new(move |name, t0, t1| {
+            // Other tests' kernels may fire concurrently; only count
+            // our own span.
+            if name == "unit_kernel" && t1 >= t0 {
+                h2.fetch_add(1, Ordering::Relaxed);
+            }
+        })));
+        assert!(enabled());
+        drop(span("unit_kernel"));
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        set_observer(None);
+        assert!(!enabled());
+        assert!(span("unit_kernel").is_none());
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+}

@@ -12,18 +12,29 @@
 //! - Tensors are contiguous, row-major, and own their storage. There are
 //!   no views or strides; slicing copies. At the toy scales FlashPS runs
 //!   at (hundreds of tokens, hidden dims ≤ 256) this is simpler and fast
-//!   enough, and it keeps the crate entirely safe Rust.
+//!   enough.
 //! - Fallible operations (anything that can hit a shape mismatch) return
 //!   [`Result`] with a structured [`TensorError`]; nothing in the public
 //!   API panics on bad shapes.
 //! - All randomness flows through [`rng::DetRng`], a deterministic
 //!   splitmix64/xoshiro generator, so model weights and experiments are
 //!   bit-reproducible across runs and platforms.
+//! - Kernels run on a deterministic parallel compute plane ([`pool`]):
+//!   row-wise operators chunk over *output rows* across a small shared
+//!   work pool, keeping each row's reduction order — and therefore the
+//!   result, bitwise — identical to the scalar path. Short-lived
+//!   intermediates draw storage from a thread-local [`scratch`] pool,
+//!   and [`ktrace`] exposes an opt-in per-kernel timing hook. The two
+//!   `unsafe` impls in [`pool`] (lifetime-erased task dispatch and
+//!   disjoint row-chunk slicing) are the only unsafe code in the crate.
 
 pub mod error;
+pub mod ktrace;
 pub mod linalg;
 pub mod ops;
+pub mod pool;
 pub mod rng;
+pub mod scratch;
 pub mod shape;
 pub mod tensor;
 

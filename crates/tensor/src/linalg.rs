@@ -227,11 +227,7 @@ mod tests {
                 scaled.set(&[row, col], v).unwrap();
             }
         }
-        let recon = matmul_bt(
-            &scaled,
-            &e.vectors.transpose().unwrap().transpose().unwrap(),
-        )
-        .unwrap();
+        let recon = matmul(&scaled, &e.vectors.transpose().unwrap()).unwrap();
         assert!(
             recon.max_abs_diff(&a).unwrap() < 1e-3 * (1.0 + a.norm()),
             "reconstruction error too large"

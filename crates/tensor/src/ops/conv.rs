@@ -9,10 +9,17 @@
 //!
 //! The layout here is `[H*W, C]` row-major over the grid: the same
 //! token matrix the transformer blocks consume.
+//!
+//! The kernel parallelizes over grid *rows* (each output pixel depends
+//! only on input pixels, so rows are independent) and, like the matmul
+//! family, no longer skips exact-zero input activations: the skip made
+//! measured time diverge from the dense FLOP accounting in
+//! `fps-diffusion::flops` on padded/masked inputs. See the
+//! the `matmul` module docs for the full rationale.
 
 use crate::error::TensorError;
 use crate::tensor::Tensor;
-use crate::Result;
+use crate::{ktrace, pool, scratch, Result};
 
 /// 3×3 same-padding convolution over an `[h*w, c_in]` token grid with
 /// kernel `[9 * c_in, c_out]` (kernel rows ordered `(dy, dx, c_in)`
@@ -47,33 +54,43 @@ pub fn conv3x3(x: &Tensor, h: usize, w: usize, kernel: &Tensor, bias: &Tensor) -
             rhs: vec![c_out],
         });
     }
-    let mut out = vec![0.0f32; h * w * c_out];
+    let _span = ktrace::span("conv3x3");
+    let mut out = scratch::take(h * w * c_out);
     let xd = x.data();
     let kd = kernel.data();
     let bd = bias.data();
-    for y in 0..h {
-        for xc in 0..w {
-            let orow = &mut out[(y * w + xc) * c_out..(y * w + xc + 1) * c_out];
-            orow.copy_from_slice(bd);
-            for (tap, (dy, dx)) in TAPS.iter().enumerate() {
-                let (py, px) = (y as i64 + dy, xc as i64 + dx);
-                if py < 0 || px < 0 || py >= h as i64 || px >= w as i64 {
-                    continue; // Zero padding.
-                }
-                let src = &xd[(py as usize * w + px as usize) * c_in
-                    ..(py as usize * w + px as usize + 1) * c_in];
-                for (ci, &v) in src.iter().enumerate() {
-                    if v == 0.0 {
-                        continue;
-                    }
-                    let krow = &kd[(tap * c_in + ci) * c_out..(tap * c_in + ci + 1) * c_out];
-                    for (o, &k) in orow.iter_mut().zip(krow.iter()) {
-                        *o += v * k;
+    // One "row" per grid row: w pixels × c_out channels, all computed
+    // from read-only input, so grid rows chunk across the pool.
+    pool::for_each_row_chunk(
+        &mut out,
+        h,
+        w * c_out,
+        w * 18 * c_in * c_out,
+        |y0, chunk| {
+            for (yi, grid_row) in chunk.chunks_exact_mut(w * c_out).enumerate() {
+                let y = y0 + yi;
+                for xc in 0..w {
+                    let orow = &mut grid_row[xc * c_out..(xc + 1) * c_out];
+                    orow.copy_from_slice(bd);
+                    for (tap, (dy, dx)) in TAPS.iter().enumerate() {
+                        let (py, px) = (y as i64 + dy, xc as i64 + dx);
+                        if py < 0 || px < 0 || py >= h as i64 || px >= w as i64 {
+                            continue; // Zero padding.
+                        }
+                        let src = &xd[(py as usize * w + px as usize) * c_in
+                            ..(py as usize * w + px as usize + 1) * c_in];
+                        for (ci, &v) in src.iter().enumerate() {
+                            let krow =
+                                &kd[(tap * c_in + ci) * c_out..(tap * c_in + ci + 1) * c_out];
+                            for (o, &k) in orow.iter_mut().zip(krow.iter()) {
+                                *o += v * k;
+                            }
+                        }
                     }
                 }
             }
-        }
-    }
+        },
+    );
     Tensor::from_vec(out, [h * w, c_out])
 }
 

@@ -1,0 +1,291 @@
+//! Fused kernels for the transformer block's hot sequences.
+//!
+//! Each kernel here collapses a sequence of primitive ops into one
+//! pass, eliminating intermediate tensors (and, for attention, the
+//! per-head column slicing) while reusing the *same scalar row
+//! helpers* as the primitives — `layer_norm_row`,
+//! `softmax_row_inplace`, the matmul row kernels —
+//! so every fused result is **bitwise identical** to the composed
+//! path. That identity is asserted by proptests in this crate and by
+//! whole-pipeline byte-equality checks in `fps-bench`'s
+//! `bench_kernels`.
+//!
+//! Fusions provided (the `TransformerBlock` hot path):
+//!
+//! - [`ada_layer_norm`] — LayerNorm + AdaLN modulate in one row pass.
+//! - [`mha_fused`] — per-head `QKᵀ → softmax → ·V` that materializes
+//!   one score row at a time instead of an `[N, L]` matrix per head,
+//!   reading head slices in place instead of copying column blocks.
+//! - [`matmul_gelu`] — FFN up-projection with GeLU applied to each
+//!   output row as it is produced.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::{ktrace, pool, scratch, Result};
+
+use super::activation::gelu_scalar;
+use super::matmul::matmul_rows;
+use super::norm::{check_norm_args, layer_norm_row, modulate_row_inplace};
+use super::softmax::softmax_row_inplace;
+
+/// Fused `modulate(layer_norm(x, gamma, beta), scale, shift)`.
+///
+/// # Errors
+///
+/// Returns an error when `x` is not rank-2 or any parameter vector
+/// does not match the feature dimension.
+pub fn ada_layer_norm(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    scale: &Tensor,
+    shift: &Tensor,
+) -> Result<Tensor> {
+    let (rows, cols) = check_norm_args("ada_layer_norm", x, gamma, Some(beta))?;
+    check_norm_args("ada_layer_norm", x, scale, Some(shift))?;
+    let _span = ktrace::span("ada_layer_norm");
+    let mut out = scratch::take(rows * cols);
+    let xd = x.data();
+    let (gd, bd) = (gamma.data(), beta.data());
+    let (sd, hd) = (scale.data(), shift.data());
+    pool::for_each_row_chunk(&mut out, rows, cols, 8 * cols, |r0, chunk| {
+        for (ri, orow) in chunk.chunks_exact_mut(cols).enumerate() {
+            let r = r0 + ri;
+            layer_norm_row(&xd[r * cols..(r + 1) * cols], orow, gd, bd);
+            modulate_row_inplace(orow, sd, hd);
+        }
+    });
+    Tensor::from_vec(out, [rows, cols])
+}
+
+/// Fused `gelu(matmul(a, b))`.
+///
+/// # Errors
+///
+/// Returns an error if either operand is not rank-2 or the inner
+/// dimensions disagree.
+pub fn matmul_gelu(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = rank2_dims("matmul_gelu", a)?;
+    let (k2, n) = rank2_dims("matmul_gelu", b)?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_gelu",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let _span = ktrace::span("matmul_gelu");
+    let mut out = scratch::take(m * n);
+    let ad = a.data();
+    let bd = b.data();
+    pool::for_each_row_chunk(&mut out, m, n, 2 * k * n + 8 * n, |r0, chunk| {
+        matmul_rows(chunk, r0, ad, bd, k, n);
+        for o in chunk.iter_mut() {
+            *o = gelu_scalar(*o);
+        }
+    });
+    Tensor::from_vec(out, [m, n])
+}
+
+/// Fused multi-head scaled-dot-product attention, pre-output-
+/// projection: for each query row and head, computes the score row
+/// `q·Kᵀ·scale`, softmaxes it in place, and accumulates the context
+/// `probs·V` — never materializing a full `[N, L]` score tensor, and
+/// reading each head's `dh`-wide slice of the row-major `[·, H]`
+/// matrices directly instead of slicing columns into temporaries.
+///
+/// Matches the composed `matmul_bt → scale → softmax_rows → matmul`
+/// path bitwise: per (row, head) the reduction orders are identical.
+///
+/// # Errors
+///
+/// Returns an error when shapes are inconsistent, `heads` does not
+/// divide the hidden dimension, or `k`/`v` have no rows (the composed
+/// path rejects a zero-width softmax the same way).
+pub fn mha_fused(q: &Tensor, k: &Tensor, v: &Tensor, heads: usize, scale: f32) -> Result<Tensor> {
+    let (n, h) = rank2_dims("mha_fused", q)?;
+    let (l, hk) = rank2_dims("mha_fused", k)?;
+    let (lv, hv) = rank2_dims("mha_fused", v)?;
+    if hk != h || hv != h || lv != l || heads == 0 || h % heads != 0 {
+        return Err(TensorError::ShapeMismatch {
+            op: "mha_fused",
+            lhs: vec![n, h, heads],
+            rhs: vec![l, hk, hv, lv],
+        });
+    }
+    if l == 0 {
+        // The composed path feeds `[N, 0]` scores into softmax_rows,
+        // which rejects zero-width rows; keep that contract.
+        return Err(TensorError::Empty { op: "mha_fused" });
+    }
+    let _span = ktrace::span("mha_fused");
+    let dh = h / heads;
+    let mut out = scratch::take(n * h);
+    let (qd, kd, vd) = (q.data(), k.data(), v.data());
+    pool::for_each_row_chunk(&mut out, n, h, 4 * h * l, |r0, chunk| {
+        let mut scores = scratch::take(l);
+        for (ri, orow) in chunk.chunks_exact_mut(h).enumerate() {
+            let i = r0 + ri;
+            for head in 0..heads {
+                let off = head * dh;
+                let qrow = &qd[i * h + off..i * h + off + dh];
+                for (j, s) in scores.iter_mut().enumerate() {
+                    let krow = &kd[j * h + off..j * h + off + dh];
+                    let mut acc = 0.0f32;
+                    for (&x, &y) in qrow.iter().zip(krow.iter()) {
+                        acc += x * y;
+                    }
+                    *s = acc * scale;
+                }
+                softmax_row_inplace(&mut scores);
+                let octx = &mut orow[off..off + dh];
+                for (p, &pv) in scores.iter().enumerate() {
+                    let vrow = &vd[p * h + off..p * h + off + dh];
+                    for (o, &vv) in octx.iter_mut().zip(vrow.iter()) {
+                        *o += pv * vv;
+                    }
+                }
+            }
+        }
+        scratch::give(scores);
+    });
+    Tensor::from_vec(out, [n, h])
+}
+
+fn rank2_dims(op: &'static str, t: &Tensor) -> Result<(usize, usize)> {
+    if t.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 2,
+            actual: t.rank(),
+        });
+    }
+    Ok((t.dims()[0], t.dims()[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{layer_norm, matmul, matmul_bt, modulate, softmax_rows};
+    use crate::pool::{with_compute_path, with_min_parallel_work, ComputePath};
+    use crate::rng::DetRng;
+
+    fn bits(t: &Tensor) -> Vec<u32> {
+        t.data().iter().map(|v| v.to_bits()).collect()
+    }
+
+    /// Reference MHA built from the primitive ops (the historical
+    /// `TransformerBlock::mha` composition, column slicing included).
+    fn mha_composed(q: &Tensor, k: &Tensor, v: &Tensor, heads: usize, scale: f32) -> Tensor {
+        let (n, h) = (q.dims()[0], q.dims()[1]);
+        let dh = h / heads;
+        let slice_cols = |x: &Tensor, start: usize| {
+            let (rows, cols) = (x.dims()[0], x.dims()[1]);
+            let mut out = Vec::with_capacity(rows * dh);
+            for r in 0..rows {
+                out.extend_from_slice(&x.data()[r * cols + start..r * cols + start + dh]);
+            }
+            Tensor::from_vec(out, [rows, dh]).unwrap()
+        };
+        let mut out = Tensor::zeros([n, h]);
+        for head in 0..heads {
+            let qs = slice_cols(q, head * dh);
+            let ks = slice_cols(k, head * dh);
+            let vs = slice_cols(v, head * dh);
+            let probs = softmax_rows(&matmul_bt(&qs, &ks).unwrap().scale(scale)).unwrap();
+            let ctx = matmul(&probs, &vs).unwrap();
+            for row in 0..n {
+                let src = ctx.row(row).unwrap().to_vec();
+                out.row_mut(row).unwrap()[head * dh..(head + 1) * dh].copy_from_slice(&src);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn ada_layer_norm_matches_composition_bitwise() {
+        let mut rng = DetRng::new(11);
+        let x = Tensor::randn([9, 16], &mut rng);
+        let g = Tensor::randn([16], &mut rng);
+        let b = Tensor::randn([16], &mut rng);
+        let s = Tensor::randn([16], &mut rng);
+        let sh = Tensor::randn([16], &mut rng);
+        let composed = modulate(&layer_norm(&x, &g, &b).unwrap(), &s, &sh).unwrap();
+        for path in [
+            ComputePath::Scalar,
+            ComputePath::Parallel,
+            ComputePath::Fused,
+        ] {
+            let fused = with_compute_path(path, || {
+                with_min_parallel_work(0, || ada_layer_norm(&x, &g, &b, &s, &sh).unwrap())
+            });
+            assert_eq!(bits(&fused), bits(&composed), "path {path:?}");
+        }
+    }
+
+    #[test]
+    fn matmul_gelu_matches_composition_bitwise() {
+        let mut rng = DetRng::new(12);
+        let a = Tensor::randn([7, 5], &mut rng);
+        let b = Tensor::randn([5, 11], &mut rng);
+        let composed = crate::ops::gelu(&matmul(&a, &b).unwrap());
+        let fused = with_min_parallel_work(0, || matmul_gelu(&a, &b).unwrap());
+        assert_eq!(bits(&fused), bits(&composed));
+    }
+
+    #[test]
+    fn mha_fused_matches_composition_bitwise() {
+        let mut rng = DetRng::new(13);
+        for (n, l, h, heads) in [(6, 6, 8, 2), (3, 10, 12, 4), (1, 5, 4, 1), (10, 1, 8, 2)] {
+            let q = Tensor::randn([n, h], &mut rng);
+            let k = Tensor::randn([l, h], &mut rng);
+            let v = Tensor::randn([l, h], &mut rng);
+            let scale = 1.0 / ((h / heads) as f32).sqrt();
+            let composed = mha_composed(&q, &k, &v, heads, scale);
+            let fused = with_min_parallel_work(0, || mha_fused(&q, &k, &v, heads, scale).unwrap());
+            assert_eq!(
+                bits(&fused),
+                bits(&composed),
+                "n={n} l={l} h={h} heads={heads}"
+            );
+        }
+    }
+
+    #[test]
+    fn mha_fused_empty_queries_gives_empty_output() {
+        let mut rng = DetRng::new(14);
+        let q = Tensor::zeros([0, 8]);
+        let k = Tensor::randn([5, 8], &mut rng);
+        let v = Tensor::randn([5, 8], &mut rng);
+        let out = mha_fused(&q, &k, &v, 2, 0.5).unwrap();
+        assert_eq!(out.dims(), &[0, 8]);
+    }
+
+    #[test]
+    fn mha_fused_rejects_empty_kv_like_composed_path() {
+        let q = Tensor::zeros([3, 8]);
+        let k = Tensor::zeros([0, 8]);
+        let v = Tensor::zeros([0, 8]);
+        assert!(matches!(
+            mha_fused(&q, &k, &v, 2, 0.5),
+            Err(TensorError::Empty { .. })
+        ));
+    }
+
+    #[test]
+    fn fused_kernels_validate_shapes() {
+        let x = Tensor::zeros([2, 4]);
+        let p3 = Tensor::zeros([3]);
+        let p4 = Tensor::zeros([4]);
+        assert!(ada_layer_norm(&x, &p3, &p4, &p4, &p4).is_err());
+        assert!(ada_layer_norm(&x, &p4, &p4, &p3, &p4).is_err());
+        assert!(matmul_gelu(&x, &Tensor::zeros([5, 2])).is_err());
+        assert!(matmul_gelu(&x, &Tensor::zeros([4])).is_err());
+        let q = Tensor::zeros([2, 4]);
+        let kv = Tensor::zeros([3, 4]);
+        assert!(mha_fused(&q, &kv, &kv, 3, 1.0).is_err(), "heads ∤ hidden");
+        assert!(mha_fused(&q, &kv, &kv, 0, 1.0).is_err());
+        assert!(mha_fused(&q, &Tensor::zeros([3, 6]), &kv, 2, 1.0).is_err());
+        assert!(mha_fused(&q, &kv, &Tensor::zeros([2, 4]), 2, 1.0).is_err());
+    }
+}

@@ -5,10 +5,26 @@
 //! hundreds, hidden dims ≤ 256) they are comfortably fast, and their
 //! FLOP counts — the quantity Table 1 of the paper analyzes — are exact
 //! and easy to account for (see [`matmul_flops`]).
+//!
+//! All three kernels parallelize over *output rows* through
+//! [`crate::pool`]: each row's inner reduction runs the same scalar
+//! code in the same order on every path, so parallel results are
+//! bitwise identical to scalar ones.
+//!
+//! Earlier revisions skipped inner-product terms whose `A` element was
+//! exactly `0.0`. That branch is gone: it made measured kernel time
+//! depend on operand sparsity while [`matmul_flops`] (and the paper's
+//! Table 1 accounting, which this repo reproduces) count dense work, so
+//! timed FLOP/s could silently overstate the kernel on masked/padded
+//! operands. Mask-aware computation in this repo saves work by
+//! *gathering rows* (see [`super::gather`]), never by relying on
+//! incidental zeros, so the branch had no legitimate caller. Dropping
+//! it changes no result except the sign of a `-0.0` accumulation edge
+//! case (`acc + 0.0·b` can flip `-0.0` to `+0.0`).
 
 use crate::error::TensorError;
 use crate::tensor::Tensor;
-use crate::Result;
+use crate::{ktrace, pool, scratch, Result};
 
 /// Returns the multiply-add FLOP count of an `[m, k] × [k, n]` matmul,
 /// counting one multiply and one add per inner-product term.
@@ -34,26 +50,39 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs: b.dims().to_vec(),
         });
     }
-    let mut out = vec![0.0f32; m * n];
+    let _span = ktrace::span("matmul");
+    let mut out = scratch::take(m * n);
     let ad = a.data();
     let bd = b.data();
-    // The `ikj` order keeps the inner loop streaming over contiguous rows
-    // of B and the output, which is what makes this kernel usable at the
-    // sizes the diffusion substrate needs.
-    for i in 0..m {
+    pool::for_each_row_chunk(&mut out, m, n, 2 * k * n, |r0, chunk| {
+        matmul_rows(chunk, r0, ad, bd, k, n);
+    });
+    Tensor::from_vec(out, [m, n])
+}
+
+/// Scalar kernel for output rows `r0..` of `A · B`, written into
+/// `chunk`. The `ikj` order keeps the inner loop streaming over
+/// contiguous rows of B and the output, which is what makes this kernel
+/// usable at the sizes the diffusion substrate needs.
+#[inline]
+pub(crate) fn matmul_rows(
+    chunk: &mut [f32],
+    r0: usize,
+    ad: &[f32],
+    bd: &[f32],
+    k: usize,
+    n: usize,
+) {
+    for (ri, orow) in chunk.chunks_exact_mut(n).enumerate() {
+        let i = r0 + ri;
         let arow = &ad[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
         for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
             let brow = &bd[p * n..(p + 1) * n];
             for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
                 *o += av * bv;
             }
         }
     }
-    Tensor::from_vec(out, [m, n])
 }
 
 /// Computes `A · Bᵀ` for `A: [m, k]` and `B: [n, k]` without
@@ -78,21 +107,39 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs: b.dims().to_vec(),
         });
     }
-    let mut out = vec![0.0f32; m * n];
+    let _span = ktrace::span("matmul_bt");
+    let mut out = scratch::take(m * n);
     let ad = a.data();
     let bd = b.data();
-    for i in 0..m {
+    pool::for_each_row_chunk(&mut out, m, n, 2 * k * n, |r0, chunk| {
+        matmul_bt_rows(chunk, r0, ad, bd, k, n);
+    });
+    Tensor::from_vec(out, [m, n])
+}
+
+/// Scalar kernel for output rows `r0..` of `A · Bᵀ`: one dot product
+/// of contiguous rows per output element.
+#[inline]
+pub(crate) fn matmul_bt_rows(
+    chunk: &mut [f32],
+    r0: usize,
+    ad: &[f32],
+    bd: &[f32],
+    k: usize,
+    n: usize,
+) {
+    for (ri, orow) in chunk.chunks_exact_mut(n).enumerate() {
+        let i = r0 + ri;
         let arow = &ad[i * k..(i + 1) * k];
-        for j in 0..n {
+        for (j, o) in orow.iter_mut().enumerate() {
             let brow = &bd[j * k..(j + 1) * k];
             let mut acc = 0.0f32;
             for (&x, &y) in arow.iter().zip(brow.iter()) {
                 acc += x * y;
             }
-            out[i * n + j] = acc;
+            *o = acc;
         }
     }
-    Tensor::from_vec(out, [m, n])
 }
 
 /// Computes `Aᵀ · B` for `A: [k, m]` and `B: [k, n]` without
@@ -114,22 +161,27 @@ pub fn matmul_tb(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs: b.dims().to_vec(),
         });
     }
-    let mut out = vec![0.0f32; m * n];
+    let _span = ktrace::span("matmul_tb");
+    let mut out = scratch::take(m * n);
     let ad = a.data();
     let bd = b.data();
-    for p in 0..k {
-        let arow = &ad[p * m..(p + 1) * m];
-        let brow = &bd[p * n..(p + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += av * bv;
+    pool::for_each_row_chunk(&mut out, m, n, 2 * k * n, |r0, chunk| {
+        // Per output row `i`, the accumulation still walks `p`
+        // ascending — the same reduction order as the historical
+        // `p`-outer loop — so row-chunking leaves every element
+        // bit-for-bit unchanged. Only the read of `A` (stride `m`)
+        // differs from the dense kernels above.
+        for (ri, orow) in chunk.chunks_exact_mut(n).enumerate() {
+            let i = r0 + ri;
+            for p in 0..k {
+                let av = ad[p * m + i];
+                let brow = &bd[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
             }
         }
-    }
+    });
     Tensor::from_vec(out, [m, n])
 }
 

@@ -12,9 +12,12 @@
 //! - [`conv`] — 3×3 grid convolution, the UNet scaffold operator that
 //!   mask-aware computation leaves untouched (spatial mixing).
 //! - [`reduce`] — axis reductions, cosine similarity, mean/covariance.
+//! - [`fused`] — fused AdaLN+modulate, per-head attention, and
+//!   matmul+GeLU kernels, bitwise identical to their compositions.
 
 pub mod activation;
 pub mod conv;
+pub mod fused;
 pub mod gather;
 pub mod matmul;
 pub mod norm;
@@ -23,6 +26,7 @@ pub mod softmax;
 
 pub use activation::{gelu, silu};
 pub use conv::conv3x3;
+pub use fused::{ada_layer_norm, matmul_gelu, mha_fused};
 pub use gather::{gather_rows, scatter_rows, scatter_rows_into};
 pub use matmul::{matmul, matmul_bt, matmul_tb};
 pub use norm::{group_norm, layer_norm, modulate, rms_norm};

@@ -7,7 +7,7 @@
 
 use crate::error::TensorError;
 use crate::tensor::Tensor;
-use crate::Result;
+use crate::{ktrace, pool, scratch, Result};
 
 /// Numerical floor added to variances before taking square roots.
 pub const NORM_EPS: f32 = 1e-5;
@@ -22,18 +22,31 @@ pub const NORM_EPS: f32 = 1e-5;
 /// not match the feature dimension.
 pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor) -> Result<Tensor> {
     let (rows, cols) = check_norm_args("layer_norm", x, gamma, Some(beta))?;
-    let mut out = vec![0.0f32; rows * cols];
-    for r in 0..rows {
-        let row = &x.data()[r * cols..(r + 1) * cols];
-        let orow = &mut out[r * cols..(r + 1) * cols];
-        let mean = row.iter().sum::<f32>() / cols as f32;
-        let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
-        let inv = 1.0 / (var + NORM_EPS).sqrt();
-        for (c, o) in orow.iter_mut().enumerate() {
-            *o = (row[c] - mean) * inv * gamma.data()[c] + beta.data()[c];
+    let _span = ktrace::span("layer_norm");
+    let mut out = scratch::take(rows * cols);
+    let xd = x.data();
+    let (gd, bd) = (gamma.data(), beta.data());
+    pool::for_each_row_chunk(&mut out, rows, cols, 6 * cols, |r0, chunk| {
+        for (ri, orow) in chunk.chunks_exact_mut(cols).enumerate() {
+            let r = r0 + ri;
+            layer_norm_row(&xd[r * cols..(r + 1) * cols], orow, gd, bd);
         }
-    }
+    });
     Tensor::from_vec(out, [rows, cols])
+}
+
+/// Scalar LayerNorm of one row. [`layer_norm`] and the fused
+/// AdaLN+modulate kernel both call this, so their normalized
+/// activations agree bitwise.
+#[inline]
+pub(crate) fn layer_norm_row(row: &[f32], orow: &mut [f32], gamma: &[f32], beta: &[f32]) {
+    let cols = row.len();
+    let mean = row.iter().sum::<f32>() / cols as f32;
+    let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+    let inv = 1.0 / (var + NORM_EPS).sqrt();
+    for (c, o) in orow.iter_mut().enumerate() {
+        *o = (row[c] - mean) * inv * gamma[c] + beta[c];
+    }
 }
 
 /// Applies RMSNorm over the last axis of a rank-2 tensor.
@@ -70,15 +83,21 @@ pub fn rms_norm(x: &Tensor, gamma: &Tensor) -> Result<Tensor> {
 /// not match the feature dimension.
 pub fn modulate(x: &Tensor, scale: &Tensor, shift: &Tensor) -> Result<Tensor> {
     let (rows, cols) = check_norm_args("modulate", x, scale, Some(shift))?;
-    let mut out = vec![0.0f32; rows * cols];
-    for r in 0..rows {
-        let row = &x.data()[r * cols..(r + 1) * cols];
-        let orow = &mut out[r * cols..(r + 1) * cols];
-        for (c, o) in orow.iter_mut().enumerate() {
-            *o = row[c] * (1.0 + scale.data()[c]) + shift.data()[c];
-        }
+    let mut out = scratch::take(rows * cols);
+    out.copy_from_slice(x.data());
+    for orow in out.chunks_exact_mut(cols.max(1)) {
+        modulate_row_inplace(orow, scale.data(), shift.data());
     }
     Tensor::from_vec(out, [rows, cols])
+}
+
+/// Scalar AdaLN modulation of one row, in place: `o ← o·(1+scale) +
+/// shift`. Shared by [`modulate`] and the fused AdaLN kernel.
+#[inline]
+pub(crate) fn modulate_row_inplace(orow: &mut [f32], scale: &[f32], shift: &[f32]) {
+    for (c, o) in orow.iter_mut().enumerate() {
+        *o = *o * (1.0 + scale[c]) + shift[c];
+    }
 }
 
 /// Applies GroupNorm over the last axis of a rank-2 tensor: each row's
@@ -121,7 +140,7 @@ pub fn group_norm(x: &Tensor, groups: usize, gamma: &Tensor, beta: &Tensor) -> R
     Tensor::from_vec(out, [rows, cols])
 }
 
-fn check_norm_args(
+pub(crate) fn check_norm_args(
     op: &'static str,
     x: &Tensor,
     a: &Tensor,

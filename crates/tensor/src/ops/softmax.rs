@@ -2,7 +2,7 @@
 
 use crate::error::TensorError;
 use crate::tensor::Tensor;
-use crate::Result;
+use crate::{ktrace, pool, scratch, Result};
 
 /// Applies softmax along the last axis of a rank-2 tensor.
 ///
@@ -24,23 +24,37 @@ pub fn softmax_rows(x: &Tensor) -> Result<Tensor> {
     if cols == 0 {
         return Err(TensorError::Empty { op: "softmax_rows" });
     }
-    let mut out = vec![0.0f32; rows * cols];
-    for r in 0..rows {
-        let row = &x.data()[r * cols..(r + 1) * cols];
-        let orow = &mut out[r * cols..(r + 1) * cols];
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0f32;
-        for (o, &v) in orow.iter_mut().zip(row.iter()) {
-            let e = (v - max).exp();
-            *o = e;
-            sum += e;
+    let _span = ktrace::span("softmax_rows");
+    let mut out = scratch::take(rows * cols);
+    let xd = x.data();
+    // `exp` makes softmax rows pricier than their element count; the
+    // factor here only biases the parallel-dispatch threshold.
+    pool::for_each_row_chunk(&mut out, rows, cols, 8 * cols, |r0, chunk| {
+        for (ri, orow) in chunk.chunks_exact_mut(cols).enumerate() {
+            let r = r0 + ri;
+            orow.copy_from_slice(&xd[r * cols..(r + 1) * cols]);
+            softmax_row_inplace(orow);
         }
-        let inv = 1.0 / sum;
-        for o in orow.iter_mut() {
-            *o *= inv;
-        }
-    }
+    });
     Tensor::from_vec(out, [rows, cols])
+}
+
+/// Replaces one row of logits with its softmax, using the max-shift
+/// trick. This is *the* softmax kernel: [`softmax_rows`] and the fused
+/// attention both call it, so their probabilities agree bitwise.
+#[inline]
+pub(crate) fn softmax_row_inplace(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in row.iter_mut() {
+        let e = (*v - max).exp();
+        *v = e;
+        sum += e;
+    }
+    let inv = 1.0 / sum;
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
 }
 
 #[cfg(test)]

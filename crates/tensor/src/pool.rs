@@ -1,0 +1,465 @@
+//! Deterministic work pool: the compute plane beneath the kernels.
+//!
+//! The pool parallelizes row-wise kernels (`matmul`, `softmax_rows`,
+//! `layer_norm`, `conv3x3`, the fused attention) by splitting the
+//! *output* into disjoint row chunks and fanning the chunks out over a
+//! small set of persistent worker threads. Because each output row is
+//! still computed by exactly the same scalar code, in exactly the same
+//! reduction order, as the single-threaded path, parallel results are
+//! **bitwise identical** to scalar results — the property every
+//! determinism test in this repository (cache replays, byte-identical
+//! edits, chaos reproducibility) rests on. The only thing the pool is
+//! allowed to change is *which thread* computes a row, never *how*.
+//!
+//! Design notes:
+//!
+//! - Built exclusively on the in-tree shims (`crossbeam` channels for
+//!   work distribution and completion signalling) plus `std::thread`;
+//!   no external dependencies.
+//! - The caller always participates in its own parallel region, so a
+//!   pool degenerates gracefully: with one thread every `run` call is
+//!   an ordinary serial loop, and nested `run` calls cannot deadlock
+//!   (the nested caller drains its own region itself).
+//! - Kernel dispatch is controlled per-thread via [`ComputePath`]:
+//!   `Scalar` forces the reference path, `Parallel` enables pooled
+//!   row-chunking, and `Fused` (the default) additionally enables the
+//!   fused kernels in `ops::fused`. Benchmarks and identity tests
+//!   switch paths with [`with_compute_path`] and compare outputs.
+//! - Serving threads are spawned through [`spawn_service`] so thread
+//!   creation for the whole stack is centralized here; see
+//!   `flashps::server::ThreadedServer`.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+
+/// Which kernel implementation the current thread dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComputePath {
+    /// Single-threaded reference kernels only.
+    Scalar,
+    /// Pooled row-chunked kernels (bitwise identical to `Scalar`).
+    Parallel,
+    /// Pooled kernels plus the fused attention/AdaLN/FFN kernels
+    /// (bitwise identical to `Scalar`). The default.
+    Fused,
+}
+
+thread_local! {
+    static PATH: Cell<ComputePath> = const { Cell::new(ComputePath::Fused) };
+    static MIN_WORK: Cell<usize> = const { Cell::new(DEFAULT_MIN_PARALLEL_WORK) };
+}
+
+/// Below this much work (in multiply-add-ish units) a kernel stays
+/// serial: chunk dispatch costs more than it saves.
+const DEFAULT_MIN_PARALLEL_WORK: usize = 32 * 1024;
+
+/// Returns the calling thread's current kernel dispatch path.
+pub fn compute_path() -> ComputePath {
+    PATH.with(Cell::get)
+}
+
+/// Runs `f` with the calling thread's dispatch path set to `path`,
+/// restoring the previous path afterwards (also on panic-free early
+/// returns; the previous value is restored by an RAII guard so unwind
+/// restores it too).
+pub fn with_compute_path<T>(path: ComputePath, f: impl FnOnce() -> T) -> T {
+    struct Restore(ComputePath);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            PATH.with(|p| p.set(self.0));
+        }
+    }
+    let _restore = Restore(PATH.with(|p| p.replace(path)));
+    f()
+}
+
+/// Runs `f` with the parallel-dispatch work threshold set to `work`
+/// (0 parallelizes everything — used by identity tests to exercise the
+/// pooled path on tiny shapes).
+pub fn with_min_parallel_work<T>(work: usize, f: impl FnOnce() -> T) -> T {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            MIN_WORK.with(|p| p.set(self.0));
+        }
+    }
+    let _restore = Restore(MIN_WORK.with(|p| p.replace(work)));
+    f()
+}
+
+/// True when the calling thread's path enables the fused kernels.
+pub fn fused_enabled() -> bool {
+    compute_path() == ComputePath::Fused
+}
+
+/// One parallel region in flight: a lifetime-erased task plus claim
+/// and completion counters.
+///
+/// # Safety protocol
+///
+/// `task` borrows the caller's closure. The pointer is only ever
+/// dereferenced for claimed indices `i < n`, and [`WorkPool::run`]
+/// blocks until `done == n` (every claimed index has finished) before
+/// returning, so the borrow outlives every dereference. Workers that
+/// pick the region up late observe `next >= n` and drop their handle
+/// without touching `task`.
+struct Region {
+    task: *const (dyn Fn(usize) + Sync),
+    n: usize,
+    next: AtomicUsize,
+    done: AtomicUsize,
+    done_tx: Sender<()>,
+}
+
+// SAFETY: `task` points at a `Sync` closure, and the protocol above
+// guarantees the pointee is live for every dereference.
+unsafe impl Send for Region {}
+unsafe impl Sync for Region {}
+
+impl Region {
+    /// Claims and executes chunk indices until the region is drained.
+    /// The thread that completes the final chunk signals `done_tx`.
+    fn execute(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n {
+                return;
+            }
+            // SAFETY: `i < n`, so per the protocol the closure is live.
+            let task = unsafe { &*self.task };
+            task(i);
+            // AcqRel: releases this chunk's output writes into the
+            // counter's modification order so the final `send` (and the
+            // caller's matching `recv`) publishes *all* chunks.
+            if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+                let _ = self.done_tx.send(());
+            }
+        }
+    }
+}
+
+/// A fixed set of persistent worker threads executing regions of tasks.
+pub struct WorkPool {
+    injector: Option<Sender<Arc<Region>>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for WorkPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl WorkPool {
+    /// Builds a pool with `threads` compute lanes (including the
+    /// caller's). `threads <= 1` builds a serial pool that never
+    /// spawns and runs every region inline.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        if threads == 1 {
+            return Self {
+                injector: None,
+                threads: 1,
+            };
+        }
+        let (tx, rx) = unbounded::<Arc<Region>>();
+        for w in 0..threads - 1 {
+            let rx: Receiver<Arc<Region>> = rx.clone();
+            spawn_service(&format!("pool-{w}"), move || {
+                while let Ok(region) = rx.recv() {
+                    region.execute();
+                }
+            });
+        }
+        Self {
+            injector: Some(tx),
+            threads,
+        }
+    }
+
+    /// Number of compute lanes (caller included).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes `task(0) ..= task(n-1)`, each exactly once, possibly on
+    /// different threads, and returns once all have finished. The
+    /// caller participates, so progress never depends on a free worker.
+    pub fn run<F: Fn(usize) + Sync>(&self, n: usize, task: F) {
+        if n == 0 {
+            return;
+        }
+        let Some(injector) = &self.injector else {
+            for i in 0..n {
+                task(i);
+            }
+            return;
+        };
+        if n == 1 {
+            task(0);
+            return;
+        }
+        let (done_tx, done_rx) = bounded(1);
+        let erased: &(dyn Fn(usize) + Sync) = &task;
+        let region = Arc::new(Region {
+            // SAFETY: lifetime erasure; see the `Region` protocol. We
+            // block on `done_rx` below until every claim has finished.
+            task: unsafe {
+                std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(
+                    erased,
+                )
+            },
+            n,
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            done_tx,
+        });
+        for _ in 0..(self.threads - 1).min(n - 1) {
+            let _ = injector.send(Arc::clone(&region));
+        }
+        region.execute();
+        // Exactly one `send` happens (from whichever thread finished the
+        // last chunk), so this cannot hang; it also publishes every
+        // worker's output writes to the caller.
+        let _ = done_rx.recv();
+    }
+
+    /// Splits `out` (a `rows × row_len` row-major buffer) into disjoint
+    /// row chunks and runs `f(first_row, chunk)` for each, in parallel.
+    ///
+    /// Chunks are contiguous row ranges, so as long as `f` computes
+    /// each row with the scalar kernel the result is bitwise identical
+    /// to a serial pass.
+    pub fn par_row_chunks<F>(&self, out: &mut [f32], rows: usize, row_len: usize, f: F)
+    where
+        F: Fn(usize, &mut [f32]) + Sync,
+    {
+        assert_eq!(out.len(), rows * row_len, "output buffer shape mismatch");
+        if rows == 0 || row_len == 0 {
+            return;
+        }
+        // ~4 chunks per lane keeps stragglers short without paying
+        // per-row dispatch.
+        let chunk_rows = chunk_rows_for(rows, self.threads);
+        let n_chunks = rows.div_ceil(chunk_rows);
+        let base = SendPtr(out.as_mut_ptr());
+        self.run(n_chunks, |ci| {
+            let r0 = ci * chunk_rows;
+            let r1 = (r0 + chunk_rows).min(rows);
+            // SAFETY: chunk `ci` covers rows `[r0, r1)`; ranges for
+            // distinct `ci` are disjoint, in-bounds slices of `out`,
+            // and `out` is borrowed mutably for the whole call.
+            let chunk = unsafe {
+                std::slice::from_raw_parts_mut(base.get().add(r0 * row_len), (r1 - r0) * row_len)
+            };
+            f(r0, chunk);
+        });
+    }
+}
+
+/// Raw base pointer made shareable across worker threads.
+///
+/// Only ever used to derive the disjoint row-chunk slices in
+/// [`WorkPool::par_row_chunks`].
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f32);
+// SAFETY: dereferenced only through disjoint subslices (see above).
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Accessor (rather than direct field use) so closures capture the
+    /// `Send + Sync` wrapper, not the raw pointer field.
+    fn get(self) -> *mut f32 {
+        self.0
+    }
+}
+
+/// The process-wide pool shared by every kernel (and reused by the
+/// serving layer for sizing decisions).
+///
+/// Sized from `FPS_POOL_THREADS` when set (values `<= 1` force the
+/// serial pool), else `available_parallelism()`, floored at 2 so the
+/// parallel machinery is exercised — and its bitwise-identity guarantee
+/// continuously verified — even on single-core hosts.
+pub fn global() -> &'static WorkPool {
+    static POOL: OnceLock<WorkPool> = OnceLock::new();
+    POOL.get_or_init(|| WorkPool::new(default_threads()))
+}
+
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("FPS_POOL_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .max(2)
+}
+
+/// Dispatches a row-wise kernel: serial on the calling thread when the
+/// path is [`ComputePath::Scalar`], the estimated work is below the
+/// threshold, or the global pool is serial; pooled row chunks
+/// otherwise. `f(first_row, chunk)` must fill `chunk` (rows
+/// `first_row..`) using the scalar per-row kernel; `work_per_row` is a
+/// rough per-row flop count used only for the dispatch decision.
+pub fn for_each_row_chunk<F>(
+    out: &mut [f32],
+    rows: usize,
+    row_len: usize,
+    work_per_row: usize,
+    f: F,
+) where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if rows == 0 || row_len == 0 {
+        return;
+    }
+    let pool = global();
+    let serial = compute_path() == ComputePath::Scalar
+        || pool.threads() <= 1
+        || rows < 2
+        || rows.saturating_mul(work_per_row) < MIN_WORK.with(Cell::get);
+    if serial {
+        f(0, out);
+    } else {
+        pool.par_row_chunks(out, rows, row_len, f);
+    }
+}
+
+/// Rows per chunk when `rows` output rows are split across `lanes`
+/// workers — the decomposition [`WorkPool::par_row_chunks`] uses
+/// (~4 chunks per lane, so stragglers stay short without paying
+/// per-row dispatch). Public so the kernel benchmark can model the
+/// identical chunking when it computes makespans off-line.
+pub fn chunk_rows_for(rows: usize, lanes: usize) -> usize {
+    rows.div_ceil(lanes.max(1) * 4).max(1)
+}
+
+/// Spawns a named long-lived service thread (pool workers, server
+/// workers). Centralizing spawns here keeps thread creation for the
+/// whole stack in one place and gives every thread a recognizable
+/// `fps-` name in debuggers and trace output.
+///
+/// # Panics
+///
+/// Panics if the OS refuses to spawn a thread.
+pub fn spawn_service<F, T>(name: &str, f: F) -> std::thread::JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(format!("fps-{name}"))
+        .spawn(f)
+        .expect("failed to spawn service thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn run_executes_each_index_exactly_once() {
+        let pool = WorkPool::new(4);
+        for n in [0usize, 1, 2, 3, 7, 64, 1000] {
+            let counts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+            pool.run(n, |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                counts.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                "n={n}: some index not executed exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn serial_pool_runs_inline() {
+        let pool = WorkPool::new(1);
+        let counts: Vec<AtomicU32> = (0..10).map(|_| AtomicU32::new(0)).collect();
+        pool.run(10, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_row_chunks_covers_all_rows_disjointly() {
+        let pool = WorkPool::new(3);
+        for rows in [1usize, 2, 5, 33, 128] {
+            let row_len = 7;
+            let mut out = vec![0.0f32; rows * row_len];
+            pool.par_row_chunks(&mut out, rows, row_len, |r0, chunk| {
+                for (ri, row) in chunk.chunks_exact_mut(row_len).enumerate() {
+                    for v in row.iter_mut() {
+                        *v += (r0 + ri) as f32 + 1.0;
+                    }
+                }
+            });
+            for r in 0..rows {
+                for c in 0..row_len {
+                    assert_eq!(out[r * row_len + c], r as f32 + 1.0, "row {r} col {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nested_regions_complete() {
+        // A task running on the pool can itself open a region without
+        // deadlocking, because callers participate in their own work.
+        let pool = Arc::new(WorkPool::new(2));
+        let hits = AtomicU32::new(0);
+        let inner = WorkPool::new(2);
+        pool.run(4, |_| {
+            inner.run(4, |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn compute_path_is_scoped_and_restored() {
+        assert_eq!(compute_path(), ComputePath::Fused);
+        let seen = with_compute_path(ComputePath::Scalar, || {
+            let inner = with_compute_path(ComputePath::Parallel, compute_path);
+            (compute_path(), inner)
+        });
+        assert_eq!(seen, (ComputePath::Scalar, ComputePath::Parallel));
+        assert_eq!(compute_path(), ComputePath::Fused);
+    }
+
+    #[test]
+    fn min_work_threshold_is_scoped() {
+        let base = MIN_WORK.with(Cell::get);
+        with_min_parallel_work(0, || {
+            assert_eq!(MIN_WORK.with(Cell::get), 0);
+        });
+        assert_eq!(MIN_WORK.with(Cell::get), base);
+    }
+
+    #[test]
+    fn global_pool_has_at_least_two_lanes_by_default() {
+        // FPS_POOL_THREADS can override this, but the test environment
+        // does not set it.
+        if std::env::var("FPS_POOL_THREADS").is_err() {
+            assert!(global().threads() >= 2);
+        }
+    }
+
+    #[test]
+    fn spawn_service_names_thread() {
+        let h = spawn_service("unit", || std::thread::current().name().map(str::to_owned));
+        assert_eq!(h.join().unwrap().as_deref(), Some("fps-unit"));
+    }
+}

@@ -109,6 +109,14 @@ impl Tensor {
         self.data
     }
 
+    /// Consumes the tensor and hands its storage to the calling
+    /// thread's [`scratch`](crate::scratch) pool so a later kernel can
+    /// reuse it. Call this on dead intermediates in hot loops; dropping
+    /// a tensor normally is always still correct, just allocates more.
+    pub fn recycle(self) {
+        crate::scratch::give(self.data);
+    }
+
     /// Reads the element at a multi-index.
     ///
     /// # Errors

@@ -23,4 +23,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> trace_bubbles --smoke"
 cargo run --release -p fps-bench --bin trace_bubbles -- --smoke > /dev/null
 
+echo "==> bench_kernels --smoke"
+cargo run --release -p fps-bench --bin bench_kernels -- --smoke > /dev/null
+
 echo "All checks passed."
