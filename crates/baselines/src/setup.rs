@@ -74,6 +74,7 @@ impl EvalSetup {
             store: StoreConfig::production_like(),
             scheduler_overhead: SimDuration::from_micros(600),
             overload: None,
+            record_decisions: false,
             trace: fps_serving::TraceSink::disabled(),
         })
     }

@@ -16,8 +16,8 @@
 //! goodput-at-deadline, strictly lower p95, zero silent losses, and
 //! byte-identical reruns.
 
+use flashps::rung_strategy;
 use flashps::system::FlashPs;
-use fps_baselines::system::teacache_threshold;
 use fps_bench::{save_artifact, system_for};
 use fps_diffusion::{Image, ModelConfig, Strategy};
 use fps_json::{Json, ToJson};
@@ -87,28 +87,6 @@ fn apply_trace_aggregates(slo: &mut SloReport, t: &fps_trace::Trace) {
             rung.queue_wait_p50_secs = Some(percentile(&waits, 50.0));
             rung.queue_wait_p95_secs = Some(percentile(&waits, 95.0));
         }
-    }
-}
-
-/// Numeric strategy a degradation rung serves with on a real pipeline;
-/// the step-skip thresholds mirror the rung compute fractions (a lower
-/// fraction skips more steps).
-fn rung_strategy(rung: Rung, system: &FlashPs, ratio: f64, steps: usize) -> Strategy {
-    match rung {
-        Rung::FlashPsKv => Strategy::MaskAware {
-            use_cache: system.plan_for_ratio(ratio),
-            kv: true,
-        },
-        Rung::FlashPs => Strategy::MaskAware {
-            use_cache: system.plan_for_ratio(ratio),
-            kv: false,
-        },
-        Rung::TeaCacheHigh => Strategy::StepSkip {
-            threshold: teacache_threshold(steps),
-        },
-        Rung::TeaCacheLow | Rung::ReducedSteps => Strategy::StepSkip {
-            threshold: 2.0 * teacache_threshold(steps),
-        },
     }
 }
 

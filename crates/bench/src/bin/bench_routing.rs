@@ -1,0 +1,198 @@
+//! Routing hot-path micro-benchmark: worker-view construction and the
+//! health-aware fast path.
+//!
+//! Both execution planes refresh a `Vec<WorkerView>` snapshot of
+//! per-worker outstanding work before every routing decision. This
+//! bench measures the two ways to build that snapshot:
+//!
+//! - **fresh** — allocate a new view vector (and a new outstanding
+//!   vector per worker) on every route, the pre-refactor idiom;
+//! - **scratch** — reuse one persistent buffer, `clear()` + `extend()`
+//!   per worker, the idiom `ClusterSim::fill_views` and the threaded
+//!   server's `ControlState::route_and_ledger` now share.
+//!
+//! It also measures [`HealthAwareRouter`]'s two paths: the all-healthy
+//! steady state (borrowed slice, no clone) against the degraded path
+//! (one worker down, filtered clone per call).
+//!
+//! Flags: `--smoke` shrinks repetitions and writes nothing (used by
+//! `scripts/check.sh`); the full run writes `results/bench_routing.txt`.
+
+use std::time::Instant;
+
+use fps_bench::save_artifact;
+use fps_metrics::Table;
+use fps_serving::worker::OutstandingReq;
+use fps_serving::{
+    HealthAwareRouter, LeastLoadedRouter, Router, TokenCountRouter, WorkerHealth, WorkerView,
+};
+use fps_simtime::SimTime;
+use fps_workload::trace::MaskShapeSpec;
+use fps_workload::RequestSpec;
+
+/// Cluster shape: a mid-size fleet with realistic batch occupancy.
+const WORKERS: usize = 8;
+const OUTSTANDING_PER_WORKER: usize = 12;
+const MODEL_TOKENS: usize = 4096;
+
+fn spec(id: u64) -> RequestSpec {
+    RequestSpec {
+        id,
+        arrival_ns: 0,
+        template_id: id % 4,
+        mask_ratio: 0.25,
+        mask_shape: MaskShapeSpec::Rect,
+        seed: id,
+    }
+}
+
+/// The ledger both planes route over: per-worker outstanding work.
+fn ledger() -> Vec<Vec<OutstandingReq>> {
+    (0..WORKERS)
+        .map(|w| {
+            (0..OUTSTANDING_PER_WORKER)
+                .map(|i| OutstandingReq {
+                    mask_ratio: 0.05 + 0.9 * ((w * 7 + i * 3) % 10) as f64 / 10.0,
+                    steps_left: 1 + (w + i) % 50,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn fresh_views(ledger: &[Vec<OutstandingReq>], health: &[WorkerHealth]) -> Vec<WorkerView> {
+    ledger
+        .iter()
+        .enumerate()
+        .map(|(w, outstanding)| WorkerView {
+            id: w,
+            outstanding: outstanding.clone(),
+            max_batch: 16,
+            model_tokens: MODEL_TOKENS,
+            health: health[w],
+        })
+        .collect()
+}
+
+fn fill_views(
+    views: &mut Vec<WorkerView>,
+    ledger: &[Vec<OutstandingReq>],
+    health: &[WorkerHealth],
+) {
+    views.truncate(ledger.len());
+    while views.len() < ledger.len() {
+        views.push(WorkerView {
+            id: 0,
+            outstanding: Vec::new(),
+            max_batch: 0,
+            model_tokens: 0,
+            health: WorkerHealth::Healthy,
+        });
+    }
+    for (w, (v, outstanding)) in views.iter_mut().zip(ledger.iter()).enumerate() {
+        v.id = w;
+        v.max_batch = 16;
+        v.model_tokens = MODEL_TOKENS;
+        v.health = health[w];
+        v.outstanding.clear();
+        v.outstanding.extend(outstanding.iter().cloned());
+    }
+}
+
+/// Best-of-passes nanoseconds per route over `routes` calls of `f`.
+fn time_ns_per_route<F: FnMut(u64) -> usize>(passes: usize, routes: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut sink = 0usize;
+    for _ in 0..passes {
+        let t0 = Instant::now();
+        for i in 0..routes {
+            sink = sink.wrapping_add(f(i as u64));
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e9 / routes as f64);
+    }
+    // Keep the routed ids observable so the loop is not elided.
+    assert!(sink < usize::MAX);
+    best
+}
+
+type RouterFactory = fn() -> Box<dyn Router>;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (passes, routes) = if smoke { (2, 200) } else { (7, 20_000) };
+
+    let ledger = ledger();
+    let all_healthy = vec![WorkerHealth::Healthy; WORKERS];
+    let mut one_down = all_healthy.clone();
+    one_down[WORKERS / 2] = WorkerHealth::Down;
+
+    let mut table = Table::new(&["case", "router", "ns/route", "vs fresh"]);
+    let mut summary: Vec<(String, f64)> = Vec::new();
+
+    let routers: [(&str, RouterFactory); 2] = [
+        ("request-count", || {
+            Box::new(HealthAwareRouter::new(LeastLoadedRouter))
+        }),
+        ("token-count", || {
+            Box::new(HealthAwareRouter::new(TokenCountRouter))
+        }),
+    ];
+    for (router_name, make) in routers {
+        // fresh: allocate views every route (pre-refactor idiom).
+        let mut router = make();
+        let fresh = time_ns_per_route(passes, routes, |i| {
+            let views = fresh_views(&ledger, &all_healthy);
+            router.route(&spec(i), &views, SimTime::ZERO)
+        });
+        // scratch: persistent buffer, clear + extend (current idiom).
+        let mut router = make();
+        let mut buf = Vec::new();
+        let scratch = time_ns_per_route(passes, routes, |i| {
+            fill_views(&mut buf, &ledger, &all_healthy);
+            router.route(&spec(i), &buf, SimTime::ZERO)
+        });
+        // degraded: scratch fill, but one worker down forces the
+        // health wrapper onto its filtered-clone slow path.
+        let mut router = make();
+        let mut buf = Vec::new();
+        let degraded = time_ns_per_route(passes, routes, |i| {
+            fill_views(&mut buf, &ledger, &one_down);
+            router.route(&spec(i), &buf, SimTime::ZERO)
+        });
+
+        for (case, ns) in [
+            ("fresh-alloc", fresh),
+            ("scratch", scratch),
+            ("scratch+1down", degraded),
+        ] {
+            table.row(&[
+                case.to_string(),
+                router_name.to_string(),
+                format!("{ns:.0}"),
+                format!("{:.2}x", fresh / ns),
+            ]);
+        }
+        summary.push((format!("{router_name} scratch speedup"), fresh / scratch));
+    }
+
+    let rendered = format!(
+        "Routing hot path: {WORKERS} workers x {OUTSTANDING_PER_WORKER} outstanding, \
+         {routes} routes/pass, best of {passes} passes\n\n{}",
+        table.render()
+    );
+    println!("{rendered}");
+    for (label, speedup) in &summary {
+        println!("{label}: {speedup:.2}x");
+        if !smoke {
+            // The refactor's point: reusing scratch must never be
+            // slower than allocating fresh views every route.
+            assert!(
+                *speedup > 0.9,
+                "{label} regressed below parity ({speedup:.2}x)"
+            );
+        }
+    }
+    if !smoke {
+        save_artifact("bench_routing.txt", &rendered);
+    }
+}

@@ -13,6 +13,9 @@
 //! `serve --trace-out <path>` additionally records the run's span
 //! timeline and writes it as Chrome trace JSON — load it in
 //! `chrome://tracing` or <https://ui.perfetto.dev> (see README.md).
+//! The export includes the control plane's decision events (admit /
+//! shed / rung / route_decision, on the dedicated control track), each
+//! stamped with the plane's clock domain.
 
 use std::collections::HashMap;
 

@@ -92,9 +92,10 @@ pub struct ServingRun {
     /// Trace seed.
     pub seed: u64,
     /// Virtual-clock span sink shared by the cluster, its cache store,
-    /// and (for the mask-aware policy) the router. Disabled by
-    /// default; drain it after [`run_serving`] returns to inspect or
-    /// export the run's timeline.
+    /// the control plane (decision events, stamped with the plane's
+    /// clock domain), and (for the mask-aware policy) the router.
+    /// Disabled by default; drain it after [`run_serving`] returns to
+    /// inspect or export the run's timeline.
     pub trace: TraceSink,
 }
 

@@ -23,7 +23,10 @@
 //!   diffusion substrate: register templates (priming their activation
 //!   caches), then edit with any [`fps_diffusion::Strategy`].
 //! - [`server::ThreadedServer`] — a real multi-threaded serving front
-//!   end with step-level continuous batching over [`FlashPs`].
+//!   end with step-level continuous batching over [`FlashPs`]. Its
+//!   admission, degradation, and routing decisions come from the same
+//!   clock-generic `fps_serving::ControlPlane` the cluster simulator
+//!   uses, so policies validated in simulation carry over unchanged.
 //! - [`scheduler::MaskAwareRouter`] + [`experiment`] — the cluster
 //!   scheduler and the simulation harness reproducing the paper's
 //!   serving experiments.
@@ -55,7 +58,7 @@ pub mod system;
 pub use experiment::{run_serving, ServingPoint};
 pub use scheduler::MaskAwareRouter;
 pub use server::ThreadedServer;
-pub use system::{EditResult, FlashPs, FlashPsConfig};
+pub use system::{rung_strategy, EditResult, FlashPs, FlashPsConfig};
 
 /// Errors surfaced by the FlashPS system.
 #[derive(Debug)]
@@ -74,6 +77,9 @@ pub enum FlashPsError {
     /// The server's request queue is at its configured depth cap; the
     /// job was shed at admission instead of queued.
     Overloaded,
+    /// The control plane rejected the job (overload-control admission:
+    /// rate limit, queue bound, or deadline infeasibility).
+    Rejected(fps_serving::RejectReason),
     /// The job exceeded its wall-clock deadline before completing.
     JobTimeout,
     /// A worker panicked while serving the job and the retry budget
@@ -92,6 +98,9 @@ impl core::fmt::Display for FlashPsError {
             Self::ServerClosed => write!(f, "server closed"),
             Self::Overloaded => {
                 write!(f, "server overloaded: request queue at capacity")
+            }
+            Self::Rejected(reason) => {
+                write!(f, "control plane rejected the job: {}", reason.label())
             }
             Self::JobTimeout => write!(f, "job exceeded its deadline"),
             Self::WorkerPanicked => {

@@ -1,8 +1,7 @@
 //! A real multi-threaded serving front end with step-level continuous
 //! batching.
 //!
-//! Worker threads share one MPMC request channel (the request queue of
-//! Fig. 8) and drive [`fps_diffusion::EditSession`]s: each loop
+//! Worker threads drive [`fps_diffusion::EditSession`]s: each loop
 //! iteration admits newly arrived requests into the running batch —
 //! taking exactly one denoising step, per §4.3 — executes one step for
 //! every inflight session, and retires completed ones. Preprocessing
@@ -10,21 +9,36 @@
 //! thread here; the *performance* consequences of disaggregation are
 //! studied in the simulator, where timing is controlled.
 //!
+//! ## Control plane
+//!
+//! Every policy decision — admit or shed, which degradation rung,
+//! which worker — is made by the shared clock-generic
+//! [`fps_serving::ControlPlane`], the same type the virtual-time
+//! cluster simulator consults. [`ThreadedServer::start`] builds a
+//! minimal plane (least-loaded routing plus the legacy
+//! [`ServerConfig::max_queue_depth`] bound);
+//! [`ThreadedServer::start_with_plane`] accepts a caller-built plane,
+//! which is how the server gains SLO-aware admission, the five-rung
+//! degradation ladder, and mask-aware worker selection. Each worker
+//! owns a private queue; the plane's router decides placement at
+//! submit time over live per-worker outstanding-work views.
+//!
 //! ## Resilience
 //!
 //! A step that panics kills the whole "engine process": every inflight
-//! session on that worker is lost and its job is requeued with a
-//! bumped attempt counter (bounded by
+//! session on that worker is lost and its job is re-routed through the
+//! control plane with a bumped attempt counter (bounded by
 //! [`ServerConfig::max_job_attempts`], then the ticket resolves to
 //! [`FlashPsError::WorkerPanicked`]). Jobs carry an optional
 //! wall-clock deadline ([`ServerConfig::job_timeout`]); expired jobs
 //! resolve to [`FlashPsError::JobTimeout`] instead of occupying the
-//! batch. Shutdown — explicit or via `Drop` — flips a closing flag,
-//! lets workers drain the queue (including requeued jobs), and joins
-//! them; tickets never dangle.
+//! batch — including at requeue time, so a job whose deadline already
+//! passed never burns a second batch slot. Shutdown — explicit or via
+//! `Drop` — flips a closing flag, lets workers drain their queues
+//! (including requeued jobs), and joins them; tickets never dangle.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -32,9 +46,17 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use fps_diffusion::{EditSession, Guidance, Strategy};
 use fps_json::Json;
+use fps_serving::worker::OutstandingReq;
+use fps_serving::{
+    Assessment, ControlPlane, Decision, LeastLoadedRouter, RejectReason, Router, Rung, TimeSource,
+    WorkerHealth, WorkerView,
+};
 use fps_trace::{Clock, TraceSink, Track};
+use fps_workload::trace::MaskShapeSpec;
+use fps_workload::RequestSpec;
+use parking_lot::Mutex;
 
-use crate::system::{EditResult, FlashPs};
+use crate::system::{rung_strategy, EditResult, FlashPs};
 use crate::{FlashPsError, Result};
 
 /// How long an idle worker sleeps between checks of the closing flag.
@@ -61,12 +83,18 @@ pub struct ServerConfig {
     /// its first attempt, killing the whole inflight batch. Used by
     /// resilience tests; `None` in production.
     pub chaos_panic_seed: Option<u64>,
-    /// Admission cap on outstanding jobs (queued plus inflight).
-    /// [`ThreadedServer::submit`] sheds with
-    /// [`FlashPsError::Overloaded`] once the cap is reached — queueing
-    /// past a few service waves only adds latency, never goodput.
-    /// `None` leaves the queue unbounded.
+    /// Admission cap on outstanding jobs (queued plus inflight),
+    /// enforced by the control plane's legacy queue-bound gate when no
+    /// overload stack is installed. [`ThreadedServer::submit`] sheds
+    /// with [`FlashPsError::Overloaded`] once the cap is reached —
+    /// queueing past a few service waves only adds latency, never
+    /// goodput. `None` leaves the queue unbounded.
     pub max_queue_depth: Option<usize>,
+    /// Start with workers paused: jobs queue (and the control plane
+    /// decides on them) but nothing executes until
+    /// [`ThreadedServer::resume`]. Lets tests submit a deterministic
+    /// burst with no completions racing the decision sequence.
+    pub start_paused: bool,
     /// Trace sink for wall-clock spans (queue wait, per-step compute,
     /// VAE decode). Must be [`TraceSink::disabled`] or a
     /// [`Clock::Wall`] sink — the server reads real time, so a
@@ -84,6 +112,7 @@ impl Default for ServerConfig {
             max_job_attempts: 3,
             chaos_panic_seed: None,
             max_queue_depth: None,
+            start_paused: false,
             trace: TraceSink::disabled(),
         }
     }
@@ -104,6 +133,109 @@ pub struct EditJob {
     pub guidance: Option<Guidance>,
 }
 
+/// The control plane plus the execution-plane state it decides over:
+/// one outstanding-work ledger entry per unresolved job, keyed by the
+/// plane-assigned request id.
+struct ControlState {
+    plane: ControlPlane<Box<dyn Router + Send>>,
+    /// Per-worker outstanding jobs (queued + inflight), the router's
+    /// load signal — the wall-clock analogue of the simulator's
+    /// `outstanding` vectors.
+    ledger: Vec<Vec<(u64, OutstandingReq)>>,
+    /// Reused worker-view buffer (allocation-light routing).
+    views: Vec<WorkerView>,
+    /// Next plane request id.
+    next_id: u64,
+    /// Latent tokens of the served model (sizes router views).
+    model_tokens: usize,
+    /// Per-worker batch capacity (sizes router views and admission
+    /// capacity).
+    max_batch: usize,
+}
+
+impl ControlState {
+    fn backlog(&self) -> usize {
+        self.ledger.iter().map(Vec::len).sum()
+    }
+
+    fn capacity(&self) -> usize {
+        self.ledger.len() * self.max_batch.max(1)
+    }
+
+    /// Routes one request: refreshes the view buffer from the ledger,
+    /// asks the plane, clamps a misbehaving router to worker 0, and
+    /// records the placement in the ledger.
+    fn route_and_ledger(
+        &mut self,
+        id: u64,
+        spec: &RequestSpec,
+        steps: usize,
+        now: fps_simtime::SimTime,
+    ) -> usize {
+        let ControlState {
+            plane,
+            ledger,
+            views,
+            ..
+        } = self;
+        views.truncate(ledger.len());
+        while views.len() < ledger.len() {
+            views.push(WorkerView {
+                id: 0,
+                outstanding: Vec::new(),
+                max_batch: 0,
+                model_tokens: 0,
+                health: WorkerHealth::Healthy,
+            });
+        }
+        for (w, (v, outstanding)) in views.iter_mut().zip(ledger.iter()).enumerate() {
+            v.id = w;
+            v.max_batch = self.max_batch;
+            v.model_tokens = self.model_tokens;
+            v.health = WorkerHealth::Healthy;
+            v.outstanding.clear();
+            v.outstanding
+                .extend(outstanding.iter().map(|(_, r)| OutstandingReq {
+                    mask_ratio: r.mask_ratio,
+                    steps_left: r.steps_left,
+                }));
+        }
+        let w = plane.route(id, spec, views, now);
+        let w = if w < ledger.len() { w } else { 0 };
+        ledger[w].push((
+            id,
+            OutstandingReq {
+                mask_ratio: spec.mask_ratio,
+                steps_left: steps,
+            },
+        ));
+        w
+    }
+}
+
+/// Holds one ledger slot; dropping it removes the entry, so the
+/// ledger counts *unresolved* jobs exactly — through queues, the
+/// inflight batch, and panic requeues.
+///
+/// `Drop` takes the control lock: never drop a guard while holding it.
+struct SlotGuard {
+    control: Arc<Mutex<ControlState>>,
+    id: u64,
+    worker: usize,
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        let mut ctl = self.control.lock();
+        if let Some(pos) = ctl.ledger[self.worker]
+            .iter()
+            .position(|(id, _)| *id == self.id)
+        {
+            ctl.ledger[self.worker].swap_remove(pos);
+        }
+    }
+}
+
 struct QueuedJob {
     job: EditJob,
     reply: Sender<Result<EditResult>>,
@@ -112,22 +244,12 @@ struct QueuedJob {
     /// When the job was first submitted (deadline anchor; requeues
     /// keep the original).
     enqueued_at: Instant,
-    /// Queue-depth accounting: released when the job resolves (the
-    /// guard travels through requeues without double counting).
-    _depth: DepthGuard,
-}
-
-/// Holds one unit of queue depth; dropping it releases the slot. The
-/// guard rides along the job through the queue, the inflight batch,
-/// and any panic requeues, so depth counts *unresolved* jobs exactly.
-struct DepthGuard {
-    depth: Arc<AtomicUsize>,
-}
-
-impl Drop for DepthGuard {
-    fn drop(&mut self) {
-        self.depth.fetch_sub(1, Ordering::SeqCst);
-    }
+    /// Plane-assigned request id (stable across requeues).
+    id: u64,
+    /// Degradation rung the plane assigned this dispatch.
+    rung: Option<Rung>,
+    /// Ledger slot: released when the job resolves.
+    slot: SlotGuard,
 }
 
 /// A handle to a submitted job.
@@ -149,16 +271,18 @@ impl Ticket {
 
 /// The multi-threaded continuous-batching server.
 pub struct ThreadedServer {
-    tx: Option<Sender<QueuedJob>>,
+    txs: Option<Vec<Sender<QueuedJob>>>,
     closing: Arc<AtomicBool>,
+    paused: Arc<AtomicBool>,
     handles: Vec<JoinHandle<()>>,
     system: Arc<FlashPs>,
-    depth: Arc<AtomicUsize>,
-    max_queue_depth: Option<usize>,
+    control: Arc<Mutex<ControlState>>,
 }
 
 impl ThreadedServer {
-    /// Starts worker threads over a (template-registered) system.
+    /// Starts worker threads over a (template-registered) system, with
+    /// a minimal control plane: least-loaded routing and the legacy
+    /// [`ServerConfig::max_queue_depth`] bound.
     ///
     /// # Panics
     ///
@@ -166,12 +290,45 @@ impl ThreadedServer {
     /// timestamps with real [`Instant`]s, and wall and virtual
     /// nanoseconds must never mix in one trace.
     pub fn start(system: FlashPs, config: ServerConfig) -> Self {
+        let steps = system.config().model.steps;
+        let plane = ControlPlane::new(
+            Box::new(LeastLoadedRouter) as Box<dyn Router + Send>,
+            TimeSource::wall(),
+            steps,
+        )
+        .with_queue_cap(config.max_queue_depth);
+        Self::start_with_plane(system, config, plane)
+    }
+
+    /// Starts worker threads routed through a caller-built control
+    /// plane — the full policy stack (SLO-aware admission, the
+    /// degradation ladder, mask-aware routing) when the plane carries
+    /// an overload state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `plane.time()` is virtual or `config.trace` is a
+    /// virtual-clock sink: this execution plane runs on the wall
+    /// clock.
+    pub fn start_with_plane(
+        system: FlashPs,
+        config: ServerConfig,
+        plane: ControlPlane<Box<dyn Router + Send>>,
+    ) -> Self {
         assert_ne!(
             config.trace.clock(),
             Some(Clock::Virtual),
             "ThreadedServer records wall-clock timestamps; use \
              TraceSink::recording(Clock::Wall) (virtual clocks belong to ClusterSim)"
         );
+        assert!(
+            plane.time().is_wall(),
+            "ThreadedServer is the wall-clock execution plane; build its \
+             ControlPlane with TimeSource::wall() (virtual clocks belong to ClusterSim)"
+        );
+        // Decision events land in the server's own sink, stamped with
+        // the plane's (wall) clock domain.
+        let plane = plane.with_trace(config.trace.clone());
         let workers = match config.workers {
             0 => fps_tensor::pool::global().threads(),
             n => n,
@@ -183,30 +340,51 @@ impl ThreadedServer {
         }
         let system = Arc::new(system);
         let closing = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = unbounded::<QueuedJob>();
-        let max_queue_depth = config.max_queue_depth;
-        let handles = (0..workers)
-            .map(|w| {
-                let rx = rx.clone();
-                // Workers hold a sender clone to requeue jobs they
-                // lose to a panic; channel disconnection therefore no
-                // longer signals shutdown — the closing flag does.
-                let requeue = tx.clone();
-                let closing = Arc::clone(&closing);
-                let system = Arc::clone(&system);
-                let config = config.clone();
+        let paused = Arc::new(AtomicBool::new(config.start_paused));
+        let control = Arc::new(Mutex::new(ControlState {
+            plane,
+            ledger: vec![Vec::new(); workers],
+            views: Vec::new(),
+            next_id: 0,
+            model_tokens: system.config().model.tokens(),
+            max_batch: config.max_batch.max(1),
+        }));
+        let mut txs = Vec::with_capacity(workers);
+        let mut rxs = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = unbounded::<QueuedJob>();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let handles = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(w, rx)| {
+                let ctx = WorkerCtx {
+                    system: Arc::clone(&system),
+                    control: Arc::clone(&control),
+                    // Workers hold sender clones of every queue so a
+                    // panic requeue can follow the plane's re-route;
+                    // channel disconnection therefore no longer signals
+                    // shutdown — the closing flag does.
+                    txs: txs.clone(),
+                    own: w,
+                    closing: Arc::clone(&closing),
+                    paused: Arc::clone(&paused),
+                    config: config.clone(),
+                };
                 fps_tensor::pool::spawn_service(&format!("worker{w}"), move || {
-                    worker_loop(&system, &rx, &requeue, &closing, config, w)
+                    worker_loop(&ctx, &rx)
                 })
             })
             .collect();
         Self {
-            tx: Some(tx),
+            txs: Some(txs),
             closing,
+            paused,
             handles,
             system,
-            depth: Arc::new(AtomicUsize::new(0)),
-            max_queue_depth,
+            control,
         }
     }
 
@@ -218,45 +396,91 @@ impl ThreadedServer {
 
     /// Outstanding jobs: queued plus inflight, requeues included.
     pub fn queue_depth(&self) -> usize {
-        self.depth.load(Ordering::SeqCst)
+        self.control.lock().backlog()
+    }
+
+    /// Unpauses workers started with [`ServerConfig::start_paused`].
+    pub fn resume(&self) {
+        self.paused.store(false, Ordering::SeqCst);
+    }
+
+    /// The control plane's recorded decision sequence (empty unless
+    /// the plane was built with recording enabled).
+    pub fn decisions(&self) -> Vec<Decision> {
+        self.control.lock().plane.decisions().to_vec()
     }
 
     /// Submits a job; returns a ticket to await the result.
     ///
+    /// The control plane decides the job's fate before it is queued:
+    /// admission (or the legacy depth cap), the degradation rung under
+    /// overload, and the target worker.
+    ///
     /// # Errors
     ///
-    /// Returns [`FlashPsError::ServerClosed`] after shutdown, or
-    /// [`FlashPsError::Overloaded`] when the queue is at its
-    /// configured depth cap.
+    /// Returns [`FlashPsError::ServerClosed`] after shutdown,
+    /// [`FlashPsError::Overloaded`] when the legacy queue cap sheds
+    /// it, or [`FlashPsError::Rejected`] when overload-control
+    /// admission sheds it.
     pub fn submit(&self, job: EditJob) -> Result<Ticket> {
         if self.closing.load(Ordering::SeqCst) {
             return Err(FlashPsError::ServerClosed);
         }
-        // Claim a depth slot atomically so concurrent submitters never
-        // overshoot the cap.
-        let cap = self.max_queue_depth.unwrap_or(usize::MAX);
-        if self
-            .depth
-            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |d| {
-                (d < cap).then_some(d + 1)
-            })
-            .is_err()
-        {
-            return Err(FlashPsError::Overloaded);
-        }
-        let guard = DepthGuard {
-            depth: Arc::clone(&self.depth),
+        let txs = self.txs.as_ref().ok_or(FlashPsError::ServerClosed)?;
+        let cfg = &self.system.config().model;
+        let mask_ratio = job.masked_idx.len() as f64 / cfg.tokens() as f64;
+        let (worker, queued) = {
+            let mut ctl = self.control.lock();
+            let now = ctl.plane.time().now();
+            // Ids are consumed per submission, shed or served — the
+            // same numbering a trace gives the simulator.
+            let id = ctl.next_id;
+            ctl.next_id += 1;
+            let (backlog, capacity) = (ctl.backlog(), ctl.capacity());
+            let (rung, steps) = match ctl.plane.assess(id, now, backlog, capacity, false) {
+                Assessment::Serve { rung, steps } => (rung, steps),
+                Assessment::Shed(cause) => {
+                    // The full overload stack surfaces the shed cause;
+                    // the legacy depth cap keeps its historical error.
+                    return Err(if ctl.plane.overload_enabled() {
+                        FlashPsError::Rejected(RejectReason::Shed(cause))
+                    } else {
+                        FlashPsError::Overloaded
+                    });
+                }
+            };
+            let spec = RequestSpec {
+                id,
+                arrival_ns: now.as_nanos(),
+                template_id: job.template_id,
+                mask_ratio,
+                mask_shape: MaskShapeSpec::Rect,
+                seed: job.seed,
+            };
+            let w = ctl.route_and_ledger(id, &spec, steps, now);
+            let (reply, rx) = bounded(1);
+            let slot = SlotGuard {
+                control: Arc::clone(&self.control),
+                id,
+                worker: w,
+            };
+            let queued = QueuedJob {
+                job,
+                reply,
+                attempt: 0,
+                enqueued_at: Instant::now(),
+                id,
+                rung,
+                slot,
+            };
+            (w, (queued, rx))
         };
-        let (reply, rx) = bounded(1);
-        let tx = self.tx.as_ref().ok_or(FlashPsError::ServerClosed)?;
-        tx.send(QueuedJob {
-            job,
-            reply,
-            attempt: 0,
-            enqueued_at: Instant::now(),
-            _depth: guard,
-        })
-        .map_err(|_| FlashPsError::ServerClosed)?;
+        let (queued, rx) = queued;
+        // Send outside the lock: a failed send drops the job (and its
+        // slot guard, which re-locks to clean the ledger).
+        txs[worker]
+            .send(queued)
+            .map_err(|_| FlashPsError::ServerClosed)?;
         Ok(Ticket { rx })
     }
 
@@ -267,12 +491,13 @@ impl ThreadedServer {
     }
 
     /// Shared drain path for [`Self::shutdown`] and `Drop`: flips the
-    /// closing flag, releases the submit side of the queue, and joins
-    /// workers — who keep serving until the queue (including requeues)
-    /// is empty.
+    /// closing flag (and unpauses), releases the submit side of every
+    /// queue, and joins workers — who keep serving until their queues
+    /// (including requeues) are empty.
     fn close(&mut self) {
         self.closing.store(true, Ordering::SeqCst);
-        self.tx.take();
+        self.paused.store(false, Ordering::SeqCst);
+        self.txs.take();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -285,6 +510,18 @@ impl Drop for ThreadedServer {
     }
 }
 
+/// Everything a worker thread needs, bundled so the loop and the
+/// requeue path share one context.
+struct WorkerCtx {
+    system: Arc<FlashPs>,
+    control: Arc<Mutex<ControlState>>,
+    txs: Vec<Sender<QueuedJob>>,
+    own: usize,
+    closing: Arc<AtomicBool>,
+    paused: Arc<AtomicBool>,
+    config: ServerConfig,
+}
+
 struct Inflight {
     session: EditSession,
     /// The original job, kept so a panic can requeue it.
@@ -294,22 +531,47 @@ struct Inflight {
     use_cache: Vec<bool>,
     mask_ratio: f64,
     reply: Sender<Result<EditResult>>,
+    /// Plane-assigned request id (stable across requeues).
+    id: u64,
+    /// Degradation rung this dispatch serves at.
+    rung: Option<Rung>,
     /// Root "request" span id for this attempt (0 when disabled).
     trace_root: u64,
     /// Wall nanoseconds when this attempt joined the batch.
     admitted_ns: u64,
-    /// Depth slot, released when this job resolves.
-    _depth: DepthGuard,
+    /// Ledger slot, released when this job resolves.
+    slot: SlotGuard,
 }
 
-fn begin_job(system: &FlashPs, job: &EditJob) -> Result<(EditSession, Vec<bool>, f64)> {
+/// Builds the session for a dispatch: the control plane's rung picks
+/// the strategy (via [`rung_strategy`]); without a ladder the plain
+/// mask-aware plan is used, as always.
+fn begin_job(
+    system: &FlashPs,
+    job: &EditJob,
+    rung: Option<Rung>,
+) -> Result<(EditSession, Vec<bool>, f64)> {
     let (image, _) = system.template(job.template_id)?;
     let cfg = &system.config().model;
     let mask_ratio = job.masked_idx.len() as f64 / cfg.tokens() as f64;
-    let use_cache = system.plan_for_ratio(mask_ratio);
-    let strategy = Strategy::MaskAware {
-        use_cache: use_cache.clone(),
-        kv: system.config().capture_kv,
+    let strategy = match rung {
+        None => Strategy::MaskAware {
+            use_cache: system.plan_for_ratio(mask_ratio),
+            kv: system.config().capture_kv,
+        },
+        Some(r) => {
+            let mut s = rung_strategy(r, system, mask_ratio, cfg.steps);
+            // The premium rung asks for K/V reuse; honor it only when
+            // this system captured K/V at priming.
+            if let Strategy::MaskAware { kv, .. } = &mut s {
+                *kv = *kv && system.config().capture_kv;
+            }
+            s
+        }
+    };
+    let use_cache = match &strategy {
+        Strategy::MaskAware { use_cache, .. } => use_cache.clone(),
+        _ => vec![false; cfg.blocks],
     };
     let session = system.pipeline().begin_guided(
         image,
@@ -329,46 +591,118 @@ fn expired(timeout: Option<Duration>, enqueued_at: Instant) -> bool {
 }
 
 /// Crash recovery: the engine process died mid-batch. Every inflight
-/// session is lost; jobs with attempts left are requeued, the rest
-/// resolve to [`FlashPsError::WorkerPanicked`].
-fn requeue_batch(inflight: &mut Vec<Inflight>, requeue: &Sender<QueuedJob>, config: &ServerConfig) {
+/// session is lost; jobs with attempts left are re-routed through the
+/// control plane, the rest resolve to
+/// [`FlashPsError::WorkerPanicked`]. Jobs whose submit-time deadline
+/// already passed are dropped here with [`FlashPsError::JobTimeout`]
+/// instead of burning another batch slot.
+fn requeue_batch(inflight: &mut Vec<Inflight>, ctx: &WorkerCtx, trace: &TraceSink, track: Track) {
     for item in inflight.drain(..) {
         let next_attempt = item.attempt + 1;
-        if next_attempt >= config.max_job_attempts.max(1) {
+        if next_attempt >= ctx.config.max_job_attempts.max(1) {
             let _ = item.reply.send(Err(FlashPsError::WorkerPanicked));
             continue;
         }
-        let q = QueuedJob {
-            job: item.job,
-            reply: item.reply,
-            attempt: next_attempt,
-            enqueued_at: item.enqueued_at,
-            _depth: item._depth,
+        if expired(ctx.config.job_timeout, item.enqueued_at) {
+            // Satellite of the requeue path: the deadline elapsed
+            // while the job was inflight, so requeueing could only
+            // waste a slot on an answer nobody is waiting for.
+            if trace.is_enabled() {
+                trace.event_at(
+                    "job_timeout",
+                    "server",
+                    track,
+                    trace.now_ns(),
+                    vec![("seed", Json::U64(item.job.seed))],
+                );
+            }
+            let _ = item.reply.send(Err(FlashPsError::JobTimeout));
+            continue;
+        }
+        let Inflight {
+            job,
+            reply,
+            enqueued_at,
+            id,
+            mask_ratio,
+            slot,
+            ..
+        } = item;
+        // The old slot's Drop takes the control lock — release it
+        // before locking for the re-route.
+        drop(slot);
+        let (worker, queued) = {
+            let mut ctl = ctx.control.lock();
+            let now = ctl.plane.time().now();
+            let (backlog, capacity) = (ctl.backlog(), ctl.capacity());
+            // A requeue has paid for admission; the ladder re-assesses
+            // it at the pressure prevailing now (same contract as the
+            // simulator's retries).
+            let (rung, steps) = match ctl.plane.assess(id, now, backlog, capacity, true) {
+                Assessment::Serve { rung, steps } => (rung, steps),
+                Assessment::Shed(cause) => {
+                    // Unreachable: already-admitted work is never
+                    // shed; fail loudly rather than silently if the
+                    // plane's contract ever changes.
+                    let _ = reply.send(Err(FlashPsError::Rejected(RejectReason::Shed(cause))));
+                    continue;
+                }
+            };
+            let spec = RequestSpec {
+                id,
+                arrival_ns: now.as_nanos(),
+                template_id: job.template_id,
+                mask_ratio,
+                mask_shape: MaskShapeSpec::Rect,
+                seed: job.seed,
+            };
+            let w = ctl.route_and_ledger(id, &spec, steps, now);
+            let slot = SlotGuard {
+                control: Arc::clone(&ctx.control),
+                id,
+                worker: w,
+            };
+            (
+                w,
+                QueuedJob {
+                    job,
+                    reply,
+                    attempt: next_attempt,
+                    enqueued_at,
+                    id,
+                    rung,
+                    slot,
+                },
+            )
         };
-        if let Err(e) = requeue.send(q) {
-            // Channel gone (all workers exited): fail explicitly.
-            let _ = e.into_inner().reply.send(Err(FlashPsError::ServerClosed));
+        // The routed sibling may already have drained and exited; our
+        // own queue is always alive (we are running), so fall back to
+        // it rather than stranding the job.
+        if let Err(e) = ctx.txs[worker].send(queued) {
+            let q = e.into_inner();
+            if let Err(e) = ctx.txs[ctx.own].send(q) {
+                let _ = e.into_inner().reply.send(Err(FlashPsError::ServerClosed));
+            }
         }
     }
 }
 
-fn worker_loop(
-    system: &FlashPs,
-    rx: &Receiver<QueuedJob>,
-    requeue: &Sender<QueuedJob>,
-    closing: &AtomicBool,
-    config: ServerConfig,
-    worker: usize,
-) {
+fn worker_loop(ctx: &WorkerCtx, rx: &Receiver<QueuedJob>) {
+    let system = &*ctx.system;
+    let config = &ctx.config;
     let max_batch = config.max_batch.max(1);
     let trace = config.trace.clone();
-    let track = Track::new(0, worker as u32);
+    let track = Track::new(0, ctx.own as u32);
     let mut inflight: Vec<Inflight> = Vec::new();
     loop {
-        // Admission: poll when idle (the requeue senders keep the
-        // channel open, so disconnection can't signal shutdown — the
-        // closing flag does), otherwise take whatever is queued — a
-        // join costs at most one denoising step (§4.3).
+        if ctx.paused.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        // Admission: poll when idle (requeue senders keep the channel
+        // open, so disconnection can't signal shutdown — the closing
+        // flag does), otherwise take whatever is queued — a join costs
+        // at most one denoising step (§4.3).
         while inflight.len() < max_batch {
             let queued = if inflight.is_empty() {
                 match rx.recv_timeout(IDLE_POLL) {
@@ -399,7 +733,7 @@ fn worker_loop(
                 let _ = q.reply.send(Err(FlashPsError::JobTimeout));
                 continue;
             }
-            match begin_job(system, &q.job) {
+            match begin_job(system, &q.job, q.rung) {
                 Ok((session, use_cache, mask_ratio)) => {
                     let mut trace_root = 0;
                     let mut admitted_ns = 0;
@@ -416,7 +750,15 @@ fn worker_loop(
                             trace.instant_ns(q.enqueued_at),
                             admitted_ns,
                             trace_root,
-                            vec![("attempt", Json::U64(q.attempt.into()))],
+                            vec![
+                                ("attempt", Json::U64(q.attempt.into())),
+                                (
+                                    "rung",
+                                    Json::Str(
+                                        q.rung.map(|r| r.label()).unwrap_or("no-ladder").into(),
+                                    ),
+                                ),
+                            ],
                         );
                     }
                     inflight.push(Inflight {
@@ -427,9 +769,11 @@ fn worker_loop(
                         use_cache,
                         mask_ratio,
                         reply: q.reply,
+                        id: q.id,
+                        rung: q.rung,
                         trace_root,
                         admitted_ns,
-                        _depth: q._depth,
+                        slot: q.slot,
                     });
                 }
                 Err(e) => {
@@ -441,7 +785,7 @@ fn worker_loop(
             // Graceful drain: leave only once shutdown was requested
             // and nothing is queued anymore (a sibling's requeue would
             // land in the channel and be picked up above).
-            if closing.load(Ordering::SeqCst) && rx.is_empty() {
+            if ctx.closing.load(Ordering::SeqCst) && rx.is_empty() {
                 return;
             }
             continue;
@@ -523,6 +867,7 @@ fn worker_loop(
                                 use_cache: item.use_cache,
                                 speedup_vs_full: speedup,
                                 mask_ratio: item.mask_ratio,
+                                rung: item.rung,
                             }
                         })
                         .map_err(FlashPsError::from)
@@ -559,7 +904,7 @@ fn worker_loop(
                     vec![("lost_batch", Json::U64(inflight.len() as u64))],
                 );
             }
-            requeue_batch(&mut inflight, requeue, &config);
+            requeue_batch(&mut inflight, ctx, &trace, track);
         }
     }
 }
@@ -604,6 +949,7 @@ mod tests {
         let result = ticket.wait().unwrap();
         assert!(result.output.image.data().iter().all(|v| v.is_finite()));
         assert!(result.speedup_vs_full > 1.0);
+        assert_eq!(result.rung, None, "no ladder without an overload plane");
         server.shutdown();
     }
 
@@ -766,6 +1112,44 @@ mod tests {
     }
 
     #[test]
+    fn requeue_drops_expired_jobs_with_timeout() {
+        // Satellite: a job whose deadline passes while it is inflight
+        // must not re-enter the queue after a worker panic — it
+        // resolves to JobTimeout at requeue time, with no extra batch
+        // slot burned.
+        let cfg = ModelConfig::tiny();
+        let mut sys = FlashPs::new(FlashPsConfig::new(cfg.clone())).unwrap();
+        let img = Image::template(cfg.pixel_h(), cfg.pixel_w(), 0);
+        sys.register_template(0, &img).unwrap();
+        let sink = TraceSink::recording(Clock::Wall);
+        let server = ThreadedServer::start(
+            sys,
+            ServerConfig {
+                workers: 1,
+                max_batch: 2,
+                chaos_panic_seed: Some(55),
+                // Generous enough to pass the admission check, tight
+                // enough to have expired by the time the injected
+                // panic triggers the requeue.
+                job_timeout: Some(Duration::from_millis(1)),
+                trace: sink.clone(),
+                ..ServerConfig::default()
+            },
+        );
+        let poisoned = server.submit(job(0, 55)).unwrap();
+        assert!(matches!(poisoned.wait(), Err(FlashPsError::JobTimeout)));
+        while server.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+        server.shutdown();
+        let trace = sink.drain().unwrap();
+        assert!(
+            trace.events.iter().any(|e| e.name == "job_timeout"),
+            "the requeue-time drop must be observable in the trace"
+        );
+    }
+
+    #[test]
     fn drop_with_queued_jobs_drains_gracefully() {
         // Dropping the server with a backlog must neither hang nor
         // leave tickets dangling: workers drain the queue first.
@@ -835,7 +1219,7 @@ mod tests {
 
     #[test]
     fn depth_survives_panic_requeues() {
-        // A panic requeue moves the depth guard with the job: the slot
+        // A panic requeue re-registers the job's ledger slot: the slot
         // is released exactly once, when the ticket resolves.
         let cfg = ModelConfig::tiny();
         let mut sys = FlashPs::new(FlashPsConfig::new(cfg.clone())).unwrap();
@@ -859,6 +1243,31 @@ mod tests {
             std::thread::yield_now();
         }
         assert_eq!(server.queue_depth(), 0, "slots released exactly once");
+        server.shutdown();
+    }
+
+    #[test]
+    fn paused_server_queues_then_serves_on_resume() {
+        let cfg = ModelConfig::tiny();
+        let mut sys = FlashPs::new(FlashPsConfig::new(cfg.clone())).unwrap();
+        let img = Image::template(cfg.pixel_h(), cfg.pixel_w(), 0);
+        sys.register_template(0, &img).unwrap();
+        let server = ThreadedServer::start(
+            sys,
+            ServerConfig {
+                workers: 2,
+                max_batch: 2,
+                start_paused: true,
+                ..ServerConfig::default()
+            },
+        );
+        let tickets: Vec<Ticket> = (0..4).map(|i| server.submit(job(0, i)).unwrap()).collect();
+        // Paused workers admit nothing: the backlog is fully visible.
+        assert_eq!(server.queue_depth(), 4);
+        server.resume();
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
         server.shutdown();
     }
 
@@ -913,6 +1322,19 @@ mod tests {
                 ..ServerConfig::default()
             },
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "wall-clock execution plane")]
+    fn virtual_plane_is_rejected() {
+        let cfg = ModelConfig::tiny();
+        let sys = FlashPs::new(FlashPsConfig::new(cfg.clone())).unwrap();
+        let plane = ControlPlane::new(
+            Box::new(LeastLoadedRouter) as Box<dyn Router + Send>,
+            TimeSource::virtual_clock(),
+            cfg.steps,
+        );
+        let _ = ThreadedServer::start_with_plane(sys, ServerConfig::default(), plane);
     }
 
     #[test]

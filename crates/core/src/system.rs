@@ -9,8 +9,10 @@
 
 use std::collections::HashMap;
 
+use fps_baselines::system::teacache_threshold;
 use fps_diffusion::{EditOutput, EditPipeline, Image, ModelConfig, Strategy, TemplateCache};
 use fps_serving::cost::{BatchItem, CostModel, GpuSpec};
+use fps_serving::Rung;
 use fps_workload::Mask;
 
 use crate::{FlashPsError, Result};
@@ -74,6 +76,37 @@ pub struct EditResult {
     pub speedup_vs_full: f64,
     /// The request's token-level mask ratio.
     pub mask_ratio: f64,
+    /// Degradation rung the request was served at, when it went
+    /// through a control plane with overload control active (`None`
+    /// for direct edits and servers without a ladder).
+    pub rung: Option<Rung>,
+}
+
+/// Numeric strategy a degradation rung serves with on a real pipeline;
+/// the step-skip thresholds mirror the rung compute fractions (a lower
+/// fraction skips more steps).
+///
+/// This is the rung → mechanism mapping shared by the overload
+/// ablation and the threaded server: the control plane picks the rung,
+/// this function picks the [`Strategy`] that realizes it on the
+/// runnable pipeline.
+pub fn rung_strategy(rung: Rung, system: &FlashPs, ratio: f64, steps: usize) -> Strategy {
+    match rung {
+        Rung::FlashPsKv => Strategy::MaskAware {
+            use_cache: system.plan_for_ratio(ratio),
+            kv: true,
+        },
+        Rung::FlashPs => Strategy::MaskAware {
+            use_cache: system.plan_for_ratio(ratio),
+            kv: false,
+        },
+        Rung::TeaCacheHigh => Strategy::StepSkip {
+            threshold: teacache_threshold(steps),
+        },
+        Rung::TeaCacheLow | Rung::ReducedSteps => Strategy::StepSkip {
+            threshold: 2.0 * teacache_threshold(steps),
+        },
+    }
 }
 
 /// Bytes of a template cache, counting K/V when captured.
@@ -321,6 +354,7 @@ impl FlashPs {
             use_cache,
             speedup_vs_full: speedup,
             mask_ratio,
+            rung: None,
         })
     }
 
@@ -362,6 +396,7 @@ impl FlashPs {
             use_cache: vec![false; cfg.blocks],
             speedup_vs_full: 1.0,
             mask_ratio,
+            rung: None,
         })
     }
 

@@ -17,17 +17,24 @@
 //!   the mask-cache read path: repeated checksum failures or slow disk
 //!   reads trip it to full recompute; half-open probes re-heal it.
 //!
-//! Everything in this crate is driven by explicit [`fps_simtime`]
-//! clocks and contains no hidden entropy: the same inputs always
-//! produce the same decisions, which is what lets the chaos harness
-//! replay overload scenarios byte-identically.
+//! Everything in this crate is clock-generic: policies are driven by
+//! explicit [`fps_simtime`] stamps and contain no hidden entropy, so
+//! the same inputs always produce the same decisions. A [`TimeSource`]
+//! names where those stamps come from — supplied by a discrete-event
+//! simulator ([`TimeSource::Virtual`]) or derived from a monotonic
+//! wall-clock epoch ([`TimeSource::Wall`]) — which is what lets one
+//! control plane drive both the simulator and the threaded server,
+//! and lets the chaos harness replay overload scenarios
+//! byte-identically.
 
 pub mod admission;
 pub mod breaker;
 pub mod ladder;
+pub mod time;
 
 pub use admission::{
     AdmissionConfig, AdmissionController, AdmissionVerdict, ShedCause, TokenBucket,
 };
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use ladder::{LadderConfig, LadderController, Rung};
+pub use time::TimeSource;

@@ -1,0 +1,115 @@
+//! Clock abstraction shared by the control plane's two execution
+//! planes.
+//!
+//! Every policy component in this crate ([`AdmissionController`],
+//! [`LadderController`], [`CircuitBreaker`]) is driven by explicit
+//! [`SimTime`] stamps rather than by reading a global clock. That
+//! makes the policies clock-generic: the discrete-event simulator
+//! hands them virtual nanoseconds, while a wall-clock server derives
+//! the same `SimTime` domain from a process-local epoch. `TimeSource`
+//! names which derivation is in effect so a control plane can be
+//! built once and embedded in either plane.
+//!
+//! The two variants mirror fps-trace's dual-clock `Clock::{Virtual,
+//! Wall}`: [`TimeSource::clock_label`] returns the same labels
+//! (`"virtual"` / `"wall"`) so decision events and trace spans agree
+//! on the clock domain they were stamped in.
+//!
+//! [`AdmissionController`]: crate::admission::AdmissionController
+//! [`LadderController`]: crate::ladder::LadderController
+//! [`CircuitBreaker`]: crate::breaker::CircuitBreaker
+
+use std::time::Instant;
+
+use fps_simtime::SimTime;
+
+/// Where a control plane's `SimTime` stamps come from.
+///
+/// `Virtual` planes are driven by a discrete-event loop that computes
+/// every stamp itself and passes it in explicitly; asking a virtual
+/// source for "now" is a logic error and panics (mirroring
+/// fps-trace's `TraceSink::now_ns`). `Wall` planes derive stamps from
+/// a monotonic process-local epoch, so `now()` is total.
+#[derive(Debug, Clone, Copy)]
+pub enum TimeSource {
+    /// Virtual time: stamps are supplied by a simulator event loop.
+    Virtual,
+    /// Wall time: stamps are nanoseconds since `epoch`.
+    Wall {
+        /// The instant that maps to `SimTime::ZERO`.
+        epoch: Instant,
+    },
+}
+
+impl TimeSource {
+    /// A virtual-clock source for discrete-event simulation.
+    pub fn virtual_clock() -> Self {
+        TimeSource::Virtual
+    }
+
+    /// A wall-clock source whose epoch is the moment of this call.
+    pub fn wall() -> Self {
+        TimeSource::Wall {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Whether this source derives stamps from the wall clock.
+    pub fn is_wall(&self) -> bool {
+        matches!(self, TimeSource::Wall { .. })
+    }
+
+    /// The clock-domain label, matching fps-trace's `Clock::label`
+    /// (`"virtual"` / `"wall"`).
+    pub fn clock_label(&self) -> &'static str {
+        match self {
+            TimeSource::Virtual => "virtual",
+            TimeSource::Wall { .. } => "wall",
+        }
+    }
+
+    /// The current stamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`TimeSource::Virtual`]: virtual stamps exist only
+    /// inside the simulator's event loop, which must pass them in
+    /// explicitly.
+    pub fn now(&self) -> SimTime {
+        match self {
+            TimeSource::Virtual => panic!(
+                "TimeSource::now() called on a virtual clock; the \
+                 simulator must supply explicit SimTime stamps"
+            ),
+            TimeSource::Wall { epoch } => SimTime::from_nanos(epoch.elapsed().as_nanos() as u64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_source_advances_monotonically() {
+        let src = TimeSource::wall();
+        assert!(src.is_wall());
+        assert_eq!(src.clock_label(), "wall");
+        let a = src.now();
+        let b = src.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn virtual_source_labels_match_trace_clock() {
+        let src = TimeSource::virtual_clock();
+        assert!(!src.is_wall());
+        assert_eq!(src.clock_label(), "virtual");
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual clock")]
+    fn virtual_source_panics_on_now() {
+        TimeSource::virtual_clock().now();
+    }
+}

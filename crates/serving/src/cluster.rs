@@ -19,17 +19,18 @@ use fps_json::Json;
 use fps_maskcache::store::{HierarchicalStore, StoreConfig};
 use fps_maskcache::VerifiedFetch;
 use fps_metrics::{LatencyBreakdown, LatencyRecorder};
-use fps_overload::{AdmissionVerdict, Rung};
+use fps_overload::{Rung, TimeSource};
 use fps_simtime::{EventHandler, EventQueue, SimDuration, SimTime, Simulation};
 use fps_trace::{Clock, TraceSink, Track};
 use fps_workload::Trace;
 
+use crate::control::{Assessment, ControlPlane, Decision};
 use crate::cost::{BatchItem, CostModel};
 use crate::engine::EngineKind;
 use crate::error::ServingError;
-use crate::overload::{rung_engine, rung_steps, OverloadConfig, OverloadState};
+use crate::overload::{rung_engine, OverloadConfig, OverloadState};
 use crate::request::{Phase, RejectReason, RejectedRequest, RequestOutcome, SimRequest};
-use crate::router::{HealthAwareRouter, Router, WorkerView};
+use crate::router::{Router, WorkerView};
 use crate::worker::{
     BatchingPolicy, CpuTask, OutstandingReq, WorkerConfig, WorkerHealth, WorkerState,
 };
@@ -102,6 +103,10 @@ pub struct ClusterConfig {
     /// circuit breaker). `None` admits everything and serves it at the
     /// configured engine, exactly as before.
     pub overload: Option<OverloadConfig>,
+    /// Record the control plane's decision sequence in
+    /// [`RunReport::decisions`] (off by default; used by the
+    /// sim-vs-real decision-parity tests).
+    pub record_decisions: bool,
     /// Structured-tracing sink. All simulator records carry **virtual**
     /// timestamps (`SimTime` nanoseconds); a wall-clock sink is
     /// rejected at run start. The default disabled sink records
@@ -122,6 +127,7 @@ impl ClusterConfig {
             store: StoreConfig::production_like(),
             scheduler_overhead: SimDuration::from_micros(600),
             overload: None,
+            record_decisions: false,
             trace: TraceSink::disabled(),
         }
     }
@@ -179,6 +185,9 @@ pub struct RunReport {
     pub shed: u64,
     /// Times the cache-read circuit breaker tripped to Open.
     pub breaker_trips: u64,
+    /// The control plane's decision sequence (empty unless
+    /// [`ClusterConfig::record_decisions`] was set).
+    pub decisions: Vec<Decision>,
 }
 
 impl RunReport {
@@ -276,7 +285,13 @@ pub struct ClusterSim<'r> {
     /// denoising) — the router's load signal.
     outstanding: Vec<Vec<usize>>,
     store: HierarchicalStore,
-    router: HealthAwareRouter<&'r mut dyn Router>,
+    /// The shared policy pipeline (admission, ladder, breaker,
+    /// routing). The simulator is one of its two execution planes; the
+    /// threaded server in fps-core is the other.
+    plane: ControlPlane<&'r mut dyn Router>,
+    /// Reused worker-view buffer for routing calls, so a route is
+    /// allocation-light in steady state.
+    views_scratch: Vec<WorkerView>,
     plan: &'r FaultPlan,
     retry: &'r RetryPolicy,
     /// Whether any fault machinery is active (verified reads etc.).
@@ -292,9 +307,6 @@ pub struct ClusterSim<'r> {
     disk_token: u64,
     rejected: Vec<RejectedRequest>,
     total_retries: u64,
-    /// Live overload-control state (admission, ladder, breaker); `None`
-    /// preserves the pre-overload behavior byte for byte.
-    overload: Option<OverloadState>,
 }
 
 impl<'r> ClusterSim<'r> {
@@ -314,7 +326,8 @@ impl<'r> ClusterSim<'r> {
     /// Runs a trace through the cluster while replaying a deterministic
     /// fault plan under a bounded retry policy.
     ///
-    /// The routing policy is wrapped in a [`HealthAwareRouter`], so
+    /// The routing policy is wrapped in a
+    /// [`HealthAwareRouter`](crate::router::HealthAwareRouter), so
     /// down workers take no new traffic; their in-flight requests are
     /// requeued (or explicitly rejected once the retry budget or
     /// deadline runs out).
@@ -421,13 +434,24 @@ impl<'r> ClusterSim<'r> {
             sim.queue_mut().schedule_at(e.at, Ev::Fault(i));
         }
         let num_workers = config.workers;
+        // All policy decisions go through the shared control plane;
+        // the simulator supplies virtual-time stamps explicitly.
+        let plane = ControlPlane::new(
+            router as &'r mut dyn Router,
+            TimeSource::virtual_clock(),
+            steps,
+        )
+        .with_overload(overload)
+        .record_decisions(config.record_decisions)
+        .with_trace(config.trace.clone());
         let mut world = ClusterSim {
             config,
             workers,
             requests,
             outstanding,
             store,
-            router: HealthAwareRouter::new(router),
+            plane,
+            views_scratch: Vec::new(),
             plan,
             retry,
             chaos: !plan.is_trivial(),
@@ -437,7 +461,6 @@ impl<'r> ClusterSim<'r> {
             disk_token: 0,
             rejected: Vec::new(),
             total_retries: 0,
-            overload,
         };
         sim.run(&mut world);
 
@@ -470,8 +493,8 @@ impl<'r> ClusterSim<'r> {
         let store_stats = world.store.stats();
         let shed = world.rejected.iter().filter(|r| r.reason.is_shed()).count() as u64;
         let breaker_trips = world
-            .overload
-            .as_ref()
+            .plane
+            .overload()
             .map(|o| o.breaker.trips())
             .unwrap_or(0);
         Ok(RunReport {
@@ -499,6 +522,7 @@ impl<'r> ClusterSim<'r> {
             crashes_per_worker: world.workers.iter().map(|w| w.crashes).collect(),
             shed,
             breaker_trips,
+            decisions: world.plane.decisions().to_vec(),
         })
     }
 
@@ -528,52 +552,58 @@ impl<'r> ClusterSim<'r> {
         available * self.config.max_batch.max(1)
     }
 
-    fn views(&self) -> Vec<WorkerView> {
-        self.workers
-            .iter()
-            .map(|w| WorkerView {
-                id: w.id,
-                outstanding: self.outstanding[w.id]
-                    .iter()
-                    .map(|&i| OutstandingReq {
-                        mask_ratio: self.requests[i].spec.mask_ratio,
-                        steps_left: self.requests[i].steps_left,
-                    })
-                    .collect(),
-                max_batch: w.config.effective_max_batch(),
-                model_tokens: self.config.cost.model.tokens(),
-                health: w.health,
-            })
-            .collect()
+    /// Refreshes the reusable worker-view buffer in place: the outer
+    /// vec and every view's `outstanding` vec keep their allocations
+    /// across routing calls.
+    fn fill_views(&self, views: &mut Vec<WorkerView>) {
+        views.truncate(self.workers.len());
+        while views.len() < self.workers.len() {
+            views.push(WorkerView {
+                id: 0,
+                outstanding: Vec::new(),
+                max_batch: 0,
+                model_tokens: 0,
+                health: WorkerHealth::Healthy,
+            });
+        }
+        for (v, w) in views.iter_mut().zip(self.workers.iter()) {
+            v.id = w.id;
+            v.max_batch = w.config.effective_max_batch();
+            v.model_tokens = self.config.cost.model.tokens();
+            v.health = w.health;
+            v.outstanding.clear();
+            v.outstanding
+                .extend(self.outstanding[w.id].iter().map(|&i| OutstandingReq {
+                    mask_ratio: self.requests[i].spec.mask_ratio,
+                    steps_left: self.requests[i].steps_left,
+                }));
+        }
     }
 
     fn handle_arrival(&mut self, now: SimTime, req: usize, q: &mut EventQueue<Ev>) {
         if self.requests[req].rejected.is_some() || self.requests[req].phase == Phase::Done {
             return;
         }
-        if self.overload.is_some() {
+        if self.plane.overload_enabled() {
             let backlog = self.backlog();
             let capacity = self.live_capacity();
             // Admission runs once, at first submission; retries and
-            // parked re-dispatches have already paid for their slot.
-            if !self.requests[req].admitted {
-                let ov = self.overload.as_mut().expect("checked above");
-                let est_floor = ov.est_completion_secs(backlog, capacity, ov.wave_floor);
-                match ov.admission.check(now, backlog, est_floor) {
-                    AdmissionVerdict::Admit => self.requests[req].admitted = true,
-                    AdmissionVerdict::Shed(cause) => {
-                        self.reject(req, now, RejectReason::Shed(cause));
-                        return;
-                    }
+            // parked re-dispatches have already paid for their slot
+            // but are re-assessed by the ladder at the pressure
+            // prevailing when they re-enter.
+            let already = self.requests[req].admitted;
+            let id = self.requests[req].spec.id;
+            match self.plane.assess(id, now, backlog, capacity, already) {
+                Assessment::Shed(cause) => {
+                    self.reject(req, now, RejectReason::Shed(cause));
+                    return;
+                }
+                Assessment::Serve { rung, steps } => {
+                    self.requests[req].admitted = true;
+                    self.requests[req].rung = rung;
+                    self.requests[req].steps_left = steps;
                 }
             }
-            // The ladder picks the rung for this dispatch; a retry is
-            // re-assessed at the pressure prevailing when it re-enters.
-            let ov = self.overload.as_mut().expect("checked above");
-            let pressure = ov.pressure(backlog, capacity);
-            let rung = ov.ladder.observe(pressure, now);
-            self.requests[req].rung = Some(rung);
-            self.requests[req].steps_left = rung_steps(rung, self.steps);
         }
         if self.chaos {
             let arrival = self.requests[req].spec.arrival();
@@ -589,8 +619,11 @@ impl<'r> ClusterSim<'r> {
             }
         }
 
-        let views = self.views();
-        let w = self.router.route(&self.requests[req].spec, &views, now);
+        let mut views = std::mem::take(&mut self.views_scratch);
+        self.fill_views(&mut views);
+        let id = self.requests[req].spec.id;
+        let w = self.plane.route(id, &self.requests[req].spec, &views, now);
+        self.views_scratch = views;
         // A misrouted request falls back to worker 0 rather than
         // wedging the run; tests assert on router behaviour directly.
         let w = if w < self.workers.len() { w } else { 0 };
@@ -609,11 +642,11 @@ impl<'r> ClusterSim<'r> {
         let cache_ready = if self.engine_for(req).uses_cache() {
             let template = self.requests[req].spec.template_id;
             self.requests[req].cache_fetch_started_at = Some(t0);
-            let fetched = if let Some(ov) = self.overload.as_mut() {
+            let fetched = if let Some(breaker) = self.plane.breaker_mut() {
                 // Breaker-guarded read: stateful protection replaces
                 // the per-read fallback — while Open, the read
                 // short-circuits to recompute with no disk I/O.
-                self.store.fetch_guarded(&mut ov.breaker, template, t0)
+                self.store.fetch_guarded(breaker, template, t0)
             } else if self.chaos {
                 // Verified read: a lost or corrupt template falls back
                 // to full recompute instead of failing the request.
@@ -804,7 +837,7 @@ impl<'r> ClusterSim<'r> {
         // Under overload control, work whose SLO deadline elapsed in
         // the queue is shed at batch join instead of burning GPU time
         // on an answer nobody is waiting for.
-        let slo = self.overload.as_ref().map(|ov| ov.config.deadline);
+        let slo = self.plane.slo_deadline();
         if can_admit {
             while self.workers[w].running.len() < max_batch {
                 let Some(i) = self.workers[w].ready.pop_front() else {
@@ -833,7 +866,7 @@ impl<'r> ClusterSim<'r> {
         let item_for = |r: &SimRequest| BatchItem {
             mask_ratio: if r.fallback { 1.0 } else { r.spec.mask_ratio },
         };
-        let mut lat = if self.overload.is_some() {
+        let mut lat = if self.plane.overload_enabled() {
             // A mixed-rung batch executes per-rung groups back to
             // back: heterogeneous engines cannot fuse into one kernel
             // launch. With a single rung this degenerates to the plain
@@ -1241,6 +1274,7 @@ mod tests {
             store: StoreConfig::production_like(),
             scheduler_overhead: SimDuration::from_micros(600),
             overload: None,
+            record_decisions: false,
             trace: TraceSink::disabled(),
         }
     }

@@ -11,8 +11,15 @@
 //! Scheduling policies plug in through the [`router::Router`] trait;
 //! the request-count and token-count baselines live here, while the
 //! mask-aware policy (Algorithm 2) lives in the `flashps` core crate.
+//!
+//! Policy decisions themselves — admission, degradation rung, worker
+//! choice — are owned by the clock-generic [`control::ControlPlane`],
+//! which both this crate's simulator and the wall-clock
+//! `ThreadedServer` in fps-core consult, so the two execution planes
+//! share one policy implementation.
 
 pub mod cluster;
+pub mod control;
 pub mod cost;
 pub mod engine;
 pub mod error;
@@ -23,6 +30,7 @@ pub mod router;
 pub mod worker;
 
 pub use cluster::{ClusterConfig, ClusterSim, RunReport};
+pub use control::{Assessment, ControlPlane, Decision};
 pub use cost::{CostModel, GpuSpec};
 pub use engine::EngineKind;
 pub use error::ServingError;
@@ -36,6 +44,11 @@ pub use worker::{BatchingPolicy, WorkerConfig, WorkerHealth};
 // Re-exported so embedders configuring `ClusterConfig::trace` don't
 // need a direct fps-trace dependency.
 pub use fps_trace::{Clock, Trace, TraceSink, Track};
+
+// Re-exported so embedders building a `ControlPlane` (notably the
+// threaded server in fps-core) don't need a direct fps-overload
+// dependency.
+pub use fps_overload::{Rung, ShedCause, TimeSource};
 
 /// Crate-wide result alias.
 pub type Result<T> = core::result::Result<T, ServingError>;

@@ -149,6 +149,17 @@ impl<R: Router> HealthAwareRouter<R> {
 
 impl<R: Router> Router for HealthAwareRouter<R> {
     fn route(&mut self, req: &RequestSpec, workers: &[WorkerView], now: SimTime) -> usize {
+        // Fast path: with every worker available (the steady state)
+        // the filtered slice would equal the input, so skip the
+        // per-call clone entirely and route over the borrowed views.
+        if !workers.is_empty() && workers.iter().all(|w| w.health.is_available()) {
+            let choice = self.inner.route(req, workers, now);
+            return if workers.iter().any(|w| w.id == choice) {
+                choice
+            } else {
+                workers[0].id
+            };
+        }
         let available: Vec<WorkerView> = workers
             .iter()
             .filter(|w| w.health.is_available())

@@ -26,4 +26,14 @@ cargo run --release -p fps-bench --bin trace_bubbles -- --smoke > /dev/null
 echo "==> bench_kernels --smoke"
 cargo run --release -p fps-bench --bin bench_kernels -- --smoke > /dev/null
 
+echo "==> bench_routing --smoke"
+cargo run --release -p fps-bench --bin bench_routing -- --smoke > /dev/null
+
+echo "==> sim-vs-server decision parity (release)"
+cargo test --release -q -p flashps --test integration_control > /dev/null
+
+echo "==> fig12_e2e --quick replays the committed artifact byte-identically"
+cargo run --release -q -p fps-bench --bin fig12_e2e -- --quick > /dev/null
+git diff --exit-code -- results/fig12_e2e.json results/fig12_e2e.txt
+
 echo "All checks passed."

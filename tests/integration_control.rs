@@ -1,0 +1,226 @@
+//! Integration: one control plane, two execution planes.
+//!
+//! The virtual-time cluster simulator (fps-serving) and the wall-clock
+//! threaded server (flashps core) consult the *same*
+//! `fps_serving::ControlPlane` for every policy decision. These tests
+//! pin that contract:
+//!
+//! - **Decision parity** — an identical burst offered to both planes
+//!   (same overload configuration, same router, same request ids)
+//!   yields the *identical* decision sequence: admit/shed verdicts,
+//!   ladder rungs, and worker placements, in order.
+//! - **Server-side policy** — the threaded server sheds with the
+//!   control plane's typed reject reason and serves degraded rungs
+//!   chosen by the shared ladder, with no policy logic of its own.
+
+use flashps::server::{EditJob, ServerConfig, ThreadedServer};
+use flashps::{FlashPs, FlashPsConfig, FlashPsError};
+use fps_diffusion::{Image, ModelConfig};
+use fps_serving::cluster::{ClusterConfig, ClusterSim};
+use fps_serving::{
+    ControlPlane, CostModel, Decision, GpuSpec, LeastLoadedRouter, OverloadConfig, OverloadState,
+    RejectReason, Router, Rung, TimeSource,
+};
+use fps_simtime::SimDuration;
+use fps_workload::trace::MaskShapeSpec;
+use fps_workload::{RequestSpec, Trace};
+
+const WORKERS: usize = 2;
+const MAX_BATCH: usize = 4;
+const BURST: u64 = 96;
+const TEMPLATES: u64 = 3;
+/// 4 masked tokens of the tiny model's 16: exactly 0.25, so the sim
+/// trace's mean ratio and the server's computed ratio are bitwise
+/// equal.
+const MASKED: [usize; 4] = [1, 2, 5, 6];
+
+/// The paper-scale cost model both planes size admission and pressure
+/// estimates with. The server *executes* the tiny runnable model; the
+/// cost model only parameterizes policy, so it must merely be the same
+/// object on both sides.
+fn cost() -> CostModel {
+    CostModel::new(GpuSpec::h800(), ModelConfig::paper_sdxl())
+}
+
+fn overload_config(cost: &CostModel) -> OverloadConfig {
+    OverloadConfig::for_cluster(
+        cost,
+        WORKERS,
+        MAX_BATCH,
+        0.25,
+        SimDuration::from_secs_f64(6.0),
+    )
+}
+
+fn mask_ratio() -> f64 {
+    MASKED.len() as f64 / ModelConfig::tiny().tokens() as f64
+}
+
+/// The burst as the simulator sees it: every request at t = 0, in id
+/// order — the same order the server receives its submits.
+fn burst_trace() -> Trace {
+    Trace {
+        requests: (0..BURST)
+            .map(|i| RequestSpec {
+                id: i,
+                arrival_ns: 0,
+                template_id: i % TEMPLATES,
+                mask_ratio: mask_ratio(),
+                mask_shape: MaskShapeSpec::Rect,
+                seed: i,
+            })
+            .collect(),
+    }
+}
+
+fn job(i: u64) -> EditJob {
+    EditJob {
+        template_id: i % TEMPLATES,
+        masked_idx: MASKED.to_vec(),
+        prompt: "edit".into(),
+        seed: i,
+        guidance: None,
+    }
+}
+
+fn overloaded_server(workers: usize, max_batch: usize, paused: bool) -> ThreadedServer {
+    let cfg = ModelConfig::tiny();
+    let mut sys = FlashPs::new(FlashPsConfig::new(cfg.clone())).unwrap();
+    for id in 0..TEMPLATES {
+        let img = Image::template(cfg.pixel_h(), cfg.pixel_w(), id);
+        sys.register_template(id, &img).unwrap();
+    }
+    let cost = cost();
+    let overload = OverloadState::new(
+        OverloadConfig::for_cluster(
+            &cost,
+            workers,
+            max_batch,
+            0.25,
+            SimDuration::from_secs_f64(6.0),
+        ),
+        &cost,
+        max_batch,
+        mask_ratio(),
+    );
+    let plane = ControlPlane::new(
+        Box::new(LeastLoadedRouter) as Box<dyn Router + Send>,
+        TimeSource::wall(),
+        cost.model.steps,
+    )
+    .with_overload(Some(overload))
+    .record_decisions(true);
+    ThreadedServer::start_with_plane(
+        sys,
+        ServerConfig {
+            workers,
+            max_batch,
+            start_paused: paused,
+            ..ServerConfig::default()
+        },
+        plane,
+    )
+}
+
+#[test]
+fn sim_and_server_make_identical_decisions_on_the_same_burst() {
+    // Simulator plane: virtual clock, all arrivals at t = 0.
+    let cost = cost();
+    let mut sim_cfg = ClusterConfig::flashps_default(cost.clone(), WORKERS);
+    sim_cfg.max_batch = MAX_BATCH;
+    sim_cfg.overload = Some(overload_config(&cost));
+    sim_cfg.record_decisions = true;
+    let mut router = LeastLoadedRouter;
+    let report = ClusterSim::run(sim_cfg, &burst_trace(), &mut router).expect("sim run");
+    let sim_decisions: Vec<Decision> = report.decisions.clone();
+
+    // Server plane: wall clock, the same burst submitted in id order
+    // while workers are paused, so no completion races the sequence.
+    let server = overloaded_server(WORKERS, MAX_BATCH, true);
+    let mut tickets = Vec::new();
+    for i in 0..BURST {
+        match server.submit(job(i)) {
+            Ok(t) => tickets.push(t),
+            Err(FlashPsError::Rejected(RejectReason::Shed(_))) => {}
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    let server_decisions = server.decisions();
+    server.resume();
+    for t in tickets {
+        t.wait().expect("admitted jobs serve after resume");
+    }
+    server.shutdown();
+
+    // The burst must actually exercise the policy stack, or parity
+    // would hold vacuously.
+    assert!(
+        sim_decisions
+            .iter()
+            .any(|d| matches!(d, Decision::Shed { .. })),
+        "burst must shed"
+    );
+    assert!(
+        sim_decisions
+            .iter()
+            .any(|d| matches!(d, Decision::Rung { rung, .. } if *rung != Rung::FlashPsKv)),
+        "burst must degrade the ladder"
+    );
+    if server_decisions != sim_decisions {
+        eprintln!(
+            "sim {} decisions, server {}",
+            sim_decisions.len(),
+            server_decisions.len()
+        );
+        for (i, (s, v)) in sim_decisions
+            .iter()
+            .zip(server_decisions.iter())
+            .enumerate()
+        {
+            if s != v {
+                eprintln!("first divergence at {i}: sim {s:?} vs server {v:?}");
+                break;
+            }
+        }
+    }
+    assert_eq!(
+        server_decisions, sim_decisions,
+        "both planes must emit the identical decision sequence"
+    );
+}
+
+#[test]
+fn server_sheds_through_the_plane_with_typed_reasons() {
+    // A 1-worker, 2-slot server cannot absorb 64 instant submits: the
+    // shared admission controller must shed the excess, surfaced as
+    // FlashPsError::Rejected (not the legacy Overloaded).
+    let server = overloaded_server(1, 2, true);
+    let mut admitted = Vec::new();
+    let mut shed = 0u32;
+    for i in 0..64u64 {
+        match server.submit(job(i)) {
+            Ok(t) => admitted.push(t),
+            Err(FlashPsError::Rejected(RejectReason::Shed(cause))) => {
+                assert!(!cause.label().is_empty());
+                shed += 1;
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    assert!(shed > 0, "the burst must overflow admission");
+    assert!(!admitted.is_empty(), "admission serves up to capacity");
+    server.resume();
+    let mut rungs = Vec::new();
+    for t in admitted {
+        let r = t.wait().expect("admitted jobs serve");
+        assert!(r.output.image.data().iter().all(|v| v.is_finite()));
+        rungs.push(r.rung.expect("overload plane stamps a rung"));
+    }
+    // The backlog must have pushed the shared ladder below premium for
+    // at least part of the burst.
+    assert!(
+        rungs.iter().any(|&r| r != Rung::FlashPsKv),
+        "degraded rungs must reach served results, got {rungs:?}"
+    );
+    server.shutdown();
+}
