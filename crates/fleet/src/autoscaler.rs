@@ -1,0 +1,287 @@
+//! SLO-driven per-shard autoscaling with hysteresis.
+//!
+//! Each shard's worker pool is an independently scaled unit
+//! (LegoDiffusion's micro-serving framing): the scaler watches the
+//! shard's own SLO signals — shed rate, queue-wait p95, utilization —
+//! and grows the pool under sustained overload or shrinks it when the
+//! pool idles. Two mechanisms stop it flapping:
+//!
+//! - **Streaks**: a scale-up needs `up_ticks` *consecutive* breaching
+//!   observations (and scale-down `down_ticks` idle ones); one noisy
+//!   window never moves the pool.
+//! - **Cooldown**: after any action the scaler holds for
+//!   `cooldown` regardless of signals, giving the pool time to absorb
+//!   the change before it is judged again.
+
+use fps_simtime::{SimDuration, SimTime};
+
+/// Scaling policy knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoscalerConfig {
+    /// Pool floor (never scale below).
+    pub min_workers: usize,
+    /// Pool ceiling (never scale above).
+    pub max_workers: usize,
+    /// Shed rate at or above which a window counts as overloaded.
+    pub up_shed_rate: f64,
+    /// Queue-wait p95 at or above which a window counts as overloaded,
+    /// seconds.
+    pub up_queue_wait_secs: f64,
+    /// Utilization at or below which a window counts as idle (only
+    /// when nothing is shedding).
+    pub down_utilization: f64,
+    /// Consecutive overloaded windows required to scale up.
+    pub up_ticks: u32,
+    /// Consecutive idle windows required to scale down.
+    pub down_ticks: u32,
+    /// Hold time after any scaling action.
+    pub cooldown: SimDuration,
+    /// Workers added/removed per action.
+    pub step: usize,
+}
+
+impl Default for AutoscalerConfig {
+    fn default() -> Self {
+        Self {
+            min_workers: 1,
+            max_workers: 8,
+            up_shed_rate: 0.05,
+            up_queue_wait_secs: 2.0,
+            down_utilization: 0.30,
+            up_ticks: 2,
+            down_ticks: 4,
+            cooldown: SimDuration::from_secs_f64(30.0),
+            step: 1,
+        }
+    }
+}
+
+/// One observation window's signals for a shard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardSignal {
+    /// Fraction of submissions turned away this window.
+    pub shed_rate: f64,
+    /// P95 queue wait this window, seconds.
+    pub queue_wait_p95_secs: f64,
+    /// Worker-pool utilization this window, in `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// What the scaler wants done to the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// Leave the pool alone.
+    Hold,
+    /// Grow the pool to this size.
+    Up(usize),
+    /// Shrink the pool to this size.
+    Down(usize),
+}
+
+/// Hysteretic per-shard autoscaler. Feed it one [`ShardSignal`] per
+/// observation window via [`Autoscaler::observe`].
+#[derive(Debug, Clone)]
+pub struct Autoscaler {
+    config: AutoscalerConfig,
+    up_streak: u32,
+    down_streak: u32,
+    hold_until: Option<SimTime>,
+    ups: u64,
+    downs: u64,
+}
+
+impl Autoscaler {
+    /// A scaler with the given policy.
+    pub fn new(config: AutoscalerConfig) -> Self {
+        Self {
+            config,
+            up_streak: 0,
+            down_streak: 0,
+            hold_until: None,
+            ups: 0,
+            downs: 0,
+        }
+    }
+
+    /// The policy in effect.
+    pub fn config(&self) -> &AutoscalerConfig {
+        &self.config
+    }
+
+    /// Scale-up actions taken so far.
+    pub fn ups(&self) -> u64 {
+        self.ups
+    }
+
+    /// Scale-down actions taken so far.
+    pub fn downs(&self) -> u64 {
+        self.downs
+    }
+
+    /// Observes one window and decides. `current` is the pool size the
+    /// decision applies to; the returned `Up`/`Down` carry the new
+    /// target size (already clamped to `[min_workers, max_workers]`).
+    pub fn observe(&mut self, current: usize, signal: &ShardSignal, now: SimTime) -> ScaleDecision {
+        let overloaded = signal.shed_rate >= self.config.up_shed_rate
+            || signal.queue_wait_p95_secs >= self.config.up_queue_wait_secs;
+        let idle = !overloaded
+            && signal.shed_rate == 0.0
+            && signal.utilization <= self.config.down_utilization;
+        // Streaks accumulate even during cooldown — a breach that
+        // persists through the hold window acts immediately after it —
+        // but actions are deferred.
+        if overloaded {
+            self.up_streak += 1;
+            self.down_streak = 0;
+        } else if idle {
+            self.down_streak += 1;
+            self.up_streak = 0;
+        } else {
+            self.up_streak = 0;
+            self.down_streak = 0;
+        }
+        if let Some(until) = self.hold_until {
+            if now < until {
+                return ScaleDecision::Hold;
+            }
+        }
+        if overloaded && self.up_streak >= self.config.up_ticks && current < self.config.max_workers
+        {
+            let target = (current + self.config.step).min(self.config.max_workers);
+            self.hold_until = Some(now + self.config.cooldown);
+            self.up_streak = 0;
+            self.ups += 1;
+            return ScaleDecision::Up(target);
+        }
+        if idle && self.down_streak >= self.config.down_ticks && current > self.config.min_workers {
+            let target = current
+                .saturating_sub(self.config.step)
+                .max(self.config.min_workers);
+            self.hold_until = Some(now + self.config.cooldown);
+            self.down_streak = 0;
+            self.downs += 1;
+            return ScaleDecision::Down(target);
+        }
+        ScaleDecision::Hold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn overload() -> ShardSignal {
+        ShardSignal {
+            shed_rate: 0.2,
+            queue_wait_p95_secs: 5.0,
+            utilization: 1.0,
+        }
+    }
+
+    fn idle() -> ShardSignal {
+        ShardSignal {
+            shed_rate: 0.0,
+            queue_wait_p95_secs: 0.1,
+            utilization: 0.1,
+        }
+    }
+
+    fn busy_but_fine() -> ShardSignal {
+        ShardSignal {
+            shed_rate: 0.0,
+            queue_wait_p95_secs: 0.5,
+            utilization: 0.7,
+        }
+    }
+
+    fn at(secs: u64) -> SimTime {
+        SimTime::from_nanos(secs * 1_000_000_000)
+    }
+
+    #[test]
+    fn sustained_overload_scales_up_to_the_ceiling() {
+        let mut a = Autoscaler::new(AutoscalerConfig {
+            cooldown: SimDuration::from_secs_f64(0.0),
+            ..Default::default()
+        });
+        let mut workers = 1usize;
+        for t in 0..40 {
+            if let ScaleDecision::Up(n) = a.observe(workers, &overload(), at(t)) {
+                assert_eq!(n, workers + 1);
+                workers = n;
+            }
+        }
+        assert_eq!(workers, 8, "should reach max_workers");
+        // At the ceiling the scaler holds rather than churns.
+        assert_eq!(
+            a.observe(workers, &overload(), at(100)),
+            ScaleDecision::Hold
+        );
+    }
+
+    #[test]
+    fn one_noisy_window_never_scales() {
+        let mut a = Autoscaler::new(AutoscalerConfig::default());
+        assert_eq!(a.observe(2, &overload(), at(0)), ScaleDecision::Hold);
+        // Signal clears: the streak resets and the next breach starts
+        // over.
+        assert_eq!(a.observe(2, &busy_but_fine(), at(1)), ScaleDecision::Hold);
+        assert_eq!(a.observe(2, &overload(), at(2)), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn flapping_signals_hold_forever() {
+        let mut a = Autoscaler::new(AutoscalerConfig::default());
+        for t in 0..100 {
+            let s = if t % 2 == 0 { overload() } else { idle() };
+            assert_eq!(
+                a.observe(4, &s, at(t)),
+                ScaleDecision::Hold,
+                "alternating signals must never move the pool"
+            );
+        }
+        assert_eq!(a.ups() + a.downs(), 0);
+    }
+
+    #[test]
+    fn cooldown_defers_consecutive_actions() {
+        let mut a = Autoscaler::new(AutoscalerConfig {
+            up_ticks: 1,
+            cooldown: SimDuration::from_secs_f64(30.0),
+            ..Default::default()
+        });
+        assert_eq!(a.observe(1, &overload(), at(0)), ScaleDecision::Up(2));
+        // Still breaching, but inside the hold window.
+        assert_eq!(a.observe(2, &overload(), at(10)), ScaleDecision::Hold);
+        assert_eq!(a.observe(2, &overload(), at(29)), ScaleDecision::Hold);
+        // Streak persisted through cooldown: fires at expiry.
+        assert_eq!(a.observe(2, &overload(), at(30)), ScaleDecision::Up(3));
+    }
+
+    #[test]
+    fn sustained_idle_scales_down_to_the_floor() {
+        let mut a = Autoscaler::new(AutoscalerConfig {
+            cooldown: SimDuration::from_secs_f64(0.0),
+            ..Default::default()
+        });
+        let mut workers = 4usize;
+        for t in 0..40 {
+            if let ScaleDecision::Down(n) = a.observe(workers, &idle(), at(t)) {
+                workers = n;
+            }
+        }
+        assert_eq!(workers, 1, "should reach min_workers");
+        assert_eq!(a.downs(), 3);
+    }
+
+    #[test]
+    fn healthy_load_neither_grows_nor_shrinks() {
+        let mut a = Autoscaler::new(AutoscalerConfig {
+            cooldown: SimDuration::from_secs_f64(0.0),
+            ..Default::default()
+        });
+        for t in 0..50 {
+            assert_eq!(a.observe(4, &busy_but_fine(), at(t)), ScaleDecision::Hold);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Sharded fleet serving for FlashPS.
+//!
+//! The ROADMAP's north star is "thousands of workers, millions of
+//! simulated users"; one ControlPlane driving one cluster doesn't get
+//! there. This crate adds the fleet layer above `fps-serving`:
+//!
+//! - [`ring`] — a consistent-hash ring with virtual nodes. Requests
+//!   editing the same template hash to the shard whose activation
+//!   cache holds its features, with exact minimal-churn rebalancing on
+//!   shard join/leave (proptested key by key).
+//! - [`router`] — shard selection: bounded-load template affinity
+//!   (Fig. 16-right; InstGenIE) against round-robin and random
+//!   baselines, plus a [`TemplateAffinityRouter`] adapter implementing
+//!   `fps_serving::Router` for the wall-clock ThreadedServer path.
+//! - [`autoscaler`] — hysteretic per-shard pool scaling from windowed
+//!   SLO signals (shed rate, queue-wait p95, utilization).
+//! - [`sim`] — the virtual-time [`FleetSim`]: one clock-generic
+//!   ControlPlane per shard, analytic k-server worker pools (two
+//!   events per request), per-shard LRU template caches, and
+//!   histogram-merged fleet SLO rollups. Deterministic: same config,
+//!   same bytes, on either event scheduler.
+
+pub mod autoscaler;
+pub mod ring;
+pub mod router;
+pub mod sim;
+
+pub use autoscaler::{Autoscaler, AutoscalerConfig, ScaleDecision, ShardSignal};
+pub use ring::HashRing;
+pub use router::{FleetRouter, RouteStrategy, ShardChoice, ShardLoad, TemplateAffinityRouter};
+pub use sim::{FleetConfig, FleetEv, FleetReport, FleetSim};

@@ -1,0 +1,353 @@
+//! Fleet-level request routing: which *shard* serves a request.
+//!
+//! Affinity routing hashes the request's `template_id` onto the ring so
+//! repeat edits of one template land where its activations are cached.
+//! Raw consistent hashing, though, happily melts a shard when Zipf
+//! skew concentrates traffic on one hot template; the affinity policy
+//! is therefore consistent hashing with *bounded load* (in the spirit
+//! of Mirrokni et al.): a shard may hold at most `load_factor ×` its
+//! own service capacity in outstanding requests, and overflow walks
+//! the key's preference list so each hot key spills to a consistent
+//! secondary (whose cache then warms too). The bound is absolute —
+//! tied to lanes, not to the fleet-average backlog — because each
+//! shard's admission control sheds on its own rate and queue depth: a
+//! backlog-relative bound grows exactly when the fleet queues up, and
+//! would keep concentrating load on the hot shard until admission
+//! sheds it.
+
+use fps_serving::{Router, WorkerView};
+use fps_simtime::SimTime;
+use fps_workload::RequestSpec;
+
+use crate::ring::HashRing;
+
+/// What the fleet router sees of each shard when placing a request.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardLoad {
+    /// Shard id (must be on the ring for affinity routing).
+    pub shard: u32,
+    /// Requests admitted to the shard and not yet completed.
+    pub outstanding: usize,
+    /// Concurrent service lanes (workers × batch slots): the capacity
+    /// the affinity load bound multiplies.
+    pub lanes: usize,
+}
+
+/// Shard-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RouteStrategy {
+    /// Bounded-load consistent hashing on `template_id`.
+    Affinity {
+        /// Per-shard cap on outstanding requests as a multiple of the
+        /// shard's service lanes (must exceed 1; ~1.1–1.25 keeps hot
+        /// shards below their admission shed thresholds).
+        load_factor: f64,
+    },
+    /// Ignore templates; cycle through shards.
+    RoundRobin,
+    /// Ignore templates; pick pseudo-randomly by request id.
+    Random,
+}
+
+impl RouteStrategy {
+    /// Policy name for experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Affinity { .. } => "affinity",
+            Self::RoundRobin => "round-robin",
+            Self::Random => "random",
+        }
+    }
+}
+
+/// Routing outcome: the chosen shard, and whether affinity had to
+/// spill past the key's primary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardChoice {
+    /// The shard to serve on.
+    pub shard: u32,
+    /// True when affinity routing bypassed the primary because it was
+    /// over its load bound.
+    pub spilled: bool,
+}
+
+/// Fleet router: one strategy plus the ring and round-robin cursor.
+#[derive(Debug, Clone)]
+pub struct FleetRouter {
+    strategy: RouteStrategy,
+    ring: HashRing,
+    rr_next: usize,
+}
+
+impl FleetRouter {
+    /// A router over the given ring.
+    pub fn new(strategy: RouteStrategy, ring: HashRing) -> Self {
+        Self {
+            strategy,
+            ring,
+            rr_next: 0,
+        }
+    }
+
+    /// The ring (for cache pre-priming by primary ownership).
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// The strategy in effect.
+    pub fn strategy(&self) -> RouteStrategy {
+        self.strategy
+    }
+
+    /// Chooses a shard for `template_id` given current per-shard load.
+    /// `shards` must be non-empty and list every live shard.
+    pub fn choose(
+        &mut self,
+        request_id: u64,
+        template_id: u64,
+        shards: &[ShardLoad],
+    ) -> ShardChoice {
+        debug_assert!(!shards.is_empty());
+        match self.strategy {
+            RouteStrategy::RoundRobin => {
+                let s = shards[self.rr_next % shards.len()].shard;
+                self.rr_next = self.rr_next.wrapping_add(1);
+                ShardChoice {
+                    shard: s,
+                    spilled: false,
+                }
+            }
+            RouteStrategy::Random => {
+                // Hash the request id so the stream is deterministic
+                // but uncorrelated with template popularity.
+                let mut x = request_id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x ^= x >> 27;
+                ShardChoice {
+                    shard: shards[(x % shards.len() as u64) as usize].shard,
+                    spilled: false,
+                }
+            }
+            RouteStrategy::Affinity { load_factor } => {
+                let pref = self.ring.preference(template_id);
+                for (i, s) in pref.iter().enumerate() {
+                    if let Some(load) = shards.iter().find(|l| l.shard == *s) {
+                        // Capacity-proportional bound, ≥ 1 so an empty
+                        // fleet still admits.
+                        let cap = ((load_factor * load.lanes as f64).ceil() as usize).max(1);
+                        if load.outstanding < cap {
+                            return ShardChoice {
+                                shard: *s,
+                                spilled: i > 0,
+                            };
+                        }
+                    }
+                }
+                // Every listed shard is at its bound (or the ring is
+                // out of sync): fall back to least-relative-load, ties
+                // by shard id for determinism.
+                let s = shards
+                    .iter()
+                    .min_by_key(|l| (l.outstanding.saturating_mul(1024) / l.lanes.max(1), l.shard))
+                    .expect("non-empty")
+                    .shard;
+                ShardChoice {
+                    shard: s,
+                    spilled: true,
+                }
+            }
+        }
+    }
+}
+
+/// [`fps_serving::Router`] adapter: template-affinity placement over
+/// *workers* instead of shards, for the ThreadedServer path where one
+/// process owns all workers and affinity decides which worker's
+/// activation cache a request warms. Builds a ring over the worker ids
+/// it sees; bounded-load spillover uses outstanding request counts
+/// from the views.
+#[derive(Debug)]
+pub struct TemplateAffinityRouter {
+    ring: HashRing,
+    known: Vec<usize>,
+    load_factor: f64,
+}
+
+impl TemplateAffinityRouter {
+    /// An affinity router with the classic 1.25 load bound.
+    pub fn new() -> Self {
+        Self::with_load_factor(1.25)
+    }
+
+    /// An affinity router with an explicit load bound (> 1).
+    pub fn with_load_factor(load_factor: f64) -> Self {
+        Self {
+            ring: HashRing::default(),
+            known: Vec::new(),
+            load_factor: load_factor.max(1.01),
+        }
+    }
+
+    fn sync_ring(&mut self, workers: &[WorkerView]) {
+        for w in workers {
+            if !self.known.contains(&w.id) {
+                self.known.push(w.id);
+                self.ring.add_shard(w.id as u32);
+            }
+        }
+    }
+}
+
+impl Default for TemplateAffinityRouter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Router for TemplateAffinityRouter {
+    fn route(&mut self, req: &RequestSpec, workers: &[WorkerView], _now: SimTime) -> usize {
+        if workers.is_empty() {
+            return 0;
+        }
+        self.sync_ring(workers);
+        for s in self.ring.preference(req.template_id) {
+            if let Some(w) = workers.iter().find(|w| w.id == s as usize) {
+                let cap = ((self.load_factor * w.max_batch.max(1) as f64).ceil() as usize).max(1);
+                if w.outstanding.len() < cap {
+                    return w.id;
+                }
+            }
+        }
+        workers
+            .iter()
+            .min_by_key(|w| (w.outstanding.len(), w.id))
+            .map(|w| w.id)
+            .expect("non-empty")
+    }
+
+    fn name(&self) -> &'static str {
+        "template-affinity"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fps_serving::WorkerHealth;
+    use fps_workload::trace::MaskShapeSpec;
+
+    fn loads(outstanding: &[usize]) -> Vec<ShardLoad> {
+        outstanding
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| ShardLoad {
+                shard: i as u32,
+                outstanding: o,
+                lanes: 8,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn affinity_is_sticky_per_template() {
+        let mut r = FleetRouter::new(
+            RouteStrategy::Affinity { load_factor: 1.25 },
+            HashRing::with_shards(4),
+        );
+        let ls = loads(&[0, 0, 0, 0]);
+        for template in 0..20u64 {
+            let first = r.choose(0, template, &ls);
+            for req in 1..5u64 {
+                assert_eq!(r.choose(req, template, &ls), first);
+            }
+            assert!(!first.spilled);
+            assert_eq!(first.shard, r.ring().primary(template).unwrap());
+        }
+    }
+
+    #[test]
+    fn bounded_load_spills_a_hot_template() {
+        let mut r = FleetRouter::new(
+            RouteStrategy::Affinity { load_factor: 1.25 },
+            HashRing::with_shards(4),
+        );
+        let template = 7u64;
+        let primary = r.ring().primary(template).unwrap();
+        // Primary drowning, everyone else idle.
+        let mut ls = loads(&[1, 1, 1, 1]);
+        ls[primary as usize].outstanding = 100;
+        let got = r.choose(0, template, &ls);
+        assert_ne!(got.shard, primary);
+        assert!(got.spilled);
+        // The spill target is the key's consistent secondary.
+        assert_eq!(got.shard, r.ring().preference(template)[1]);
+    }
+
+    #[test]
+    fn round_robin_cycles_and_random_is_deterministic() {
+        let ls = loads(&[0, 0, 0]);
+        let mut rr = FleetRouter::new(RouteStrategy::RoundRobin, HashRing::with_shards(3));
+        let picks: Vec<u32> = (0..6).map(|i| rr.choose(i, 99, &ls).shard).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        let mut ra = FleetRouter::new(RouteStrategy::Random, HashRing::with_shards(3));
+        let a: Vec<u32> = (0..20).map(|i| ra.choose(i, 99, &ls).shard).collect();
+        let mut rb = FleetRouter::new(RouteStrategy::Random, HashRing::with_shards(3));
+        let b: Vec<u32> = (0..20).map(|i| rb.choose(i, 99, &ls).shard).collect();
+        assert_eq!(a, b, "random strategy must be replayable");
+        // And it actually spreads.
+        assert!(a.iter().any(|&s| s != a[0]));
+    }
+
+    fn view(id: usize, outstanding: usize) -> WorkerView {
+        WorkerView {
+            id,
+            outstanding: (0..outstanding)
+                .map(|_| fps_serving::worker::OutstandingReq {
+                    mask_ratio: 0.2,
+                    steps_left: 50,
+                })
+                .collect(),
+            max_batch: 4,
+            model_tokens: 4096,
+            health: WorkerHealth::Healthy,
+        }
+    }
+
+    fn spec(id: u64, template: u64) -> RequestSpec {
+        RequestSpec {
+            id,
+            arrival_ns: 0,
+            template_id: template,
+            mask_ratio: 0.2,
+            mask_shape: MaskShapeSpec::Rect,
+            seed: id,
+        }
+    }
+
+    #[test]
+    fn worker_adapter_is_sticky_and_bounded() {
+        let mut r = TemplateAffinityRouter::new();
+        let ws = vec![view(0, 0), view(1, 0), view(2, 0)];
+        let first = r.route(&spec(0, 5), &ws, SimTime::ZERO);
+        for i in 1..5 {
+            assert_eq!(r.route(&spec(i, 5), &ws, SimTime::ZERO), first);
+        }
+        // Overload the sticky worker: the route must move off it.
+        let mut hot = ws.clone();
+        hot[first] = view(first, 50);
+        let moved = r.route(&spec(9, 5), &hot, SimTime::ZERO);
+        assert_ne!(moved, first);
+        assert_eq!(r.name(), "template-affinity");
+    }
+
+    #[test]
+    fn worker_adapter_returns_ids_not_positions() {
+        let mut r = TemplateAffinityRouter::new();
+        // Sparse ids, as a health-filtered slice would present.
+        let ws = vec![view(3, 0), view(7, 0)];
+        for t in 0..10 {
+            let got = r.route(&spec(t, t), &ws, SimTime::ZERO);
+            assert!(got == 3 || got == 7);
+        }
+    }
+}

@@ -1,0 +1,803 @@
+//! The virtual-time fleet simulator.
+//!
+//! One [`FleetSim`] run drives a [`FleetTrace`] through `n` shards.
+//! Each shard is an independent serving unit: its own clock-generic
+//! [`ControlPlane`] (admission, degradation ladder — the exact policy
+//! code the single-cluster simulator and the threaded server consult),
+//! its own worker pool, and its own LRU activation cache keyed by
+//! template. Above the shards sit the two fleet-level policies under
+//! study: the [`FleetRouter`] choosing a shard per request, and one
+//! [`Autoscaler`] per shard resizing its pool from windowed SLO
+//! signals.
+//!
+//! The simulator is built for *scale*: workers are analytic k-server
+//! FIFO pools ([`MultiResource`] — `acquire` returns the start/finish
+//! pair immediately), so a request costs exactly two events (arrival
+//! and completion) regardless of its step count. A million-request
+//! fleet run is ~2M events, which is what the calendar-queue scheduler
+//! is gated on in `bench_simtime`. Everything is deterministic in the
+//! trace: two runs of the same config serialize to byte-identical
+//! reports, on either scheduler.
+//!
+//! [`ControlPlane`]: fps_serving::ControlPlane
+
+use std::collections::HashMap;
+
+use fps_json::{Json, ToJson};
+use fps_metrics::{FleetSloReport, Histogram, ShardSloReport, SloReport};
+use fps_serving::cost::BatchItem;
+use fps_serving::{
+    Assessment, ControlPlane, CostModel, EngineKind, GpuSpec, LeastLoadedRouter, OverloadConfig,
+    OverloadState, TimeSource, TraceSink, Track,
+};
+use fps_simtime::{
+    CalendarQueue, EventHandler, EventQueue, EventScheduler, MultiResource, SimDuration, SimTime,
+    Simulation,
+};
+use fps_workload::FleetTrace;
+
+use crate::autoscaler::{Autoscaler, AutoscalerConfig, ScaleDecision, ShardSignal};
+use crate::ring::HashRing;
+use crate::router::{FleetRouter, RouteStrategy, ShardLoad};
+
+/// Fleet-run parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of shards.
+    pub shards: u32,
+    /// Initial worker-pool size per shard.
+    pub workers_per_shard: usize,
+    /// Concurrent service lanes per worker.
+    pub max_batch: usize,
+    /// SLO deadline, seconds from arrival.
+    pub deadline_secs: f64,
+    /// Shard-selection policy.
+    pub strategy: RouteStrategy,
+    /// Per-shard activation-cache capacity, in templates.
+    pub cache_capacity: usize,
+    /// Autoscaling policy; `None` freezes the pools.
+    pub autoscaler: Option<AutoscalerConfig>,
+    /// Seconds between autoscaler observation windows.
+    pub scale_interval_secs: f64,
+    /// Typical mask ratio of the offered load (sizes the admission
+    /// estimates, exactly as in the cluster simulator).
+    pub mean_mask_ratio: f64,
+    /// Let the degradation ladder cut steps under pressure. Routing
+    /// experiments pin this off: a shard that rides out cache misses by
+    /// serving fewer denoising steps converts the miss penalty into
+    /// quality loss that latency metrics cannot see, which would make
+    /// strategies incomparable at equal output quality.
+    pub allow_degradation: bool,
+    /// Trace sink for route/scale/decision events.
+    pub trace: TraceSink,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            workers_per_shard: 2,
+            max_batch: 4,
+            deadline_secs: 30.0,
+            strategy: RouteStrategy::Affinity { load_factor: 1.25 },
+            cache_capacity: 16,
+            autoscaler: None,
+            scale_interval_secs: 10.0,
+            mean_mask_ratio: 0.11,
+            allow_degradation: true,
+            trace: TraceSink::disabled(),
+        }
+    }
+}
+
+/// What one fleet run produced.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Strategy label of the run.
+    pub strategy: &'static str,
+    /// Per-shard SLO accounting with mergeable histograms.
+    pub shard_reports: Vec<ShardSloReport>,
+    /// Histogram-merged fleet rollup.
+    pub fleet: FleetSloReport,
+    /// Requests whose template was already in the serving shard's
+    /// activation cache.
+    pub cache_hits: u64,
+    /// Requests that recomputed from scratch.
+    pub cache_misses: u64,
+    /// Affinity placements that bypassed a saturated primary.
+    pub spills: u64,
+    /// Scale-up actions across all shards.
+    pub scale_ups: u64,
+    /// Scale-down actions across all shards.
+    pub scale_downs: u64,
+    /// Worker-pool sizes at the end of the run.
+    pub final_workers: Vec<usize>,
+    /// Virtual seconds from first arrival to last completion.
+    pub makespan_secs: f64,
+    /// Total events the scheduler processed.
+    pub events_processed: u64,
+}
+
+impl FleetReport {
+    /// Activation-cache hit rate over served requests.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl ToJson for FleetReport {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("strategy", self.strategy)
+            .with("fleet", self.fleet.to_json())
+            .with("shards", self.shard_reports.to_json())
+            .with("cache_hits", self.cache_hits)
+            .with("cache_misses", self.cache_misses)
+            .with("hit_rate", self.hit_rate())
+            .with("spills", self.spills)
+            .with("scale_ups", self.scale_ups)
+            .with("scale_downs", self.scale_downs)
+            .with(
+                "final_workers",
+                Json::Array(
+                    self.final_workers
+                        .iter()
+                        .map(|&w| Json::U64(w as u64))
+                        .collect(),
+                ),
+            )
+            .with("makespan_secs", self.makespan_secs)
+            .with("events_processed", self.events_processed)
+    }
+}
+
+/// Deterministic LRU cache over template ids.
+#[derive(Debug)]
+struct TemplateCache {
+    capacity: usize,
+    last_use: HashMap<u64, u64>,
+    tick: u64,
+}
+
+impl TemplateCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            last_use: HashMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// Looks up and touches `template`; on miss, inserts it (evicting
+    /// the least-recently-used entry — ties broken by template id, so
+    /// eviction never depends on map iteration order).
+    fn touch(&mut self, template: u64) -> bool {
+        self.tick += 1;
+        if let Some(t) = self.last_use.get_mut(&template) {
+            *t = self.tick;
+            return true;
+        }
+        if self.last_use.len() >= self.capacity {
+            let victim = self
+                .last_use
+                .iter()
+                .map(|(&k, &t)| (t, k))
+                .min()
+                .expect("non-empty at capacity")
+                .1;
+            self.last_use.remove(&victim);
+        }
+        self.last_use.insert(template, self.tick);
+        false
+    }
+
+    /// Inserts without counting a miss (pre-priming).
+    fn prime(&mut self, template: u64) {
+        if self.last_use.len() < self.capacity {
+            self.tick += 1;
+            self.last_use.entry(template).or_insert(self.tick);
+        }
+    }
+}
+
+/// Windowed counters feeding the autoscaler, reset every scale tick.
+#[derive(Debug, Default)]
+struct Window {
+    submitted: u64,
+    turned_away: u64,
+    queue_waits: Vec<f64>,
+}
+
+impl Window {
+    fn signal(&mut self, utilization: f64) -> ShardSignal {
+        let shed_rate = if self.submitted == 0 {
+            0.0
+        } else {
+            self.turned_away as f64 / self.submitted as f64
+        };
+        self.queue_waits
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite waits"));
+        let p95 = if self.queue_waits.is_empty() {
+            0.0
+        } else {
+            let ix = ((self.queue_waits.len() as f64 * 0.95).ceil() as usize)
+                .clamp(1, self.queue_waits.len());
+            self.queue_waits[ix - 1]
+        };
+        let s = ShardSignal {
+            shed_rate,
+            queue_wait_p95_secs: p95,
+            utilization,
+        };
+        *self = Self::default();
+        s
+    }
+}
+
+/// One shard's live state.
+struct Shard {
+    plane: ControlPlane<LeastLoadedRouter>,
+    /// One k-server pool per worker (`max_batch` lanes each).
+    pools: Vec<MultiResource>,
+    cache: TemplateCache,
+    scaler: Option<Autoscaler>,
+    outstanding: usize,
+    window: Window,
+    // Accounting.
+    submitted: u64,
+    served: u64,
+    served_within_deadline: u64,
+    shed: u64,
+    deadline_rejected: u64,
+    rung_served: Vec<(&'static str, u64)>,
+    latency_hist: Histogram,
+    queue_wait_hist: Histogram,
+}
+
+/// Fleet events: two per request plus periodic scale ticks. Public so
+/// callers can plug in their own [`EventScheduler`] via
+/// [`FleetSim::run_with_scheduler`].
+#[derive(Debug, Clone, Copy)]
+pub enum FleetEv {
+    /// Request `trace[i]` arrives at the fleet front door.
+    Arrival(usize),
+    /// A request completes on `shard`.
+    Done {
+        /// The shard whose worker finished.
+        shard: u32,
+    },
+    /// Autoscaler observation window closes.
+    ScaleTick,
+}
+
+struct World<'a> {
+    trace: &'a FleetTrace,
+    shards: Vec<Shard>,
+    router: FleetRouter,
+    cost: CostModel,
+    engine: EngineKind,
+    config: FleetConfig,
+    deadline: SimDuration,
+    spills: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    last_completion: SimTime,
+    inflight: usize,
+    next_arrival: usize,
+}
+
+impl World<'_> {
+    fn shard_loads(&self) -> Vec<ShardLoad> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ShardLoad {
+                shard: i as u32,
+                outstanding: s.outstanding,
+                lanes: s.pools.len() * self.config.max_batch,
+            })
+            .collect()
+    }
+
+    /// Service seconds for one request at `steps` denoising steps.
+    /// Cache hits compute only the masked region; misses recompute the
+    /// full latent (mask ratio 1.0) — the fleet-level cost of losing
+    /// affinity.
+    fn service_duration(&self, mask_ratio: f64, steps: usize, hit: bool) -> SimDuration {
+        let ratio = if hit { mask_ratio } else { 1.0 };
+        let step = self
+            .engine
+            .step_latency(&self.cost, &[BatchItem { mask_ratio: ratio }]);
+        SimDuration::from_secs_f64(step.as_secs_f64() * steps as f64)
+    }
+
+    fn emit(&self, name: &'static str, shard: u32, ts: SimTime, args: Vec<(&'static str, Json)>) {
+        if !self.config.trace.is_enabled() {
+            return;
+        }
+        self.config
+            .trace
+            .event_at(name, "fleet", Track::new(2, shard), ts.as_nanos(), args);
+    }
+}
+
+impl<Q: EventScheduler<FleetEv>> EventHandler<FleetEv, Q> for World<'_> {
+    fn handle(&mut self, now: SimTime, event: FleetEv, queue: &mut Q) {
+        match event {
+            FleetEv::Arrival(i) => {
+                self.next_arrival = self.next_arrival.max(i + 1);
+                let req = &self.trace.trace.requests[i];
+                let loads = self.shard_loads();
+                let choice = self.router.choose(req.id, req.template_id, &loads);
+                if choice.spilled {
+                    self.spills += 1;
+                }
+                let sx = choice.shard as usize;
+                self.emit(
+                    "fleet_route",
+                    choice.shard,
+                    now,
+                    vec![
+                        ("id", Json::U64(req.id)),
+                        ("template", Json::U64(req.template_id)),
+                        ("spilled", Json::Bool(choice.spilled)),
+                    ],
+                );
+                let shard = &mut self.shards[sx];
+                shard.submitted += 1;
+                shard.window.submitted += 1;
+                let capacity = shard.pools.len() * self.config.max_batch;
+                let assessment =
+                    shard
+                        .plane
+                        .assess(req.id, now, shard.outstanding, capacity, false);
+                let (rung, steps) = match assessment {
+                    Assessment::Shed(_) => {
+                        shard.shed += 1;
+                        shard.window.turned_away += 1;
+                        return;
+                    }
+                    Assessment::Serve { rung, steps } => (rung, steps),
+                };
+                // Earliest any lane frees: if even starting then blows
+                // the deadline, reject before charging the pool.
+                let free = shard
+                    .pools
+                    .iter()
+                    .map(MultiResource::earliest_free)
+                    .min()
+                    .expect("at least one worker");
+                let queue_wait = free.max(now).since(now);
+                if queue_wait > self.deadline {
+                    shard.deadline_rejected += 1;
+                    shard.window.turned_away += 1;
+                    return;
+                }
+                let hit = shard.cache.touch(req.template_id);
+                if hit {
+                    self.cache_hits += 1;
+                } else {
+                    self.cache_misses += 1;
+                }
+                let dur = self.service_duration(req.mask_ratio, steps, hit);
+                let shard = &mut self.shards[sx];
+                // Lane with the earliest opening, ties to the lowest
+                // worker index: deterministic and work-conserving.
+                let px = shard
+                    .pools
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(ix, p)| (p.earliest_free(), *ix))
+                    .expect("non-empty")
+                    .0;
+                let (start, finish) = shard.pools[px].acquire(now, dur);
+                let wait_secs = start.since(now).as_secs_f64();
+                let latency_secs = finish.since(now).as_secs_f64();
+                shard.served += 1;
+                if finish.since(now) <= self.deadline {
+                    shard.served_within_deadline += 1;
+                }
+                if let Some(r) = rung {
+                    let label = r.label();
+                    match shard.rung_served.iter_mut().find(|(l, _)| *l == label) {
+                        Some((_, c)) => *c += 1,
+                        None => shard.rung_served.push((label, 1)),
+                    }
+                }
+                shard.latency_hist.record(latency_secs);
+                shard.queue_wait_hist.record(wait_secs);
+                shard.window.queue_waits.push(wait_secs);
+                shard.outstanding += 1;
+                self.inflight += 1;
+                self.last_completion = self.last_completion.max(finish);
+                queue.schedule_at(
+                    finish,
+                    FleetEv::Done {
+                        shard: choice.shard,
+                    },
+                );
+            }
+            FleetEv::Done { shard } => {
+                let s = &mut self.shards[shard as usize];
+                s.outstanding = s.outstanding.saturating_sub(1);
+                self.inflight -= 1;
+            }
+            FleetEv::ScaleTick => {
+                for sx in 0..self.shards.len() {
+                    let max_batch = self.config.max_batch;
+                    let shard = &mut self.shards[sx];
+                    let capacity = (shard.pools.len() * max_batch).max(1);
+                    let utilization = (shard.outstanding as f64 / capacity as f64).min(1.0);
+                    let signal = shard.window.signal(utilization);
+                    let Some(scaler) = shard.scaler.as_mut() else {
+                        continue;
+                    };
+                    let decision = scaler.observe(shard.pools.len(), &signal, now);
+                    match decision {
+                        ScaleDecision::Hold => {}
+                        ScaleDecision::Up(n) => {
+                            while shard.pools.len() < n {
+                                shard.pools.push(MultiResource::new(max_batch));
+                            }
+                        }
+                        ScaleDecision::Down(n) => {
+                            shard.pools.truncate(n.max(1));
+                        }
+                    }
+                    match decision {
+                        ScaleDecision::Hold => {}
+                        ScaleDecision::Up(n) => self.emit(
+                            "scale_up",
+                            sx as u32,
+                            now,
+                            vec![("workers", Json::U64(n as u64))],
+                        ),
+                        ScaleDecision::Down(n) => self.emit(
+                            "scale_down",
+                            sx as u32,
+                            now,
+                            vec![("workers", Json::U64(n as u64))],
+                        ),
+                    }
+                }
+                // Keep ticking only while the run still has work:
+                // unconditional rescheduling would never terminate.
+                if self.inflight > 0 || self.next_arrival < self.trace.trace.len() {
+                    queue.schedule_after(
+                        SimDuration::from_secs_f64(self.config.scale_interval_secs),
+                        FleetEv::ScaleTick,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Runs fleet simulations. The scheduler is pluggable ([`FleetSim::run`] uses
+/// the calendar queue, [`FleetSim::run_on_heap`] the binary heap) and the two
+/// must produce byte-identical reports — the fleet-scale differential
+/// test of the scheduler contract.
+pub struct FleetSim;
+
+impl FleetSim {
+    /// Runs `trace` under `config` on the calendar-queue scheduler.
+    pub fn run(config: FleetConfig, trace: &FleetTrace) -> FleetReport {
+        Self::run_with_scheduler(config, trace, CalendarQueue::new())
+    }
+
+    /// Runs on the binary-heap scheduler (differential baseline).
+    pub fn run_on_heap(config: FleetConfig, trace: &FleetTrace) -> FleetReport {
+        Self::run_with_scheduler(config, trace, EventQueue::new())
+    }
+
+    /// Runs on an explicit scheduler.
+    pub fn run_with_scheduler<Q: EventScheduler<FleetEv>>(
+        config: FleetConfig,
+        trace: &FleetTrace,
+        queue: Q,
+    ) -> FleetReport {
+        let cost = CostModel::new(GpuSpec::h800(), ModelDefaults::paper());
+        let engine = EngineKind::FlashPs { kv: true };
+        let deadline = SimDuration::from_secs_f64(config.deadline_secs);
+        let full_steps = cost.model.steps;
+        let hist_hi = (config.deadline_secs * 4.0).max(1.0);
+        let ring = HashRing::with_shards(config.shards.max(1));
+        let mut shards: Vec<Shard> = (0..config.shards.max(1))
+            .map(|sx| {
+                let mut overload_cfg = OverloadConfig::for_cluster(
+                    &cost,
+                    config.workers_per_shard,
+                    config.max_batch,
+                    config.mean_mask_ratio,
+                    deadline,
+                );
+                // `for_cluster` sizes the admission rate from the
+                // batching server's wave model, where a slot turns over
+                // once per full-batch wave. This simulator's pools are
+                // k independent lanes, each serving one request at the
+                // single-item step latency — noticeably faster — so an
+                // admission bucket sized from waves sheds traffic the
+                // shard could actually serve. Resize it from the
+                // per-request service time the simulator charges.
+                let per_req_secs = engine
+                    .step_latency(
+                        &cost,
+                        &[BatchItem {
+                            mask_ratio: config.mean_mask_ratio,
+                        }],
+                    )
+                    .as_secs_f64()
+                    * full_steps as f64;
+                overload_cfg.admission = fps_overload::AdmissionConfig::for_capacity(
+                    config.workers_per_shard.max(1) * config.max_batch,
+                    per_req_secs,
+                    config.deadline_secs,
+                );
+                if !config.allow_degradation {
+                    // Unreachable enter thresholds pin the ladder at
+                    // the premium rung: admission still sheds, but
+                    // every served request gets full quality.
+                    overload_cfg.ladder.enter = [f64::INFINITY; 4];
+                }
+                let state = OverloadState::new(
+                    overload_cfg,
+                    &cost,
+                    config.max_batch,
+                    config.mean_mask_ratio,
+                );
+                let plane =
+                    ControlPlane::new(LeastLoadedRouter, TimeSource::virtual_clock(), full_steps)
+                        .with_overload(Some(state))
+                        .with_trace(config.trace.clone())
+                        .with_control_track(Track::new(1, sx));
+                Shard {
+                    plane,
+                    pools: (0..config.workers_per_shard.max(1))
+                        .map(|_| MultiResource::new(config.max_batch))
+                        .collect(),
+                    cache: TemplateCache::new(config.cache_capacity),
+                    scaler: config.autoscaler.clone().map(Autoscaler::new),
+                    outstanding: 0,
+                    window: Window::default(),
+                    submitted: 0,
+                    served: 0,
+                    served_within_deadline: 0,
+                    shed: 0,
+                    deadline_rejected: 0,
+                    rung_served: Vec::new(),
+                    latency_hist: Histogram::new(0.0, hist_hi, 512).expect("valid geometry"),
+                    queue_wait_hist: Histogram::new(0.0, hist_hi, 512).expect("valid geometry"),
+                }
+            })
+            .collect();
+        // Pre-prime every shard's cache with the templates it owns on
+        // the ring — identically for every strategy, so hit-rate
+        // comparisons measure routing, not starting conditions.
+        let total_templates: u64 = trace
+            .trace
+            .requests
+            .iter()
+            .map(|r| r.template_id + 1)
+            .max()
+            .unwrap_or(0);
+        for t in 0..total_templates {
+            if let Some(owner) = ring.primary(t) {
+                shards[owner as usize].cache.prime(t);
+            }
+        }
+        let router = FleetRouter::new(config.strategy, ring);
+        let strategy = config.strategy.name();
+        let scale_interval = SimDuration::from_secs_f64(config.scale_interval_secs.max(0.001));
+        let deadline_secs = config.deadline_secs;
+        let mut world = World {
+            trace,
+            shards,
+            router,
+            cost,
+            engine,
+            config,
+            deadline,
+            spills: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            last_completion: SimTime::ZERO,
+            inflight: 0,
+            next_arrival: 0,
+        };
+        let mut sim: Simulation<FleetEv, Q> = Simulation::with_scheduler(queue);
+        for (i, req) in trace.trace.requests.iter().enumerate() {
+            sim.queue_mut()
+                .schedule_at(req.arrival(), FleetEv::Arrival(i));
+        }
+        if !trace.trace.is_empty() {
+            sim.queue_mut()
+                .schedule_after(scale_interval, FleetEv::ScaleTick);
+        }
+        sim.run(&mut world);
+        // Roll up.
+        let makespan_secs = world.last_completion.as_secs_f64();
+        let window_secs = makespan_secs.max(1e-9);
+        let shard_reports: Vec<ShardSloReport> = world
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(sx, s)| ShardSloReport {
+                shard: sx as u32,
+                report: SloReport {
+                    label: format!("shard-{sx}"),
+                    deadline_secs,
+                    submitted: s.submitted,
+                    served: s.served,
+                    served_within_deadline: s.served_within_deadline,
+                    shed: s.shed,
+                    deadline_rejected: s.deadline_rejected,
+                    other_rejected: 0,
+                    goodput_rps: s.served as f64 / window_secs,
+                    goodput_at_deadline_rps: s.served_within_deadline as f64 / window_secs,
+                    p95_latency_secs: s.latency_hist.percentile(0.95),
+                    mean_latency_secs: s.latency_hist.mean(),
+                    rungs: s
+                        .rung_served
+                        .iter()
+                        .map(|&(label, served)| fps_metrics::RungServed::new(label, served, None))
+                        .collect(),
+                    bubble_fraction: None,
+                },
+                latency_hist: s.latency_hist.clone(),
+                queue_wait_hist: s.queue_wait_hist.clone(),
+            })
+            .collect();
+        let fleet = FleetSloReport::merge("fleet", window_secs, &shard_reports)
+            .expect("uniform histogram geometry");
+        FleetReport {
+            strategy,
+            shard_reports,
+            fleet,
+            cache_hits: world.cache_hits,
+            cache_misses: world.cache_misses,
+            spills: world.spills,
+            scale_ups: world
+                .shards
+                .iter()
+                .filter_map(|s| s.scaler.as_ref())
+                .map(Autoscaler::ups)
+                .sum(),
+            scale_downs: world
+                .shards
+                .iter()
+                .filter_map(|s| s.scaler.as_ref())
+                .map(Autoscaler::downs)
+                .sum(),
+            final_workers: world.shards.iter().map(|s| s.pools.len()).collect(),
+            makespan_secs,
+            events_processed: sim.events_processed(),
+        }
+    }
+}
+
+/// Model defaults live behind a helper so the simulator has one place
+/// naming which paper model the analytic costs are calibrated to.
+struct ModelDefaults;
+
+impl ModelDefaults {
+    fn paper() -> fps_diffusion::ModelConfig {
+        fps_diffusion::ModelConfig::paper_sdxl()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fps_workload::{FleetTraceConfig, TenantSpec};
+
+    fn small_trace() -> FleetTrace {
+        FleetTrace::generate(&FleetTraceConfig {
+            tenants: vec![TenantSpec::new("t", 3.0, 48)],
+            duration_secs: 120.0,
+            diurnal: None,
+            seed: 42,
+        })
+    }
+
+    fn config(strategy: RouteStrategy) -> FleetConfig {
+        FleetConfig {
+            shards: 4,
+            workers_per_shard: 2,
+            max_batch: 4,
+            cache_capacity: 12,
+            strategy,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn conservation_holds_per_shard_and_fleet() {
+        let trace = small_trace();
+        let r = FleetSim::run(
+            config(RouteStrategy::Affinity { load_factor: 1.25 }),
+            &trace,
+        );
+        assert_eq!(r.fleet.fleet.submitted, trace.trace.len() as u64);
+        assert_eq!(r.fleet.fleet.lost(), 0, "requests vanished");
+        for s in &r.shard_reports {
+            assert_eq!(s.report.lost(), 0, "shard {} lost requests", s.shard);
+        }
+        assert!(r.fleet.fleet.served > 0);
+        assert!(r.makespan_secs > 0.0);
+        // Two events per request plus scale ticks.
+        assert!(r.events_processed >= 2 * r.fleet.fleet.served);
+    }
+
+    #[test]
+    fn replays_are_byte_identical_on_both_schedulers() {
+        let trace = small_trace();
+        let cfg = config(RouteStrategy::Affinity { load_factor: 1.25 });
+        let a = FleetSim::run(cfg.clone(), &trace)
+            .to_json()
+            .to_string_compact();
+        let b = FleetSim::run(cfg.clone(), &trace)
+            .to_json()
+            .to_string_compact();
+        assert_eq!(a, b, "same scheduler, same bytes");
+        let heap = FleetSim::run_on_heap(cfg, &trace)
+            .to_json()
+            .to_string_compact();
+        assert_eq!(a, heap, "calendar and heap runs diverged");
+    }
+
+    #[test]
+    fn affinity_beats_round_robin_on_hit_rate() {
+        let trace = small_trace();
+        let aff = FleetSim::run(
+            config(RouteStrategy::Affinity { load_factor: 1.25 }),
+            &trace,
+        );
+        let rr = FleetSim::run(config(RouteStrategy::RoundRobin), &trace);
+        assert!(
+            aff.hit_rate() > rr.hit_rate(),
+            "affinity {} vs round-robin {}",
+            aff.hit_rate(),
+            rr.hit_rate()
+        );
+    }
+
+    #[test]
+    fn autoscaler_grows_pools_under_pressure() {
+        let trace = FleetTrace::generate(&FleetTraceConfig {
+            tenants: vec![TenantSpec::new("hot", 12.0, 32)],
+            duration_secs: 300.0,
+            diurnal: None,
+            seed: 9,
+        });
+        let mut cfg = config(RouteStrategy::Affinity { load_factor: 1.25 });
+        cfg.workers_per_shard = 1;
+        cfg.autoscaler = Some(AutoscalerConfig {
+            min_workers: 1,
+            max_workers: 6,
+            up_ticks: 1,
+            cooldown: SimDuration::from_secs_f64(10.0),
+            ..Default::default()
+        });
+        let r = FleetSim::run(cfg, &trace);
+        assert!(r.scale_ups > 0, "no scale-ups under overload");
+        assert!(r.final_workers.iter().any(|&w| w > 1));
+    }
+
+    #[test]
+    fn empty_trace_produces_an_empty_report() {
+        let trace = FleetTrace::generate(&FleetTraceConfig {
+            tenants: vec![],
+            duration_secs: 10.0,
+            diurnal: None,
+            seed: 0,
+        });
+        let r = FleetSim::run(config(RouteStrategy::RoundRobin), &trace);
+        assert_eq!(r.fleet.fleet.submitted, 0);
+        assert_eq!(r.events_processed, 0);
+    }
+}

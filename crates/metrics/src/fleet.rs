@@ -1,0 +1,225 @@
+//! Cross-shard SLO aggregation.
+//!
+//! A fleet run produces one [`SloReport`] per shard plus the latency
+//! and queue-wait histograms those reports were derived from. Folding
+//! them into a fleet-level view is mostly addition — counts sum,
+//! goodput is total served over the common window — with one trap:
+//! **percentiles do not average**. The mean of ten per-shard p95s says
+//! nothing about the fleet p95 (one slow shard dominates the pooled
+//! tail while barely moving the average). The merge here carries the
+//! per-shard histograms and takes percentiles of the *merged* counts,
+//! which is exact up to bucket resolution.
+
+use crate::histogram::Histogram;
+use crate::slo::{RungServed, SloReport};
+use fps_json::{Json, ToJson};
+
+/// One shard's contribution to a fleet report: its SLO accounting plus
+/// the histograms that make cross-shard percentiles mergeable.
+#[derive(Debug, Clone)]
+pub struct ShardSloReport {
+    /// Shard id within the fleet.
+    pub shard: u32,
+    /// The shard's own SLO accounting.
+    pub report: SloReport,
+    /// End-to-end latency of served requests, seconds.
+    pub latency_hist: Histogram,
+    /// Queue wait (arrival → service start) of served requests,
+    /// seconds.
+    pub queue_wait_hist: Histogram,
+}
+
+impl ToJson for ShardSloReport {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("shard", self.shard as u64)
+            .with("report", self.report.to_json())
+            .with("latency_p50_secs", self.latency_hist.percentile(0.50))
+            .with("latency_p95_secs", self.latency_hist.percentile(0.95))
+            .with("queue_wait_p95_secs", self.queue_wait_hist.percentile(0.95))
+    }
+}
+
+/// A fleet-level rollup: the merged [`SloReport`] plus the pooled
+/// histograms it was derived from.
+#[derive(Debug, Clone)]
+pub struct FleetSloReport {
+    /// Merged fleet-wide accounting; percentiles come from the pooled
+    /// histograms below, not from averaging shard percentiles.
+    pub fleet: SloReport,
+    /// Pooled end-to-end latency across all shards.
+    pub latency_hist: Histogram,
+    /// Pooled queue wait across all shards.
+    pub queue_wait_hist: Histogram,
+    /// Shards that contributed.
+    pub shards: u32,
+}
+
+impl FleetSloReport {
+    /// Merges per-shard reports over a common serving window of
+    /// `window_secs` virtual seconds. Returns `None` when `shards` is
+    /// empty or the histograms have mismatched geometry (which would
+    /// make the pooled percentiles meaningless).
+    pub fn merge(label: &str, window_secs: f64, shards: &[ShardSloReport]) -> Option<Self> {
+        let first = shards.first()?;
+        let mut latency_hist = first.latency_hist.clone();
+        let mut queue_wait_hist = first.queue_wait_hist.clone();
+        let mut fleet = SloReport {
+            label: label.to_string(),
+            deadline_secs: first.report.deadline_secs,
+            submitted: 0,
+            served: 0,
+            served_within_deadline: 0,
+            shed: 0,
+            deadline_rejected: 0,
+            other_rejected: 0,
+            goodput_rps: 0.0,
+            goodput_at_deadline_rps: 0.0,
+            p95_latency_secs: 0.0,
+            mean_latency_secs: 0.0,
+            rungs: Vec::new(),
+            bubble_fraction: None,
+        };
+        for (i, s) in shards.iter().enumerate() {
+            if i > 0
+                && (!latency_hist.merge(&s.latency_hist)
+                    || !queue_wait_hist.merge(&s.queue_wait_hist))
+            {
+                return None;
+            }
+            fleet.submitted += s.report.submitted;
+            fleet.served += s.report.served;
+            fleet.served_within_deadline += s.report.served_within_deadline;
+            fleet.shed += s.report.shed;
+            fleet.deadline_rejected += s.report.deadline_rejected;
+            fleet.other_rejected += s.report.other_rejected;
+            for rung in &s.report.rungs {
+                match fleet.rungs.iter_mut().find(|r| r.label == rung.label) {
+                    Some(r) => r.served += rung.served,
+                    None => fleet.rungs.push(RungServed::new(
+                        rung.label.clone(),
+                        rung.served,
+                        rung.quality,
+                    )),
+                }
+            }
+        }
+        if window_secs > 0.0 {
+            fleet.goodput_rps = fleet.served as f64 / window_secs;
+            fleet.goodput_at_deadline_rps = fleet.served_within_deadline as f64 / window_secs;
+        }
+        fleet.p95_latency_secs = latency_hist.percentile(0.95);
+        fleet.mean_latency_secs = latency_hist.mean();
+        Some(Self {
+            fleet,
+            latency_hist,
+            queue_wait_hist,
+            shards: shards.len() as u32,
+        })
+    }
+
+    /// Pooled queue-wait p95 across the fleet, seconds.
+    pub fn queue_wait_p95_secs(&self) -> f64 {
+        self.queue_wait_hist.percentile(0.95)
+    }
+}
+
+impl ToJson for FleetSloReport {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("shards", self.shards as u64)
+            .with("fleet", self.fleet.to_json())
+            .with("queue_wait_p95_secs", self.queue_wait_p95_secs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(id: u32, served: u64, latencies: &[f64]) -> ShardSloReport {
+        let mut latency_hist = Histogram::new(0.0, 60.0, 600).unwrap();
+        let mut queue_wait_hist = Histogram::new(0.0, 60.0, 600).unwrap();
+        for &l in latencies {
+            latency_hist.record(l);
+            queue_wait_hist.record(l / 2.0);
+        }
+        ShardSloReport {
+            shard: id,
+            report: SloReport {
+                label: format!("shard-{id}"),
+                deadline_secs: 30.0,
+                submitted: served + 10,
+                served,
+                served_within_deadline: served.saturating_sub(1),
+                shed: 10,
+                deadline_rejected: 0,
+                other_rejected: 0,
+                goodput_rps: 0.0,
+                goodput_at_deadline_rps: 0.0,
+                p95_latency_secs: latency_hist.percentile(0.95),
+                mean_latency_secs: latency_hist.mean(),
+                rungs: vec![RungServed::new("flashps-kv", served, Some(1.0))],
+                bubble_fraction: None,
+            },
+            latency_hist,
+            queue_wait_hist,
+        }
+    }
+
+    #[test]
+    fn counts_sum_and_rungs_merge_by_label() {
+        let a = shard(0, 100, &[1.0; 100]);
+        let b = shard(1, 50, &[2.0; 50]);
+        let f = FleetSloReport::merge("fleet", 100.0, &[a, b]).unwrap();
+        assert_eq!(f.fleet.submitted, 170);
+        assert_eq!(f.fleet.served, 150);
+        assert_eq!(f.fleet.shed, 20);
+        assert_eq!(f.fleet.lost(), 0);
+        assert!((f.fleet.goodput_rps - 1.5).abs() < 1e-12);
+        assert_eq!(f.fleet.rungs.len(), 1);
+        assert_eq!(f.fleet.rungs[0].served, 150);
+        assert_eq!(f.shards, 2);
+    }
+
+    #[test]
+    fn fleet_p95_is_pooled_not_averaged() {
+        // Shard 0: 900 fast requests around 1s; shard 1: 100 slow
+        // around 40s. Pooled p95 lands in the slow tail; the average of
+        // per-shard p95s does not.
+        let fast: Vec<f64> = (0..900).map(|i| 1.0 + (i % 10) as f64 * 0.01).collect();
+        let slow: Vec<f64> = (0..100).map(|i| 40.0 + (i % 10) as f64 * 0.01).collect();
+        let a = shard(0, 900, &fast);
+        let b = shard(1, 100, &slow);
+        let naive = (a.report.p95_latency_secs + b.report.p95_latency_secs) / 2.0;
+        let f = FleetSloReport::merge("fleet", 100.0, &[a, b]).unwrap();
+        assert!(
+            f.fleet.p95_latency_secs > 35.0,
+            "pooled p95 sits in the tail"
+        );
+        assert!((naive - f.fleet.p95_latency_secs).abs() > 10.0);
+    }
+
+    #[test]
+    fn mismatched_geometry_and_empty_input_refuse() {
+        assert!(FleetSloReport::merge("fleet", 1.0, &[]).is_none());
+        let a = shard(0, 10, &[1.0]);
+        let mut b = shard(1, 10, &[1.0]);
+        b.latency_hist = Histogram::new(0.0, 10.0, 10).unwrap();
+        assert!(FleetSloReport::merge("fleet", 1.0, &[a, b]).is_none());
+    }
+
+    #[test]
+    fn serializes_round_trip() {
+        let f = FleetSloReport::merge("fleet", 10.0, &[shard(0, 10, &[1.0; 10])]).unwrap();
+        let j = f.to_json();
+        assert_eq!(j.get("shards").and_then(Json::as_u64), Some(1));
+        let back = Json::parse(&j.to_string_compact()).unwrap();
+        assert_eq!(
+            back.get("fleet")
+                .and_then(|f| f.get("served"))
+                .and_then(Json::as_u64),
+            Some(10)
+        );
+    }
+}

@@ -85,6 +85,48 @@ impl Histogram {
             .collect()
     }
 
+    /// Merges another histogram's counts into this one. Returns `false`
+    /// (leaving `self` untouched) when the bucket geometries differ —
+    /// merging histograms over different ranges would silently misbin.
+    pub fn merge(&mut self, other: &Histogram) -> bool {
+        if self.lo != other.lo || self.hi != other.hi || self.counts.len() != other.counts.len() {
+            return false;
+        }
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        true
+    }
+
+    /// Estimates the `p`-quantile (`p` in `[0, 1]`) by linear
+    /// interpolation within the containing bucket; 0.0 when empty.
+    ///
+    /// This is the primitive that makes cross-shard percentile
+    /// aggregation sound: merge the shard histograms, then take the
+    /// percentile of the merged counts. Averaging per-shard p95s has no
+    /// statistical meaning.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let rank = p * self.total as f64;
+        let n = self.counts.len();
+        let width = (self.hi - self.lo) / n as f64;
+        let mut cum = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = cum + c as f64;
+            if next >= rank && c > 0 {
+                let frac = ((rank - cum) / c as f64).clamp(0.0, 1.0);
+                return self.lo + (i as f64 + frac) * width;
+            }
+            cum = next;
+        }
+        self.hi
+    }
+
     /// Renders a compact ASCII bar chart, one line per bucket.
     pub fn ascii(&self, bar_width: usize) -> String {
         let pmf = self.pmf();
@@ -157,6 +199,66 @@ mod tests {
         let h = Histogram::new(0.0, 1.0, 3).unwrap();
         assert_eq!(h.mean(), 0.0);
         assert!(h.pmf().iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn merge_requires_matching_geometry() {
+        let mut a = Histogram::new(0.0, 1.0, 4).unwrap();
+        let mut b = Histogram::new(0.0, 1.0, 4).unwrap();
+        a.record(0.1);
+        b.record(0.9);
+        b.record(0.85);
+        assert!(a.merge(&b));
+        assert_eq!(a.counts(), &[1, 0, 0, 2]);
+        assert_eq!(a.total(), 3);
+        let wrong_range = Histogram::new(0.0, 2.0, 4).unwrap();
+        let wrong_buckets = Histogram::new(0.0, 1.0, 8).unwrap();
+        assert!(!a.merge(&wrong_range));
+        assert!(!a.merge(&wrong_buckets));
+        assert_eq!(a.total(), 3, "failed merges leave counts untouched");
+    }
+
+    #[test]
+    fn percentile_interpolates_within_buckets() {
+        let mut h = Histogram::new(0.0, 100.0, 100).unwrap();
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        // Uniform samples: the q-quantile should land near 100q.
+        assert!((h.percentile(0.5) - 50.0).abs() < 1.01);
+        assert!((h.percentile(0.95) - 95.0).abs() < 1.01);
+        assert_eq!(h.percentile(1.0), 100.0);
+        let empty = Histogram::new(0.0, 1.0, 4).unwrap();
+        assert_eq!(empty.percentile(0.95), 0.0);
+    }
+
+    #[test]
+    fn merged_percentile_equals_pooled_percentile() {
+        // Two skewed shards: merging then taking p95 must match the
+        // histogram of the pooled samples — and differ from the mean of
+        // the per-shard p95s.
+        let mut fast = Histogram::new(0.0, 10.0, 1000).unwrap();
+        let mut slow = Histogram::new(0.0, 10.0, 1000).unwrap();
+        let mut pooled = Histogram::new(0.0, 10.0, 1000).unwrap();
+        for i in 0..900 {
+            let v = 0.5 + (i % 10) as f64 * 0.01;
+            fast.record(v);
+            pooled.record(v);
+        }
+        for i in 0..100 {
+            let v = 8.0 + (i % 10) as f64 * 0.01;
+            slow.record(v);
+            pooled.record(v);
+        }
+        let naive_avg = (fast.percentile(0.95) + slow.percentile(0.95)) / 2.0;
+        let mut merged = fast.clone();
+        assert!(merged.merge(&slow));
+        let p95 = merged.percentile(0.95);
+        assert!((p95 - pooled.percentile(0.95)).abs() < 1e-9);
+        // Pooled p95 sits in the slow tail (~8s); the naive average
+        // (~4.3s) is wildly off.
+        assert!(p95 > 7.5);
+        assert!((naive_avg - p95).abs() > 3.0);
     }
 
     #[test]

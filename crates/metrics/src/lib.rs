@@ -12,8 +12,11 @@
 //!   fallback rate, lost-request conservation) under fault injection.
 //! - [`slo`] — SLO-attainment accounting (goodput at deadline, shed
 //!   rate, per-rung quality) for overload-controlled runs.
+//! - [`fleet`] — cross-shard SLO aggregation with histogram-merged
+//!   percentiles (fleet p95 is pooled, never averaged).
 
 pub mod degradation;
+pub mod fleet;
 pub mod histogram;
 pub mod latency;
 pub mod plot;
@@ -24,6 +27,7 @@ pub mod stats;
 pub mod throughput;
 
 pub use degradation::DegradationReport;
+pub use fleet::{FleetSloReport, ShardSloReport};
 pub use histogram::Histogram;
 pub use latency::{LatencyBreakdown, LatencyRecorder};
 pub use plot::{line_plot, Series};

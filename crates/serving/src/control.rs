@@ -99,11 +99,13 @@ pub struct ControlPlane<R> {
     full_steps: usize,
     decisions: Option<Vec<Decision>>,
     trace: TraceSink,
+    control_track: Track,
 }
 
-/// The trace track decision events land on: distinct from the
+/// The default trace track decision events land on: distinct from the
 /// per-worker execution tracks so policy and mechanism stay visually
-/// separate in exported traces.
+/// separate in exported traces. Fleet shards override it (one control
+/// track per shard) via [`ControlPlane::with_control_track`].
 const CONTROL_TRACK: Track = Track::new(1, 0);
 
 impl<R: Router> ControlPlane<R> {
@@ -118,7 +120,16 @@ impl<R: Router> ControlPlane<R> {
             full_steps,
             decisions: None,
             trace: TraceSink::disabled(),
+            control_track: CONTROL_TRACK,
         }
+    }
+
+    /// Overrides the trace track decision events land on. A fleet runs
+    /// one plane per shard; giving each its own track keeps per-shard
+    /// policy streams separable in one exported trace.
+    pub fn with_control_track(mut self, track: Track) -> Self {
+        self.control_track = track;
+        self
     }
 
     /// Attaches a trace sink: every decision is emitted as an event
@@ -222,7 +233,7 @@ impl<R: Router> ControlPlane<R> {
         };
         args.push(clock);
         self.trace
-            .event_at(name, "control", CONTROL_TRACK, ts, args);
+            .event_at(name, "control", self.control_track, ts, args);
     }
 
     /// Admission and rung selection for one submission attempt.

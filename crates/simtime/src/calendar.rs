@@ -1,0 +1,480 @@
+//! A calendar queue: the fleet-scale event scheduler.
+//!
+//! The binary-heap [`EventQueue`](crate::event::EventQueue) pays
+//! `O(log n)` — and, at a million pending events, a cache miss per heap
+//! level — on every operation. A calendar queue ([Brown 1988]) instead
+//! hashes events by timestamp into an array of time buckets ("days" of
+//! a repeating "year") and drains one bucket at a time, giving
+//! amortized `O(1)` scheduling and popping under the stationary event
+//! populations that dominate serving simulations.
+//!
+//! Two properties matter here beyond raw speed:
+//!
+//! - **Determinism.** Events pop in strict `(time, seq)` order, exactly
+//!   like the heap — a seeded simulation replays byte-identically on
+//!   either scheduler (asserted by differential tests here and in the
+//!   fleet integration suite).
+//! - **Batched draining.** A whole bucket-year is extracted and sorted
+//!   in one pass, so the per-pop fast path is a bounds-checked pointer
+//!   decrement rather than a heap sift-down. Simultaneous events — the
+//!   common case when thousands of arrivals land in the same
+//!   nanosecond bucket — are ordered by one sort instead of n heap
+//!   operations.
+//!
+//! [Brown 1988]: "Calendar Queues: A Fast O(1) Priority Queue
+//! Implementation for the Simulation Event Set Problem", CACM 31(10).
+
+use crate::event::EventScheduler;
+use crate::time::{SimDuration, SimTime};
+
+struct Slot<E> {
+    at: u64,
+    seq: u64,
+    event: E,
+}
+
+/// Minimum and maximum bucket-array sizes (powers of two).
+const MIN_BUCKETS: usize = 16;
+const MAX_BUCKETS: usize = 1 << 22;
+
+/// log2 of the smallest power of two >= `width_ns` (clamped so the
+/// day shift never exceeds 63 bits).
+fn width_to_shift(width_ns: u64) -> u32 {
+    if width_ns <= 1 {
+        0
+    } else {
+        (64 - (width_ns - 1).leading_zeros()).min(63)
+    }
+}
+
+/// A bucketed event scheduler with amortized `O(1)` operations.
+///
+/// Drop-in alternative to [`EventQueue`](crate::event::EventQueue):
+/// both implement [`EventScheduler`] and pop events in identical
+/// `(time, seq)` order.
+pub struct CalendarQueue<E> {
+    /// `buckets[g & mask]` holds the *unsorted* events of every year
+    /// whose global day index hashes there.
+    buckets: Vec<Vec<Slot<E>>>,
+    mask: u64,
+    /// log2 of the bucket width in nanoseconds: `day = at >> shift`.
+    /// Power-of-two widths keep the day computation a shift — a 64-bit
+    /// division here costs more than the rest of the pop fast path.
+    shift: u32,
+    size: usize,
+    seq: u64,
+    now: SimTime,
+    /// Global (unmasked) day index currently being drained; only
+    /// meaningful while `drain` is non-empty.
+    cursor: u64,
+    /// The cursor day's events, sorted descending by `(time, seq)` so
+    /// pops come off the back in ascending order.
+    drain: Vec<Slot<E>>,
+    /// An insert landed in the cursor day mid-drain; re-merge before
+    /// the next pop.
+    drain_dirty: bool,
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> CalendarQueue<E> {
+    /// Creates an empty queue at time zero with a 1 µs initial bucket
+    /// width (adapted automatically as the population changes).
+    pub fn new() -> Self {
+        Self::with_width(SimDuration::from_micros(1))
+    }
+
+    /// Creates an empty queue with an explicit initial bucket width —
+    /// a hint only (rounded up to a power of two); the width re-adapts
+    /// on every resize.
+    pub fn with_width(width: SimDuration) -> Self {
+        Self {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            mask: (MIN_BUCKETS - 1) as u64,
+            shift: width_to_shift(width.as_nanos()),
+            size: 0,
+            seq: 0,
+            now: SimTime::ZERO,
+            cursor: 0,
+            drain: Vec::new(),
+            drain_dirty: false,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    fn day_of(&self, at_ns: u64) -> u64 {
+        at_ns >> self.shift
+    }
+
+    /// Schedules an event at an absolute time (clamped to `now`).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now).as_nanos();
+        let seq = self.seq;
+        self.seq += 1;
+        let day = self.day_of(at);
+        if !self.drain.is_empty() {
+            if day == self.cursor {
+                // Lands in the day being drained: stage it in the
+                // bucket and force a merge before the next pop.
+                self.drain_dirty = true;
+            } else if day < self.cursor {
+                // A horizon-limited pop can refill the drain without
+                // advancing `now` past it; an insert into an earlier
+                // day must void the drain so the next pop re-extracts
+                // in time order.
+                while let Some(s) = self.drain.pop() {
+                    let i = ((s.at >> self.shift) & self.mask) as usize;
+                    self.buckets[i].push(s);
+                }
+                self.drain_dirty = false;
+            }
+        }
+        let idx = (day & self.mask) as usize;
+        self.buckets[idx].push(Slot { at, seq, event });
+        self.size += 1;
+        if self.size > self.buckets.len() * 2 && self.buckets.len() < MAX_BUCKETS {
+            self.resize(self.buckets.len() * 2);
+        }
+    }
+
+    /// Schedules an event after a delay from the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_before(SimTime::from_nanos(u64::MAX))
+    }
+
+    /// Pops the earliest event only if it fires at or before `horizon`.
+    pub fn pop_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        if self.size == 0 {
+            return None;
+        }
+        if self.drain_dirty {
+            self.merge_cursor_inserts();
+        }
+        if self.drain.is_empty() {
+            self.refill_drain();
+        }
+        let head = self.drain.last().expect("refill found an event");
+        if head.at > horizon.as_nanos() {
+            return None;
+        }
+        let slot = self.drain.pop().expect("checked non-empty");
+        self.now = SimTime::from_nanos(slot.at);
+        self.size -= 1;
+        if self.size < self.buckets.len() / 4 && self.buckets.len() > MIN_BUCKETS {
+            self.resize(self.buckets.len() / 2);
+        }
+        Some((self.now, slot.event))
+    }
+
+    /// Moves every event of day `self.cursor` out of its bucket into
+    /// `drain`, keeping `drain` sorted descending by `(time, seq)`.
+    fn merge_cursor_inserts(&mut self) {
+        let idx = (self.cursor & self.mask) as usize;
+        let shift = self.shift;
+        let cursor = self.cursor;
+        let bucket = &mut self.buckets[idx];
+        let mut i = 0;
+        while i < bucket.len() {
+            if bucket[i].at >> shift == cursor {
+                self.drain.push(bucket.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        self.drain
+            .sort_unstable_by_key(|s| std::cmp::Reverse((s.at, s.seq)));
+        self.drain_dirty = false;
+    }
+
+    /// Finds the next non-empty day at or after `now` and extracts it
+    /// into `drain`. Scans forward one year at most before falling back
+    /// to a direct minimum search (sparse queues). Caller guarantees
+    /// `size > 0`.
+    fn refill_drain(&mut self) {
+        let mut day = self.day_of(self.now.as_nanos());
+        let years_len = self.buckets.len() as u64;
+        let shift = self.shift;
+        let mut scanned = 0u64;
+        loop {
+            if scanned >= years_len {
+                // A full year without a hit: jump straight to the
+                // earliest pending event.
+                day = self.min_day();
+            }
+            let idx = (day & self.mask) as usize;
+            let bucket = &mut self.buckets[idx];
+            if !bucket.is_empty() {
+                let mut i = 0;
+                while i < bucket.len() {
+                    if bucket[i].at >> shift == day {
+                        self.drain.push(bucket.swap_remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+                if !self.drain.is_empty() {
+                    self.cursor = day;
+                    self.drain_dirty = false;
+                    self.drain
+                        .sort_unstable_by_key(|s| std::cmp::Reverse((s.at, s.seq)));
+                    return;
+                }
+            }
+            day += 1;
+            scanned += 1;
+        }
+    }
+
+    /// The day of the globally earliest pending event (`O(n)`; the
+    /// sparse-queue fallback).
+    fn min_day(&self) -> u64 {
+        let mut best: Option<(u64, u64)> = None;
+        for b in &self.buckets {
+            for s in b {
+                if best
+                    .map(|(at, seq)| (s.at, s.seq) < (at, seq))
+                    .unwrap_or(true)
+                {
+                    best = Some((s.at, s.seq));
+                }
+            }
+        }
+        let (at, _) = best.expect("size > 0");
+        at >> self.shift
+    }
+
+    /// Rebuilds the bucket array at a new size, re-estimating the
+    /// bucket width from the current population's time span so the
+    /// steady-state day holds a handful of events. Days are sized at
+    /// ~4× `span/new_len`: wide enough that refills amortize one sort
+    /// over several pops, and — since the population can double before
+    /// the next grow — the bucket-year keeps covering the whole live
+    /// window, so distinct days never alias into one bucket in steady
+    /// state. The drain buffer is untouched — it was already extracted.
+    fn resize(&mut self, new_len: usize) {
+        let mut all: Vec<Slot<E>> = Vec::with_capacity(self.size);
+        // An in-progress drain goes back into the pool: under the new
+        // (possibly finer) width the old cursor day can split, so a
+        // mid-drain insert may belong to an earlier new-day than the
+        // drain head — keeping the drain would pop past it. Re-bucketed
+        // events are re-extracted by the next pop's refill, which walks
+        // forward from `now` and cannot miss them.
+        all.append(&mut self.drain);
+        self.drain_dirty = false;
+        for b in &mut self.buckets {
+            all.append(b);
+        }
+        let lo = self.now.as_nanos();
+        let hi = all.iter().map(|s| s.at).max().unwrap_or(lo);
+        let span = hi.saturating_sub(lo).max(1);
+        self.shift = width_to_shift(span.saturating_mul(4) / new_len as u64);
+        self.mask = (new_len - 1) as u64;
+        self.buckets = (0..new_len).map(|_| Vec::new()).collect();
+        for s in all {
+            let idx = ((s.at >> self.shift) & self.mask) as usize;
+            self.buckets[idx].push(s);
+        }
+    }
+}
+
+impl<E> EventScheduler<E> for CalendarQueue<E> {
+    fn now(&self) -> SimTime {
+        CalendarQueue::now(self)
+    }
+
+    fn schedule_at(&mut self, at: SimTime, event: E) {
+        CalendarQueue::schedule_at(self, at, event);
+    }
+
+    fn len(&self) -> usize {
+        CalendarQueue::len(self)
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        CalendarQueue::pop(self)
+    }
+
+    fn pop_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        CalendarQueue::pop_before(self, horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventQueue;
+
+    /// Deterministic 64-bit mix for pseudo-random test schedules.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        q.schedule_at(SimTime::from_nanos(30), 3);
+        q.schedule_at(SimTime::from_nanos(10), 1);
+        q.schedule_at(SimTime::from_nanos(30), 4);
+        q.schedule_at(SimTime::from_nanos(20), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3, 4]);
+        assert_eq!(q.now().as_nanos(), 30);
+    }
+
+    #[test]
+    fn simultaneous_events_keep_fifo_order() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        for i in 0..100 {
+            q.schedule_at(SimTime::from_nanos(42), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        q.schedule_at(SimTime::from_nanos(1000), 0);
+        let _ = q.pop();
+        q.schedule_at(SimTime::from_nanos(5), 1);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t.as_nanos(), 1000, "past events fire immediately");
+    }
+
+    #[test]
+    fn mid_drain_inserts_interleave_correctly() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::with_width(SimDuration::from_nanos(1000));
+        // All land in one bucket day; drain starts.
+        q.schedule_at(SimTime::from_nanos(100), 0);
+        q.schedule_at(SimTime::from_nanos(300), 2);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t.as_nanos(), e), (100, 0));
+        // Insert between the drained head and the rest of the batch.
+        q.schedule_at(SimTime::from_nanos(200), 1);
+        let got: Vec<(u64, u32)> =
+            std::iter::from_fn(|| q.pop().map(|(t, e)| (t.as_nanos(), e))).collect();
+        assert_eq!(got, vec![(200, 1), (300, 2)]);
+    }
+
+    #[test]
+    fn sparse_far_future_events_are_found() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::with_width(SimDuration::from_nanos(1));
+        // Many empty years between events forces the min-day fallback.
+        q.schedule_at(SimTime::from_nanos(5), 0);
+        q.schedule_at(SimTime::from_nanos(1_000_000_007), 1);
+        assert_eq!(q.pop().unwrap().1, 0);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn grows_and_shrinks_through_population_swings() {
+        let mut q: CalendarQueue<u64> = CalendarQueue::new();
+        let mut s = 7u64;
+        for i in 0..10_000u64 {
+            q.schedule_at(SimTime::from_nanos(splitmix(&mut s) % 1_000_000), i);
+        }
+        assert_eq!(q.len(), 10_000);
+        let mut last = (0u64, 0u64);
+        let mut popped = 0;
+        while let Some((t, e)) = q.pop() {
+            // Time strictly non-decreasing; ties resolved by seq (== e
+            // here since insertion order is the payload order).
+            assert!((t.as_nanos(), e) > last || popped == 0);
+            last = (t.as_nanos(), e);
+            popped += 1;
+        }
+        assert_eq!(popped, 10_000);
+    }
+
+    /// The satellite's differential replay: a seeded random workload of
+    /// interleaved schedules and pops (including same-timestamp
+    /// collisions) must pop identically from both schedulers.
+    #[test]
+    fn differential_heap_vs_calendar_replay_is_identical() {
+        fn drive<Q: EventScheduler<u64>>(q: &mut Q) -> Vec<(u64, u64)> {
+            let mut out = Vec::new();
+            let mut s = 0xD1FFu64;
+            let mut id = 0u64;
+            // Seed a population.
+            for _ in 0..500 {
+                q.schedule_at(SimTime::from_nanos(splitmix(&mut s) % 10_000), id);
+                id += 1;
+            }
+            // Interleave pops with clustered re-schedules: % 64 forces
+            // frequent identical timestamps to exercise the tie-break.
+            for step in 0..5_000 {
+                if let Some((t, e)) = q.pop() {
+                    out.push((t.as_nanos(), e));
+                    if step % 3 != 0 {
+                        let delay = SimDuration::from_nanos(splitmix(&mut s) % 64);
+                        q.schedule_after(delay, id);
+                        id += 1;
+                    }
+                }
+            }
+            while let Some((t, e)) = q.pop() {
+                out.push((t.as_nanos(), e));
+            }
+            out
+        }
+        let mut heap: EventQueue<u64> = EventQueue::new();
+        let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+        let a = drive(&mut heap);
+        let b = drive(&mut cal);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a, b, "heap and calendar replays diverged");
+    }
+
+    #[test]
+    fn insert_before_a_horizon_parked_drain_pops_first() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::with_width(SimDuration::from_nanos(1));
+        q.schedule_at(SimTime::from_nanos(50), 1);
+        // The refill extracts day 50, but the horizon parks it.
+        assert!(q.pop_before(SimTime::from_nanos(40)).is_none());
+        // An insert into an earlier day must still pop first.
+        q.schedule_at(SimTime::from_nanos(20), 0);
+        assert_eq!(q.pop().unwrap(), (SimTime::from_nanos(20), 0));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_nanos(50), 1));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn pop_before_respects_horizon() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        q.schedule_at(SimTime::from_nanos(10), 0);
+        q.schedule_at(SimTime::from_nanos(50), 1);
+        assert!(q.pop_before(SimTime::from_nanos(9)).is_none());
+        assert_eq!(q.pop_before(SimTime::from_nanos(10)).unwrap().1, 0);
+        assert!(q.pop_before(SimTime::from_nanos(49)).is_none());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_before(SimTime::from_nanos(50)).unwrap().1, 1);
+    }
+}

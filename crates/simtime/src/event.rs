@@ -3,11 +3,56 @@
 //! Events carry a user-defined payload type `E`. Simultaneous events
 //! execute in scheduling order (a monotone sequence number breaks
 //! ties), so simulations are fully deterministic.
+//!
+//! Two schedulers implement the same [`EventScheduler`] contract and
+//! replay byte-identically: the binary-heap [`EventQueue`] (simple,
+//! `O(log n)` per operation) and the bucketed
+//! [`CalendarQueue`](crate::calendar::CalendarQueue) (amortized `O(1)`,
+//! the fleet-scale default). [`Simulation`] is generic over the
+//! scheduler, defaulting to the heap so existing worlds compile
+//! unchanged.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::{SimDuration, SimTime};
+
+/// The scheduling contract shared by every event queue implementation.
+///
+/// Implementations must pop events in strict `(time, seq)` order, where
+/// `seq` is the monotone scheduling sequence number — two schedulers
+/// fed the same schedule-call sequence must pop the exact same event
+/// sequence. That property is what the heap-vs-calendar differential
+/// tests lock in.
+pub trait EventScheduler<E> {
+    /// The current virtual time (the timestamp of the last popped
+    /// event).
+    fn now(&self) -> SimTime;
+
+    /// Schedules an event at an absolute time. Times before `now` are
+    /// clamped to `now` (events cannot fire in the past).
+    fn schedule_at(&mut self, at: SimTime, event: E);
+
+    /// Schedules an event after a delay from the current time.
+    fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now() + delay, event);
+    }
+
+    /// Number of pending events.
+    fn len(&self) -> usize;
+
+    /// Whether no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pops the earliest event, advancing `now` to its timestamp.
+    fn pop(&mut self) -> Option<(SimTime, E)>;
+
+    /// Pops the earliest event only if it fires at or before `horizon`;
+    /// otherwise leaves the queue untouched and returns `None`.
+    fn pop_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)>;
+}
 
 struct Scheduled<E> {
     at: SimTime,
@@ -34,7 +79,7 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
-/// A time-ordered queue of pending events.
+/// A time-ordered queue of pending events backed by a binary heap.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     seq: u64,
@@ -93,39 +138,83 @@ impl<E> EventQueue<E> {
         self.now = s.at;
         Some((s.at, s.event))
     }
+
+    /// Pops the earliest event only if it fires at or before `horizon`.
+    pub fn pop_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        if self.heap.peek()?.at > horizon {
+            return None;
+        }
+        self.pop()
+    }
+}
+
+impl<E> EventScheduler<E> for EventQueue<E> {
+    fn now(&self) -> SimTime {
+        EventQueue::now(self)
+    }
+
+    fn schedule_at(&mut self, at: SimTime, event: E) {
+        EventQueue::schedule_at(self, at, event);
+    }
+
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        EventQueue::pop(self)
+    }
+
+    fn pop_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        EventQueue::pop_before(self, horizon)
+    }
 }
 
 /// A simulation world that reacts to events and schedules follow-ups.
-pub trait EventHandler<E> {
+///
+/// Generic over the scheduler so the same world runs on the binary-heap
+/// [`EventQueue`] (the default) or the bucketed
+/// [`CalendarQueue`](crate::calendar::CalendarQueue) without code
+/// changes.
+pub trait EventHandler<E, Q: EventScheduler<E> = EventQueue<E>> {
     /// Handles one event at virtual time `now`; may schedule further
     /// events on `queue`.
-    fn handle(&mut self, now: SimTime, event: E, queue: &mut EventQueue<E>);
+    fn handle(&mut self, now: SimTime, event: E, queue: &mut Q);
 }
 
-/// Drives an [`EventQueue`] against an [`EventHandler`] until the queue
+/// Drives a scheduler against an [`EventHandler`] until the queue
 /// drains or a horizon passes.
-pub struct Simulation<E> {
-    queue: EventQueue<E>,
+pub struct Simulation<E, Q: EventScheduler<E> = EventQueue<E>> {
+    queue: Q,
     events_processed: u64,
+    _ev: std::marker::PhantomData<fn() -> E>,
 }
 
-impl<E> Default for Simulation<E> {
+impl<E> Default for Simulation<E, EventQueue<E>> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> Simulation<E> {
-    /// Creates an empty simulation.
+impl<E> Simulation<E, EventQueue<E>> {
+    /// Creates an empty simulation on the binary-heap scheduler.
     pub fn new() -> Self {
+        Self::with_scheduler(EventQueue::new())
+    }
+}
+
+impl<E, Q: EventScheduler<E>> Simulation<E, Q> {
+    /// Creates a simulation driving the given scheduler.
+    pub fn with_scheduler(queue: Q) -> Self {
         Self {
-            queue: EventQueue::new(),
+            queue,
             events_processed: 0,
+            _ev: std::marker::PhantomData,
         }
     }
 
     /// Access to the queue for initial event seeding.
-    pub fn queue_mut(&mut self) -> &mut EventQueue<E> {
+    pub fn queue_mut(&mut self) -> &mut Q {
         &mut self.queue
     }
 
@@ -140,7 +229,7 @@ impl<E> Simulation<E> {
     }
 
     /// Runs until the queue is empty.
-    pub fn run(&mut self, world: &mut impl EventHandler<E>) {
+    pub fn run(&mut self, world: &mut impl EventHandler<E, Q>) {
         while let Some((now, event)) = self.queue.pop() {
             self.events_processed += 1;
             world.handle(now, event, &mut self.queue);
@@ -149,12 +238,8 @@ impl<E> Simulation<E> {
 
     /// Runs until the queue is empty or the next event would fire after
     /// `horizon`; events at exactly `horizon` still execute.
-    pub fn run_until(&mut self, horizon: SimTime, world: &mut impl EventHandler<E>) {
-        while let Some(next) = self.queue.heap.peek() {
-            if next.at > horizon {
-                break;
-            }
-            let (now, event) = self.queue.pop().expect("peeked above");
+    pub fn run_until(&mut self, horizon: SimTime, world: &mut impl EventHandler<E, Q>) {
+        while let Some((now, event)) = self.queue.pop_before(horizon) {
             self.events_processed += 1;
             world.handle(now, event, &mut self.queue);
         }
@@ -264,5 +349,44 @@ mod tests {
         assert!(q.pop().is_none());
         q.schedule_after(SimDuration::from_nanos(1), Ev::Tick(0));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_before_leaves_late_events_queued() {
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(10), Ev::Tick(0));
+        q.schedule_at(SimTime::from_nanos(50), Ev::Tick(1));
+        assert!(q.pop_before(SimTime::from_nanos(5)).is_none());
+        let (t, _) = q.pop_before(SimTime::from_nanos(10)).unwrap();
+        assert_eq!(t.as_nanos(), 10);
+        assert!(q.pop_before(SimTime::from_nanos(49)).is_none());
+        assert_eq!(q.len(), 1);
+    }
+
+    /// A world generic over the scheduler, exercised through both via
+    /// the same code path.
+    struct GenericRecorder {
+        seen: Vec<u64>,
+    }
+
+    impl<Q: EventScheduler<Ev>> EventHandler<Ev, Q> for GenericRecorder {
+        fn handle(&mut self, now: SimTime, event: Ev, queue: &mut Q) {
+            if let Ev::Chain(n) = &event {
+                if *n > 0 {
+                    queue.schedule_after(SimDuration::from_nanos(7), Ev::Chain(n - 1));
+                }
+            }
+            self.seen.push(now.as_nanos());
+        }
+    }
+
+    #[test]
+    fn generic_worlds_run_on_the_heap_scheduler() {
+        let mut sim = Simulation::new();
+        sim.queue_mut()
+            .schedule_at(SimTime::from_nanos(0), Ev::Chain(4));
+        let mut w = GenericRecorder { seen: vec![] };
+        sim.run(&mut w);
+        assert_eq!(w.seen, vec![0, 7, 14, 21, 28]);
     }
 }

@@ -13,13 +13,15 @@
 //! - [`poisson`] — Poisson arrival processes for request traffic, the
 //!   workload model used throughout §6 of the paper.
 
+pub mod calendar;
 pub mod event;
 pub mod fault;
 pub mod poisson;
 pub mod resource;
 pub mod time;
 
-pub use event::{EventHandler, EventQueue, Simulation};
+pub use calendar::CalendarQueue;
+pub use event::{EventHandler, EventQueue, EventScheduler, Simulation};
 pub use fault::{FaultClock, FaultRng};
 pub use poisson::PoissonArrivals;
 pub use resource::{MultiResource, Resource};

@@ -1,0 +1,358 @@
+//! Multi-tenant fleet workloads: per-tenant Zipf template popularity
+//! over disjoint template spaces, merged into one arrival-ordered
+//! trace with optional diurnal rate modulation.
+//!
+//! The paper's production service runs many edit products against one
+//! fleet (§2.2: 970 templates, 34 M images); each product has its own
+//! template catalogue and popularity skew, and aggregate traffic
+//! follows a day/night cycle. This module generates that shape:
+//! tenants get disjoint `template_id` ranges (so cross-tenant requests
+//! can never share cached activations), per-tenant Zipf skew, and a
+//! sinusoidal diurnal envelope applied by thinning — the standard
+//! exact sampler for non-homogeneous Poisson processes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use fps_simtime::{PoissonArrivals, SimTime};
+
+use crate::ratio::RatioDistribution;
+use crate::trace::{MaskShapeSpec, RequestSpec, Trace, ZipfSampler};
+
+/// One tenant's traffic shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Tenant label, for reports.
+    pub name: String,
+    /// Mean arrival rate, requests per second.
+    pub rps: f64,
+    /// Size of this tenant's template catalogue.
+    pub num_templates: usize,
+    /// Zipf skew of template popularity (`0.0` = uniform).
+    pub zipf_s: f64,
+    /// Mask-ratio distribution of this tenant's edits.
+    pub ratio_dist: RatioDistribution,
+}
+
+impl TenantSpec {
+    /// A tenant with the production-trace ratio distribution and
+    /// Zipf(1.0) popularity.
+    pub fn new(name: impl Into<String>, rps: f64, num_templates: usize) -> Self {
+        Self {
+            name: name.into(),
+            rps,
+            num_templates,
+            zipf_s: 1.0,
+            ratio_dist: RatioDistribution::ProductionTrace,
+        }
+    }
+}
+
+/// Sinusoidal diurnal modulation of the arrival rate:
+/// `rate(t) = rps × (1 + amplitude · sin(2π(t/period + phase)))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalConfig {
+    /// Cycle length in seconds (86 400 for a real day; shorter in
+    /// simulations).
+    pub period_secs: f64,
+    /// Peak-to-mean rate swing, in `[0, 1)`.
+    pub amplitude: f64,
+    /// Phase offset in cycles (`0.25` starts at the peak).
+    pub phase: f64,
+}
+
+impl DiurnalConfig {
+    /// The instantaneous rate multiplier at time `t` seconds.
+    pub fn multiplier(&self, t_secs: f64) -> f64 {
+        let a = self.amplitude.clamp(0.0, 0.999);
+        1.0 + a
+            * (core::f64::consts::TAU * (t_secs / self.period_secs.max(1e-9) + self.phase)).sin()
+    }
+}
+
+/// Parameters of a fleet trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetTraceConfig {
+    /// The tenants sharing the fleet.
+    pub tenants: Vec<TenantSpec>,
+    /// Trace duration in seconds of virtual time.
+    pub duration_secs: f64,
+    /// Optional diurnal envelope applied to every tenant.
+    pub diurnal: Option<DiurnalConfig>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for FleetTraceConfig {
+    fn default() -> Self {
+        Self {
+            tenants: vec![
+                TenantSpec::new("product-a", 2.0, 32),
+                TenantSpec::new("product-b", 1.0, 16),
+            ],
+            duration_secs: 120.0,
+            diurnal: None,
+            seed: 0xF1EE7,
+        }
+    }
+}
+
+/// A merged multi-tenant trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetTrace {
+    /// Requests in arrival order with fleet-monotone ids. Template ids
+    /// are globally unique across tenants (disjoint ranges).
+    pub trace: Trace,
+    /// `tenant_of[i]` is the tenant index of `trace.requests[i]`.
+    pub tenant_of: Vec<u32>,
+    /// First template id of each tenant's range (`template_base[t] ..
+    /// template_base[t] + tenants[t].num_templates`).
+    pub template_base: Vec<u64>,
+}
+
+impl FleetTrace {
+    /// Generates a fleet trace. Tenants with non-positive rate or an
+    /// empty catalogue contribute nothing; the result is deterministic
+    /// in the seed.
+    pub fn generate(config: &FleetTraceConfig) -> Self {
+        let horizon = SimTime::from_nanos((config.duration_secs.max(0.0) * 1e9) as u64);
+        // Disjoint template id spaces: tenant t's templates start where
+        // tenant t-1's end.
+        let mut template_base = Vec::with_capacity(config.tenants.len());
+        let mut next_base = 0u64;
+        for t in &config.tenants {
+            template_base.push(next_base);
+            next_base += t.num_templates as u64;
+        }
+        let mut tagged: Vec<(u32, RequestSpec)> = Vec::new();
+        for (ti, tenant) in config.tenants.iter().enumerate() {
+            if tenant.rps <= 0.0 || tenant.num_templates == 0 {
+                continue;
+            }
+            // Per-tenant derived seeds keep tenants independent: adding
+            // a tenant does not perturb the others' streams.
+            let tenant_seed = config.seed ^ (0x7E4A_u64).wrapping_mul(ti as u64 + 1);
+            let arrivals = diurnal_arrivals(tenant.rps, horizon, config.diurnal, tenant_seed);
+            let mut body_rng = StdRng::seed_from_u64(tenant_seed ^ 0xB0D1);
+            let zipf = ZipfSampler::new(tenant.num_templates, tenant.zipf_s);
+            for at in arrivals {
+                let template_id = template_base[ti] + zipf.sample(&mut body_rng) as u64;
+                let mask_ratio = tenant.ratio_dist.sample(&mut body_rng);
+                let mask_shape = match body_rng.gen_range(0..3) {
+                    0 => MaskShapeSpec::Rect,
+                    1 => MaskShapeSpec::Ellipse,
+                    _ => MaskShapeSpec::Blob,
+                };
+                tagged.push((
+                    ti as u32,
+                    RequestSpec {
+                        id: 0, // assigned after the merge sort
+                        arrival_ns: at.as_nanos(),
+                        template_id,
+                        mask_ratio,
+                        mask_shape,
+                        seed: body_rng.next_u64(),
+                    },
+                ));
+            }
+        }
+        // Merge tenants into one arrival-ordered stream. Ties break by
+        // tenant index so the merge is deterministic.
+        tagged.sort_by_key(|(ti, r)| (r.arrival_ns, *ti));
+        let mut tenant_of = Vec::with_capacity(tagged.len());
+        let mut requests = Vec::with_capacity(tagged.len());
+        for (id, (ti, mut r)) in tagged.into_iter().enumerate() {
+            r.id = id as u64;
+            tenant_of.push(ti);
+            requests.push(r);
+        }
+        Self {
+            trace: Trace { requests },
+            tenant_of,
+            template_base,
+        }
+    }
+
+    /// Total distinct templates across all tenants.
+    pub fn total_templates(&self, config: &FleetTraceConfig) -> usize {
+        config.tenants.iter().map(|t| t.num_templates).sum()
+    }
+}
+
+/// Samples arrivals for one tenant: homogeneous Poisson at the peak
+/// rate, thinned by the instantaneous diurnal multiplier. Thinning is
+/// exact for non-homogeneous Poisson processes as long as the proposal
+/// rate dominates the true rate everywhere — hence the `1 + amplitude`
+/// peak.
+fn diurnal_arrivals(
+    rps: f64,
+    horizon: SimTime,
+    diurnal: Option<DiurnalConfig>,
+    seed: u64,
+) -> Vec<SimTime> {
+    let arrival_rng = StdRng::seed_from_u64(seed ^ 0xA331);
+    let Some(d) = diurnal else {
+        return match PoissonArrivals::new(arrival_rng, rps) {
+            Some(mut p) => p.take_until(horizon),
+            None => Vec::new(),
+        };
+    };
+    let amplitude = d.amplitude.clamp(0.0, 0.999);
+    let peak = rps * (1.0 + amplitude);
+    let Some(mut proposals) = PoissonArrivals::new(arrival_rng, peak) else {
+        return Vec::new();
+    };
+    let mut thin_rng = StdRng::seed_from_u64(seed ^ 0x7417);
+    proposals
+        .take_until(horizon)
+        .into_iter()
+        .filter(|at| {
+            let accept = rps * d.multiplier(at.as_secs_f64()) / peak;
+            thin_rng.gen_range(0.0..1.0) < accept
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_arrival_ordered() {
+        let cfg = FleetTraceConfig::default();
+        let a = FleetTrace::generate(&cfg);
+        let b = FleetTrace::generate(&cfg);
+        assert_eq!(a, b, "same seed, same fleet trace");
+        assert!(!a.trace.is_empty());
+        for (i, w) in a.trace.requests.windows(2).enumerate() {
+            assert!(w[1].arrival_ns >= w[0].arrival_ns, "disorder at {i}");
+        }
+        // Ids are fleet-monotone after the merge.
+        for (i, r) in a.trace.requests.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+        }
+        assert_eq!(a.tenant_of.len(), a.trace.len());
+    }
+
+    #[test]
+    fn tenants_use_disjoint_template_ranges() {
+        let cfg = FleetTraceConfig::default();
+        let f = FleetTrace::generate(&cfg);
+        assert_eq!(f.template_base, vec![0, 32]);
+        for (r, &ti) in f.trace.requests.iter().zip(&f.tenant_of) {
+            let lo = f.template_base[ti as usize];
+            let hi = lo + cfg.tenants[ti as usize].num_templates as u64;
+            assert!(
+                (lo..hi).contains(&r.template_id),
+                "tenant {ti} template {} outside [{lo}, {hi})",
+                r.template_id
+            );
+        }
+        assert_eq!(f.total_templates(&cfg), 48);
+    }
+
+    #[test]
+    fn tenant_rates_are_respected() {
+        let cfg = FleetTraceConfig {
+            tenants: vec![
+                TenantSpec::new("big", 8.0, 8),
+                TenantSpec::new("small", 2.0, 8),
+            ],
+            duration_secs: 400.0,
+            diurnal: None,
+            seed: 1,
+        };
+        let f = FleetTrace::generate(&cfg);
+        let counts = f.tenant_of.iter().fold([0usize; 2], |mut acc, &t| {
+            acc[t as usize] += 1;
+            acc
+        });
+        let r0 = counts[0] as f64 / 400.0;
+        let r1 = counts[1] as f64 / 400.0;
+        assert!((r0 - 8.0).abs() < 0.8, "big tenant rate {r0}");
+        assert!((r1 - 2.0).abs() < 0.4, "small tenant rate {r1}");
+    }
+
+    #[test]
+    fn diurnal_modulation_shifts_load_between_halves() {
+        // One full cycle with phase 0.25: first half peaks, second half
+        // troughs.
+        let cfg = FleetTraceConfig {
+            tenants: vec![TenantSpec::new("t", 10.0, 8)],
+            duration_secs: 1000.0,
+            diurnal: Some(DiurnalConfig {
+                period_secs: 1000.0,
+                amplitude: 0.8,
+                phase: 0.0,
+            }),
+            seed: 7,
+        };
+        let f = FleetTrace::generate(&cfg);
+        let half = 500_000_000_000u64;
+        let first = f
+            .trace
+            .requests
+            .iter()
+            .filter(|r| r.arrival_ns < half)
+            .count();
+        let second = f.trace.len() - first;
+        assert!(
+            first as f64 > second as f64 * 1.5,
+            "peak half {first} should dominate trough half {second}"
+        );
+        // Mean rate stays near the configured rps (sin integrates to
+        // zero over a full cycle).
+        let mean = f.trace.len() as f64 / 1000.0;
+        assert!((mean - 10.0).abs() < 1.0, "mean rate {mean}");
+    }
+
+    #[test]
+    fn degenerate_tenants_contribute_nothing() {
+        let cfg = FleetTraceConfig {
+            tenants: vec![
+                TenantSpec::new("dead", 0.0, 8),
+                TenantSpec::new("empty", 5.0, 0),
+                TenantSpec::new("live", 1.0, 4),
+            ],
+            duration_secs: 60.0,
+            diurnal: None,
+            seed: 3,
+        };
+        let f = FleetTrace::generate(&cfg);
+        assert!(!f.trace.is_empty());
+        assert!(f.tenant_of.iter().all(|&t| t == 2));
+        // Template bases still account for the dead tenants' ranges.
+        assert_eq!(f.template_base, vec![0, 8, 8]);
+    }
+
+    #[test]
+    fn adding_a_tenant_preserves_existing_streams() {
+        let one = FleetTraceConfig {
+            tenants: vec![TenantSpec::new("a", 2.0, 8)],
+            duration_secs: 60.0,
+            diurnal: None,
+            seed: 11,
+        };
+        let two = FleetTraceConfig {
+            tenants: vec![TenantSpec::new("a", 2.0, 8), TenantSpec::new("b", 2.0, 8)],
+            ..one.clone()
+        };
+        let fa = FleetTrace::generate(&one);
+        let fb = FleetTrace::generate(&two);
+        let a_only: Vec<(u64, u64, u64)> = fb
+            .trace
+            .requests
+            .iter()
+            .zip(&fb.tenant_of)
+            .filter(|(_, &t)| t == 0)
+            .map(|(r, _)| (r.arrival_ns, r.template_id, r.seed))
+            .collect();
+        let expect: Vec<(u64, u64, u64)> = fa
+            .trace
+            .requests
+            .iter()
+            .map(|r| (r.arrival_ns, r.template_id, r.seed))
+            .collect();
+        assert_eq!(a_only, expect, "tenant a's stream changed when b joined");
+    }
+}

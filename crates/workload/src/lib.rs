@@ -10,13 +10,18 @@
 //!   (§2.2: 970 templates reused ~35 000× each).
 //! - [`benchmarks`] — synthetic analogues of the three quality
 //!   benchmarks in Table 2 (InstructPix2Pix, VITON-HD, PIE-Bench).
+//! - [`fleet`] — multi-tenant fleet workloads: per-tenant Zipf
+//!   catalogues over disjoint template ranges, merged arrivals, and
+//!   diurnal rate modulation via thinning.
 
 pub mod benchmarks;
+pub mod fleet;
 pub mod mask;
 pub mod ratio;
 pub mod trace;
 
 pub use benchmarks::{EditCase, QualityBenchmark};
+pub use fleet::{DiurnalConfig, FleetTrace, FleetTraceConfig, TenantSpec};
 pub use mask::{Mask, MaskShape};
 pub use ratio::RatioDistribution;
 pub use trace::{RequestSpec, Trace, TraceConfig};

@@ -325,12 +325,12 @@ fn bursty_arrivals(
 
 /// Inverse-CDF Zipf sampler over `{0, …, n-1}` with skew `s`.
 #[derive(Debug, Clone)]
-struct ZipfSampler {
+pub(crate) struct ZipfSampler {
     cdf: Vec<f64>,
 }
 
 impl ZipfSampler {
-    fn new(n: usize, s: f64) -> Self {
+    pub(crate) fn new(n: usize, s: f64) -> Self {
         let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s.max(0.0))).collect();
         let total: f64 = weights.iter().sum();
         let mut acc = 0.0;
@@ -341,7 +341,7 @@ impl ZipfSampler {
         Self { cdf: weights }
     }
 
-    fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+    pub(crate) fn sample<R: Rng>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen_range(0.0..1.0);
         match self
             .cdf

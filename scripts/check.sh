@@ -29,6 +29,12 @@ cargo run --release -p fps-bench --bin bench_kernels -- --smoke > /dev/null
 echo "==> bench_routing --smoke"
 cargo run --release -p fps-bench --bin bench_routing -- --smoke > /dev/null
 
+echo "==> bench_simtime --smoke (calendar >= 3x heap gate)"
+cargo run --release -p fps-bench --bin bench_simtime -- --smoke > /dev/null
+
+echo "==> fig16_fleet --smoke (affinity routing gates)"
+cargo run --release -p fps-bench --bin fig16_fleet -- --smoke > /dev/null
+
 echo "==> sim-vs-server decision parity (release)"
 cargo test --release -q -p flashps --test integration_control > /dev/null
 
