@@ -1,0 +1,562 @@
+//! Fleet-level fault plans: shard churn, gray failure, partitions, and
+//! replica cache loss.
+//!
+//! The per-cluster plans in [`crate::plan`] target *workers inside one
+//! shard*; a fleet dies differently. Whole shards crash and restart,
+//! new shards join mid-run, a shard turns gray (alive but slow), the
+//! router loses its link to a shard that is otherwise healthy, and a
+//! shard's replicated activation cache is silently wiped. Each of
+//! those stresses a different recovery mechanism — ring rebalancing,
+//! cache re-priming, retry budgets, failover through the replica
+//! directory — so they are modelled as distinct, seeded, timestamped
+//! events the fleet simulator replays deterministically.
+
+use fps_simtime::{FaultClock, FaultRng, SimDuration, SimTime};
+
+/// One kind of fleet-level fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FleetFaultKind {
+    /// Shard `shard` crashes: its in-flight requests die, its caches go
+    /// cold, and it rejoins the ring `downtime` later.
+    ShardCrash {
+        /// The crashing shard.
+        shard: u32,
+        /// Time until the shard rejoins with cold state.
+        downtime: SimDuration,
+    },
+    /// Shard `shard` leaves gracefully: it stops taking new work and
+    /// leaves the ring, but drains its in-flight requests to
+    /// completion.
+    ShardLeave {
+        /// The departing shard.
+        shard: u32,
+    },
+    /// Shard `shard` joins the fleet (a brand-new shard, or one that
+    /// left earlier) with cold caches and a fresh worker pool.
+    ShardJoin {
+        /// The joining shard.
+        shard: u32,
+    },
+    /// Gray failure: shard `shard` serves `factor`× slower for
+    /// `duration` without failing health checks.
+    ShardSlow {
+        /// The degraded shard.
+        shard: u32,
+        /// Service-time multiplier (> 1).
+        factor: f64,
+        /// How long the degradation lasts.
+        duration: SimDuration,
+    },
+    /// Router↔shard partition: the router cannot reach `shard` for
+    /// `duration`. In-flight work completes and peer shards can still
+    /// fetch replicas from it; only *new placements* are blocked.
+    Partition {
+        /// The unreachable shard.
+        shard: u32,
+        /// How long the partition lasts.
+        duration: SimDuration,
+    },
+    /// The shard's replicated activation cache is wiped (disk loss,
+    /// bad deploy). Membership is unchanged — reads discover the loss
+    /// and the circuit breaker learns to route around it.
+    ReplicaLoss {
+        /// The shard whose cached activations vanish.
+        shard: u32,
+    },
+}
+
+impl FleetFaultKind {
+    /// The shard this fault targets.
+    pub fn shard(&self) -> u32 {
+        match *self {
+            FleetFaultKind::ShardCrash { shard, .. }
+            | FleetFaultKind::ShardLeave { shard }
+            | FleetFaultKind::ShardJoin { shard }
+            | FleetFaultKind::ShardSlow { shard, .. }
+            | FleetFaultKind::Partition { shard, .. }
+            | FleetFaultKind::ReplicaLoss { shard } => shard,
+        }
+    }
+
+    /// Short label for traces and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FleetFaultKind::ShardCrash { .. } => "shard-crash",
+            FleetFaultKind::ShardLeave { .. } => "shard-leave",
+            FleetFaultKind::ShardJoin { .. } => "shard-join",
+            FleetFaultKind::ShardSlow { .. } => "shard-slow",
+            FleetFaultKind::Partition { .. } => "partition",
+            FleetFaultKind::ReplicaLoss { .. } => "replica-loss",
+        }
+    }
+}
+
+/// One fleet fault at one instant of virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetFaultEvent {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FleetFaultKind,
+}
+
+/// A complete, deterministic fleet fault schedule for one run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FleetFaultPlan {
+    /// Seed the plan was derived from.
+    pub seed: u64,
+    /// Timestamped faults, sorted by time (ties keep their given
+    /// order, which replays identically on every scheduler).
+    pub events: Vec<FleetFaultEvent>,
+}
+
+impl FleetFaultPlan {
+    /// The empty plan: no shard ever misbehaves.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builds a plan from events, sorting them by time.
+    pub fn new(seed: u64, mut events: Vec<FleetFaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        Self { seed, events }
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_trivial(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// When the first fault fires, if any.
+    pub fn first_fault_at(&self) -> Option<SimTime> {
+        self.events.first().map(|e| e.at)
+    }
+
+    /// The highest shard id any event references, if any. The fleet
+    /// simulator pre-sizes its shard table to cover joins of shards
+    /// that do not exist at start-of-run.
+    pub fn max_shard(&self) -> Option<u32> {
+        self.events.iter().map(|e| e.kind.shard()).max()
+    }
+
+    /// Validates the plan against a fleet that starts with
+    /// `initial_shards` shards.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first event with a non-positive duration, a
+    /// slowdown factor below 1, or a crash/leave/slow/partition/wipe
+    /// targeting a shard that can never exist (neither initial nor
+    /// joined earlier in the plan).
+    pub fn validate(&self, initial_shards: u32) -> Result<(), String> {
+        let mut known: Vec<u32> = (0..initial_shards).collect();
+        for (i, event) in self.events.iter().enumerate() {
+            match event.kind {
+                FleetFaultKind::ShardSlow {
+                    factor, duration, ..
+                } => {
+                    if factor < 1.0 {
+                        return Err(format!("fault {i} has speed-up factor {factor} (< 1)"));
+                    }
+                    if duration.as_nanos() == 0 {
+                        return Err(format!("fault {i} has zero duration"));
+                    }
+                }
+                FleetFaultKind::ShardCrash { downtime, .. } if downtime.as_nanos() == 0 => {
+                    return Err(format!("fault {i} has zero crash downtime"));
+                }
+                FleetFaultKind::Partition { duration, .. } if duration.as_nanos() == 0 => {
+                    return Err(format!("fault {i} has zero partition duration"));
+                }
+                _ => {}
+            }
+            let shard = event.kind.shard();
+            match event.kind {
+                FleetFaultKind::ShardJoin { .. } => {
+                    if !known.contains(&shard) {
+                        known.push(shard);
+                    }
+                }
+                _ => {
+                    if !known.contains(&shard) {
+                        return Err(format!(
+                            "fault {i} targets shard {shard}, which neither starts in the \
+                             fleet of {initial_shards} nor joins earlier in the plan"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Canonical fleet fault profiles for the chaos experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetFaultProfile {
+    /// No faults: the control arm.
+    Baseline,
+    /// A storm of staggered shard crashes with restarts — the headline
+    /// profile `fig_chaos_fleet` gates recovery on.
+    CrashStorm,
+    /// Rolling churn: shards leave gracefully while fresh shards join,
+    /// forcing repeated ring rebalancing and cache re-priming.
+    RollingChurn,
+    /// Gray failure: shards stay up but serve several times slower for
+    /// long stretches.
+    GrayShard,
+    /// Router↔shard partitions: healthy shards become unreachable for
+    /// placement while their caches stay warm.
+    RouterPartition,
+    /// Replicated-cache wipes: shards silently lose their cached
+    /// activations without any membership change.
+    ReplicaWipe,
+}
+
+impl FleetFaultProfile {
+    /// Every profile, in ablation order.
+    pub const ALL: [FleetFaultProfile; 6] = [
+        FleetFaultProfile::Baseline,
+        FleetFaultProfile::CrashStorm,
+        FleetFaultProfile::RollingChurn,
+        FleetFaultProfile::GrayShard,
+        FleetFaultProfile::RouterPartition,
+        FleetFaultProfile::ReplicaWipe,
+    ];
+
+    /// Profile label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Baseline => "baseline",
+            Self::CrashStorm => "crash-storm",
+            Self::RollingChurn => "rolling-churn",
+            Self::GrayShard => "gray-shard",
+            Self::RouterPartition => "router-partition",
+            Self::ReplicaWipe => "replica-wipe",
+        }
+    }
+
+    /// Generates the profile's fault plan for a run of length
+    /// `horizon` over shards `0..shards`.
+    ///
+    /// Faults land in the first ~60% of the horizon and downtimes stay
+    /// well inside it, so recovery is observable before arrivals end —
+    /// `FleetRecoveryReport` needs post-recovery windows to measure
+    /// time-to-recover against.
+    pub fn plan(self, seed: u64, horizon: SimTime, shards: u32) -> FleetFaultPlan {
+        match self {
+            Self::Baseline => FleetFaultPlan::none(),
+            Self::CrashStorm => crash_storm_plan(seed, horizon, shards),
+            Self::RollingChurn => rolling_churn_plan(seed, horizon, shards),
+            Self::GrayShard => gray_shard_plan(seed, horizon, shards),
+            Self::RouterPartition => partition_plan(seed, horizon, shards),
+            Self::ReplicaWipe => replica_wipe_plan(seed, horizon, shards),
+        }
+    }
+}
+
+/// Staggered crashes across distinct shards in the first 60% of the
+/// run, each down for ~8–12% of the horizon. Never crashes the same
+/// shard twice and never schedules overlapping downtimes on more than
+/// half the fleet, so the storm degrades the fleet without (by itself)
+/// emptying it.
+fn crash_storm_plan(seed: u64, horizon: SimTime, shards: u32) -> FleetFaultPlan {
+    let mut events = Vec::new();
+    if shards > 1 {
+        let horizon_s = horizon.as_secs_f64();
+        let mut rng = FaultRng::new(seed, "fleet/crash-storm");
+        let crashes = (shards / 2).clamp(1, 4);
+        for k in 0..crashes {
+            // Evenly staggered onsets with seeded jitter keep crashes
+            // from piling onto one instant.
+            let base = horizon_s * 0.15 + horizon_s * 0.45 * k as f64 / crashes as f64;
+            let at = base + rng.range_f64(0.0, horizon_s * 0.05);
+            let shard = (rng.below(shards as u64) as u32).wrapping_add(k) % shards;
+            events.push(FleetFaultEvent {
+                at: SimTime::from_nanos((at * 1e9) as u64),
+                kind: FleetFaultKind::ShardCrash {
+                    shard,
+                    downtime: SimDuration::from_secs_f64(
+                        horizon_s * rng.range_f64(0.08, 0.12).max(0.001),
+                    ),
+                },
+            });
+        }
+        // Deduplicate by shard: a shard that is already down cannot
+        // crash again meaningfully.
+        let mut seen = Vec::new();
+        events.retain(|e| {
+            let s = e.kind.shard();
+            if seen.contains(&s) {
+                false
+            } else {
+                seen.push(s);
+                true
+            }
+        });
+    }
+    FleetFaultPlan::new(seed, events)
+}
+
+/// Graceful leaves paired with joins of brand-new shard ids: the ring
+/// shrinks, re-primes, grows, and re-primes again.
+fn rolling_churn_plan(seed: u64, horizon: SimTime, shards: u32) -> FleetFaultPlan {
+    let mut events = Vec::new();
+    if shards > 1 {
+        let horizon_s = horizon.as_secs_f64();
+        let mut rng = FaultRng::new(seed, "fleet/rolling-churn");
+        let waves = 2u32.min(shards - 1);
+        for k in 0..waves {
+            let leave_at = horizon_s * (0.15 + 0.25 * k as f64) + rng.range_f64(0.0, 5.0);
+            let victim = rng.below(shards as u64) as u32;
+            events.push(FleetFaultEvent {
+                at: SimTime::from_nanos((leave_at * 1e9) as u64),
+                kind: FleetFaultKind::ShardLeave { shard: victim },
+            });
+            // A fresh shard id joins shortly after, taking over an arc
+            // of the ring with a cold cache.
+            events.push(FleetFaultEvent {
+                at: SimTime::from_nanos(((leave_at + horizon_s * 0.08) * 1e9) as u64),
+                kind: FleetFaultKind::ShardJoin { shard: shards + k },
+            });
+        }
+        // Deduplicate leaves targeting the same shard.
+        let mut left = Vec::new();
+        events.retain(|e| match e.kind {
+            FleetFaultKind::ShardLeave { shard } => {
+                if left.contains(&shard) {
+                    false
+                } else {
+                    left.push(shard);
+                    true
+                }
+            }
+            _ => true,
+        });
+    }
+    FleetFaultPlan::new(seed, events)
+}
+
+/// Long 2–4× slowdowns on a rotating set of shards.
+fn gray_shard_plan(seed: u64, horizon: SimTime, shards: u32) -> FleetFaultPlan {
+    let mut events = Vec::new();
+    if shards > 0 {
+        let horizon_s = horizon.as_secs_f64();
+        let mean = SimDuration::from_secs_f64((horizon_s / 5.0).max(1.0));
+        let mut clock = FaultClock::new(seed, "fleet/gray", mean);
+        let limit = SimTime::from_nanos((horizon.as_nanos() as f64 * 0.6) as u64);
+        while let Some(at) = clock.next_before(limit) {
+            let rng = clock.rng();
+            events.push(FleetFaultEvent {
+                at,
+                kind: FleetFaultKind::ShardSlow {
+                    shard: rng.below(shards as u64) as u32,
+                    factor: rng.range_f64(2.0, 4.0),
+                    duration: SimDuration::from_secs_f64(horizon_s * rng.range_f64(0.10, 0.20)),
+                },
+            });
+        }
+    }
+    FleetFaultPlan::new(seed, events)
+}
+
+/// Two staggered router↔shard partitions on distinct shards.
+fn partition_plan(seed: u64, horizon: SimTime, shards: u32) -> FleetFaultPlan {
+    let mut events = Vec::new();
+    if shards > 1 {
+        let horizon_s = horizon.as_secs_f64();
+        let mut rng = FaultRng::new(seed, "fleet/partition");
+        let first = rng.below(shards as u64) as u32;
+        for (k, shard) in [first, (first + 1) % shards].into_iter().enumerate() {
+            let at = horizon_s * (0.2 + 0.25 * k as f64) + rng.range_f64(0.0, 5.0);
+            events.push(FleetFaultEvent {
+                at: SimTime::from_nanos((at * 1e9) as u64),
+                kind: FleetFaultKind::Partition {
+                    shard,
+                    duration: SimDuration::from_secs_f64(horizon_s * rng.range_f64(0.08, 0.15)),
+                },
+            });
+        }
+    }
+    FleetFaultPlan::new(seed, events)
+}
+
+/// Repeated silent wipes of shards' replicated caches.
+fn replica_wipe_plan(seed: u64, horizon: SimTime, shards: u32) -> FleetFaultPlan {
+    let mut events = Vec::new();
+    if shards > 0 {
+        let mean = SimDuration::from_secs_f64((horizon.as_secs_f64() / 4.0).max(1.0));
+        let mut clock = FaultClock::new(seed, "fleet/replica-wipe", mean);
+        let limit = SimTime::from_nanos((horizon.as_nanos() as f64 * 0.6) as u64);
+        while let Some(at) = clock.next_before(limit) {
+            let rng = clock.rng();
+            events.push(FleetFaultEvent {
+                at,
+                kind: FleetFaultKind::ReplicaLoss {
+                    shard: rng.below(shards as u64) as u32,
+                },
+            });
+        }
+    }
+    FleetFaultPlan::new(seed, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_nanos((s * 1e9) as u64)
+    }
+
+    #[test]
+    fn plans_sort_events_and_report_first_fault() {
+        let plan = FleetFaultPlan::new(
+            1,
+            vec![
+                FleetFaultEvent {
+                    at: secs(9.0),
+                    kind: FleetFaultKind::ReplicaLoss { shard: 0 },
+                },
+                FleetFaultEvent {
+                    at: secs(2.0),
+                    kind: FleetFaultKind::ShardLeave { shard: 1 },
+                },
+            ],
+        );
+        assert!(plan.events.windows(2).all(|w| w[0].at <= w[1].at));
+        assert_eq!(plan.first_fault_at(), Some(secs(2.0)));
+        assert_eq!(plan.max_shard(), Some(1));
+        assert!(!plan.is_trivial());
+        assert!(FleetFaultPlan::none().is_trivial());
+    }
+
+    #[test]
+    fn validation_rejects_impossible_targets_and_degenerate_faults() {
+        let ghost = FleetFaultPlan::new(
+            0,
+            vec![FleetFaultEvent {
+                at: secs(1.0),
+                kind: FleetFaultKind::ShardCrash {
+                    shard: 7,
+                    downtime: SimDuration::from_secs_f64(1.0),
+                },
+            }],
+        );
+        assert!(ghost.validate(4).is_err());
+        assert!(ghost.validate(8).is_ok());
+        // A join introduces the shard for later events.
+        let join_then_crash = FleetFaultPlan::new(
+            0,
+            vec![
+                FleetFaultEvent {
+                    at: secs(1.0),
+                    kind: FleetFaultKind::ShardJoin { shard: 7 },
+                },
+                FleetFaultEvent {
+                    at: secs(2.0),
+                    kind: FleetFaultKind::ShardCrash {
+                        shard: 7,
+                        downtime: SimDuration::from_secs_f64(1.0),
+                    },
+                },
+            ],
+        );
+        assert!(join_then_crash.validate(4).is_ok());
+        let slow = FleetFaultPlan::new(
+            0,
+            vec![FleetFaultEvent {
+                at: secs(1.0),
+                kind: FleetFaultKind::ShardSlow {
+                    shard: 0,
+                    factor: 0.5,
+                    duration: SimDuration::from_secs_f64(1.0),
+                },
+            }],
+        );
+        assert!(slow.validate(4).is_err(), "factor < 1 is a speed-up");
+    }
+
+    #[test]
+    fn profiles_are_seed_deterministic_and_valid() {
+        for profile in FleetFaultProfile::ALL {
+            let a = profile.plan(9, secs(600.0), 5);
+            let b = profile.plan(9, secs(600.0), 5);
+            assert_eq!(a, b, "{}", profile.label());
+            assert!(a.validate(5).is_ok(), "{}", profile.label());
+        }
+        let a = FleetFaultProfile::CrashStorm.plan(9, secs(600.0), 5);
+        let c = FleetFaultProfile::CrashStorm.plan(10, secs(600.0), 5);
+        assert_ne!(a, c, "seed must matter");
+    }
+
+    #[test]
+    fn crash_storm_crashes_distinct_shards_inside_the_horizon() {
+        let plan = FleetFaultProfile::CrashStorm.plan(3, secs(600.0), 6);
+        let mut shards = Vec::new();
+        for e in &plan.events {
+            match e.kind {
+                FleetFaultKind::ShardCrash { shard, downtime } => {
+                    assert!(!shards.contains(&shard), "shard {shard} crashes twice");
+                    shards.push(shard);
+                    assert!(e.at + downtime < secs(600.0), "downtime exceeds horizon");
+                }
+                other => panic!("crash storm emitted {other:?}"),
+            }
+        }
+        assert!(!shards.is_empty());
+    }
+
+    #[test]
+    fn rolling_churn_pairs_leaves_with_new_joins() {
+        let plan = FleetFaultProfile::RollingChurn.plan(4, secs(600.0), 4);
+        let leaves = plan
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, FleetFaultKind::ShardLeave { .. }))
+            .count();
+        let joins: Vec<u32> = plan
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FleetFaultKind::ShardJoin { shard } => Some(shard),
+                _ => None,
+            })
+            .collect();
+        assert!(leaves >= 1);
+        assert!(!joins.is_empty());
+        assert!(
+            joins.iter().all(|&s| s >= 4),
+            "joins must bring brand-new shard ids"
+        );
+    }
+
+    #[test]
+    fn partition_and_wipe_profiles_emit_their_kind() {
+        let p = FleetFaultProfile::RouterPartition.plan(5, secs(600.0), 4);
+        assert!(p
+            .events
+            .iter()
+            .all(|e| matches!(e.kind, FleetFaultKind::Partition { .. })));
+        assert!(!p.events.is_empty());
+        let w = FleetFaultProfile::ReplicaWipe.plan(5, secs(600.0), 4);
+        assert!(w
+            .events
+            .iter()
+            .all(|e| matches!(e.kind, FleetFaultKind::ReplicaLoss { .. })));
+        assert!(!w.events.is_empty());
+        let g = FleetFaultProfile::GrayShard.plan(5, secs(600.0), 4);
+        assert!(g
+            .events
+            .iter()
+            .all(|e| matches!(e.kind, FleetFaultKind::ShardSlow { .. })));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<_> = FleetFaultProfile::ALL.iter().map(|p| p.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), FleetFaultProfile::ALL.len());
+    }
+}

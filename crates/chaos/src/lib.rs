@@ -13,10 +13,12 @@
 //! every layer (simulator, store, threaded server) can consume the
 //! same plan.
 
+pub mod fleet;
 pub mod plan;
 pub mod profile;
 pub mod retry;
 
+pub use fleet::{FleetFaultEvent, FleetFaultKind, FleetFaultPlan, FleetFaultProfile};
 pub use plan::{FaultEvent, FaultKind, FaultPlan};
 pub use profile::FaultProfile;
 pub use retry::RetryPolicy;

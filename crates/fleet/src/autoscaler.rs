@@ -78,6 +78,30 @@ pub enum ScaleDecision {
     Down(usize),
 }
 
+/// Fleet-level context that can veto a scale-down.
+///
+/// A per-shard scaler only sees its own signals, and during a fleet
+/// incident those signals lie: a crash elsewhere parks traffic at the
+/// router, the surviving shard's windows look idle (nothing is being
+/// *routed*), and a naive scaler shrinks exactly the capacity the
+/// parked requests are waiting for — then thrashes back up when they
+/// drain. The guard carries what the fleet knows and the shard cannot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScaleGuard {
+    /// Requests parked fleet-wide awaiting a routable shard.
+    pub parked: u64,
+    /// Whether this shard is the last healthy (routable) one.
+    pub last_healthy: bool,
+}
+
+impl ScaleGuard {
+    /// Whether a scale-down must be vetoed: never shrink the last
+    /// healthy shard while requests are parked against it.
+    pub fn blocks_down(&self) -> bool {
+        self.last_healthy && self.parked > 0
+    }
+}
+
 /// Hysteretic per-shard autoscaler. Feed it one [`ShardSignal`] per
 /// observation window via [`Autoscaler::observe`].
 #[derive(Debug, Clone)]
@@ -88,6 +112,7 @@ pub struct Autoscaler {
     hold_until: Option<SimTime>,
     ups: u64,
     downs: u64,
+    vetoed_downs: u64,
 }
 
 impl Autoscaler {
@@ -100,6 +125,7 @@ impl Autoscaler {
             hold_until: None,
             ups: 0,
             downs: 0,
+            vetoed_downs: 0,
         }
     }
 
@@ -118,10 +144,33 @@ impl Autoscaler {
         self.downs
     }
 
-    /// Observes one window and decides. `current` is the pool size the
-    /// decision applies to; the returned `Up`/`Down` carry the new
-    /// target size (already clamped to `[min_workers, max_workers]`).
+    /// Scale-downs vetoed by a [`ScaleGuard`] so far.
+    pub fn vetoed_downs(&self) -> u64 {
+        self.vetoed_downs
+    }
+
+    /// Observes one window and decides, with no fleet context (the
+    /// guard never vetoes). `current` is the pool size the decision
+    /// applies to; the returned `Up`/`Down` carry the new target size
+    /// (already clamped to `[min_workers, max_workers]`).
     pub fn observe(&mut self, current: usize, signal: &ShardSignal, now: SimTime) -> ScaleDecision {
+        self.observe_guarded(current, signal, now, &ScaleGuard::default())
+    }
+
+    /// Observes one window under a fleet-level [`ScaleGuard`]. A
+    /// scale-down the guard blocks returns `Hold` and is counted in
+    /// [`vetoed_downs`]; the idle streak is *kept*, so the shrink
+    /// fires on the first window after the guard clears rather than
+    /// restarting its hysteresis from zero.
+    ///
+    /// [`vetoed_downs`]: Autoscaler::vetoed_downs
+    pub fn observe_guarded(
+        &mut self,
+        current: usize,
+        signal: &ShardSignal,
+        now: SimTime,
+        guard: &ScaleGuard,
+    ) -> ScaleDecision {
         let overloaded = signal.shed_rate >= self.config.up_shed_rate
             || signal.queue_wait_p95_secs >= self.config.up_queue_wait_secs;
         let idle = !overloaded
@@ -154,6 +203,10 @@ impl Autoscaler {
             return ScaleDecision::Up(target);
         }
         if idle && self.down_streak >= self.config.down_ticks && current > self.config.min_workers {
+            if guard.blocks_down() {
+                self.vetoed_downs += 1;
+                return ScaleDecision::Hold;
+            }
             let target = current
                 .saturating_sub(self.config.step)
                 .max(self.config.min_workers);
@@ -272,6 +325,67 @@ mod tests {
         }
         assert_eq!(workers, 1, "should reach min_workers");
         assert_eq!(a.downs(), 3);
+    }
+
+    #[test]
+    fn guard_never_shrinks_the_last_healthy_shard_while_requests_park() {
+        // The flap case: a peer shard crashes, traffic parks at the
+        // router, and the survivor's windows read idle because nothing
+        // reaches it. An unguarded scaler would shrink the exact pool
+        // the parked requests need, then thrash back up on recovery.
+        let mut a = Autoscaler::new(AutoscalerConfig {
+            cooldown: SimDuration::from_secs_f64(0.0),
+            ..Default::default()
+        });
+        let incident = ScaleGuard {
+            parked: 12,
+            last_healthy: true,
+        };
+        for t in 0..20 {
+            assert_eq!(
+                a.observe_guarded(4, &idle(), at(t), &incident),
+                ScaleDecision::Hold,
+                "guard must veto every shrink during the incident"
+            );
+        }
+        assert_eq!(a.downs(), 0);
+        assert!(a.vetoed_downs() > 0, "vetoes are counted, not silent");
+        // Recovery drains the parked queue; the kept idle streak lets
+        // the deferred shrink fire on the very next window instead of
+        // re-running its hysteresis (no thrash, no stall).
+        let recovered = ScaleGuard {
+            parked: 0,
+            last_healthy: true,
+        };
+        assert_eq!(
+            a.observe_guarded(4, &idle(), at(21), &recovered),
+            ScaleDecision::Down(3)
+        );
+        assert_eq!(a.downs(), 1);
+    }
+
+    #[test]
+    fn guard_without_parked_requests_does_not_veto() {
+        let mut a = Autoscaler::new(AutoscalerConfig {
+            cooldown: SimDuration::from_secs_f64(0.0),
+            ..Default::default()
+        });
+        // Last healthy but nothing parked: normal shrink semantics.
+        let guard = ScaleGuard {
+            parked: 0,
+            last_healthy: true,
+        };
+        let mut got_down = false;
+        for t in 0..10 {
+            if matches!(
+                a.observe_guarded(4, &idle(), at(t), &guard),
+                ScaleDecision::Down(_)
+            ) {
+                got_down = true;
+            }
+        }
+        assert!(got_down);
+        assert_eq!(a.vetoed_downs(), 0);
     }
 
     #[test]

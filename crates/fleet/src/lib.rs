@@ -13,19 +13,25 @@
 //!   baselines, plus a [`TemplateAffinityRouter`] adapter implementing
 //!   `fps_serving::Router` for the wall-clock ThreadedServer path.
 //! - [`autoscaler`] — hysteretic per-shard pool scaling from windowed
-//!   SLO signals (shed rate, queue-wait p95, utilization).
+//!   SLO signals (shed rate, queue-wait p95, utilization), with a
+//!   [`ScaleGuard`] veto that never shrinks the last healthy shard
+//!   while requests are parked.
 //! - [`sim`] — the virtual-time [`FleetSim`]: one clock-generic
 //!   ControlPlane per shard, analytic k-server worker pools (two
-//!   events per request), per-shard LRU template caches, and
-//!   histogram-merged fleet SLO rollups. Deterministic: same config,
-//!   same bytes, on either event scheduler.
+//!   events per request), an R-replicated activation store with
+//!   breaker-guarded failover, and histogram-merged fleet SLO rollups.
+//!   Fault plans from `fps-chaos` inject shard crashes, churn, gray
+//!   failures, partitions, and cache wipes mid-run; recovery (time to
+//!   recover, goodput-dip depth/area, reroute/failover counts) is
+//!   reported first-class. Deterministic: same config, same bytes, on
+//!   either event scheduler — faults included.
 
 pub mod autoscaler;
 pub mod ring;
 pub mod router;
 pub mod sim;
 
-pub use autoscaler::{Autoscaler, AutoscalerConfig, ScaleDecision, ShardSignal};
+pub use autoscaler::{Autoscaler, AutoscalerConfig, ScaleDecision, ScaleGuard, ShardSignal};
 pub use ring::HashRing;
 pub use router::{FleetRouter, RouteStrategy, ShardChoice, ShardLoad, TemplateAffinityRouter};
 pub use sim::{FleetConfig, FleetEv, FleetReport, FleetSim};

@@ -260,5 +260,49 @@ mod tests {
                 moved, expected
             );
         }
+
+        // Churn round-trip identity: a leave immediately followed by a
+        // rejoin of the same shard restores the exact prior key→shard
+        // assignment — the whole preference list, not just the
+        // primary, so bounded-load spill targets also come back.
+        #[test]
+        fn leave_then_rejoin_restores_exact_assignment(n in 2u32..10, victim_ix in 0u32..10, seed in 0u64..1000) {
+            let victim = victim_ix % n;
+            let before = HashRing::with_shards(n);
+            let mut ring = HashRing::with_shards(n);
+            ring.remove_shard(victim);
+            ring.add_shard(victim);
+            for i in 0..500usize {
+                let k = splitmix64(seed.wrapping_mul(0x5150_77AB).wrapping_add(i as u64));
+                prop_assert_eq!(before.primary(k), ring.primary(k));
+                prop_assert_eq!(before.preference(k), ring.preference(k));
+            }
+        }
+
+        // Third-party stability under churn: across a leave of one
+        // shard and a join of another, no key moves between two shards
+        // that were present both before and after — every move
+        // involves the departed or the joined shard.
+        #[test]
+        fn churn_never_moves_keys_between_survivors(n in 3u32..10, victim_ix in 0u32..10, seed in 0u64..1000) {
+            let victim = victim_ix % n;
+            let joiner = n; // brand-new shard id
+            let before = HashRing::with_shards(n);
+            let mut after = HashRing::with_shards(n);
+            after.remove_shard(victim);
+            after.add_shard(joiner);
+            for i in 0..2000usize {
+                let k = splitmix64(seed.wrapping_mul(0xC0FF_EE11).wrapping_add(i as u64));
+                let old = before.primary(k).unwrap();
+                let new = after.primary(k).unwrap();
+                if old != new {
+                    prop_assert!(
+                        old == victim || new == joiner,
+                        "key {} moved {} → {}, neither the departed {} nor the joined {}",
+                        k, old, new, victim, joiner
+                    );
+                }
+            }
+        }
     }
 }

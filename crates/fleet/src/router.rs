@@ -94,6 +94,18 @@ impl FleetRouter {
         &self.ring
     }
 
+    /// Adds a shard to the ring mid-run (join/rejoin); minimal-churn
+    /// rebalancing moves only the keys the new shard now owns.
+    pub fn add_shard(&mut self, shard: u32) {
+        self.ring.add_shard(shard);
+    }
+
+    /// Removes a shard from the ring mid-run (leave/crash); only the
+    /// departed shard's keys move.
+    pub fn remove_shard(&mut self, shard: u32) {
+        self.ring.remove_shard(shard);
+    }
+
     /// The strategy in effect.
     pub fn strategy(&self) -> RouteStrategy {
         self.strategy

@@ -4,27 +4,53 @@
 //! Each shard is an independent serving unit: its own clock-generic
 //! [`ControlPlane`] (admission, degradation ladder — the exact policy
 //! code the single-cluster simulator and the threaded server consult),
-//! its own worker pool, and its own LRU activation cache keyed by
-//! template. Above the shards sit the two fleet-level policies under
-//! study: the [`FleetRouter`] choosing a shard per request, and one
-//! [`Autoscaler`] per shard resizing its pool from windowed SLO
-//! signals.
+//! its own worker pool, and its slice of the fleet's R-replicated
+//! activation store ([`ReplicatedStore`]). Above the shards sit the
+//! fleet-level policies under study: the [`FleetRouter`] choosing a
+//! shard per request, one [`Autoscaler`] per shard resizing its pool
+//! from windowed SLO signals, and — this module's robustness layer — a
+//! [`FleetFaultPlan`] injecting shard crashes, churn, gray failures,
+//! partitions, and cache wipes mid-run.
+//!
+//! Fault handling is built around three mechanisms:
+//!
+//! - **Minimal-churn rebalancing**: a crash or leave removes the shard
+//!   from the consistent-hash ring (only its keys move); a join or
+//!   restart adds it back. Each membership change rebuilds the replica
+//!   directory and, when enabled, *re-primes* moved templates onto
+//!   their new owners from surviving copies.
+//! - **Re-routing with retry budgets**: a crash kills the shard's
+//!   in-flight requests; each is resubmitted through the router
+//!   (judged against its *original* arrival deadline) until its retry
+//!   budget runs out. When no shard is routable, requests park at the
+//!   router and drain FIFO the moment one comes back.
+//! - **Replica failover**: a cache miss on the serving shard consults
+//!   the template's replica directory and fetches from a surviving
+//!   peer through that peer's circuit breaker — a masked compute plus
+//!   a disk promote instead of a cold full recompute.
 //!
 //! The simulator is built for *scale*: workers are analytic k-server
 //! FIFO pools ([`MultiResource`] — `acquire` returns the start/finish
 //! pair immediately), so a request costs exactly two events (arrival
-//! and completion) regardless of its step count. A million-request
-//! fleet run is ~2M events, which is what the calendar-queue scheduler
-//! is gated on in `bench_simtime`. Everything is deterministic in the
-//! trace: two runs of the same config serialize to byte-identical
-//! reports, on either scheduler.
+//! and completion) regardless of its step count. Everything is
+//! deterministic in the trace and the fault seed: two runs of the same
+//! config serialize to byte-identical reports, on either scheduler,
+//! and every run asserts conservation — no accepted request is ever
+//! silently dropped, even across a crash storm.
 //!
 //! [`ControlPlane`]: fps_serving::ControlPlane
+//! [`ReplicatedStore`]: fps_maskcache::ReplicatedStore
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
+use fps_chaos::{FleetFaultKind, FleetFaultPlan};
 use fps_json::{Json, ToJson};
-use fps_metrics::{FleetSloReport, Histogram, ShardSloReport, SloReport};
+use fps_maskcache::{ReplicaFetch, ReplicatedStore, StoreConfig};
+use fps_metrics::{
+    FleetCacheCounters, FleetRecoveryReport, FleetSloReport, GoodputTimeline, Histogram,
+    ShardSloReport, SloReport,
+};
+use fps_overload::BreakerConfig;
 use fps_serving::cost::BatchItem;
 use fps_serving::{
     Assessment, ControlPlane, CostModel, EngineKind, GpuSpec, LeastLoadedRouter, OverloadConfig,
@@ -36,14 +62,14 @@ use fps_simtime::{
 };
 use fps_workload::FleetTrace;
 
-use crate::autoscaler::{Autoscaler, AutoscalerConfig, ScaleDecision, ShardSignal};
+use crate::autoscaler::{Autoscaler, AutoscalerConfig, ScaleDecision, ScaleGuard};
 use crate::ring::HashRing;
 use crate::router::{FleetRouter, RouteStrategy, ShardLoad};
 
 /// Fleet-run parameters.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
-    /// Number of shards.
+    /// Number of shards at start of run (fault plans may join more).
     pub shards: u32,
     /// Initial worker-pool size per shard.
     pub workers_per_shard: usize,
@@ -53,7 +79,8 @@ pub struct FleetConfig {
     pub deadline_secs: f64,
     /// Shard-selection policy.
     pub strategy: RouteStrategy,
-    /// Per-shard activation-cache capacity, in templates.
+    /// Per-shard activation-cache capacity, in templates (host tier of
+    /// the shard's hierarchical store).
     pub cache_capacity: usize,
     /// Autoscaling policy; `None` freezes the pools.
     pub autoscaler: Option<AutoscalerConfig>,
@@ -68,7 +95,25 @@ pub struct FleetConfig {
     /// quality loss that latency metrics cannot see, which would make
     /// strategies incomparable at equal output quality.
     pub allow_degradation: bool,
-    /// Trace sink for route/scale/decision events.
+    /// Deterministic fleet fault schedule (default: no faults).
+    pub faults: FleetFaultPlan,
+    /// Replication target R for the activation store. `1` is the
+    /// no-replica baseline: a miss always recomputes cold. `≥ 2`
+    /// enables peer failover through the replica directory.
+    pub replicas: usize,
+    /// Copy moved templates onto their new owners at each membership
+    /// change. Off, the directory still tracks the ring but new owners
+    /// start cold — the ablation arm for `fig_chaos_fleet`.
+    pub reprime_on_churn: bool,
+    /// How many times a crash-killed request may be resubmitted before
+    /// it is counted as failed.
+    pub retry_budget: u32,
+    /// Goodput-timeline bucket width for recovery analysis, seconds.
+    pub recovery_window_secs: f64,
+    /// Uniform per-template activation footprint, bytes (sizes the
+    /// host tier as `cache_capacity × template_bytes`).
+    pub template_bytes: u64,
+    /// Trace sink for route/scale/fault events.
     pub trace: TraceSink,
 }
 
@@ -85,6 +130,12 @@ impl Default for FleetConfig {
             scale_interval_secs: 10.0,
             mean_mask_ratio: 0.11,
             allow_degradation: true,
+            faults: FleetFaultPlan::none(),
+            replicas: 1,
+            reprime_on_churn: true,
+            retry_budget: 2,
+            recovery_window_secs: 10.0,
+            template_bytes: 64 << 20,
             trace: TraceSink::disabled(),
         }
     }
@@ -97,51 +148,88 @@ pub struct FleetReport {
     pub strategy: &'static str,
     /// Per-shard SLO accounting with mergeable histograms.
     pub shard_reports: Vec<ShardSloReport>,
-    /// Histogram-merged fleet rollup.
+    /// Histogram-merged fleet rollup (with cache counters attached).
     pub fleet: FleetSloReport,
-    /// Requests whose template was already in the serving shard's
-    /// activation cache.
+    /// Requests whose template was host-resident on the serving shard.
     pub cache_hits: u64,
+    /// Requests served by fetching a surviving peer replica after a
+    /// local miss (masked compute instead of cold recompute).
+    pub failover_hits: u64,
     /// Requests that recomputed from scratch.
     pub cache_misses: u64,
     /// Affinity placements that bypassed a saturated primary.
     pub spills: u64,
+    /// Crash-killed requests that were resubmitted through the router.
+    pub rerouted: u64,
+    /// Accepted requests lost to crashes after exhausting their retry
+    /// budget.
+    pub crash_failed: u64,
+    /// Requests parked at the router (no routable shard) that never
+    /// found one before the run ended.
+    pub parked_failed: u64,
+    /// Replica copies re-primed onto new owners by churn rebalancing.
+    pub re_primed: u64,
+    /// Peer-cache reads short-circuited by an open circuit breaker.
+    pub breaker_short_circuits: u64,
     /// Scale-up actions across all shards.
     pub scale_ups: u64,
     /// Scale-down actions across all shards.
     pub scale_downs: u64,
+    /// Scale-downs vetoed by the last-healthy-shard guard.
+    pub scale_down_vetoes: u64,
     /// Worker-pool sizes at the end of the run.
     pub final_workers: Vec<usize>,
     /// Virtual seconds from first arrival to last completion.
     pub makespan_secs: f64,
     /// Total events the scheduler processed.
     pub events_processed: u64,
+    /// Goodput recovery analysis, when the run injected faults.
+    pub recovery: Option<FleetRecoveryReport>,
 }
 
 impl FleetReport {
-    /// Activation-cache hit rate over served requests.
+    /// Local activation-cache hit rate over computed requests.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.cache_hits + self.cache_misses;
+        let total = self.cache_hits + self.failover_hits + self.cache_misses;
         if total == 0 {
             0.0
         } else {
             self.cache_hits as f64 / total as f64
         }
     }
+
+    /// Fraction of requests that avoided a cold recompute (local hit
+    /// or replica failover).
+    pub fn effective_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.failover_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            (self.cache_hits + self.failover_hits) as f64 / total as f64
+        }
+    }
 }
 
 impl ToJson for FleetReport {
     fn to_json(&self) -> Json {
-        Json::object()
+        let mut j = Json::object()
             .with("strategy", self.strategy)
             .with("fleet", self.fleet.to_json())
             .with("shards", self.shard_reports.to_json())
             .with("cache_hits", self.cache_hits)
+            .with("failover_hits", self.failover_hits)
             .with("cache_misses", self.cache_misses)
             .with("hit_rate", self.hit_rate())
+            .with("effective_hit_rate", self.effective_hit_rate())
             .with("spills", self.spills)
+            .with("rerouted", self.rerouted)
+            .with("crash_failed", self.crash_failed)
+            .with("parked_failed", self.parked_failed)
+            .with("re_primed", self.re_primed)
+            .with("breaker_short_circuits", self.breaker_short_circuits)
             .with("scale_ups", self.scale_ups)
             .with("scale_downs", self.scale_downs)
+            .with("scale_down_vetoes", self.scale_down_vetoes)
             .with(
                 "final_workers",
                 Json::Array(
@@ -152,56 +240,11 @@ impl ToJson for FleetReport {
                 ),
             )
             .with("makespan_secs", self.makespan_secs)
-            .with("events_processed", self.events_processed)
-    }
-}
-
-/// Deterministic LRU cache over template ids.
-#[derive(Debug)]
-struct TemplateCache {
-    capacity: usize,
-    last_use: HashMap<u64, u64>,
-    tick: u64,
-}
-
-impl TemplateCache {
-    fn new(capacity: usize) -> Self {
-        Self {
-            capacity: capacity.max(1),
-            last_use: HashMap::new(),
-            tick: 0,
+            .with("events_processed", self.events_processed);
+        if let Some(recovery) = &self.recovery {
+            j = j.with("recovery", recovery.to_json());
         }
-    }
-
-    /// Looks up and touches `template`; on miss, inserts it (evicting
-    /// the least-recently-used entry — ties broken by template id, so
-    /// eviction never depends on map iteration order).
-    fn touch(&mut self, template: u64) -> bool {
-        self.tick += 1;
-        if let Some(t) = self.last_use.get_mut(&template) {
-            *t = self.tick;
-            return true;
-        }
-        if self.last_use.len() >= self.capacity {
-            let victim = self
-                .last_use
-                .iter()
-                .map(|(&k, &t)| (t, k))
-                .min()
-                .expect("non-empty at capacity")
-                .1;
-            self.last_use.remove(&victim);
-        }
-        self.last_use.insert(template, self.tick);
-        false
-    }
-
-    /// Inserts without counting a miss (pre-priming).
-    fn prime(&mut self, template: u64) {
-        if self.last_use.len() < self.capacity {
-            self.tick += 1;
-            self.last_use.entry(template).or_insert(self.tick);
-        }
+        j
     }
 }
 
@@ -214,7 +257,7 @@ struct Window {
 }
 
 impl Window {
-    fn signal(&mut self, utilization: f64) -> ShardSignal {
+    fn signal(&mut self, utilization: f64) -> crate::autoscaler::ShardSignal {
         let shed_rate = if self.submitted == 0 {
             0.0
         } else {
@@ -229,7 +272,7 @@ impl Window {
                 .clamp(1, self.queue_waits.len());
             self.queue_waits[ix - 1]
         };
-        let s = ShardSignal {
+        let s = crate::autoscaler::ShardSignal {
             shed_rate,
             queue_wait_p95_secs: p95,
             utilization,
@@ -244,48 +287,190 @@ struct Shard {
     plane: ControlPlane<LeastLoadedRouter>,
     /// One k-server pool per worker (`max_batch` lanes each).
     pools: Vec<MultiResource>,
-    cache: TemplateCache,
     scaler: Option<Autoscaler>,
     outstanding: usize,
     window: Window,
+    // Liveness.
+    /// Not crashed and not departed.
+    alive: bool,
+    /// On the consistent-hash ring.
+    joined: bool,
+    /// Router cannot place onto it (link down; compute fine).
+    partitioned: bool,
+    /// Gray-failure service-time multiplier while `now < slow_until`.
+    slow_factor: f64,
+    slow_until: SimTime,
     // Accounting.
     submitted: u64,
     served: u64,
     served_within_deadline: u64,
     shed: u64,
     deadline_rejected: u64,
+    /// In-flight attempts killed by a crash (each resubmitted or
+    /// counted failed at the fleet level).
+    other_rejected: u64,
     rung_served: Vec<(&'static str, u64)>,
     latency_hist: Histogram,
     queue_wait_hist: Histogram,
 }
 
-/// Fleet events: two per request plus periodic scale ticks. Public so
-/// callers can plug in their own [`EventScheduler`] via
-/// [`FleetSim::run_with_scheduler`].
+impl Shard {
+    /// The router may place new requests here.
+    fn routable(&self) -> bool {
+        self.alive && self.joined && !self.partitioned
+    }
+}
+
+/// One accepted attempt in flight on a shard. Crash handling consults
+/// this registry to kill and reroute; completion accounting happens at
+/// the `Done` event so a killed attempt is never counted served.
+#[derive(Debug, Clone, Copy)]
+struct Inflight {
+    trace_ix: usize,
+    /// Shard serving this attempt (crash handling kills by shard).
+    shard: u32,
+    /// Original fleet arrival (deadlines and latency are judged
+    /// against it across retries).
+    arrival: SimTime,
+    finish: SimTime,
+    wait_secs: f64,
+    attempt: u32,
+    rung_label: Option<&'static str>,
+}
+
+/// A request waiting at the router for any shard to become routable.
+#[derive(Debug, Clone, Copy)]
+struct Parked {
+    trace_ix: usize,
+    arrival: SimTime,
+    attempt: u32,
+}
+
+/// A compiled fault-plan step (one plan event may expand to two: a
+/// crash schedules its own restart, a partition its own heal).
+#[derive(Debug, Clone, Copy)]
+enum FaultAction {
+    Crash(u32),
+    Rejoin(u32),
+    Leave(u32),
+    Join(u32),
+    SlowStart {
+        shard: u32,
+        factor: f64,
+        until: SimTime,
+    },
+    PartitionStart(u32),
+    PartitionEnd(u32),
+    Wipe(u32),
+}
+
+impl FaultAction {
+    fn label(&self) -> &'static str {
+        match self {
+            Self::Crash(_) => "crash",
+            Self::Rejoin(_) => "rejoin",
+            Self::Leave(_) => "leave",
+            Self::Join(_) => "join",
+            Self::SlowStart { .. } => "slow_start",
+            Self::PartitionStart(_) => "partition_start",
+            Self::PartitionEnd(_) => "partition_end",
+            Self::Wipe(_) => "wipe",
+        }
+    }
+
+    fn shard(&self) -> u32 {
+        match *self {
+            Self::Crash(s)
+            | Self::Rejoin(s)
+            | Self::Leave(s)
+            | Self::Join(s)
+            | Self::SlowStart { shard: s, .. }
+            | Self::PartitionStart(s)
+            | Self::PartitionEnd(s)
+            | Self::Wipe(s) => s,
+        }
+    }
+}
+
+fn compile_plan(plan: &FleetFaultPlan) -> Vec<(SimTime, FaultAction)> {
+    let mut actions = Vec::new();
+    for e in &plan.events {
+        match e.kind {
+            FleetFaultKind::ShardCrash { shard, downtime } => {
+                actions.push((e.at, FaultAction::Crash(shard)));
+                actions.push((e.at + downtime, FaultAction::Rejoin(shard)));
+            }
+            FleetFaultKind::ShardLeave { shard } => actions.push((e.at, FaultAction::Leave(shard))),
+            FleetFaultKind::ShardJoin { shard } => actions.push((e.at, FaultAction::Join(shard))),
+            FleetFaultKind::ShardSlow {
+                shard,
+                factor,
+                duration,
+            } => actions.push((
+                e.at,
+                FaultAction::SlowStart {
+                    shard,
+                    factor,
+                    until: e.at + duration,
+                },
+            )),
+            FleetFaultKind::Partition { shard, duration } => {
+                actions.push((e.at, FaultAction::PartitionStart(shard)));
+                actions.push((e.at + duration, FaultAction::PartitionEnd(shard)));
+            }
+            FleetFaultKind::ReplicaLoss { shard } => {
+                actions.push((e.at, FaultAction::Wipe(shard)));
+            }
+        }
+    }
+    // Stable by time: same-instant actions keep plan order.
+    actions.sort_by_key(|&(at, _)| at);
+    actions
+}
+
+/// Fleet events. Public so callers can plug in their own
+/// [`EventScheduler`] via [`FleetSim::run_with_scheduler`].
 #[derive(Debug, Clone, Copy)]
 pub enum FleetEv {
     /// Request `trace[i]` arrives at the fleet front door.
     Arrival(usize),
-    /// A request completes on `shard`.
+    /// In-flight attempt `seq` completes on `shard`.
     Done {
         /// The shard whose worker finished.
         shard: u32,
+        /// Registry key of the attempt (a crash may have killed it, in
+        /// which case the completion is ignored).
+        seq: u64,
     },
     /// Autoscaler observation window closes.
     ScaleTick,
+    /// Compiled fault-plan step `i` fires.
+    Fault(usize),
 }
 
 struct World<'a> {
     trace: &'a FleetTrace,
     shards: Vec<Shard>,
     router: FleetRouter,
+    store: ReplicatedStore,
     cost: CostModel,
     engine: EngineKind,
     config: FleetConfig,
     deadline: SimDuration,
+    actions: Vec<(SimTime, FaultAction)>,
+    /// Sorted template universe, for deterministic directory rebuilds.
+    templates: Vec<u64>,
+    registry: HashMap<u64, Inflight>,
+    next_seq: u64,
+    parked: VecDeque<Parked>,
+    timeline: GoodputTimeline,
     spills: u64,
     cache_hits: u64,
+    failover_hits: u64,
     cache_misses: u64,
+    rerouted: u64,
+    crash_failed: u64,
+    re_primed: u64,
     last_completion: SimTime,
     inflight: usize,
     next_arrival: usize,
@@ -296,6 +481,7 @@ impl World<'_> {
         self.shards
             .iter()
             .enumerate()
+            .filter(|(_, s)| s.routable())
             .map(|(i, s)| ShardLoad {
                 shard: i as u32,
                 outstanding: s.outstanding,
@@ -305,11 +491,11 @@ impl World<'_> {
     }
 
     /// Service seconds for one request at `steps` denoising steps.
-    /// Cache hits compute only the masked region; misses recompute the
-    /// full latent (mask ratio 1.0) — the fleet-level cost of losing
-    /// affinity.
-    fn service_duration(&self, mask_ratio: f64, steps: usize, hit: bool) -> SimDuration {
-        let ratio = if hit { mask_ratio } else { 1.0 };
+    /// Requests with host-resident or failed-over activations compute
+    /// only the masked region; cold misses recompute the full latent
+    /// (mask ratio 1.0) — the fleet-level cost of losing affinity.
+    fn service_duration(&self, mask_ratio: f64, steps: usize, warm: bool) -> SimDuration {
+        let ratio = if warm { mask_ratio } else { 1.0 };
         let step = self
             .engine
             .step_latency(&self.cost, &[BatchItem { mask_ratio: ratio }]);
@@ -324,6 +510,286 @@ impl World<'_> {
             .trace
             .event_at(name, "fleet", Track::new(2, shard), ts.as_nanos(), args);
     }
+
+    /// Rebuilds the replica directory from the current ring; with
+    /// re-priming enabled, copies moved templates onto their new
+    /// owners from surviving holders.
+    fn rebalance(&mut self) {
+        let ring = self.router.ring();
+        if self.config.reprime_on_churn {
+            self.re_primed += self.store.rebuild(&self.templates, |t| ring.preference(t));
+        } else {
+            self.store.retarget(&self.templates, |t| ring.preference(t));
+        }
+    }
+
+    /// Re-submits every parked request once any shard is routable.
+    fn drain_parked<Q: EventScheduler<FleetEv>>(&mut self, now: SimTime, queue: &mut Q) {
+        if self.parked.is_empty() || !self.shards.iter().any(Shard::routable) {
+            return;
+        }
+        let parked: Vec<Parked> = self.parked.drain(..).collect();
+        for p in parked {
+            self.submit(now, p.trace_ix, p.attempt, p.arrival, queue);
+        }
+    }
+
+    /// Routes and (maybe) admits one attempt of `trace[trace_ix]`.
+    /// `arrival` is the request's original fleet arrival: deadlines
+    /// and end-to-end latency are judged against it across retries.
+    fn submit<Q: EventScheduler<FleetEv>>(
+        &mut self,
+        now: SimTime,
+        trace_ix: usize,
+        attempt: u32,
+        arrival: SimTime,
+        queue: &mut Q,
+    ) {
+        let req = &self.trace.trace.requests[trace_ix];
+        let loads = self.shard_loads();
+        if loads.is_empty() {
+            // Nothing routable: park at the router until membership or
+            // partition state changes.
+            self.parked.push_back(Parked {
+                trace_ix,
+                arrival,
+                attempt,
+            });
+            self.emit("fleet_park", 0, now, vec![("id", Json::U64(req.id))]);
+            return;
+        }
+        let choice = self.router.choose(req.id, req.template_id, &loads);
+        if choice.spilled {
+            self.spills += 1;
+        }
+        let sx = choice.shard as usize;
+        self.emit(
+            "fleet_route",
+            choice.shard,
+            now,
+            vec![
+                ("id", Json::U64(req.id)),
+                ("template", Json::U64(req.template_id)),
+                ("spilled", Json::Bool(choice.spilled)),
+                ("attempt", Json::U64(attempt as u64)),
+            ],
+        );
+        let shard = &mut self.shards[sx];
+        shard.submitted += 1;
+        shard.window.submitted += 1;
+        let capacity = shard.pools.len() * self.config.max_batch;
+        let assessment = shard
+            .plane
+            .assess(req.id, now, shard.outstanding, capacity, false);
+        let (rung, steps) = match assessment {
+            Assessment::Shed(_) => {
+                shard.shed += 1;
+                shard.window.turned_away += 1;
+                return;
+            }
+            Assessment::Serve { rung, steps } => (rung, steps),
+        };
+        // Earliest any lane frees: if even starting then blows the
+        // (remaining) deadline, reject before charging the pool.
+        let free = shard
+            .pools
+            .iter()
+            .map(MultiResource::earliest_free)
+            .min()
+            .expect("at least one worker");
+        if free.max(now).since(arrival) > self.deadline {
+            shard.deadline_rejected += 1;
+            shard.window.turned_away += 1;
+            return;
+        }
+        // Cache path: local host tier, then replica failover, then
+        // cold recompute.
+        let local_hit = self.store.touch(choice.shard, req.template_id, now);
+        let (warm, compute_from) = if local_hit {
+            self.cache_hits += 1;
+            (true, now)
+        } else if self.config.replicas >= 2 {
+            let shards = &self.shards;
+            match self
+                .store
+                .fetch_failover(choice.shard, req.template_id, now, |s| {
+                    shards
+                        .get(s as usize)
+                        .is_some_and(|sh| sh.alive && sh.joined)
+                }) {
+                ReplicaFetch::Failover { source, ready } => {
+                    self.failover_hits += 1;
+                    self.emit(
+                        "cache_failover",
+                        choice.shard,
+                        now,
+                        vec![
+                            ("template", Json::U64(req.template_id)),
+                            ("source", Json::U64(source as u64)),
+                        ],
+                    );
+                    (true, ready)
+                }
+                ReplicaFetch::LocalHit(ready) => (true, ready),
+                ReplicaFetch::Miss => {
+                    self.cache_misses += 1;
+                    (false, now)
+                }
+            }
+        } else {
+            self.cache_misses += 1;
+            (false, now)
+        };
+        if !local_hit && self.config.replicas >= 2 {
+            // Write-through: the computed (or fetched) activations land
+            // on every desired owner so the next failure has copies.
+            self.store.replicate(req.template_id);
+        }
+        let mut dur = self.service_duration(req.mask_ratio, steps, warm);
+        let shard = &mut self.shards[sx];
+        if now < shard.slow_until {
+            // Gray failure: alive, routable, just slow.
+            dur = SimDuration::from_secs_f64(dur.as_secs_f64() * shard.slow_factor);
+        }
+        // Lane with the earliest opening, ties to the lowest worker
+        // index: deterministic and work-conserving.
+        let px = shard
+            .pools
+            .iter()
+            .enumerate()
+            .min_by_key(|(ix, p)| (p.earliest_free(), *ix))
+            .expect("non-empty")
+            .0;
+        let (start, finish) = shard.pools[px].acquire(compute_from.max(now), dur);
+        let wait_secs = start.since(now).as_secs_f64();
+        shard.window.queue_waits.push(wait_secs);
+        shard.outstanding += 1;
+        self.inflight += 1;
+        self.last_completion = self.last_completion.max(finish);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.registry.insert(
+            seq,
+            Inflight {
+                trace_ix,
+                shard: choice.shard,
+                arrival,
+                finish,
+                wait_secs,
+                attempt,
+                rung_label: rung.map(|r| r.label()),
+            },
+        );
+        queue.schedule_at(
+            finish,
+            FleetEv::Done {
+                shard: choice.shard,
+                seq,
+            },
+        );
+    }
+
+    fn apply_fault<Q: EventScheduler<FleetEv>>(
+        &mut self,
+        now: SimTime,
+        action: FaultAction,
+        queue: &mut Q,
+    ) {
+        self.emit(
+            "fleet_fault",
+            action.shard(),
+            now,
+            vec![("kind", Json::Str(action.label().to_string()))],
+        );
+        match action {
+            FaultAction::Crash(shard) => {
+                let sx = shard as usize;
+                if !self.shards[sx].alive {
+                    return;
+                }
+                self.shards[sx].alive = false;
+                self.shards[sx].joined = false;
+                self.shards[sx].window = Window::default();
+                self.router.remove_shard(shard);
+                self.store.wipe(shard);
+                self.rebalance();
+                // Kill the shard's in-flight attempts (sorted by seq
+                // for determinism), then reroute each within its retry
+                // budget — judged against its original deadline.
+                let mut victims: Vec<u64> = self
+                    .registry
+                    .iter()
+                    .filter(|(_, inf)| inf.shard == shard)
+                    .map(|(&seq, _)| seq)
+                    .collect();
+                victims.sort_unstable();
+                for seq in victims {
+                    let inf = self.registry.remove(&seq).expect("victim exists");
+                    let s = &mut self.shards[sx];
+                    s.outstanding = s.outstanding.saturating_sub(1);
+                    s.other_rejected += 1;
+                    self.inflight -= 1;
+                    if inf.attempt < self.config.retry_budget {
+                        self.rerouted += 1;
+                        self.submit(now, inf.trace_ix, inf.attempt + 1, inf.arrival, queue);
+                    } else {
+                        self.crash_failed += 1;
+                    }
+                }
+            }
+            FaultAction::Rejoin(shard) | FaultAction::Join(shard) => {
+                let sx = shard as usize;
+                if self.shards[sx].alive && self.shards[sx].joined {
+                    return;
+                }
+                let s = &mut self.shards[sx];
+                s.alive = true;
+                s.joined = true;
+                s.partitioned = false;
+                // Cold restart: fresh pools, empty window. (The store
+                // slice was wiped at crash; re-priming below warms it.)
+                s.pools = (0..self.config.workers_per_shard.max(1))
+                    .map(|_| MultiResource::new(self.config.max_batch))
+                    .collect();
+                s.outstanding = 0;
+                s.window = Window::default();
+                self.router.add_shard(shard);
+                self.store.ensure_shard(shard);
+                self.rebalance();
+                self.drain_parked(now, queue);
+            }
+            FaultAction::Leave(shard) => {
+                let sx = shard as usize;
+                if !self.shards[sx].alive {
+                    return;
+                }
+                // Graceful: stops taking new work, drains in-flight.
+                self.shards[sx].alive = false;
+                self.shards[sx].joined = false;
+                self.router.remove_shard(shard);
+                self.rebalance();
+            }
+            FaultAction::SlowStart {
+                shard,
+                factor,
+                until,
+            } => {
+                let s = &mut self.shards[shard as usize];
+                s.slow_factor = factor.max(1.0);
+                s.slow_until = until;
+            }
+            FaultAction::PartitionStart(shard) => {
+                self.shards[shard as usize].partitioned = true;
+            }
+            FaultAction::PartitionEnd(shard) => {
+                self.shards[shard as usize].partitioned = false;
+                self.drain_parked(now, queue);
+            }
+            FaultAction::Wipe(shard) => {
+                self.store.wipe(shard);
+            }
+        }
+    }
 }
 
 impl<Q: EventScheduler<FleetEv>> EventHandler<FleetEv, Q> for World<'_> {
@@ -331,105 +797,43 @@ impl<Q: EventScheduler<FleetEv>> EventHandler<FleetEv, Q> for World<'_> {
         match event {
             FleetEv::Arrival(i) => {
                 self.next_arrival = self.next_arrival.max(i + 1);
-                let req = &self.trace.trace.requests[i];
-                let loads = self.shard_loads();
-                let choice = self.router.choose(req.id, req.template_id, &loads);
-                if choice.spilled {
-                    self.spills += 1;
-                }
-                let sx = choice.shard as usize;
-                self.emit(
-                    "fleet_route",
-                    choice.shard,
-                    now,
-                    vec![
-                        ("id", Json::U64(req.id)),
-                        ("template", Json::U64(req.template_id)),
-                        ("spilled", Json::Bool(choice.spilled)),
-                    ],
-                );
-                let shard = &mut self.shards[sx];
-                shard.submitted += 1;
-                shard.window.submitted += 1;
-                let capacity = shard.pools.len() * self.config.max_batch;
-                let assessment =
-                    shard
-                        .plane
-                        .assess(req.id, now, shard.outstanding, capacity, false);
-                let (rung, steps) = match assessment {
-                    Assessment::Shed(_) => {
-                        shard.shed += 1;
-                        shard.window.turned_away += 1;
-                        return;
-                    }
-                    Assessment::Serve { rung, steps } => (rung, steps),
-                };
-                // Earliest any lane frees: if even starting then blows
-                // the deadline, reject before charging the pool.
-                let free = shard
-                    .pools
-                    .iter()
-                    .map(MultiResource::earliest_free)
-                    .min()
-                    .expect("at least one worker");
-                let queue_wait = free.max(now).since(now);
-                if queue_wait > self.deadline {
-                    shard.deadline_rejected += 1;
-                    shard.window.turned_away += 1;
-                    return;
-                }
-                let hit = shard.cache.touch(req.template_id);
-                if hit {
-                    self.cache_hits += 1;
-                } else {
-                    self.cache_misses += 1;
-                }
-                let dur = self.service_duration(req.mask_ratio, steps, hit);
-                let shard = &mut self.shards[sx];
-                // Lane with the earliest opening, ties to the lowest
-                // worker index: deterministic and work-conserving.
-                let px = shard
-                    .pools
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(ix, p)| (p.earliest_free(), *ix))
-                    .expect("non-empty")
-                    .0;
-                let (start, finish) = shard.pools[px].acquire(now, dur);
-                let wait_secs = start.since(now).as_secs_f64();
-                let latency_secs = finish.since(now).as_secs_f64();
-                shard.served += 1;
-                if finish.since(now) <= self.deadline {
-                    shard.served_within_deadline += 1;
-                }
-                if let Some(r) = rung {
-                    let label = r.label();
-                    match shard.rung_served.iter_mut().find(|(l, _)| *l == label) {
-                        Some((_, c)) => *c += 1,
-                        None => shard.rung_served.push((label, 1)),
-                    }
-                }
-                shard.latency_hist.record(latency_secs);
-                shard.queue_wait_hist.record(wait_secs);
-                shard.window.queue_waits.push(wait_secs);
-                shard.outstanding += 1;
-                self.inflight += 1;
-                self.last_completion = self.last_completion.max(finish);
-                queue.schedule_at(
-                    finish,
-                    FleetEv::Done {
-                        shard: choice.shard,
-                    },
-                );
+                self.submit(now, i, 0, now, queue);
             }
-            FleetEv::Done { shard } => {
+            FleetEv::Done { shard, seq } => {
+                // A crash may have killed this attempt already.
+                let Some(inf) = self.registry.remove(&seq) else {
+                    return;
+                };
                 let s = &mut self.shards[shard as usize];
                 s.outstanding = s.outstanding.saturating_sub(1);
                 self.inflight -= 1;
+                s.served += 1;
+                let e2e = inf.finish.since(inf.arrival);
+                if e2e <= self.deadline {
+                    s.served_within_deadline += 1;
+                    self.timeline.record(inf.finish.as_secs_f64());
+                }
+                if let Some(label) = inf.rung_label {
+                    match s.rung_served.iter_mut().find(|(l, _)| *l == label) {
+                        Some((_, c)) => *c += 1,
+                        None => s.rung_served.push((label, 1)),
+                    }
+                }
+                s.latency_hist.record(e2e.as_secs_f64());
+                s.queue_wait_hist.record(inf.wait_secs);
             }
             FleetEv::ScaleTick => {
+                let routable = self.shards.iter().filter(|s| s.routable()).count();
+                let parked = self.parked.len() as u64;
                 for sx in 0..self.shards.len() {
                     let max_batch = self.config.max_batch;
+                    if !self.shards[sx].alive {
+                        continue;
+                    }
+                    let guard = ScaleGuard {
+                        parked,
+                        last_healthy: routable == 1 && self.shards[sx].routable(),
+                    };
                     let shard = &mut self.shards[sx];
                     let capacity = (shard.pools.len() * max_batch).max(1);
                     let utilization = (shard.outstanding as f64 / capacity as f64).min(1.0);
@@ -437,7 +841,7 @@ impl<Q: EventScheduler<FleetEv>> EventHandler<FleetEv, Q> for World<'_> {
                     let Some(scaler) = shard.scaler.as_mut() else {
                         continue;
                     };
-                    let decision = scaler.observe(shard.pools.len(), &signal, now);
+                    let decision = scaler.observe_guarded(shard.pools.len(), &signal, now, &guard);
                     match decision {
                         ScaleDecision::Hold => {}
                         ScaleDecision::Up(n) => {
@@ -474,6 +878,10 @@ impl<Q: EventScheduler<FleetEv>> EventHandler<FleetEv, Q> for World<'_> {
                     );
                 }
             }
+            FleetEv::Fault(ix) => {
+                let (_, action) = self.actions[ix];
+                self.apply_fault(now, action, queue);
+            }
         }
     }
 }
@@ -496,18 +904,36 @@ impl FleetSim {
     }
 
     /// Runs on an explicit scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the fault plan references shards that can never
+    /// exist, or when end-of-run conservation fails (an accepted
+    /// request unaccounted for — a simulator bug, never a workload
+    /// property).
     pub fn run_with_scheduler<Q: EventScheduler<FleetEv>>(
         config: FleetConfig,
         trace: &FleetTrace,
         queue: Q,
     ) -> FleetReport {
+        let initial_shards = config.shards.max(1);
+        config
+            .faults
+            .validate(initial_shards)
+            .expect("fleet fault plan targets shards that can never exist");
+        // Fault plans may join shards beyond the initial fleet:
+        // pre-size the table so ids are stable.
+        let total_slots = config
+            .faults
+            .max_shard()
+            .map_or(initial_shards, |m| initial_shards.max(m + 1));
         let cost = CostModel::new(GpuSpec::h800(), ModelDefaults::paper());
         let engine = EngineKind::FlashPs { kv: true };
         let deadline = SimDuration::from_secs_f64(config.deadline_secs);
         let full_steps = cost.model.steps;
         let hist_hi = (config.deadline_secs * 4.0).max(1.0);
-        let ring = HashRing::with_shards(config.shards.max(1));
-        let mut shards: Vec<Shard> = (0..config.shards.max(1))
+        let ring = HashRing::with_shards(initial_shards);
+        let shards: Vec<Shard> = (0..total_slots)
             .map(|sx| {
                 let mut overload_cfg = OverloadConfig::for_cluster(
                     &cost,
@@ -560,24 +986,43 @@ impl FleetSim {
                     pools: (0..config.workers_per_shard.max(1))
                         .map(|_| MultiResource::new(config.max_batch))
                         .collect(),
-                    cache: TemplateCache::new(config.cache_capacity),
                     scaler: config.autoscaler.clone().map(Autoscaler::new),
                     outstanding: 0,
                     window: Window::default(),
+                    alive: sx < initial_shards,
+                    joined: sx < initial_shards,
+                    partitioned: false,
+                    slow_factor: 1.0,
+                    slow_until: SimTime::ZERO,
                     submitted: 0,
                     served: 0,
                     served_within_deadline: 0,
                     shed: 0,
                     deadline_rejected: 0,
+                    other_rejected: 0,
                     rung_served: Vec::new(),
                     latency_hist: Histogram::new(0.0, hist_hi, 512).expect("valid geometry"),
                     queue_wait_hist: Histogram::new(0.0, hist_hi, 512).expect("valid geometry"),
                 }
             })
             .collect();
-        // Pre-prime every shard's cache with the templates it owns on
-        // the ring — identically for every strategy, so hit-rate
-        // comparisons measure routing, not starting conditions.
+        // The R-replicated activation store: host tier sized in
+        // templates exactly like the pre-replica per-shard LRU cache.
+        let store_config = StoreConfig {
+            host_capacity: config.cache_capacity.max(1) as u64 * config.template_bytes,
+            disk_capacity: u64::MAX,
+            disk_read_bw: 2.0 * (1u64 << 30) as f64,
+        };
+        let mut store = ReplicatedStore::new(
+            total_slots,
+            config.replicas,
+            store_config,
+            BreakerConfig::default(),
+            config.template_bytes,
+        );
+        // Pre-prime every template onto its ring owners — identically
+        // for every strategy, so hit-rate comparisons measure routing,
+        // not starting conditions.
         let total_templates: u64 = trace
             .trace
             .requests
@@ -585,26 +1030,50 @@ impl FleetSim {
             .map(|r| r.template_id + 1)
             .max()
             .unwrap_or(0);
-        for t in 0..total_templates {
-            if let Some(owner) = ring.primary(t) {
-                shards[owner as usize].cache.prime(t);
-            }
+        let templates: Vec<u64> = (0..total_templates).collect();
+        for &t in &templates {
+            let owners: Vec<u32> = ring
+                .preference(t)
+                .into_iter()
+                .take(config.replicas.max(1))
+                .collect();
+            store.prime(t, owners, SimTime::ZERO);
         }
         let router = FleetRouter::new(config.strategy, ring);
+        let actions = compile_plan(&config.faults);
         let strategy = config.strategy.name();
         let scale_interval = SimDuration::from_secs_f64(config.scale_interval_secs.max(0.001));
         let deadline_secs = config.deadline_secs;
+        let timeline = GoodputTimeline::new(config.recovery_window_secs);
+        let first_fault_secs = config.faults.first_fault_at().map(|t| t.as_secs_f64());
+        let arrivals_end_secs = trace
+            .trace
+            .requests
+            .last()
+            .map(|r| r.arrival().as_secs_f64())
+            .unwrap_or(0.0);
         let mut world = World {
             trace,
             shards,
             router,
+            store,
             cost,
             engine,
             config,
             deadline,
+            actions,
+            templates,
+            registry: HashMap::new(),
+            next_seq: 0,
+            parked: VecDeque::new(),
+            timeline,
             spills: 0,
             cache_hits: 0,
+            failover_hits: 0,
             cache_misses: 0,
+            rerouted: 0,
+            crash_failed: 0,
+            re_primed: 0,
             last_completion: SimTime::ZERO,
             inflight: 0,
             next_arrival: 0,
@@ -614,11 +1083,28 @@ impl FleetSim {
             sim.queue_mut()
                 .schedule_at(req.arrival(), FleetEv::Arrival(i));
         }
+        for (ix, &(at, _)) in world.actions.iter().enumerate() {
+            sim.queue_mut().schedule_at(at, FleetEv::Fault(ix));
+        }
         if !trace.trace.is_empty() {
             sim.queue_mut()
                 .schedule_after(scale_interval, FleetEv::ScaleTick);
         }
         sim.run(&mut world);
+        // Requests still parked when the run ends never found a
+        // routable shard: terminal, and accounted.
+        let parked_failed = world.parked.len() as u64;
+        world.parked.clear();
+        // Conservation: every trace request must be accounted exactly
+        // once — completed, shed, rejected, crash-failed, or parked.
+        let served_total: u64 = world.shards.iter().map(|s| s.served).sum();
+        let shed_total: u64 = world.shards.iter().map(|s| s.shed).sum();
+        let dr_total: u64 = world.shards.iter().map(|s| s.deadline_rejected).sum();
+        assert_eq!(
+            served_total + shed_total + dr_total + world.crash_failed + parked_failed,
+            trace.trace.len() as u64,
+            "fleet dropped requests silently during churn"
+        );
         // Roll up.
         let makespan_secs = world.last_completion.as_secs_f64();
         let window_secs = makespan_secs.max(1e-9);
@@ -636,7 +1122,7 @@ impl FleetSim {
                     served_within_deadline: s.served_within_deadline,
                     shed: s.shed,
                     deadline_rejected: s.deadline_rejected,
-                    other_rejected: 0,
+                    other_rejected: s.other_rejected,
                     goodput_rps: s.served as f64 / window_secs,
                     goodput_at_deadline_rps: s.served_within_deadline as f64 / window_secs,
                     p95_latency_secs: s.latency_hist.percentile(0.95),
@@ -652,15 +1138,43 @@ impl FleetSim {
                 queue_wait_hist: s.queue_wait_hist.clone(),
             })
             .collect();
+        let store_stats = world.store.stats();
+        let cache_counters = FleetCacheCounters {
+            local_hits: world.cache_hits,
+            failover_hits: world.failover_hits,
+            misses: world.cache_misses,
+            breaker_short_circuits: store_stats.breaker_short_circuits,
+            re_primes: world.re_primed,
+        };
         let fleet = FleetSloReport::merge("fleet", window_secs, &shard_reports)
-            .expect("uniform histogram geometry");
+            .expect("uniform histogram geometry")
+            .with_cache(cache_counters);
+        let recovery = first_fault_secs.and_then(|fault_at| {
+            FleetRecoveryReport::analyze(&world.timeline, fault_at, arrivals_end_secs, 0.9).map(
+                |r| {
+                    r.with_counters(
+                        world.rerouted,
+                        world.failover_hits,
+                        world.re_primed,
+                        world.crash_failed,
+                        store_stats.breaker_short_circuits,
+                    )
+                },
+            )
+        });
         FleetReport {
             strategy,
             shard_reports,
             fleet,
             cache_hits: world.cache_hits,
+            failover_hits: world.failover_hits,
             cache_misses: world.cache_misses,
             spills: world.spills,
+            rerouted: world.rerouted,
+            crash_failed: world.crash_failed,
+            parked_failed,
+            re_primed: world.re_primed,
+            breaker_short_circuits: store_stats.breaker_short_circuits,
             scale_ups: world
                 .shards
                 .iter()
@@ -673,9 +1187,16 @@ impl FleetSim {
                 .filter_map(|s| s.scaler.as_ref())
                 .map(Autoscaler::downs)
                 .sum(),
+            scale_down_vetoes: world
+                .shards
+                .iter()
+                .filter_map(|s| s.scaler.as_ref())
+                .map(Autoscaler::vetoed_downs)
+                .sum(),
             final_workers: world.shards.iter().map(|s| s.pools.len()).collect(),
             makespan_secs,
             events_processed: sim.events_processed(),
+            recovery,
         }
     }
 }
@@ -693,6 +1214,7 @@ impl ModelDefaults {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fps_chaos::{FleetFaultEvent, FleetFaultProfile};
     use fps_workload::{FleetTraceConfig, TenantSpec};
 
     fn small_trace() -> FleetTrace {
@@ -713,6 +1235,10 @@ mod tests {
             strategy,
             ..Default::default()
         }
+    }
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_nanos((s * 1e9) as u64)
     }
 
     #[test]
@@ -799,5 +1325,121 @@ mod tests {
         let r = FleetSim::run(config(RouteStrategy::RoundRobin), &trace);
         assert_eq!(r.fleet.fleet.submitted, 0);
         assert_eq!(r.events_processed, 0);
+    }
+
+    #[test]
+    fn crash_reroutes_in_flight_without_losing_requests() {
+        let trace = small_trace();
+        let mut cfg = config(RouteStrategy::Affinity { load_factor: 1.25 });
+        cfg.faults = FleetFaultPlan::new(
+            1,
+            vec![FleetFaultEvent {
+                at: secs(40.0),
+                kind: FleetFaultKind::ShardCrash {
+                    shard: 0,
+                    downtime: SimDuration::from_secs_f64(30.0),
+                },
+            }],
+        );
+        let r = FleetSim::run(cfg, &trace);
+        // The run-level conservation assert already fired inside run();
+        // check the crash actually exercised the machinery.
+        assert!(r.rerouted > 0 || r.shard_reports[0].report.submitted == 0);
+        assert_eq!(r.fleet.fleet.lost(), 0);
+        assert!(r.recovery.is_some(), "faulted runs report recovery");
+    }
+
+    #[test]
+    fn replicas_convert_misses_into_failover_hits_under_crash() {
+        let trace = small_trace();
+        let mut base = config(RouteStrategy::Affinity { load_factor: 1.25 });
+        base.faults = FleetFaultProfile::CrashStorm.plan(7, secs(120.0), 4);
+        let mut replicated = base.clone();
+        replicated.replicas = 2;
+        let solo = FleetSim::run(base, &trace);
+        let dup = FleetSim::run(replicated, &trace);
+        assert_eq!(solo.failover_hits, 0, "R=1 has nowhere to fail over");
+        assert!(dup.failover_hits > 0, "R=2 must fail over under crashes");
+        assert!(
+            dup.effective_hit_rate() > solo.effective_hit_rate(),
+            "replicas {} vs baseline {}",
+            dup.effective_hit_rate(),
+            solo.effective_hit_rate()
+        );
+    }
+
+    #[test]
+    fn faulted_runs_replay_byte_identically() {
+        let trace = small_trace();
+        let mut cfg = config(RouteStrategy::Affinity { load_factor: 1.25 });
+        cfg.faults = FleetFaultProfile::CrashStorm.plan(11, secs(120.0), 4);
+        cfg.replicas = 2;
+        let a = FleetSim::run(cfg.clone(), &trace)
+            .to_json()
+            .to_string_compact();
+        let b = FleetSim::run(cfg.clone(), &trace)
+            .to_json()
+            .to_string_compact();
+        assert_eq!(a, b);
+        let heap = FleetSim::run_on_heap(cfg, &trace)
+            .to_json()
+            .to_string_compact();
+        assert_eq!(a, heap, "faulted calendar and heap runs diverged");
+    }
+
+    #[test]
+    fn graceful_leave_drains_and_join_takes_over() {
+        let trace = small_trace();
+        let mut cfg = config(RouteStrategy::Affinity { load_factor: 1.25 });
+        cfg.replicas = 2;
+        cfg.faults = FleetFaultPlan::new(
+            3,
+            vec![
+                FleetFaultEvent {
+                    at: secs(30.0),
+                    kind: FleetFaultKind::ShardLeave { shard: 1 },
+                },
+                FleetFaultEvent {
+                    at: secs(50.0),
+                    kind: FleetFaultKind::ShardJoin { shard: 4 },
+                },
+            ],
+        );
+        let r = FleetSim::run(cfg, &trace);
+        assert_eq!(r.crash_failed, 0, "graceful leave kills nothing");
+        assert_eq!(r.fleet.fleet.lost(), 0);
+        // The joiner exists in the report and took traffic.
+        assert_eq!(r.shard_reports.len(), 5);
+        assert!(r.shard_reports[4].report.submitted > 0);
+        assert!(r.re_primed > 0, "join re-primes moved templates");
+    }
+
+    #[test]
+    fn zero_routable_shards_parks_then_drains() {
+        // One shard, crashed mid-run: requests park, then drain at
+        // rejoin; stale ones deadline-reject rather than vanish.
+        let trace = FleetTrace::generate(&FleetTraceConfig {
+            tenants: vec![TenantSpec::new("t", 2.0, 8)],
+            duration_secs: 60.0,
+            diurnal: None,
+            seed: 5,
+        });
+        let mut cfg = config(RouteStrategy::RoundRobin);
+        cfg.shards = 1;
+        cfg.faults = FleetFaultPlan::new(
+            2,
+            vec![FleetFaultEvent {
+                at: secs(20.0),
+                kind: FleetFaultKind::ShardCrash {
+                    shard: 0,
+                    downtime: SimDuration::from_secs_f64(15.0),
+                },
+            }],
+        );
+        let r = FleetSim::run(cfg, &trace);
+        // Conservation held (asserted in run); parked requests either
+        // drained into terminal outcomes or were flushed as failed.
+        assert_eq!(r.fleet.fleet.lost(), 0);
+        assert!(r.fleet.fleet.served > 0);
     }
 }

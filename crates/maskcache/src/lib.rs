@@ -17,11 +17,13 @@
 
 pub mod error;
 pub mod pipeline;
+pub mod replica;
 pub mod store;
 
 pub use error::CacheError;
 pub use pipeline::{BlockCosts, PipelinePlan};
-pub use store::{FallbackReason, HierarchicalStore, StoreConfig, Tier, VerifiedFetch};
+pub use replica::{ReplicaDirectory, ReplicaFetch, ReplicatedStore};
+pub use store::{FallbackReason, HierarchicalStore, StoreConfig, StoreStats, Tier, VerifiedFetch};
 
 /// Crate-wide result alias.
 pub type Result<T> = core::result::Result<T, CacheError>;

@@ -1,0 +1,507 @@
+//! Template→R-replica placement over per-shard hierarchical stores.
+//!
+//! At fleet scale the activation cache is only worth its bytes if the
+//! shard holding them is alive. This module keeps each template's
+//! activations on **R shards**: the ring primary serves from its host
+//! tier like any single-shard cache, while the remaining R−1 owners
+//! hold durable disk-tier copies written through at compute time. When
+//! the primary crashes, is partitioned from peers, or loses its cache,
+//! affinity routing lands the request elsewhere and the read **fails
+//! over** to a surviving replica — through each source shard's
+//! [`CircuitBreaker`], so a shard that keeps failing its peers gets
+//! short-circuited out of the failover path instead of queueing reads
+//! against a corpse.
+//!
+//! The [`ReplicaDirectory`] is the authority on who *should* hold each
+//! template; churn (leave/join/crash) triggers [`rebuild`], which
+//! recomputes desired owners from the ring's preference order and
+//! **re-primes** moved templates by copying them onto their new owners
+//! from any surviving holder. Re-priming is modelled as background
+//! traffic (counted, not billed to the serving path): the copies land
+//! in the disk tier and later fetches pay the promote like any other
+//! disk hit.
+//!
+//! [`rebuild`]: ReplicatedStore::rebuild
+
+use std::collections::HashMap;
+
+use fps_overload::{BreakerConfig, CircuitBreaker};
+use fps_simtime::SimTime;
+
+use crate::store::{HierarchicalStore, StoreConfig, StoreStats, Tier, VerifiedFetch};
+
+/// Which shards are *supposed* to hold each template, in priority
+/// order (index 0 is the ring primary).
+#[derive(Debug, Clone, Default)]
+pub struct ReplicaDirectory {
+    replicas: usize,
+    owners: HashMap<u64, Vec<u32>>,
+}
+
+impl ReplicaDirectory {
+    /// A directory targeting `replicas` copies per template (≥ 1).
+    pub fn new(replicas: usize) -> Self {
+        Self {
+            replicas: replicas.max(1),
+            owners: HashMap::new(),
+        }
+    }
+
+    /// The replication target R.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// The desired owners of a template, primary first.
+    pub fn owners(&self, template_id: u64) -> &[u32] {
+        self.owners.get(&template_id).map_or(&[], Vec::as_slice)
+    }
+
+    /// Sets a template's desired owners (primary first, truncated to
+    /// R).
+    pub fn set(&mut self, template_id: u64, mut owners: Vec<u32>) {
+        owners.truncate(self.replicas);
+        self.owners.insert(template_id, owners);
+    }
+
+    /// Number of templates the directory places.
+    pub fn len(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Whether the directory places nothing.
+    pub fn is_empty(&self) -> bool {
+        self.owners.is_empty()
+    }
+}
+
+/// Outcome of a replicated-cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaFetch {
+    /// The serving shard's own host tier had the bytes; ready at the
+    /// instant.
+    LocalHit(SimTime),
+    /// A peer replica served the bytes (failover); ready at the
+    /// instant, from the given source shard.
+    Failover {
+        /// The shard whose store served the read.
+        source: u32,
+        /// When the bytes are usable on the serving shard.
+        ready: SimTime,
+    },
+    /// No live replica could serve: the caller recomputes cold.
+    Miss,
+}
+
+/// R-replicated activation caching across per-shard stores.
+///
+/// Shard ids index into an internally grown table, so mid-run joins of
+/// brand-new shard ids just work. All iteration orders are explicit
+/// (template lists arrive sorted from the caller, owner walks follow
+/// directory priority), keeping seeded runs byte-identical.
+#[derive(Debug)]
+pub struct ReplicatedStore {
+    stores: Vec<HierarchicalStore>,
+    breakers: Vec<CircuitBreaker>,
+    directory: ReplicaDirectory,
+    store_config: StoreConfig,
+    breaker_config: BreakerConfig,
+    template_bytes: u64,
+    /// Stats carried over from stores wiped by crashes.
+    retired: StoreStats,
+}
+
+impl ReplicatedStore {
+    /// A replicated store over `shards` initial shards, each with its
+    /// own `store_config`-shaped store and `breaker_config` breaker,
+    /// holding uniform `template_bytes`-sized activations.
+    pub fn new(
+        shards: u32,
+        replicas: usize,
+        store_config: StoreConfig,
+        breaker_config: BreakerConfig,
+        template_bytes: u64,
+    ) -> Self {
+        let mut this = Self {
+            stores: Vec::new(),
+            breakers: Vec::new(),
+            directory: ReplicaDirectory::new(replicas),
+            store_config,
+            breaker_config,
+            template_bytes,
+            retired: StoreStats::default(),
+        };
+        this.ensure_shard(shards.saturating_sub(1));
+        this
+    }
+
+    /// Grows the shard table to cover `shard` (idempotent).
+    pub fn ensure_shard(&mut self, shard: u32) {
+        while self.stores.len() <= shard as usize {
+            self.stores.push(HierarchicalStore::new(self.store_config));
+            self.breakers
+                .push(CircuitBreaker::new(self.breaker_config.clone()));
+        }
+    }
+
+    /// The directory of desired placements.
+    pub fn directory(&self) -> &ReplicaDirectory {
+        &self.directory
+    }
+
+    /// Uniform per-template activation footprint, bytes.
+    pub fn template_bytes(&self) -> u64 {
+        self.template_bytes
+    }
+
+    /// One shard's store, for inspection.
+    pub fn store(&self, shard: u32) -> Option<&HierarchicalStore> {
+        self.stores.get(shard as usize)
+    }
+
+    /// Aggregated stats across all shards, including stores wiped by
+    /// crashes.
+    pub fn stats(&self) -> StoreStats {
+        let mut total = self.retired;
+        for s in &self.stores {
+            total.absorb(s.stats());
+        }
+        total
+    }
+
+    /// Sum of breaker short-circuits across all shards (also folded
+    /// into [`stats`]'s `breaker_short_circuits` by the stores).
+    ///
+    /// [`stats`]: ReplicatedStore::stats
+    pub fn breaker_trips(&self) -> u64 {
+        self.breakers.iter().map(CircuitBreaker::trips).sum()
+    }
+
+    /// Local host-tier lookup on `shard`, mirroring a plain per-shard
+    /// LRU template cache: returns `true` on a host hit (and touches
+    /// the LRU clock); on a miss the template is inserted host-resident
+    /// — the caller is about to compute it anyway — evicting LRU
+    /// entries to the disk tier as needed.
+    pub fn touch(&mut self, shard: u32, template_id: u64, now: SimTime) -> bool {
+        self.ensure_shard(shard);
+        let store = &mut self.stores[shard as usize];
+        if store.locate(template_id) == Some(Tier::Host) {
+            let _ = store.fetch(template_id, now);
+            true
+        } else {
+            let _ = store.insert(template_id, self.template_bytes, now, None);
+            false
+        }
+    }
+
+    /// Write-through replication after a compute on `shard`: every
+    /// desired owner that lacks a copy gets a durable disk-tier one
+    /// (the computing shard itself already holds the host copy from
+    /// [`touch`]).
+    ///
+    /// [`touch`]: ReplicatedStore::touch
+    pub fn replicate(&mut self, template_id: u64) {
+        let owners: Vec<u32> = self.directory.owners(template_id).to_vec();
+        for owner in owners {
+            self.ensure_shard(owner);
+            let store = &mut self.stores[owner as usize];
+            if store.locate(template_id).is_none() {
+                let _ = store.insert_disk(template_id, self.template_bytes, None);
+            }
+        }
+    }
+
+    /// Failover read for `template_id` on behalf of `shard`, whose own
+    /// copy missed: walks the directory's owners in priority order,
+    /// skipping `shard` itself and any peer `fetchable` rejects, and
+    /// reads through each source shard's circuit breaker. The first
+    /// intact read wins; failed probes feed the source's breaker so a
+    /// dead or wiped peer gets short-circuited out of later walks.
+    pub fn fetch_failover(
+        &mut self,
+        shard: u32,
+        template_id: u64,
+        now: SimTime,
+        fetchable: impl Fn(u32) -> bool,
+    ) -> ReplicaFetch {
+        let owners: Vec<u32> = self.directory.owners(template_id).to_vec();
+        for source in owners {
+            if source == shard || !fetchable(source) {
+                continue;
+            }
+            self.ensure_shard(source);
+            let store = &mut self.stores[source as usize];
+            let breaker = &mut self.breakers[source as usize];
+            match store.fetch_guarded(breaker, template_id, now) {
+                VerifiedFetch::Intact(ready) => {
+                    store.note_failover();
+                    return ReplicaFetch::Failover { source, ready };
+                }
+                VerifiedFetch::Fallback(_) => {}
+            }
+        }
+        ReplicaFetch::Miss
+    }
+
+    /// Wipes a shard's store (crash or silent cache loss), carrying its
+    /// counters into the aggregate. The shard's breaker keeps its
+    /// state: peers probing the wiped store will find entries missing,
+    /// trip it, and route around until re-priming restores copies.
+    pub fn wipe(&mut self, shard: u32) {
+        self.ensure_shard(shard);
+        let fresh = HierarchicalStore::new(self.store_config);
+        let old = std::mem::replace(&mut self.stores[shard as usize], fresh);
+        self.retired.absorb(old.stats());
+    }
+
+    /// Start-of-run priming: records `owners` (primary first) in the
+    /// directory, host-loads the primary copy if it fits without
+    /// evicting anything, and lands durable disk copies on the
+    /// remaining owners. Mirrors a single-shard cache's pre-warm when
+    /// R = 1.
+    pub fn prime(&mut self, template_id: u64, owners: Vec<u32>, now: SimTime) {
+        self.directory.set(template_id, owners);
+        let owners = self.directory.owners(template_id).to_vec();
+        if let Some(&primary) = owners.first() {
+            self.ensure_shard(primary);
+            let store = &mut self.stores[primary as usize];
+            if store.locate(template_id).is_none()
+                && store.host_used() + self.template_bytes <= store.config().host_capacity
+            {
+                let _ = store.insert(template_id, self.template_bytes, now, None);
+            }
+        }
+        for &owner in owners.iter().skip(1) {
+            self.ensure_shard(owner);
+            if self.stores[owner as usize].locate(template_id).is_none() {
+                let _ =
+                    self.stores[owner as usize].insert_disk(template_id, self.template_bytes, None);
+            }
+        }
+    }
+
+    /// Updates the directory to track new ring placements **without**
+    /// copying any bytes — the ablation arm that answers "what does
+    /// re-priming buy": failover still consults the fresh owner set,
+    /// but new owners start cold.
+    pub fn retarget(&mut self, templates: &[u64], prefer: impl Fn(u64) -> Vec<u32>) {
+        for &template in templates {
+            let desired: Vec<u32> = prefer(template)
+                .into_iter()
+                .take(self.directory.replicas())
+                .collect();
+            self.directory.set(template, desired);
+        }
+    }
+
+    /// Rebuilds the directory after churn and re-primes moved
+    /// templates.
+    ///
+    /// `templates` must arrive sorted (determinism); `prefer` is the
+    /// ring's preference order over **live** shards for a key. For each
+    /// template the first R preferred shards become the desired
+    /// owners; any new owner lacking a copy receives a disk-tier copy
+    /// from the first current holder, counted as a re-prime on the
+    /// receiving store. Templates with no surviving holder are left to
+    /// be recomputed on demand. Returns the number of re-primed
+    /// copies.
+    pub fn rebuild(&mut self, templates: &[u64], prefer: impl Fn(u64) -> Vec<u32>) -> u64 {
+        let mut re_primed = 0;
+        for &template in templates {
+            let desired = prefer(template);
+            let desired: Vec<u32> = desired
+                .into_iter()
+                .take(self.directory.replicas())
+                .collect();
+            // A holder survives churn iff some shard still has bytes.
+            let holder = desired
+                .iter()
+                .chain(self.directory.owners(template).iter())
+                .copied()
+                .find(|&s| {
+                    self.stores
+                        .get(s as usize)
+                        .is_some_and(|st| st.locate(template).is_some())
+                });
+            for &owner in &desired {
+                self.ensure_shard(owner);
+                if holder.is_some() && self.stores[owner as usize].locate(template).is_none() {
+                    let _ = self.stores[owner as usize].insert_disk(
+                        template,
+                        self.template_bytes,
+                        None,
+                    );
+                    self.stores[owner as usize].note_re_prime();
+                    re_primed += 1;
+                }
+            }
+            self.directory.set(template, desired);
+        }
+        re_primed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_nanos((secs * 1e9) as u64)
+    }
+
+    fn store(shards: u32, replicas: usize, cap_templates: u64) -> ReplicatedStore {
+        let bytes = 100u64;
+        ReplicatedStore::new(
+            shards,
+            replicas,
+            StoreConfig {
+                host_capacity: cap_templates * bytes,
+                disk_capacity: u64::MAX,
+                disk_read_bw: 1000.0,
+            },
+            BreakerConfig::default(),
+            bytes,
+        )
+    }
+
+    /// Owners = [t % shards, (t+1) % shards]: a stand-in for ring
+    /// preference with a deterministic shape.
+    fn owners(template: u64, shards: u32) -> Vec<u32> {
+        (0..shards)
+            .map(|k| ((template + k as u64) % shards as u64) as u32)
+            .collect()
+    }
+
+    #[test]
+    fn touch_mirrors_an_lru_template_cache() {
+        let mut rs = store(1, 1, 2);
+        assert!(!rs.touch(0, 1, t(0.0)), "cold first touch");
+        assert!(rs.touch(0, 1, t(0.1)), "warm second touch");
+        assert!(!rs.touch(0, 2, t(0.2)));
+        assert!(!rs.touch(0, 3, t(0.3)), "evicts 1 (LRU)");
+        assert!(!rs.touch(0, 1, t(0.4)), "1 no longer host-resident");
+        assert_eq!(rs.stats().host_hits, 1);
+        assert!(rs.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn write_through_replicas_enable_failover() {
+        let mut rs = store(3, 2, 10);
+        rs.rebuild(&[7], |tid| owners(tid, 3));
+        // Compute on the primary, write through to the secondary.
+        let primary = rs.directory().owners(7)[0];
+        let secondary = rs.directory().owners(7)[1];
+        rs.touch(primary, 7, t(0.0));
+        rs.replicate(7);
+        assert_eq!(rs.store(secondary).unwrap().locate(7), Some(Tier::Disk));
+        // Primary dies; a request lands on some other shard and fails
+        // over to the secondary's disk copy.
+        rs.wipe(primary);
+        let serving = (0..3u32)
+            .find(|s| *s != primary && *s != secondary)
+            .unwrap();
+        match rs.fetch_failover(serving, 7, t(1.0), |s| s != primary) {
+            ReplicaFetch::Failover { source, ready } => {
+                assert_eq!(source, secondary);
+                assert!(ready >= t(1.0));
+            }
+            other => panic!("expected failover, got {other:?}"),
+        }
+        assert_eq!(rs.stats().failovers, 1);
+    }
+
+    #[test]
+    fn failover_skips_unfetchable_and_misses_when_no_replica_survives() {
+        let mut rs = store(3, 2, 10);
+        rs.rebuild(&[7], |tid| owners(tid, 3));
+        rs.touch(rs.directory().owners(7)[0], 7, t(0.0));
+        rs.replicate(7);
+        let [primary, secondary] = [rs.directory().owners(7)[0], rs.directory().owners(7)[1]];
+        // Everything unfetchable: miss, no breaker probes issued.
+        assert_eq!(
+            rs.fetch_failover(2, 7, t(1.0), |_| false),
+            ReplicaFetch::Miss
+        );
+        // Both replicas wiped: probes run, fail, and feed breakers.
+        rs.wipe(primary);
+        rs.wipe(secondary);
+        let serving = (0..3u32)
+            .find(|s| *s != primary && *s != secondary)
+            .unwrap();
+        assert_eq!(
+            rs.fetch_failover(serving, 7, t(2.0), |_| true),
+            ReplicaFetch::Miss
+        );
+        assert!(rs.stats().fallbacks >= 1, "failed probes are recorded");
+    }
+
+    #[test]
+    fn wipe_carries_stats_and_repeated_probes_trip_the_breaker() {
+        let mut rs = store(2, 2, 10);
+        rs.rebuild(&[1, 2, 3], |tid| owners(tid, 2));
+        for tid in [1, 2, 3] {
+            rs.touch(0, tid, t(0.0));
+            rs.replicate(tid);
+        }
+        let before = rs.stats();
+        rs.wipe(0);
+        assert_eq!(rs.stats().host_hits, before.host_hits, "stats survive");
+        // Shard 1 probes the wiped shard repeatedly; with the default
+        // threshold of 3 the breaker opens and later walks
+        // short-circuit.
+        for (i, tid) in [1u64, 2, 3, 1].iter().enumerate() {
+            let _ = rs.fetch_failover(1, *tid, t(1.0 + i as f64), |s| s == 0);
+        }
+        assert!(rs.breaker_trips() >= 1);
+        assert!(rs.stats().breaker_short_circuits >= 1);
+    }
+
+    #[test]
+    fn rebuild_re_primes_moved_templates_onto_new_owners() {
+        let mut rs = store(3, 2, 10);
+        rs.rebuild(&[5], |tid| owners(tid, 3));
+        rs.touch(rs.directory().owners(5)[0], 5, t(0.0));
+        rs.replicate(5);
+        // Churn reshuffles placement: shard 1 (previously a non-owner)
+        // becomes an owner and must receive a copy.
+        let moved = rs.rebuild(&[5], |_| vec![1, 0]);
+        assert!(moved >= 1, "new owner received a copy");
+        assert_eq!(rs.store(1).unwrap().locate(5), Some(Tier::Disk));
+        assert_eq!(rs.directory().owners(5), &[1, 0]);
+        assert_eq!(rs.stats().re_primes, moved);
+        // Rebuild with no movement re-primes nothing.
+        assert_eq!(rs.rebuild(&[5], |_| vec![1, 0]), 0);
+    }
+
+    #[test]
+    fn rebuild_with_no_surviving_holder_leaves_template_cold() {
+        let mut rs = store(2, 1, 10);
+        rs.rebuild(&[9], |_| vec![0]);
+        rs.touch(0, 9, t(0.0));
+        rs.wipe(0);
+        let moved = rs.rebuild(&[9], |_| vec![1]);
+        assert_eq!(moved, 0, "nothing to copy from");
+        assert_eq!(rs.store(1).unwrap().locate(9), None);
+    }
+
+    #[test]
+    fn ensure_shard_grows_for_mid_run_joins() {
+        let mut rs = store(2, 2, 10);
+        assert!(rs.store(5).is_none());
+        rs.touch(5, 1, t(0.0));
+        assert!(rs.store(5).is_some());
+        assert_eq!(rs.store(5).unwrap().locate(1), Some(Tier::Host));
+    }
+
+    #[test]
+    fn directory_truncates_to_r_and_reports_shape() {
+        let mut d = ReplicaDirectory::new(2);
+        assert!(d.is_empty());
+        d.set(1, vec![3, 1, 4, 1, 5]);
+        assert_eq!(d.owners(1), &[3, 1]);
+        assert_eq!(d.owners(99), &[] as &[u32]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.replicas(), 2);
+        assert_eq!(ReplicaDirectory::new(0).replicas(), 1, "R clamps to 1");
+    }
+}

@@ -92,6 +92,29 @@ pub struct StoreStats {
     /// Guarded reads short-circuited to recompute by an open circuit
     /// breaker (no disk I/O issued at all).
     pub breaker_short_circuits: u64,
+    /// Reads served *from this store* on behalf of another shard whose
+    /// own copy was missing (replica failover sources).
+    pub failovers: u64,
+    /// Entries copied onto this store by churn-driven re-priming
+    /// (replica directory rebuilds after shard leave/join/crash).
+    pub re_primes: u64,
+}
+
+impl StoreStats {
+    /// Adds another stats snapshot into this one (used to carry the
+    /// counters of a wiped-and-replaced store across a shard crash).
+    pub fn absorb(&mut self, other: StoreStats) {
+        self.host_hits += other.host_hits;
+        self.disk_hits += other.disk_hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.invalidations += other.invalidations;
+        self.corruptions_detected += other.corruptions_detected;
+        self.fallbacks += other.fallbacks;
+        self.breaker_short_circuits += other.breaker_short_circuits;
+        self.failovers += other.failovers;
+        self.re_primes += other.re_primes;
+    }
 }
 
 /// The two-tier activation store.
@@ -221,6 +244,62 @@ impl HierarchicalStore {
             },
         );
         Ok(())
+    }
+
+    /// Inserts (or replaces) a template's activations directly into the
+    /// disk tier, without disturbing host residency — the write path of
+    /// replica copies and churn-driven re-priming, which land durable
+    /// bytes a later fetch promotes on demand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::TooLarge`] when the entry exceeds the disk
+    /// capacity outright.
+    pub fn insert_disk(
+        &mut self,
+        template_id: u64,
+        bytes: u64,
+        payload: Option<Bytes>,
+    ) -> Result<()> {
+        if bytes > self.config.disk_capacity {
+            return Err(CacheError::TooLarge {
+                template_id,
+                bytes,
+                capacity: self.config.disk_capacity,
+            });
+        }
+        self.remove(template_id);
+        self.clock += 1;
+        self.disk_used += bytes;
+        self.entries.insert(
+            template_id,
+            Entry {
+                bytes,
+                tier: Tier::Disk,
+                host_ready_at: SimTime::ZERO,
+                last_used: self.clock,
+                payload,
+                corrupt: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// The store's configured capacities and bandwidth.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    /// Records that this store served a replica-failover read for
+    /// another shard (counted here so fleet stats aggregate for free).
+    pub fn note_failover(&mut self) {
+        self.stats.failovers += 1;
+    }
+
+    /// Records that churn-driven re-priming copied an entry onto this
+    /// store.
+    pub fn note_re_prime(&mut self) {
+        self.stats.re_primes += 1;
     }
 
     /// Removes a template entirely; returns whether it existed.

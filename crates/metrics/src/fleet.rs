@@ -40,6 +40,47 @@ impl ToJson for ShardSloReport {
     }
 }
 
+/// Fleet-wide cache and failover counters, surfaced on the SLO rollup
+/// so chaos experiments report them without scraping traces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetCacheCounters {
+    /// Requests served from the shard's own host-resident cache.
+    pub local_hits: u64,
+    /// Requests served from a peer replica after a local miss.
+    pub failover_hits: u64,
+    /// Requests that recomputed cold.
+    pub misses: u64,
+    /// Peer-cache reads short-circuited by an open circuit breaker.
+    pub breaker_short_circuits: u64,
+    /// Replica copies re-primed onto new owners by churn.
+    pub re_primes: u64,
+}
+
+impl FleetCacheCounters {
+    /// Fraction of requests that avoided a cold recompute (local or
+    /// failover), in `[0, 1]`.
+    pub fn effective_hit_rate(&self) -> f64 {
+        let total = self.local_hits + self.failover_hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            (self.local_hits + self.failover_hits) as f64 / total as f64
+        }
+    }
+}
+
+impl ToJson for FleetCacheCounters {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("local_hits", self.local_hits)
+            .with("failover_hits", self.failover_hits)
+            .with("misses", self.misses)
+            .with("breaker_short_circuits", self.breaker_short_circuits)
+            .with("re_primes", self.re_primes)
+            .with("effective_hit_rate", self.effective_hit_rate())
+    }
+}
+
 /// A fleet-level rollup: the merged [`SloReport`] plus the pooled
 /// histograms it was derived from.
 #[derive(Debug, Clone)]
@@ -53,6 +94,8 @@ pub struct FleetSloReport {
     pub queue_wait_hist: Histogram,
     /// Shards that contributed.
     pub shards: u32,
+    /// Cache/failover counters, when the run collected them.
+    pub cache: Option<FleetCacheCounters>,
 }
 
 impl FleetSloReport {
@@ -115,7 +158,14 @@ impl FleetSloReport {
             latency_hist,
             queue_wait_hist,
             shards: shards.len() as u32,
+            cache: None,
         })
+    }
+
+    /// Attaches fleet-wide cache/failover counters to the rollup.
+    pub fn with_cache(mut self, cache: FleetCacheCounters) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// Pooled queue-wait p95 across the fleet, seconds.
@@ -126,10 +176,14 @@ impl FleetSloReport {
 
 impl ToJson for FleetSloReport {
     fn to_json(&self) -> Json {
-        Json::object()
+        let mut j = Json::object()
             .with("shards", self.shards as u64)
             .with("fleet", self.fleet.to_json())
-            .with("queue_wait_p95_secs", self.queue_wait_p95_secs())
+            .with("queue_wait_p95_secs", self.queue_wait_p95_secs());
+        if let Some(cache) = &self.cache {
+            j = j.with("cache", cache.to_json());
+        }
+        j
     }
 }
 

@@ -14,12 +14,15 @@
 //!   rate, per-rung quality) for overload-controlled runs.
 //! - [`fleet`] — cross-shard SLO aggregation with histogram-merged
 //!   percentiles (fleet p95 is pooled, never averaged).
+//! - [`recovery`] — goodput timelines and time-to-recover / dip-area
+//!   accounting for fleet chaos runs.
 
 pub mod degradation;
 pub mod fleet;
 pub mod histogram;
 pub mod latency;
 pub mod plot;
+pub mod recovery;
 pub mod regression;
 pub mod report;
 pub mod slo;
@@ -27,10 +30,11 @@ pub mod stats;
 pub mod throughput;
 
 pub use degradation::DegradationReport;
-pub use fleet::{FleetSloReport, ShardSloReport};
+pub use fleet::{FleetCacheCounters, FleetSloReport, ShardSloReport};
 pub use histogram::Histogram;
 pub use latency::{LatencyBreakdown, LatencyRecorder};
 pub use plot::{line_plot, Series};
+pub use recovery::{FleetRecoveryReport, GoodputTimeline};
 pub use regression::LinearRegression;
 pub use report::Table;
 pub use slo::{RungServed, SloReport};

@@ -1,0 +1,336 @@
+//! Recovery accounting for fleet-level chaos runs.
+//!
+//! Fault-tolerance claims need more than end-of-run goodput: a fleet
+//! that loses a shard, craters for two minutes, and then limps back
+//! can post the same aggregate numbers as one that barely blinks. The
+//! [`GoodputTimeline`] buckets completions-within-deadline into fixed
+//! windows of virtual time, and [`FleetRecoveryReport`] reduces that
+//! timeline against the first fault instant into the quantities the
+//! paper's robustness story turns on: how deep the goodput dip went,
+//! how much serving was lost while degraded (dip *area*), and how long
+//! until goodput returned to a fraction of its pre-fault baseline —
+//! alongside the recovery-machinery counters (reroutes, failovers,
+//! re-primes) that explain *why* the dip was shallow.
+
+use fps_json::{Json, ToJson};
+
+/// Completions-within-deadline bucketed into fixed windows of virtual
+/// time. Feed it each served request's *finish* instant; goodput in a
+/// window is completions ÷ window length.
+#[derive(Debug, Clone)]
+pub struct GoodputTimeline {
+    window_secs: f64,
+    buckets: Vec<u64>,
+}
+
+impl GoodputTimeline {
+    /// A timeline with `window_secs`-wide buckets (clamped to ≥ 1 ms so
+    /// a zero width cannot divide away the rates).
+    pub fn new(window_secs: f64) -> Self {
+        Self {
+            window_secs: window_secs.max(1e-3),
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Window width, seconds.
+    pub fn window_secs(&self) -> f64 {
+        self.window_secs
+    }
+
+    /// Records one in-deadline completion finishing at `at_secs`.
+    pub fn record(&mut self, at_secs: f64) {
+        let ix = (at_secs.max(0.0) / self.window_secs) as usize;
+        if self.buckets.len() <= ix {
+            self.buckets.resize(ix + 1, 0);
+        }
+        self.buckets[ix] += 1;
+    }
+
+    /// Goodput (requests/second) per window, in time order.
+    pub fn rates(&self) -> Vec<f64> {
+        self.buckets
+            .iter()
+            .map(|&c| c as f64 / self.window_secs)
+            .collect()
+    }
+
+    /// Number of windows with any data (trailing empty windows before
+    /// the last completion count; nothing is recorded past it).
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+}
+
+/// How a fleet's goodput responded to its first injected fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRecoveryReport {
+    /// Timeline bucket width, seconds.
+    pub window_secs: f64,
+    /// Mean goodput over the full windows before the fault, rps.
+    pub baseline_rps: f64,
+    /// Virtual time of the first fault, seconds.
+    pub fault_at_secs: f64,
+    /// Deepest goodput shortfall below baseline after the fault, rps
+    /// (0 when the fleet never dipped).
+    pub dip_depth_rps: f64,
+    /// Integrated shortfall below baseline after the fault, rps ×
+    /// seconds — requests *not* served because of the fault.
+    pub dip_area_rps_secs: f64,
+    /// Virtual time goodput first returned to the recovery threshold
+    /// after the dip bottom, seconds; `None` while still degraded.
+    pub recovered_at_secs: Option<f64>,
+    /// `recovered_at_secs − fault_at_secs`, or 0 when there was no
+    /// dip to recover from.
+    pub time_to_recover_secs: Option<f64>,
+    /// Requests re-routed off a crashed or departed shard.
+    pub rerouted: u64,
+    /// Cache reads served by a peer replica instead of recomputing.
+    pub failed_over: u64,
+    /// Replica copies re-primed onto new owners by churn.
+    pub re_primed: u64,
+    /// Accepted requests that exhausted their retry budget after shard
+    /// crashes.
+    pub crash_failed: u64,
+    /// Peer-cache reads short-circuited by an open circuit breaker.
+    pub breaker_short_circuits: u64,
+}
+
+impl FleetRecoveryReport {
+    /// Reduces a goodput timeline against the first fault at
+    /// `fault_at_secs`.
+    ///
+    /// `horizon_secs` bounds the analysis to windows fully inside the
+    /// arrival horizon, so the natural end-of-run taper (arrivals
+    /// stop, goodput falls to zero) is not mistaken for an unrecovered
+    /// dip. Recovery means: after the post-fault minimum, goodput
+    /// climbs back to `recover_frac × baseline` (baseline = mean of
+    /// the full pre-fault windows). A fleet that never dips below the
+    /// threshold reports zero time-to-recover.
+    ///
+    /// Returns `None` when no full window precedes the fault (no
+    /// baseline to recover *to*).
+    pub fn analyze(
+        timeline: &GoodputTimeline,
+        fault_at_secs: f64,
+        horizon_secs: f64,
+        recover_frac: f64,
+    ) -> Option<Self> {
+        let w = timeline.window_secs;
+        let rates = timeline.rates();
+        // Full windows strictly before the fault form the baseline.
+        let pre = ((fault_at_secs / w).floor() as usize).min(rates.len());
+        if pre == 0 {
+            return None;
+        }
+        let baseline = rates[..pre].iter().sum::<f64>() / pre as f64;
+        let threshold = baseline * recover_frac.clamp(0.0, 1.0);
+        // Post-fault windows fully inside the horizon.
+        let post_end = ((horizon_secs / w).floor() as usize).min(rates.len());
+        let post = &rates[pre..post_end];
+
+        let mut dip_depth = 0.0f64;
+        let mut dip_area = 0.0f64;
+        let mut min_ix: Option<usize> = None;
+        for (i, &g) in post.iter().enumerate() {
+            let short = baseline - g;
+            if short > dip_depth {
+                dip_depth = short;
+                min_ix = Some(i);
+            }
+            if short > 0.0 {
+                dip_area += short * w;
+            }
+        }
+        let dipped = post.iter().any(|&g| g < threshold);
+        let (recovered_at, ttr) = if !dipped {
+            (None, Some(0.0))
+        } else {
+            // First window at/after the dip bottom back over the
+            // threshold; recovery is its *end* instant.
+            let bottom = min_ix.unwrap_or(0);
+            match post[bottom..].iter().position(|&g| g >= threshold) {
+                Some(k) => {
+                    let at = ((pre + bottom + k + 1) as f64) * w;
+                    (Some(at), Some((at - fault_at_secs).max(0.0)))
+                }
+                None => (None, None),
+            }
+        };
+        Some(Self {
+            window_secs: w,
+            baseline_rps: baseline,
+            fault_at_secs,
+            dip_depth_rps: dip_depth,
+            dip_area_rps_secs: dip_area,
+            recovered_at_secs: recovered_at,
+            time_to_recover_secs: ttr,
+            rerouted: 0,
+            failed_over: 0,
+            re_primed: 0,
+            crash_failed: 0,
+            breaker_short_circuits: 0,
+        })
+    }
+
+    /// Attaches the recovery-machinery counters.
+    pub fn with_counters(
+        mut self,
+        rerouted: u64,
+        failed_over: u64,
+        re_primed: u64,
+        crash_failed: u64,
+        breaker_short_circuits: u64,
+    ) -> Self {
+        self.rerouted = rerouted;
+        self.failed_over = failed_over;
+        self.re_primed = re_primed;
+        self.crash_failed = crash_failed;
+        self.breaker_short_circuits = breaker_short_circuits;
+        self
+    }
+
+    /// Whether goodput came back within `bound_secs` of the fault.
+    pub fn recovered_within(&self, bound_secs: f64) -> bool {
+        self.time_to_recover_secs.is_some_and(|t| t <= bound_secs)
+    }
+}
+
+impl ToJson for FleetRecoveryReport {
+    fn to_json(&self) -> Json {
+        let mut j = Json::object()
+            .with("window_secs", self.window_secs)
+            .with("baseline_rps", self.baseline_rps)
+            .with("fault_at_secs", self.fault_at_secs)
+            .with("dip_depth_rps", self.dip_depth_rps)
+            .with("dip_area_rps_secs", self.dip_area_rps_secs)
+            .with("rerouted", self.rerouted)
+            .with("failed_over", self.failed_over)
+            .with("re_primed", self.re_primed)
+            .with("crash_failed", self.crash_failed)
+            .with("breaker_short_circuits", self.breaker_short_circuits);
+        if let Some(at) = self.recovered_at_secs {
+            j = j.with("recovered_at_secs", at);
+        }
+        if let Some(t) = self.time_to_recover_secs {
+            j = j.with("time_to_recover_secs", t);
+        }
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timeline(rates: &[u64], window: f64) -> GoodputTimeline {
+        let mut t = GoodputTimeline::new(window);
+        for (i, &n) in rates.iter().enumerate() {
+            for k in 0..n {
+                // Spread completions inside the window; exact offsets
+                // don't matter to the bucketing.
+                t.record(i as f64 * window + window * (k as f64 + 0.5) / (n.max(1) as f64));
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn timeline_buckets_by_finish_time() {
+        let mut t = GoodputTimeline::new(10.0);
+        assert!(t.is_empty());
+        t.record(0.5);
+        t.record(9.9);
+        t.record(10.1);
+        assert_eq!(t.len(), 2);
+        let r = t.rates();
+        assert!((r[0] - 0.2).abs() < 1e-12);
+        assert!((r[1] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clean_run_reports_zero_time_to_recover() {
+        // Steady 10/window before and after the "fault".
+        let t = timeline(&[10, 10, 10, 10, 10, 10], 10.0);
+        let r = FleetRecoveryReport::analyze(&t, 20.0, 60.0, 0.9).unwrap();
+        assert!((r.baseline_rps - 1.0).abs() < 1e-12);
+        assert_eq!(r.time_to_recover_secs, Some(0.0));
+        assert_eq!(r.recovered_at_secs, None);
+        assert_eq!(r.dip_depth_rps, 0.0);
+        assert!(r.recovered_within(0.0));
+    }
+
+    #[test]
+    fn dip_and_recovery_are_measured_from_the_fault() {
+        // Baseline 1 rps; crash at 20 s; two degraded windows (0.2,
+        // 0.5 rps) then back to 1.0.
+        let t = timeline(&[10, 10, 2, 5, 10, 10], 10.0);
+        let r = FleetRecoveryReport::analyze(&t, 20.0, 60.0, 0.9).unwrap();
+        assert!((r.baseline_rps - 1.0).abs() < 1e-12);
+        assert!((r.dip_depth_rps - 0.8).abs() < 1e-12);
+        // Shortfall: 0.8·10 + 0.5·10 = 13 request-slots lost.
+        assert!((r.dip_area_rps_secs - 13.0).abs() < 1e-9);
+        // Window [40, 50) is the first back over 0.9 rps; recovery at
+        // its end.
+        assert_eq!(r.recovered_at_secs, Some(50.0));
+        assert_eq!(r.time_to_recover_secs, Some(30.0));
+        assert!(r.recovered_within(30.0));
+        assert!(!r.recovered_within(29.0));
+    }
+
+    #[test]
+    fn unrecovered_dip_reports_none() {
+        let t = timeline(&[10, 10, 1, 1, 1, 1], 10.0);
+        let r = FleetRecoveryReport::analyze(&t, 20.0, 60.0, 0.9).unwrap();
+        assert_eq!(r.recovered_at_secs, None);
+        assert_eq!(r.time_to_recover_secs, None);
+        assert!(!r.recovered_within(1e9));
+    }
+
+    #[test]
+    fn horizon_excludes_end_of_run_taper() {
+        // Arrivals end at 40 s; the final window holds only a couple
+        // of stragglers. Bounded analysis must not bill that taper as
+        // fault-induced shortfall.
+        let t = timeline(&[10, 10, 2, 10, 2], 10.0);
+        let r = FleetRecoveryReport::analyze(&t, 20.0, 40.0, 0.9).unwrap();
+        assert_eq!(r.recovered_at_secs, Some(40.0));
+        assert_eq!(r.time_to_recover_secs, Some(20.0));
+        assert!((r.dip_area_rps_secs - 8.0).abs() < 1e-9);
+        // The same data analyzed naively past the horizon charges the
+        // taper window to the fault — the guard matters.
+        let naive = FleetRecoveryReport::analyze(&t, 20.0, 60.0, 0.9).unwrap();
+        assert!(naive.dip_area_rps_secs > r.dip_area_rps_secs);
+    }
+
+    #[test]
+    fn no_pre_fault_window_refuses() {
+        let t = timeline(&[10, 10], 10.0);
+        assert!(FleetRecoveryReport::analyze(&t, 5.0, 20.0, 0.9).is_none());
+    }
+
+    #[test]
+    fn counters_attach_and_serialize() {
+        let t = timeline(&[10, 10, 2, 10], 10.0);
+        let r = FleetRecoveryReport::analyze(&t, 20.0, 40.0, 0.9)
+            .unwrap()
+            .with_counters(5, 4, 3, 2, 1);
+        let j = r.to_json();
+        assert_eq!(j.get("rerouted").and_then(Json::as_u64), Some(5));
+        assert_eq!(j.get("failed_over").and_then(Json::as_u64), Some(4));
+        assert_eq!(j.get("re_primed").and_then(Json::as_u64), Some(3));
+        assert_eq!(j.get("crash_failed").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            j.get("breaker_short_circuits").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert!(j.get("time_to_recover_secs").is_some());
+        let back = Json::parse(&j.to_string_compact()).unwrap();
+        assert_eq!(back.get("rerouted").and_then(Json::as_u64), Some(5));
+    }
+}
