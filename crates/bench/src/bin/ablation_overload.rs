@@ -65,6 +65,7 @@ fn slo_report(label: &str, submitted: u64, r: &RunReport, quality: &[(String, f6
         p95_latency_secs: r.p95_latency(),
         mean_latency_secs: r.mean_latency(),
         rungs,
+        stages: Vec::new(),
         bubble_fraction: None,
     }
 }

@@ -57,7 +57,7 @@ pub mod system;
 
 pub use experiment::{run_serving, ServingPoint};
 pub use scheduler::MaskAwareRouter;
-pub use server::ThreadedServer;
+pub use server::{EditJob, ServerConfig, StagedServerConfig, ThreadedServer, Ticket};
 pub use system::{rung_strategy, EditResult, FlashPs, FlashPsConfig};
 
 /// Errors surfaced by the FlashPS system.

@@ -43,7 +43,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use crossbeam::channel::{
+    bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError,
+};
 use fps_diffusion::{EditSession, Guidance, Strategy};
 use fps_json::Json;
 use fps_serving::worker::OutstandingReq;
@@ -114,6 +116,33 @@ impl Default for ServerConfig {
             max_queue_depth: None,
             start_paused: false,
             trace: TraceSink::disabled(),
+        }
+    }
+}
+
+/// Pool shapes for [`ThreadedServer::start_staged`]: the disaggregated
+/// execution mode where session setup (preprocess + text-encode),
+/// denoising, and decode (VAE + postprocess) run on separate pools
+/// joined by bounded queues — §4.3 disaggregation generalized to
+/// micro-serving. [`ServerConfig::workers`] sizes the denoise pool.
+#[derive(Debug, Clone)]
+pub struct StagedServerConfig {
+    /// Threads running session setup (preprocess + text encode).
+    pub encode_workers: usize,
+    /// Threads running VAE decode + postprocess.
+    pub decode_workers: usize,
+    /// Capacity of each bounded inter-stage queue. A full queue
+    /// backpressures: encode blocks, and finished denoise sessions
+    /// hold their batch slot until decode drains.
+    pub stage_queue_capacity: usize,
+}
+
+impl Default for StagedServerConfig {
+    fn default() -> Self {
+        Self {
+            encode_workers: 2,
+            decode_workers: 1,
+            stage_queue_capacity: 8,
         }
     }
 }
@@ -272,6 +301,12 @@ impl Ticket {
 /// The multi-threaded continuous-batching server.
 pub struct ThreadedServer {
     txs: Option<Vec<Sender<QueuedJob>>>,
+    /// Staged mode only: the encode pool's shared entry queue.
+    /// [`Self::submit`] sends here instead of to a per-worker queue —
+    /// routing to a specific denoise worker still happens at submit
+    /// time (the ledger slot carries the placement); the encode pool
+    /// forwards the built session to that worker's bounded queue.
+    entry: Option<Sender<QueuedJob>>,
     closing: Arc<AtomicBool>,
     paused: Arc<AtomicBool>,
     handles: Vec<JoinHandle<()>>,
@@ -380,6 +415,170 @@ impl ThreadedServer {
             .collect();
         Self {
             txs: Some(txs),
+            entry: None,
+            closing,
+            paused,
+            handles,
+            system,
+            control,
+        }
+    }
+
+    /// Starts the server in *staged* (disaggregated) mode with a
+    /// minimal control plane: session setup, denoising, and decode run
+    /// on separate pools joined by bounded queues, so CPU-side work
+    /// never blocks a denoise step. Outputs are byte-identical to the
+    /// monolithic mode — the stages call the exact same
+    /// `begin`/`step`/`finish` pipeline seams.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.trace` is a virtual-clock sink.
+    pub fn start_staged(system: FlashPs, config: ServerConfig, staged: StagedServerConfig) -> Self {
+        let steps = system.config().model.steps;
+        let plane = ControlPlane::new(
+            Box::new(LeastLoadedRouter) as Box<dyn Router + Send>,
+            TimeSource::wall(),
+            steps,
+        )
+        .with_queue_cap(config.max_queue_depth);
+        Self::start_staged_with_plane(system, config, staged, plane)
+    }
+
+    /// Staged mode behind a caller-built control plane (the staged
+    /// analogue of [`Self::start_with_plane`]). The plane still gates
+    /// admission and routes each job to a denoise worker at submit
+    /// time; the encode pool forwards the built session to that
+    /// worker's bounded queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `plane.time()` is virtual or `config.trace` is a
+    /// virtual-clock sink.
+    pub fn start_staged_with_plane(
+        system: FlashPs,
+        config: ServerConfig,
+        staged: StagedServerConfig,
+        plane: ControlPlane<Box<dyn Router + Send>>,
+    ) -> Self {
+        assert_ne!(
+            config.trace.clock(),
+            Some(Clock::Virtual),
+            "ThreadedServer records wall-clock timestamps; use \
+             TraceSink::recording(Clock::Wall) (virtual clocks belong to ClusterSim)"
+        );
+        assert!(
+            plane.time().is_wall(),
+            "ThreadedServer is the wall-clock execution plane; build its \
+             ControlPlane with TimeSource::wall() (virtual clocks belong to ClusterSim)"
+        );
+        let plane = plane.with_trace(config.trace.clone());
+        let workers = match config.workers {
+            0 => fps_tensor::pool::global().threads(),
+            n => n,
+        };
+        let encode_workers = staged.encode_workers.max(1);
+        let decode_workers = staged.decode_workers.max(1);
+        let cap = staged.stage_queue_capacity.max(1);
+        for w in 0..workers {
+            config
+                .trace
+                .name_track(Track::new(0, w as u32), format!("worker{w}"));
+        }
+        for e in 0..encode_workers {
+            config
+                .trace
+                .name_track(Track::new(5, e as u32), format!("encode{e}"));
+        }
+        for d in 0..decode_workers {
+            config
+                .trace
+                .name_track(Track::new(6, d as u32), format!("decode{d}"));
+        }
+        let system = Arc::new(system);
+        let closing = Arc::new(AtomicBool::new(false));
+        let paused = Arc::new(AtomicBool::new(config.start_paused));
+        let control = Arc::new(Mutex::new(ControlState {
+            plane,
+            ledger: vec![Vec::new(); workers],
+            views: Vec::new(),
+            next_id: 0,
+            model_tokens: system.config().model.tokens(),
+            max_batch: config.max_batch.max(1),
+        }));
+        let (entry_tx, entry_rx) = unbounded::<QueuedJob>();
+        // Per-denoise-worker bounded queues (PR 5 shape): the submit-
+        // time placement is honored, and a full queue backpressures
+        // the encode pool.
+        let mut denoise_txs = Vec::with_capacity(workers);
+        let mut denoise_rxs = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = bounded::<Inflight>(cap);
+            denoise_txs.push(tx);
+            denoise_rxs.push(rx);
+        }
+        let (decode_tx, decode_rx) = bounded::<Inflight>(cap);
+        let mut handles = Vec::with_capacity(encode_workers + workers + decode_workers);
+        // Encode pool: MPMC over the shared entry queue.
+        for e in 0..encode_workers {
+            let ctx = WorkerCtx {
+                system: Arc::clone(&system),
+                control: Arc::clone(&control),
+                txs: Vec::new(),
+                own: e,
+                closing: Arc::clone(&closing),
+                paused: Arc::clone(&paused),
+                config: config.clone(),
+            };
+            let rx = entry_rx.clone();
+            let txs = denoise_txs.clone();
+            handles.push(fps_tensor::pool::spawn_service(
+                &format!("encode{e}"),
+                move || encode_loop(&ctx, &rx, &txs),
+            ));
+        }
+        // Denoise pool: per-worker bounded queues. Panic requeues
+        // re-enter through the encode pool (a lost session must be
+        // rebuilt), so every "queue" in the requeue table is the entry.
+        for (w, rx) in denoise_rxs.into_iter().enumerate() {
+            let ctx = WorkerCtx {
+                system: Arc::clone(&system),
+                control: Arc::clone(&control),
+                txs: vec![entry_tx.clone(); workers],
+                own: w,
+                closing: Arc::clone(&closing),
+                paused: Arc::clone(&paused),
+                config: config.clone(),
+            };
+            let tx = decode_tx.clone();
+            handles.push(fps_tensor::pool::spawn_service(
+                &format!("worker{w}"),
+                move || staged_denoise_loop(&ctx, &rx, &tx),
+            ));
+        }
+        // The denoise pool holds the only decode senders from here on:
+        // decode workers exit on disconnection once the pool drains.
+        drop(decode_tx);
+        for d in 0..decode_workers {
+            let ctx = WorkerCtx {
+                system: Arc::clone(&system),
+                control: Arc::clone(&control),
+                txs: Vec::new(),
+                own: d,
+                closing: Arc::clone(&closing),
+                paused: Arc::clone(&paused),
+                config: config.clone(),
+            };
+            let rx = decode_rx.clone();
+            handles.push(fps_tensor::pool::spawn_service(
+                &format!("decode{d}"),
+                move || decode_loop(&ctx, &rx),
+            ));
+        }
+        drop(decode_rx);
+        Self {
+            txs: Some(Vec::new()),
+            entry: Some(entry_tx),
             closing,
             paused,
             handles,
@@ -477,8 +676,13 @@ impl ThreadedServer {
         };
         let (queued, rx) = queued;
         // Send outside the lock: a failed send drops the job (and its
-        // slot guard, which re-locks to clean the ledger).
-        txs[worker]
+        // slot guard, which re-locks to clean the ledger). Staged mode
+        // enters through the encode pool's shared queue.
+        let target = match &self.entry {
+            Some(tx) => tx,
+            None => &txs[worker],
+        };
+        target
             .send(queued)
             .map_err(|_| FlashPsError::ServerClosed)?;
         Ok(Ticket { rx })
@@ -498,6 +702,7 @@ impl ThreadedServer {
         self.closing.store(true, Ordering::SeqCst);
         self.paused.store(false, Ordering::SeqCst);
         self.txs.take();
+        self.entry.take();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -687,6 +892,61 @@ fn requeue_batch(inflight: &mut Vec<Inflight>, ctx: &WorkerCtx, trace: &TraceSin
     }
 }
 
+/// Decodes a finished session and resolves its ticket: the shared tail
+/// of the monolithic worker loop and the staged decode pool. Records
+/// the `vae_decode` span and the root `request` span.
+fn resolve_finish(system: &FlashPs, item: Inflight, trace: &TraceSink, track: Track) {
+    let cfg = &system.config().model;
+    let full = fps_diffusion::flops::step_flops_full(cfg, 1) * cfg.steps as u64;
+    let Inflight {
+        session,
+        job,
+        attempt,
+        enqueued_at,
+        use_cache,
+        mask_ratio,
+        reply,
+        rung,
+        trace_root,
+        ..
+    } = item;
+    let result = {
+        let _decode_span = trace.start("vae_decode", "stage", track, trace_root);
+        system
+            .pipeline()
+            .finish(session)
+            .map(|output| {
+                let speedup = full as f64 / output.flops.max(1) as f64;
+                EditResult {
+                    output,
+                    use_cache,
+                    speedup_vs_full: speedup,
+                    mask_ratio,
+                    rung,
+                }
+            })
+            .map_err(FlashPsError::from)
+    };
+    if trace.is_enabled() {
+        trace.span_with_id(
+            trace_root,
+            "request",
+            "request",
+            track,
+            trace.instant_ns(enqueued_at),
+            trace.now_ns(),
+            0,
+            vec![
+                ("template", Json::U64(job.template_id)),
+                ("seed", Json::U64(job.seed)),
+                ("attempt", Json::U64(attempt.into())),
+                ("mask_ratio", Json::F64(mask_ratio)),
+            ],
+        );
+    }
+    let _ = reply.send(result);
+}
+
 fn worker_loop(ctx: &WorkerCtx, rx: &Receiver<QueuedJob>) {
     let system = &*ctx.system;
     let config = &ctx.config;
@@ -842,8 +1102,6 @@ fn worker_loop(ctx: &WorkerCtx, rx: &Receiver<QueuedJob>) {
             }
             if inflight[i].session.is_done() {
                 let item = inflight.swap_remove(i);
-                let cfg = &system.config().model;
-                let full = fps_diffusion::flops::step_flops_full(cfg, 1) * cfg.steps as u64;
                 if trace.is_enabled() {
                     trace.span_at(
                         "denoise",
@@ -855,41 +1113,7 @@ fn worker_loop(ctx: &WorkerCtx, rx: &Receiver<QueuedJob>) {
                         Vec::new(),
                     );
                 }
-                let result = {
-                    let _decode_span = trace.start("vae_decode", "stage", track, item.trace_root);
-                    system
-                        .pipeline()
-                        .finish(item.session)
-                        .map(|output| {
-                            let speedup = full as f64 / output.flops.max(1) as f64;
-                            EditResult {
-                                output,
-                                use_cache: item.use_cache,
-                                speedup_vs_full: speedup,
-                                mask_ratio: item.mask_ratio,
-                                rung: item.rung,
-                            }
-                        })
-                        .map_err(FlashPsError::from)
-                };
-                if trace.is_enabled() {
-                    trace.span_with_id(
-                        item.trace_root,
-                        "request",
-                        "request",
-                        track,
-                        trace.instant_ns(item.enqueued_at),
-                        trace.now_ns(),
-                        0,
-                        vec![
-                            ("template", Json::U64(item.job.template_id)),
-                            ("seed", Json::U64(item.job.seed)),
-                            ("attempt", Json::U64(item.attempt.into())),
-                            ("mask_ratio", Json::F64(item.mask_ratio)),
-                        ],
-                    );
-                }
-                let _ = item.reply.send(result);
+                resolve_finish(system, item, &trace, track);
                 continue;
             }
             i += 1;
@@ -906,6 +1130,338 @@ fn worker_loop(ctx: &WorkerCtx, rx: &Receiver<QueuedJob>) {
             }
             requeue_batch(&mut inflight, ctx, &trace, track);
         }
+    }
+}
+
+/// Emits a `stage_enqueue`/`stage_dequeue` boundary event on the
+/// inter-stage edge track (edge 0: encode→denoise, 1: denoise→decode)
+/// so bubble analysis can attribute a stall to a specific edge.
+fn edge_event(trace: &TraceSink, name: &'static str, edge: u32, id: u64) {
+    if trace.is_enabled() {
+        trace.event_at(
+            name,
+            "stage_edge",
+            Track::new(3, edge),
+            trace.now_ns(),
+            vec![("id", Json::U64(id))],
+        );
+    }
+}
+
+/// Staged mode, stage 1: session setup (preprocess + text encode).
+/// Pulls from the shared entry queue, builds the session through the
+/// same [`begin_job`] seam the monolithic loop uses, and forwards it
+/// to the submit-time-routed denoise worker's bounded queue — blocking
+/// there when it is full (backpressure).
+fn encode_loop(ctx: &WorkerCtx, rx: &Receiver<QueuedJob>, denoise_txs: &[Sender<Inflight>]) {
+    let system = &*ctx.system;
+    let config = &ctx.config;
+    let trace = config.trace.clone();
+    let track = Track::new(5, ctx.own as u32);
+    loop {
+        if ctx.paused.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        let q = match rx.recv_timeout(IDLE_POLL) {
+            Ok(q) => q,
+            Err(RecvTimeoutError::Timeout) => {
+                if ctx.closing.load(Ordering::SeqCst) && rx.is_empty() {
+                    return;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        if expired(config.job_timeout, q.enqueued_at) {
+            if trace.is_enabled() {
+                trace.event_at(
+                    "job_timeout",
+                    "server",
+                    track,
+                    trace.now_ns(),
+                    vec![("seed", Json::U64(q.job.seed))],
+                );
+            }
+            let _ = q.reply.send(Err(FlashPsError::JobTimeout));
+            continue;
+        }
+        let encode_start = if trace.is_enabled() {
+            trace.now_ns()
+        } else {
+            0
+        };
+        match begin_job(system, &q.job, q.rung) {
+            Ok((session, use_cache, mask_ratio)) => {
+                let mut trace_root = 0;
+                let mut admitted_ns = 0;
+                if trace.is_enabled() {
+                    trace_root = trace.next_id();
+                    admitted_ns = trace.now_ns();
+                    trace.span_at(
+                        "queue",
+                        "stage",
+                        track,
+                        trace.instant_ns(q.enqueued_at),
+                        encode_start,
+                        trace_root,
+                        vec![
+                            ("attempt", Json::U64(q.attempt.into())),
+                            (
+                                "rung",
+                                Json::Str(q.rung.map(|r| r.label()).unwrap_or("no-ladder").into()),
+                            ),
+                        ],
+                    );
+                    trace.span_at(
+                        "text_encode",
+                        "stage",
+                        track,
+                        encode_start,
+                        admitted_ns,
+                        trace_root,
+                        Vec::new(),
+                    );
+                }
+                let worker = q.slot.worker;
+                let id = q.id;
+                let item = Inflight {
+                    session,
+                    job: q.job,
+                    attempt: q.attempt,
+                    enqueued_at: q.enqueued_at,
+                    use_cache,
+                    mask_ratio,
+                    reply: q.reply,
+                    id,
+                    rung: q.rung,
+                    trace_root,
+                    admitted_ns,
+                    slot: q.slot,
+                };
+                edge_event(&trace, "stage_enqueue", 0, id);
+                if let Err(e) = denoise_txs[worker].send(item) {
+                    let _ = e.into_inner().reply.send(Err(FlashPsError::ServerClosed));
+                }
+            }
+            Err(e) => {
+                let _ = q.reply.send(Err(e));
+            }
+        }
+    }
+}
+
+/// Staged mode, stage 2: denoising with step-level continuous
+/// batching. Admits built sessions from this worker's bounded queue at
+/// step boundaries; finished sessions hand off to the decode queue —
+/// or, when it is full, keep their batch slot until it drains. Jobs
+/// whose deadline lapses at a boundary are dropped there, freeing the
+/// slot immediately. A panic requeues the batch through the encode
+/// pool (the sessions died with the "engine process" and must be
+/// rebuilt).
+fn staged_denoise_loop(ctx: &WorkerCtx, rx: &Receiver<Inflight>, decode_tx: &Sender<Inflight>) {
+    let system = &*ctx.system;
+    let config = &ctx.config;
+    let max_batch = config.max_batch.max(1);
+    let trace = config.trace.clone();
+    let track = Track::new(0, ctx.own as u32);
+    let mut inflight: Vec<Inflight> = Vec::new();
+    // Finished sessions blocked on a full decode queue (backpressure):
+    // they occupy batch slots until the queue drains.
+    let mut done_stalled: Vec<Inflight> = Vec::new();
+    let mut upstream_done = false;
+    loop {
+        if ctx.paused.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        // Retry stalled handoffs first: decode may have drained.
+        for item in std::mem::take(&mut done_stalled) {
+            let id = item.id;
+            match decode_tx.try_send(item) {
+                Ok(()) => edge_event(&trace, "stage_enqueue", 1, id),
+                Err(TrySendError::Full(item)) => done_stalled.push(item),
+                Err(TrySendError::Disconnected(item)) => {
+                    let _ = item.reply.send(Err(FlashPsError::ServerClosed));
+                }
+            }
+        }
+        // Admission at the step boundary, batch slots shared with
+        // stalled handoffs.
+        while inflight.len() + done_stalled.len() < max_batch {
+            let queued = if inflight.is_empty() && done_stalled.is_empty() {
+                match rx.recv_timeout(IDLE_POLL) {
+                    Ok(q) => Some(q),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        upstream_done = true;
+                        None
+                    }
+                }
+            } else {
+                match rx.try_recv() {
+                    Ok(q) => Some(q),
+                    Err(TryRecvError::Empty) => None,
+                    Err(TryRecvError::Disconnected) => {
+                        upstream_done = true;
+                        None
+                    }
+                }
+            };
+            let Some(mut q) = queued else { break };
+            edge_event(&trace, "stage_dequeue", 0, q.id);
+            if expired(config.job_timeout, q.enqueued_at) {
+                // Deadline drop at the stage boundary: the batch slot
+                // is never occupied.
+                if trace.is_enabled() {
+                    trace.event_at(
+                        "job_timeout",
+                        "server",
+                        track,
+                        trace.now_ns(),
+                        vec![("seed", Json::U64(q.job.seed))],
+                    );
+                }
+                let _ = q.reply.send(Err(FlashPsError::JobTimeout));
+                continue;
+            }
+            if trace.is_enabled() {
+                q.admitted_ns = trace.now_ns();
+            }
+            inflight.push(q);
+        }
+        if inflight.is_empty() {
+            if done_stalled.is_empty()
+                && (upstream_done || (ctx.closing.load(Ordering::SeqCst) && rx.is_empty()))
+            {
+                return;
+            }
+            if !done_stalled.is_empty() {
+                // Nothing to step; wait for decode to drain.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            continue;
+        }
+        // One denoising step for every inflight session (same engine
+        // semantics as the monolithic loop, panics included).
+        let mut i = 0;
+        let mut crashed = false;
+        while i < inflight.len() {
+            let item = &mut inflight[i];
+            if expired(config.job_timeout, item.enqueued_at) {
+                let item = inflight.swap_remove(i);
+                if trace.is_enabled() {
+                    trace.event_at(
+                        "job_timeout",
+                        "server",
+                        track,
+                        trace.now_ns(),
+                        vec![("seed", Json::U64(item.job.seed))],
+                    );
+                }
+                let _ = item.reply.send(Err(FlashPsError::JobTimeout));
+                continue;
+            }
+            let chaos_panic = config.chaos_panic_seed == Some(item.job.seed) && item.attempt == 0;
+            let step_result = {
+                let _step_span = trace.start("step", "gpu", track, item.trace_root);
+                let session = &mut item.session;
+                let template_id = item.job.template_id;
+                catch_unwind(AssertUnwindSafe(|| {
+                    assert!(!chaos_panic, "injected worker panic (chaos hook)");
+                    match system.template(template_id) {
+                        Ok((_, cache)) => system
+                            .pipeline()
+                            .step(session, Some(cache))
+                            .map_err(FlashPsError::from),
+                        Err(e) => Err(e),
+                    }
+                }))
+            };
+            let step_result = match step_result {
+                Ok(r) => r,
+                Err(_panic) => {
+                    crashed = true;
+                    break;
+                }
+            };
+            if let Err(e) = step_result {
+                let item = inflight.swap_remove(i);
+                let _ = item.reply.send(Err(e));
+                continue;
+            }
+            if inflight[i].session.is_done() {
+                let item = inflight.swap_remove(i);
+                if trace.is_enabled() {
+                    trace.span_at(
+                        "denoise",
+                        "stage",
+                        track,
+                        item.admitted_ns,
+                        trace.now_ns(),
+                        item.trace_root,
+                        Vec::new(),
+                    );
+                }
+                let id = item.id;
+                match decode_tx.try_send(item) {
+                    Ok(()) => edge_event(&trace, "stage_enqueue", 1, id),
+                    Err(TrySendError::Full(item)) => done_stalled.push(item),
+                    Err(TrySendError::Disconnected(item)) => {
+                        let _ = item.reply.send(Err(FlashPsError::ServerClosed));
+                    }
+                }
+                continue;
+            }
+            i += 1;
+        }
+        if crashed {
+            if trace.is_enabled() {
+                trace.event_at(
+                    "worker_panic",
+                    "server",
+                    track,
+                    trace.now_ns(),
+                    vec![("lost_batch", Json::U64(inflight.len() as u64))],
+                );
+            }
+            // Stalled sessions died with the engine too: rebuild them.
+            inflight.append(&mut done_stalled);
+            requeue_batch(&mut inflight, ctx, &trace, track);
+        }
+    }
+}
+
+/// Staged mode, stage 3: VAE decode + postprocess. Pulls finished
+/// sessions from the shared decode queue (MPMC) and resolves tickets
+/// through the same [`resolve_finish`] tail the monolithic loop uses.
+/// Exits on disconnection, i.e. once the whole denoise pool drained.
+fn decode_loop(ctx: &WorkerCtx, rx: &Receiver<Inflight>) {
+    let system = &*ctx.system;
+    let config = &ctx.config;
+    let trace = config.trace.clone();
+    let track = Track::new(6, ctx.own as u32);
+    loop {
+        let item = match rx.recv_timeout(IDLE_POLL) {
+            Ok(i) => i,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        edge_event(&trace, "stage_dequeue", 1, item.id);
+        if expired(config.job_timeout, item.enqueued_at) {
+            if trace.is_enabled() {
+                trace.event_at(
+                    "job_timeout",
+                    "server",
+                    track,
+                    trace.now_ns(),
+                    vec![("seed", Json::U64(item.job.seed))],
+                );
+            }
+            let _ = item.reply.send(Err(FlashPsError::JobTimeout));
+            continue;
+        }
+        resolve_finish(system, item, &trace, track);
     }
 }
 
@@ -1335,6 +1891,199 @@ mod tests {
             cfg.steps,
         );
         let _ = ThreadedServer::start_with_plane(sys, ServerConfig::default(), plane);
+    }
+
+    fn staged_server(
+        workers: usize,
+        max_batch: usize,
+        staged: StagedServerConfig,
+    ) -> ThreadedServer {
+        let cfg = ModelConfig::tiny();
+        let mut sys = FlashPs::new(FlashPsConfig::new(cfg.clone())).unwrap();
+        for id in 0..3u64 {
+            let img = Image::template(cfg.pixel_h(), cfg.pixel_w(), id);
+            sys.register_template(id, &img).unwrap();
+        }
+        ThreadedServer::start_staged(
+            sys,
+            ServerConfig {
+                workers,
+                max_batch,
+                ..ServerConfig::default()
+            },
+            staged,
+        )
+    }
+
+    #[test]
+    fn staged_results_match_direct_edits() {
+        // Disaggregation must not change outputs: encode → denoise →
+        // decode over bounded queues produces the same bytes as the
+        // synchronous API (and therefore as the monolithic server).
+        let cfg = ModelConfig::tiny();
+        let mut sys = FlashPs::new(FlashPsConfig::new(cfg.clone())).unwrap();
+        let img = Image::template(cfg.pixel_h(), cfg.pixel_w(), 0);
+        sys.register_template(0, &img).unwrap();
+        let direct = sys.edit_tokens(0, &[1, 2, 5, 6], "edit", 42).unwrap();
+        let server = ThreadedServer::start_staged(
+            sys,
+            ServerConfig {
+                workers: 2,
+                max_batch: 4,
+                ..ServerConfig::default()
+            },
+            StagedServerConfig::default(),
+        );
+        let tickets: Vec<Ticket> = (0..4).map(|_| server.submit(job(0, 42)).unwrap()).collect();
+        for t in tickets {
+            let served = t.wait().unwrap();
+            assert_eq!(served.output.image, direct.output.image);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn staged_serves_many_jobs_across_pools() {
+        let server = staged_server(2, 3, StagedServerConfig::default());
+        let tickets: Vec<Ticket> = (0..12)
+            .map(|i| server.submit(job(i % 3, i)).unwrap())
+            .collect();
+        for t in tickets {
+            let r = t.wait().unwrap();
+            assert!(r.mask_ratio > 0.0);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn staged_backpressure_with_tiny_queues_loses_nothing() {
+        // Queue capacity 1 everywhere: every edge backpressures, and
+        // every ticket must still resolve (conservation, wall-clock
+        // edition).
+        let server = staged_server(
+            1,
+            2,
+            StagedServerConfig {
+                encode_workers: 2,
+                decode_workers: 1,
+                stage_queue_capacity: 1,
+            },
+        );
+        let tickets: Vec<Ticket> = (0..10)
+            .map(|i| server.submit(job(i % 3, i)).unwrap())
+            .collect();
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn staged_expired_jobs_drop_at_stage_boundaries() {
+        // A zero deadline expires at the first boundary it crosses:
+        // the ticket resolves to JobTimeout and no batch slot is ever
+        // occupied.
+        let cfg = ModelConfig::tiny();
+        let mut sys = FlashPs::new(FlashPsConfig::new(cfg.clone())).unwrap();
+        let img = Image::template(cfg.pixel_h(), cfg.pixel_w(), 0);
+        sys.register_template(0, &img).unwrap();
+        let server = ThreadedServer::start_staged(
+            sys,
+            ServerConfig {
+                workers: 1,
+                max_batch: 1,
+                job_timeout: Some(std::time::Duration::ZERO),
+                ..ServerConfig::default()
+            },
+            StagedServerConfig::default(),
+        );
+        let ticket = server.submit(job(0, 1)).unwrap();
+        assert!(matches!(ticket.wait(), Err(FlashPsError::JobTimeout)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn staged_panic_requeues_through_encode_pool() {
+        // A denoise panic kills the built sessions; the requeue path
+        // re-enters through the encode pool (sessions must be rebuilt)
+        // and every ticket still resolves.
+        let cfg = ModelConfig::tiny();
+        let mut sys = FlashPs::new(FlashPsConfig::new(cfg.clone())).unwrap();
+        for id in 0..3u64 {
+            let img = Image::template(cfg.pixel_h(), cfg.pixel_w(), id);
+            sys.register_template(id, &img).unwrap();
+        }
+        let server = ThreadedServer::start_staged(
+            sys,
+            ServerConfig {
+                workers: 1,
+                max_batch: 4,
+                chaos_panic_seed: Some(7777),
+                ..ServerConfig::default()
+            },
+            StagedServerConfig::default(),
+        );
+        let tickets = vec![
+            server.submit(job(0, 1)).unwrap(),
+            server.submit(job(1, 7777)).unwrap(),
+            server.submit(job(2, 2)).unwrap(),
+        ];
+        for t in tickets {
+            let r = t.wait().expect("requeued after worker panic");
+            assert!(r.output.image.data().iter().all(|v| v.is_finite()));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn staged_drop_with_queued_jobs_drains_gracefully() {
+        let server = staged_server(2, 2, StagedServerConfig::default());
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|i| server.submit(job(i % 3, i)).unwrap())
+            .collect();
+        drop(server);
+        for t in tickets {
+            assert!(t.wait().is_ok(), "queued job must be served, not lost");
+        }
+    }
+
+    #[test]
+    fn staged_tracing_captures_stage_path_and_edges() {
+        let cfg = ModelConfig::tiny();
+        let mut sys = FlashPs::new(FlashPsConfig::new(cfg.clone())).unwrap();
+        let img = Image::template(cfg.pixel_h(), cfg.pixel_w(), 0);
+        sys.register_template(0, &img).unwrap();
+        let sink = TraceSink::recording(Clock::Wall);
+        let server = ThreadedServer::start_staged(
+            sys,
+            ServerConfig {
+                workers: 1,
+                max_batch: 2,
+                trace: sink.clone(),
+                ..ServerConfig::default()
+            },
+            StagedServerConfig::default(),
+        );
+        let tickets: Vec<Ticket> = (0..4).map(|i| server.submit(job(0, i)).unwrap()).collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        server.shutdown();
+        let trace = sink.drain().unwrap();
+        assert_eq!(trace.spans_named("request").count(), 4);
+        assert_eq!(trace.spans_named("queue").count(), 4);
+        assert_eq!(trace.spans_named("text_encode").count(), 4);
+        assert_eq!(trace.spans_named("denoise").count(), 4);
+        assert_eq!(trace.spans_named("vae_decode").count(), 4);
+        // Each request crosses both edges exactly once.
+        for name in ["stage_enqueue", "stage_dequeue"] {
+            assert_eq!(
+                trace.events.iter().filter(|e| e.name == name).count(),
+                8,
+                "{name} events should cover both edges for all four jobs"
+            );
+        }
+        assert_eq!(trace.dropped, 0);
     }
 
     #[test]

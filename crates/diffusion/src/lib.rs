@@ -46,7 +46,7 @@ pub use config::{Architecture, ModelConfig};
 pub use error::DiffusionError;
 pub use image::Image;
 pub use model::{BlockMode, DiffusionModel, StepPlan};
-pub use pipeline::{EditOutput, EditPipeline, EditSession, Guidance, Strategy};
+pub use pipeline::{EditOutput, EditPipeline, EditSession, Guidance, PipelineStage, Strategy};
 
 /// Crate-wide result alias.
 pub type Result<T> = core::result::Result<T, DiffusionError>;

@@ -159,6 +159,52 @@ impl EditSession {
     pub fn strategy(&self) -> &Strategy {
         &self.strategy
     }
+
+    /// Which pipeline stage this session is at: [`begin`] already ran
+    /// (encode is never observable on a live session), so the session
+    /// is denoising until its last step executes, then ready for
+    /// decode. Stage-graph executors use this to place a session in
+    /// the right pool.
+    ///
+    /// [`begin`]: EditPipeline::begin
+    pub fn stage(&self) -> PipelineStage {
+        if self.is_done() {
+            PipelineStage::Decode
+        } else {
+            PipelineStage::Denoise
+        }
+    }
+}
+
+/// The disaggregation split points of [`EditPipeline`]: the session
+/// API's three seams, each independently schedulable by a stage-graph
+/// executor. [`EditPipeline::begin`] / [`EditPipeline::begin_guided`]
+/// are the whole of [`PipelineStage::Encode`] (prompt embedding +
+/// latent setup), [`EditPipeline::step`] advances
+/// [`PipelineStage::Denoise`] one step at a time, and
+/// [`EditPipeline::finish`] is [`PipelineStage::Decode`] (VAE +
+/// paste-back). Outputs are a function of the session state alone, so
+/// *where* each seam runs — one thread, one pool per stage, one
+/// machine per stage — never changes the bytes produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineStage {
+    /// Session setup: prompt embedding, template latents, noise init.
+    Encode,
+    /// Iterative denoising under the serving strategy.
+    Denoise,
+    /// VAE decode and inpaint paste-back.
+    Decode,
+}
+
+impl PipelineStage {
+    /// Short label used in traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Encode => "encode",
+            Self::Denoise => "denoise",
+            Self::Decode => "decode",
+        }
+    }
 }
 
 /// The editing pipeline: model + VAE + schedule.
@@ -670,6 +716,25 @@ mod tests {
 
     fn masked() -> Vec<usize> {
         vec![5, 6, 9, 10] // A 2×2 block in the 4×4 tiny latent grid.
+    }
+
+    #[test]
+    fn session_stage_tracks_the_split_points() {
+        let (cfg, pipe, template, cache) = setup();
+        let strat = Strategy::MaskAware {
+            use_cache: vec![true; cfg.blocks],
+            kv: false,
+        };
+        let mut s = pipe
+            .begin(&template, 1, &masked(), "a red box", 7, strat)
+            .unwrap();
+        assert_eq!(s.stage(), PipelineStage::Denoise);
+        while !s.is_done() {
+            pipe.step(&mut s, Some(&cache)).unwrap();
+        }
+        assert_eq!(s.stage(), PipelineStage::Decode);
+        assert!(pipe.finish(s).is_ok());
+        assert_eq!(PipelineStage::Encode.label(), "encode");
     }
 
     #[test]

@@ -1132,6 +1132,7 @@ impl FleetSim {
                         .iter()
                         .map(|&(label, served)| fps_metrics::RungServed::new(label, served, None))
                         .collect(),
+                    stages: Vec::new(),
                     bubble_fraction: None,
                 },
                 latency_hist: s.latency_hist.clone(),

@@ -11,7 +11,7 @@
 //! which is exact up to bucket resolution.
 
 use crate::histogram::Histogram;
-use crate::slo::{RungServed, SloReport};
+use crate::slo::{RungServed, SloReport, StageQueueStats};
 use fps_json::{Json, ToJson};
 
 /// One shard's contribution to a fleet report: its SLO accounting plus
@@ -121,8 +121,14 @@ impl FleetSloReport {
             p95_latency_secs: 0.0,
             mean_latency_secs: 0.0,
             rungs: Vec::new(),
+            stages: Vec::new(),
             bubble_fraction: None,
         };
+        // Per-stage queue stats pool across shards exactly like the
+        // latency histograms: merged counts, recomputed percentiles.
+        let stage_groups: Vec<&[StageQueueStats]> =
+            shards.iter().map(|s| s.report.stages.as_slice()).collect();
+        fleet.stages = StageQueueStats::pool(&stage_groups)?;
         for (i, s) in shards.iter().enumerate() {
             if i > 0
                 && (!latency_hist.merge(&s.latency_hist)
@@ -214,6 +220,7 @@ mod tests {
                 p95_latency_secs: latency_hist.percentile(0.95),
                 mean_latency_secs: latency_hist.mean(),
                 rungs: vec![RungServed::new("flashps-kv", served, Some(1.0))],
+                stages: Vec::new(),
                 bubble_fraction: None,
             },
             latency_hist,

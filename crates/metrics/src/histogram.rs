@@ -4,7 +4,7 @@
 ///
 /// Out-of-range samples clamp into the first/last bucket so totals are
 /// never lost (mask ratios occasionally land exactly on 1.0).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,

@@ -37,6 +37,6 @@ pub use plot::{line_plot, Series};
 pub use recovery::{FleetRecoveryReport, GoodputTimeline};
 pub use regression::LinearRegression;
 pub use report::Table;
-pub use slo::{RungServed, SloReport};
+pub use slo::{RungServed, SloReport, StageQueueStats};
 pub use stats::Summary;
 pub use throughput::ThroughputCounter;

@@ -11,6 +11,89 @@
 
 use fps_json::{Json, ToJson};
 
+use crate::histogram::Histogram;
+
+/// Queueing behaviour of one pipeline stage (or one bounded
+/// inter-stage edge) over a run.
+///
+/// Percentiles are carried alongside the histogram they were computed
+/// from, so cross-run (or cross-shard) aggregation can *pool* the
+/// histograms and recompute — the same never-average-percentiles
+/// contract the fleet rollup enforces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageQueueStats {
+    /// Stage label ("text-encode", "denoise", ...).
+    pub stage: String,
+    /// Requests that passed through the stage's queue.
+    pub entered: u64,
+    /// Peak queue depth observed.
+    pub max_depth: u64,
+    /// Median queue wait (enqueue → dequeue), seconds.
+    pub queue_wait_p50_secs: f64,
+    /// P95 queue wait, seconds.
+    pub queue_wait_p95_secs: f64,
+    /// The wait histogram the percentiles came from; kept so merges
+    /// pool counts instead of averaging percentiles.
+    pub wait_hist: Histogram,
+}
+
+impl StageQueueStats {
+    /// Builds stats from a wait histogram; percentiles are derived
+    /// here so they can never drift from the histogram.
+    pub fn from_hist(
+        stage: impl Into<String>,
+        entered: u64,
+        max_depth: u64,
+        wait_hist: Histogram,
+    ) -> Self {
+        Self {
+            stage: stage.into(),
+            entered,
+            max_depth,
+            queue_wait_p50_secs: wait_hist.percentile(0.50),
+            queue_wait_p95_secs: wait_hist.percentile(0.95),
+            wait_hist,
+        }
+    }
+
+    /// Pools per-stage stats from many reports by stage label: counts
+    /// sum, depths max, histograms merge, and the percentiles are
+    /// recomputed from the *merged* counts. Returns `None` when two
+    /// same-label histograms have mismatched geometry (pooling them
+    /// would be meaningless), mirroring the fleet merge.
+    pub fn pool(groups: &[&[StageQueueStats]]) -> Option<Vec<StageQueueStats>> {
+        let mut pooled: Vec<StageQueueStats> = Vec::new();
+        for group in groups {
+            for s in *group {
+                match pooled.iter_mut().find(|p| p.stage == s.stage) {
+                    Some(p) => {
+                        if !p.wait_hist.merge(&s.wait_hist) {
+                            return None;
+                        }
+                        p.entered += s.entered;
+                        p.max_depth = p.max_depth.max(s.max_depth);
+                        p.queue_wait_p50_secs = p.wait_hist.percentile(0.50);
+                        p.queue_wait_p95_secs = p.wait_hist.percentile(0.95);
+                    }
+                    None => pooled.push(s.clone()),
+                }
+            }
+        }
+        Some(pooled)
+    }
+}
+
+impl ToJson for StageQueueStats {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("stage", self.stage.as_str())
+            .with("entered", self.entered)
+            .with("max_depth", self.max_depth)
+            .with("queue_wait_p50_secs", self.queue_wait_p50_secs)
+            .with("queue_wait_p95_secs", self.queue_wait_p95_secs)
+    }
+}
+
 /// Work served at one degradation rung.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RungServed {
@@ -91,6 +174,10 @@ pub struct SloReport {
     /// Served work by degradation rung, ladder order. Empty when the
     /// run had no overload control.
     pub rungs: Vec<RungServed>,
+    /// Per-stage queue stats when the run executed as a stage graph
+    /// (queue depth and pooled queue-wait percentiles per stage).
+    /// Empty for monolithic runs.
+    pub stages: Vec<StageQueueStats>,
     /// GPU bubble fraction over the run — idle GPU time inside the
     /// serving window divided by the window, derived from a trace
     /// (`fps-trace::bubble_in_window`). `None` when the run was not
@@ -157,6 +244,11 @@ impl ToJson for SloReport {
             .with("attainment", self.attainment())
             .with("shed_rate", self.shed_rate())
             .with("rungs", self.rungs.to_json());
+        let j = if self.stages.is_empty() {
+            j
+        } else {
+            j.with("stages", self.stages.to_json())
+        };
         match self.bubble_fraction {
             Some(b) => j.with("bubble_fraction", b),
             None => j,
@@ -192,6 +284,7 @@ mod tests {
                 },
                 RungServed::new("teacache-0.35", 50, Some(0.92)),
             ],
+            stages: Vec::new(),
             bubble_fraction: Some(0.015),
         }
     }
@@ -224,6 +317,7 @@ mod tests {
             p95_latency_secs: 0.0,
             mean_latency_secs: 0.0,
             rungs: Vec::new(),
+            stages: Vec::new(),
             bubble_fraction: None,
         };
         assert_eq!(r.lost(), 0);
@@ -258,5 +352,58 @@ mod tests {
             Some(4.0)
         );
         assert!(rungs[1].get("queue_wait_p50_secs").is_none());
+    }
+
+    fn stage_stats(stage: &str, waits: &[f64], max_depth: u64) -> StageQueueStats {
+        let mut h = Histogram::new(0.0, 60.0, 600).unwrap();
+        for &w in waits {
+            h.record(w);
+        }
+        StageQueueStats::from_hist(stage, waits.len() as u64, max_depth, h)
+    }
+
+    #[test]
+    fn stage_stats_pool_histograms_not_percentiles() {
+        // One run saw fast denoise waits, another saw a slow tail. The
+        // pooled p95 must land in the tail; averaging the two per-run
+        // p95s would not.
+        let fast: Vec<f64> = (0..900).map(|i| 1.0 + (i % 10) as f64 * 0.01).collect();
+        let slow: Vec<f64> = (0..100).map(|i| 40.0 + (i % 10) as f64 * 0.01).collect();
+        let a = vec![stage_stats("denoise", &fast, 4)];
+        let b = vec![stage_stats("denoise", &slow, 9)];
+        let naive = (a[0].queue_wait_p95_secs + b[0].queue_wait_p95_secs) / 2.0;
+        let pooled = StageQueueStats::pool(&[&a, &b]).unwrap();
+        assert_eq!(pooled.len(), 1);
+        assert_eq!(pooled[0].entered, 1000);
+        assert_eq!(pooled[0].max_depth, 9, "depths max, not sum");
+        assert!(pooled[0].queue_wait_p95_secs > 35.0, "pooled p95 in tail");
+        assert!((naive - pooled[0].queue_wait_p95_secs).abs() > 10.0);
+    }
+
+    #[test]
+    fn stage_stats_pool_refuses_mismatched_geometry_and_keeps_labels() {
+        let a = vec![stage_stats("text-encode", &[1.0], 1)];
+        let mut b = vec![stage_stats("text-encode", &[1.0], 1)];
+        b[0].wait_hist = Histogram::new(0.0, 10.0, 10).unwrap();
+        assert!(StageQueueStats::pool(&[&a, &b]).is_none());
+        // Distinct labels never merge.
+        let c = vec![stage_stats("vae-decode", &[2.0], 3)];
+        let pooled = StageQueueStats::pool(&[&a, &c]).unwrap();
+        assert_eq!(pooled.len(), 2);
+    }
+
+    #[test]
+    fn stages_serialize_only_when_present() {
+        let mut r = report();
+        assert!(r.to_json().get("stages").is_none());
+        r.stages = vec![stage_stats("denoise", &[0.5, 1.5], 2)];
+        let j = r.to_json();
+        let stages = j.get("stages").and_then(Json::as_array).unwrap();
+        assert_eq!(stages.len(), 1);
+        assert_eq!(
+            stages[0].get("stage").and_then(Json::as_str),
+            Some("denoise")
+        );
+        assert_eq!(stages[0].get("max_depth").and_then(Json::as_u64), Some(2));
     }
 }

@@ -16,6 +16,24 @@ impl<T> SendError<T> {
     }
 }
 
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded channel is at capacity; the value is handed back.
+    Full(T),
+    /// Every receiver is gone; the value is handed back.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Recovers the value that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            Self::Full(v) | Self::Disconnected(v) => v,
+        }
+    }
+}
+
 /// Error returned by [`Receiver::recv`] when the channel is empty and
 /// every sender is gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,6 +141,26 @@ impl<T> Sender<T> {
                 .wait(st)
                 .unwrap_or_else(|e| e.into_inner());
         }
+    }
+
+    /// Sends without blocking: a full bounded channel hands the value
+    /// back immediately instead of waiting for capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrySendError::Full`] when the channel is at capacity
+    /// and [`TrySendError::Disconnected`] when every receiver is gone.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut st = lock(&self.chan);
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if self.chan.capacity.is_some_and(|cap| st.queue.len() >= cap) {
+            return Err(TrySendError::Full(value));
+        }
+        st.queue.push_back(value);
+        self.chan.readable.notify_one();
+        Ok(())
     }
 }
 
@@ -328,5 +366,16 @@ mod tests {
         assert_eq!(rx.recv(), Ok(1));
         assert_eq!(rx.recv(), Ok(2));
         t.join().unwrap();
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
     }
 }

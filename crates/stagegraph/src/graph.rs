@@ -1,0 +1,398 @@
+//! The typed stage DAG.
+//!
+//! An edit request flows through five stages: CPU preprocessing
+//! (decode, resize, mask rasterize), GPU text encoding, GPU iterative
+//! denoising, GPU VAE decoding, and CPU postprocessing (encode,
+//! paste-back). A [`StageGraph`] names which of those stages run as
+//! independent pools, how large each pool is, and how deep the bounded
+//! queue feeding each stage may grow. Validation pins the graph to the
+//! pipeline's data dependencies — stages must appear in pipeline
+//! order, exactly once each, with denoise always present — so a
+//! mis-assembled graph fails at construction, not mid-run.
+//!
+//! Each stage also names its rung on the degradation ladder
+//! ([`StageAction`]): under pressure the graph sheds at the entry
+//! (encode) stage, cuts steps at denoise, and downscales at decode.
+//! Which action fires is decided per stage by that stage's own
+//! `fps_serving::ControlPlane` — the graph only declares the mapping.
+
+use fps_json::{Json, ToJson};
+
+/// The pipeline stages a graph may disaggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StageKind {
+    /// CPU: image decode, resize, mask rasterization.
+    Preprocess,
+    /// GPU: prompt → text embeddings (the graph's admission gate).
+    TextEncode,
+    /// GPU: iterative denoising — the only multi-step stage, batched
+    /// continuously at step boundaries.
+    Denoise,
+    /// GPU: latent → pixels.
+    VaeDecode,
+    /// CPU: pixel paste-back and image encode.
+    Postprocess,
+}
+
+impl StageKind {
+    /// Every stage, in pipeline order.
+    pub const ALL: [StageKind; 5] = [
+        StageKind::Preprocess,
+        StageKind::TextEncode,
+        StageKind::Denoise,
+        StageKind::VaeDecode,
+        StageKind::Postprocess,
+    ];
+
+    /// Stable label, used for trace tracks, report rows, and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            StageKind::Preprocess => "preprocess",
+            StageKind::TextEncode => "text-encode",
+            StageKind::Denoise => "denoise",
+            StageKind::VaeDecode => "vae-decode",
+            StageKind::Postprocess => "postprocess",
+        }
+    }
+
+    /// Whether the stage occupies a GPU (CPU stages are the cheap
+    /// pools disaggregation moves off the accelerator's critical
+    /// path).
+    pub fn is_gpu(self) -> bool {
+        matches!(
+            self,
+            StageKind::TextEncode | StageKind::Denoise | StageKind::VaeDecode
+        )
+    }
+
+    /// Position in pipeline order (validation key).
+    fn order(self) -> usize {
+        match self {
+            StageKind::Preprocess => 0,
+            StageKind::TextEncode => 1,
+            StageKind::Denoise => 2,
+            StageKind::VaeDecode => 3,
+            StageKind::Postprocess => 4,
+        }
+    }
+
+    /// The stage's rung on the degradation ladder.
+    pub fn action(self) -> StageAction {
+        match self {
+            StageKind::TextEncode => StageAction::Shed,
+            StageKind::Denoise => StageAction::ReduceSteps,
+            StageKind::VaeDecode => StageAction::Downscale,
+            StageKind::Preprocess | StageKind::Postprocess => StageAction::None,
+        }
+    }
+}
+
+/// What a stage does when its control plane reports overload. Cheaper
+/// actions sit earlier in the pipeline: work not yet started is shed
+/// whole, work mid-flight only loses quality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageAction {
+    /// Turn the request away before any GPU work (encode).
+    Shed,
+    /// Serve with a reduced step schedule (denoise).
+    ReduceSteps,
+    /// Decode at reduced resolution (VAE).
+    Downscale,
+    /// No degradation lever (CPU stages).
+    None,
+}
+
+impl StageAction {
+    /// Stable label for traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StageAction::Shed => "shed",
+            StageAction::ReduceSteps => "reduce-steps",
+            StageAction::Downscale => "downscale",
+            StageAction::None => "none",
+        }
+    }
+}
+
+/// One stage's pool shape inside a graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageSpec {
+    /// Which pipeline stage this pool runs.
+    pub kind: StageKind,
+    /// Workers in the pool.
+    pub workers: usize,
+    /// Concurrent lanes per worker (the denoise stage's continuous
+    /// batch size; 1 for single-request stages).
+    pub lanes: usize,
+    /// Bounded inter-stage queue capacity feeding this stage. A full
+    /// queue backpressures the upstream stage (its worker holds the
+    /// finished item and stalls) — except at the graph entry, where it
+    /// sheds.
+    pub queue_capacity: usize,
+}
+
+impl StageSpec {
+    /// A pool of `workers` single-lane workers fed by a queue of
+    /// `queue_capacity`.
+    pub fn new(kind: StageKind, workers: usize, queue_capacity: usize) -> Self {
+        Self {
+            kind,
+            workers,
+            lanes: 1,
+            queue_capacity,
+        }
+    }
+
+    /// Sets the per-worker lane count (denoise batch size).
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes;
+        self
+    }
+
+    /// Total concurrent requests the pool serves.
+    pub fn capacity(&self) -> usize {
+        self.workers.max(1) * self.lanes.max(1)
+    }
+}
+
+/// Why a stage list failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The graph has no stages.
+    Empty,
+    /// A stage appears more than once.
+    Duplicate(StageKind),
+    /// Stages are not in pipeline order.
+    OutOfOrder {
+        /// The stage found out of place.
+        found: StageKind,
+        /// The stage it incorrectly follows.
+        after: StageKind,
+    },
+    /// No denoise stage — the pipeline's core is missing.
+    MissingDenoise,
+    /// A stage has zero workers or lanes or queue slots.
+    ZeroCapacity(StageKind),
+}
+
+impl core::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GraphError::Empty => write!(f, "stage graph has no stages"),
+            GraphError::Duplicate(k) => write!(f, "stage {} appears twice", k.label()),
+            GraphError::OutOfOrder { found, after } => write!(
+                f,
+                "stage {} cannot follow {} (pipeline order)",
+                found.label(),
+                after.label()
+            ),
+            GraphError::MissingDenoise => write!(f, "stage graph has no denoise stage"),
+            GraphError::ZeroCapacity(k) => {
+                write!(f, "stage {} has zero workers/lanes/queue", k.label())
+            }
+        }
+    }
+}
+
+/// A validated linear stage DAG: edges connect consecutive stages.
+///
+/// (The pipeline's data dependencies are a chain, so "DAG" here is the
+/// degenerate linear case — but edges, per-stage pools, and per-edge
+/// queues are all first-class, which is what add-on branches will need
+/// when SwiftDiffusion-style module workers join the graph.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageGraph {
+    stages: Vec<StageSpec>,
+}
+
+impl StageGraph {
+    /// Validates and builds a linear graph from `stages`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty graphs, duplicate or out-of-order stages, missing
+    /// denoise, and zero-capacity pools.
+    pub fn linear(stages: Vec<StageSpec>) -> Result<Self, GraphError> {
+        if stages.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        for w in stages.windows(2) {
+            if w[1].kind == w[0].kind {
+                return Err(GraphError::Duplicate(w[1].kind));
+            }
+            if w[1].kind.order() <= w[0].kind.order() {
+                return Err(GraphError::OutOfOrder {
+                    found: w[1].kind,
+                    after: w[0].kind,
+                });
+            }
+        }
+        if !stages.iter().any(|s| s.kind == StageKind::Denoise) {
+            return Err(GraphError::MissingDenoise);
+        }
+        for s in &stages {
+            if s.workers == 0 || s.lanes == 0 || s.queue_capacity == 0 {
+                return Err(GraphError::ZeroCapacity(s.kind));
+            }
+        }
+        Ok(Self { stages })
+    }
+
+    /// The canonical five-stage graph: CPU pre/post around the three
+    /// GPU stages, single-lane pools except the continuously batched
+    /// denoise stage.
+    pub fn full(
+        cpu_workers: usize,
+        gpu_workers: usize,
+        denoise_lanes: usize,
+        queue_capacity: usize,
+    ) -> Self {
+        Self::linear(vec![
+            StageSpec::new(StageKind::Preprocess, cpu_workers, queue_capacity),
+            StageSpec::new(StageKind::TextEncode, gpu_workers, queue_capacity),
+            StageSpec::new(StageKind::Denoise, gpu_workers, queue_capacity)
+                .with_lanes(denoise_lanes),
+            StageSpec::new(StageKind::VaeDecode, gpu_workers, queue_capacity),
+            StageSpec::new(StageKind::Postprocess, cpu_workers, queue_capacity),
+        ])
+        .expect("canonical graph is valid by construction")
+    }
+
+    /// Stages in pipeline order.
+    pub fn stages(&self) -> &[StageSpec] {
+        &self.stages
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the graph has no stages (never true post-validation).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Index of the denoise stage.
+    pub fn denoise_ix(&self) -> usize {
+        self.stages
+            .iter()
+            .position(|s| s.kind == StageKind::Denoise)
+            .expect("validated graphs contain denoise")
+    }
+
+    /// The graph's inter-stage edges as `(from, to)` stage indices, in
+    /// pipeline order.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.stages.len().saturating_sub(1)).map(|i| (i, i + 1))
+    }
+
+    /// Human-readable label of edge `(from, to)`.
+    pub fn edge_label(&self, from: usize, to: usize) -> String {
+        format!(
+            "{}\u{2192}{}",
+            self.stages[from].kind.label(),
+            self.stages[to].kind.label()
+        )
+    }
+}
+
+impl ToJson for StageGraph {
+    fn to_json(&self) -> Json {
+        Json::Array(
+            self.stages
+                .iter()
+                .map(|s| {
+                    Json::object()
+                        .with("stage", s.kind.label())
+                        .with("workers", s.workers as u64)
+                        .with("lanes", s.lanes as u64)
+                        .with("queue_capacity", s.queue_capacity as u64)
+                        .with("action", s.kind.action().label())
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_graph_validates_and_orders() {
+        let g = StageGraph::full(4, 1, 4, 8);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.denoise_ix(), 2);
+        assert_eq!(g.edges().count(), 4);
+        assert_eq!(g.edge_label(1, 2), "text-encode\u{2192}denoise");
+        assert_eq!(g.stages()[2].capacity(), 4);
+    }
+
+    #[test]
+    fn degradation_actions_follow_the_issue_mapping() {
+        assert_eq!(StageKind::TextEncode.action(), StageAction::Shed);
+        assert_eq!(StageKind::Denoise.action(), StageAction::ReduceSteps);
+        assert_eq!(StageKind::VaeDecode.action(), StageAction::Downscale);
+        assert_eq!(StageKind::Preprocess.action(), StageAction::None);
+    }
+
+    #[test]
+    fn invalid_graphs_are_rejected() {
+        assert_eq!(StageGraph::linear(vec![]), Err(GraphError::Empty));
+        let dup = vec![
+            StageSpec::new(StageKind::Denoise, 1, 1),
+            StageSpec::new(StageKind::Denoise, 1, 1),
+        ];
+        assert_eq!(
+            StageGraph::linear(dup),
+            Err(GraphError::Duplicate(StageKind::Denoise))
+        );
+        let reversed = vec![
+            StageSpec::new(StageKind::Denoise, 1, 1),
+            StageSpec::new(StageKind::TextEncode, 1, 1),
+        ];
+        assert!(matches!(
+            StageGraph::linear(reversed),
+            Err(GraphError::OutOfOrder { .. })
+        ));
+        let no_denoise = vec![
+            StageSpec::new(StageKind::Preprocess, 1, 1),
+            StageSpec::new(StageKind::Postprocess, 1, 1),
+        ];
+        assert_eq!(
+            StageGraph::linear(no_denoise),
+            Err(GraphError::MissingDenoise)
+        );
+        let zero = vec![StageSpec::new(StageKind::Denoise, 0, 1)];
+        assert_eq!(
+            StageGraph::linear(zero),
+            Err(GraphError::ZeroCapacity(StageKind::Denoise))
+        );
+    }
+
+    #[test]
+    fn denoise_only_graph_is_legal() {
+        let g = StageGraph::linear(vec![StageSpec::new(StageKind::Denoise, 2, 4).with_lanes(3)])
+            .unwrap();
+        assert_eq!(g.denoise_ix(), 0);
+        assert_eq!(g.edges().count(), 0);
+        assert_eq!(g.stages()[0].capacity(), 6);
+    }
+
+    #[test]
+    fn serializes_shape_and_actions() {
+        let j = StageGraph::full(2, 1, 4, 8).to_json();
+        let arr = j.as_array().unwrap();
+        assert_eq!(arr.len(), 5);
+        assert_eq!(
+            arr[1].get("action").and_then(Json::as_str),
+            Some("shed"),
+            "encode sheds"
+        );
+        assert_eq!(
+            arr[2].get("action").and_then(Json::as_str),
+            Some("reduce-steps")
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Micro-serving disaggregation of the edit pipeline.
+//!
+//! FlashPS §4.3 splits CPU pre/post-processing away from GPU
+//! denoising to hide pipeline bubbles; LegoDiffusion generalizes that
+//! fixed split into *micro-serving*: every pipeline stage is an
+//! independently scaled pool. This crate is that substrate:
+//!
+//! - [`graph`] — the typed stage DAG ([`StageGraph`]): which stages
+//!   run as pools, pool sizes, bounded-queue capacities, and each
+//!   stage's rung on the degradation ladder (shed at encode,
+//!   step-reduce at denoise, downscale at decode).
+//! - [`queue`] — the bounded inter-stage queue ([`StageQueue`]):
+//!   backpressure when full, drop-on-deadline at the head,
+//!   conservation-checked accounting, and `stage_enqueue` /
+//!   `stage_dequeue` boundary events plus `stage_wait` spans so
+//!   bubble analysis can attribute a stall to a specific edge.
+//! - [`sim`] — the virtual-time execution plane ([`StageGraphSim`]):
+//!   each stage driven by its own clock-generic
+//!   `fps_serving::ControlPlane`, denoise batched continuously at
+//!   step boundaries, a monolithic arm for comparison, and
+//!   byte-identical seeded replays on either event scheduler.
+//!
+//! The wall-clock execution plane lives in fps-core
+//! (`ThreadedServer::start_staged`), built on the same graph shape
+//! with real threads and bounded channels.
+
+pub mod graph;
+pub mod queue;
+pub mod sim;
+
+pub use graph::{GraphError, StageAction, StageGraph, StageKind, StageSpec};
+pub use queue::{Popped, StageQueue};
+pub use sim::{EdgeReport, StageEv, StageGraphConfig, StageGraphSim, StageReport, StagedRunReport};

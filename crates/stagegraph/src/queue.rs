@@ -1,0 +1,486 @@
+//! The bounded inter-stage queue.
+//!
+//! Every edge of a [`StageGraph`](crate::StageGraph) is one of these:
+//! a FIFO with a hard capacity (a full queue backpressures the
+//! upstream stage instead of growing without bound), drop-on-deadline
+//! at the head (a request whose SLO already expired is turned away at
+//! the stage boundary rather than burning a batch slot), and
+//! first-class accounting. The conservation contract mirrors the
+//! fleet simulator's: every enqueued request is dequeued, dropped, or
+//! still resident — never lost, never duplicated — and
+//! [`StageQueue::assert_conserved`] checks it on demand (the
+//! simulator calls it at end of run; the proptests after every
+//! operation).
+//!
+//! Each boundary crossing is observable: enqueues and dequeues emit
+//! `stage_enqueue` / `stage_dequeue` trace events on the edge's own
+//! track, and each completed residency emits a `stage_wait` span
+//! covering enqueue → dequeue, so `fps_trace::bubble_in_window` can
+//! attribute a stall to a specific edge. Tracing is passive: with a
+//! disabled sink the queue's observable behaviour is byte-identical.
+
+use std::collections::VecDeque;
+
+use fps_json::Json;
+use fps_metrics::{Histogram, StageQueueStats};
+use fps_simtime::SimTime;
+use fps_trace::{TraceSink, Track};
+
+/// One resident request.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    seq: u64,
+    enqueued_at: SimTime,
+    deadline: SimTime,
+}
+
+/// What [`StageQueue::pop`] found at the head.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Popped {
+    /// A live request and its queue wait in seconds.
+    Item {
+        /// Request sequence number.
+        seq: u64,
+        /// Enqueue → dequeue wait, seconds.
+        wait_secs: f64,
+    },
+    /// The head's deadline had already passed; it was dropped and its
+    /// slot freed. Callers keep popping until they get an `Item` or
+    /// the queue is empty.
+    Expired {
+        /// Request sequence number.
+        seq: u64,
+    },
+}
+
+/// A bounded FIFO between two stages.
+#[derive(Debug)]
+pub struct StageQueue {
+    /// Edge label ("text-encode→denoise"), for reports and panics.
+    label: String,
+    capacity: usize,
+    items: VecDeque<Entry>,
+    // Accounting: `enqueued == dequeued + dropped_deadline + len()`
+    // at every instant.
+    enqueued: u64,
+    dequeued: u64,
+    dropped_deadline: u64,
+    /// Enqueue attempts refused because the queue was full (the
+    /// backpressure signal; the request was *not* accepted, so it
+    /// does not enter the conservation sum).
+    rejected_full: u64,
+    max_depth: u64,
+    wait_hist: Histogram,
+    trace: TraceSink,
+    track: Track,
+}
+
+impl StageQueue {
+    /// A queue of `capacity` slots whose wait histogram spans
+    /// `[0, hist_hi_secs]`. Boundary events land on `track` of
+    /// `trace`; pass [`TraceSink::disabled`] for an untraced queue.
+    pub fn new(
+        label: impl Into<String>,
+        capacity: usize,
+        hist_hi_secs: f64,
+        trace: TraceSink,
+        track: Track,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            capacity: capacity.max(1),
+            items: VecDeque::new(),
+            enqueued: 0,
+            dequeued: 0,
+            dropped_deadline: 0,
+            rejected_full: 0,
+            max_depth: 0,
+            wait_hist: Histogram::new(0.0, hist_hi_secs.max(1.0), 512)
+                .expect("valid histogram geometry"),
+            trace,
+            track,
+        }
+    }
+
+    /// Offers `seq` to the queue. Returns `false` (and counts a
+    /// backpressure rejection) when the queue is full — the caller
+    /// must hold the request upstream and retry, or shed it.
+    pub fn try_enqueue(&mut self, now: SimTime, seq: u64, deadline: SimTime) -> bool {
+        if self.items.len() >= self.capacity {
+            self.rejected_full += 1;
+            return false;
+        }
+        self.items.push_back(Entry {
+            seq,
+            enqueued_at: now,
+            deadline,
+        });
+        self.enqueued += 1;
+        self.max_depth = self.max_depth.max(self.items.len() as u64);
+        if self.trace.is_enabled() {
+            self.trace.event_at(
+                "stage_enqueue",
+                "stage_edge",
+                self.track,
+                now.as_nanos(),
+                vec![
+                    ("seq", Json::U64(seq)),
+                    ("depth", Json::U64(self.items.len() as u64)),
+                ],
+            );
+        }
+        true
+    }
+
+    /// Pops the head. An expired head (deadline before `now`) is
+    /// dropped and reported as [`Popped::Expired`]; a live head is
+    /// dequeued with its wait recorded.
+    pub fn pop(&mut self, now: SimTime) -> Option<Popped> {
+        let entry = self.items.pop_front()?;
+        if entry.deadline < now {
+            self.dropped_deadline += 1;
+            if self.trace.is_enabled() {
+                self.trace.event_at(
+                    "stage_deadline_drop",
+                    "stage_edge",
+                    self.track,
+                    now.as_nanos(),
+                    vec![("seq", Json::U64(entry.seq))],
+                );
+            }
+            return Some(Popped::Expired { seq: entry.seq });
+        }
+        let wait_secs = now.since(entry.enqueued_at).as_secs_f64();
+        self.dequeued += 1;
+        self.wait_hist.record(wait_secs);
+        if self.trace.is_enabled() {
+            self.trace.event_at(
+                "stage_dequeue",
+                "stage_edge",
+                self.track,
+                now.as_nanos(),
+                vec![
+                    ("seq", Json::U64(entry.seq)),
+                    ("depth", Json::U64(self.items.len() as u64)),
+                ],
+            );
+            self.trace.span_at(
+                "stage_wait",
+                "stage_edge",
+                self.track,
+                entry.enqueued_at.as_nanos(),
+                now.as_nanos(),
+                0,
+                vec![("seq", Json::U64(entry.seq))],
+            );
+        }
+        Some(Popped::Item {
+            seq: entry.seq,
+            wait_secs,
+        })
+    }
+
+    /// Pops until a live item surfaces, draining expired heads into
+    /// `expired`. Returns the live item, if any.
+    pub fn pop_live(&mut self, now: SimTime, expired: &mut Vec<u64>) -> Option<(u64, f64)> {
+        while let Some(p) = self.pop(now) {
+            match p {
+                Popped::Item { seq, wait_secs } => return Some((seq, wait_secs)),
+                Popped::Expired { seq } => expired.push(seq),
+            }
+        }
+        None
+    }
+
+    /// Residents right now.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the queue is at capacity (the backpressure condition).
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Edge label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Total accepted enqueues.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Live dequeues.
+    pub fn dequeued(&self) -> u64 {
+        self.dequeued
+    }
+
+    /// Head drops whose deadline had passed.
+    pub fn dropped_deadline(&self) -> u64 {
+        self.dropped_deadline
+    }
+
+    /// Enqueue attempts refused at capacity.
+    pub fn rejected_full(&self) -> u64 {
+        self.rejected_full
+    }
+
+    /// Peak depth observed.
+    pub fn max_depth(&self) -> u64 {
+        self.max_depth
+    }
+
+    /// Queue-wait summary for reports (pooled, never averaged — the
+    /// histogram rides along).
+    pub fn stats(&self) -> StageQueueStats {
+        StageQueueStats::from_hist(
+            self.label.clone(),
+            self.enqueued,
+            self.max_depth,
+            self.wait_hist.clone(),
+        )
+    }
+
+    /// Conservation check: every accepted request is dequeued,
+    /// dropped, or still resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ledger does not balance — a queue bug, never a
+    /// workload property.
+    pub fn assert_conserved(&self) {
+        assert_eq!(
+            self.enqueued,
+            self.dequeued + self.dropped_deadline + self.items.len() as u64,
+            "stage queue '{}' lost or duplicated requests",
+            self.label
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fps_trace::Clock;
+    use proptest::prelude::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_nanos((secs * 1e9) as u64)
+    }
+
+    fn q(capacity: usize) -> StageQueue {
+        StageQueue::new(
+            "text-encode\u{2192}denoise",
+            capacity,
+            60.0,
+            TraceSink::disabled(),
+            Track::new(3, 0),
+        )
+    }
+
+    #[test]
+    fn fifo_order_and_wait_accounting() {
+        let mut q = q(4);
+        assert!(q.try_enqueue(t(0.0), 1, t(100.0)));
+        assert!(q.try_enqueue(t(1.0), 2, t(100.0)));
+        assert_eq!(
+            q.pop(t(3.0)),
+            Some(Popped::Item {
+                seq: 1,
+                wait_secs: 3.0
+            })
+        );
+        assert_eq!(
+            q.pop(t(3.0)),
+            Some(Popped::Item {
+                seq: 2,
+                wait_secs: 2.0
+            })
+        );
+        assert_eq!(q.pop(t(3.0)), None);
+        q.assert_conserved();
+        let s = q.stats();
+        assert_eq!(s.entered, 2);
+        assert_eq!(s.max_depth, 2);
+        assert!(s.queue_wait_p95_secs > 0.0);
+    }
+
+    #[test]
+    fn full_queue_backpressures_without_accepting() {
+        let mut q = q(2);
+        assert!(q.try_enqueue(t(0.0), 1, t(100.0)));
+        assert!(q.try_enqueue(t(0.0), 2, t(100.0)));
+        assert!(q.is_full());
+        assert!(!q.try_enqueue(t(0.0), 3, t(100.0)), "third must bounce");
+        assert_eq!(q.rejected_full(), 1);
+        assert_eq!(q.enqueued(), 2, "a bounced request was never accepted");
+        q.assert_conserved();
+    }
+
+    #[test]
+    fn expired_heads_drop_and_free_the_slot() {
+        let mut q = q(1);
+        assert!(q.try_enqueue(t(0.0), 7, t(5.0)));
+        assert!(q.is_full());
+        // Past the deadline: the pop drops it and the slot frees.
+        assert_eq!(q.pop(t(6.0)), Some(Popped::Expired { seq: 7 }));
+        assert!(!q.is_full());
+        assert!(q.try_enqueue(t(6.0), 8, t(100.0)), "slot was freed");
+        assert_eq!(q.dropped_deadline(), 1);
+        q.assert_conserved();
+    }
+
+    #[test]
+    fn pop_live_drains_expired_runs() {
+        let mut q = q(8);
+        for seq in 0..3 {
+            assert!(q.try_enqueue(t(0.0), seq, t(1.0)));
+        }
+        assert!(q.try_enqueue(t(0.0), 3, t(100.0)));
+        let mut expired = Vec::new();
+        let live = q.pop_live(t(2.0), &mut expired);
+        assert_eq!(live, Some((3, 2.0)));
+        assert_eq!(expired, vec![0, 1, 2]);
+        q.assert_conserved();
+    }
+
+    #[test]
+    fn boundary_events_and_wait_spans_are_emitted() {
+        let sink = TraceSink::recording(Clock::Virtual);
+        let mut q = StageQueue::new("e", 4, 60.0, sink.clone(), Track::new(3, 1));
+        assert!(q.try_enqueue(t(1.0), 1, t(100.0)));
+        assert!(q.try_enqueue(t(1.5), 2, t(0.5)));
+        let _ = q.pop(t(2.0));
+        let _ = q.pop(t(2.0));
+        let trace = sink.drain().unwrap();
+        assert_eq!(
+            trace
+                .events
+                .iter()
+                .filter(|e| e.name == "stage_enqueue")
+                .count(),
+            2
+        );
+        assert_eq!(
+            trace
+                .events
+                .iter()
+                .filter(|e| e.name == "stage_dequeue")
+                .count(),
+            1
+        );
+        assert_eq!(
+            trace
+                .events
+                .iter()
+                .filter(|e| e.name == "stage_deadline_drop")
+                .count(),
+            1
+        );
+        let wait: Vec<_> = trace.spans_named("stage_wait").collect();
+        assert_eq!(wait.len(), 1);
+        assert_eq!(wait[0].start_ns, t(1.0).as_nanos());
+        assert_eq!(wait[0].end_ns, t(2.0).as_nanos());
+    }
+
+    #[test]
+    fn tracing_is_passive() {
+        // Same op sequence, sink on vs off: identical observable
+        // behaviour and identical counters.
+        let run = |trace: TraceSink| {
+            let mut q = StageQueue::new("e", 2, 60.0, trace, Track::new(3, 0));
+            let mut log = Vec::new();
+            for i in 0..20u64 {
+                let now = t(i as f64 * 0.5);
+                log.push(Json::Bool(q.try_enqueue(now, i, t(i as f64 * 0.5 + 3.0))));
+                if i % 3 == 0 {
+                    log.push(match q.pop(now) {
+                        Some(Popped::Item { seq, .. }) => Json::U64(seq),
+                        Some(Popped::Expired { seq }) => Json::U64(seq + 1000),
+                        None => Json::Null,
+                    });
+                }
+            }
+            q.assert_conserved();
+            format!(
+                "{:?}|{}|{}|{}|{}",
+                log,
+                q.enqueued(),
+                q.dequeued(),
+                q.dropped_deadline(),
+                q.rejected_full()
+            )
+        };
+        let off = run(TraceSink::disabled());
+        let on = run(TraceSink::recording(Clock::Virtual));
+        assert_eq!(off, on, "tracing changed queue behaviour");
+    }
+
+    proptest! {
+        // Conservation under arbitrary interleavings: random
+        // enqueue/pop sequences with random deadlines (so backpressure
+        // bounces, deadline drops, and live dequeues all interleave)
+        // never lose or duplicate a request.
+        #[test]
+        fn conservation_under_random_interleavings(
+            seed in 0u64..5000,
+            capacity in 1usize..6,
+            ops in 10usize..120,
+        ) {
+            let mut q = StageQueue::new(
+                "prop", capacity, 60.0, TraceSink::disabled(), Track::new(3, 0),
+            );
+            let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            let mut next = || {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                rng
+            };
+            let mut seq = 0u64;
+            let mut accepted = std::collections::HashSet::new();
+            let mut resolved = std::collections::HashSet::new();
+            for step in 0..ops {
+                let now = t(step as f64 * 0.25);
+                if next() % 3 != 0 {
+                    // Short deadlines force drop-on-deadline paths.
+                    let deadline = t(step as f64 * 0.25 + (next() % 4) as f64 * 0.3);
+                    if q.try_enqueue(now, seq, deadline) {
+                        prop_assert!(accepted.insert(seq), "seq accepted twice");
+                    }
+                    seq += 1;
+                } else {
+                    match q.pop(now) {
+                        Some(Popped::Item { seq, .. }) | Some(Popped::Expired { seq }) => {
+                            prop_assert!(
+                                accepted.contains(&seq),
+                                "popped a request never accepted"
+                            );
+                            prop_assert!(resolved.insert(seq), "seq resolved twice");
+                        }
+                        None => {}
+                    }
+                }
+                q.assert_conserved();
+                prop_assert!(q.len() <= capacity, "bound violated");
+            }
+            // Drain: everything accepted resolves exactly once.
+            let drain_at = t(1e6);
+            while let Some(p) = q.pop(drain_at) {
+                let (Popped::Item { seq, .. } | Popped::Expired { seq }) = p;
+                prop_assert!(resolved.insert(seq), "seq resolved twice in drain");
+            }
+            q.assert_conserved();
+            prop_assert_eq!(resolved.len() as u64, q.dequeued() + q.dropped_deadline());
+            prop_assert_eq!(accepted.len() as u64, q.enqueued());
+            prop_assert_eq!(resolved.len(), accepted.len(), "lost requests");
+        }
+    }
+}

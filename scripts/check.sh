@@ -38,6 +38,9 @@ cargo run --release -p fps-bench --bin fig16_fleet -- --smoke > /dev/null
 echo "==> fig_chaos_fleet --smoke (fleet fault-tolerance gates)"
 cargo run --release -p fps-bench --bin fig_chaos_fleet -- --smoke > /dev/null
 
+echo "==> fig_stagegraph --smoke (stage-graph disaggregation gates)"
+cargo run --release -p fps-bench --bin fig_stagegraph -- --smoke > /dev/null
+
 echo "==> sim-vs-server decision parity (release)"
 cargo test --release -q -p flashps --test integration_control > /dev/null
 
