@@ -1,0 +1,28 @@
+use fps_stagegraph::{StageGraph, StageGraphConfig, StageGraphSim};
+use fps_stagegraph::{StageKind, StageSpec};
+use fps_workload::{RatioDistribution, Trace, TraceConfig};
+
+#[test]
+fn denoise_done_stalled_drains() {
+    // Denoise: 1 worker x 8 lanes; decode queue capacity 1 with a
+    // single decode worker. A short burst fills all lanes; finishers
+    // outpace the tiny decode queue, forcing done_stalled members.
+    let graph = StageGraph::linear(vec![
+        StageSpec::new(StageKind::Denoise, 1, 16).with_lanes(8),
+        StageSpec::new(StageKind::VaeDecode, 1, 1),
+    ])
+    .unwrap();
+    let mut cfg = StageGraphConfig::staged(graph);
+    cfg.deadline_secs = 10_000.0;
+    let trace = Trace::generate(&TraceConfig {
+        rps: 8.0,
+        arrivals: fps_workload::trace::ArrivalProcess::Poisson,
+        duration_secs: 2.0,
+        ratio_dist: RatioDistribution::Uniform { lo: 0.05, hi: 0.3 },
+        num_templates: 4,
+        zipf_s: 0.9,
+        seed: 9,
+    });
+    let r = StageGraphSim::run(cfg, &trace);
+    assert_eq!(r.slo.lost(), 0);
+}
