@@ -20,6 +20,7 @@
 //!   [`MaskedContext::CachedKv`] lets masked queries attend over
 //!   full-length cached keys/values (Fig. 7, the K/V-cache variant).
 
+use fps_tensor::ops::sparse::SparsePlan;
 use fps_tensor::ops::{
     ada_layer_norm, gelu, layer_norm, matmul, matmul_bt, matmul_gelu, mha_fused, modulate,
     scatter_rows_into, softmax_rows,
@@ -268,7 +269,8 @@ impl TransformerBlock {
     /// from the cache by the previous block) — the paper's LLM-decoding
     /// analogy, where the new token's Q attends over everyone's K/V.
     /// Cross-attention and FFN run on masked rows only (token-wise,
-    /// exact). Returns the masked rows' block output.
+    /// exact). The session's sparse plan supplies the masked row set.
+    /// Returns the masked rows' block output.
     ///
     /// # Errors
     ///
@@ -276,10 +278,11 @@ impl TransformerBlock {
     pub fn forward_masked_full_kv(
         &self,
         x_full: &Tensor,
-        masked_idx: &[usize],
+        plan: &SparsePlan,
         prompt: &Tensor,
         cond: &Tensor,
     ) -> Result<Tensor> {
+        let masked_idx = plan.active();
         let [s1, b1, s2, b2] = self.ada_params(cond)?;
         let xn_full = self.adaln(x_full, &self.ln1_g, &self.ln1_b, &s1, &b1)?;
         let xn_masked = fps_tensor::ops::gather_rows(&xn_full, masked_idx)?;

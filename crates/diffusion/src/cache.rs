@@ -18,8 +18,10 @@ use crate::Result;
 
 /// Magic prefix of the serialized cache format.
 const CACHE_MAGIC: &[u8; 4] = b"FPSC";
-/// Serialization format version.
-const CACHE_VERSION: u8 = 1;
+/// Serialization format version. Version 2 added the optional per-step
+/// UNet scaffold output that the sparse compute path replenishes
+/// uncomputed conv pixels from.
+const CACHE_VERSION: u8 = 2;
 
 /// Cached activations of one transformer block at one denoising step.
 #[derive(Debug, Clone)]
@@ -54,6 +56,11 @@ impl BlockCache {
 pub struct StepCache {
     /// Per-block caches, indexed by block position in the model.
     pub blocks: Vec<BlockCache>,
+    /// UNet conv-scaffold output `[L, C]` on the template latent at
+    /// this step (`None` for DiT models, which have no scaffold). The
+    /// sparse compute path reuses these rows for every grid pixel
+    /// outside the mask's dilation instead of convolving the full grid.
+    pub scaffold: Option<Tensor>,
 }
 
 /// All cached activations for one image template.
@@ -101,6 +108,12 @@ impl TemplateCache {
             .ok_or(DiffusionError::CacheMiss { step, block })
     }
 
+    /// The template's scaffold output at `step`, when one was captured
+    /// (UNet models primed since format version 2).
+    pub fn step_scaffold(&self, step: usize) -> Option<&Tensor> {
+        self.steps.get(step).and_then(|s| s.scaffold.as_ref())
+    }
+
     /// Total bytes of the Y-variant cache across all steps and blocks.
     pub fn bytes_y(&self) -> u64 {
         self.steps
@@ -133,6 +146,10 @@ impl TemplateCache {
         out.extend_from_slice(&(self.steps.len() as u32).to_le_bytes());
         for step in &self.steps {
             out.extend_from_slice(&(step.blocks.len() as u32).to_le_bytes());
+            out.push(u8::from(step.scaffold.is_some()));
+            if let Some(sc) = &step.scaffold {
+                write_tensor(&mut out, sc);
+            }
             for b in &step.blocks {
                 out.push(u8::from(b.k.is_some() && b.v.is_some()));
                 write_tensor(&mut out, &b.y);
@@ -170,6 +187,9 @@ impl TemplateCache {
         for _ in 0..n_steps {
             let n_blocks = r.u32()? as usize;
             let mut step = StepCache::default();
+            if r.take(1)?[0] != 0 {
+                step.scaffold = Some(read_tensor(&mut r)?);
+            }
             for _ in 0..n_blocks {
                 let has_kv = r.take(1)?[0] != 0;
                 let y = read_tensor(&mut r)?;
@@ -281,6 +301,7 @@ mod tests {
         let mut cache = TemplateCache::new(1, 4, 8);
         cache.push_step(StepCache {
             blocks: vec![block(4, 8, false); 2],
+            scaffold: None,
         });
         assert!(cache.get(0, 1).is_ok());
         assert_eq!(
@@ -298,9 +319,11 @@ mod tests {
         let mut cache = TemplateCache::new(1, 4, 8);
         cache.push_step(StepCache {
             blocks: vec![block(4, 8, true); 3],
+            scaffold: None,
         });
         cache.push_step(StepCache {
             blocks: vec![block(4, 8, true); 3],
+            scaffold: None,
         });
         // Y: 2 steps × 3 blocks × 4×8 floats × 4 bytes.
         assert_eq!(cache.bytes_y(), 2 * 3 * 4 * 8 * 4);
@@ -321,7 +344,10 @@ mod tests {
                     v: (i == 0).then(|| Tensor::randn([4, 8], &mut rng)),
                 })
                 .collect();
-            cache.push_step(StepCache { blocks });
+            cache.push_step(StepCache {
+                blocks,
+                scaffold: None,
+            });
         }
         let bytes = cache.to_bytes();
         let back = TemplateCache::from_bytes(&bytes).unwrap();
@@ -345,6 +371,7 @@ mod tests {
         let mut cache = TemplateCache::new(1, 2, 2);
         cache.push_step(StepCache {
             blocks: vec![block(2, 2, false)],
+            scaffold: None,
         });
         let good = cache.to_bytes();
         // Bad magic.
@@ -390,7 +417,10 @@ mod tests {
                         v: kv.then(|| Tensor::randn([l, h], &mut rng)),
                     })
                     .collect();
-                cache.push_step(StepCache { blocks: bs });
+                cache.push_step(StepCache {
+                    blocks: bs,
+                    scaffold: None,
+                });
             }
             let back = TemplateCache::from_bytes(&cache.to_bytes()).expect("round trip");
             proptest::prop_assert_eq!(back.num_steps(), steps);
@@ -412,6 +442,7 @@ mod tests {
         let mut cache = TemplateCache::new(1, 4, 8);
         cache.push_step(StepCache {
             blocks: vec![block(4, 8, true), block(4, 8, false)],
+            scaffold: None,
         });
         assert!(!cache.has_kv());
         assert_eq!(cache.num_steps(), 1);

@@ -151,6 +151,23 @@ pub fn step_flops_plan(
     apply_arch_overhead(cfg, per_item) * batch as u64
 }
 
+/// FLOPs of one mask-sparse GEMM (`[m×k] · [k×n]` with only the
+/// mask's rows computed): the dense multiply-add cost of the active
+/// rows, the gather/scatter traffic that moves them in and out of the
+/// packed operand (`active · (k + n)` element copies, counted as one
+/// op each), plus the template replenishment of the inactive rows
+/// (`(m − active) · n` copies) — so the estimate, like the kernel, has
+/// a small output-sized floor instead of vanishing at ratio 0.
+///
+/// This is the estimator the kernel benchmark checks measured sparse
+/// wall time against: across the mask-ratio sweep, measured time must
+/// track `sparse_gemm_flops(r) / sparse_gemm_flops(1.0)` within 2×.
+pub fn sparse_gemm_flops(m: usize, k: usize, n: usize, mask_ratio: f64) -> u64 {
+    let active = ((mask_ratio.clamp(0.0, 1.0) * m as f64).round() as usize).min(m) as u64;
+    let inactive = m as u64 - active;
+    2 * active * k as u64 * n as u64 + active * (k as u64 + n as u64) + inactive * n as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,6 +212,30 @@ mod tests {
         let kv = step_flops_masked_kv(&cfg, 1, 0.2) as f64;
         let saving = 1.0 - kv / y;
         assert!(saving > 0.02 && saving < 0.5, "saving {saving}");
+    }
+
+    #[test]
+    fn sparse_gemm_flops_scale_with_ratio() {
+        let (m, k, n) = (256, 64, 256);
+        let dense = 2 * (m * k * n) as u64;
+        let full = sparse_gemm_flops(m, k, n, 1.0);
+        // Full mask is dense compute plus the gather/scatter traffic —
+        // no inactive rows, so no template term.
+        assert_eq!(full, dense + (m * (k + n)) as u64);
+        let mut prev = 0;
+        for r in [0.05, 0.10, 0.25, 0.50] {
+            let f = sparse_gemm_flops(m, k, n, r);
+            assert!(f > prev, "monotone in ratio");
+            let frac = f as f64 / full as f64;
+            assert!((frac - r).abs() < 0.02, "r={r}: frac={frac}");
+            prev = f;
+        }
+        // Ratio 0 leaves the output-sized template-copy floor.
+        assert_eq!(sparse_gemm_flops(m, k, n, 0.0), (m * n) as u64);
+        // Degenerate ratios clamp instead of panicking.
+        assert_eq!(sparse_gemm_flops(m, k, n, -3.0), (m * n) as u64);
+        assert_eq!(sparse_gemm_flops(m, k, n, 7.0), full);
+        assert_eq!(sparse_gemm_flops(0, k, n, 0.5), 0);
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! The diffusion denoiser: a stack of transformer blocks with per-block
 //! compute plans.
 
+use fps_tensor::ops::sparse::SparsePlan;
 use fps_tensor::ops::{gather_rows, layer_norm, matmul, scatter_rows_into};
 use fps_tensor::rng::DetRng;
-use fps_tensor::Tensor;
+use fps_tensor::{pool, Tensor};
 
 use crate::block::{MaskedContext, TransformerBlock};
 use crate::cache::{BlockCache, StepCache, TemplateCache};
@@ -169,9 +170,14 @@ impl DiffusionModel {
         // requests with different prompts (§2.2).
         let cond = embed_timestep(&self.cfg, t);
         let latent = self.apply_scaffold(latent)?;
+        let mut captured = StepCache::default();
+        // UNet priming also captures the scaffold output so sparse
+        // edits can replenish uncomputed conv pixels from it.
+        if self.scaffold.is_some() {
+            captured.scaffold = Some(latent.clone());
+        }
         let mut x = matmul(&latent, &self.in_proj)?;
         latent.recycle();
-        let mut captured = StepCache::default();
         for block in &self.blocks {
             let out = block.forward_full(&x, prompt_emb, &cond)?;
             captured.blocks.push(BlockCache {
@@ -193,6 +199,13 @@ impl DiffusionModel {
 
     /// Mask-aware noise prediction for one step under a per-block plan.
     ///
+    /// `sparse` is the session's mask-derived token plan (built once
+    /// per edit); its active set lists the masked rows. On the
+    /// [`pool::ComputePath::Sparse`] path, a UNet scaffold additionally
+    /// convolves only the plan's dilated mask when the cache carries
+    /// the template's scaffold output for this step — bit-for-bit
+    /// identical to the full scaffold.
+    ///
     /// Rows of the returned `[L, latent_channels]` prediction at
     /// unmasked positions are only meaningful insofar as the plan
     /// materializes them (cached plans replenish them; masked-only plans
@@ -202,7 +215,8 @@ impl DiffusionModel {
     /// # Errors
     ///
     /// Returns [`DiffusionError::InvalidPlan`] when the plan length
-    /// disagrees with the block count, [`DiffusionError::CacheMiss`]
+    /// disagrees with the block count or the sparse plan's row count
+    /// disagrees with the token count, [`DiffusionError::CacheMiss`]
     /// when a cached mode lacks its entry, and propagates tensor shape
     /// errors.
     #[allow(clippy::too_many_arguments)]
@@ -211,7 +225,7 @@ impl DiffusionModel {
         latent: &Tensor,
         t: f32,
         prompt_emb: &Tensor,
-        masked_idx: &[usize],
+        sparse: &SparsePlan,
         plan: &StepPlan,
         cache: Option<&TemplateCache>,
         step: usize,
@@ -226,14 +240,18 @@ impl DiffusionModel {
                 ),
             });
         }
-        if let Some(&bad) = masked_idx.iter().find(|&&i| i >= self.cfg.tokens()) {
-            return Err(DiffusionError::MaskLengthMismatch {
-                expected: self.cfg.tokens(),
-                actual: bad + 1,
+        if sparse.total_rows() != self.cfg.tokens() {
+            return Err(DiffusionError::InvalidPlan {
+                reason: format!(
+                    "sparse plan covers {} rows for {} tokens",
+                    sparse.total_rows(),
+                    self.cfg.tokens()
+                ),
             });
         }
+        let masked_idx = sparse.active();
         let cond = embed_timestep(&self.cfg, t);
-        let latent = self.apply_scaffold(latent)?;
+        let latent = self.apply_scaffold_planned(latent, sparse, cache, step)?;
         let mut x = matmul(&latent, &self.in_proj)?;
         latent.recycle();
         for (i, (block, mode)) in self.blocks.iter().zip(plan.modes.iter()).enumerate() {
@@ -256,7 +274,7 @@ impl DiffusionModel {
                     let entry = self.cache_entry(cache, step, i)?;
                     // Y variant: masked queries attend over fresh K/V of
                     // the full (cache-replenished) token matrix.
-                    let ym = block.forward_masked_full_kv(&x, masked_idx, prompt_emb, &cond)?;
+                    let ym = block.forward_masked_full_kv(&x, sparse, prompt_emb, &cond)?;
                     std::mem::replace(&mut x, entry.y.clone()).recycle();
                     scatter_rows_into(&mut x, &ym, masked_idx)?;
                     ym.recycle();
@@ -330,6 +348,31 @@ impl DiffusionModel {
         }
     }
 
+    /// Plan-aware scaffold: on the sparse compute path, with a grid
+    /// plan and the template's cached scaffold output for this step,
+    /// convolve only the mask's dilation (bitwise identical — the
+    /// sampler keeps unmasked latent rows template-anchored).
+    /// Otherwise fall back to the full scaffold.
+    fn apply_scaffold_planned(
+        &self,
+        latent: &Tensor,
+        sparse: &SparsePlan,
+        cache: Option<&TemplateCache>,
+        step: usize,
+    ) -> Result<Tensor> {
+        let Some(rb) = &self.scaffold else {
+            return Ok(latent.clone());
+        };
+        if pool::sparse_enabled() && sparse.grid().is_some() && !sparse.is_full() {
+            if let Some(tpl) = cache.and_then(|c| c.step_scaffold(step)) {
+                if tpl.dims() == latent.dims() {
+                    return rb.forward_sparse(latent, sparse, tpl);
+                }
+            }
+        }
+        rb.forward(latent)
+    }
+
     fn cache_entry<'a>(
         &self,
         cache: Option<&'a TemplateCache>,
@@ -372,6 +415,10 @@ mod tests {
         (cfg, model, prompt, latent)
     }
 
+    fn plan_of(cfg: &ModelConfig, masked: &[usize]) -> SparsePlan {
+        SparsePlan::from_mask(cfg.tokens(), masked).unwrap()
+    }
+
     fn prime(model: &DiffusionModel, latent: &Tensor, prompt: &Tensor, kv: bool) -> TemplateCache {
         let cfg = model.config();
         let mut cache = TemplateCache::new(7, cfg.tokens(), cfg.hidden);
@@ -399,7 +446,7 @@ mod tests {
                 &latent,
                 0.5,
                 &prompt,
-                &[0, 1],
+                &plan_of(&cfg, &[0, 1]),
                 &StepPlan::full(cfg.blocks),
                 None,
                 0,
@@ -422,7 +469,7 @@ mod tests {
                 &latent,
                 0.5,
                 &prompt,
-                &masked,
+                &plan_of(&cfg, &masked),
                 &StepPlan::all_cached_y(cfg.blocks),
                 Some(&cache),
                 0,
@@ -452,7 +499,15 @@ mod tests {
         let (eps_ref, _) = model.predict_full(&latent, 0.5, &prompt, false).unwrap();
         let err = |plan: &StepPlan| {
             let eps = model
-                .predict_planned(&latent, 0.5, &prompt, &masked, plan, Some(&cache), 0)
+                .predict_planned(
+                    &latent,
+                    0.5,
+                    &prompt,
+                    &plan_of(&cfg, &masked),
+                    plan,
+                    Some(&cache),
+                    0,
+                )
                 .unwrap();
             masked
                 .iter()
@@ -483,7 +538,15 @@ mod tests {
         let bad_plan = StepPlan::full(cfg.blocks + 1);
         assert!(matches!(
             model
-                .predict_planned(&latent, 0.5, &prompt, &[0], &bad_plan, None, 0)
+                .predict_planned(
+                    &latent,
+                    0.5,
+                    &prompt,
+                    &plan_of(&cfg, &[0]),
+                    &bad_plan,
+                    None,
+                    0
+                )
                 .unwrap_err(),
             DiffusionError::InvalidPlan { .. }
         ));
@@ -494,7 +557,7 @@ mod tests {
                     &latent,
                     0.5,
                     &prompt,
-                    &[0],
+                    &plan_of(&cfg, &[0]),
                     &StepPlan::all_cached_y(cfg.blocks),
                     None,
                     0
@@ -510,7 +573,7 @@ mod tests {
                     &latent,
                     0.5,
                     &prompt,
-                    &[0],
+                    &plan_of(&cfg, &[0]),
                     &StepPlan::all_cached_kv(cfg.blocks),
                     Some(&cache),
                     0
@@ -518,13 +581,14 @@ mod tests {
                 .unwrap_err(),
             DiffusionError::CacheMiss { .. }
         ));
-        // Out-of-range masked index.
+        // Sparse plan sized for a different token count.
+        let oversized = SparsePlan::from_mask(cfg.tokens() + 1, &[cfg.tokens()]).unwrap();
         assert!(model
             .predict_planned(
                 &latent,
                 0.5,
                 &prompt,
-                &[cfg.tokens()],
+                &oversized,
                 &StepPlan::full(cfg.blocks),
                 None,
                 0
@@ -541,12 +605,28 @@ mod tests {
         let masked: Vec<usize> = vec![1, 2];
         let plan = StepPlan::masked_only(cfg.blocks);
         let eps_a = model
-            .predict_planned(&latent, 0.5, &prompt, &masked, &plan, None, 0)
+            .predict_planned(
+                &latent,
+                0.5,
+                &prompt,
+                &plan_of(&cfg, &masked),
+                &plan,
+                None,
+                0,
+            )
             .unwrap();
         let mut latent_b = latent.clone();
         latent_b.row_mut(1).unwrap().fill(0.9);
         let eps_b = model
-            .predict_planned(&latent_b, 0.5, &prompt, &masked, &plan, None, 0)
+            .predict_planned(
+                &latent_b,
+                0.5,
+                &prompt,
+                &plan_of(&cfg, &masked),
+                &plan,
+                None,
+                0,
+            )
             .unwrap();
         for tok in 0..cfg.tokens() {
             if masked.contains(&tok) {

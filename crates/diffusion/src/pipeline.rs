@@ -1,12 +1,13 @@
 //! End-to-end image editing pipeline: encode → denoise (under a serving
 //! strategy) → decode.
 
+use fps_tensor::ops::sparse::SparsePlan;
 use fps_tensor::rng::{hash_bytes, DetRng};
 use fps_tensor::Tensor;
 use fps_trace::{Clock, TraceSink, Track};
 
 use crate::cache::TemplateCache;
-use crate::config::ModelConfig;
+use crate::config::{Architecture, ModelConfig};
 use crate::embedding::embed_prompt;
 use crate::error::DiffusionError;
 use crate::flops;
@@ -111,6 +112,10 @@ pub struct EditSession {
     template_noise: Tensor,
     prompt_emb: Tensor,
     masked_idx: Vec<usize>,
+    /// The mask-derived token plan, built once at `begin` and reused by
+    /// every denoising step (grid-aware for UNet models so the sparse
+    /// compute path can dilate the conv mask).
+    plan: std::sync::Arc<SparsePlan>,
     strategy: Strategy,
     /// Negative-prompt embedding and scale when guidance is active.
     guidance: Option<(Tensor, f32)>,
@@ -158,6 +163,11 @@ impl EditSession {
     /// The serving strategy of this session.
     pub fn strategy(&self) -> &Strategy {
         &self.strategy
+    }
+
+    /// The session's mask-derived sparse compute plan.
+    pub fn sparse_plan(&self) -> &SparsePlan {
+        &self.plan
     }
 
     /// Which pipeline stage this session is at: [`begin`] already ran
@@ -273,10 +283,14 @@ impl EditPipeline {
         let sink = self.trace.clone();
         let track = self.trace_track;
         fps_tensor::ktrace::set_observer(Some(std::sync::Arc::new(
-            move |name: &'static str, start: std::time::Instant, end: std::time::Instant| {
-                let s = sink.instant_ns(start);
-                let e = sink.instant_ns(end);
-                sink.span_at(name, "kernel", track, s, e, 0, vec![]);
+            move |ev: &fps_tensor::ktrace::KernelEvent| {
+                let s = sink.instant_ns(ev.start);
+                let e = sink.instant_ns(ev.end);
+                let mut args = vec![("path", fps_json::Json::Str(ev.path.to_string()))];
+                if let Some(r) = ev.mask_ratio {
+                    args.push(("mask_ratio", fps_json::Json::F64(f64::from(r))));
+                }
+                sink.span_at(ev.name, "kernel", track, s, e, 0, args);
             },
         )));
     }
@@ -482,12 +496,19 @@ impl EditPipeline {
         let guidance = guidance
             .filter(|g| (g.scale - 1.0).abs() > 1e-6)
             .map(|g| (embed_prompt(&cfg, &g.negative_prompt), g.scale));
+        // One mask-derived plan per edit, shared by every step. UNet
+        // models get the grid-aware plan (conv dilation sets included).
+        let plan = match cfg.arch {
+            Architecture::UNet => SparsePlan::for_grid(cfg.latent_h, cfg.latent_w, masked_idx)?,
+            Architecture::Dit => SparsePlan::from_mask(cfg.tokens(), masked_idx)?,
+        };
         Ok(EditSession {
             template: template.clone(),
             z_template,
             template_noise,
             prompt_emb,
             masked_idx: masked_idx.to_vec(),
+            plan: std::sync::Arc::new(plan),
             strategy,
             guidance,
             x,
@@ -580,13 +601,13 @@ impl EditPipeline {
                             StepPlan::from_use_cache(use_cache)
                         };
                         self.model
-                            .predict_planned(&s.x, t, emb, &s.masked_idx, &plan, cache, k)?
+                            .predict_planned(&s.x, t, emb, &s.plan, &plan, cache, k)?
                     }
                     Strategy::MaskedOnly | Strategy::NaiveDisregard => self.model.predict_planned(
                         &s.x,
                         t,
                         emb,
-                        &s.masked_idx,
+                        &s.plan,
                         &StepPlan::masked_only(cfg.blocks),
                         None,
                         k,

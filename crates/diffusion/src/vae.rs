@@ -83,6 +83,7 @@ impl PatchVae {
             l,
             self.latent_channels,
             2 * pdim * self.latent_channels,
+            pool::KernelClass::Gemm,
             |r0, chunk| {
                 let mut patch_buf = scratch::take(pdim);
                 for (i, orow) in chunk.chunks_exact_mut(self.latent_channels).enumerate() {
@@ -137,6 +138,7 @@ impl PatchVae {
             l,
             pdim,
             2 * pdim * self.latent_channels,
+            pool::KernelClass::Gemm,
             |r0, chunk| {
                 for (i, pbuf) in chunk.chunks_exact_mut(pdim).enumerate() {
                     let tok = r0 + i;

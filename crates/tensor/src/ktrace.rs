@@ -3,11 +3,15 @@
 //! The tensor crate sits below the tracing crate, so instead of
 //! depending on `fps-trace` directly it exposes a process-wide observer
 //! callback: when installed, every kernel entry point (`matmul`,
-//! `softmax_rows`, the fused attention, …) reports its name and
-//! wall-clock start/end [`Instant`]s. The diffusion layer installs an
-//! observer that forwards these as `kernel`-category spans into its
-//! `TraceSink` (see `EditPipeline::trace_kernels`), which is how traced
-//! runs attribute denoise time to individual kernels.
+//! `softmax_rows`, the fused attention, …) reports a [`KernelEvent`]
+//! carrying its name, the dispatch path it ran on, the mask ratio it
+//! computed at (sparse kernels only), and wall-clock start/end
+//! [`Instant`]s. The diffusion layer installs an observer that forwards
+//! these as `kernel`-category spans into its `TraceSink` (see
+//! `EditPipeline::trace_kernels`), which is how traced runs attribute
+//! denoise time to individual kernels — and, since the sparse compute
+//! path landed, how flamegraphs and `trace_bubbles` tell sparse kernel
+//! time apart from dense.
 //!
 //! Disabled by default: the cost on the hot path is then a single
 //! relaxed atomic load per kernel call.
@@ -17,8 +21,28 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
-/// Observer signature: kernel name plus wall-clock start/end.
-pub type Observer = std::sync::Arc<dyn Fn(&'static str, Instant, Instant) + Send + Sync>;
+use crate::pool;
+
+/// One observed kernel execution.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelEvent {
+    /// Kernel entry-point name (`"matmul"`, `"mha_fused"`, …).
+    pub name: &'static str,
+    /// Label of the calling thread's [`pool::ComputePath`] at span
+    /// start: `"scalar"`, `"parallel"`, `"fused"`, or `"sparse"`.
+    pub path: &'static str,
+    /// Fraction of output rows the kernel actually computed — reported
+    /// by the mask-sparse kernels in `ops::sparse`; `None` for dense
+    /// kernels.
+    pub mask_ratio: Option<f32>,
+    /// Wall-clock start of the kernel body.
+    pub start: Instant,
+    /// Wall-clock end of the kernel body.
+    pub end: Instant,
+}
+
+/// Observer signature: one callback per finished kernel execution.
+pub type Observer = std::sync::Arc<dyn Fn(&KernelEvent) + Send + Sync>;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static OBSERVER: Mutex<Option<Observer>> = Mutex::new(None);
@@ -36,31 +60,62 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Starts a kernel span; the observer fires when the guard drops.
+/// Starts a dense-kernel span; the observer fires when the guard drops.
 /// Returns `None` (and costs one atomic load) when no observer is
 /// installed.
 pub fn span(name: &'static str) -> Option<KernelSpan> {
+    span_with(name, None)
+}
+
+/// Starts a sparse-kernel span that reports the mask ratio the kernel
+/// computes at (active rows ÷ total rows).
+pub fn span_masked(name: &'static str, mask_ratio: f32) -> Option<KernelSpan> {
+    span_with(name, Some(mask_ratio))
+}
+
+fn span_with(name: &'static str, mask_ratio: Option<f32>) -> Option<KernelSpan> {
     if !enabled() {
         return None;
     }
     let observer = OBSERVER.lock().clone()?;
     Some(KernelSpan {
         name,
+        path: path_label(pool::compute_path()),
+        mask_ratio,
         start: Instant::now(),
         observer,
     })
 }
 
+/// Stable lowercase label of a compute path, as reported in
+/// [`KernelEvent::path`] and trace span args.
+pub fn path_label(path: pool::ComputePath) -> &'static str {
+    match path {
+        pool::ComputePath::Scalar => "scalar",
+        pool::ComputePath::Parallel => "parallel",
+        pool::ComputePath::Fused => "fused",
+        pool::ComputePath::Sparse => "sparse",
+    }
+}
+
 /// RAII guard reporting one kernel execution on drop.
 pub struct KernelSpan {
     name: &'static str,
+    path: &'static str,
+    mask_ratio: Option<f32>,
     start: Instant,
     observer: Observer,
 }
 
 impl Drop for KernelSpan {
     fn drop(&mut self) {
-        (self.observer)(self.name, self.start, Instant::now());
+        (self.observer)(&KernelEvent {
+            name: self.name,
+            path: self.path,
+            mask_ratio: self.mask_ratio,
+            start: self.start,
+            end: Instant::now(),
+        });
     }
 }
 
@@ -76,19 +131,37 @@ mod tests {
         // state, and tests in this binary run concurrently.
         let hits = Arc::new(AtomicU32::new(0));
         let h2 = Arc::clone(&hits);
-        set_observer(Some(Arc::new(move |name, t0, t1| {
+        set_observer(Some(Arc::new(move |ev: &KernelEvent| {
             // Other tests' kernels may fire concurrently; only count
-            // our own span.
-            if name == "unit_kernel" && t1 >= t0 {
+            // our own spans.
+            if ev.name == "unit_kernel" && ev.end >= ev.start {
+                assert_eq!(ev.path, "scalar");
+                assert_eq!(ev.mask_ratio, None);
                 h2.fetch_add(1, Ordering::Relaxed);
+            }
+            if ev.name == "unit_sparse" {
+                assert_eq!(ev.mask_ratio, Some(0.25));
+                h2.fetch_add(10, Ordering::Relaxed);
             }
         })));
         assert!(enabled());
-        drop(span("unit_kernel"));
+        pool::with_compute_path(pool::ComputePath::Scalar, || {
+            drop(span("unit_kernel"));
+        });
         assert_eq!(hits.load(Ordering::Relaxed), 1);
+        drop(span_masked("unit_sparse", 0.25));
+        assert_eq!(hits.load(Ordering::Relaxed), 11);
         set_observer(None);
         assert!(!enabled());
         assert!(span("unit_kernel").is_none());
-        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        assert_eq!(hits.load(Ordering::Relaxed), 11);
+    }
+
+    #[test]
+    fn path_labels_are_stable() {
+        assert_eq!(path_label(pool::ComputePath::Scalar), "scalar");
+        assert_eq!(path_label(pool::ComputePath::Parallel), "parallel");
+        assert_eq!(path_label(pool::ComputePath::Fused), "fused");
+        assert_eq!(path_label(pool::ComputePath::Sparse), "sparse");
     }
 }

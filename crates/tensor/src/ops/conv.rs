@@ -66,6 +66,7 @@ pub fn conv3x3(x: &Tensor, h: usize, w: usize, kernel: &Tensor, bias: &Tensor) -
         h,
         w * c_out,
         w * 18 * c_in * c_out,
+        pool::KernelClass::Conv,
         |y0, chunk| {
             for (yi, grid_row) in chunk.chunks_exact_mut(w * c_out).enumerate() {
                 let y = y0 + yi;

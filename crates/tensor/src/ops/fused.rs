@@ -48,13 +48,20 @@ pub fn ada_layer_norm(
     let xd = x.data();
     let (gd, bd) = (gamma.data(), beta.data());
     let (sd, hd) = (scale.data(), shift.data());
-    pool::for_each_row_chunk(&mut out, rows, cols, 8 * cols, |r0, chunk| {
-        for (ri, orow) in chunk.chunks_exact_mut(cols).enumerate() {
-            let r = r0 + ri;
-            layer_norm_row(&xd[r * cols..(r + 1) * cols], orow, gd, bd);
-            modulate_row_inplace(orow, sd, hd);
-        }
-    });
+    pool::for_each_row_chunk(
+        &mut out,
+        rows,
+        cols,
+        8 * cols,
+        pool::KernelClass::RowWise,
+        |r0, chunk| {
+            for (ri, orow) in chunk.chunks_exact_mut(cols).enumerate() {
+                let r = r0 + ri;
+                layer_norm_row(&xd[r * cols..(r + 1) * cols], orow, gd, bd);
+                modulate_row_inplace(orow, sd, hd);
+            }
+        },
+    );
     Tensor::from_vec(out, [rows, cols])
 }
 
@@ -78,12 +85,19 @@ pub fn matmul_gelu(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let mut out = scratch::take(m * n);
     let ad = a.data();
     let bd = b.data();
-    pool::for_each_row_chunk(&mut out, m, n, 2 * k * n + 8 * n, |r0, chunk| {
-        matmul_rows(chunk, r0, ad, bd, k, n);
-        for o in chunk.iter_mut() {
-            *o = gelu_scalar(*o);
-        }
-    });
+    pool::for_each_row_chunk(
+        &mut out,
+        m,
+        n,
+        2 * k * n + 8 * n,
+        pool::KernelClass::Gemm,
+        |r0, chunk| {
+            matmul_rows(chunk, r0, ad, bd, k, n);
+            for o in chunk.iter_mut() {
+                *o = gelu_scalar(*o);
+            }
+        },
+    );
     Tensor::from_vec(out, [m, n])
 }
 
@@ -122,33 +136,40 @@ pub fn mha_fused(q: &Tensor, k: &Tensor, v: &Tensor, heads: usize, scale: f32) -
     let dh = h / heads;
     let mut out = scratch::take(n * h);
     let (qd, kd, vd) = (q.data(), k.data(), v.data());
-    pool::for_each_row_chunk(&mut out, n, h, 4 * h * l, |r0, chunk| {
-        let mut scores = scratch::take(l);
-        for (ri, orow) in chunk.chunks_exact_mut(h).enumerate() {
-            let i = r0 + ri;
-            for head in 0..heads {
-                let off = head * dh;
-                let qrow = &qd[i * h + off..i * h + off + dh];
-                for (j, s) in scores.iter_mut().enumerate() {
-                    let krow = &kd[j * h + off..j * h + off + dh];
-                    let mut acc = 0.0f32;
-                    for (&x, &y) in qrow.iter().zip(krow.iter()) {
-                        acc += x * y;
+    pool::for_each_row_chunk(
+        &mut out,
+        n,
+        h,
+        4 * h * l,
+        pool::KernelClass::Gemm,
+        |r0, chunk| {
+            let mut scores = scratch::take(l);
+            for (ri, orow) in chunk.chunks_exact_mut(h).enumerate() {
+                let i = r0 + ri;
+                for head in 0..heads {
+                    let off = head * dh;
+                    let qrow = &qd[i * h + off..i * h + off + dh];
+                    for (j, s) in scores.iter_mut().enumerate() {
+                        let krow = &kd[j * h + off..j * h + off + dh];
+                        let mut acc = 0.0f32;
+                        for (&x, &y) in qrow.iter().zip(krow.iter()) {
+                            acc += x * y;
+                        }
+                        *s = acc * scale;
                     }
-                    *s = acc * scale;
-                }
-                softmax_row_inplace(&mut scores);
-                let octx = &mut orow[off..off + dh];
-                for (p, &pv) in scores.iter().enumerate() {
-                    let vrow = &vd[p * h + off..p * h + off + dh];
-                    for (o, &vv) in octx.iter_mut().zip(vrow.iter()) {
-                        *o += pv * vv;
+                    softmax_row_inplace(&mut scores);
+                    let octx = &mut orow[off..off + dh];
+                    for (p, &pv) in scores.iter().enumerate() {
+                        let vrow = &vd[p * h + off..p * h + off + dh];
+                        for (o, &vv) in octx.iter_mut().zip(vrow.iter()) {
+                            *o += pv * vv;
+                        }
                     }
                 }
             }
-        }
-        scratch::give(scores);
-    });
+            scratch::give(scores);
+        },
+    );
     Tensor::from_vec(out, [n, h])
 }
 

@@ -1,15 +1,29 @@
 //! Matrix multiplication kernels.
 //!
-//! These are straightforward cache-friendly `ikj` loops. At the toy
-//! scales used by the FlashPS numeric substrate (token counts in the
-//! hundreds, hidden dims ≤ 256) they are comfortably fast, and their
-//! FLOP counts — the quantity Table 1 of the paper analyzes — are exact
-//! and easy to account for (see [`matmul_flops`]).
+//! The dense row kernel (`matmul_rows`, shared by [`matmul`] and the
+//! fused GEMM+GeLU) is cache-blocked: `MC` comes from the pool's row
+//! chunking, the `k` dimension is cut into `KC` strips, and output
+//! columns into `NC` panels whose `B` sub-block is packed into a
+//! contiguous scratch buffer; inside a panel a manually unrolled 4×8
+//! register micro-kernel (4 output rows × 8 columns of accumulators)
+//! does the work. [`matmul_bt`] uses a 4-wide column unroll that
+//! amortizes each `A`-row read over four dot products.
 //!
-//! All three kernels parallelize over *output rows* through
-//! [`crate::pool`]: each row's inner reduction runs the same scalar
-//! code in the same order on every path, so parallel results are
-//! bitwise identical to scalar ones.
+//! **Reduction order is load-bearing.** Every output element is still
+//! the sum `((0 + a·b)₀ + a·b)₁ + …` taken in ascending `p` order —
+//! blocking only changes *when* partial sums visit memory (an `f32`
+//! store/load round trip is exact), unrolling only changes *which
+//! independent elements* advance together, and no `mul_add` is used
+//! (hardware FMA rounds differently). So the tiled kernels are
+//! bit-for-bit identical to the straightforward `ikj` loop they
+//! replaced — which is kept as [`matmul_naive`], the frozen PR 4
+//! kernel that `bench_kernels` times as its "old scalar" baseline —
+//! and every byte-identity guarantee built on top (cache replays,
+//! committed artifacts, chaos reproducibility) is preserved.
+//!
+//! All kernels parallelize over *output rows* through [`crate::pool`]:
+//! each row's reduction runs in the same order on every path, so
+//! parallel results are bitwise identical to scalar ones.
 //!
 //! Earlier revisions skipped inner-product terms whose `A` element was
 //! exactly `0.0`. That branch is gone: it made measured kernel time
@@ -17,14 +31,23 @@
 //! Table 1 accounting, which this repo reproduces) count dense work, so
 //! timed FLOP/s could silently overstate the kernel on masked/padded
 //! operands. Mask-aware computation in this repo saves work by
-//! *gathering rows* (see [`super::gather`]), never by relying on
-//! incidental zeros, so the branch had no legitimate caller. Dropping
-//! it changes no result except the sign of a `-0.0` accumulation edge
-//! case (`acc + 0.0·b` can flip `-0.0` to `+0.0`).
+//! *gathering rows* (see [`super::gather`] and [`super::sparse`]),
+//! never by relying on incidental zeros.
 
 use crate::error::TensorError;
 use crate::tensor::Tensor;
 use crate::{ktrace, pool, scratch, Result};
+
+/// `k`-strip depth of the blocked kernel. Model shapes keep `k ≤ 256`,
+/// so most calls take one or two strips; the strip exists so a packed
+/// panel plus the active `A` rows stay L1/L2-resident at any `k`.
+const KC: usize = 128;
+/// Column width of one packed `B` panel.
+const NC: usize = 128;
+/// Rows of the register micro-kernel.
+const MR: usize = 4;
+/// Columns of the register micro-kernel.
+const NR: usize = 8;
 
 /// Returns the multiply-add FLOP count of an `[m, k] × [k, n]` matmul,
 /// counting one multiply and one add per inner-product term.
@@ -54,18 +77,29 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let mut out = scratch::take(m * n);
     let ad = a.data();
     let bd = b.data();
-    pool::for_each_row_chunk(&mut out, m, n, 2 * k * n, |r0, chunk| {
-        matmul_rows(chunk, r0, ad, bd, k, n);
-    });
+    pool::for_each_row_chunk(
+        &mut out,
+        m,
+        n,
+        2 * k * n,
+        pool::KernelClass::Gemm,
+        |r0, chunk| {
+            matmul_rows(chunk, r0, ad, bd, k, n);
+        },
+    );
     Tensor::from_vec(out, [m, n])
 }
 
-/// Scalar kernel for output rows `r0..` of `A · B`, written into
-/// `chunk`. The `ikj` order keeps the inner loop streaming over
-/// contiguous rows of B and the output, which is what makes this kernel
-/// usable at the sizes the diffusion substrate needs.
+/// The pre-tiling `ikj` kernel, frozen as the reference/baseline: for
+/// each output row, stream rows of `B` and accumulate into the output
+/// row in ascending-`p` order.
+///
+/// Kept for two reasons: `bench_kernels` times it as the "old scalar"
+/// baseline its tiled-GEMM gate compares against, and the identity
+/// tests use it as the order-of-operations oracle the blocked kernel
+/// must match bit-for-bit.
 #[inline]
-pub(crate) fn matmul_rows(
+pub(crate) fn matmul_rows_naive(
     chunk: &mut [f32],
     r0: usize,
     ad: &[f32],
@@ -82,6 +116,172 @@ pub(crate) fn matmul_rows(
                 *o += av * bv;
             }
         }
+    }
+}
+
+/// Serial `A · B` through the frozen naive kernel — the historical
+/// scalar GEMM `bench_kernels` measures its tiled-speedup gate
+/// against. Never pooled, never traced; not a production entry point.
+///
+/// # Errors
+///
+/// Returns an error if either operand is not rank-2 or the inner
+/// dimensions disagree.
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_rank2("matmul_naive", a)?;
+    check_rank2("matmul_naive", b)?;
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_naive",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = scratch::take(m * n);
+    matmul_rows_naive(&mut out, 0, a.data(), b.data(), k, n);
+    Tensor::from_vec(out, [m, n])
+}
+
+/// Blocked scalar kernel for output rows `r0..` of `A · B`, written
+/// into `chunk` (which arrives zero-filled from the scratch pool).
+///
+/// Loop nest: `KC` strips of `k` (ascending, partial sums parked in
+/// the output between strips), `NC` panels of columns with the `B`
+/// sub-block packed contiguous, then `MR`×`NR` register tiles over the
+/// chunk's rows. Each output element accumulates in ascending-`p`
+/// order throughout — see the module docs for why that is the one
+/// property this kernel must not trade away.
+#[inline]
+pub(crate) fn matmul_rows(
+    chunk: &mut [f32],
+    r0: usize,
+    ad: &[f32],
+    bd: &[f32],
+    k: usize,
+    n: usize,
+) {
+    if n == 0 {
+        return;
+    }
+    let rows = chunk.len() / n;
+    let mut pack = scratch::take(KC.min(k.max(1)) * NC.min(n));
+    let mut kc0 = 0;
+    while kc0 < k {
+        let kc_len = KC.min(k - kc0);
+        let mut nc0 = 0;
+        while nc0 < n {
+            let nc_len = NC.min(n - nc0);
+            // Pack the [kc_len, nc_len] sub-block of B contiguously so
+            // the micro-kernel streams it with unit stride.
+            for p in 0..kc_len {
+                pack[p * nc_len..(p + 1) * nc_len]
+                    .copy_from_slice(&bd[(kc0 + p) * n + nc0..(kc0 + p) * n + nc0 + nc_len]);
+            }
+            let mut r = 0;
+            while r + MR <= rows {
+                let arows = [
+                    &ad[(r0 + r) * k + kc0..][..kc_len],
+                    &ad[(r0 + r + 1) * k + kc0..][..kc_len],
+                    &ad[(r0 + r + 2) * k + kc0..][..kc_len],
+                    &ad[(r0 + r + 3) * k + kc0..][..kc_len],
+                ];
+                micro_kernel_4(chunk, r, n, nc0, nc_len, &pack, arows);
+                r += MR;
+            }
+            while r < rows {
+                let arow = &ad[(r0 + r) * k + kc0..][..kc_len];
+                micro_kernel_1(chunk, r, n, nc0, nc_len, &pack, arow);
+                r += 1;
+            }
+            nc0 += nc_len;
+        }
+        kc0 += kc_len;
+    }
+    scratch::give(pack);
+}
+
+/// 4-row micro-kernel: advances rows `r..r+4` of the output by one
+/// packed panel, `NR` columns of register accumulators at a time.
+#[inline]
+fn micro_kernel_4(
+    chunk: &mut [f32],
+    r: usize,
+    n: usize,
+    nc0: usize,
+    nc_len: usize,
+    pack: &[f32],
+    arows: [&[f32]; MR],
+) {
+    let kc_len = arows[0].len();
+    let mut j0 = 0;
+    while j0 + NR <= nc_len {
+        // Load the in-progress partial sums (exact f32 round trip).
+        let mut acc = [[0.0f32; NR]; MR];
+        for (u, accr) in acc.iter_mut().enumerate() {
+            accr.copy_from_slice(&chunk[(r + u) * n + nc0 + j0..][..NR]);
+        }
+        for p in 0..kc_len {
+            let bp: &[f32; NR] = pack[p * nc_len + j0..][..NR].try_into().expect("NR cols");
+            for (accr, arow) in acc.iter_mut().zip(arows.iter()) {
+                let av = arow[p];
+                for (o, &bv) in accr.iter_mut().zip(bp.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+        for (u, accr) in acc.iter().enumerate() {
+            chunk[(r + u) * n + nc0 + j0..][..NR].copy_from_slice(accr);
+        }
+        j0 += NR;
+    }
+    // Column remainder: per-element register accumulation, still
+    // ascending p.
+    for j in j0..nc_len {
+        for (u, arow) in arows.iter().enumerate() {
+            let o = &mut chunk[(r + u) * n + nc0 + j];
+            let mut acc = *o;
+            for (p, &av) in arow.iter().enumerate() {
+                acc += av * pack[p * nc_len + j];
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// Single-row edition of the micro-kernel for the chunk's row
+/// remainder.
+#[inline]
+fn micro_kernel_1(
+    chunk: &mut [f32],
+    r: usize,
+    n: usize,
+    nc0: usize,
+    nc_len: usize,
+    pack: &[f32],
+    arow: &[f32],
+) {
+    let mut j0 = 0;
+    while j0 + NR <= nc_len {
+        let mut acc = [0.0f32; NR];
+        acc.copy_from_slice(&chunk[r * n + nc0 + j0..][..NR]);
+        for (p, &av) in arow.iter().enumerate() {
+            let bp: &[f32; NR] = pack[p * nc_len + j0..][..NR].try_into().expect("NR cols");
+            for (o, &bv) in acc.iter_mut().zip(bp.iter()) {
+                *o += av * bv;
+            }
+        }
+        chunk[r * n + nc0 + j0..][..NR].copy_from_slice(&acc);
+        j0 += NR;
+    }
+    for j in j0..nc_len {
+        let o = &mut chunk[r * n + nc0 + j];
+        let mut acc = *o;
+        for (p, &av) in arow.iter().enumerate() {
+            acc += av * pack[p * nc_len + j];
+        }
+        *o = acc;
     }
 }
 
@@ -111,14 +311,24 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let mut out = scratch::take(m * n);
     let ad = a.data();
     let bd = b.data();
-    pool::for_each_row_chunk(&mut out, m, n, 2 * k * n, |r0, chunk| {
-        matmul_bt_rows(chunk, r0, ad, bd, k, n);
-    });
+    pool::for_each_row_chunk(
+        &mut out,
+        m,
+        n,
+        2 * k * n,
+        pool::KernelClass::Gemm,
+        |r0, chunk| {
+            matmul_bt_rows(chunk, r0, ad, bd, k, n);
+        },
+    );
     Tensor::from_vec(out, [m, n])
 }
 
-/// Scalar kernel for output rows `r0..` of `A · Bᵀ`: one dot product
-/// of contiguous rows per output element.
+/// Scalar kernel for output rows `r0..` of `A · Bᵀ`: dot products of
+/// contiguous rows, unrolled 4 output columns wide so each read of the
+/// `A` row feeds four independent accumulators. Each accumulator is
+/// still a single ascending-`k` sum, so the unroll is bitwise
+/// invisible.
 #[inline]
 pub(crate) fn matmul_bt_rows(
     chunk: &mut [f32],
@@ -131,8 +341,27 @@ pub(crate) fn matmul_bt_rows(
     for (ri, orow) in chunk.chunks_exact_mut(n).enumerate() {
         let i = r0 + ri;
         let arow = &ad[i * k..(i + 1) * k];
-        for (j, o) in orow.iter_mut().enumerate() {
-            let brow = &bd[j * k..(j + 1) * k];
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = &bd[j * k..(j + 1) * k];
+            let b1 = &bd[(j + 1) * k..(j + 2) * k];
+            let b2 = &bd[(j + 2) * k..(j + 3) * k];
+            let b3 = &bd[(j + 3) * k..(j + 4) * k];
+            let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for (t, &x) in arow.iter().enumerate() {
+                a0 += x * b0[t];
+                a1 += x * b1[t];
+                a2 += x * b2[t];
+                a3 += x * b3[t];
+            }
+            orow[j] = a0;
+            orow[j + 1] = a1;
+            orow[j + 2] = a2;
+            orow[j + 3] = a3;
+            j += 4;
+        }
+        for (jj, o) in orow.iter_mut().enumerate().skip(j) {
+            let brow = &bd[jj * k..(jj + 1) * k];
             let mut acc = 0.0f32;
             for (&x, &y) in arow.iter().zip(brow.iter()) {
                 acc += x * y;
@@ -165,23 +394,30 @@ pub fn matmul_tb(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let mut out = scratch::take(m * n);
     let ad = a.data();
     let bd = b.data();
-    pool::for_each_row_chunk(&mut out, m, n, 2 * k * n, |r0, chunk| {
-        // Per output row `i`, the accumulation still walks `p`
-        // ascending — the same reduction order as the historical
-        // `p`-outer loop — so row-chunking leaves every element
-        // bit-for-bit unchanged. Only the read of `A` (stride `m`)
-        // differs from the dense kernels above.
-        for (ri, orow) in chunk.chunks_exact_mut(n).enumerate() {
-            let i = r0 + ri;
-            for p in 0..k {
-                let av = ad[p * m + i];
-                let brow = &bd[p * n..(p + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                    *o += av * bv;
+    pool::for_each_row_chunk(
+        &mut out,
+        m,
+        n,
+        2 * k * n,
+        pool::KernelClass::Gemm,
+        |r0, chunk| {
+            // Per output row `i`, the accumulation still walks `p`
+            // ascending — the same reduction order as the historical
+            // `p`-outer loop — so row-chunking leaves every element
+            // bit-for-bit unchanged. Only the read of `A` (stride `m`)
+            // differs from the dense kernels above.
+            for (ri, orow) in chunk.chunks_exact_mut(n).enumerate() {
+                let i = r0 + ri;
+                for p in 0..k {
+                    let av = ad[p * m + i];
+                    let brow = &bd[p * n..(p + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                        *o += av * bv;
+                    }
                 }
             }
-        }
-    });
+        },
+    );
     Tensor::from_vec(out, [m, n])
 }
 
@@ -223,6 +459,7 @@ mod tests {
         let a = Tensor::zeros([2, 3]);
         let b = Tensor::zeros([4, 2]);
         assert!(matmul(&a, &b).is_err());
+        assert!(matmul_naive(&a, &b).is_err());
     }
 
     #[test]
@@ -232,6 +469,7 @@ mod tests {
         assert!(matmul(&a, &b).is_err());
         assert!(matmul_bt(&a, &b).is_err());
         assert!(matmul_tb(&a, &b).is_err());
+        assert!(matmul_naive(&a, &b).is_err());
     }
 
     #[test]
@@ -261,6 +499,35 @@ mod tests {
         let b = Tensor::randn([8, 2], &mut rng);
         let c = matmul(&a, &b).unwrap();
         assert_eq!(c.dims(), &[3, 2]);
+    }
+
+    /// The blocked kernel must be bit-for-bit the naive `ikj` loop at
+    /// every shape class the blocking distinguishes: micro-kernel
+    /// remainders in rows and columns, single/partial/multiple KC
+    /// strips and NC panels.
+    #[test]
+    fn tiled_kernel_is_bitwise_identical_to_naive() {
+        let mut rng = DetRng::new(0x7A11);
+        let shapes = [
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 8, 8),
+            (5, 9, 11),
+            (MR, KC, NR),
+            (MR + 1, KC + 3, NR + 1),
+            (7, KC * 2 + 5, NC + 9),
+            (16, 64, NC * 2 + 3),
+            (33, 130, 17),
+        ];
+        for &(m, k, n) in &shapes {
+            let a = Tensor::randn([m, k], &mut rng);
+            let b = Tensor::randn([k, n], &mut rng);
+            let tiled = matmul(&a, &b).unwrap();
+            let naive = matmul_naive(&a, &b).unwrap();
+            let tb: Vec<u32> = tiled.data().iter().map(|v| v.to_bits()).collect();
+            let nb: Vec<u32> = naive.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(tb, nb, "[{m}x{k}]x[{k}x{n}] tiled != naive");
+        }
     }
 
     #[test]

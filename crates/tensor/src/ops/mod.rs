@@ -9,11 +9,14 @@
 //! - [`gather`] — token gather/scatter, the primitive behind mask-aware
 //!   computation (extracting masked-token rows, replenishing cached
 //!   unmasked rows).
-//! - [`conv`] — 3×3 grid convolution, the UNet scaffold operator that
-//!   mask-aware computation leaves untouched (spatial mixing).
+//! - [`conv`] — 3×3 grid convolution, the UNet scaffold operator whose
+//!   spatial mixing forces the sparse path to dilate its masks.
 //! - [`reduce`] — axis reductions, cosine similarity, mean/covariance.
 //! - [`fused`] — fused AdaLN+modulate, per-head attention, and
 //!   matmul+GeLU kernels, bitwise identical to their compositions.
+//! - [`sparse`] — mask-sparse gather→compute→scatter variants of the
+//!   measured kernels, driven by a per-edit [`sparse::SparsePlan`];
+//!   their FLOPs (and wall time) scale with the mask ratio.
 
 pub mod activation;
 pub mod conv;
@@ -23,12 +26,14 @@ pub mod matmul;
 pub mod norm;
 pub mod reduce;
 pub mod softmax;
+pub mod sparse;
 
 pub use activation::{gelu, silu};
 pub use conv::conv3x3;
 pub use fused::{ada_layer_norm, matmul_gelu, mha_fused};
 pub use gather::{gather_rows, scatter_rows, scatter_rows_into};
-pub use matmul::{matmul, matmul_bt, matmul_tb};
+pub use matmul::{matmul, matmul_bt, matmul_naive, matmul_tb};
 pub use norm::{group_norm, layer_norm, modulate, rms_norm};
 pub use reduce::{cosine_similarity, mean_axis0, row_covariance};
 pub use softmax::softmax_rows;
+pub use sparse::SparsePlan;

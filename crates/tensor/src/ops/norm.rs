@@ -26,12 +26,19 @@ pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor) -> Result<Tensor> {
     let mut out = scratch::take(rows * cols);
     let xd = x.data();
     let (gd, bd) = (gamma.data(), beta.data());
-    pool::for_each_row_chunk(&mut out, rows, cols, 6 * cols, |r0, chunk| {
-        for (ri, orow) in chunk.chunks_exact_mut(cols).enumerate() {
-            let r = r0 + ri;
-            layer_norm_row(&xd[r * cols..(r + 1) * cols], orow, gd, bd);
-        }
-    });
+    pool::for_each_row_chunk(
+        &mut out,
+        rows,
+        cols,
+        6 * cols,
+        pool::KernelClass::RowWise,
+        |r0, chunk| {
+            for (ri, orow) in chunk.chunks_exact_mut(cols).enumerate() {
+                let r = r0 + ri;
+                layer_norm_row(&xd[r * cols..(r + 1) * cols], orow, gd, bd);
+            }
+        },
+    );
     Tensor::from_vec(out, [rows, cols])
 }
 

@@ -29,13 +29,20 @@ pub fn softmax_rows(x: &Tensor) -> Result<Tensor> {
     let xd = x.data();
     // `exp` makes softmax rows pricier than their element count; the
     // factor here only biases the parallel-dispatch threshold.
-    pool::for_each_row_chunk(&mut out, rows, cols, 8 * cols, |r0, chunk| {
-        for (ri, orow) in chunk.chunks_exact_mut(cols).enumerate() {
-            let r = r0 + ri;
-            orow.copy_from_slice(&xd[r * cols..(r + 1) * cols]);
-            softmax_row_inplace(orow);
-        }
-    });
+    pool::for_each_row_chunk(
+        &mut out,
+        rows,
+        cols,
+        8 * cols,
+        pool::KernelClass::RowWise,
+        |r0, chunk| {
+            for (ri, orow) in chunk.chunks_exact_mut(cols).enumerate() {
+                let r = r0 + ri;
+                orow.copy_from_slice(&xd[r * cols..(r + 1) * cols]);
+                softmax_row_inplace(orow);
+            }
+        },
+    );
     Tensor::from_vec(out, [rows, cols])
 }
 

@@ -22,9 +22,18 @@
 //!   (the nested caller drains its own region itself).
 //! - Kernel dispatch is controlled per-thread via [`ComputePath`]:
 //!   `Scalar` forces the reference path, `Parallel` enables pooled
-//!   row-chunking, and `Fused` (the default) additionally enables the
-//!   fused kernels in `ops::fused`. Benchmarks and identity tests
+//!   row-chunking, `Fused` (the default) additionally enables the
+//!   fused kernels in `ops::fused`, and `Sparse` further enables
+//!   mask-sparse gather→compute→scatter execution in layers that hold
+//!   a `SparsePlan` (`ops::sparse`). Benchmarks and identity tests
 //!   switch paths with [`with_compute_path`] and compare outputs.
+//! - Row-chunking only pays off once the serial work dwarfs the cost
+//!   of waking workers, and that break-even point differs per kernel
+//!   family, so thresholds are *calibrated*: [`calibration`] measures
+//!   the pool's empty-region dispatch overhead and each
+//!   [`KernelClass`]'s serial ns-per-work-unit once per process, and
+//!   [`for_each_row_chunk`] stays serial below the class's measured
+//!   break-even (with 8× headroom).
 //! - Serving threads are spawned through [`spawn_service`] so thread
 //!   creation for the whole stack is centralized here; see
 //!   `flashps::server::ThreadedServer`.
@@ -45,16 +54,32 @@ pub enum ComputePath {
     /// Pooled kernels plus the fused attention/AdaLN/FFN kernels
     /// (bitwise identical to `Scalar`). The default.
     Fused,
+    /// Everything `Fused` enables, plus mask-sparse execution where a
+    /// [`SparsePlan`](crate::ops::sparse::SparsePlan) is available:
+    /// layers that hold a plan (the diffusion scaffold, the sparse
+    /// kernel entry points in `ops::sparse`) gather the active rows,
+    /// run the dense kernels on them, and scatter back, filling the
+    /// inactive region from a caller-supplied template. Dense kernels
+    /// without a plan behave exactly like `Fused`.
+    Sparse,
 }
 
 thread_local! {
     static PATH: Cell<ComputePath> = const { Cell::new(ComputePath::Fused) };
-    static MIN_WORK: Cell<usize> = const { Cell::new(DEFAULT_MIN_PARALLEL_WORK) };
+    static MIN_WORK: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
-/// Below this much work (in multiply-add-ish units) a kernel stays
-/// serial: chunk dispatch costs more than it saves.
+/// Floor of the calibrated thresholds: below this much work (in
+/// multiply-add-ish units) a kernel always stays serial.
 const DEFAULT_MIN_PARALLEL_WORK: usize = 32 * 1024;
+
+/// Ceiling of the calibrated thresholds, so a wildly noisy calibration
+/// sample cannot pin a kernel class serial forever on big hosts.
+const MAX_MIN_PARALLEL_WORK: usize = 64 * 1024 * 1024;
+
+/// Serial work must exceed the pool's measured dispatch overhead by at
+/// least this factor before row-chunking is worth attempting.
+const DISPATCH_HEADROOM: f64 = 8.0;
 
 /// Returns the calling thread's current kernel dispatch path.
 pub fn compute_path() -> ComputePath {
@@ -76,24 +101,217 @@ pub fn with_compute_path<T>(path: ComputePath, f: impl FnOnce() -> T) -> T {
     f()
 }
 
-/// Runs `f` with the parallel-dispatch work threshold set to `work`
-/// (0 parallelizes everything — used by identity tests to exercise the
-/// pooled path on tiny shapes).
+/// Runs `f` with the parallel-dispatch work threshold pinned to `work`
+/// for every kernel class, overriding the calibrated per-class
+/// thresholds (0 parallelizes everything — used by identity tests to
+/// exercise the pooled path on tiny shapes).
 pub fn with_min_parallel_work<T>(work: usize, f: impl FnOnce() -> T) -> T {
-    struct Restore(usize);
+    struct Restore(Option<usize>);
     impl Drop for Restore {
         fn drop(&mut self) {
             MIN_WORK.with(|p| p.set(self.0));
         }
     }
-    let _restore = Restore(MIN_WORK.with(|p| p.replace(work)));
+    let _restore = Restore(MIN_WORK.with(|p| p.replace(Some(work))));
     f()
 }
 
 /// True when the calling thread's path enables the fused kernels.
 pub fn fused_enabled() -> bool {
-    compute_path() == ComputePath::Fused
+    matches!(compute_path(), ComputePath::Fused | ComputePath::Sparse)
 }
+
+/// True when the calling thread's path enables mask-sparse execution
+/// in plan-holding layers.
+pub fn sparse_enabled() -> bool {
+    compute_path() == ComputePath::Sparse
+}
+
+/// Kernel families whose parallel-dispatch thresholds are calibrated
+/// separately: a "work unit" buys different amounts of wall time in a
+/// GEMM inner loop, a row-wise normalization, and a conv tap loop, so
+/// one shared constant either over- or under-dispatches somewhere
+/// (the committed PR 4 baseline showed sdxl `layer_norm` and sd21
+/// `ffn_gemm` regressing under pooled dispatch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelClass {
+    /// Dense matrix products and attention (`matmul*`, `mha_fused`,
+    /// the VAE patch projections).
+    Gemm,
+    /// Row-wise maps and reductions (`softmax_rows`, `layer_norm`,
+    /// `ada_layer_norm`).
+    RowWise,
+    /// Spatial tap loops (`conv3x3`).
+    Conv,
+}
+
+const N_KERNEL_CLASSES: usize = 3;
+
+/// Per-class parallel-dispatch thresholds, measured once per process.
+#[derive(Debug, Clone, Copy)]
+pub struct Calibration {
+    /// Wall time of one empty pooled region (chunk dispatch, wakeup,
+    /// completion signalling), in nanoseconds.
+    pub dispatch_overhead_ns: f64,
+    /// Measured serial nanoseconds per work unit, per kernel class.
+    pub ns_per_unit: [f64; N_KERNEL_CLASSES],
+    /// Minimum work units before a kernel of each class row-chunks.
+    pub min_work: [usize; N_KERNEL_CLASSES],
+}
+
+/// Returns the process-wide dispatch calibration, measuring it on
+/// first use: the pool's empty-region overhead and each class's serial
+/// ns-per-work-unit on a small reference loop. A kernel class only
+/// parallelizes once its serial time exceeds `DISPATCH_HEADROOM ×` the
+/// dispatch overhead, so shapes where the pool cannot win (the PR 4
+/// regressions) stay serial on any host.
+pub fn calibration() -> &'static Calibration {
+    static CAL: OnceLock<Calibration> = OnceLock::new();
+    CAL.get_or_init(|| {
+        let pool = global();
+        let dispatch_overhead_ns = if pool.threads() <= 1 {
+            0.0
+        } else {
+            let reps = 24;
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let t0 = std::time::Instant::now();
+                pool.run(pool.threads() * 4, |i| {
+                    std::hint::black_box(i);
+                });
+                best = best.min(t0.elapsed().as_nanos() as f64);
+            }
+            best
+        };
+        let ns_per_unit = [
+            calibrate_gemm_ns_per_unit(),
+            calibrate_rowwise_ns_per_unit(),
+            calibrate_conv_ns_per_unit(),
+        ];
+        // On a single-hardware-thread host, row-chunking can never beat
+        // serial — the workers time-slice one core and dispatch is pure
+        // overhead — so every class pins to the ceiling regardless of
+        // what the (meaningless) overhead probe measured. Tests still
+        // force the pool through `with_min_parallel_work(0, ..)`.
+        let cores = std::thread::available_parallelism().map_or(1, usize::from);
+        let mut min_work = [DEFAULT_MIN_PARALLEL_WORK; N_KERNEL_CLASSES];
+        for (mw, &ns) in min_work.iter_mut().zip(&ns_per_unit) {
+            if cores <= 1 {
+                *mw = MAX_MIN_PARALLEL_WORK;
+            } else {
+                let units = (DISPATCH_HEADROOM * dispatch_overhead_ns / ns.max(1e-3)) as usize;
+                *mw = units.clamp(DEFAULT_MIN_PARALLEL_WORK, MAX_MIN_PARALLEL_WORK);
+            }
+        }
+        Calibration {
+            dispatch_overhead_ns,
+            ns_per_unit,
+            min_work,
+        }
+    })
+}
+
+/// Returns the calling thread's effective dispatch threshold for a
+/// kernel class: the scoped [`with_min_parallel_work`] override when
+/// one is active, else the calibrated per-class value.
+pub fn min_parallel_work(class: KernelClass) -> usize {
+    if let Some(work) = MIN_WORK.with(Cell::get) {
+        return work;
+    }
+    calibration().min_work[class as usize]
+}
+
+/// Times `iters` runs of `f`, whose body performs `units` work units,
+/// and returns the best-case serial nanoseconds per unit.
+fn best_ns_per_unit(iters: usize, units: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = std::time::Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_nanos() as f64);
+    }
+    best / units as f64
+}
+
+fn calibrate_gemm_ns_per_unit() -> f64 {
+    // 16×32 · 32×32 ikj product: 2·m·k·n = 32768 units.
+    let (m, k, n) = (16usize, 32usize, 32usize);
+    let a: Vec<f32> = (0..m * k).map(|i| (i % 13) as f32 * 0.25).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| (i % 7) as f32 * 0.5).collect();
+    let mut c = vec![0.0f32; m * n];
+    best_ns_per_unit(8, 2 * m * k * n, || {
+        c.iter_mut().for_each(|v| *v = 0.0);
+        for i in 0..m {
+            for (p, &av) in a[i * k..(i + 1) * k].iter().enumerate() {
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in c[i * n..(i + 1) * n].iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        std::hint::black_box(&mut c);
+    })
+}
+
+fn calibrate_rowwise_ns_per_unit() -> f64 {
+    // 64 rows of a 64-wide mean/var/normalize pass: 6·rows·cols units.
+    let (rows, cols) = (64usize, 64usize);
+    let x: Vec<f32> = (0..rows * cols).map(|i| (i % 11) as f32 * 0.1).collect();
+    let mut out = vec![0.0f32; rows * cols];
+    best_ns_per_unit(8, 6 * rows * cols, || {
+        for (row, orow) in x.chunks_exact(cols).zip(out.chunks_exact_mut(cols)) {
+            let mean = row.iter().sum::<f32>() / cols as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+            let inv = 1.0 / (var + 1e-5).sqrt();
+            for (o, &v) in orow.iter_mut().zip(row) {
+                *o = (v - mean) * inv;
+            }
+        }
+        std::hint::black_box(&mut out);
+    })
+}
+
+fn calibrate_conv_ns_per_unit() -> f64 {
+    // 8×8 grid, 4→4 channels, 9 taps: w·18·c_in·c_out units per row.
+    let (h, w, c) = (8usize, 8usize, 4usize);
+    let x: Vec<f32> = (0..h * w * c).map(|i| (i % 9) as f32 * 0.2).collect();
+    let kern: Vec<f32> = (0..9 * c * c).map(|i| (i % 5) as f32 * 0.1).collect();
+    let mut out = vec![0.0f32; h * w * c];
+    best_ns_per_unit(8, h * w * 18 * c * c, || {
+        out.iter_mut().for_each(|v| *v = 0.0);
+        for y in 0..h {
+            for xc in 0..w {
+                let orow = &mut out[(y * w + xc) * c..(y * w + xc + 1) * c];
+                for (tap, (dy, dx)) in CAL_TAPS.iter().enumerate() {
+                    let (py, px) = (y as i64 + dy, xc as i64 + dx);
+                    if py < 0 || px < 0 || py >= h as i64 || px >= w as i64 {
+                        continue;
+                    }
+                    let src = &x[(py as usize * w + px as usize) * c..][..c];
+                    for (ci, &v) in src.iter().enumerate() {
+                        let krow = &kern[(tap * c + ci) * c..][..c];
+                        for (o, &kv) in orow.iter_mut().zip(krow) {
+                            *o += v * kv;
+                        }
+                    }
+                }
+            }
+        }
+        std::hint::black_box(&mut out);
+    })
+}
+
+const CAL_TAPS: [(i64, i64); 9] = [
+    (-1, -1),
+    (-1, 0),
+    (-1, 1),
+    (0, -1),
+    (0, 0),
+    (0, 1),
+    (1, -1),
+    (1, 0),
+    (1, 1),
+];
 
 /// One parallel region in flight: a lifetime-erased task plus claim
 /// and completion counters.
@@ -306,15 +524,17 @@ fn default_threads() -> usize {
 
 /// Dispatches a row-wise kernel: serial on the calling thread when the
 /// path is [`ComputePath::Scalar`], the estimated work is below the
-/// threshold, or the global pool is serial; pooled row chunks
-/// otherwise. `f(first_row, chunk)` must fill `chunk` (rows
+/// class's calibrated threshold, or the global pool is serial; pooled
+/// row chunks otherwise. `f(first_row, chunk)` must fill `chunk` (rows
 /// `first_row..`) using the scalar per-row kernel; `work_per_row` is a
-/// rough per-row flop count used only for the dispatch decision.
+/// rough per-row flop count used only for the dispatch decision,
+/// compared against [`min_parallel_work`] for `class`.
 pub fn for_each_row_chunk<F>(
     out: &mut [f32],
     rows: usize,
     row_len: usize,
     work_per_row: usize,
+    class: KernelClass,
     f: F,
 ) where
     F: Fn(usize, &mut [f32]) + Sync,
@@ -326,7 +546,7 @@ pub fn for_each_row_chunk<F>(
     let serial = compute_path() == ComputePath::Scalar
         || pool.threads() <= 1
         || rows < 2
-        || rows.saturating_mul(work_per_row) < MIN_WORK.with(Cell::get);
+        || rows.saturating_mul(work_per_row) < min_parallel_work(class);
     if serial {
         f(0, out);
     } else {
@@ -443,9 +663,42 @@ mod tests {
     fn min_work_threshold_is_scoped() {
         let base = MIN_WORK.with(Cell::get);
         with_min_parallel_work(0, || {
-            assert_eq!(MIN_WORK.with(Cell::get), 0);
+            assert_eq!(MIN_WORK.with(Cell::get), Some(0));
+            assert_eq!(min_parallel_work(KernelClass::Gemm), 0);
+            assert_eq!(min_parallel_work(KernelClass::RowWise), 0);
         });
         assert_eq!(MIN_WORK.with(Cell::get), base);
+    }
+
+    #[test]
+    fn calibrated_thresholds_are_bounded_and_positive() {
+        let cal = calibration();
+        assert!(cal.dispatch_overhead_ns >= 0.0);
+        for (class, (&mw, &ns)) in cal.min_work.iter().zip(&cal.ns_per_unit).enumerate() {
+            assert!(ns > 0.0, "class {class}: non-positive ns/unit");
+            assert!(
+                (DEFAULT_MIN_PARALLEL_WORK..=MAX_MIN_PARALLEL_WORK).contains(&mw),
+                "class {class}: threshold {mw} outside clamp"
+            );
+        }
+        // Without a scoped override, the calibrated value is served.
+        assert_eq!(
+            min_parallel_work(KernelClass::Conv),
+            cal.min_work[KernelClass::Conv as usize]
+        );
+    }
+
+    #[test]
+    fn sparse_path_enables_fused_kernels() {
+        with_compute_path(ComputePath::Sparse, || {
+            assert!(fused_enabled());
+            assert!(sparse_enabled());
+        });
+        with_compute_path(ComputePath::Fused, || {
+            assert!(fused_enabled());
+            assert!(!sparse_enabled());
+        });
+        with_compute_path(ComputePath::Parallel, || assert!(!fused_enabled()));
     }
 
     #[test]

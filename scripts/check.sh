@@ -23,7 +23,11 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> trace_bubbles --smoke"
 cargo run --release -p fps-bench --bin trace_bubbles -- --smoke > /dev/null
 
-echo "==> bench_kernels --smoke"
+echo "==> bench_kernels --smoke (path identity + tiled/sparse gates, mode-tagged)"
+# Asserts bitwise identity across Scalar/Parallel/Fused/Sparse (incl.
+# the sparse GEMM row-split contract) and runs both speed gates; on
+# hosts under 4 cores the tiled gate runs in modeled-makespan mode, so
+# single-core CI cannot flake on wall-clock thread speedups.
 cargo run --release -p fps-bench --bin bench_kernels -- --smoke > /dev/null
 
 echo "==> bench_routing --smoke"
