@@ -1,0 +1,438 @@
+//! Cache placement & feedback routing: what popularity-aware replica
+//! placement and hit-rate feedback buy over the PR 7 defaults.
+//!
+//! Three experiments over the same four-shard fleet:
+//!
+//! - **Fingerprint** — the refactor's safety net: the exact PR 7
+//!   configuration (ring-order placement, unbounded budget, blind
+//!   affinity, a seeded crash storm) must reproduce a frozen behavior
+//!   fingerprint byte-for-byte. The fingerprint was captured on the
+//!   pre-refactor `ReplicatedStore`; if this assert fires, the
+//!   `PlacementPolicy` split changed legacy behavior.
+//! - **Placement sweep** — ring-order vs popularity placement at
+//!   Zipf {0.6, 1.0, 1.4} under diurnal load, a seeded replica-wipe
+//!   plan, and an *equal, binding* per-shard replica budget (half of
+//!   full replication). Ring-order admits in template-id order, so the
+//!   budget fills with whichever ids hash first — including each
+//!   tenant's cold tail; popularity admits hottest-first, so the same
+//!   bytes shield the templates that save the most recomputes.
+//! - **Routing** — blind bounded-load affinity vs feedback affinity on
+//!   identical placement under a seeded *slow-disk* plan (a storage
+//!   gray failure: the shard stays alive and routable, but its disk
+//!   promotes run several times slower). Health-based routing can't
+//!   see it; the feedback router prices the slow promotes into its
+//!   per-(shard, template) fetch-cost EWMA and steers non-resident
+//!   templates to shards whose disks are still fast.
+//!
+//! Four claims are asserted every run (smoke included, so
+//! `scripts/check.sh` gates them):
+//!
+//! 1. **Ring-order is the legacy store** — frozen-fingerprint equality
+//!    on the seeded PR 7 replay.
+//! 2. **Popularity beats ring-order** — strictly higher effective hit
+//!    rate at Zipf(1.0) with equal total capacity.
+//! 3. **Feedback beats blind affinity** — strictly lower cache-fetch
+//!    p95 under the same slow-disk plan.
+//! 4. **Replays are byte-identical** — every arm runs twice on the
+//!    calendar queue and once on the binary heap, and every accepted
+//!    request is accounted (conservation restated at the bench level).
+//!
+//! Flags: `--smoke` shrinks the sweep; the full run saves
+//! `results/fig_cache_placement.txt` and `.json`.
+
+use fps_bench::save_artifact;
+use fps_chaos::FleetFaultProfile;
+use fps_fleet::{FleetConfig, FleetReport, FleetSim, RouteStrategy};
+use fps_json::{Json, ToJson};
+use fps_maskcache::PlacementSpec;
+use fps_metrics::Table;
+use fps_simtime::SimTime;
+use fps_workload::{DiurnalConfig, FleetTrace, FleetTraceConfig, TenantSpec};
+
+const SHARDS: u32 = 4;
+/// Pre-refactor behavior fingerprint: captured from the PR 7
+/// `ReplicatedStore` (first-R-of-ring placement hardwired, no budget,
+/// no feedback) on the seeded replay below, before `PlacementPolicy`
+/// existed. Gate 1 replays the same config through the refactored
+/// stack and must reproduce these bytes exactly.
+const FROZEN_FINGERPRINT: &str = "{\"strategy\":\"affinity\",\"submitted\":995,\"served\":991,\"served_within_deadline\":991,\"shed\":0,\"deadline_rejected\":0,\"goodput_at_deadline_rps\":5.453188046726741,\"p95_latency_secs\":2.2595703124999997,\"cache_hits\":650,\"failover_hits\":343,\"cache_misses\":2,\"spills\":1,\"rerouted\":4,\"crash_failed\":0,\"parked_failed\":0,\"re_primed\":127,\"breaker_short_circuits\":0,\"shards\":[{\"shard\":0,\"submitted\":492,\"served\":492,\"shed\":0,\"deadline_rejected\":0,\"other_rejected\":0},{\"shard\":1,\"submitted\":185,\"served\":184,\"shed\":0,\"deadline_rejected\":0,\"other_rejected\":1},{\"shard\":2,\"submitted\":120,\"served\":117,\"shed\":0,\"deadline_rejected\":0,\"other_rejected\":3},{\"shard\":3,\"submitted\":198,\"served\":198,\"shed\":0,\"deadline_rejected\":0,\"other_rejected\":0}]}";
+
+/// Projects a report onto the fields the frozen fingerprint pins —
+/// behavior (routing, serving, cache traffic, fault handling), not the
+/// new observability fields this PR added.
+fn fingerprint(r: &FleetReport) -> String {
+    let shards: Vec<Json> = r
+        .shard_reports
+        .iter()
+        .map(|s| {
+            Json::object()
+                .with("shard", s.shard as u64)
+                .with("submitted", s.report.submitted)
+                .with("served", s.report.served)
+                .with("shed", s.report.shed)
+                .with("deadline_rejected", s.report.deadline_rejected)
+                .with("other_rejected", s.report.other_rejected)
+        })
+        .collect();
+    Json::object()
+        .with("strategy", r.strategy)
+        .with("submitted", r.fleet.fleet.submitted)
+        .with("served", r.fleet.fleet.served)
+        .with(
+            "served_within_deadline",
+            r.fleet.fleet.served_within_deadline,
+        )
+        .with("shed", r.fleet.fleet.shed)
+        .with("deadline_rejected", r.fleet.fleet.deadline_rejected)
+        .with(
+            "goodput_at_deadline_rps",
+            r.fleet.fleet.goodput_at_deadline_rps,
+        )
+        .with("p95_latency_secs", r.fleet.fleet.p95_latency_secs)
+        .with("cache_hits", r.cache_hits)
+        .with("failover_hits", r.failover_hits)
+        .with("cache_misses", r.cache_misses)
+        .with("spills", r.spills)
+        .with("rerouted", r.rerouted)
+        .with("crash_failed", r.crash_failed)
+        .with("parked_failed", r.parked_failed)
+        .with("re_primed", r.re_primed)
+        .with("breaker_short_circuits", r.breaker_short_circuits)
+        .with("shards", Json::Array(shards))
+        .to_string_compact()
+}
+
+/// The exact PR 7 configuration the fingerprint was captured on.
+fn legacy_config() -> (FleetConfig, FleetTrace) {
+    let horizon = 180.0;
+    let trace = FleetTrace::generate(&FleetTraceConfig {
+        tenants: vec![
+            TenantSpec::new("studio", 3.0, 48),
+            TenantSpec::new("retail", 2.5, 32),
+        ],
+        duration_secs: horizon,
+        diurnal: None,
+        seed: 0xCACE,
+    });
+    let config = FleetConfig {
+        shards: SHARDS,
+        workers_per_shard: 2,
+        max_batch: 4,
+        cache_capacity: 12,
+        deadline_secs: 4.5,
+        allow_degradation: false,
+        strategy: RouteStrategy::Affinity { load_factor: 1.25 },
+        replicas: 2,
+        reprime_on_churn: true,
+        retry_budget: 2,
+        recovery_window_secs: 10.0,
+        faults: FleetFaultProfile::CrashStorm.plan(
+            0xF1A9,
+            SimTime::from_nanos((horizon * 1e9) as u64),
+            SHARDS,
+        ),
+        ..Default::default()
+    };
+    (config, trace)
+}
+
+/// Diurnal two-tenant trace with per-sweep Zipf skew; tenants get
+/// disjoint template ranges, so ring-order's id-order admission spends
+/// budget on tenant 0's cold tail before tenant 1's hot head.
+fn sweep_trace(zipf_s: f64, duration_secs: f64) -> FleetTrace {
+    let tenant = |name: &str, rps: f64, n: usize| TenantSpec {
+        zipf_s,
+        ..TenantSpec::new(name, rps, n)
+    };
+    FleetTrace::generate(&FleetTraceConfig {
+        tenants: vec![tenant("studio", 3.0, 48), tenant("retail", 2.5, 32)],
+        duration_secs,
+        diurnal: Some(DiurnalConfig {
+            period_secs: duration_secs / 2.0,
+            amplitude: 0.4,
+            phase: 0.0,
+        }),
+        seed: 0x9ACE,
+    })
+}
+
+fn sweep_config(
+    placement: PlacementSpec,
+    strategy: RouteStrategy,
+    horizon_secs: f64,
+) -> FleetConfig {
+    FleetConfig {
+        shards: SHARDS,
+        workers_per_shard: 2,
+        max_batch: 4,
+        cache_capacity: 12,
+        deadline_secs: 4.5,
+        allow_degradation: false,
+        strategy,
+        replicas: 2,
+        reprime_on_churn: true,
+        retry_budget: 2,
+        recovery_window_secs: 10.0,
+        placement,
+        // Equal, binding budget in every arm: half of full replication
+        // (80 templates x R=2 over 4 shards = 40 copies/shard full).
+        replica_budget_templates: Some(20),
+        faults: FleetFaultProfile::ReplicaWipe.plan(
+            0xB10C,
+            SimTime::from_nanos((horizon_secs * 1e9) as u64),
+            SHARDS,
+        ),
+        ..Default::default()
+    }
+}
+
+/// Runs one arm three times — calendar, calendar again, heap — and
+/// asserts byte-identity plus request conservation.
+fn run_checked(label: &str, config: impl Fn() -> FleetConfig, trace: &FleetTrace) -> FleetReport {
+    let report = FleetSim::run(config(), trace);
+    let bytes = report.to_json().to_string_compact();
+    let replay = FleetSim::run(config(), trace).to_json().to_string_compact();
+    assert_eq!(bytes, replay, "{label}: replay diverged");
+    let heap = FleetSim::run_on_heap(config(), trace)
+        .to_json()
+        .to_string_compact();
+    assert_eq!(bytes, heap, "{label}: calendar and heap runs diverged");
+    let f = &report.fleet.fleet;
+    let accounted =
+        f.served + f.shed + f.deadline_rejected + report.crash_failed + report.parked_failed;
+    assert_eq!(
+        accounted,
+        trace.trace.len() as u64,
+        "{label}: {} of {} requests unaccounted",
+        trace.trace.len() as u64 - accounted,
+        trace.trace.len()
+    );
+    report
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let duration_secs = if smoke { 240.0 } else { 600.0 };
+
+    // Gate 1: the refactored stack replays the PR 7 fingerprint.
+    let (_, legacy_trace) = legacy_config();
+    let legacy = run_checked("legacy", || legacy_config().0, &legacy_trace);
+    assert_eq!(legacy.policy, "ring-order");
+    assert_eq!(legacy.replans, 0, "ring-order must never replan");
+    let fp = fingerprint(&legacy);
+    assert_eq!(
+        fp, FROZEN_FINGERPRINT,
+        "ring-order diverged from the pre-refactor store on the seeded replay"
+    );
+
+    // Placement sweep: ring-order vs popularity at three skews.
+    let skews = [0.6, 1.0, 1.4];
+    let mut placement_rows: Vec<(f64, FleetReport, FleetReport)> = Vec::new();
+    for &s in &skews {
+        let trace = sweep_trace(s, duration_secs);
+        let ring = run_checked(
+            "ring-order",
+            || {
+                sweep_config(
+                    PlacementSpec::RingOrder,
+                    RouteStrategy::Affinity { load_factor: 1.25 },
+                    duration_secs,
+                )
+            },
+            &trace,
+        );
+        let pop = run_checked(
+            "popularity",
+            || {
+                sweep_config(
+                    PlacementSpec::Popularity,
+                    RouteStrategy::Affinity { load_factor: 1.25 },
+                    duration_secs,
+                )
+            },
+            &trace,
+        );
+        assert_eq!(ring.policy, "ring-order");
+        assert_eq!(pop.policy, "popularity");
+        assert!(pop.replans > 0, "popularity never replanned at s={s}");
+        placement_rows.push((s, ring, pop));
+    }
+
+    // Routing: blind affinity vs feedback affinity, identical placement
+    // (ring-order, unbounded budget — placement held fixed so the only
+    // variable is the router) under a seeded slow-disk plan. A wipe's
+    // discovery cost is one-shot — write-through warms the serving
+    // shard, so no router can dodge it twice — but a disk *gray
+    // failure* recurs: the shard stays routable and health-silent
+    // while every LRU promote on it pays the degradation factor.
+    // Blind affinity keeps walking ring order and re-pays the slow
+    // promotes for the whole window; feedback prices them into the
+    // fetch-cost EWMA and steers non-resident templates to shards
+    // whose disks are still fast.
+    const ROUTING_ZIPF: f64 = 0.8;
+    const ROUTING_CAPACITY: usize = 16;
+    let routing_trace = sweep_trace(ROUTING_ZIPF, duration_secs);
+    let routing_config = |strategy: RouteStrategy| {
+        let mut c = sweep_config(PlacementSpec::RingOrder, strategy, duration_secs);
+        c.replica_budget_templates = None;
+        c.cache_capacity = ROUTING_CAPACITY;
+        c.faults = FleetFaultProfile::SlowDisk.plan(
+            0xD15C,
+            SimTime::from_nanos((duration_secs * 1e9) as u64),
+            SHARDS,
+        );
+        c
+    };
+    let blind = run_checked(
+        "blind-affinity",
+        || routing_config(RouteStrategy::Affinity { load_factor: 1.25 }),
+        &routing_trace,
+    );
+    let feedback = run_checked(
+        "feedback-affinity",
+        || routing_config(RouteStrategy::FeedbackAffinity { load_factor: 1.25 }),
+        &routing_trace,
+    );
+    let mut table = Table::new(&[
+        "zipf",
+        "placement",
+        "eff-hit",
+        "cache-p95(s)",
+        "goodput@slo(rps)",
+        "replans",
+        "evictions",
+        "re-primed",
+    ]);
+    for (s, ring, pop) in &placement_rows {
+        for r in [ring, pop] {
+            table.row(&[
+                format!("{s:.1}"),
+                r.policy.to_string(),
+                format!("{:.3}", r.effective_hit_rate()),
+                format!("{:.3}", r.cache_fetch_p95_secs),
+                format!("{:.3}", r.fleet.fleet.goodput_at_deadline_rps),
+                format!("{}", r.replans),
+                format!("{}", r.replica_evictions),
+                format!("{}", r.re_primed),
+            ]);
+        }
+    }
+    let mut routing_table = Table::new(&[
+        "routing",
+        "cache-p95(s)",
+        "eff-hit",
+        "hits",
+        "failovers",
+        "misses",
+        "goodput@slo(rps)",
+        "p95-latency(s)",
+    ]);
+    for r in [&blind, &feedback] {
+        routing_table.row(&[
+            r.strategy.to_string(),
+            format!("{:.3}", r.cache_fetch_p95_secs),
+            format!("{:.3}", r.effective_hit_rate()),
+            format!("{}", r.cache_hits),
+            format!("{}", r.failover_hits),
+            format!("{}", r.cache_misses),
+            format!("{:.3}", r.fleet.fleet.goodput_at_deadline_rps),
+            format!("{:.3}", r.fleet.fleet.p95_latency_secs),
+        ]);
+    }
+
+    let mut out = format!(
+        "Cache placement & feedback routing over {SHARDS} shards\n\
+         (R=2, diurnal load; placement sweep: per-shard budget 20 templates\n\
+         = half of full replication under a seeded replica-wipe plan;\n\
+         routing: unbounded budget under a seeded slow-disk plan)\n\n\
+         Legacy fingerprint: ring-order reproduces the pre-refactor store\n\
+         byte-for-byte on the seeded PR 7 replay (asserted).\n\n"
+    );
+    out.push_str(&table.render());
+    out.push_str(
+        "\nBoth policies hold the same bytes; only admission order differs.\n\
+         Ring-order admits in template-id order, so the binding budget fills\n\
+         with each tenant's cold tail as readily as its hot head; popularity\n\
+         admits hottest-first, so wipes land on templates whose replicas\n\
+         survive elsewhere. The gap widens with skew: at Zipf(1.4) a few\n\
+         templates carry most requests and placing exactly those is most of\n\
+         the win; at Zipf(0.6) popularity converges toward ring-order.\n\n",
+    );
+    out.push_str(&routing_table.render());
+    out.push_str(
+        "\nSame trace, same placement, a seeded slow-disk plan - only the\n\
+         router differs. The degraded shards stay alive and routable, so\n\
+         health-based routing sees nothing; every LRU promote on them pays\n\
+         the degradation factor for the whole window. Blind affinity keeps\n\
+         walking ring order and re-pays the slow promotes on every\n\
+         turnover; feedback prices them into the per-(shard, template)\n\
+         fetch-cost EWMA and steers non-resident templates to shards whose\n\
+         disks are still fast, so its p95 stays at the healthy promote\n\
+         cost. All arms replay byte-identically on both schedulers, and\n\
+         every accepted request is accounted (asserted every run).\n",
+    );
+    println!("{out}");
+
+    // Gate 2: popularity strictly beats ring-order at Zipf(1.0).
+    let (_, ring_1, pop_1) = placement_rows
+        .iter()
+        .find(|(s, _, _)| *s == 1.0)
+        .expect("Zipf(1.0) is in the sweep");
+    assert!(
+        pop_1.effective_hit_rate() > ring_1.effective_hit_rate(),
+        "popularity effective hit rate {:.4} not above ring-order {:.4} at Zipf(1.0)",
+        pop_1.effective_hit_rate(),
+        ring_1.effective_hit_rate()
+    );
+
+    // Gate 3: feedback strictly beats blind affinity on cache-fetch p95.
+    assert!(
+        feedback.cache_fetch_p95_secs < blind.cache_fetch_p95_secs,
+        "feedback cache-fetch p95 {:.4}s not below blind affinity {:.4}s",
+        feedback.cache_fetch_p95_secs,
+        blind.cache_fetch_p95_secs
+    );
+
+    if !smoke {
+        let json = Json::object()
+            .with("figure", "fig_cache_placement")
+            .with("fingerprint", fp)
+            .with(
+                "trace",
+                Json::object()
+                    .with("duration_secs", duration_secs)
+                    .with("tenants", 2u64)
+                    .with("templates", 80u64)
+                    .with("replica_budget_templates", 20u64),
+            )
+            .with(
+                "placement_sweep",
+                Json::Array(
+                    placement_rows
+                        .iter()
+                        .flat_map(|(s, ring, pop)| {
+                            [ring, pop].into_iter().map(move |r| {
+                                Json::object()
+                                    .with("zipf_s", *s)
+                                    .with("report", r.to_json())
+                            })
+                        })
+                        .collect(),
+                ),
+            )
+            .with(
+                "routing",
+                Json::Array(
+                    [&blind, &feedback]
+                        .into_iter()
+                        .map(|r| r.to_json())
+                        .collect(),
+                ),
+            );
+        save_artifact(
+            "fig_cache_placement.json",
+            &(json.to_string_pretty() + "\n"),
+        );
+        save_artifact("fig_cache_placement.txt", &out);
+    }
+}

@@ -63,6 +63,19 @@ pub enum FleetFaultKind {
         /// The shard whose cached activations vanish.
         shard: u32,
     },
+    /// Storage gray failure: shard `shard`'s disk tier reads `factor`×
+    /// slower for `duration`. Compute and membership are untouched —
+    /// host-tier hits stay free — but every disk→host promote and
+    /// every peer read *sourced* from the shard pays the slowdown.
+    /// Health checks see nothing; only fetch-cost feedback can tell.
+    DiskDegrade {
+        /// The shard with the sick disk.
+        shard: u32,
+        /// Disk read-time multiplier (> 1).
+        factor: f64,
+        /// How long the degradation lasts.
+        duration: SimDuration,
+    },
 }
 
 impl FleetFaultKind {
@@ -74,7 +87,8 @@ impl FleetFaultKind {
             | FleetFaultKind::ShardJoin { shard }
             | FleetFaultKind::ShardSlow { shard, .. }
             | FleetFaultKind::Partition { shard, .. }
-            | FleetFaultKind::ReplicaLoss { shard } => shard,
+            | FleetFaultKind::ReplicaLoss { shard }
+            | FleetFaultKind::DiskDegrade { shard, .. } => shard,
         }
     }
 
@@ -87,6 +101,7 @@ impl FleetFaultKind {
             FleetFaultKind::ShardSlow { .. } => "shard-slow",
             FleetFaultKind::Partition { .. } => "partition",
             FleetFaultKind::ReplicaLoss { .. } => "replica-loss",
+            FleetFaultKind::DiskDegrade { .. } => "disk-degrade",
         }
     }
 }
@@ -162,6 +177,16 @@ impl FleetFaultPlan {
                         return Err(format!("fault {i} has zero duration"));
                     }
                 }
+                FleetFaultKind::DiskDegrade {
+                    factor, duration, ..
+                } => {
+                    if factor < 1.0 {
+                        return Err(format!("fault {i} has disk speed-up factor {factor} (< 1)"));
+                    }
+                    if duration.as_nanos() == 0 {
+                        return Err(format!("fault {i} has zero duration"));
+                    }
+                }
                 FleetFaultKind::ShardCrash { downtime, .. } if downtime.as_nanos() == 0 => {
                     return Err(format!("fault {i} has zero crash downtime"));
                 }
@@ -211,17 +236,21 @@ pub enum FleetFaultProfile {
     /// Replicated-cache wipes: shards silently lose their cached
     /// activations without any membership change.
     ReplicaWipe,
+    /// Storage gray failure: one shard's disk tier reads many times
+    /// slower for a long stretch while compute and health stay green.
+    SlowDisk,
 }
 
 impl FleetFaultProfile {
     /// Every profile, in ablation order.
-    pub const ALL: [FleetFaultProfile; 6] = [
+    pub const ALL: [FleetFaultProfile; 7] = [
         FleetFaultProfile::Baseline,
         FleetFaultProfile::CrashStorm,
         FleetFaultProfile::RollingChurn,
         FleetFaultProfile::GrayShard,
         FleetFaultProfile::RouterPartition,
         FleetFaultProfile::ReplicaWipe,
+        FleetFaultProfile::SlowDisk,
     ];
 
     /// Profile label for reports.
@@ -233,6 +262,7 @@ impl FleetFaultProfile {
             Self::GrayShard => "gray-shard",
             Self::RouterPartition => "router-partition",
             Self::ReplicaWipe => "replica-wipe",
+            Self::SlowDisk => "slow-disk",
         }
     }
 
@@ -251,6 +281,7 @@ impl FleetFaultProfile {
             Self::GrayShard => gray_shard_plan(seed, horizon, shards),
             Self::RouterPartition => partition_plan(seed, horizon, shards),
             Self::ReplicaWipe => replica_wipe_plan(seed, horizon, shards),
+            Self::SlowDisk => slow_disk_plan(seed, horizon, shards),
         }
     }
 }
@@ -394,6 +425,32 @@ fn replica_wipe_plan(seed: u64, horizon: SimTime, shards: u32) -> FleetFaultPlan
                 at,
                 kind: FleetFaultKind::ReplicaLoss {
                     shard: rng.below(shards as u64) as u32,
+                },
+            });
+        }
+    }
+    FleetFaultPlan::new(seed, events)
+}
+
+/// Two long, staggered disk degradations on distinct shards: reads
+/// turn 6–10× slower for ~25–35% of the horizon each. Long stretches
+/// (not blips) so cost-aware routing has time to learn and the
+/// blind/feedback gap is attributable to steady-state behavior.
+fn slow_disk_plan(seed: u64, horizon: SimTime, shards: u32) -> FleetFaultPlan {
+    let mut events = Vec::new();
+    if shards > 0 {
+        let horizon_s = horizon.as_secs_f64();
+        let mut rng = FaultRng::new(seed, "fleet/slow-disk");
+        let first = rng.below(shards as u64) as u32;
+        let count = if shards > 1 { 2 } else { 1 };
+        for (k, shard) in (0..count).map(|k| (k, (first + k) % shards)) {
+            let at = horizon_s * (0.10 + 0.40 * k as f64) + rng.range_f64(0.0, 5.0);
+            events.push(FleetFaultEvent {
+                at: SimTime::from_nanos((at * 1e9) as u64),
+                kind: FleetFaultKind::DiskDegrade {
+                    shard,
+                    factor: rng.range_f64(6.0, 10.0),
+                    duration: SimDuration::from_secs_f64(horizon_s * rng.range_f64(0.25, 0.35)),
                 },
             });
         }
@@ -550,6 +607,12 @@ mod tests {
             .events
             .iter()
             .all(|e| matches!(e.kind, FleetFaultKind::ShardSlow { .. })));
+        let d = FleetFaultProfile::SlowDisk.plan(5, secs(600.0), 4);
+        assert!(d
+            .events
+            .iter()
+            .all(|e| matches!(e.kind, FleetFaultKind::DiskDegrade { .. })));
+        assert!(!d.events.is_empty());
     }
 
     #[test]

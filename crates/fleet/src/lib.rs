@@ -12,9 +12,10 @@
 //!   (Fig. 16-right; InstGenIE) against round-robin and random
 //!   baselines, plus a [`TemplateAffinityRouter`] adapter implementing
 //!   `fps_serving::Router` for the wall-clock ThreadedServer path.
-//! - [`autoscaler`] — hysteretic per-shard pool scaling from windowed
-//!   SLO signals (shed rate, queue-wait p95, utilization), with a
-//!   [`ScaleGuard`] veto that never shrinks the last healthy shard
+//! - autoscaling — the hysteretic pool scaler now lives in
+//!   `fps_metrics::autoscaler` (it is shared with the stage-graph's
+//!   per-stage pools); this crate re-exports it, and its
+//!   [`ScaleGuard`] veto still never shrinks the last healthy shard
 //!   while requests are parked.
 //! - [`sim`] — the virtual-time [`FleetSim`]: one clock-generic
 //!   ControlPlane per shard, analytic k-server worker pools (two
@@ -26,12 +27,14 @@
 //!   reported first-class. Deterministic: same config, same bytes, on
 //!   either event scheduler — faults included.
 
-pub mod autoscaler;
 pub mod ring;
 pub mod router;
 pub mod sim;
 
-pub use autoscaler::{Autoscaler, AutoscalerConfig, ScaleDecision, ScaleGuard, ShardSignal};
+pub use fps_metrics::autoscaler;
+pub use fps_metrics::autoscaler::{
+    Autoscaler, AutoscalerConfig, ScaleDecision, ScaleGuard, ShardSignal,
+};
 pub use ring::HashRing;
 pub use router::{FleetRouter, RouteStrategy, ShardChoice, ShardLoad, TemplateAffinityRouter};
 pub use sim::{FleetConfig, FleetEv, FleetReport, FleetSim};

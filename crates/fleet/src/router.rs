@@ -14,7 +14,18 @@
 //! backlog-relative bound grows exactly when the fleet queues up, and
 //! would keep concentrating load on the hot shard until admission
 //! sheds it.
+//!
+//! **Feedback affinity** goes one step further: among the candidates
+//! under the load bound, it asks the [`CacheFeedback`] signal what the
+//! template actually *costs* on each shard (measured hit/fetch EWMAs,
+//! seeded by placement hints) and picks the cheapest. Blind affinity
+//! assumes the preference order still matches where the bytes are;
+//! after churn, a wipe, or a budget-refused admission it does not, and
+//! the measured costs say so.
 
+use std::sync::{Arc, Mutex};
+
+use fps_metrics::{CacheFeedback, FetchOutcome};
 use fps_serving::{Router, WorkerView};
 use fps_simtime::SimTime;
 use fps_workload::RequestSpec;
@@ -47,6 +58,14 @@ pub enum RouteStrategy {
     RoundRobin,
     /// Ignore templates; pick pseudo-randomly by request id.
     Random,
+    /// Bounded-load consistent hashing that breaks ties among
+    /// under-bound candidates by measured cache cost: the request goes
+    /// to the shard where its template is cheapest to serve, per the
+    /// [`CacheFeedback`] fetch-cost EWMAs.
+    FeedbackAffinity {
+        /// Same per-shard cap as [`RouteStrategy::Affinity`].
+        load_factor: f64,
+    },
 }
 
 impl RouteStrategy {
@@ -56,6 +75,7 @@ impl RouteStrategy {
             Self::Affinity { .. } => "affinity",
             Self::RoundRobin => "round-robin",
             Self::Random => "random",
+            Self::FeedbackAffinity { .. } => "feedback-affinity",
         }
     }
 }
@@ -113,11 +133,15 @@ impl FleetRouter {
 
     /// Chooses a shard for `template_id` given current per-shard load.
     /// `shards` must be non-empty and list every live shard.
+    /// `feedback` is consulted only by
+    /// [`RouteStrategy::FeedbackAffinity`]; pass `None` (or anything)
+    /// for the blind strategies.
     pub fn choose(
         &mut self,
         request_id: u64,
         template_id: u64,
         shards: &[ShardLoad],
+        feedback: Option<&CacheFeedback>,
     ) -> ShardChoice {
         debug_assert!(!shards.is_empty());
         match self.strategy {
@@ -168,6 +192,54 @@ impl FleetRouter {
                     spilled: true,
                 }
             }
+            RouteStrategy::FeedbackAffinity { load_factor } => {
+                // Same candidate set as blind affinity — the walk down
+                // the preference list, load-bounded — but candidates
+                // rank by the feedback routing key: pair cost first,
+                // shard churn to break ties, preference rank last (so
+                // with no signal this degrades to exactly blind
+                // affinity).
+                let pref = self.ring.preference(template_id);
+                let mut best: Option<((f64, f64), usize, u32)> = None;
+                for (i, s) in pref.iter().enumerate() {
+                    if let Some(load) = shards.iter().find(|l| l.shard == *s) {
+                        let cap = ((load_factor * load.lanes as f64).ceil() as usize).max(1);
+                        if load.outstanding < cap {
+                            let key = feedback
+                                .map(|f| f.routing_key(*s, template_id))
+                                .unwrap_or((0.0, 0.0));
+                            let better = match best {
+                                None => true,
+                                Some((bk, bi, _)) => {
+                                    match key.0.total_cmp(&bk.0).then(key.1.total_cmp(&bk.1)) {
+                                        std::cmp::Ordering::Less => true,
+                                        std::cmp::Ordering::Equal => i < bi,
+                                        std::cmp::Ordering::Greater => false,
+                                    }
+                                }
+                            };
+                            if better {
+                                best = Some((key, i, *s));
+                            }
+                        }
+                    }
+                }
+                if let Some((_, rank, shard)) = best {
+                    return ShardChoice {
+                        shard,
+                        spilled: rank > 0,
+                    };
+                }
+                let s = shards
+                    .iter()
+                    .min_by_key(|l| (l.outstanding.saturating_mul(1024) / l.lanes.max(1), l.shard))
+                    .expect("non-empty")
+                    .shard;
+                ShardChoice {
+                    shard: s,
+                    spilled: true,
+                }
+            }
         }
     }
 }
@@ -183,6 +255,12 @@ pub struct TemplateAffinityRouter {
     ring: HashRing,
     known: Vec<usize>,
     load_factor: f64,
+    /// Shared cache feedback; when present, under-bound candidates are
+    /// ranked by measured cost (the worker-level analogue of
+    /// [`RouteStrategy::FeedbackAffinity`]). Shared behind a mutex
+    /// because the ThreadedServer's result loop records outcomes while
+    /// the control plane routes.
+    feedback: Option<Arc<Mutex<CacheFeedback>>>,
 }
 
 impl TemplateAffinityRouter {
@@ -197,7 +275,38 @@ impl TemplateAffinityRouter {
             ring: HashRing::default(),
             known: Vec::new(),
             load_factor: load_factor.max(1.01),
+            feedback: None,
         }
+    }
+
+    /// Attaches a shared [`CacheFeedback`]: routing then prefers the
+    /// under-bound worker where the template measured cheapest. Record
+    /// outcomes into the same handle (e.g. via
+    /// [`TemplateAffinityRouter::record_outcome`]) as results complete.
+    pub fn with_feedback(mut self, feedback: Arc<Mutex<CacheFeedback>>) -> Self {
+        self.feedback = Some(feedback);
+        self
+    }
+
+    /// The shared feedback handle, when one is attached.
+    pub fn feedback(&self) -> Option<Arc<Mutex<CacheFeedback>>> {
+        self.feedback.clone()
+    }
+
+    /// Records one served request's cache outcome against the shared
+    /// feedback (no-op without one). `worker` is the worker id the
+    /// request served on.
+    pub fn record_outcome(
+        feedback: &Arc<Mutex<CacheFeedback>>,
+        worker: usize,
+        template_id: u64,
+        outcome: FetchOutcome,
+    ) {
+        feedback.lock().expect("feedback lock poisoned").observe(
+            worker as u32,
+            template_id,
+            outcome,
+        );
     }
 
     fn sync_ring(&mut self, workers: &[WorkerView]) {
@@ -222,11 +331,54 @@ impl Router for TemplateAffinityRouter {
             return 0;
         }
         self.sync_ring(workers);
-        for s in self.ring.preference(req.template_id) {
-            if let Some(w) = workers.iter().find(|w| w.id == s as usize) {
-                let cap = ((self.load_factor * w.max_batch.max(1) as f64).ceil() as usize).max(1);
-                if w.outstanding.len() < cap {
-                    return w.id;
+        match self.feedback.as_ref() {
+            None => {
+                for s in self.ring.preference(req.template_id) {
+                    if let Some(w) = workers.iter().find(|w| w.id == s as usize) {
+                        let cap =
+                            ((self.load_factor * w.max_batch.max(1) as f64).ceil() as usize).max(1);
+                        if w.outstanding.len() < cap {
+                            return w.id;
+                        }
+                    }
+                }
+            }
+            Some(feedback) => {
+                // Rank under-bound preference candidates by the
+                // feedback routing key (pair cost, then shard churn);
+                // with no observations the keys tie and the preference
+                // rank decides, degrading to blind affinity.
+                let fb = feedback.lock().expect("feedback lock poisoned");
+                let mut best: Option<((f64, f64), usize, usize)> = None;
+                for (i, s) in self
+                    .ring
+                    .preference(req.template_id)
+                    .into_iter()
+                    .enumerate()
+                {
+                    if let Some(w) = workers.iter().find(|w| w.id == s as usize) {
+                        let cap =
+                            ((self.load_factor * w.max_batch.max(1) as f64).ceil() as usize).max(1);
+                        if w.outstanding.len() < cap {
+                            let key = fb.routing_key(s, req.template_id);
+                            let better = match best {
+                                None => true,
+                                Some((bk, bi, _)) => {
+                                    match key.0.total_cmp(&bk.0).then(key.1.total_cmp(&bk.1)) {
+                                        std::cmp::Ordering::Less => true,
+                                        std::cmp::Ordering::Equal => i < bi,
+                                        std::cmp::Ordering::Greater => false,
+                                    }
+                                }
+                            };
+                            if better {
+                                best = Some((key, i, w.id));
+                            }
+                        }
+                    }
+                }
+                if let Some((_, _, id)) = best {
+                    return id;
                 }
             }
         }
@@ -238,7 +390,11 @@ impl Router for TemplateAffinityRouter {
     }
 
     fn name(&self) -> &'static str {
-        "template-affinity"
+        if self.feedback.is_some() {
+            "template-affinity+feedback"
+        } else {
+            "template-affinity"
+        }
     }
 }
 
@@ -268,9 +424,9 @@ mod tests {
         );
         let ls = loads(&[0, 0, 0, 0]);
         for template in 0..20u64 {
-            let first = r.choose(0, template, &ls);
+            let first = r.choose(0, template, &ls, None);
             for req in 1..5u64 {
-                assert_eq!(r.choose(req, template, &ls), first);
+                assert_eq!(r.choose(req, template, &ls, None), first);
             }
             assert!(!first.spilled);
             assert_eq!(first.shard, r.ring().primary(template).unwrap());
@@ -288,7 +444,7 @@ mod tests {
         // Primary drowning, everyone else idle.
         let mut ls = loads(&[1, 1, 1, 1]);
         ls[primary as usize].outstanding = 100;
-        let got = r.choose(0, template, &ls);
+        let got = r.choose(0, template, &ls, None);
         assert_ne!(got.shard, primary);
         assert!(got.spilled);
         // The spill target is the key's consistent secondary.
@@ -299,12 +455,12 @@ mod tests {
     fn round_robin_cycles_and_random_is_deterministic() {
         let ls = loads(&[0, 0, 0]);
         let mut rr = FleetRouter::new(RouteStrategy::RoundRobin, HashRing::with_shards(3));
-        let picks: Vec<u32> = (0..6).map(|i| rr.choose(i, 99, &ls).shard).collect();
+        let picks: Vec<u32> = (0..6).map(|i| rr.choose(i, 99, &ls, None).shard).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
         let mut ra = FleetRouter::new(RouteStrategy::Random, HashRing::with_shards(3));
-        let a: Vec<u32> = (0..20).map(|i| ra.choose(i, 99, &ls).shard).collect();
+        let a: Vec<u32> = (0..20).map(|i| ra.choose(i, 99, &ls, None).shard).collect();
         let mut rb = FleetRouter::new(RouteStrategy::Random, HashRing::with_shards(3));
-        let b: Vec<u32> = (0..20).map(|i| rb.choose(i, 99, &ls).shard).collect();
+        let b: Vec<u32> = (0..20).map(|i| rb.choose(i, 99, &ls, None).shard).collect();
         assert_eq!(a, b, "random strategy must be replayable");
         // And it actually spreads.
         assert!(a.iter().any(|&s| s != a[0]));
@@ -361,5 +517,72 @@ mod tests {
             let got = r.route(&spec(t, t), &ws, SimTime::ZERO);
             assert!(got == 3 || got == 7);
         }
+    }
+
+    #[test]
+    fn feedback_affinity_without_signal_matches_blind_affinity() {
+        let ls = loads(&[0, 0, 0, 0]);
+        let mut blind = FleetRouter::new(
+            RouteStrategy::Affinity { load_factor: 1.25 },
+            HashRing::with_shards(4),
+        );
+        let mut fb = FleetRouter::new(
+            RouteStrategy::FeedbackAffinity { load_factor: 1.25 },
+            HashRing::with_shards(4),
+        );
+        for template in 0..32u64 {
+            assert_eq!(
+                fb.choose(template, template, &ls, None),
+                blind.choose(template, template, &ls, None),
+                "no feedback signal must degrade to blind affinity"
+            );
+        }
+    }
+
+    #[test]
+    fn feedback_affinity_prefers_the_cheapest_under_bound_shard() {
+        let mut r = FleetRouter::new(
+            RouteStrategy::FeedbackAffinity { load_factor: 1.25 },
+            HashRing::with_shards(4),
+        );
+        let template = 7u64;
+        let pref = r.ring().preference(template);
+        let (primary, secondary) = (pref[0], pref[1]);
+        // The primary lost its copy (say a budget-refused admission):
+        // the feedback signal prices it at the miss prior while the
+        // secondary holds a replica.
+        let mut fb = CacheFeedback::new(4, 0.3, 5.0);
+        fb.hint_placement(template, &[secondary, primary], 0.0, 4.0);
+        fb.observe(primary, template, FetchOutcome::Miss { cost_secs: 5.0 });
+        let ls = loads(&[0, 0, 0, 0]);
+        let got = r.choose(0, template, &ls, Some(&fb));
+        assert_eq!(got.shard, secondary, "routes to the shard with the bytes");
+        assert!(got.spilled);
+        // Over-bound shards stay excluded even when cheapest.
+        let mut hot = loads(&[1, 1, 1, 1]);
+        hot[secondary as usize].outstanding = 100;
+        let got = r.choose(1, template, &hot, Some(&fb));
+        assert_ne!(got.shard, secondary, "load bound beats cache cost");
+    }
+
+    #[test]
+    fn worker_adapter_feedback_steers_to_the_warm_worker() {
+        let fb = Arc::new(Mutex::new(CacheFeedback::new(3, 0.3, 5.0)));
+        let mut r = TemplateAffinityRouter::new().with_feedback(Arc::clone(&fb));
+        assert_eq!(r.name(), "template-affinity+feedback");
+        let ws = vec![view(0, 0), view(1, 0), view(2, 0)];
+        let blind = TemplateAffinityRouter::new().route(&spec(0, 5), &ws, SimTime::ZERO);
+        let warm = (blind + 1) % 3;
+        fb.lock()
+            .unwrap()
+            .hint_placement(5, &[warm as u32], 0.0, 4.0);
+        TemplateAffinityRouter::record_outcome(
+            &fb,
+            blind,
+            5,
+            FetchOutcome::Miss { cost_secs: 5.0 },
+        );
+        let got = r.route(&spec(1, 5), &ws, SimTime::ZERO);
+        assert_eq!(got, warm, "feedback moves the route onto the warm worker");
     }
 }

@@ -45,10 +45,10 @@ use std::collections::{HashMap, VecDeque};
 
 use fps_chaos::{FleetFaultKind, FleetFaultPlan};
 use fps_json::{Json, ToJson};
-use fps_maskcache::{ReplicaFetch, ReplicatedStore, StoreConfig};
+use fps_maskcache::{PlacementSpec, ReplicaFetch, ReplicatedStore, StoreConfig};
 use fps_metrics::{
-    FleetCacheCounters, FleetRecoveryReport, FleetSloReport, GoodputTimeline, Histogram,
-    ShardSloReport, SloReport,
+    CacheFeedback, FetchOutcome, FleetCacheCounters, FleetRecoveryReport, FleetSloReport,
+    GoodputTimeline, Histogram, PopularityHistogram, ShardSloReport, SloReport,
 };
 use fps_overload::BreakerConfig;
 use fps_serving::cost::BatchItem;
@@ -113,6 +113,18 @@ pub struct FleetConfig {
     /// Uniform per-template activation footprint, bytes (sizes the
     /// host tier as `cache_capacity × template_bytes`).
     pub template_bytes: u64,
+    /// Replica-placement policy for the activation store. Ring order
+    /// is the legacy behavior (byte-identical reports); popularity
+    /// places the hot templates' replicas first under the byte budget
+    /// and re-plans on popularity drift.
+    pub placement: PlacementSpec,
+    /// Per-shard replica byte budget, in templates (× `template_bytes`).
+    /// `None` is unbounded — every planned replica is admitted, exactly
+    /// the legacy behavior.
+    pub replica_budget_templates: Option<usize>,
+    /// Seconds between placement re-plans when the policy reacts to
+    /// popularity (ring order never re-plans).
+    pub replan_interval_secs: f64,
     /// Trace sink for route/scale/fault events.
     pub trace: TraceSink,
 }
@@ -136,6 +148,9 @@ impl Default for FleetConfig {
             retry_budget: 2,
             recovery_window_secs: 10.0,
             template_bytes: 64 << 20,
+            placement: PlacementSpec::RingOrder,
+            replica_budget_templates: None,
+            replan_interval_secs: 20.0,
             trace: TraceSink::disabled(),
         }
     }
@@ -146,6 +161,8 @@ impl Default for FleetConfig {
 pub struct FleetReport {
     /// Strategy label of the run.
     pub strategy: &'static str,
+    /// Replica-placement policy label of the run.
+    pub policy: &'static str,
     /// Per-shard SLO accounting with mergeable histograms.
     pub shard_reports: Vec<ShardSloReport>,
     /// Histogram-merged fleet rollup (with cache counters attached).
@@ -171,6 +188,15 @@ pub struct FleetReport {
     pub re_primed: u64,
     /// Peer-cache reads short-circuited by an open circuit breaker.
     pub breaker_short_circuits: u64,
+    /// Placement re-plans triggered by popularity drift (always 0 for
+    /// ring order).
+    pub replans: u64,
+    /// Replica copies evicted to respect the per-shard byte budget.
+    pub replica_evictions: u64,
+    /// p95 of the per-request cache-fetch cost (0 on a local hit, the
+    /// promote delay on failover, the cold-recompute penalty on a
+    /// miss), seconds.
+    pub cache_fetch_p95_secs: f64,
     /// Scale-up actions across all shards.
     pub scale_ups: u64,
     /// Scale-down actions across all shards.
@@ -214,6 +240,7 @@ impl ToJson for FleetReport {
     fn to_json(&self) -> Json {
         let mut j = Json::object()
             .with("strategy", self.strategy)
+            .with("policy", self.policy)
             .with("fleet", self.fleet.to_json())
             .with("shards", self.shard_reports.to_json())
             .with("cache_hits", self.cache_hits)
@@ -227,6 +254,9 @@ impl ToJson for FleetReport {
             .with("parked_failed", self.parked_failed)
             .with("re_primed", self.re_primed)
             .with("breaker_short_circuits", self.breaker_short_circuits)
+            .with("replans", self.replans)
+            .with("replica_evictions", self.replica_evictions)
+            .with("cache_fetch_p95_secs", self.cache_fetch_p95_secs)
             .with("scale_ups", self.scale_ups)
             .with("scale_downs", self.scale_downs)
             .with("scale_down_vetoes", self.scale_down_vetoes)
@@ -257,7 +287,7 @@ struct Window {
 }
 
 impl Window {
-    fn signal(&mut self, utilization: f64) -> crate::autoscaler::ShardSignal {
+    fn signal(&mut self, utilization: f64, cache_miss_rate: f64) -> crate::autoscaler::ShardSignal {
         let shed_rate = if self.submitted == 0 {
             0.0
         } else {
@@ -276,6 +306,7 @@ impl Window {
             shed_rate,
             queue_wait_p95_secs: p95,
             utilization,
+            cache_miss_rate,
         };
         *self = Self::default();
         s
@@ -362,6 +393,11 @@ enum FaultAction {
     PartitionStart(u32),
     PartitionEnd(u32),
     Wipe(u32),
+    DiskDegradeStart {
+        shard: u32,
+        factor: f64,
+    },
+    DiskDegradeEnd(u32),
 }
 
 impl FaultAction {
@@ -375,6 +411,8 @@ impl FaultAction {
             Self::PartitionStart(_) => "partition_start",
             Self::PartitionEnd(_) => "partition_end",
             Self::Wipe(_) => "wipe",
+            Self::DiskDegradeStart { .. } => "disk_degrade_start",
+            Self::DiskDegradeEnd(_) => "disk_degrade_end",
         }
     }
 
@@ -387,7 +425,9 @@ impl FaultAction {
             | Self::SlowStart { shard: s, .. }
             | Self::PartitionStart(s)
             | Self::PartitionEnd(s)
-            | Self::Wipe(s) => s,
+            | Self::Wipe(s)
+            | Self::DiskDegradeStart { shard: s, .. }
+            | Self::DiskDegradeEnd(s) => s,
         }
     }
 }
@@ -421,6 +461,14 @@ fn compile_plan(plan: &FleetFaultPlan) -> Vec<(SimTime, FaultAction)> {
             FleetFaultKind::ReplicaLoss { shard } => {
                 actions.push((e.at, FaultAction::Wipe(shard)));
             }
+            FleetFaultKind::DiskDegrade {
+                shard,
+                factor,
+                duration,
+            } => {
+                actions.push((e.at, FaultAction::DiskDegradeStart { shard, factor }));
+                actions.push((e.at + duration, FaultAction::DiskDegradeEnd(shard)));
+            }
         }
     }
     // Stable by time: same-instant actions keep plan order.
@@ -444,6 +492,9 @@ pub enum FleetEv {
     },
     /// Autoscaler observation window closes.
     ScaleTick,
+    /// Placement re-plan tick (scheduled only when the placement
+    /// policy reacts to popularity).
+    Replan,
     /// Compiled fault-plan step `i` fires.
     Fault(usize),
 }
@@ -471,6 +522,17 @@ struct World<'a> {
     rerouted: u64,
     crash_failed: u64,
     re_primed: u64,
+    /// Measured cache-cost signal: fetch-cost EWMAs per (shard,
+    /// template) plus windowed miss counters for the autoscaler.
+    feedback: CacheFeedback,
+    /// Requests seen per template so far this run — the drift signal
+    /// popularity placement re-plans against (keyed only, never
+    /// iterated; reads go through the sorted template universe).
+    live_popularity: HashMap<u64, u64>,
+    /// Per-request cache-fetch cost (0 local / promote delay on
+    /// failover / cold penalty on miss), seconds.
+    cache_fetch_hist: Histogram,
+    replans: u64,
     last_completion: SimTime,
     inflight: usize,
     next_arrival: usize,
@@ -516,10 +578,33 @@ impl World<'_> {
     /// owners from surviving holders.
     fn rebalance(&mut self) {
         let ring = self.router.ring();
+        let pop = &self.live_popularity;
         if self.config.reprime_on_churn {
-            self.re_primed += self.store.rebuild(&self.templates, |t| ring.preference(t));
+            self.re_primed += self.store.rebuild_weighted(
+                &self.templates,
+                |t| ring.preference(t),
+                |t| pop.get(&t).copied().unwrap_or(0),
+            );
         } else {
             self.store.retarget(&self.templates, |t| ring.preference(t));
+        }
+        self.refresh_feedback_hints();
+    }
+
+    /// Re-seeds the feedback cost priors from the current replica
+    /// directory. Every owner is seeded at zero — the prior is the
+    /// *steady-state* cost of serving there, not the first fetch: a
+    /// replica pays one disk promote on adoption and is host-resident
+    /// after. Seeding replicas at the promote cost instead would make
+    /// them unexplorable — a pair thrashing in and out of a full host
+    /// tier averages below one promote per fetch, so its EWMA could
+    /// never exceed that prior and the router would re-promote forever
+    /// rather than migrate. Non-owners fall back to the miss prior.
+    /// Pure feedback state — blind strategies never read it.
+    fn refresh_feedback_hints(&mut self) {
+        for &t in &self.templates {
+            let owners = self.store.directory().owners(t).to_vec();
+            self.feedback.hint_placement(t, &owners, 0.0, 0.0);
         }
     }
 
@@ -558,7 +643,9 @@ impl World<'_> {
             self.emit("fleet_park", 0, now, vec![("id", Json::U64(req.id))]);
             return;
         }
-        let choice = self.router.choose(req.id, req.template_id, &loads);
+        let choice = self
+            .router
+            .choose(req.id, req.template_id, &loads, Some(&self.feedback));
         if choice.spilled {
             self.spills += 1;
         }
@@ -603,11 +690,17 @@ impl World<'_> {
             return;
         }
         // Cache path: local host tier, then replica failover, then
-        // cold recompute.
+        // cold recompute. The cold penalty (full-latent recompute minus
+        // the masked compute this request would have run warm) is the
+        // miss cost the feedback signal learns.
+        let cold_penalty_secs = (self.service_duration(req.mask_ratio, steps, false)
+            - self.service_duration(req.mask_ratio, steps, true))
+        .as_secs_f64()
+        .max(0.0);
         let local_hit = self.store.touch(choice.shard, req.template_id, now);
-        let (warm, compute_from) = if local_hit {
+        let (warm, compute_from, outcome, replica_source) = if local_hit {
             self.cache_hits += 1;
-            (true, now)
+            (true, now, FetchOutcome::LocalHit, Json::Str("host".into()))
         } else if self.config.replicas >= 2 {
             let shards = &self.shards;
             match self
@@ -628,18 +721,62 @@ impl World<'_> {
                             ("source", Json::U64(source as u64)),
                         ],
                     );
-                    (true, ready)
+                    let cost_secs = ready.since(now).as_secs_f64();
+                    (
+                        true,
+                        ready,
+                        FetchOutcome::Failover { cost_secs },
+                        Json::U64(source as u64),
+                    )
                 }
-                ReplicaFetch::LocalHit(ready) => (true, ready),
+                ReplicaFetch::LocalHit(ready) => {
+                    // The local disk tier held a copy: a promote, not a
+                    // peer fetch.
+                    let cost_secs = ready.since(now).as_secs_f64();
+                    (
+                        true,
+                        ready,
+                        FetchOutcome::Failover { cost_secs },
+                        Json::Str("disk".into()),
+                    )
+                }
                 ReplicaFetch::Miss => {
                     self.cache_misses += 1;
-                    (false, now)
+                    (
+                        false,
+                        now,
+                        FetchOutcome::Miss {
+                            cost_secs: cold_penalty_secs,
+                        },
+                        Json::Str("none".into()),
+                    )
                 }
             }
         } else {
             self.cache_misses += 1;
-            (false, now)
+            (
+                false,
+                now,
+                FetchOutcome::Miss {
+                    cost_secs: cold_penalty_secs,
+                },
+                Json::Str("none".into()),
+            )
         };
+        self.feedback
+            .observe(choice.shard, req.template_id, outcome);
+        self.cache_fetch_hist.record(outcome.cost_secs());
+        self.emit(
+            "cache_fetch",
+            choice.shard,
+            now,
+            vec![
+                ("template", Json::U64(req.template_id)),
+                ("replica_source", replica_source),
+                ("hit", Json::Bool(outcome.is_hit())),
+                ("policy", Json::Str(self.store.policy_name().to_string())),
+            ],
+        );
         if !local_hit && self.config.replicas >= 2 {
             // Write-through: the computed (or fetched) activations land
             // on every desired owner so the next failure has copies.
@@ -788,6 +925,16 @@ impl World<'_> {
             FaultAction::Wipe(shard) => {
                 self.store.wipe(shard);
             }
+            // A gray failure: health checks see nothing (the shard
+            // stays routable), but every disk promote on — or peer
+            // read sourced from — the shard pays the slowdown. Only
+            // fetch-cost feedback can detect it.
+            FaultAction::DiskDegradeStart { shard, factor } => {
+                self.store.set_disk_degradation(shard, factor.max(1.0));
+            }
+            FaultAction::DiskDegradeEnd(shard) => {
+                self.store.set_disk_degradation(shard, 1.0);
+            }
         }
     }
 }
@@ -797,6 +944,8 @@ impl<Q: EventScheduler<FleetEv>> EventHandler<FleetEv, Q> for World<'_> {
         match event {
             FleetEv::Arrival(i) => {
                 self.next_arrival = self.next_arrival.max(i + 1);
+                let template = self.trace.trace.requests[i].template_id;
+                *self.live_popularity.entry(template).or_insert(0) += 1;
                 self.submit(now, i, 0, now, queue);
             }
             FleetEv::Done { shard, seq } => {
@@ -834,10 +983,12 @@ impl<Q: EventScheduler<FleetEv>> EventHandler<FleetEv, Q> for World<'_> {
                         parked,
                         last_healthy: routable == 1 && self.shards[sx].routable(),
                     };
+                    let miss_rate = self.feedback.window_miss_rate(sx as u32);
+                    self.feedback.reset_window(sx as u32);
                     let shard = &mut self.shards[sx];
                     let capacity = (shard.pools.len() * max_batch).max(1);
                     let utilization = (shard.outstanding as f64 / capacity as f64).min(1.0);
-                    let signal = shard.window.signal(utilization);
+                    let signal = shard.window.signal(utilization, miss_rate);
                     let Some(scaler) = shard.scaler.as_mut() else {
                         continue;
                     };
@@ -875,6 +1026,37 @@ impl<Q: EventScheduler<FleetEv>> EventHandler<FleetEv, Q> for World<'_> {
                     queue.schedule_after(
                         SimDuration::from_secs_f64(self.config.scale_interval_secs),
                         FleetEv::ScaleTick,
+                    );
+                }
+            }
+            FleetEv::Replan => {
+                // Popularity drift: re-run placement against the live
+                // histogram and move replicas (survivor-sourced copy +
+                // budget eviction) to match. Never scheduled for
+                // policies that ignore popularity.
+                let before = self.re_primed;
+                let ring = self.router.ring();
+                let pop = &self.live_popularity;
+                self.re_primed += self.store.rebuild_weighted(
+                    &self.templates,
+                    |t| ring.preference(t),
+                    |t| pop.get(&t).copied().unwrap_or(0),
+                );
+                self.replans += 1;
+                self.refresh_feedback_hints();
+                self.emit(
+                    "replan",
+                    0,
+                    now,
+                    vec![
+                        ("moved", Json::U64(self.re_primed - before)),
+                        ("policy", Json::Str(self.store.policy_name().to_string())),
+                    ],
+                );
+                if self.inflight > 0 || self.next_arrival < self.trace.trace.len() {
+                    queue.schedule_after(
+                        SimDuration::from_secs_f64(self.config.replan_interval_secs.max(0.001)),
+                        FleetEv::Replan,
                     );
                 }
             }
@@ -1019,10 +1201,17 @@ impl FleetSim {
             store_config,
             BreakerConfig::default(),
             config.template_bytes,
-        );
-        // Pre-prime every template onto its ring owners — identically
-        // for every strategy, so hit-rate comparisons measure routing,
-        // not starting conditions.
+        )
+        .with_placement(config.placement);
+        if let Some(n) = config.replica_budget_templates {
+            store = store.with_replica_budget(n as u64 * config.template_bytes);
+        }
+        // Pre-prime every template onto its planned owners —
+        // identically for every strategy, so hit-rate comparisons
+        // measure routing, not starting conditions. The popularity
+        // prior is "yesterday's histogram": the whole trace's request
+        // counts, exactly what a production planner carries over from
+        // the previous day.
         let total_templates: u64 = trace
             .trace
             .requests
@@ -1031,17 +1220,43 @@ impl FleetSim {
             .max()
             .unwrap_or(0);
         let templates: Vec<u64> = (0..total_templates).collect();
-        for &t in &templates {
-            let owners: Vec<u32> = ring
-                .preference(t)
-                .into_iter()
-                .take(config.replicas.max(1))
-                .collect();
-            store.prime(t, owners, SimTime::ZERO);
+        let mut prior: HashMap<u64, u64> = HashMap::new();
+        for r in &trace.trace.requests {
+            *prior.entry(r.template_id).or_insert(0) += 1;
         }
+        store.prime_all(
+            &templates,
+            |t| ring.preference(t),
+            |t| prior.get(&t).copied().unwrap_or(0),
+            SimTime::ZERO,
+        );
         let router = FleetRouter::new(config.strategy, ring);
         let actions = compile_plan(&config.faults);
         let strategy = config.strategy.name();
+        let policy = config.placement.name();
+        // Feedback unknown-pair prior: the cost of serving a template
+        // on a shard that has never been observed or hinted. With no
+        // replicas that is the cold recompute (full-latent minus the
+        // typical masked pass). With R >= 2 it is one replica read —
+        // write-through then makes the serving shard host-resident —
+        // so non-owner shards price at the transfer cost, not the
+        // recompute. That keeps them explorable: a template thrashing
+        // between two oversubscribed owners measures the same promote
+        // cost the prior quotes, and the churn tie-break can diffuse
+        // it to a quiet non-owner where the copy actually sticks.
+        let typical_secs = |ratio: f64| {
+            engine
+                .step_latency(&cost, &[BatchItem { mask_ratio: ratio }])
+                .as_secs_f64()
+                * full_steps as f64
+        };
+        let cold_prior_secs = (typical_secs(1.0) - typical_secs(config.mean_mask_ratio)).max(0.0);
+        let miss_prior_secs = if config.replicas >= 2 {
+            (config.template_bytes as f64 / store_config.disk_read_bw).min(cold_prior_secs)
+        } else {
+            cold_prior_secs
+        };
+        let feedback = CacheFeedback::new(total_slots, 0.3, miss_prior_secs);
         let scale_interval = SimDuration::from_secs_f64(config.scale_interval_secs.max(0.001));
         let deadline_secs = config.deadline_secs;
         let timeline = GoodputTimeline::new(config.recovery_window_secs);
@@ -1074,10 +1289,18 @@ impl FleetSim {
             rerouted: 0,
             crash_failed: 0,
             re_primed: 0,
+            feedback,
+            live_popularity: HashMap::new(),
+            cache_fetch_hist: Histogram::new(0.0, hist_hi, 512).expect("valid geometry"),
+            replans: 0,
             last_completion: SimTime::ZERO,
             inflight: 0,
             next_arrival: 0,
         };
+        // Seed the feedback priors from the initial placement, so
+        // feedback routing starts aligned with the directory instead
+        // of learning it from misses.
+        world.refresh_feedback_hints();
         let mut sim: Simulation<FleetEv, Q> = Simulation::with_scheduler(queue);
         for (i, req) in trace.trace.requests.iter().enumerate() {
             sim.queue_mut()
@@ -1089,6 +1312,12 @@ impl FleetSim {
         if !trace.trace.is_empty() {
             sim.queue_mut()
                 .schedule_after(scale_interval, FleetEv::ScaleTick);
+            if world.store.reacts_to_popularity() {
+                sim.queue_mut().schedule_after(
+                    SimDuration::from_secs_f64(world.config.replan_interval_secs.max(0.001)),
+                    FleetEv::Replan,
+                );
+            }
         }
         sim.run(&mut world);
         // Requests still parked when the run ends never found a
@@ -1147,9 +1376,17 @@ impl FleetSim {
             breaker_short_circuits: store_stats.breaker_short_circuits,
             re_primes: world.re_primed,
         };
+        // Per-template request counts, read through the sorted template
+        // universe for a deterministic histogram.
+        let counts: Vec<(u64, u64)> = world
+            .templates
+            .iter()
+            .map(|&t| (t, world.live_popularity.get(&t).copied().unwrap_or(0)))
+            .collect();
         let fleet = FleetSloReport::merge("fleet", window_secs, &shard_reports)
             .expect("uniform histogram geometry")
-            .with_cache(cache_counters);
+            .with_cache(cache_counters)
+            .with_popularity(PopularityHistogram::from_counts(&counts, 16));
         let recovery = first_fault_secs.and_then(|fault_at| {
             FleetRecoveryReport::analyze(&world.timeline, fault_at, arrivals_end_secs, 0.9).map(
                 |r| {
@@ -1165,6 +1402,7 @@ impl FleetSim {
         });
         FleetReport {
             strategy,
+            policy,
             shard_reports,
             fleet,
             cache_hits: world.cache_hits,
@@ -1176,6 +1414,9 @@ impl FleetSim {
             parked_failed,
             re_primed: world.re_primed,
             breaker_short_circuits: store_stats.breaker_short_circuits,
+            replans: world.replans,
+            replica_evictions: world.store.replica_evictions(),
+            cache_fetch_p95_secs: world.cache_fetch_hist.percentile(0.95),
             scale_ups: world
                 .shards
                 .iter()
@@ -1442,5 +1683,110 @@ mod tests {
         // drained into terminal outcomes or were flushed as failed.
         assert_eq!(r.fleet.fleet.lost(), 0);
         assert!(r.fleet.fleet.served > 0);
+    }
+
+    #[test]
+    fn popularity_placement_under_budget_replays_identically_through_chaos() {
+        let trace = small_trace();
+        let mut cfg = config(RouteStrategy::Affinity { load_factor: 1.25 });
+        cfg.replicas = 2;
+        cfg.placement = PlacementSpec::Popularity;
+        cfg.replica_budget_templates = Some(12);
+        cfg.replan_interval_secs = 20.0;
+        cfg.faults = FleetFaultProfile::CrashStorm.plan(7, secs(120.0), 4);
+        let a = FleetSim::run(cfg.clone(), &trace);
+        assert_eq!(a.policy, "popularity");
+        assert!(a.replans > 0, "popularity policy never re-planned");
+        assert_eq!(a.fleet.fleet.lost(), 0);
+        let a_json = a.to_json().to_string_compact();
+        let b = FleetSim::run(cfg.clone(), &trace)
+            .to_json()
+            .to_string_compact();
+        let heap = FleetSim::run_on_heap(cfg, &trace)
+            .to_json()
+            .to_string_compact();
+        assert_eq!(a_json, b, "popularity replay diverged");
+        assert_eq!(a_json, heap, "calendar and heap runs diverged");
+    }
+
+    #[test]
+    fn ring_order_never_replans_and_reports_its_policy() {
+        let trace = small_trace();
+        let mut cfg = config(RouteStrategy::Affinity { load_factor: 1.25 });
+        cfg.replicas = 2;
+        let r = FleetSim::run(cfg, &trace);
+        assert_eq!(r.policy, "ring-order");
+        assert_eq!(r.replans, 0, "ring order must never schedule a re-plan");
+        assert_eq!(r.replica_evictions, 0, "unbounded budget never evicts");
+    }
+
+    #[test]
+    fn feedback_affinity_replays_identically_and_serves() {
+        let trace = small_trace();
+        let mut cfg = config(RouteStrategy::FeedbackAffinity { load_factor: 1.25 });
+        cfg.replicas = 2;
+        let a = FleetSim::run(cfg.clone(), &trace);
+        assert_eq!(a.strategy, "feedback-affinity");
+        assert!(a.fleet.fleet.served > 0);
+        assert!(a.cache_fetch_p95_secs >= 0.0);
+        let a_json = a.to_json().to_string_compact();
+        let heap = FleetSim::run_on_heap(cfg, &trace)
+            .to_json()
+            .to_string_compact();
+        assert_eq!(a_json, heap, "feedback routing diverged across schedulers");
+    }
+
+    #[test]
+    fn disk_degrade_is_health_silent_but_inflates_fetch_costs() {
+        let trace = small_trace();
+        let run = |faults: FleetFaultPlan| {
+            let mut cfg = config(RouteStrategy::Affinity { load_factor: 1.25 });
+            cfg.replicas = 2;
+            // Host tier far smaller than the working set: promotes recur.
+            cfg.cache_capacity = 4;
+            cfg.faults = faults;
+            FleetSim::run(cfg, &trace)
+        };
+        let healthy = run(FleetFaultPlan::none());
+        let plan = || {
+            FleetFaultPlan::new(
+                3,
+                (0..2)
+                    .map(|shard| FleetFaultEvent {
+                        at: secs(5.0),
+                        kind: FleetFaultKind::DiskDegrade {
+                            shard,
+                            factor: 8.0,
+                            duration: SimDuration::from_secs_f64(110.0),
+                        },
+                    })
+                    .collect(),
+            )
+        };
+        let gray = run(plan());
+        // Gray failure: every shard keeps serving (health checks see
+        // nothing, no request is lost) ...
+        assert_eq!(gray.fleet.fleet.lost(), 0);
+        for s in &gray.shard_reports {
+            assert!(s.report.submitted > 0, "shard {} stopped serving", s.shard);
+        }
+        // ... but promotes on the degraded shards cost 8x, which the
+        // fetch-cost histogram must surface.
+        assert!(
+            gray.cache_fetch_p95_secs > healthy.cache_fetch_p95_secs,
+            "degraded p95 {} not above healthy {}",
+            gray.cache_fetch_p95_secs,
+            healthy.cache_fetch_p95_secs
+        );
+        // Deterministic across schedulers like every other fault.
+        let a_json = gray.to_json().to_string_compact();
+        let mut cfg = config(RouteStrategy::Affinity { load_factor: 1.25 });
+        cfg.replicas = 2;
+        cfg.cache_capacity = 4;
+        cfg.faults = plan();
+        let heap = FleetSim::run_on_heap(cfg, &trace)
+            .to_json()
+            .to_string_compact();
+        assert_eq!(a_json, heap, "disk degrade diverged across schedulers");
     }
 }

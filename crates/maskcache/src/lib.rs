@@ -17,11 +17,16 @@
 
 pub mod error;
 pub mod pipeline;
+pub mod placement;
 pub mod replica;
 pub mod store;
 
 pub use error::CacheError;
 pub use pipeline::{BlockCosts, PipelinePlan};
+pub use placement::{
+    PlacementContext, PlacementPlan, PlacementPolicy, PlacementSpec, PopularityPolicy,
+    RingOrderPolicy, ShardBudget,
+};
 pub use replica::{ReplicaDirectory, ReplicaFetch, ReplicatedStore};
 pub use store::{FallbackReason, HierarchicalStore, StoreConfig, StoreStats, Tier, VerifiedFetch};
 

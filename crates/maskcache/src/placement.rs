@@ -1,0 +1,324 @@
+//! Pluggable replica-placement policy under per-shard byte budgets.
+//!
+//! PR 7's `ReplicatedStore` placed every template on the first R shards
+//! of the ring's preference order — correct, but blind: a shard's
+//! budget fills with whatever template ids happen to hash first, and a
+//! hot template competes for bytes on exactly the same terms as one
+//! nobody has requested in an hour. This module splits *where replicas
+//! go* out of the store behind [`PlacementPolicy`]:
+//!
+//! - [`RingOrderPolicy`] reproduces the legacy behavior exactly —
+//!   owners are `prefer(t).take(R)`, admitted in template-id order
+//!   against the budget (with an unbounded budget this is byte-for-byte
+//!   the pre-refactor placement, which the seeded-fingerprint test in
+//!   `fig_cache_placement` pins).
+//! - [`PopularityPolicy`] admits templates hottest-first, so when the
+//!   per-shard budget binds, the bytes go to the templates that save
+//!   the most recomputes. Each template still *prefers* its ring order
+//!   (owners double as the affinity router's candidate walk, so keeping
+//!   the primary on `prefer(t)[0]` converts placements into local hits
+//!   rather than peer fetches) but skips capacity-infeasible shards and
+//!   falls back to the least-planned feasible shard when the ring
+//!   choices are full.
+//!
+//! Policies are pure planners: they read a [`PlacementContext`] and
+//! return a [`PlacementPlan`]; the store applies it (copying bytes,
+//! counting re-primes, evicting ex-owner replicas when the budget is
+//! finite). Planning is deterministic — template order, tie-breaks, and
+//! shard walks are all explicit — so seeded replays stay byte-identical.
+
+/// A shard's replica-byte ledger during planning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardBudget {
+    /// Shard id.
+    pub shard: u32,
+    /// Replica bytes this shard may hold (`u64::MAX` = unbounded).
+    pub capacity_bytes: u64,
+    /// Bytes the plan has already assigned to this shard.
+    pub planned_bytes: u64,
+}
+
+impl ShardBudget {
+    /// Whether `bytes` more fit under the capacity.
+    pub fn fits(&self, bytes: u64) -> bool {
+        self.planned_bytes.saturating_add(bytes) <= self.capacity_bytes
+    }
+}
+
+/// Everything a policy may consult when planning placements.
+pub struct PlacementContext<'a> {
+    /// Sorted universe of live template ids.
+    pub templates: &'a [u64],
+    /// Replication target R (≥ 1).
+    pub replicas: usize,
+    /// Uniform per-template activation footprint, bytes.
+    pub template_bytes: u64,
+    /// Ring preference order over live shards for a key.
+    pub prefer: &'a dyn Fn(u64) -> Vec<u32>,
+    /// Observed (or prior) request count per template.
+    pub popularity: &'a dyn Fn(u64) -> u64,
+    /// One ledger per live shard, `planned_bytes` zeroed by the caller.
+    pub budgets: &'a mut Vec<ShardBudget>,
+}
+
+/// A full placement decision: every template in `templates`, in the
+/// order the policy decided them, with its owners primary-first
+/// (possibly fewer than R — or empty — when the budget refused
+/// admission).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlacementPlan {
+    /// `(template_id, owners)` in decision order.
+    pub assignments: Vec<(u64, Vec<u32>)>,
+}
+
+impl PlacementPlan {
+    /// Total replica copies the plan places.
+    pub fn copies(&self) -> usize {
+        self.assignments.iter().map(|(_, o)| o.len()).sum()
+    }
+}
+
+/// Decides which R shards hold each template's replicas.
+pub trait PlacementPolicy: std::fmt::Debug + Send {
+    /// Stable label for reports and trace spans.
+    fn name(&self) -> &'static str;
+
+    /// Whether popularity drift should trigger periodic re-planning.
+    /// Ring order ignores popularity, so re-running it is a no-op and
+    /// the caller skips the tick entirely (keeping legacy runs
+    /// byte-identical).
+    fn reacts_to_popularity(&self) -> bool {
+        false
+    }
+
+    /// Plans owners for every template in `ctx.templates`, debiting
+    /// `ctx.budgets` as it assigns.
+    fn plan(&self, ctx: &mut PlacementContext) -> PlacementPlan;
+}
+
+/// Legacy placement: owners are the first R capacity-feasible shards of
+/// the ring preference order, templates admitted in id order. With an
+/// unbounded budget this is exactly `prefer(t).take(R)` — the
+/// pre-refactor `ReplicatedStore` behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RingOrderPolicy;
+
+impl PlacementPolicy for RingOrderPolicy {
+    fn name(&self) -> &'static str {
+        "ring-order"
+    }
+
+    fn plan(&self, ctx: &mut PlacementContext) -> PlacementPlan {
+        let mut assignments = Vec::with_capacity(ctx.templates.len());
+        for &template in ctx.templates {
+            let mut owners = Vec::with_capacity(ctx.replicas);
+            for shard in (ctx.prefer)(template) {
+                if owners.len() == ctx.replicas {
+                    break;
+                }
+                if let Some(b) = ctx.budgets.iter_mut().find(|b| b.shard == shard) {
+                    if b.fits(ctx.template_bytes) {
+                        b.planned_bytes += ctx.template_bytes;
+                        owners.push(shard);
+                    }
+                } else {
+                    // Shard unknown to the ledger (mid-run join the
+                    // caller has not budgeted yet): legacy semantics,
+                    // admit unbounded.
+                    owners.push(shard);
+                }
+            }
+            assignments.push((template, owners));
+        }
+        PlacementPlan { assignments }
+    }
+}
+
+/// Popularity-weighted placement: templates are admitted hottest-first
+/// (ties broken by id for determinism), each taking the first R
+/// capacity-feasible shards of its ring preference order, then — if the
+/// ring choices are full — the least-planned feasible shard. When the
+/// budget binds, cold-tail templates get fewer (or zero) replicas
+/// instead of crowding out hot ones.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PopularityPolicy;
+
+impl PlacementPolicy for PopularityPolicy {
+    fn name(&self) -> &'static str {
+        "popularity"
+    }
+
+    fn reacts_to_popularity(&self) -> bool {
+        true
+    }
+
+    fn plan(&self, ctx: &mut PlacementContext) -> PlacementPlan {
+        let mut order: Vec<u64> = ctx.templates.to_vec();
+        order.sort_by(|a, b| {
+            (ctx.popularity)(*b)
+                .cmp(&(ctx.popularity)(*a))
+                .then(a.cmp(b))
+        });
+        let mut assignments = Vec::with_capacity(order.len());
+        for template in order {
+            let pref = (ctx.prefer)(template);
+            let mut owners: Vec<u32> = Vec::with_capacity(ctx.replicas);
+            // Ring order first: owners double as the affinity router's
+            // candidate walk, so a feasible ring shard converts the
+            // placement into local hits.
+            for &shard in &pref {
+                if owners.len() == ctx.replicas {
+                    break;
+                }
+                let Some(b) = ctx.budgets.iter_mut().find(|b| b.shard == shard) else {
+                    continue;
+                };
+                if b.fits(ctx.template_bytes) {
+                    b.planned_bytes += ctx.template_bytes;
+                    owners.push(shard);
+                }
+            }
+            // Ring choices full: spill remaining replicas onto the
+            // least-planned feasible shards (tie by shard id).
+            while owners.len() < ctx.replicas {
+                let next = ctx
+                    .budgets
+                    .iter()
+                    .filter(|b| !owners.contains(&b.shard) && b.fits(ctx.template_bytes))
+                    .min_by(|a, b| {
+                        a.planned_bytes
+                            .cmp(&b.planned_bytes)
+                            .then(a.shard.cmp(&b.shard))
+                    })
+                    .map(|b| b.shard);
+                match next {
+                    Some(shard) => {
+                        let b = ctx.budgets.iter_mut().find(|b| b.shard == shard).unwrap();
+                        b.planned_bytes += ctx.template_bytes;
+                        owners.push(shard);
+                    }
+                    None => break,
+                }
+            }
+            assignments.push((template, owners));
+        }
+        PlacementPlan { assignments }
+    }
+}
+
+/// Clonable, config-friendly selector for a [`PlacementPolicy`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PlacementSpec {
+    /// Legacy ring-preference placement ([`RingOrderPolicy`]).
+    #[default]
+    RingOrder,
+    /// Hot-first admission ([`PopularityPolicy`]).
+    Popularity,
+}
+
+impl PlacementSpec {
+    /// Builds the policy.
+    pub fn build(self) -> Box<dyn PlacementPolicy> {
+        match self {
+            Self::RingOrder => Box::new(RingOrderPolicy),
+            Self::Popularity => Box::new(PopularityPolicy),
+        }
+    }
+
+    /// Stable label, matching the built policy's `name()`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::RingOrder => "ring-order",
+            Self::Popularity => "popularity",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn budgets(shards: u32, cap: u64) -> Vec<ShardBudget> {
+        (0..shards)
+            .map(|shard| ShardBudget {
+                shard,
+                capacity_bytes: cap,
+                planned_bytes: 0,
+            })
+            .collect()
+    }
+
+    fn ring(template: u64, shards: u32) -> Vec<u32> {
+        (0..shards)
+            .map(|k| ((template + k as u64) % shards as u64) as u32)
+            .collect()
+    }
+
+    #[test]
+    fn ring_order_unbounded_matches_prefer_take_r() {
+        let templates: Vec<u64> = (0..12).collect();
+        let mut b = budgets(4, u64::MAX);
+        let plan = RingOrderPolicy.plan(&mut PlacementContext {
+            templates: &templates,
+            replicas: 2,
+            template_bytes: 100,
+            prefer: &|t| ring(t, 4),
+            popularity: &|_| 0,
+            budgets: &mut b,
+        });
+        assert_eq!(plan.assignments.len(), 12);
+        for (t, owners) in &plan.assignments {
+            let want: Vec<u32> = ring(*t, 4).into_iter().take(2).collect();
+            assert_eq!(owners, &want, "template {t}");
+        }
+    }
+
+    #[test]
+    fn popularity_admits_hot_templates_when_budget_binds() {
+        // Budget for one copy per shard; four templates all prefer
+        // shard 0 first. Hot template 3 must win admission there.
+        let templates: Vec<u64> = vec![0, 1, 2, 3];
+        let mut b = budgets(2, 100);
+        let plan = PopularityPolicy.plan(&mut PlacementContext {
+            templates: &templates,
+            replicas: 1,
+            template_bytes: 100,
+            prefer: &|_| vec![0, 1],
+            popularity: &|t| t * 10,
+            budgets: &mut b,
+        });
+        assert_eq!(plan.assignments[0], (3, vec![0]), "hottest takes primary");
+        assert_eq!(plan.assignments[1], (2, vec![1]), "next spills to shard 1");
+        assert_eq!(plan.assignments[2].1, Vec::<u32>::new(), "budget refuses");
+        assert_eq!(plan.assignments[3].1, Vec::<u32>::new());
+        assert!(b.iter().all(|s| s.planned_bytes <= s.capacity_bytes));
+    }
+
+    #[test]
+    fn popularity_spills_off_ring_when_preferred_shards_fill() {
+        // Two shards on every preference list, three available: the
+        // third replica set lands on the least-planned shard 2.
+        let templates: Vec<u64> = vec![7];
+        let mut b = budgets(3, 1000);
+        b[0].planned_bytes = 1000;
+        b[1].planned_bytes = 1000;
+        let plan = PopularityPolicy.plan(&mut PlacementContext {
+            templates: &templates,
+            replicas: 2,
+            template_bytes: 100,
+            prefer: &|_| vec![0, 1],
+            popularity: &|_| 1,
+            budgets: &mut b,
+        });
+        assert_eq!(plan.assignments[0].1, vec![2], "only shard 2 feasible");
+    }
+
+    #[test]
+    fn spec_builds_matching_names() {
+        assert_eq!(PlacementSpec::RingOrder.build().name(), "ring-order");
+        assert_eq!(PlacementSpec::Popularity.build().name(), "popularity");
+        assert_eq!(PlacementSpec::default(), PlacementSpec::RingOrder);
+        assert!(!RingOrderPolicy.reacts_to_popularity());
+        assert!(PopularityPolicy.reacts_to_popularity());
+    }
+}

@@ -28,6 +28,9 @@ use std::collections::HashMap;
 use fps_overload::{BreakerConfig, CircuitBreaker};
 use fps_simtime::SimTime;
 
+use crate::placement::{
+    PlacementContext, PlacementPlan, PlacementPolicy, PlacementSpec, ShardBudget,
+};
 use crate::store::{HierarchicalStore, StoreConfig, StoreStats, Tier, VerifiedFetch};
 
 /// Which shards are *supposed* to hold each template, in priority
@@ -109,6 +112,14 @@ pub struct ReplicatedStore {
     template_bytes: u64,
     /// Stats carried over from stores wiped by crashes.
     retired: StoreStats,
+    /// Who decides which R shards hold a template.
+    policy: Box<dyn PlacementPolicy>,
+    spec: PlacementSpec,
+    /// Per-shard replica-byte budget the planner admits against
+    /// (`u64::MAX` = unbounded, the legacy behavior).
+    replica_budget_bytes: u64,
+    /// Ex-owner disk replicas reclaimed by budget enforcement.
+    replica_evictions: u64,
 }
 
 impl ReplicatedStore {
@@ -130,9 +141,91 @@ impl ReplicatedStore {
             breaker_config,
             template_bytes,
             retired: StoreStats::default(),
+            policy: PlacementSpec::RingOrder.build(),
+            spec: PlacementSpec::RingOrder,
+            replica_budget_bytes: u64::MAX,
+            replica_evictions: 0,
         };
         this.ensure_shard(shards.saturating_sub(1));
         this
+    }
+
+    /// Swaps the placement policy (default: ring order, the legacy
+    /// behavior).
+    pub fn with_placement(mut self, spec: PlacementSpec) -> Self {
+        self.policy = spec.build();
+        self.spec = spec;
+        self
+    }
+
+    /// Caps each shard's replica bytes; the planner refuses admissions
+    /// beyond it and rebuilds reclaim ex-owner disk copies.
+    pub fn with_replica_budget(mut self, bytes: u64) -> Self {
+        self.replica_budget_bytes = bytes;
+        self
+    }
+
+    /// The active placement policy's stable label.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// The active placement spec.
+    pub fn placement(&self) -> PlacementSpec {
+        self.spec
+    }
+
+    /// Whether the active policy wants periodic re-planning on
+    /// popularity drift.
+    pub fn reacts_to_popularity(&self) -> bool {
+        self.policy.reacts_to_popularity()
+    }
+
+    /// Per-shard replica-byte budget (`u64::MAX` = unbounded).
+    pub fn replica_budget_bytes(&self) -> u64 {
+        self.replica_budget_bytes
+    }
+
+    /// Ex-owner disk replicas reclaimed by budget enforcement so far.
+    pub fn replica_evictions(&self) -> u64 {
+        self.replica_evictions
+    }
+
+    /// Runs the placement policy over `templates` (sorted) against a
+    /// fresh per-shard budget ledger. The ledger covers every known
+    /// shard plus any shard named by `prefer` (mid-run joins).
+    pub fn plan(
+        &mut self,
+        templates: &[u64],
+        prefer: impl Fn(u64) -> Vec<u32>,
+        popularity: impl Fn(u64) -> u64,
+    ) -> PlacementPlan {
+        let mut budgets: Vec<ShardBudget> = (0..self.stores.len() as u32)
+            .map(|shard| ShardBudget {
+                shard,
+                capacity_bytes: self.replica_budget_bytes,
+                planned_bytes: 0,
+            })
+            .collect();
+        for &template in templates {
+            for shard in prefer(template) {
+                if !budgets.iter().any(|b| b.shard == shard) {
+                    budgets.push(ShardBudget {
+                        shard,
+                        capacity_bytes: self.replica_budget_bytes,
+                        planned_bytes: 0,
+                    });
+                }
+            }
+        }
+        self.policy.plan(&mut PlacementContext {
+            templates,
+            replicas: self.directory.replicas(),
+            template_bytes: self.template_bytes,
+            prefer: &prefer,
+            popularity: &popularity,
+            budgets: &mut budgets,
+        })
     }
 
     /// Grows the shard table to cover `shard` (idempotent).
@@ -243,6 +336,15 @@ impl ReplicatedStore {
         ReplicaFetch::Miss
     }
 
+    /// Sets a shard's disk read-time multiplier (storage gray failure;
+    /// `1.0` restores full speed). Host-tier hits stay free — only
+    /// disk→host promotes on the shard, and peer reads *sourced* from
+    /// it, pay the slowdown.
+    pub fn set_disk_degradation(&mut self, shard: u32, factor: f64) {
+        self.ensure_shard(shard);
+        self.stores[shard as usize].set_disk_degradation(factor);
+    }
+
     /// Wipes a shard's store (crash or silent cache loss), carrying its
     /// counters into the aggregate. The shard's breaker keeps its
     /// state: peers probing the wiped store will find entries missing,
@@ -280,39 +382,69 @@ impl ReplicatedStore {
         }
     }
 
-    /// Updates the directory to track new ring placements **without**
+    /// Plans and primes the whole template universe at start of run:
+    /// each template's planned owners are recorded in the directory,
+    /// the primary host-loads if it fits, and the remaining owners get
+    /// disk copies (see [`prime`]). With the default ring-order policy
+    /// and an unbounded budget this is exactly the legacy per-template
+    /// `prime(t, prefer(t).take(R))` loop.
+    ///
+    /// [`prime`]: ReplicatedStore::prime
+    pub fn prime_all(
+        &mut self,
+        templates: &[u64],
+        prefer: impl Fn(u64) -> Vec<u32>,
+        popularity: impl Fn(u64) -> u64,
+        now: SimTime,
+    ) {
+        let plan = self.plan(templates, prefer, popularity);
+        for (template, owners) in plan.assignments {
+            self.prime(template, owners, now);
+        }
+    }
+
+    /// Updates the directory to track new placements **without**
     /// copying any bytes — the ablation arm that answers "what does
     /// re-priming buy": failover still consults the fresh owner set,
-    /// but new owners start cold.
+    /// but new owners start cold. Placement goes through the active
+    /// policy (ring order reproduces the legacy directory exactly).
     pub fn retarget(&mut self, templates: &[u64], prefer: impl Fn(u64) -> Vec<u32>) {
-        for &template in templates {
-            let desired: Vec<u32> = prefer(template)
-                .into_iter()
-                .take(self.directory.replicas())
-                .collect();
+        let plan = self.plan(templates, prefer, |_| 0);
+        for (template, desired) in plan.assignments {
             self.directory.set(template, desired);
         }
     }
 
     /// Rebuilds the directory after churn and re-primes moved
-    /// templates.
+    /// templates, with zero popularity weight (the legacy entry point —
+    /// identical placement under the default ring-order policy).
+    pub fn rebuild(&mut self, templates: &[u64], prefer: impl Fn(u64) -> Vec<u32>) -> u64 {
+        self.rebuild_weighted(templates, prefer, |_| 0)
+    }
+
+    /// Rebuilds the directory after churn (or a popularity-drift
+    /// replan) and re-primes moved templates.
     ///
     /// `templates` must arrive sorted (determinism); `prefer` is the
-    /// ring's preference order over **live** shards for a key. For each
-    /// template the first R preferred shards become the desired
-    /// owners; any new owner lacking a copy receives a disk-tier copy
-    /// from the first current holder, counted as a re-prime on the
-    /// receiving store. Templates with no surviving holder are left to
-    /// be recomputed on demand. Returns the number of re-primed
-    /// copies.
-    pub fn rebuild(&mut self, templates: &[u64], prefer: impl Fn(u64) -> Vec<u32>) -> u64 {
+    /// ring's preference order over **live** shards for a key. The
+    /// active [`PlacementPolicy`] turns `(prefer, popularity, budget)`
+    /// into desired owners per template; any new owner lacking a copy
+    /// receives a disk-tier copy from the first current holder, counted
+    /// as a re-prime on the receiving store. Templates with no
+    /// surviving holder are left to be recomputed on demand. When the
+    /// replica budget is finite, disk copies on shards that are no
+    /// longer owners are reclaimed (host-tier working-set entries are
+    /// never touched). Returns the number of re-primed copies.
+    pub fn rebuild_weighted(
+        &mut self,
+        templates: &[u64],
+        prefer: impl Fn(u64) -> Vec<u32>,
+        popularity: impl Fn(u64) -> u64,
+    ) -> u64 {
+        let bounded = self.replica_budget_bytes != u64::MAX;
+        let plan = self.plan(templates, prefer, popularity);
         let mut re_primed = 0;
-        for &template in templates {
-            let desired = prefer(template);
-            let desired: Vec<u32> = desired
-                .into_iter()
-                .take(self.directory.replicas())
-                .collect();
+        for (template, desired) in plan.assignments {
             // A holder survives churn iff some shard still has bytes.
             let holder = desired
                 .iter()
@@ -333,6 +465,16 @@ impl ReplicatedStore {
                     );
                     self.stores[owner as usize].note_re_prime();
                     re_primed += 1;
+                }
+            }
+            if bounded {
+                for shard in 0..self.stores.len() as u32 {
+                    if !desired.contains(&shard)
+                        && self.stores[shard as usize].locate(template) == Some(Tier::Disk)
+                        && self.stores[shard as usize].remove(template)
+                    {
+                        self.replica_evictions += 1;
+                    }
                 }
             }
             self.directory.set(template, desired);
@@ -503,5 +645,168 @@ mod tests {
         assert_eq!(d.len(), 1);
         assert_eq!(d.replicas(), 2);
         assert_eq!(ReplicaDirectory::new(0).replicas(), 1, "R clamps to 1");
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn splitmix64(mut x: u64) -> u64 {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Ring-preference stand-in over an explicit live-shard set:
+        /// rotation of the sorted live list keyed by a template hash.
+        fn prefer(live: &[u32], template: u64, seed: u64) -> Vec<u32> {
+            let mut sorted = live.to_vec();
+            sorted.sort_unstable();
+            let start = (splitmix64(template.wrapping_add(seed)) % sorted.len() as u64) as usize;
+            (0..sorted.len())
+                .map(|k| sorted[(start + k) % sorted.len()])
+                .collect()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            // Unbounded budget: every live template keeps exactly R
+            // replicas across churn — shards leave and join, wipes hit
+            // random shards, and each rebuild restores the invariant
+            // for both policies.
+            #[test]
+            fn every_template_keeps_r_replicas_across_churn(
+                seed in 0u64..10_000,
+                replicas in 1usize..=3,
+                n_templates in 1u64..24,
+                spec_pop in proptest::bool::ANY,
+                ops in proptest::collection::vec(0u8..3, 1..10),
+            ) {
+                let shards = 6u32;
+                let spec = if spec_pop { PlacementSpec::Popularity } else { PlacementSpec::RingOrder };
+                let bytes = 100u64;
+                let mut rs = ReplicatedStore::new(
+                    shards,
+                    replicas,
+                    StoreConfig { host_capacity: bytes * 64, disk_capacity: u64::MAX, disk_read_bw: 1000.0 },
+                    BreakerConfig::default(),
+                    bytes,
+                )
+                .with_placement(spec);
+                let templates: Vec<u64> = (0..n_templates).collect();
+                let mut live: Vec<u32> = (0..shards).collect();
+                rs.prime_all(&templates, |t| prefer(&live, t, seed), |t| t, t(0.0));
+                for (i, &op) in ops.iter().enumerate() {
+                    let r = splitmix64(seed ^ (i as u64) << 32);
+                    match op {
+                        // A shard leaves (never below R live shards).
+                        0 if live.len() > replicas => {
+                            live.remove((r % live.len() as u64) as usize);
+                        }
+                        // A departed shard rejoins.
+                        1 => {
+                            if let Some(s) = (0..shards).find(|s| !live.contains(s)) {
+                                live.push(s);
+                            }
+                        }
+                        // A live shard's cache is wiped in place.
+                        _ => {
+                            rs.wipe(live[(r % live.len() as u64) as usize]);
+                        }
+                    }
+                    rs.rebuild_weighted(&templates, |t| prefer(&live, t, seed), |t| t);
+                    for &template in &templates {
+                        let owners = rs.directory().owners(template);
+                        prop_assert_eq!(
+                            owners.len(),
+                            replicas.min(live.len()),
+                            "template {} owners {:?} live {:?}",
+                            template, owners, live
+                        );
+                        let mut uniq = owners.to_vec();
+                        uniq.sort_unstable();
+                        uniq.dedup();
+                        prop_assert_eq!(uniq.len(), owners.len(), "duplicate owners");
+                        prop_assert!(owners.iter().all(|s| live.contains(s)), "dead owner");
+                    }
+                }
+            }
+
+            // Finite budget: no plan ever assigns more bytes to a shard
+            // than its capacity, under either policy, any replication
+            // target, and any popularity skew.
+            #[test]
+            fn plans_never_exceed_the_per_shard_budget(
+                seed in 0u64..10_000,
+                replicas in 1usize..=3,
+                n_templates in 1u64..40,
+                budget_templates in 1u64..8,
+                spec_pop in proptest::bool::ANY,
+            ) {
+                let shards = 5u32;
+                let bytes = 100u64;
+                let spec = if spec_pop { PlacementSpec::Popularity } else { PlacementSpec::RingOrder };
+                let mut rs = ReplicatedStore::new(
+                    shards,
+                    replicas,
+                    StoreConfig { host_capacity: bytes * 64, disk_capacity: u64::MAX, disk_read_bw: 1000.0 },
+                    BreakerConfig::default(),
+                    bytes,
+                )
+                .with_placement(spec)
+                .with_replica_budget(budget_templates * bytes);
+                let templates: Vec<u64> = (0..n_templates).collect();
+                let live: Vec<u32> = (0..shards).collect();
+                let plan = rs.plan(
+                    &templates,
+                    |t| prefer(&live, t, seed),
+                    |t| splitmix64(t ^ seed) % 100,
+                );
+                let mut planned = vec![0u64; shards as usize];
+                for (_, owners) in &plan.assignments {
+                    for &s in owners {
+                        planned[s as usize] += bytes;
+                        prop_assert!(
+                            planned[s as usize] <= budget_templates * bytes,
+                            "shard {} over budget", s
+                        );
+                    }
+                }
+            }
+
+            // The default policy is byte-identical to the pre-refactor
+            // store: owners are exactly `prefer(t).take(R)` on any
+            // seeded preference order, and a store built without
+            // `with_placement` plans the same bytes as an explicit
+            // ring-order one.
+            #[test]
+            fn ring_order_is_byte_identical_to_prefer_take_r(
+                seed in 0u64..10_000,
+                replicas in 1usize..=3,
+                n_templates in 1u64..32,
+            ) {
+                let shards = 6u32;
+                let bytes = 100u64;
+                let cfg = StoreConfig { host_capacity: bytes * 64, disk_capacity: u64::MAX, disk_read_bw: 1000.0 };
+                let mut legacy = ReplicatedStore::new(shards, replicas, cfg, BreakerConfig::default(), bytes);
+                let mut explicit = ReplicatedStore::new(shards, replicas, cfg, BreakerConfig::default(), bytes)
+                    .with_placement(PlacementSpec::RingOrder);
+                let templates: Vec<u64> = (0..n_templates).collect();
+                let live: Vec<u32> = (0..shards).collect();
+                let a = legacy.plan(&templates, |t| prefer(&live, t, seed), |t| t);
+                let b = explicit.plan(&templates, |t| prefer(&live, t, seed), |t| t);
+                prop_assert_eq!(&a, &b, "default and explicit ring-order diverge");
+                for (template, owners) in &a.assignments {
+                    let want: Vec<u32> = prefer(&live, *template, seed)
+                        .into_iter()
+                        .take(replicas)
+                        .collect();
+                    prop_assert_eq!(owners, &want, "template {}", template);
+                }
+            }
+        }
     }
 }

@@ -1,10 +1,14 @@
-//! SLO-driven per-shard autoscaling with hysteresis.
+//! SLO-driven pool autoscaling with hysteresis.
 //!
-//! Each shard's worker pool is an independently scaled unit
-//! (LegoDiffusion's micro-serving framing): the scaler watches the
-//! shard's own SLO signals — shed rate, queue-wait p95, utilization —
-//! and grows the pool under sustained overload or shrinks it when the
-//! pool idles. Two mechanisms stop it flapping:
+//! Each worker pool — a fleet shard's, or a single stage's in the
+//! stage-graph — is an independently scaled unit (LegoDiffusion's
+//! micro-serving framing): the scaler watches the pool's own SLO
+//! signals — shed rate, queue-wait p95, utilization, and (optionally)
+//! cache pressure — and grows the pool under sustained overload or
+//! shrinks it when the pool idles. The scaler lives in `fps-metrics`
+//! because it is pure signal→decision logic consumed by both
+//! `fps-fleet` (per-shard pools) and `fps-stagegraph` (per-stage
+//! pools). Two mechanisms stop it flapping:
 //!
 //! - **Streaks**: a scale-up needs `up_ticks` *consecutive* breaching
 //!   observations (and scale-down `down_ticks` idle ones); one noisy
@@ -38,6 +42,12 @@ pub struct AutoscalerConfig {
     pub cooldown: SimDuration,
     /// Workers added/removed per action.
     pub step: usize,
+    /// Cache miss rate at or above which a window counts as
+    /// overloaded. A miss recomputes cold — several times the warm
+    /// service time — so sustained misses are load the queue-wait
+    /// signal only sees after the damage is queued. Defaults to
+    /// `f64::INFINITY` (signal ignored).
+    pub up_miss_rate: f64,
 }
 
 impl Default for AutoscalerConfig {
@@ -52,12 +62,13 @@ impl Default for AutoscalerConfig {
             down_ticks: 4,
             cooldown: SimDuration::from_secs_f64(30.0),
             step: 1,
+            up_miss_rate: f64::INFINITY,
         }
     }
 }
 
-/// One observation window's signals for a shard.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// One observation window's signals for a pool.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ShardSignal {
     /// Fraction of submissions turned away this window.
     pub shed_rate: f64,
@@ -65,6 +76,9 @@ pub struct ShardSignal {
     pub queue_wait_p95_secs: f64,
     /// Worker-pool utilization this window, in `[0, 1]`.
     pub utilization: f64,
+    /// Fraction of cache lookups this window that missed (local *and*
+    /// failover), in `[0, 1]`. Zero when the pool has no cache.
+    pub cache_miss_rate: f64,
 }
 
 /// What the scaler wants done to the pool.
@@ -172,7 +186,8 @@ impl Autoscaler {
         guard: &ScaleGuard,
     ) -> ScaleDecision {
         let overloaded = signal.shed_rate >= self.config.up_shed_rate
-            || signal.queue_wait_p95_secs >= self.config.up_queue_wait_secs;
+            || signal.queue_wait_p95_secs >= self.config.up_queue_wait_secs
+            || signal.cache_miss_rate >= self.config.up_miss_rate;
         let idle = !overloaded
             && signal.shed_rate == 0.0
             && signal.utilization <= self.config.down_utilization;
@@ -228,6 +243,7 @@ mod tests {
             shed_rate: 0.2,
             queue_wait_p95_secs: 5.0,
             utilization: 1.0,
+            ..Default::default()
         }
     }
 
@@ -236,6 +252,7 @@ mod tests {
             shed_rate: 0.0,
             queue_wait_p95_secs: 0.1,
             utilization: 0.1,
+            ..Default::default()
         }
     }
 
@@ -244,6 +261,7 @@ mod tests {
             shed_rate: 0.0,
             queue_wait_p95_secs: 0.5,
             utilization: 0.7,
+            ..Default::default()
         }
     }
 
@@ -386,6 +404,41 @@ mod tests {
         }
         assert!(got_down);
         assert_eq!(a.vetoed_downs(), 0);
+    }
+
+    #[test]
+    fn cache_pressure_scales_up_when_enabled_and_is_inert_by_default() {
+        // Misses recompute cold; a miss-heavy window is overload even
+        // while the queue still looks fine.
+        let miss_heavy = ShardSignal {
+            shed_rate: 0.0,
+            queue_wait_p95_secs: 0.5,
+            utilization: 0.7,
+            cache_miss_rate: 0.6,
+        };
+        let mut inert = Autoscaler::new(AutoscalerConfig {
+            cooldown: SimDuration::from_secs_f64(0.0),
+            ..Default::default()
+        });
+        for t in 0..10 {
+            assert_eq!(
+                inert.observe(2, &miss_heavy, at(t)),
+                ScaleDecision::Hold,
+                "default up_miss_rate = INFINITY must ignore cache pressure"
+            );
+        }
+        let mut aware = Autoscaler::new(AutoscalerConfig {
+            cooldown: SimDuration::from_secs_f64(0.0),
+            up_miss_rate: 0.5,
+            ..Default::default()
+        });
+        let mut workers = 2usize;
+        for t in 0..10 {
+            if let ScaleDecision::Up(n) = aware.observe(workers, &miss_heavy, at(t)) {
+                workers = n;
+            }
+        }
+        assert!(workers > 2, "sustained miss pressure grows the pool");
     }
 
     #[test]

@@ -1,0 +1,410 @@
+//! Cache feedback: measured fetch cost and hit rate, per shard and
+//! template, published by the cache tier and consumed by routing and
+//! autoscaling.
+//!
+//! Bounded-load affinity routing is *blind*: it walks the ring
+//! preference order and assumes the preferred shard actually holds the
+//! template's activations. After churn, a wipe, or a budget-refused
+//! admission that assumption is wrong, and the router keeps steering
+//! requests at a shard that recomputes them cold. This module closes
+//! the loop with two windows of truth:
+//!
+//! - A **fetch-cost EWMA** per `(shard, template)`: seconds of extra
+//!   service the last lookups of that template on that shard cost
+//!   (0 for a host hit, the promote/transfer delay for a failover, the
+//!   cold-recompute penalty for a miss). Placement seeds these with
+//!   priors ([`CacheFeedback::hint_placement`]) so a fresh plan steers
+//!   routing *before* the first observation — the cache telling the
+//!   router where it just put things.
+//! - A **windowed per-shard hit rate**: lookups and misses since the
+//!   window was last drained, feeding the autoscaler's
+//!   `cache_miss_rate` signal so cache pressure reads as load.
+//!
+//! Determinism: per-template costs live in a `HashMap` that is only
+//! ever *keyed into* (never iterated), so seeded replays stay
+//! byte-identical.
+
+use std::collections::HashMap;
+
+use fps_json::{Json, ToJson};
+
+/// One cache lookup's outcome, with its measured extra cost in
+/// seconds of service time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FetchOutcome {
+    /// Host-tier hit on the serving shard: no extra cost.
+    LocalHit,
+    /// Served from a peer replica; `cost_secs` is the transfer/promote
+    /// delay.
+    Failover {
+        /// Extra seconds the peer fetch cost.
+        cost_secs: f64,
+    },
+    /// No replica survived; `cost_secs` is the cold-recompute penalty
+    /// over a warm pass.
+    Miss {
+        /// Extra seconds the cold recompute cost.
+        cost_secs: f64,
+    },
+}
+
+impl FetchOutcome {
+    /// The outcome's extra cost in seconds.
+    pub fn cost_secs(&self) -> f64 {
+        match *self {
+            Self::LocalHit => 0.0,
+            Self::Failover { cost_secs } | Self::Miss { cost_secs } => cost_secs,
+        }
+    }
+
+    /// Whether the lookup avoided a cold recompute.
+    pub fn is_hit(&self) -> bool {
+        !matches!(self, Self::Miss { .. })
+    }
+}
+
+/// Per-shard windowed lookup counters (reset on drain).
+#[derive(Debug, Clone, Copy, Default)]
+struct ShardWindow {
+    lookups: u64,
+    misses: u64,
+}
+
+/// One `(shard, template)` cost estimate: hinted (a placement prior)
+/// or measured (at least one observed fetch).
+#[derive(Debug, Clone, Copy)]
+struct PairCost {
+    cost_secs: f64,
+    measured: bool,
+}
+
+/// Windowed per-shard, per-template cache feedback.
+#[derive(Debug, Clone)]
+pub struct CacheFeedback {
+    /// EWMA smoothing factor in `(0, 1]`; higher = faster tracking.
+    alpha: f64,
+    /// Cost assumed for a template/shard pair never observed or
+    /// hinted: the pessimistic cold-recompute prior.
+    miss_prior_secs: f64,
+    /// Keyed-only (never iterated): determinism-safe.
+    cost: HashMap<(u32, u64), PairCost>,
+    /// Per-shard EWMA over *all* observed fetch costs there — the
+    /// cross-template churn signal. A shard whose host tier is over-
+    /// subscribed promotes (or, after a wipe, misses) across many
+    /// templates; one template's samples warn every template the
+    /// router has not measured on that shard yet.
+    shard_cost: Vec<f64>,
+    windows: Vec<ShardWindow>,
+    /// Lifetime totals (never reset), for reports.
+    total_lookups: u64,
+    total_misses: u64,
+}
+
+impl CacheFeedback {
+    /// Feedback over `shards` initial shards. `miss_prior_secs` is the
+    /// expected cold-recompute penalty — unknown pairs default to it so
+    /// an unobserved shard is never *preferred* over one that just
+    /// served a hit.
+    pub fn new(shards: u32, alpha: f64, miss_prior_secs: f64) -> Self {
+        Self {
+            alpha: alpha.clamp(1e-6, 1.0),
+            miss_prior_secs: miss_prior_secs.max(0.0),
+            cost: HashMap::new(),
+            shard_cost: vec![0.0; shards as usize],
+            windows: vec![ShardWindow::default(); shards as usize],
+            total_lookups: 0,
+            total_misses: 0,
+        }
+    }
+
+    /// Grows the shard table to cover `shard` (idempotent).
+    pub fn ensure_shard(&mut self, shard: u32) {
+        while self.windows.len() <= shard as usize {
+            self.windows.push(ShardWindow::default());
+        }
+        while self.shard_cost.len() <= shard as usize {
+            self.shard_cost.push(0.0);
+        }
+    }
+
+    /// The cold-recompute prior, seconds.
+    pub fn miss_prior_secs(&self) -> f64 {
+        self.miss_prior_secs
+    }
+
+    /// Records one lookup outcome for `template` on `shard`.
+    pub fn observe(&mut self, shard: u32, template: u64, outcome: FetchOutcome) {
+        self.ensure_shard(shard);
+        let w = &mut self.windows[shard as usize];
+        w.lookups += 1;
+        self.total_lookups += 1;
+        if !outcome.is_hit() {
+            w.misses += 1;
+            self.total_misses += 1;
+        }
+        let sample = outcome.cost_secs();
+        let slot = self.cost.entry((shard, template)).or_insert(PairCost {
+            cost_secs: self.miss_prior_secs,
+            measured: false,
+        });
+        if slot.measured {
+            slot.cost_secs += self.alpha * (sample - slot.cost_secs);
+        } else {
+            // First real observation replaces the prior outright.
+            slot.cost_secs = sample;
+            slot.measured = true;
+        }
+        let churn = &mut self.shard_cost[shard as usize];
+        *churn += self.alpha * (sample - *churn);
+    }
+
+    /// Expected extra cost of serving `template` on `shard`, seconds.
+    /// Unknown pairs return the miss prior.
+    pub fn expected_cost(&self, shard: u32, template: u64) -> f64 {
+        self.cost
+            .get(&(shard, template))
+            .map(|p| p.cost_secs)
+            .unwrap_or(self.miss_prior_secs)
+    }
+
+    /// Per-shard fetch-cost EWMA across *all* templates served there:
+    /// the cross-template churn signal. High when the shard's host tier
+    /// is thrashing (promote-heavy) or recovering from a wipe
+    /// (miss-heavy); decays back toward 0 as hits resume.
+    pub fn shard_cost(&self, shard: u32) -> f64 {
+        self.shard_cost.get(shard as usize).copied().unwrap_or(0.0)
+    }
+
+    /// Routing key for serving `template` on `shard`: `(pair estimate,
+    /// tie-break churn)`, compared lexicographically. The pair's own
+    /// history (measurement, else placement hint, else the miss prior)
+    /// dominates; the shard-wide churn EWMA only breaks *costly* ties.
+    /// A costly tie is exactly the thrash signature the pair signal
+    /// cannot resolve: a template bouncing between an oversubscribed
+    /// primary and its replica measures the same promote cost on both
+    /// owners, so falling straight to preference rank walks it back to
+    /// the thrashing shard forever. Churn — fed by what *other*
+    /// templates just paid on each shard — tips that tie toward the
+    /// owner with spare host capacity, where one more promote turns
+    /// into residency and the pair cost decays below the tie. A pair
+    /// that has proven *free* (estimate 0) ignores churn entirely:
+    /// residency is already the cheapest outcome, and moving it
+    /// because its shard is busy elsewhere would promote-for-nothing.
+    pub fn routing_key(&self, shard: u32, template: u64) -> (f64, f64) {
+        let pair = self.expected_cost(shard, template);
+        let tiebreak = if pair > 0.0 {
+            self.shard_cost(shard)
+        } else {
+            0.0
+        };
+        (pair, tiebreak)
+    }
+
+    /// Placement's hint after (re)planning `template` onto `owners`
+    /// (primary first): the primary starts at `primary_cost_secs`
+    /// (usually ~0 — host-resident), the other owners at
+    /// `replica_cost_secs` (a disk/peer promote). Hints only *seed*
+    /// pairs with no measured cost yet — measurement outranks prior,
+    /// and costs on shards outside `owners` are left alone too: a
+    /// host-warm copy survives losing directory ownership, and a cost
+    /// that does go stale self-corrects after one observed fetch,
+    /// which is cheaper than forcing rediscovery on every replan.
+    pub fn hint_placement(
+        &mut self,
+        template: u64,
+        owners: &[u32],
+        primary_cost_secs: f64,
+        replica_cost_secs: f64,
+    ) {
+        for (rank, &shard) in owners.iter().enumerate() {
+            self.ensure_shard(shard);
+            let cost = if rank == 0 {
+                primary_cost_secs
+            } else {
+                replica_cost_secs
+            };
+            self.cost.entry((shard, template)).or_insert(PairCost {
+                cost_secs: cost,
+                measured: false,
+            });
+        }
+    }
+
+    /// Miss rate of `shard`'s current window, in `[0, 1]` (0 when the
+    /// window saw no lookups).
+    pub fn window_miss_rate(&self, shard: u32) -> f64 {
+        match self.windows.get(shard as usize) {
+            Some(w) if w.lookups > 0 => w.misses as f64 / w.lookups as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Hit rate of `shard`'s current window, in `[0, 1]`.
+    pub fn window_hit_rate(&self, shard: u32) -> f64 {
+        match self.windows.get(shard as usize) {
+            Some(w) if w.lookups > 0 => 1.0 - w.misses as f64 / w.lookups as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Resets `shard`'s window counters (call once per observation
+    /// window, after reading the rates).
+    pub fn reset_window(&mut self, shard: u32) {
+        if let Some(w) = self.windows.get_mut(shard as usize) {
+            *w = ShardWindow::default();
+        }
+    }
+
+    /// Lifetime lookups observed.
+    pub fn total_lookups(&self) -> u64 {
+        self.total_lookups
+    }
+
+    /// Lifetime misses observed.
+    pub fn total_misses(&self) -> u64 {
+        self.total_misses
+    }
+}
+
+/// Per-template request-count histogram for a run, surfaced on the
+/// fleet rollup so placement decisions are inspectable post-run: did
+/// the hot templates actually get the replicas?
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PopularityHistogram {
+    /// `(template_id, requests)` sorted hottest-first (count desc, id
+    /// asc), truncated to the hottest `top` entries at construction.
+    pub top: Vec<(u64, u64)>,
+    /// Distinct templates requested.
+    pub distinct_templates: u64,
+    /// Total requests counted.
+    pub total_requests: u64,
+}
+
+impl PopularityHistogram {
+    /// Builds from raw `(template, count)` pairs, keeping the `top`
+    /// hottest. Input order does not matter; the result is fully
+    /// sorted (count desc, id asc) for determinism.
+    pub fn from_counts(counts: &[(u64, u64)], top: usize) -> Self {
+        let mut sorted: Vec<(u64, u64)> = counts.iter().copied().filter(|&(_, c)| c > 0).collect();
+        sorted.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let distinct_templates = sorted.len() as u64;
+        let total_requests = sorted.iter().map(|&(_, c)| c).sum();
+        sorted.truncate(top);
+        Self {
+            top: sorted,
+            distinct_templates,
+            total_requests,
+        }
+    }
+}
+
+impl ToJson for PopularityHistogram {
+    fn to_json(&self) -> Json {
+        let top: Vec<Json> = self
+            .top
+            .iter()
+            .map(|&(template, requests)| {
+                Json::object()
+                    .with("template", template)
+                    .with("requests", requests)
+            })
+            .collect();
+        Json::object()
+            .with("distinct_templates", self.distinct_templates)
+            .with("total_requests", self.total_requests)
+            .with("top", Json::Array(top))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_pairs_cost_the_miss_prior() {
+        let fb = CacheFeedback::new(4, 0.3, 3.5);
+        assert_eq!(fb.expected_cost(0, 42), 3.5);
+        assert_eq!(fb.expected_cost(99, 7), 3.5, "unknown shard too");
+    }
+
+    #[test]
+    fn ewma_tracks_observed_costs_toward_hits() {
+        let mut fb = CacheFeedback::new(2, 0.5, 4.0);
+        for _ in 0..12 {
+            fb.observe(0, 7, FetchOutcome::LocalHit);
+        }
+        assert!(fb.expected_cost(0, 7) < 0.01, "cost decays toward 0");
+        fb.observe(1, 7, FetchOutcome::Miss { cost_secs: 4.0 });
+        assert!(fb.expected_cost(1, 7) >= 4.0 - 1e-9);
+        assert!(fb.expected_cost(0, 7) < fb.expected_cost(1, 7));
+    }
+
+    #[test]
+    fn placement_hints_seed_without_clobbering_measurements() {
+        let mut fb = CacheFeedback::new(4, 0.5, 4.0);
+        // Router learned shard 3 was cheap — placement then planned the
+        // template onto [1, 2]. The hint seeds the unknown owners but
+        // leaves the measured shard-3 cost alone (the host copy there
+        // outlives directory ownership).
+        for _ in 0..10 {
+            fb.observe(3, 9, FetchOutcome::LocalHit);
+        }
+        fb.hint_placement(9, &[1, 2], 0.0, 0.5);
+        assert_eq!(fb.expected_cost(1, 9), 0.0, "primary prior");
+        assert_eq!(fb.expected_cost(2, 9), 0.5, "replica prior");
+        assert!(fb.expected_cost(3, 9) < 0.01, "measurement survives");
+        // A later observation outranks the seeded prior.
+        fb.observe(1, 9, FetchOutcome::Miss { cost_secs: 4.0 });
+        fb.hint_placement(9, &[1, 2], 0.0, 0.5);
+        assert!(fb.expected_cost(1, 9) > 1.0, "re-hint does not clobber");
+    }
+
+    #[test]
+    fn routing_key_breaks_costly_ties_with_churn_and_leaves_free_pairs_alone() {
+        let mut fb = CacheFeedback::new(2, 0.5, 4.0);
+        // Other templates keep promoting on shard 0: churn builds up.
+        fb.observe(0, 1, FetchOutcome::Failover { cost_secs: 1.0 });
+        fb.observe(0, 2, FetchOutcome::Failover { cost_secs: 1.0 });
+        assert!(fb.shard_cost(0) > 0.5, "churn EWMA tracks promotes");
+        assert_eq!(fb.shard_cost(1), 0.0, "quiet shard stays at 0");
+        // A free tie ignores churn: template 9 hinted at 0 on both
+        // shards compares equal, so preference rank keeps it put.
+        fb.hint_placement(9, &[0, 1], 0.0, 0.0);
+        assert_eq!(fb.routing_key(0, 9), fb.routing_key(1, 9));
+        // A costly tie — the thrash signature, same promote cost
+        // measured on both owners — resolves toward the quieter shard.
+        fb.observe(0, 9, FetchOutcome::Failover { cost_secs: 1.0 });
+        fb.observe(1, 9, FetchOutcome::Failover { cost_secs: 1.0 });
+        assert!(fb.routing_key(1, 9) < fb.routing_key(0, 9));
+        // A strictly cheaper pair estimate outranks any churn gap.
+        fb.observe(0, 9, FetchOutcome::LocalHit);
+        assert!(fb.routing_key(0, 9) < fb.routing_key(1, 9));
+        // An unknown pair leads with the miss prior.
+        assert!(fb.routing_key(0, 77).0 >= 4.0);
+    }
+
+    #[test]
+    fn windows_count_and_reset_per_shard() {
+        let mut fb = CacheFeedback::new(2, 0.5, 4.0);
+        fb.observe(0, 1, FetchOutcome::LocalHit);
+        fb.observe(0, 2, FetchOutcome::Miss { cost_secs: 4.0 });
+        fb.observe(0, 3, FetchOutcome::Failover { cost_secs: 0.2 });
+        assert!((fb.window_miss_rate(0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((fb.window_hit_rate(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(fb.window_miss_rate(1), 0.0, "untouched shard reads 0");
+        fb.reset_window(0);
+        assert_eq!(fb.window_miss_rate(0), 0.0);
+        assert_eq!(fb.total_lookups(), 3, "lifetime totals survive resets");
+        assert_eq!(fb.total_misses(), 1);
+    }
+
+    #[test]
+    fn popularity_histogram_sorts_and_truncates() {
+        let h = PopularityHistogram::from_counts(&[(5, 10), (1, 30), (9, 10), (2, 0)], 2);
+        assert_eq!(h.top, vec![(1, 30), (5, 10)], "count desc, id asc");
+        assert_eq!(h.distinct_templates, 3, "zero-count entries dropped");
+        assert_eq!(h.total_requests, 50);
+        let j = h.to_json();
+        assert_eq!(j.get("total_requests").and_then(Json::as_u64), Some(50));
+    }
+}

@@ -10,6 +10,7 @@
 //! per-shard histograms and takes percentiles of the *merged* counts,
 //! which is exact up to bucket resolution.
 
+use crate::feedback::PopularityHistogram;
 use crate::histogram::Histogram;
 use crate::slo::{RungServed, SloReport, StageQueueStats};
 use fps_json::{Json, ToJson};
@@ -57,6 +58,16 @@ pub struct FleetCacheCounters {
 }
 
 impl FleetCacheCounters {
+    /// Folds another set of counters into this one (multi-run or
+    /// multi-cell aggregation).
+    pub fn absorb(&mut self, other: &FleetCacheCounters) {
+        self.local_hits += other.local_hits;
+        self.failover_hits += other.failover_hits;
+        self.misses += other.misses;
+        self.breaker_short_circuits += other.breaker_short_circuits;
+        self.re_primes += other.re_primes;
+    }
+
     /// Fraction of requests that avoided a cold recompute (local or
     /// failover), in `[0, 1]`.
     pub fn effective_hit_rate(&self) -> f64 {
@@ -96,6 +107,9 @@ pub struct FleetSloReport {
     pub shards: u32,
     /// Cache/failover counters, when the run collected them.
     pub cache: Option<FleetCacheCounters>,
+    /// Per-template request histogram, when the run collected one —
+    /// makes placement decisions inspectable post-run.
+    pub popularity: Option<PopularityHistogram>,
 }
 
 impl FleetSloReport {
@@ -165,12 +179,19 @@ impl FleetSloReport {
             queue_wait_hist,
             shards: shards.len() as u32,
             cache: None,
+            popularity: None,
         })
     }
 
     /// Attaches fleet-wide cache/failover counters to the rollup.
     pub fn with_cache(mut self, cache: FleetCacheCounters) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Attaches the run's per-template popularity histogram.
+    pub fn with_popularity(mut self, popularity: PopularityHistogram) -> Self {
+        self.popularity = Some(popularity);
         self
     }
 
@@ -188,6 +209,9 @@ impl ToJson for FleetSloReport {
             .with("queue_wait_p95_secs", self.queue_wait_p95_secs());
         if let Some(cache) = &self.cache {
             j = j.with("cache", cache.to_json());
+        }
+        if let Some(popularity) = &self.popularity {
+            j = j.with("popularity", popularity.to_json());
         }
         j
     }

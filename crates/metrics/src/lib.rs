@@ -16,8 +16,17 @@
 //!   percentiles (fleet p95 is pooled, never averaged).
 //! - [`recovery`] — goodput timelines and time-to-recover / dip-area
 //!   accounting for fleet chaos runs.
+//! - [`autoscaler`] — hysteretic pool scaling from windowed SLO
+//!   signals (shed rate, queue-wait p95, utilization, cache pressure),
+//!   shared by the fleet's per-shard pools and the stage-graph's
+//!   per-stage pools.
+//! - [`feedback`] — windowed per-shard/per-template cache hit rate and
+//!   fetch-cost EWMAs, published by the cache tier and consumed as a
+//!   routing cost term and an autoscaler signal.
 
+pub mod autoscaler;
 pub mod degradation;
+pub mod feedback;
 pub mod fleet;
 pub mod histogram;
 pub mod latency;
@@ -29,7 +38,9 @@ pub mod slo;
 pub mod stats;
 pub mod throughput;
 
+pub use autoscaler::{Autoscaler, AutoscalerConfig, ScaleDecision, ScaleGuard, ShardSignal};
 pub use degradation::DegradationReport;
+pub use feedback::{CacheFeedback, FetchOutcome, PopularityHistogram};
 pub use fleet::{FleetCacheCounters, FleetSloReport, ShardSloReport};
 pub use histogram::Histogram;
 pub use latency::{LatencyBreakdown, LatencyRecorder};

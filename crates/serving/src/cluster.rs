@@ -642,6 +642,7 @@ impl<'r> ClusterSim<'r> {
         let cache_ready = if self.engine_for(req).uses_cache() {
             let template = self.requests[req].spec.template_id;
             self.requests[req].cache_fetch_started_at = Some(t0);
+            let stats_before = self.store.stats();
             let fetched = if let Some(breaker) = self.plane.breaker_mut() {
                 // Breaker-guarded read: stateful protection replaces
                 // the per-read fallback — while Open, the read
@@ -655,9 +656,22 @@ impl<'r> ClusterSim<'r> {
                 // Prefetch starts at arrival and overlaps queueing.
                 VerifiedFetch::Intact(self.store.fetch(template, t0).unwrap_or(t0))
             };
+            // Classify where the bytes came from for tracing; the
+            // store already counted the read, so diffing its stats
+            // keeps the span payload purely observational.
+            let stats_after = self.store.stats();
+            self.requests[req].cache_fetch_source =
+                Some(if stats_after.host_hits > stats_before.host_hits {
+                    "host"
+                } else if stats_after.disk_hits > stats_before.disk_hits {
+                    "disk"
+                } else {
+                    "none"
+                });
             match fetched {
                 VerifiedFetch::Intact(ready) => ready,
                 VerifiedFetch::Fallback(reason) => {
+                    self.requests[req].cache_fetch_source = Some("none");
                     self.requests[req].fallback = true;
                     if self.config.trace.is_enabled() {
                         self.config.trace.event_at(
@@ -1210,8 +1224,16 @@ fn emit_request_spans(sink: &TraceSink, lane: u32, r: &SimRequest) {
         root,
         queue_args,
     );
+    // Zero-duration spans are kept: a host hit costs ~nothing, and
+    // that is precisely what per-placement fetch attribution measures.
     if let Some(fetch_start) = r.cache_fetch_started_at {
-        if r.cache_ready_at > fetch_start {
+        if r.cache_ready_at >= fetch_start {
+            // `replica_source` / `hit` / `policy` let trace analysis
+            // attribute fetch cost per placement decision; the
+            // single-cluster store has no replica placement, so the
+            // policy is always "local" here (the fleet plane emits
+            // "ring-order" / "popularity").
+            let source = r.cache_fetch_source.unwrap_or("none");
             sink.span_at(
                 "cache_fetch",
                 "cache",
@@ -1219,7 +1241,12 @@ fn emit_request_spans(sink: &TraceSink, lane: u32, r: &SimRequest) {
                 fetch_start.as_nanos(),
                 r.cache_ready_at.as_nanos(),
                 root,
-                vec![("template", Json::U64(r.spec.template_id))],
+                vec![
+                    ("template", Json::U64(r.spec.template_id)),
+                    ("replica_source", Json::Str(source.into())),
+                    ("hit", Json::Bool(source != "none")),
+                    ("policy", Json::Str("local".into())),
+                ],
             );
         }
     }
@@ -1946,6 +1973,24 @@ mod tests {
         assert!(t.spans_named("denoise").count() > 0);
         assert!(t.spans_named("postprocess").count() > 0);
         assert!(t.spans_named("step").count() > 0, "per-step gpu spans");
+        // Fetch spans attribute their cost: where the bytes came from,
+        // whether the read hit, and under which placement policy.
+        let mut fetches = 0;
+        for s in t.spans_named("cache_fetch") {
+            fetches += 1;
+            let source = match s.arg("replica_source") {
+                Some(Json::Str(v)) => v.as_str(),
+                other => panic!("replica_source missing or not a string: {other:?}"),
+            };
+            assert!(matches!(source, "host" | "disk" | "none"));
+            assert_eq!(
+                s.arg("hit"),
+                Some(&Json::Bool(source != "none")),
+                "hit arg must agree with the fetch source"
+            );
+            assert_eq!(s.arg("policy"), Some(&Json::Str("local".into())));
+        }
+        assert!(fetches > 0, "no cache_fetch spans recorded");
         // Every request span's children nest inside it.
         for root in t.spans_named("request") {
             for child in t.spans.iter().filter(|s| s.parent == root.id) {

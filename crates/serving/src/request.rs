@@ -36,6 +36,9 @@ pub struct SimRequest {
     /// When the cache prefetch for the current attempt was issued
     /// (`None` for cache-less engines). Only feeds tracing spans.
     pub cache_fetch_started_at: Option<SimTime>,
+    /// Where the current attempt's cache fetch was served from
+    /// ("host" / "disk" / "none"). Only feeds tracing spans.
+    pub cache_fetch_source: Option<&'static str>,
     /// When the request joined the running batch (first step start).
     pub batch_joined_at: Option<SimTime>,
     /// When denoising finished.
@@ -72,6 +75,7 @@ impl SimRequest {
             steps_left: steps,
             cache_ready_at: SimTime::ZERO,
             cache_fetch_started_at: None,
+            cache_fetch_source: None,
             batch_joined_at: None,
             denoise_done_at: None,
             completed_at: None,
@@ -94,6 +98,7 @@ impl SimRequest {
         self.steps_left = steps;
         self.cache_ready_at = SimTime::ZERO;
         self.cache_fetch_started_at = None;
+        self.cache_fetch_source = None;
         self.batch_joined_at = None;
         self.denoise_done_at = None;
     }

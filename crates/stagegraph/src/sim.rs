@@ -31,7 +31,10 @@
 //! [`Trace`]: fps_workload::Trace
 
 use fps_json::{Json, ToJson};
-use fps_metrics::{Histogram, RungServed, SloReport, StageQueueStats};
+use fps_metrics::{
+    Autoscaler, AutoscalerConfig, Histogram, RungServed, ScaleDecision, ShardSignal, SloReport,
+    StageQueueStats,
+};
 use fps_overload::Rung;
 use fps_serving::cost::{BatchItem, CpuCosts};
 use fps_serving::overload::rung_steps;
@@ -75,6 +78,12 @@ pub struct StageGraphConfig {
     /// CPU-side costs (preprocess, postprocess, per-edge handoff).
     /// Scale these up to model a CPU-heavy workload.
     pub cpu: CpuCosts,
+    /// Per-stage pool autoscaling from windowed queue-wait signals;
+    /// `None` freezes every pool (byte-identical to the pre-scaler
+    /// simulator — no tick events are even scheduled).
+    pub autoscaler: Option<AutoscalerConfig>,
+    /// Seconds between autoscaler observation windows.
+    pub scale_interval_secs: f64,
     /// Trace sink for stage spans and queue boundary events. Must be
     /// virtual-clock (or disabled): this is a virtual-time plane.
     pub trace: TraceSink,
@@ -90,6 +99,8 @@ impl StageGraphConfig {
             allow_degradation: true,
             inline_cpu: false,
             cpu: CpuCosts::default(),
+            autoscaler: None,
+            scale_interval_secs: 10.0,
             trace: TraceSink::disabled(),
         }
     }
@@ -173,6 +184,12 @@ pub struct StagedRunReport {
     pub gpu_bubble_fraction: f64,
     /// Requests decoded at reduced resolution (decode-plane ladder).
     pub downscaled: u64,
+    /// Scale-up actions across all stage pools.
+    pub scale_ups: u64,
+    /// Scale-down actions across all stage pools.
+    pub scale_downs: u64,
+    /// Per-stage pool sizes at the end of the run (graph order).
+    pub final_workers: Vec<usize>,
     /// Virtual seconds from first arrival to last completion.
     pub makespan_secs: f64,
     /// Events the scheduler processed.
@@ -205,6 +222,17 @@ impl ToJson for StagedRunReport {
             .with("edges", self.edges.to_json())
             .with("gpu_bubble_fraction", self.gpu_bubble_fraction)
             .with("downscaled", self.downscaled)
+            .with("scale_ups", self.scale_ups)
+            .with("scale_downs", self.scale_downs)
+            .with(
+                "final_workers",
+                Json::Array(
+                    self.final_workers
+                        .iter()
+                        .map(|&w| Json::U64(w as u64))
+                        .collect(),
+                ),
+            )
             .with("makespan_secs", self.makespan_secs)
             .with("events_processed", self.events_processed)
     }
@@ -228,6 +256,9 @@ pub enum StageEv {
         /// Worker index within the denoise pool.
         worker: usize,
     },
+    /// Autoscaler observation window closes (scheduled only when the
+    /// config carries an autoscaler).
+    ScaleTick,
 }
 
 /// One accepted request's live state.
@@ -278,6 +309,12 @@ struct Stage {
     busy_secs: f64,
     rung_counts: Vec<(&'static str, u64)>,
     downscaled: u64,
+    /// Hysteretic pool scaler (None freezes the pool).
+    scaler: Option<Autoscaler>,
+    /// Queue waits of requests popped since the last scale tick.
+    window_waits: Vec<f64>,
+    /// `busy_secs` at the last scale tick, for windowed utilization.
+    window_busy_mark: f64,
 }
 
 struct World<'a> {
@@ -466,8 +503,11 @@ impl World<'_> {
                 self.stages[ix].outstanding -= 1;
                 popped_any = true;
             }
-            let Some((seq, _wait)) = live else { break };
+            let Some((seq, wait)) = live else { break };
             popped_any = true;
+            if self.stages[ix].scaler.is_some() {
+                self.stages[ix].window_waits.push(wait);
+            }
             // Decode consults its own plane at service start: under
             // pressure its ladder downscales the output.
             if self.stages[ix].spec.kind == StageKind::VaeDecode && self.config.allow_degradation {
@@ -536,8 +576,11 @@ impl World<'_> {
                 self.stages[ix].outstanding -= 1;
                 popped_any = true;
             }
-            let Some((seq, _wait)) = live else { break };
+            let Some((seq, wait)) = live else { break };
             popped_any = true;
+            if self.stages[ix].scaler.is_some() {
+                self.stages[ix].window_waits.push(wait);
+            }
             // The denoise plane's ladder picks this dispatch's rung —
             // and with it the step schedule.
             let outstanding = self.stages[ix].outstanding;
@@ -750,6 +793,84 @@ impl<Q: EventScheduler<StageEv>> EventHandler<StageEv, Q> for World<'_> {
                 // relieved): admit it.
                 self.pump(ix, now, queue);
             }
+            StageEv::ScaleTick => {
+                let interval = self.config.scale_interval_secs.max(0.001);
+                for ix in 0..self.stages.len() {
+                    let denoise = self.stages[ix].spec.kind == StageKind::Denoise;
+                    let decision = {
+                        let s = &mut self.stages[ix];
+                        let Some(scaler) = s.scaler.as_mut() else {
+                            continue;
+                        };
+                        s.window_waits
+                            .sort_by(|a, b| a.partial_cmp(b).expect("finite waits"));
+                        let p95 = if s.window_waits.is_empty() {
+                            0.0
+                        } else {
+                            let n = s.window_waits.len();
+                            let jx = ((n as f64 * 0.95).ceil() as usize).clamp(1, n);
+                            s.window_waits[jx - 1]
+                        };
+                        let current = if denoise {
+                            s.workers.len().max(1)
+                        } else {
+                            s.spec.workers.max(1)
+                        };
+                        let busy_delta = (s.busy_secs - s.window_busy_mark).max(0.0);
+                        let utilization = (busy_delta
+                            / (current as f64 * s.spec.lanes.max(1) as f64 * interval))
+                            .min(1.0);
+                        s.window_busy_mark = s.busy_secs;
+                        s.window_waits.clear();
+                        let signal = ShardSignal {
+                            shed_rate: 0.0,
+                            queue_wait_p95_secs: p95,
+                            utilization,
+                            cache_miss_rate: 0.0,
+                        };
+                        scaler.observe(current, &signal, now)
+                    };
+                    match decision {
+                        ScaleDecision::Hold => {}
+                        ScaleDecision::Up(n) => {
+                            let s = &mut self.stages[ix];
+                            s.spec.workers = n.max(1);
+                            if denoise {
+                                while s.workers.len() < n {
+                                    s.workers.push(DenoiseWorker::default());
+                                }
+                            }
+                            // New capacity may admit queued work now.
+                            self.pump(ix, now, queue);
+                        }
+                        ScaleDecision::Down(n) => {
+                            let s = &mut self.stages[ix];
+                            if denoise {
+                                // Drop only idle workers from the tail:
+                                // running batches keep their worker.
+                                while s.workers.len() > n.max(1) {
+                                    let idle = s
+                                        .workers
+                                        .last()
+                                        .is_some_and(|w| w.occupied() == 0 && !w.ticking);
+                                    if !idle {
+                                        break;
+                                    }
+                                    s.workers.pop();
+                                }
+                                s.spec.workers = s.workers.len().max(1);
+                            } else {
+                                // Busy lanes above the new capacity
+                                // simply drain; admission stops first.
+                                s.spec.workers = n.max(1);
+                            }
+                        }
+                    }
+                }
+                if self.inflight > 0 || (self.submitted as usize) < self.trace.len() {
+                    queue.schedule_after(SimDuration::from_secs_f64(interval), StageEv::ScaleTick);
+                }
+            }
         }
     }
 }
@@ -882,6 +1003,9 @@ impl StageGraphSim {
                     busy_secs: 0.0,
                     rung_counts: Vec::new(),
                     downscaled: 0,
+                    scaler: config.autoscaler.clone().map(Autoscaler::new),
+                    window_waits: Vec::new(),
+                    window_busy_mark: 0.0,
                     spec: *spec,
                 }
             })
@@ -925,6 +1049,12 @@ impl StageGraphSim {
         for (i, req) in trace.requests.iter().enumerate() {
             sim.queue_mut()
                 .schedule_at(req.arrival(), StageEv::Arrival(i));
+        }
+        if world.config.autoscaler.is_some() && !trace.is_empty() {
+            sim.queue_mut().schedule_after(
+                SimDuration::from_secs_f64(world.config.scale_interval_secs.max(0.001)),
+                StageEv::ScaleTick,
+            );
         }
         sim.run(&mut world);
         // Conservation: every submitted request is served, shed, or
@@ -999,6 +1129,29 @@ impl StageGraphSim {
             edges,
             gpu_bubble_fraction,
             downscaled,
+            scale_ups: world
+                .stages
+                .iter()
+                .filter_map(|s| s.scaler.as_ref())
+                .map(Autoscaler::ups)
+                .sum(),
+            scale_downs: world
+                .stages
+                .iter()
+                .filter_map(|s| s.scaler.as_ref())
+                .map(Autoscaler::downs)
+                .sum(),
+            final_workers: world
+                .stages
+                .iter()
+                .map(|s| {
+                    if s.spec.kind == StageKind::Denoise {
+                        s.workers.len().max(1)
+                    } else {
+                        s.spec.workers.max(1)
+                    }
+                })
+                .collect(),
             makespan_secs,
             events_processed: sim.events_processed(),
         }
@@ -1125,5 +1278,55 @@ mod tests {
         let r = StageGraphSim::run(staged_config(), &trace);
         assert_eq!(r.slo.submitted, trace.len() as u64);
         assert_eq!(r.slo.lost(), 0);
+    }
+
+    #[test]
+    fn autoscaler_grows_the_bottleneck_stage_and_replays_identically() {
+        use fps_simtime::SimDuration;
+        // Saturating load on a one-worker denoise pool: queue waits
+        // blow past the threshold, and the scaler must grow the pool.
+        let trace = small_trace(6.0, 180.0, 13);
+        let mut cfg = staged_config();
+        cfg.autoscaler = Some(AutoscalerConfig {
+            min_workers: 1,
+            max_workers: 4,
+            up_ticks: 1,
+            cooldown: SimDuration::from_secs_f64(10.0),
+            ..Default::default()
+        });
+        let r = StageGraphSim::run(cfg.clone(), &trace);
+        assert!(r.scale_ups > 0, "no stage pool ever scaled up");
+        assert!(
+            r.final_workers.iter().any(|&w| w > 1),
+            "pools never grew: {:?}",
+            r.final_workers
+        );
+        assert_eq!(r.slo.lost(), 0);
+        // More denoise workers must serve more than the frozen pool.
+        let frozen = StageGraphSim::run(staged_config(), &trace);
+        assert!(
+            r.slo.served > frozen.slo.served,
+            "scaling served {} vs frozen {}",
+            r.slo.served,
+            frozen.slo.served
+        );
+        // Determinism holds with the scaler active.
+        let a = StageGraphSim::run(cfg.clone(), &trace)
+            .to_json()
+            .to_string_compact();
+        let heap = StageGraphSim::run_on_heap(cfg, &trace)
+            .to_json()
+            .to_string_compact();
+        assert_eq!(a, heap, "scaled runs diverged across schedulers");
+    }
+
+    #[test]
+    fn no_autoscaler_schedules_no_ticks() {
+        let trace = small_trace(0.5, 60.0, 17);
+        let r = StageGraphSim::run(staged_config(), &trace);
+        assert_eq!(r.scale_ups, 0);
+        assert_eq!(r.scale_downs, 0);
+        // Pool sizes end exactly where the graph spec started them.
+        assert_eq!(r.final_workers, vec![2, 1, 1, 1, 2]);
     }
 }

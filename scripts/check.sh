@@ -45,6 +45,13 @@ cargo run --release -p fps-bench --bin fig_chaos_fleet -- --smoke > /dev/null
 echo "==> fig_stagegraph --smoke (stage-graph disaggregation gates)"
 cargo run --release -p fps-bench --bin fig_stagegraph -- --smoke > /dev/null
 
+echo "==> fig_cache_placement --smoke (placement + feedback-routing gates)"
+# Asserts the legacy fingerprint (ring-order == pre-refactor store),
+# popularity > ring-order on effective hit rate at Zipf(1.0), and
+# feedback routing < blind affinity on cache-fetch p95 under the
+# seeded slow-disk plan.
+cargo run --release -p fps-bench --bin fig_cache_placement -- --smoke > /dev/null
+
 echo "==> sim-vs-server decision parity (release)"
 cargo test --release -q -p flashps --test integration_control > /dev/null
 

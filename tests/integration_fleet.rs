@@ -1,11 +1,21 @@
 //! Integration: the fleet layer end to end — consistent-hash affinity
 //! routing (fps-fleet) over per-shard control planes (fps-serving),
 //! multi-tenant Zipf traces (fps-workload), histogram-merged fleet
-//! SLO rollups (fps-metrics), and deterministic replay on both event
-//! schedulers (fps-simtime).
+//! SLO rollups (fps-metrics), deterministic replay on both event
+//! schedulers (fps-simtime), and cache-feedback routing on the
+//! wall-clock ThreadedServer.
 
-use fps_fleet::{AutoscalerConfig, FleetConfig, FleetSim, HashRing, RouteStrategy};
+use std::sync::{Arc, Mutex};
+
+use flashps::server::{EditJob, ServerConfig, ThreadedServer};
+use flashps::{FlashPs, FlashPsConfig};
+use fps_diffusion::{Image, ModelConfig};
+use fps_fleet::{
+    AutoscalerConfig, FleetConfig, FleetSim, HashRing, RouteStrategy, TemplateAffinityRouter,
+};
 use fps_json::ToJson;
+use fps_metrics::{CacheFeedback, FetchOutcome};
+use fps_serving::{ControlPlane, Decision, Router, TimeSource};
 use fps_simtime::SimDuration;
 use fps_workload::{FleetTrace, FleetTraceConfig, TenantSpec};
 
@@ -141,6 +151,71 @@ fn fleet_rollup_conserves_counts_and_pools_histograms() {
         "pooled p95 {} outside shard range [{lo}, {hi}]",
         fleet.p95_latency_secs
     );
+}
+
+#[test]
+fn threaded_server_feedback_routing_follows_recorded_outcomes() {
+    // Wall-clock plane: a ThreadedServer whose control plane routes
+    // through a feedback-attached TemplateAffinityRouter. Recording a
+    // cold miss on the sticky worker and a hit elsewhere must move the
+    // next placement of that template — measured cost over blind ring
+    // preference.
+    let model = ModelConfig::tiny();
+    let mut sys = FlashPs::new(FlashPsConfig::new(model.clone())).unwrap();
+    let img = Image::template(model.pixel_h(), model.pixel_w(), 0);
+    sys.register_template(0, &img).unwrap();
+    let fb = Arc::new(Mutex::new(CacheFeedback::new(2, 0.5, 5.0)));
+    let router = TemplateAffinityRouter::new().with_feedback(Arc::clone(&fb));
+    assert_eq!(router.name(), "template-affinity+feedback");
+    let plane = ControlPlane::new(
+        Box::new(router) as Box<dyn Router + Send>,
+        TimeSource::wall(),
+        model.steps,
+    )
+    .record_decisions(true);
+    let server = ThreadedServer::start_with_plane(
+        sys,
+        ServerConfig {
+            workers: 2,
+            max_batch: 2,
+            ..ServerConfig::default()
+        },
+        plane,
+    );
+    let job = || EditJob {
+        template_id: 0,
+        masked_idx: vec![1, 2],
+        prompt: "edit".into(),
+        seed: 1,
+        guidance: None,
+    };
+    let routed_worker = |server: &ThreadedServer| {
+        server
+            .decisions()
+            .iter()
+            .rev()
+            .find_map(|d| match d {
+                Decision::Routed { worker, .. } => Some(*worker),
+                _ => None,
+            })
+            .expect("a route was recorded")
+    };
+    server.submit(job()).unwrap().wait().unwrap();
+    let sticky = routed_worker(&server);
+    // Same template, idle workers: affinity repeats the placement.
+    server.submit(job()).unwrap().wait().unwrap();
+    assert_eq!(routed_worker(&server), sticky, "affinity was not sticky");
+    // The sticky worker turns out cold, the other one warm.
+    let warm = 1 - sticky;
+    TemplateAffinityRouter::record_outcome(&fb, sticky, 0, FetchOutcome::Miss { cost_secs: 5.0 });
+    TemplateAffinityRouter::record_outcome(&fb, warm, 0, FetchOutcome::LocalHit);
+    server.submit(job()).unwrap().wait().unwrap();
+    assert_eq!(
+        routed_worker(&server),
+        warm,
+        "feedback did not steer the route onto the measured-warm worker"
+    );
+    server.shutdown();
 }
 
 #[test]
